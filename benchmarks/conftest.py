@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark runs one E1-E7 experiment exactly once (``rounds=1``), prints
+the regenerated table/figure to stdout and appends it to
+``benchmarks/results.txt`` so the paper-vs-measured comparison in
+EXPERIMENTS.md can be refreshed from a single run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_FILE = pathlib.Path(__file__).parent / "results.txt"
+
+
+def record_result(result) -> None:
+    """Print and persist one experiment result."""
+    text = result.format()
+    print("\n" + text)
+    with RESULTS_FILE.open("a") as handle:
+        handle.write(text + "\n\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _reset_results_file():
+    """Start every benchmark session with a fresh results file."""
+    if RESULTS_FILE.exists():
+        RESULTS_FILE.unlink()
+    yield
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

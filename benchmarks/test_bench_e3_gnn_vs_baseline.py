@@ -1,0 +1,29 @@
+"""E3 ("Table 2"): the five GNNs vs opcode baselines under unseen obfuscation.
+
+Regenerates the paper's Phase-1 hypothesis: graph neural networks over
+control-flow graphs retain more accuracy than opcode-sequence models when the
+attacker uses obfuscation passes the detector never saw at training time.
+"""
+
+from benchmarks.conftest import record_result, run_once
+from repro.evaluation import E3Config, run_e3_gnn_vs_baseline
+
+
+def test_bench_e3_gnn_vs_baseline(benchmark):
+    config = E3Config(num_samples=240, epochs=30, test_intensity=0.6, seed=0)
+    result = run_once(benchmark, run_e3_gnn_vs_baseline, config)
+    record_result(result)
+
+    assert len(result.rows) == 2 + 5  # two baselines + five GNN architectures
+    # paper shape: every model is strong on clean code ...
+    assert all(row["clean_accuracy"] >= 0.85 for row in result.rows)
+    # ... and the GNN family loses no more accuracy than the opcode-histogram
+    # baseline (the representation PhishingHook relies on).  The opcode-bigram
+    # baseline turned out to be unexpectedly robust to our structural passes;
+    # that deviation from the paper's hypothesised shape is reported as-is in
+    # EXPERIMENTS.md rather than asserted away.
+    rows = {row["model"]: row for row in result.rows}
+    histogram_row = rows["histogram+random-forest"]
+    assert result.summary["mean_gnn_drop"] <= histogram_row["accuracy_drop"] + 0.05
+    assert (result.summary["best_gnn_obfuscated"]
+            >= histogram_row["obfuscated_accuracy"] - 0.02)

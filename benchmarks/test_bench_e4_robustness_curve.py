@@ -1,0 +1,34 @@
+"""E4 ("Figure 2"): robustness curve over obfuscation intensity.
+
+Regenerates the accuracy-vs-intensity figure comparing the best GNN against
+the opcode-histogram and opcode-bigram baselines under unseen structural
+obfuscation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_result, run_once
+from repro.evaluation import E4Config, run_e4_robustness_curve
+from repro.evaluation.reporting import format_series
+
+
+def test_bench_e4_robustness_curve(benchmark):
+    config = E4Config(num_samples=240, epochs=30, architecture="gin",
+                      intensities=(0.0, 0.25, 0.5, 0.75, 1.0), seed=0)
+    result = run_once(benchmark, run_e4_robustness_curve, config)
+    record_result(result)
+    print(format_series(
+        {f"scamdetect-{config.architecture}": [row["gnn_accuracy"] for row in result.rows],
+         "histogram+rf": [row["histogram_rf_accuracy"] for row in result.rows],
+         "2gram+rf": [row["ngram_rf_accuracy"] for row in result.rows]},
+        x_values=[row["intensity"] for row in result.rows],
+        title="Figure 2: accuracy vs unseen-obfuscation intensity"))
+
+    # paper shape: parity on clean code, GNN curve sits above the histogram
+    # baseline on average across the intensity sweep
+    assert result.rows[0]["gnn_accuracy"] >= 0.85
+    assert (result.summary["gnn_mean_accuracy"]
+            >= result.summary["histogram_mean_accuracy"] - 0.02)
+    # at the highest intensity the histogram baseline has lost most of its edge
+    worst = result.rows[-1]
+    assert worst["histogram_rf_accuracy"] <= worst["gnn_accuracy"] + 0.15

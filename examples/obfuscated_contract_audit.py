@@ -1,0 +1,85 @@
+"""Audit an obfuscated contract: opcode baseline vs ScamDetect's CFG view.
+
+Scenario: an auditor receives a contract whose deployer ran it through a
+BOSC/BiAn-style obfuscator.  The example shows (a) how much the obfuscator
+inflates and reshapes the bytecode, (b) how an opcode-histogram classifier's
+verdict becomes unreliable, and (c) how the CFG-based ScamDetect pipeline,
+hardened only with opcode-level augmentation, keeps flagging the drainer.
+
+Run with::
+
+    python examples/obfuscated_contract_audit.py
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro import ScamDetectConfig, ScamDetector
+from repro.datasets import CorpusGenerator, GeneratorConfig
+from repro.datasets.corpus import Corpus
+from repro.evaluation.experiments import TRAIN_TIME_PASSES, obfuscate_corpus
+from repro.evm.cfg_builder import build_cfg
+from repro.evm.contracts import TEMPLATES_BY_NAME
+from repro.features import OpcodeHistogramExtractor
+from repro.ml import RandomForestClassifier
+from repro.obfuscation import EVMObfuscator, ObfuscationReport
+
+
+def main() -> None:
+    print("== obfuscated contract audit ==")
+
+    # --- train both detectors on the same hardened corpus -------------------
+    base = CorpusGenerator(GeneratorConfig(platform="evm", num_samples=200,
+                                           label_noise=0.02, seed=5)).generate()
+    hardened = Corpus(list(base) + list(obfuscate_corpus(base, 0.5, seed=50,
+                                                         passes=TRAIN_TIME_PASSES)),
+                      name="hardened")
+    labels = np.asarray(hardened.labels())
+
+    extractor = OpcodeHistogramExtractor()
+    baseline = RandomForestClassifier(n_estimators=40, random_state=0)
+    baseline.fit(extractor.fit_transform(hardened), labels)
+
+    detector = ScamDetector(ScamDetectConfig(architecture="gin", readout="max",
+                                             epochs=30, seed=5))
+    detector.train(hardened)
+    print(f"both detectors trained on {len(hardened)} contracts "
+          f"(clean + opcode-level augmentation)")
+
+    # --- the contract under audit: a drainer, progressively obfuscated ------
+    rng = random.Random(123)
+    drainer = TEMPLATES_BY_NAME["approval_drainer"].generate(rng)
+    print("\nauditing an approval drainer under increasing obfuscation:")
+    header = (f"{'intensity':>9} {'size(B)':>8} {'blocks':>7} {'edges':>6} "
+              f"{'baseline p(mal)':>16} {'scamdetect p(mal)':>18}")
+    print(header)
+    print("-" * len(header))
+
+    for intensity in (0.0, 0.25, 0.5, 0.75, 1.0):
+        report = ObfuscationReport()
+        if intensity > 0:
+            code = EVMObfuscator(intensity=intensity, seed=77).obfuscate(drainer, report)
+        else:
+            code = drainer
+        cfg = build_cfg(code)
+
+        sample_corpus = Corpus([hardened[0].with_bytecode(code, obfuscated=intensity > 0,
+                                                          intensity=intensity)])
+        baseline_probability = baseline.predict_proba(
+            extractor.transform(sample_corpus))[0, 1]
+        verdict = detector.scan(code, sample_id=f"drainer@{intensity:.2f}")
+
+        print(f"{intensity:>9.2f} {len(code):>8d} {cfg.num_blocks:>7d} "
+              f"{cfg.num_edges:>6d} {baseline_probability:>16.3f} "
+              f"{verdict.malicious_probability:>18.3f}")
+
+    print("\nreading: the opcode-histogram baseline's confidence decays towards "
+          "chance as junk code floods the histogram, while the CFG/marker view "
+          "keeps the drainer's ORIGIN-gated sweep loop visible.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: train ScamDetect on a synthetic EVM corpus and scan contracts.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script generates a labelled corpus from the built-in contract template
+families (the offline substitute for an Etherscan-scraped dataset), trains
+the default ScamDetect pipeline (a 2-layer GCN over control-flow graphs),
+reports its held-out accuracy and then scans two individual contracts --
+one benign ERC-20 token and one phishing approval drainer.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ScamDetectConfig, ScamDetector
+from repro.datasets import CorpusGenerator, GeneratorConfig, stratified_split
+from repro.evm.contracts import TEMPLATES_BY_NAME
+
+
+def main() -> None:
+    print("== ScamDetect quickstart ==")
+
+    # 1. build a labelled corpus (5 benign + 5 malicious EVM families)
+    corpus = CorpusGenerator(GeneratorConfig(
+        platform="evm", num_samples=200, label_noise=0.02, seed=7)).generate()
+    print(f"corpus: {corpus!r}")
+
+    # 2. stratified train/test split
+    train, test = stratified_split(corpus, test_fraction=0.3, seed=7)
+    print(f"train={len(train)} contracts, test={len(test)} contracts")
+
+    # 3. train the detector (GCN over CFGs with semantic-marker node features)
+    detector = ScamDetector(ScamDetectConfig(architecture="gcn", epochs=30, seed=7))
+    detector.train(train)
+
+    # 4. held-out evaluation
+    metrics = detector.evaluate(test)
+    print("held-out metrics: "
+          + ", ".join(f"{name}={value:.3f}" for name, value in metrics.items()))
+
+    # 5. scan individual contracts (hex input, platform sniffed automatically)
+    rng = random.Random(99)
+    benign = TEMPLATES_BY_NAME["erc20_token"].generate(rng)
+    drainer = TEMPLATES_BY_NAME["approval_drainer"].generate(rng)
+
+    print("\n-- scanning a benign ERC-20 token --")
+    print(detector.scan("0x" + benign.hex(), sample_id="erc20-token").format())
+
+    print("\n-- scanning a phishing approval drainer --")
+    print(detector.scan(drainer, sample_id="approval-drainer").format())
+
+
+if __name__ == "__main__":
+    main()

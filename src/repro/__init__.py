@@ -1,0 +1,45 @@
+"""ScamDetect reproduction: platform-agnostic smart-contract malware detection.
+
+The package reproduces the system envisioned by *"ScamDetect: Towards a
+Robust, Agnostic Framework to Uncover Threats in Smart Contracts"* (DSN-S
+2025) and the PhishingHook baseline it builds on:
+
+* :mod:`repro.evm`, :mod:`repro.wasm` -- platform substrates (opcode models,
+  (dis)assemblers, CFG builders, synthetic contract templates).
+* :mod:`repro.ir` -- the shared platform-agnostic IR.
+* :mod:`repro.obfuscation` -- BOSC/BiAn/wasm-mutate-style obfuscators.
+* :mod:`repro.datasets`, :mod:`repro.features` -- corpus generation and
+  classical feature encodings.
+* :mod:`repro.autograd`, :mod:`repro.ml`, :mod:`repro.gnn` -- the learning
+  substrates (reverse-mode AD, classical classifiers, the five GNNs).
+* :mod:`repro.phishinghook` -- the 16-model baseline zoo.
+* :mod:`repro.core` -- the ScamDetect pipeline and :class:`ScamDetector` API.
+* :mod:`repro.evaluation` -- the E1-E7 experiment drivers and reporting.
+
+Quickstart::
+
+    from repro import ScamDetector
+    from repro.datasets import CorpusGenerator, GeneratorConfig, stratified_split
+
+    corpus = CorpusGenerator(GeneratorConfig(num_samples=300, seed=0)).generate()
+    train, test = stratified_split(corpus, test_fraction=0.3)
+    detector = ScamDetector().train(train)
+    print(detector.evaluate(test))
+    print(detector.scan(test[0].bytecode).format())
+"""
+
+from repro.core.config import ScamDetectConfig
+from repro.core.detector import ScamDetector
+from repro.core.pipeline import ScamDetectPipeline
+from repro.core.report import ScanSummary, VerdictReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScamDetector",
+    "ScamDetectConfig",
+    "ScamDetectPipeline",
+    "VerdictReport",
+    "ScanSummary",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""A small reverse-mode automatic-differentiation engine over NumPy.
+
+This is the substitution for PyTorch (see DESIGN.md): a vectorized
+micrograd-style ``Tensor`` with the operations required by the GNN layers
+(matrix products, broadcasting arithmetic, activations, softmax, reductions,
+concatenation), plus loss functions, parameter modules and optimizers.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.autograd.functional import (
+    relu,
+    leaky_relu,
+    sigmoid,
+    tanh,
+    softmax,
+    log_softmax,
+    cross_entropy,
+    binary_cross_entropy_with_logits,
+    dropout,
+)
+from repro.autograd.module import Module, Parameter, Linear, Sequential
+from repro.autograd.optim import SGD, Adam
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "dropout",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Sequential",
+    "SGD",
+    "Adam",
+]

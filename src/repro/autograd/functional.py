@@ -1,0 +1,89 @@
+"""Activation, normalization and loss functions over :class:`Tensor`."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.clip_min(0.0)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """Leaky ReLU (used by GAT attention scores)."""
+    positive = x.clip_min(0.0)
+    negative = (x - positive) * negative_slope
+    return positive + negative
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Numerically-stable logistic sigmoid."""
+    return 1.0 / ((-x).exp() + 1.0)
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    two_x = x * 2.0
+    exponential = two_x.exp()
+    return (exponential - 1.0) / (exponential + 1.0)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with max-shift stabilization."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exponentials = shifted.exp()
+    return exponentials / exponentials.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """log(softmax(x)) computed via the log-sum-exp trick."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    log_norm = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_norm
+
+
+def cross_entropy(logits: Tensor, targets: Union[np.ndarray, Sequence[int]],
+                  class_weights: Optional[np.ndarray] = None) -> Tensor:
+    """Mean cross-entropy between row logits and integer ``targets``.
+
+    Args:
+        logits: Tensor of shape (n_samples, n_classes).
+        targets: Integer class indices of length n_samples.
+        class_weights: Optional per-class weights (e.g. for imbalance).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    n_samples, n_classes = logits.shape
+    one_hot = np.zeros((n_samples, n_classes))
+    one_hot[np.arange(n_samples), targets] = 1.0
+    if class_weights is not None:
+        sample_weights = np.asarray(class_weights, dtype=np.float64)[targets]
+    else:
+        sample_weights = np.ones(n_samples)
+    sample_weights = sample_weights / sample_weights.sum()
+    log_probabilities = log_softmax(logits, axis=-1)
+    weighted = log_probabilities * Tensor(one_hot * sample_weights[:, None])
+    return -weighted.sum()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor,
+                                     targets: Union[np.ndarray, Sequence[float]]) -> Tensor:
+    """Mean BCE over raw logits (stable formulation)."""
+    targets_tensor = Tensor(np.asarray(targets, dtype=np.float64))
+    # max(x, 0) - x*y + log(1 + exp(-|x|))
+    absolute = logits.maximum(-logits)
+    loss = logits.clip_min(0.0) - logits * targets_tensor + ((-absolute).exp() + 1.0).log()
+    return loss.mean()
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or rate == 0."""
+    if not training or rate <= 0.0:
+        return x
+    mask = (rng.random(x.shape) >= rate).astype(np.float64) / (1.0 - rate)
+    return x * Tensor(mask)

@@ -1,0 +1,140 @@
+"""Parameter containers and basic neural-network modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always requires grad)."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with parameter discovery, train/eval mode and state dicts."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- parameter discovery ------------------------------------------------ #
+
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its sub-modules (depth-first)."""
+        found: List[Parameter] = []
+        seen: set = set()
+        for value in self.__dict__.values():
+            self._collect(value, found, seen)
+        return found
+
+    def _collect(self, value, found: List[Parameter], seen: set) -> None:
+        if isinstance(value, Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                found.append(value)
+        elif isinstance(value, Module):
+            for parameter in value.parameters():
+                if id(parameter) not in seen:
+                    seen.add(id(parameter))
+                    found.append(parameter)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._collect(item, found, seen)
+        elif isinstance(value, dict):
+            for item in value.values():
+                self._collect(item, found, seen)
+
+    # -- modes ---------------------------------------------------------------- #
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    # -- gradients & state ----------------------------------------------------- #
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping parameter-index -> array copy (for persistence/tests)."""
+        return {f"param_{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        parameters = self.parameters()
+        if len(state) != len(parameters):
+            raise ValueError("state dict size does not match module parameters")
+        for index, parameter in enumerate(parameters):
+            value = state[f"param_{index}"]
+            if value.shape != parameter.data.shape:
+                raise ValueError("parameter shape mismatch in state dict")
+            parameter.data = value.copy()
+
+    # -- forward -------------------------------------------------------------- #
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract by convention
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+def glorot(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=tuple(shape))
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(glorot((in_features, out_features), rng), name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        output = x @ self.weight
+        if self.bias is not None:
+            output = output + self.bias
+        return output
+
+
+class Sequential(Module):
+    """Apply sub-modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x

@@ -1,0 +1,89 @@
+"""Optimizers for :class:`~repro.autograd.module.Parameter` collections."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer: holds parameters and clears gradients."""
+
+    def __init__(self, parameters: Sequence[Tensor]) -> None:
+        self.parameters = list(parameters)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract by convention
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters: Sequence[Tensor], learning_rate: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters)
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity = self._velocity.get(id(parameter))
+                if velocity is None:
+                    velocity = np.zeros_like(parameter.data)
+                velocity = self.momentum * velocity + gradient
+                self._velocity[id(parameter)] = velocity
+                gradient = velocity
+            parameter.data -= self.learning_rate * gradient
+
+
+class Adam(Optimizer):
+    """Adam with bias correction and optional weight decay."""
+
+    def __init__(self, parameters: Sequence[Tensor], learning_rate: float = 1e-2,
+                 betas: tuple = (0.9, 0.999), epsilon: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters)
+        self.learning_rate = learning_rate
+        self.beta1, self.beta2 = betas
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._step = 0
+
+    def step(self) -> None:
+        self._step += 1
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            key = id(parameter)
+            m = self._m.get(key)
+            v = self._v.get(key)
+            if m is None:
+                m = np.zeros_like(parameter.data)
+                v = np.zeros_like(parameter.data)
+            m = self.beta1 * m + (1 - self.beta1) * gradient
+            v = self.beta2 * v + (1 - self.beta2) * gradient ** 2
+            self._m[key] = m
+            self._v[key] = v
+            m_hat = m / (1 - self.beta1 ** self._step)
+            v_hat = v / (1 - self.beta2 ** self._step)
+            parameter.data -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

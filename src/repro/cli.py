@@ -1,0 +1,159 @@
+"""Command-line interface for the ScamDetect reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli corpus    --platform evm --num-samples 200
+    python -m repro.cli train     --model-path /tmp/scamdetect --num-samples 200
+    python -m repro.cli scan      --model-path /tmp/scamdetect --hex-file contract.hex
+    python -m repro.cli experiment --id E2
+
+The CLI is intentionally thin: every command maps onto one public-API call so
+scripts and notebooks can do the same thing programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.config import ScamDetectConfig
+from repro.core.detector import ScamDetector
+from repro.datasets.generator import CorpusGenerator, GeneratorConfig
+from repro.datasets.splits import stratified_split
+
+
+def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--platform", choices=("evm", "wasm"), default="evm")
+    parser.add_argument("--num-samples", type=int, default=200)
+    parser.add_argument("--malicious-fraction", type=float, default=0.5)
+    parser.add_argument("--label-noise", type=float, default=0.03)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _generator_config(args: argparse.Namespace) -> GeneratorConfig:
+    return GeneratorConfig(platform=args.platform, num_samples=args.num_samples,
+                           malicious_fraction=args.malicious_fraction,
+                           label_noise=args.label_noise, seed=args.seed)
+
+
+def _command_corpus(args: argparse.Namespace) -> int:
+    corpus = CorpusGenerator(_generator_config(args)).generate()
+    summary = corpus.summary()
+    print("generated corpus:")
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    print("family breakdown:")
+    for family, count in sorted(corpus.family_counts().items()):
+        print(f"  {family}: {count}")
+    return 0
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    corpus = CorpusGenerator(_generator_config(args)).generate()
+    train, test = stratified_split(corpus, test_fraction=args.test_fraction,
+                                   seed=args.seed)
+    config = ScamDetectConfig(architecture=args.architecture, epochs=args.epochs,
+                              readout=args.readout, seed=args.seed)
+    detector = ScamDetector(config).train(train)
+    metrics = detector.evaluate(test)
+    print("held-out metrics: "
+          + ", ".join(f"{name}={value:.3f}" for name, value in metrics.items()))
+    detector.save(args.model_path)
+    print(f"model saved to {args.model_path}.json / {args.model_path}.npz")
+    return 0
+
+
+def _read_code(args: argparse.Namespace) -> bytes:
+    if args.hex_file:
+        text = pathlib.Path(args.hex_file).read_text().strip()
+        if text.startswith(("0x", "0X")):
+            text = text[2:]
+        return bytes.fromhex(text)
+    if args.binary_file:
+        return pathlib.Path(args.binary_file).read_bytes()
+    raise SystemExit("scan requires --hex-file or --binary-file")
+
+
+def _command_scan(args: argparse.Namespace) -> int:
+    detector = ScamDetector.load(args.model_path, threshold=args.threshold)
+    code = _read_code(args)
+    report = detector.scan(code, platform=args.platform,
+                           sample_id=args.sample_id)
+    print(report.format())
+    return 1 if report.is_malicious else 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    from repro.evaluation import (
+        run_e1_phishinghook_zoo,
+        run_e2_obfuscation_degradation,
+        run_e3_gnn_vs_baseline,
+        run_e4_robustness_curve,
+        run_e5_cross_platform,
+        run_e6_dedup_ablation,
+        run_e7_gnn_ablation,
+    )
+
+    runners = {
+        "E1": run_e1_phishinghook_zoo,
+        "E2": run_e2_obfuscation_degradation,
+        "E3": run_e3_gnn_vs_baseline,
+        "E4": run_e4_robustness_curve,
+        "E5": run_e5_cross_platform,
+        "E6": run_e6_dedup_ablation,
+        "E7": run_e7_gnn_ablation,
+    }
+    result = runners[args.id.upper()]()
+    print(result.format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="scamdetect",
+        description="ScamDetect reproduction: corpora, training, scanning, experiments")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    corpus_parser = subparsers.add_parser("corpus", help="generate a synthetic corpus")
+    _add_corpus_arguments(corpus_parser)
+    corpus_parser.set_defaults(handler=_command_corpus)
+
+    train_parser = subparsers.add_parser("train", help="train and save a detector")
+    _add_corpus_arguments(train_parser)
+    train_parser.add_argument("--architecture", default="gcn",
+                              choices=("gcn", "gat", "gin", "tag", "graphsage"))
+    train_parser.add_argument("--readout", default="mean", choices=("mean", "sum", "max"))
+    train_parser.add_argument("--epochs", type=int, default=30)
+    train_parser.add_argument("--test-fraction", type=float, default=0.3)
+    train_parser.add_argument("--model-path", required=True)
+    train_parser.set_defaults(handler=_command_train)
+
+    scan_parser = subparsers.add_parser("scan", help="scan a contract with a saved model")
+    scan_parser.add_argument("--model-path", required=True)
+    scan_parser.add_argument("--hex-file", help="file containing hex bytecode")
+    scan_parser.add_argument("--binary-file", help="file containing raw binary code")
+    scan_parser.add_argument("--platform", choices=("evm", "wasm"), default=None)
+    scan_parser.add_argument("--threshold", type=float, default=0.5)
+    scan_parser.add_argument("--sample-id", default="contract")
+    scan_parser.set_defaults(handler=_command_scan)
+
+    experiment_parser = subparsers.add_parser("experiment",
+                                              help="run one E1-E7 experiment")
+    experiment_parser.add_argument("--id", required=True,
+                                   choices=[f"E{i}" for i in range(1, 8)])
+    experiment_parser.set_defaults(handler=_command_experiment)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

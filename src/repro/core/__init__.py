@@ -1,0 +1,46 @@
+"""ScamDetect core: the platform-agnostic detection pipeline and public API.
+
+The core package ties the substrates together:
+
+* :mod:`repro.core.frontends` -- platform frontends (EVM, WASM) and platform
+  sniffing, all lowering into the shared IR.
+* :mod:`repro.core.config` -- pipeline configuration.
+* :mod:`repro.core.pipeline` -- the trainable bytecode -> CFG -> GNN pipeline.
+* :mod:`repro.core.detector` -- the high-level :class:`ScamDetector` API
+  (train / scan / scan_batch / save-load of verdict reports).
+* :mod:`repro.core.report` -- verdict report structures.
+"""
+
+from repro.core.frontends import (
+    PlatformFrontend,
+    EVMFrontend,
+    WasmFrontend,
+    get_frontend,
+    detect_platform,
+    FRONTEND_REGISTRY,
+)
+from repro.core.config import ScamDetectConfig
+from repro.core.pipeline import ScamDetectPipeline
+from repro.core.report import VerdictReport, ScanSummary
+from repro.core.detector import ScamDetector
+from repro.core.indicators import Indicator, extract_indicators, format_indicators
+from repro.core.persistence import load_pipeline, save_pipeline
+
+__all__ = [
+    "PlatformFrontend",
+    "EVMFrontend",
+    "WasmFrontend",
+    "get_frontend",
+    "detect_platform",
+    "FRONTEND_REGISTRY",
+    "ScamDetectConfig",
+    "ScamDetectPipeline",
+    "VerdictReport",
+    "ScanSummary",
+    "ScamDetector",
+    "Indicator",
+    "extract_indicators",
+    "format_indicators",
+    "save_pipeline",
+    "load_pipeline",
+]

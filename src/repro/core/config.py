@@ -1,0 +1,78 @@
+"""Configuration of the ScamDetect pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+from repro.gnn.model import GNN_ARCHITECTURES
+from repro.gnn.pooling import READOUTS
+
+
+@dataclass
+class ScamDetectConfig:
+    """Hyper-parameters of the detection pipeline.
+
+    Attributes:
+        architecture: GNN architecture ("gcn", "gat", "gin", "tag",
+            "graphsage").
+        hidden_features: Hidden width of every convolution layer.
+        num_layers: Number of convolution layers.
+        readout: Graph readout ("mean", "sum", "max").
+        dropout: Dropout applied to the graph embedding during training.
+        epochs: Training epochs.
+        learning_rate: Adam step size.
+        batch_size: Graphs per optimizer step.
+        weight_decay: L2 penalty.
+        node_feature_mode: Category encoding of CFG node features
+            ("presence", "fraction" or "count").
+        include_marker_features: Include the security-marker presence bits
+            (ORIGIN, DELEGATECALL, SELFDESTRUCT, ...) in node features.
+        include_structural_features: Include the structural node-feature
+            columns (entry/exit flags, degrees) alongside category histograms.
+        max_nodes: Upper bound on CFG size (larger graphs are truncated).
+        seed: Seed for parameter init and shuffling.
+    """
+
+    architecture: str = "gcn"
+    hidden_features: int = 32
+    num_layers: int = 2
+    readout: str = "mean"
+    dropout: float = 0.1
+    epochs: int = 40
+    learning_rate: float = 5e-3
+    batch_size: int = 16
+    weight_decay: float = 1e-4
+    node_feature_mode: str = "presence"
+    include_marker_features: bool = True
+    include_structural_features: bool = True
+    max_nodes: Optional[int] = 512
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Raise ValueError on out-of-range settings."""
+        if self.architecture.lower() not in GNN_ARCHITECTURES:
+            raise ValueError(f"unknown architecture {self.architecture!r}; "
+                             f"choose from {GNN_ARCHITECTURES}")
+        if self.readout not in READOUTS:
+            raise ValueError(f"unknown readout {self.readout!r}; choose from {READOUTS}")
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.node_feature_mode not in ("presence", "fraction", "count"):
+            raise ValueError(f"unknown node_feature_mode {self.node_feature_mode!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, values: Dict[str, object]) -> "ScamDetectConfig":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        config = cls(**{k: v for k, v in values.items() if k in known})
+        config.validate()
+        return config

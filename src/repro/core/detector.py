@@ -1,0 +1,140 @@
+"""High-level ScamDetect API: train once, scan contracts, get verdict reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.config import ScamDetectConfig
+from repro.core.frontends import get_frontend
+from repro.core.indicators import extract_indicators, format_indicators
+from repro.core.pipeline import ScamDetectPipeline
+from repro.core.report import ScanSummary, VerdictReport
+from repro.datasets.corpus import Corpus
+from repro.evm.contracts import is_minimal_proxy
+
+BytecodeLike = Union[bytes, bytearray, str]
+
+
+def _to_bytes(code: BytecodeLike) -> bytes:
+    if isinstance(code, (bytes, bytearray)):
+        return bytes(code)
+    text = code.strip()
+    if text.startswith(("0x", "0X")):
+        text = text[2:]
+    return bytes.fromhex(text)
+
+
+class ScamDetector:
+    """The user-facing detector.
+
+    Typical usage::
+
+        detector = ScamDetector()
+        detector.train(training_corpus)
+        report = detector.scan(bytecode)         # platform sniffed automatically
+        if report.is_malicious:
+            print(report.format())
+
+    Args:
+        config: Pipeline configuration; defaults train a 2-layer GCN.
+        threshold: Probability above which a contract is flagged malicious.
+    """
+
+    def __init__(self, config: Optional[ScamDetectConfig] = None,
+                 threshold: float = 0.5, explain: bool = True) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.config = config or ScamDetectConfig()
+        self.threshold = threshold
+        self.explain = explain
+        self.pipeline = ScamDetectPipeline(self.config)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_trained(self) -> bool:
+        return self.pipeline.is_fitted
+
+    def train(self, corpus: Corpus,
+              validation_corpus: Optional[Corpus] = None) -> "ScamDetector":
+        """Train the underlying pipeline on a labelled corpus."""
+        self.pipeline.fit(corpus, validation_corpus=validation_corpus)
+        return self
+
+    def evaluate(self, corpus: Corpus) -> Dict[str, float]:
+        """Headline metrics on a labelled corpus."""
+        return self.pipeline.evaluate(corpus)
+
+    # ------------------------------------------------------------------ #
+
+    def scan(self, code: BytecodeLike, platform: Optional[str] = None,
+             sample_id: str = "contract") -> VerdictReport:
+        """Scan a single contract and return a :class:`VerdictReport`.
+
+        Args:
+            code: Raw bytecode (bytes or hex string).
+            platform: "evm" or "wasm"; sniffed from the code when omitted.
+            sample_id: Identifier echoed into the report.
+        """
+        if not self.is_trained:
+            raise RuntimeError("ScamDetector.scan called before train()")
+        raw = _to_bytes(code)
+        label, probability, graph, resolved_platform = self.pipeline.predict_bytecode(
+            raw, platform)
+        label = 1 if probability >= self.threshold else 0
+        notes: List[str] = []
+        if self.explain:
+            cfg = get_frontend(resolved_platform).build_cfg(raw, name=sample_id)
+            notes.extend(format_indicators(extract_indicators(cfg)))
+        if resolved_platform == "evm" and is_minimal_proxy(raw):
+            notes.append("ERC-1167 minimal proxy: verdict reflects the proxy stub, "
+                         "scan the implementation contract for a definitive answer")
+        if graph.num_nodes >= (self.config.max_nodes or 512):
+            notes.append("CFG truncated to max_nodes; consider raising "
+                         "ScamDetectConfig.max_nodes for very large contracts")
+        return VerdictReport(
+            sample_id=sample_id,
+            platform=resolved_platform,
+            label=label,
+            malicious_probability=probability,
+            cfg_blocks=graph.num_nodes,
+            cfg_edges=int(graph.adjacency.sum() - graph.num_nodes),
+            num_instructions=len(raw),
+            model=self.pipeline.describe(),
+            notes=notes)
+
+    def scan_batch(self, codes: Iterable[BytecodeLike],
+                   platform: Optional[str] = None,
+                   sample_ids: Optional[Sequence[str]] = None) -> ScanSummary:
+        """Scan many contracts and return an aggregate :class:`ScanSummary`."""
+        summary = ScanSummary()
+        for index, code in enumerate(codes):
+            sample_id = (sample_ids[index] if sample_ids is not None
+                         else f"contract-{index:04d}")
+            summary.reports.append(self.scan(code, platform=platform,
+                                             sample_id=sample_id))
+        return summary
+
+    def save(self, path) -> None:
+        """Persist the trained pipeline to ``path`` (.json + .npz pair)."""
+        from repro.core.persistence import save_pipeline
+
+        save_pipeline(self.pipeline, path)
+
+    @classmethod
+    def load(cls, path, threshold: float = 0.5, explain: bool = True) -> "ScamDetector":
+        """Load a detector previously written by :meth:`save`."""
+        from repro.core.persistence import load_pipeline
+
+        pipeline = load_pipeline(path)
+        detector = cls(pipeline.config, threshold=threshold, explain=explain)
+        detector.pipeline = pipeline
+        return detector
+
+    def scan_corpus(self, corpus: Corpus) -> ScanSummary:
+        """Scan every sample of a corpus (labels in the corpus are ignored)."""
+        summary = ScanSummary()
+        for sample in corpus:
+            summary.reports.append(self.scan(sample.bytecode, platform=sample.platform,
+                                             sample_id=sample.sample_id))
+        return summary

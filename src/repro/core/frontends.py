@@ -1,0 +1,118 @@
+"""Platform frontends: the seam that makes ScamDetect platform-agnostic.
+
+A frontend knows how to turn raw contract code of one platform into the
+shared IR views the rest of the pipeline consumes (control-flow graph and
+normalized opcode sequence).  Adding a new platform means adding a frontend
+here -- nothing downstream changes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Union
+
+from repro.evm.cfg_builder import build_cfg as build_evm_cfg
+from repro.evm.disassembler import disassemble_to_ir as evm_disassemble_to_ir
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.instruction import IRInstruction
+from repro.wasm.cfg_builder import build_cfg as build_wasm_cfg
+from repro.wasm.encoder import MAGIC as WASM_MAGIC
+from repro.wasm.parser import parse_module
+
+
+class PlatformFrontend(abc.ABC):
+    """Lowers one platform's contract code into the shared IR."""
+
+    #: Platform identifier ("evm", "wasm", ...).
+    name: str = ""
+
+    @abc.abstractmethod
+    def build_cfg(self, code: bytes, name: str = "") -> ControlFlowGraph:
+        """Build the control-flow graph of ``code``."""
+
+    @abc.abstractmethod
+    def lower(self, code: bytes) -> List[IRInstruction]:
+        """Lower ``code`` into a flat list of IR instructions."""
+
+    @abc.abstractmethod
+    def sniff(self, code: bytes) -> bool:
+        """Return True if ``code`` plausibly belongs to this platform."""
+
+
+class EVMFrontend(PlatformFrontend):
+    """Frontend for Ethereum Virtual Machine runtime bytecode."""
+
+    name = "evm"
+
+    def build_cfg(self, code: bytes, name: str = "") -> ControlFlowGraph:
+        return build_evm_cfg(code, name=name)
+
+    def lower(self, code: bytes) -> List[IRInstruction]:
+        return evm_disassemble_to_ir(code)
+
+    def sniff(self, code: bytes) -> bool:
+        # EVM runtime code has no magic header; accept anything that is not
+        # recognisably WASM and decodes to at least one instruction.
+        return bool(code) and not code.startswith(WASM_MAGIC)
+
+
+class WasmFrontend(PlatformFrontend):
+    """Frontend for WebAssembly contract modules."""
+
+    name = "wasm"
+
+    def build_cfg(self, code: bytes, name: str = "") -> ControlFlowGraph:
+        return build_wasm_cfg(code, name=name)
+
+    def lower(self, code: bytes) -> List[IRInstruction]:
+        module = parse_module(code)
+        instructions: List[IRInstruction] = []
+        offset = 0
+        for function in module.functions:
+            for entry in function.body:
+                instructions.append(IRInstruction(
+                    offset=offset, mnemonic=entry.name,
+                    category=entry.opcode.category,
+                    operand=entry.operands[0] if entry.operands else None,
+                    platform="wasm"))
+                offset += 1
+        return instructions
+
+    def sniff(self, code: bytes) -> bool:
+        return code.startswith(WASM_MAGIC)
+
+
+#: Registered frontends keyed by platform name.
+FRONTEND_REGISTRY: Dict[str, PlatformFrontend] = {
+    "evm": EVMFrontend(),
+    "wasm": WasmFrontend(),
+}
+
+
+def get_frontend(platform: str) -> PlatformFrontend:
+    """Return the frontend for ``platform``; raises KeyError if unknown."""
+    try:
+        return FRONTEND_REGISTRY[platform.lower()]
+    except KeyError:
+        raise KeyError(f"no frontend registered for platform {platform!r}; "
+                       f"known platforms: {sorted(FRONTEND_REGISTRY)}") from None
+
+
+def detect_platform(code: Union[bytes, bytearray, str]) -> str:
+    """Best-effort platform sniffing for raw contract code.
+
+    WASM modules are identified by their magic header; everything else is
+    treated as EVM runtime bytecode (hex strings are accepted).
+    """
+    if isinstance(code, str):
+        text = code.strip()
+        if text.startswith(("0x", "0X")):
+            text = text[2:]
+        try:
+            code = bytes.fromhex(text)
+        except ValueError:
+            raise ValueError("string input must be hex-encoded bytecode") from None
+    code = bytes(code)
+    if FRONTEND_REGISTRY["wasm"].sniff(code):
+        return "wasm"
+    return "evm"

@@ -1,0 +1,111 @@
+"""Human-readable risk indicators extracted from a contract's CFG.
+
+The GNN produces a probability; analysts also want to know *why* a contract
+looks suspicious.  The indicator rules below are deterministic CFG-level
+checks over the same semantic markers the GNN consumes (tx.origin gating,
+unguarded delegatecall targets, self-destruct paths, external calls inside
+loops, ...), so every verdict report can carry an explanation that a human
+can verify directly in the disassembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Set
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.cfg import ControlFlowGraph
+
+
+@dataclass(frozen=True)
+class Indicator:
+    """One triggered risk indicator.
+
+    Attributes:
+        name: Stable identifier, e.g. ``"origin-gated-control-flow"``.
+        severity: ``"info"``, ``"warning"`` or ``"critical"``.
+        description: One-line human explanation.
+    """
+
+    name: str
+    severity: str
+    description: str
+
+
+def _block_mnemonics(block: BasicBlock) -> Set[str]:
+    return set(block.mnemonics())
+
+
+def _blocks_with(cfg: ControlFlowGraph, mnemonics: Set[str]) -> List[BasicBlock]:
+    return [block for block in cfg.blocks if _block_mnemonics(block) & mnemonics]
+
+
+def _is_in_loop(cfg: ControlFlowGraph, block_id: int) -> bool:
+    """True if ``block_id`` can reach itself (member of a cycle)."""
+    return block_id in cfg.reachable_blocks(start=block_id) and any(
+        block_id in cfg.reachable_blocks(start=successor)
+        for successor in cfg.successors(block_id))
+
+
+def extract_indicators(cfg: ControlFlowGraph) -> List[Indicator]:
+    """Run every indicator rule over ``cfg`` and return the triggered ones."""
+    indicators: List[Indicator] = []
+
+    origin_blocks = _blocks_with(cfg, {"ORIGIN"})
+    if origin_blocks:
+        indicators.append(Indicator(
+            name="origin-gated-control-flow", severity="warning",
+            description=f"tx.origin is read in {len(origin_blocks)} basic block(s); "
+                        "origin-based authentication is a common drainer-kit pattern"))
+
+    delegate_blocks = _blocks_with(cfg, {"DELEGATECALL", "CALLCODE", "call_indirect"})
+    storage_write_blocks = {b.block_id for b in _blocks_with(cfg, {"SSTORE", "global.set"})}
+    if delegate_blocks:
+        severity = "critical" if storage_write_blocks else "warning"
+        indicators.append(Indicator(
+            name="delegated-execution", severity=severity,
+            description=f"{len(delegate_blocks)} basic block(s) transfer execution to "
+                        "another code object (DELEGATECALL / call_indirect); combined "
+                        "with writable target storage this is a backdoor primitive"))
+
+    selfdestruct_blocks = _blocks_with(cfg, {"SELFDESTRUCT"})
+    if selfdestruct_blocks:
+        indicators.append(Indicator(
+            name="self-destruct-path", severity="critical",
+            description="a reachable SELFDESTRUCT path can sweep the contract balance "
+                        "and erase the code"))
+
+    call_blocks = _blocks_with(cfg, {"CALL", "STATICCALL", "call"})
+    looped_calls = [block for block in call_blocks if _is_in_loop(cfg, block.block_id)]
+    if looped_calls:
+        indicators.append(Indicator(
+            name="external-call-in-loop", severity="warning",
+            description=f"{len(looped_calls)} basic block(s) issue external calls inside "
+                        "a loop, the shape of allowance-sweeping and ponzi payout code"))
+
+    balance_blocks = _blocks_with(cfg, {"SELFBALANCE", "BALANCE"})
+    if balance_blocks and call_blocks:
+        indicators.append(Indicator(
+            name="balance-probe-before-transfer", severity="info",
+            description="the contract inspects balances and issues external calls; "
+                        "benign for vaults, noteworthy combined with other indicators"))
+
+    caller_blocks = _blocks_with(cfg, {"CALLER"})
+    if storage_write_blocks and not caller_blocks and cfg.platform == "evm":
+        indicators.append(Indicator(
+            name="unguarded-storage-write", severity="warning",
+            description="storage is written but msg.sender is never read: state-changing "
+                        "entry points appear to lack access control"))
+
+    if not indicators:
+        indicators.append(Indicator(
+            name="no-structural-indicators", severity="info",
+            description="no structural risk indicators fired; verdict rests on the "
+                        "learned model only"))
+    return indicators
+
+
+def format_indicators(indicators: List[Indicator]) -> List[str]:
+    """Render indicators as short strings for verdict-report notes."""
+    return [f"[{indicator.severity}] {indicator.name}: {indicator.description}"
+            for indicator in indicators]

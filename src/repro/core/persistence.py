@@ -1,0 +1,88 @@
+"""Saving and loading trained ScamDetect pipelines.
+
+A trained pipeline is persisted as two files next to each other:
+
+* ``<path>.json`` -- the :class:`ScamDetectConfig` plus format metadata,
+* ``<path>.npz`` -- the model's parameter arrays (the autograd state dict).
+
+Only configuration and numeric arrays are stored -- no pickled code objects --
+so model files are safe to exchange between analysts.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.core.config import ScamDetectConfig
+from repro.core.pipeline import ScamDetectPipeline
+from repro.datasets.corpus import Corpus
+from repro.gnn.training import GNNTrainer
+from repro.gnn.model import GraphClassifier
+
+#: Bumped whenever the on-disk layout changes.
+FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+class PersistenceError(RuntimeError):
+    """Raised when a model file cannot be written or read back."""
+
+
+def _paths(path: PathLike) -> tuple:
+    base = pathlib.Path(path)
+    if base.suffix in (".json", ".npz"):
+        base = base.with_suffix("")
+    return base.with_suffix(".json"), base.with_suffix(".npz")
+
+
+def save_pipeline(pipeline: ScamDetectPipeline, path: PathLike) -> pathlib.Path:
+    """Persist a fitted pipeline; returns the path of the JSON metadata file."""
+    if not pipeline.is_fitted:
+        raise PersistenceError("cannot save an unfitted pipeline")
+    json_path, npz_path = _paths(path)
+    metadata = {
+        "format_version": FORMAT_VERSION,
+        "config": pipeline.config.to_dict(),
+        "description": pipeline.describe(),
+    }
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    with json_path.open("w") as handle:
+        json.dump(metadata, handle, indent=2, sort_keys=True)
+    np.savez(npz_path, **pipeline.model.state_dict())
+    return json_path
+
+
+def load_pipeline(path: PathLike) -> ScamDetectPipeline:
+    """Load a pipeline previously written by :func:`save_pipeline`."""
+    json_path, npz_path = _paths(path)
+    if not json_path.exists() or not npz_path.exists():
+        raise PersistenceError(f"model files not found at {json_path} / {npz_path}")
+    with json_path.open() as handle:
+        metadata = json.load(handle)
+    if metadata.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported model format version {metadata.get('format_version')!r}")
+    config = ScamDetectConfig.from_dict(metadata["config"])
+
+    pipeline = ScamDetectPipeline(config)
+    model = GraphClassifier(
+        architecture=config.architecture,
+        in_features=pipeline._node_feature_dim(),
+        hidden_features=config.hidden_features,
+        num_layers=config.num_layers,
+        readout_kind=config.readout,
+        dropout_rate=config.dropout,
+        seed=config.seed)
+    with np.load(npz_path) as arrays:
+        model.load_state_dict({key: arrays[key] for key in arrays.files})
+
+    pipeline._model = model
+    pipeline._trainer = GNNTrainer(model, learning_rate=config.learning_rate,
+                                   epochs=config.epochs, batch_size=config.batch_size,
+                                   weight_decay=config.weight_decay, seed=config.seed)
+    return pipeline

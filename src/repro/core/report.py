@@ -1,0 +1,97 @@
+"""Verdict reports produced by the detector."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.datasets.labels import LABEL_NAMES
+
+
+@dataclass
+class VerdictReport:
+    """The detector's verdict on a single contract.
+
+    Attributes:
+        sample_id: Identifier supplied by the caller (or auto-generated).
+        platform: Detected or supplied platform.
+        label: Predicted label (0 benign / 1 malicious).
+        malicious_probability: Model probability of the malicious class.
+        cfg_blocks: Number of basic blocks in the analysed CFG.
+        cfg_edges: Number of CFG edges.
+        num_instructions: Number of decoded instructions.
+        model: Description of the model that produced the verdict.
+        notes: Free-form analyst notes (e.g. indicators that fired).
+    """
+
+    sample_id: str
+    platform: str
+    label: int
+    malicious_probability: float
+    cfg_blocks: int = 0
+    cfg_edges: int = 0
+    num_instructions: int = 0
+    model: str = ""
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def verdict(self) -> str:
+        """Human-readable verdict string."""
+        return LABEL_NAMES.get(self.label, str(self.label))
+
+    @property
+    def is_malicious(self) -> bool:
+        return self.label == 1
+
+    def to_dict(self) -> Dict[str, object]:
+        result = asdict(self)
+        result["verdict"] = self.verdict
+        return result
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def format(self) -> str:
+        """Short single-contract report used by the examples."""
+        lines = [
+            f"contract {self.sample_id} [{self.platform}]",
+            f"  verdict:     {self.verdict} "
+            f"(p_malicious={self.malicious_probability:.3f})",
+            f"  cfg:         {self.cfg_blocks} blocks, {self.cfg_edges} edges, "
+            f"{self.num_instructions} instructions",
+            f"  model:       {self.model}",
+        ]
+        for note in self.notes:
+            lines.append(f"  note:        {note}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ScanSummary:
+    """Aggregate of a batch scan."""
+
+    reports: List[VerdictReport] = field(default_factory=list)
+
+    @property
+    def num_scanned(self) -> int:
+        return len(self.reports)
+
+    @property
+    def num_malicious(self) -> int:
+        return sum(1 for report in self.reports if report.is_malicious)
+
+    @property
+    def num_benign(self) -> int:
+        return self.num_scanned - self.num_malicious
+
+    def malicious_reports(self) -> List[VerdictReport]:
+        return [report for report in self.reports if report.is_malicious]
+
+    def format(self) -> str:
+        lines = [f"scanned {self.num_scanned} contracts: "
+                 f"{self.num_malicious} malicious, {self.num_benign} benign"]
+        for report in self.malicious_reports():
+            lines.append(f"  - {report.sample_id} [{report.platform}] "
+                         f"p={report.malicious_probability:.3f}")
+        return "\n".join(lines)

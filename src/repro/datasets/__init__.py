@@ -1,0 +1,30 @@
+"""Dataset substrate: synthetic corpus generation, dedup, splits.
+
+Stands in for the Etherscan-scraped, ChainAbuse-labelled corpora used by
+PhishingHook/ScamDetect (see DESIGN.md substitution table).  The corpus
+generator draws randomized samples from the EVM and WASM contract template
+families, optionally injects ERC-1167 proxy duplicates and label noise, and
+can pre-obfuscate samples at a chosen intensity.
+"""
+
+from repro.datasets.labels import BENIGN, MALICIOUS, LABEL_NAMES, FamilyInfo, FAMILY_CATALOG
+from repro.datasets.corpus import ContractSample, Corpus
+from repro.datasets.generator import CorpusGenerator, GeneratorConfig
+from repro.datasets.dedup import deduplicate, bytecode_fingerprint
+from repro.datasets.splits import stratified_split, k_fold_indices
+
+__all__ = [
+    "BENIGN",
+    "MALICIOUS",
+    "LABEL_NAMES",
+    "FamilyInfo",
+    "FAMILY_CATALOG",
+    "ContractSample",
+    "Corpus",
+    "CorpusGenerator",
+    "GeneratorConfig",
+    "deduplicate",
+    "bytecode_fingerprint",
+    "stratified_split",
+    "k_fold_indices",
+]

@@ -1,0 +1,148 @@
+"""Contract corpus container."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.datasets.labels import BENIGN, LABEL_NAMES, MALICIOUS
+
+
+@dataclass(frozen=True)
+class ContractSample:
+    """One contract in the corpus.
+
+    Attributes:
+        sample_id: Unique identifier within the corpus.
+        platform: "evm" or "wasm".
+        bytecode: Runtime bytecode (EVM) or binary module (WASM).
+        label: Ground-truth label (0 benign / 1 malicious); may be flipped by
+            injected label noise -- ``true_label`` keeps the clean value.
+        family: Generating template family name.
+        obfuscated: Whether the sample was passed through an obfuscator.
+        obfuscation_intensity: The intensity used (0.0 when not obfuscated).
+        is_proxy_duplicate: True for injected ERC-1167 proxy duplicates.
+        true_label: The label before any injected label noise.
+    """
+
+    sample_id: str
+    platform: str
+    bytecode: bytes
+    label: int
+    family: str
+    obfuscated: bool = False
+    obfuscation_intensity: float = 0.0
+    is_proxy_duplicate: bool = False
+    true_label: Optional[int] = None
+
+    @property
+    def clean_label(self) -> int:
+        """Label before noise injection (falls back to ``label``)."""
+        return self.label if self.true_label is None else self.true_label
+
+    @property
+    def size(self) -> int:
+        return len(self.bytecode)
+
+    def sha256(self) -> str:
+        return hashlib.sha256(self.bytecode).hexdigest()
+
+    def with_bytecode(self, bytecode: bytes, obfuscated: bool = True,
+                      intensity: float = 0.0) -> "ContractSample":
+        """Copy of the sample with replaced bytecode (used by obfuscation)."""
+        return replace(self, bytecode=bytecode, obfuscated=obfuscated,
+                       obfuscation_intensity=intensity)
+
+
+class Corpus:
+    """An ordered collection of :class:`ContractSample` with filtering helpers."""
+
+    def __init__(self, samples: Optional[Iterable[ContractSample]] = None,
+                 name: str = "corpus") -> None:
+        self.name = name
+        self._samples: List[ContractSample] = list(samples or [])
+
+    # -- container protocol ------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[ContractSample]:
+        return iter(self._samples)
+
+    def __getitem__(self, index: int) -> ContractSample:
+        return self._samples[index]
+
+    def add(self, sample: ContractSample) -> None:
+        self._samples.append(sample)
+
+    @property
+    def samples(self) -> List[ContractSample]:
+        return list(self._samples)
+
+    # -- views -------------------------------------------------------------- #
+
+    def labels(self) -> List[int]:
+        return [s.label for s in self._samples]
+
+    def bytecodes(self) -> List[bytes]:
+        return [s.bytecode for s in self._samples]
+
+    def filter(self, predicate: Callable[[ContractSample], bool],
+               name: Optional[str] = None) -> "Corpus":
+        return Corpus((s for s in self._samples if predicate(s)),
+                      name=name or self.name)
+
+    def by_platform(self, platform: str) -> "Corpus":
+        return self.filter(lambda s: s.platform == platform,
+                           name=f"{self.name}:{platform}")
+
+    def by_label(self, label: int) -> "Corpus":
+        return self.filter(lambda s: s.label == label,
+                           name=f"{self.name}:{LABEL_NAMES.get(label, label)}")
+
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "Corpus":
+        return Corpus((self._samples[i] for i in indices), name=name or self.name)
+
+    def map_bytecode(self, transform: Callable[[ContractSample], bytes],
+                     obfuscated: bool = True, intensity: float = 0.0,
+                     name: Optional[str] = None) -> "Corpus":
+        """Apply ``transform`` to each sample's bytecode (e.g. an obfuscator)."""
+        return Corpus(
+            (s.with_bytecode(transform(s), obfuscated=obfuscated, intensity=intensity)
+             for s in self._samples),
+            name=name or f"{self.name}:transformed")
+
+    # -- statistics ---------------------------------------------------------- #
+
+    def class_balance(self) -> Dict[str, int]:
+        counts = {"benign": 0, "malicious": 0}
+        for sample in self._samples:
+            counts["malicious" if sample.label == MALICIOUS else "benign"] += 1
+        return counts
+
+    def family_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for sample in self._samples:
+            counts[sample.family] = counts.get(sample.family, 0) + 1
+        return counts
+
+    def summary(self) -> Dict[str, object]:
+        balance = self.class_balance()
+        sizes = [s.size for s in self._samples] or [0]
+        return {
+            "name": self.name,
+            "samples": len(self._samples),
+            "benign": balance["benign"],
+            "malicious": balance["malicious"],
+            "families": len(self.family_counts()),
+            "mean_size_bytes": sum(sizes) / max(len(sizes), 1),
+            "obfuscated": sum(1 for s in self._samples if s.obfuscated),
+            "proxy_duplicates": sum(1 for s in self._samples if s.is_proxy_duplicate),
+        }
+
+    def __repr__(self) -> str:
+        balance = self.class_balance()
+        return (f"Corpus({self.name!r}, n={len(self)}, "
+                f"benign={balance['benign']}, malicious={balance['malicious']})")

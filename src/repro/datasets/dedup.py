@@ -1,0 +1,59 @@
+"""Corpus deduplication (ERC-1167 proxy collapsing and exact-hash removal).
+
+The paper's Phase-1 plan calls out duplicate removal -- in particular
+ERC-1167 minimal proxies -- as a prerequisite for corpus diversity; the E6
+ablation measures what happens when this step is skipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Set, Tuple
+
+from repro.datasets.corpus import ContractSample, Corpus
+from repro.evm.contracts import is_minimal_proxy, proxy_implementation_address
+
+
+def bytecode_fingerprint(sample: ContractSample) -> str:
+    """Deduplication fingerprint of a sample.
+
+    ERC-1167 proxies collapse onto a fingerprint derived from their family
+    (all proxies of the same implementation behave identically); other
+    samples use the SHA-256 of their bytecode.
+    """
+    if sample.platform == "evm" and is_minimal_proxy(sample.bytecode):
+        return f"erc1167:{sample.family}:{sample.label}"
+    return hashlib.sha256(sample.bytecode).hexdigest()
+
+
+def deduplicate(corpus: Corpus, collapse_proxies: bool = True) -> Tuple[Corpus, Dict[str, int]]:
+    """Remove duplicate samples from ``corpus``.
+
+    Args:
+        corpus: The input corpus (not modified).
+        collapse_proxies: If True, all ERC-1167 proxies with the same family
+            and label collapse into a single representative; if False only
+            exact bytecode duplicates are removed.
+
+    Returns:
+        ``(deduplicated_corpus, stats)`` where ``stats`` counts the removals
+        per reason (``"exact"`` and ``"proxy"``).
+    """
+    seen: Set[str] = set()
+    kept: List[ContractSample] = []
+    stats = {"exact": 0, "proxy": 0}
+    for sample in corpus:
+        is_proxy = sample.platform == "evm" and is_minimal_proxy(sample.bytecode)
+        if is_proxy and collapse_proxies:
+            key = bytecode_fingerprint(sample)
+            if key in seen:
+                stats["proxy"] += 1
+                continue
+        else:
+            key = hashlib.sha256(sample.bytecode).hexdigest()
+            if key in seen:
+                stats["exact"] += 1
+                continue
+        seen.add(key)
+        kept.append(sample)
+    return Corpus(kept, name=f"{corpus.name}-dedup"), stats

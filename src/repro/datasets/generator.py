@@ -1,0 +1,166 @@
+"""Synthetic corpus generation.
+
+The generator draws randomized samples from the EVM/WASM template families
+and assembles them into a :class:`~repro.datasets.corpus.Corpus`.  Knobs:
+
+* class balance (fraction of malicious samples),
+* ERC-1167 proxy-duplicate injection (E6 dedup ablation),
+* label-noise injection (keeps headline accuracies realistic rather than
+  saturating at 100%),
+* per-sample obfuscation at a fixed or sampled intensity (E2-E4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.datasets.corpus import ContractSample, Corpus
+from repro.datasets.labels import BENIGN, MALICIOUS
+from repro.evm.contracts import ALL_TEMPLATES as EVM_TEMPLATES
+from repro.evm.contracts import ContractTemplate
+from repro.obfuscation.pipeline import obfuscate_sample
+from repro.wasm.contracts import WASM_ALL_TEMPLATES, WasmContractTemplate
+
+
+@dataclass
+class GeneratorConfig:
+    """Configuration of a corpus generation run.
+
+    Attributes:
+        platform: "evm" or "wasm".
+        num_samples: Number of contracts to generate (before proxy injection).
+        malicious_fraction: Target fraction of malicious samples.
+        proxy_duplicate_fraction: Fraction of *additional* samples that are
+            ERC-1167 minimal proxies duplicating an already-generated sample's
+            behaviour (EVM only; ignored for WASM).
+        label_noise: Probability that a sample's label is flipped, emulating
+            imperfect abuse-database ground truth.
+        obfuscation_intensity: If > 0, every sample is obfuscated at this
+            intensity.
+        obfuscated_fraction: Fraction of samples to obfuscate when
+            ``obfuscation_intensity`` > 0 (1.0 = all samples).
+        seed: RNG seed; generation is fully deterministic given the seed.
+    """
+
+    platform: str = "evm"
+    num_samples: int = 200
+    malicious_fraction: float = 0.5
+    proxy_duplicate_fraction: float = 0.0
+    label_noise: float = 0.03
+    obfuscation_intensity: float = 0.0
+    obfuscated_fraction: float = 1.0
+    seed: int = 0
+
+
+class CorpusGenerator:
+    """Generates labelled contract corpora from the template families."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None) -> None:
+        self.config = config or GeneratorConfig()
+        if self.config.platform not in ("evm", "wasm"):
+            raise ValueError(f"unknown platform {self.config.platform!r}")
+
+    # ------------------------------------------------------------------ #
+
+    def _templates(self, label: int) -> Sequence[object]:
+        if self.config.platform == "evm":
+            return [t for t in EVM_TEMPLATES if t.label == label]
+        return [t for t in WASM_ALL_TEMPLATES if t.label == label]
+
+    def generate(self, name: Optional[str] = None) -> Corpus:
+        """Generate a corpus according to the configuration."""
+        config = self.config
+        rng = random.Random(config.seed)
+        corpus = Corpus(name=name or f"{config.platform}-synthetic")
+
+        num_malicious = int(round(config.num_samples * config.malicious_fraction))
+        num_benign = config.num_samples - num_malicious
+        plan: List[int] = [MALICIOUS] * num_malicious + [BENIGN] * num_benign
+        rng.shuffle(plan)
+
+        for index, label in enumerate(plan):
+            template = rng.choice(list(self._templates(label)))
+            sample_rng = random.Random(rng.randrange(1 << 30))
+            bytecode = template.generate(sample_rng)
+
+            obfuscated = False
+            intensity = 0.0
+            if (config.obfuscation_intensity > 0.0
+                    and rng.random() < config.obfuscated_fraction):
+                intensity = config.obfuscation_intensity
+                bytecode = obfuscate_sample(bytecode, config.platform, intensity,
+                                            seed=rng.randrange(1 << 30))
+                obfuscated = True
+
+            observed_label = label
+            true_label = label
+            if config.label_noise > 0.0 and rng.random() < config.label_noise:
+                observed_label = 1 - label
+
+            corpus.add(ContractSample(
+                sample_id=f"{config.platform}-{index:05d}",
+                platform=config.platform,
+                bytecode=bytecode,
+                label=observed_label,
+                true_label=true_label,
+                family=template.name,
+                obfuscated=obfuscated,
+                obfuscation_intensity=intensity,
+            ))
+
+        self._inject_proxy_duplicates(corpus, rng)
+        return corpus
+
+    # ------------------------------------------------------------------ #
+
+    def _inject_proxy_duplicates(self, corpus: Corpus, rng: random.Random) -> None:
+        """Append duplicate deployments of existing samples (EVM only).
+
+        On public chains the same runtime bytecode is deployed over and over
+        (factory clones, ERC-1167 proxies pointing at one implementation).  A
+        duplicate shares its target's bytecode, label and family exactly, so
+        leaving duplicates in the corpus leaks training contracts into the
+        test split and inflates measured accuracy -- the effect the E6
+        ablation quantifies.  The stand-alone ERC-1167 stub builder lives in
+        :func:`repro.evm.contracts.make_minimal_proxy` and its collapse rule
+        in :mod:`repro.datasets.dedup`.
+        """
+        config = self.config
+        if config.platform != "evm" or config.proxy_duplicate_fraction <= 0.0:
+            return
+        base_samples = corpus.samples
+        if not base_samples:
+            return
+        num_duplicates = int(round(len(base_samples) * config.proxy_duplicate_fraction))
+        for index in range(num_duplicates):
+            target = rng.choice(base_samples)
+            corpus.add(ContractSample(
+                sample_id=f"evm-clone-{index:05d}",
+                platform="evm",
+                bytecode=target.bytecode,
+                label=target.label,
+                true_label=target.clean_label,
+                family=target.family,
+                is_proxy_duplicate=True,
+            ))
+
+
+def generate_paired_clean_and_obfuscated(config: GeneratorConfig,
+                                         intensity: float,
+                                         name: str = "paired") -> tuple[Corpus, Corpus]:
+    """Generate a clean corpus and its element-wise obfuscated counterpart.
+
+    Both corpora contain the same underlying contracts in the same order, so
+    clean-train / obfuscated-test experiments (E3, E4) measure robustness on
+    identical ground truth.
+    """
+    clean_config = GeneratorConfig(**{**config.__dict__, "obfuscation_intensity": 0.0})
+    clean = CorpusGenerator(clean_config).generate(name=f"{name}-clean")
+    rng = random.Random(config.seed + 7919)
+    obfuscated = clean.map_bytecode(
+        lambda sample: obfuscate_sample(sample.bytecode, sample.platform, intensity,
+                                        seed=rng.randrange(1 << 30)),
+        obfuscated=True, intensity=intensity, name=f"{name}-obfuscated")
+    return clean, obfuscated

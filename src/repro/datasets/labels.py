@@ -1,0 +1,80 @@
+"""Label taxonomy for the contract corpus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: Binary ground-truth labels used throughout the pipeline.
+BENIGN = 0
+MALICIOUS = 1
+
+LABEL_NAMES: Dict[int, str] = {BENIGN: "benign", MALICIOUS: "malicious"}
+
+
+@dataclass(frozen=True)
+class FamilyInfo:
+    """Metadata about one contract family.
+
+    Attributes:
+        name: Family identifier matching the template name.
+        label: BENIGN or MALICIOUS.
+        platform: "evm" or "wasm".
+        kind: Coarse behavioural kind ("token", "phishing", "honeypot", ...).
+        description: One-line human description used in reports.
+    """
+
+    name: str
+    label: int
+    platform: str
+    kind: str
+    description: str
+
+
+FAMILY_CATALOG: List[FamilyInfo] = [
+    # EVM benign
+    FamilyInfo("erc20_token", BENIGN, "evm", "token",
+               "Plain ERC-20 style fungible token"),
+    FamilyInfo("staking_vault", BENIGN, "evm", "defi",
+               "Staking vault with owner-managed reward rate"),
+    FamilyInfo("dex_pair", BENIGN, "evm", "defi",
+               "Constant-product AMM trading pair"),
+    FamilyInfo("airdrop_distributor", BENIGN, "evm", "distribution",
+               "Batched airdrop distributor with claim tracking"),
+    FamilyInfo("multisig_wallet", BENIGN, "evm", "wallet",
+               "Quorum-gated multi-signature wallet"),
+    # EVM malicious
+    FamilyInfo("approval_drainer", MALICIOUS, "evm", "phishing",
+               "Phishing approval drainer sweeping victim allowances"),
+    FamilyInfo("honeypot", MALICIOUS, "evm", "honeypot",
+               "Honeypot with an unsatisfiable payout condition"),
+    FamilyInfo("ponzi_scheme", MALICIOUS, "evm", "ponzi",
+               "Ponzi contract paying old investors from new deposits"),
+    FamilyInfo("rugpull_token", MALICIOUS, "evm", "rugpull",
+               "Token with hidden owner fee/mint/drain escape hatches"),
+    FamilyInfo("backdoor_proxy", MALICIOUS, "evm", "backdoor",
+               "Contract funnelling all calls through an unguarded delegatecall"),
+    # WASM benign
+    FamilyInfo("wasm_token", BENIGN, "wasm", "token",
+               "Fungible token (WASM runtime)"),
+    FamilyInfo("wasm_staking_vault", BENIGN, "wasm", "defi",
+               "Staking vault (WASM runtime)"),
+    FamilyInfo("wasm_registry", BENIGN, "wasm", "registry",
+               "Name/asset registry (WASM runtime)"),
+    # WASM malicious
+    FamilyInfo("wasm_drainer", MALICIOUS, "wasm", "phishing",
+               "Approval drainer (WASM runtime)"),
+    FamilyInfo("wasm_honeypot", MALICIOUS, "wasm", "honeypot",
+               "Honeypot (WASM runtime)"),
+    FamilyInfo("wasm_backdoor", MALICIOUS, "wasm", "backdoor",
+               "call_indirect backdoor (WASM runtime)"),
+    FamilyInfo("wasm_rugpull", MALICIOUS, "wasm", "rugpull",
+               "Rug-pull token (WASM runtime)"),
+]
+
+FAMILIES_BY_NAME: Dict[str, FamilyInfo] = {f.name: f for f in FAMILY_CATALOG}
+
+
+def family_label(name: str) -> int:
+    """Ground-truth label of a family; raises KeyError for unknown families."""
+    return FAMILIES_BY_NAME[name].label

@@ -1,0 +1,73 @@
+"""Stratified train/test splits and cross-validation folds."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datasets.corpus import Corpus
+
+
+def stratified_split(corpus: Corpus, test_fraction: float = 0.3,
+                     seed: int = 0) -> Tuple[Corpus, Corpus]:
+    """Split ``corpus`` into train/test with per-class proportions preserved.
+
+    Args:
+        corpus: The corpus to split.
+        test_fraction: Fraction of each class assigned to the test set.
+        seed: Shuffling seed.
+
+    Returns:
+        ``(train_corpus, test_corpus)``.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = random.Random(seed)
+    by_label: Dict[int, List[int]] = {}
+    for index, sample in enumerate(corpus):
+        by_label.setdefault(sample.label, []).append(index)
+
+    train_indices: List[int] = []
+    test_indices: List[int] = []
+    for label in sorted(by_label):
+        indices = by_label[label]
+        rng.shuffle(indices)
+        cut = max(1, int(round(len(indices) * test_fraction))) if len(indices) > 1 else 0
+        test_indices.extend(indices[:cut])
+        train_indices.extend(indices[cut:])
+    rng.shuffle(train_indices)
+    rng.shuffle(test_indices)
+    return (corpus.subset(train_indices, name=f"{corpus.name}-train"),
+            corpus.subset(test_indices, name=f"{corpus.name}-test"))
+
+
+def k_fold_indices(num_samples: int, labels: Sequence[int], k: int = 5,
+                   seed: int = 0) -> List[Tuple[List[int], List[int]]]:
+    """Stratified k-fold cross-validation index pairs.
+
+    Returns:
+        A list of ``k`` pairs ``(train_indices, test_indices)``; every sample
+        appears in exactly one test fold.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if num_samples != len(labels):
+        raise ValueError("labels length must match num_samples")
+    rng = random.Random(seed)
+    by_label: Dict[int, List[int]] = {}
+    for index, label in enumerate(labels):
+        by_label.setdefault(label, []).append(index)
+
+    folds: List[List[int]] = [[] for _ in range(k)]
+    for label in sorted(by_label):
+        indices = by_label[label]
+        rng.shuffle(indices)
+        for position, index in enumerate(indices):
+            folds[position % k].append(index)
+
+    result: List[Tuple[List[int], List[int]]] = []
+    for fold_index in range(k):
+        test = sorted(folds[fold_index])
+        train = sorted(i for j in range(k) if j != fold_index for i in folds[j])
+        result.append((train, test))
+    return result

@@ -1,0 +1,52 @@
+"""Evaluation harness: cross-validation, the E1-E7 experiments and reporting.
+
+Each experiment function reproduces one claim of the paper (see DESIGN.md's
+experiment index) and returns an :class:`~repro.evaluation.reporting.ExperimentResult`
+whose rows can be rendered as the corresponding table or figure with
+:func:`~repro.evaluation.reporting.format_table` /
+:func:`~repro.evaluation.reporting.format_series`.
+"""
+
+from repro.evaluation.reporting import (
+    ExperimentResult,
+    format_table,
+    format_series,
+)
+from repro.evaluation.crossval import cross_validate
+from repro.evaluation.experiments import (
+    E1Config,
+    E2Config,
+    E3Config,
+    E4Config,
+    E5Config,
+    E6Config,
+    E7Config,
+    run_e1_phishinghook_zoo,
+    run_e2_obfuscation_degradation,
+    run_e3_gnn_vs_baseline,
+    run_e4_robustness_curve,
+    run_e5_cross_platform,
+    run_e6_dedup_ablation,
+    run_e7_gnn_ablation,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "format_series",
+    "cross_validate",
+    "E1Config",
+    "E2Config",
+    "E3Config",
+    "E4Config",
+    "E5Config",
+    "E6Config",
+    "E7Config",
+    "run_e1_phishinghook_zoo",
+    "run_e2_obfuscation_degradation",
+    "run_e3_gnn_vs_baseline",
+    "run_e4_robustness_curve",
+    "run_e5_cross_platform",
+    "run_e6_dedup_ablation",
+    "run_e7_gnn_ablation",
+]

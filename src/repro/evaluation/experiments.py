@@ -1,0 +1,534 @@
+"""The E1-E7 experiment drivers (see DESIGN.md's experiment index).
+
+Each ``run_*`` function generates its workload, trains the relevant models
+and returns an :class:`~repro.evaluation.reporting.ExperimentResult`.  Default
+configurations are sized to complete on a laptop in minutes; the benchmark
+harness in ``benchmarks/`` calls these functions directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import ScamDetectConfig
+from repro.core.pipeline import ScamDetectPipeline
+from repro.datasets.corpus import Corpus
+from repro.datasets.dedup import deduplicate
+from repro.datasets.generator import CorpusGenerator, GeneratorConfig
+from repro.datasets.splits import stratified_split
+from repro.evaluation.reporting import ExperimentResult
+from repro.features.ngrams import NgramExtractor
+from repro.features.opcode_histogram import OpcodeHistogramExtractor
+from repro.gnn.model import GNN_ARCHITECTURES
+from repro.ml.metrics import accuracy_score, classification_summary, f1_score
+from repro.ml.random_forest import RandomForestClassifier
+from repro.obfuscation.evm_passes import (
+    ConstantBlinding,
+    ControlFlowFlattening,
+    DeadCodeInjection,
+    InstructionSubstitution,
+    JunkSelectorInsertion,
+    OpaquePredicateInsertion,
+)
+from repro.obfuscation.pipeline import EVMObfuscator, WasmObfuscator
+from repro.phishinghook.framework import PhishingHookFramework
+
+# Pass split used by the robustness experiments (E3/E4): detectors may be
+# hardened with *opcode-level* obfuscation seen at training time, while the
+# attacker deploys *structural* obfuscation the detector has never seen.
+TRAIN_TIME_PASSES = (InstructionSubstitution(), ConstantBlinding())
+UNSEEN_TEST_PASSES = (DeadCodeInjection(), OpaquePredicateInsertion(),
+                      ControlFlowFlattening(), JunkSelectorInsertion())
+
+
+# --------------------------------------------------------------------------- #
+# shared helpers
+
+
+def obfuscate_corpus(corpus: Corpus, intensity: float, seed: int,
+                     passes: Optional[Sequence] = None,
+                     platform: str = "evm") -> Corpus:
+    """Element-wise obfuscation of a corpus at ``intensity`` (labels preserved)."""
+    if intensity <= 0.0:
+        return corpus
+    rng = random.Random(seed)
+
+    def transform(sample):
+        if platform == "wasm" or sample.platform == "wasm":
+            obfuscator = WasmObfuscator(intensity=intensity,
+                                        seed=rng.randrange(1 << 30))
+        else:
+            obfuscator = EVMObfuscator(passes=passes, intensity=intensity,
+                                       seed=rng.randrange(1 << 30))
+        return obfuscator.obfuscate(sample.bytecode)
+
+    return corpus.map_bytecode(transform, obfuscated=True, intensity=intensity,
+                               name=f"{corpus.name}-obf{intensity:.2f}")
+
+
+def _histogram_rf_baseline(train: Corpus, seed: int = 0):
+    """Fit the strongest PhishingHook-style baseline (opcode histogram + RF)."""
+    extractor = OpcodeHistogramExtractor(vocabulary="mnemonic")
+    features = extractor.fit_transform(train)
+    classifier = RandomForestClassifier(n_estimators=40, random_state=seed)
+    classifier.fit(features, np.asarray(train.labels()))
+    return extractor, classifier
+
+
+def _ngram_rf_baseline(train: Corpus, seed: int = 0):
+    """Fit the opcode-bigram + random-forest baseline."""
+    extractor = NgramExtractor(n=2, top_k=192)
+    features = extractor.fit_transform(train)
+    classifier = RandomForestClassifier(n_estimators=40, random_state=seed)
+    classifier.fit(features, np.asarray(train.labels()))
+    return extractor, classifier
+
+
+def _baseline_accuracy(extractor, classifier, corpus: Corpus) -> float:
+    features = extractor.transform(corpus)
+    return accuracy_score(np.asarray(corpus.labels()), classifier.predict(features))
+
+
+def _fit_gnn(train: Corpus, architecture: str, epochs: int, seed: int,
+             readout: str = "max", num_layers: int = 2,
+             node_feature_mode: str = "presence",
+             include_markers: bool = True,
+             include_structural: bool = True) -> ScamDetectPipeline:
+    """Fit one ScamDetect GNN pipeline with the experiment conventions."""
+    config = ScamDetectConfig(architecture=architecture, epochs=epochs, seed=seed,
+                              readout=readout, num_layers=num_layers,
+                              node_feature_mode=node_feature_mode,
+                              include_marker_features=include_markers,
+                              include_structural_features=include_structural)
+    return ScamDetectPipeline(config).fit(train)
+
+
+def _augmented_training_corpus(train: Corpus, intensity: float, seed: int) -> Corpus:
+    """Training corpus hardened with train-time (opcode-level) obfuscation."""
+    augmented = obfuscate_corpus(train, intensity, seed, passes=TRAIN_TIME_PASSES)
+    return Corpus(list(train) + list(augmented), name=f"{train.name}-augmented")
+
+
+# --------------------------------------------------------------------------- #
+# E1: the PhishingHook 16-model zoo ("Table 1")
+
+
+@dataclass
+class E1Config:
+    """Workload of the E1 zoo benchmark."""
+
+    num_samples: int = 280
+    malicious_fraction: float = 0.5
+    label_noise: float = 0.05
+    folds: int = 5
+    seed: int = 0
+    entry_names: Optional[Sequence[str]] = None  # None = all 16 models
+
+
+def run_e1_phishinghook_zoo(config: Optional[E1Config] = None) -> ExperimentResult:
+    """E1: reproduce PhishingHook's ~90% average accuracy over the 16-model zoo."""
+    config = config or E1Config()
+    corpus = CorpusGenerator(GeneratorConfig(
+        platform="evm", num_samples=config.num_samples,
+        malicious_fraction=config.malicious_fraction,
+        label_noise=config.label_noise, seed=config.seed)).generate("e1-corpus")
+    framework = PhishingHookFramework(folds=config.folds, seed=config.seed)
+    evaluations = framework.evaluate(corpus, entry_names=config.entry_names)
+
+    result = ExperimentResult(
+        experiment_id="E1",
+        title="PhishingHook 16-model zoo, 5-fold CV on the EVM phishing corpus")
+    for evaluation in evaluations:
+        result.rows.append({
+            "model": evaluation.name,
+            "encoding": evaluation.encoding,
+            "accuracy": evaluation.mean_metrics["accuracy"],
+            "precision": evaluation.mean_metrics["precision"],
+            "recall": evaluation.mean_metrics["recall"],
+            "f1": evaluation.mean_metrics["f1"],
+            "roc_auc": evaluation.mean_metrics["roc_auc"],
+        })
+    accuracies = [row["accuracy"] for row in result.rows]
+    result.summary = {
+        "average_accuracy": float(np.mean(accuracies)) if accuracies else float("nan"),
+        "best_accuracy": float(np.max(accuracies)) if accuracies else float("nan"),
+        "num_models": float(len(accuracies)),
+        "corpus_size": float(len(corpus)),
+    }
+    result.notes.append("paper claim: ~90% average detection accuracy across 16 models")
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# E2: obfuscation degrades opcode-pattern classifiers ("Figure 1")
+
+
+@dataclass
+class E2Config:
+    """Workload of the E2 degradation sweep."""
+
+    num_samples: int = 240
+    label_noise: float = 0.02
+    test_fraction: float = 0.3
+    intensities: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0)
+    seed: int = 0
+
+
+def run_e2_obfuscation_degradation(config: Optional[E2Config] = None) -> ExperimentResult:
+    """E2: train opcode-sequence baselines on clean code, test under obfuscation."""
+    config = config or E2Config()
+    corpus = CorpusGenerator(GeneratorConfig(
+        platform="evm", num_samples=config.num_samples,
+        label_noise=config.label_noise, seed=config.seed)).generate("e2-corpus")
+    train, test = stratified_split(corpus, config.test_fraction, seed=config.seed)
+
+    histogram = _histogram_rf_baseline(train, seed=config.seed)
+    bigram = _ngram_rf_baseline(train, seed=config.seed)
+
+    result = ExperimentResult(
+        experiment_id="E2",
+        title="Accuracy of opcode-pattern baselines vs obfuscation intensity "
+              "(clean-trained)")
+    for intensity in config.intensities:
+        obfuscated_test = obfuscate_corpus(test, intensity,
+                                           seed=config.seed + int(intensity * 1000))
+        result.rows.append({
+            "intensity": float(intensity),
+            "histogram_rf_accuracy": _baseline_accuracy(*histogram, obfuscated_test),
+            "ngram_rf_accuracy": _baseline_accuracy(*bigram, obfuscated_test),
+        })
+    clean_row = result.rows[0]
+    worst_row = result.rows[-1]
+    result.summary = {
+        "histogram_clean": clean_row["histogram_rf_accuracy"],
+        "histogram_at_max_intensity": worst_row["histogram_rf_accuracy"],
+        "histogram_drop": clean_row["histogram_rf_accuracy"] - worst_row["histogram_rf_accuracy"],
+        "ngram_drop": clean_row["ngram_rf_accuracy"] - worst_row["ngram_rf_accuracy"],
+    }
+    result.notes.append("paper claim: emerging obfuscation techniques threaten the "
+                        "reliability of static opcode-pattern detection")
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# E3: GNNs vs opcode baselines under unseen obfuscation ("Table 2")
+
+
+@dataclass
+class E3Config:
+    """Workload of the E3 robustness table."""
+
+    num_samples: int = 240
+    label_noise: float = 0.02
+    test_fraction: float = 0.3
+    train_augmentation_intensity: float = 0.5
+    test_intensity: float = 0.6
+    epochs: int = 30
+    architectures: Sequence[str] = GNN_ARCHITECTURES
+    seed: int = 0
+
+
+def run_e3_gnn_vs_baseline(config: Optional[E3Config] = None) -> ExperimentResult:
+    """E3: clean vs obfuscated accuracy of the five GNNs and the opcode baselines.
+
+    Both detector families are hardened with the *train-time* (opcode-level)
+    obfuscation passes; the test set is obfuscated with the *unseen*
+    structural passes, reproducing the deployment situation the paper
+    motivates (attackers adopt obfuscation the detector was not trained on).
+    """
+    config = config or E3Config()
+    corpus = CorpusGenerator(GeneratorConfig(
+        platform="evm", num_samples=config.num_samples,
+        label_noise=config.label_noise, seed=config.seed)).generate("e3-corpus")
+    train, test = stratified_split(corpus, config.test_fraction, seed=config.seed)
+    train_mixed = _augmented_training_corpus(train, config.train_augmentation_intensity,
+                                             seed=config.seed + 17)
+    obfuscated_test = obfuscate_corpus(test, config.test_intensity,
+                                       seed=config.seed + 23,
+                                       passes=UNSEEN_TEST_PASSES)
+
+    result = ExperimentResult(
+        experiment_id="E3",
+        title=f"Clean vs unseen-obfuscation accuracy (test intensity "
+              f"{config.test_intensity})")
+
+    def add_row(name: str, clean_accuracy: float, obfuscated_accuracy: float) -> None:
+        result.rows.append({
+            "model": name,
+            "clean_accuracy": clean_accuracy,
+            "obfuscated_accuracy": obfuscated_accuracy,
+            "accuracy_drop": clean_accuracy - obfuscated_accuracy,
+        })
+
+    histogram = _histogram_rf_baseline(train_mixed, seed=config.seed)
+    add_row("histogram+random-forest",
+            _baseline_accuracy(*histogram, test),
+            _baseline_accuracy(*histogram, obfuscated_test))
+    bigram = _ngram_rf_baseline(train_mixed, seed=config.seed)
+    add_row("2gram+random-forest",
+            _baseline_accuracy(*bigram, test),
+            _baseline_accuracy(*bigram, obfuscated_test))
+
+    for architecture in config.architectures:
+        pipeline = _fit_gnn(train_mixed, architecture, config.epochs, config.seed)
+        add_row(f"scamdetect-{architecture}",
+                pipeline.evaluate(test)["accuracy"],
+                pipeline.evaluate(obfuscated_test)["accuracy"])
+
+    gnn_drops = [row["accuracy_drop"] for row in result.rows
+                 if row["model"].startswith("scamdetect-")]
+    baseline_drops = [row["accuracy_drop"] for row in result.rows
+                      if not row["model"].startswith("scamdetect-")]
+    result.summary = {
+        "mean_gnn_drop": float(np.mean(gnn_drops)),
+        "mean_baseline_drop": float(np.mean(baseline_drops)),
+        "best_gnn_obfuscated": float(max(row["obfuscated_accuracy"] for row in result.rows
+                                         if row["model"].startswith("scamdetect-"))),
+        "best_baseline_obfuscated": float(max(row["obfuscated_accuracy"]
+                                              for row in result.rows
+                                              if not row["model"].startswith("scamdetect-"))),
+    }
+    result.notes.append("paper hypothesis: GNNs over CFGs are more resilient to "
+                        "obfuscation than opcode-sequence models")
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# E4: robustness curve over obfuscation intensity ("Figure 2")
+
+
+@dataclass
+class E4Config:
+    """Workload of the E4 robustness sweep."""
+
+    num_samples: int = 240
+    label_noise: float = 0.02
+    test_fraction: float = 0.3
+    train_augmentation_intensity: float = 0.5
+    intensities: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0)
+    architecture: str = "gin"
+    epochs: int = 30
+    seed: int = 0
+
+
+def run_e4_robustness_curve(config: Optional[E4Config] = None) -> ExperimentResult:
+    """E4: accuracy vs unseen-obfuscation intensity, best GNN vs opcode baselines."""
+    config = config or E4Config()
+    corpus = CorpusGenerator(GeneratorConfig(
+        platform="evm", num_samples=config.num_samples,
+        label_noise=config.label_noise, seed=config.seed)).generate("e4-corpus")
+    train, test = stratified_split(corpus, config.test_fraction, seed=config.seed)
+    train_mixed = _augmented_training_corpus(train, config.train_augmentation_intensity,
+                                             seed=config.seed + 17)
+
+    histogram = _histogram_rf_baseline(train_mixed, seed=config.seed)
+    bigram = _ngram_rf_baseline(train_mixed, seed=config.seed)
+    pipeline = _fit_gnn(train_mixed, config.architecture, config.epochs, config.seed)
+
+    result = ExperimentResult(
+        experiment_id="E4",
+        title=f"Robustness curve: scamdetect-{config.architecture} vs opcode baselines")
+    for intensity in config.intensities:
+        obfuscated_test = obfuscate_corpus(test, intensity,
+                                           seed=config.seed + int(intensity * 1000),
+                                           passes=UNSEEN_TEST_PASSES)
+        result.rows.append({
+            "intensity": float(intensity),
+            "gnn_accuracy": pipeline.evaluate(obfuscated_test)["accuracy"],
+            "histogram_rf_accuracy": _baseline_accuracy(*histogram, obfuscated_test),
+            "ngram_rf_accuracy": _baseline_accuracy(*bigram, obfuscated_test),
+        })
+    result.summary = {
+        "gnn_mean_accuracy": float(np.mean([row["gnn_accuracy"] for row in result.rows])),
+        "histogram_mean_accuracy": float(np.mean([row["histogram_rf_accuracy"]
+                                                  for row in result.rows])),
+        "ngram_mean_accuracy": float(np.mean([row["ngram_rf_accuracy"]
+                                              for row in result.rows])),
+    }
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# E5: platform-agnostic detection (EVM vs WASM) ("Table 3")
+
+
+@dataclass
+class E5Config:
+    """Workload of the E5 cross-platform comparison."""
+
+    num_samples_per_platform: int = 200
+    label_noise: float = 0.03
+    test_fraction: float = 0.3
+    architecture: str = "gcn"
+    epochs: int = 30
+    seed: int = 0
+
+
+def run_e5_cross_platform(config: Optional[E5Config] = None) -> ExperimentResult:
+    """E5: the same pipeline configuration evaluated on EVM and WASM corpora."""
+    config = config or E5Config()
+    result = ExperimentResult(
+        experiment_id="E5",
+        title="Platform-agnostic detection: identical pipeline on EVM and WASM corpora")
+
+    per_platform_accuracy: Dict[str, float] = {}
+    for platform in ("evm", "wasm"):
+        corpus = CorpusGenerator(GeneratorConfig(
+            platform=platform, num_samples=config.num_samples_per_platform,
+            label_noise=config.label_noise, seed=config.seed)).generate(
+                f"e5-{platform}")
+        train, test = stratified_split(corpus, config.test_fraction, seed=config.seed)
+
+        pipeline = _fit_gnn(train, config.architecture, config.epochs, config.seed)
+        gnn_metrics = pipeline.evaluate(test)
+
+        histogram = _histogram_rf_baseline(train, seed=config.seed)
+        baseline_accuracy = _baseline_accuracy(*histogram, test)
+
+        labels = np.asarray(test.labels())
+        probabilities = pipeline.predict_proba(test)
+        gnn_f1 = f1_score(labels, np.argmax(probabilities, axis=1))
+
+        per_platform_accuracy[platform] = gnn_metrics["accuracy"]
+        result.rows.append({
+            "platform": platform,
+            "model": f"scamdetect-{config.architecture}",
+            "accuracy": gnn_metrics["accuracy"],
+            "f1": gnn_f1,
+            "roc_auc": gnn_metrics["roc_auc"],
+        })
+        result.rows.append({
+            "platform": platform,
+            "model": "histogram+random-forest",
+            "accuracy": baseline_accuracy,
+            "f1": float("nan"),
+            "roc_auc": float("nan"),
+        })
+
+    result.summary = {
+        "evm_gnn_accuracy": per_platform_accuracy.get("evm", float("nan")),
+        "wasm_gnn_accuracy": per_platform_accuracy.get("wasm", float("nan")),
+        "cross_platform_gap": abs(per_platform_accuracy.get("evm", 0.0)
+                                  - per_platform_accuracy.get("wasm", 0.0)),
+    }
+    result.notes.append("paper goal: consistent detection performance across "
+                        "heterogeneous runtimes")
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# E6: minimal-proxy dedup ablation ("Table 4")
+
+
+@dataclass
+class E6Config:
+    """Workload of the E6 dedup ablation."""
+
+    num_samples: int = 240
+    proxy_duplicate_fraction: float = 0.5
+    label_noise: float = 0.03
+    test_fraction: float = 0.3
+    seed: int = 0
+
+
+def run_e6_dedup_ablation(config: Optional[E6Config] = None) -> ExperimentResult:
+    """E6: accuracy inflation when ERC-1167 proxy duplicates are not removed."""
+    config = config or E6Config()
+    corpus = CorpusGenerator(GeneratorConfig(
+        platform="evm", num_samples=config.num_samples,
+        proxy_duplicate_fraction=config.proxy_duplicate_fraction,
+        label_noise=config.label_noise, seed=config.seed)).generate("e6-corpus")
+
+    result = ExperimentResult(
+        experiment_id="E6",
+        title="Corpus curation: effect of ERC-1167 minimal-proxy deduplication")
+
+    def evaluate(name: str, working_corpus: Corpus) -> Dict[str, object]:
+        train, test = stratified_split(working_corpus, config.test_fraction,
+                                       seed=config.seed)
+        extractor, classifier = _histogram_rf_baseline(train, seed=config.seed)
+        return {
+            "setting": name,
+            "corpus_size": len(working_corpus),
+            "proxy_samples": sum(1 for s in working_corpus if s.is_proxy_duplicate),
+            "accuracy": _baseline_accuracy(extractor, classifier, test),
+        }
+
+    result.rows.append(evaluate("raw (proxies kept)", corpus))
+    deduplicated, stats = deduplicate(corpus)
+    row = evaluate("deduplicated", deduplicated)
+    row["proxy_samples"] = stats["proxy"]
+    result.rows.append(row)
+
+    result.summary = {
+        "accuracy_inflation": float(result.rows[0]["accuracy"]) - float(result.rows[1]["accuracy"]),
+        "duplicates_removed": float(stats["proxy"] + stats["exact"]),
+    }
+    result.notes.append("paper plan: remove duplicates (e.g. minimal proxies) from the "
+                        "expanded dataset to ensure diversity")
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# E7: GNN design ablation ("Figure 3")
+
+
+@dataclass
+class E7Config:
+    """Workload of the E7 architecture ablation."""
+
+    num_samples: int = 200
+    label_noise: float = 0.02
+    test_fraction: float = 0.3
+    architecture: str = "gcn"
+    epochs: int = 25
+    depths: Sequence[int] = (1, 2, 3)
+    readouts: Sequence[str] = ("mean", "sum", "max")
+    seed: int = 0
+
+
+def run_e7_gnn_ablation(config: Optional[E7Config] = None) -> ExperimentResult:
+    """E7: ablation over depth, readout and node-feature design of the GNN."""
+    config = config or E7Config()
+    corpus = CorpusGenerator(GeneratorConfig(
+        platform="evm", num_samples=config.num_samples,
+        label_noise=config.label_noise, seed=config.seed)).generate("e7-corpus")
+    train, test = stratified_split(corpus, config.test_fraction, seed=config.seed)
+    # the ablation is scored on unseen-obfuscation robustness as well as clean
+    # accuracy so feature/readout choices that only matter under attack show up
+    obfuscated_test = obfuscate_corpus(test, 0.5, seed=config.seed + 5,
+                                       passes=UNSEEN_TEST_PASSES)
+
+    result = ExperimentResult(
+        experiment_id="E7",
+        title="GNN design ablation: depth, readout and node features")
+
+    def add(variant: str, **overrides) -> None:
+        pipeline = _fit_gnn(train, config.architecture, config.epochs, config.seed,
+                            **overrides)
+        result.rows.append({
+            "variant": variant,
+            "clean_accuracy": pipeline.evaluate(test)["accuracy"],
+            "obfuscated_accuracy": pipeline.evaluate(obfuscated_test)["accuracy"],
+        })
+
+    for depth in config.depths:
+        add(f"depth={depth}", num_layers=depth)
+    for readout_kind in config.readouts:
+        add(f"readout={readout_kind}", readout=readout_kind)
+    add("features=no-markers", include_markers=False)
+    add("features=fraction-histogram", node_feature_mode="fraction",
+        include_markers=False)
+    add("features=no-structural", include_structural=False)
+
+    best = max(result.rows, key=lambda row: row["obfuscated_accuracy"])
+    result.summary = {
+        "best_variant_obfuscated_accuracy": float(best["obfuscated_accuracy"]),
+        "num_variants": float(len(result.rows)),
+    }
+    result.notes.append(f"best variant under obfuscation: {best['variant']}")
+    return result

@@ -1,0 +1,91 @@
+"""Rendering of experiment results as ASCII tables and figure series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Result of one experiment run.
+
+    Attributes:
+        experiment_id: "E1" .. "E7".
+        title: Human-readable title (matches DESIGN.md's experiment index).
+        rows: Table rows -- a list of dicts sharing the same keys.
+        summary: Aggregate values (e.g. the zoo-average accuracy for E1).
+        notes: Free-form notes recorded during the run.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    summary: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def column_names(self) -> List[str]:
+        return list(self.rows[0].keys()) if self.rows else []
+
+    def format(self) -> str:
+        """The full report: title, table and summary."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.rows))
+        if self.summary:
+            parts.append("summary: " + ", ".join(
+                f"{key}={_format_value(value)}" for key, value in self.summary.items()))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render ``rows`` (a list of same-keyed dicts) as an aligned ASCII table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    rendered: List[List[str]] = [[_format_value(row.get(column, "")) for column in columns]
+                                 for row in rows]
+    widths = [max(len(column), *(len(line[index]) for line in rendered))
+              for index, column in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[index]) for index, column in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append(" | ".join(value.ljust(widths[index]) for index, value in enumerate(line)))
+    return "\n".join(lines)
+
+
+def format_series(series: Dict[str, Sequence[float]], x_values: Sequence[float],
+                  title: str = "", width: int = 50, y_min: float = 0.0,
+                  y_max: float = 1.0) -> str:
+    """Render one or more y-series over shared x-values as an ASCII chart.
+
+    Used to regenerate the paper-style "figures": each series becomes one row
+    of bars per x value, so crossovers and degradation trends are visible in
+    plain terminal output.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    span = max(y_max - y_min, 1e-9)
+    for name, values in series.items():
+        lines.append(f"[{name}]")
+        for x, y in zip(x_values, values):
+            filled = int(round((float(y) - y_min) / span * width))
+            filled = max(0, min(width, filled))
+            bar = "#" * filled + "." * (width - filled)
+            lines.append(f"  x={x:<6g} |{bar}| {y:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""EVM substrate: opcode model, (dis)assembler, CFG construction, contract templates.
+
+This package implements everything the ScamDetect pipeline needs to consume
+raw Ethereum Virtual Machine runtime bytecode:
+
+* :mod:`repro.evm.opcodes` -- the full EVM opcode table (Shanghai-era set) with
+  stack arity, immediate sizes and semantic categories.
+* :mod:`repro.evm.assembler` / :mod:`repro.evm.disassembler` -- translate
+  between mnemonic programs and hex bytecode.
+* :mod:`repro.evm.stack` -- a bounded symbolic stack used to resolve static
+  jump targets.
+* :mod:`repro.evm.cfg_builder` -- builds platform-agnostic control-flow graphs
+  (:class:`repro.ir.cfg.ControlFlowGraph`) from bytecode.
+* :mod:`repro.evm.contracts` -- a synthetic contract template compiler that
+  emits realistic benign and malicious runtime bytecode used by the dataset
+  generator (standing in for Etherscan-scraped corpora, see DESIGN.md).
+"""
+
+from repro.evm.opcodes import (
+    Opcode,
+    OPCODES,
+    OPCODES_BY_NAME,
+    opcode_by_value,
+    opcode_by_name,
+    is_push,
+    push_size,
+    is_terminator,
+)
+from repro.evm.assembler import EVMAssembler, assemble
+from repro.evm.disassembler import EVMInstruction, disassemble, disassemble_to_ir
+from repro.evm.cfg_builder import EVMCFGBuilder, build_cfg
+from repro.evm.contracts import (
+    ContractTemplate,
+    ContractBuilder,
+    BENIGN_TEMPLATES,
+    MALICIOUS_TEMPLATES,
+    ALL_TEMPLATES,
+    make_minimal_proxy,
+)
+
+__all__ = [
+    "Opcode",
+    "OPCODES",
+    "OPCODES_BY_NAME",
+    "opcode_by_value",
+    "opcode_by_name",
+    "is_push",
+    "push_size",
+    "is_terminator",
+    "EVMAssembler",
+    "assemble",
+    "EVMInstruction",
+    "disassemble",
+    "disassemble_to_ir",
+    "EVMCFGBuilder",
+    "build_cfg",
+    "ContractTemplate",
+    "ContractBuilder",
+    "BENIGN_TEMPLATES",
+    "MALICIOUS_TEMPLATES",
+    "ALL_TEMPLATES",
+    "make_minimal_proxy",
+]

@@ -1,0 +1,184 @@
+"""A small EVM assembler.
+
+The assembler turns a list of ``(mnemonic, operand)`` pairs -- or a textual
+assembly listing -- into runtime bytecode.  It supports symbolic labels so the
+contract templates in :mod:`repro.evm.contracts` can express jumps without
+computing byte offsets by hand.
+
+Label model:
+  * ``("LABEL", "name")`` pseudo-instruction marks a position and emits a
+    ``JUMPDEST``.
+  * ``("PUSHLABEL", "name")`` emits a ``PUSH2`` whose immediate is patched to
+    the byte offset of the label in a second pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.evm.opcodes import OPCODES_BY_NAME, opcode_by_name
+
+AsmItem = Tuple[str, Optional[Union[int, str]]]
+
+
+class AssemblyError(ValueError):
+    """Raised when a program cannot be assembled."""
+
+
+def _push_width(value: int) -> int:
+    """Minimal PUSH width (in bytes) able to hold ``value``."""
+    if value < 0:
+        raise AssemblyError(f"cannot PUSH negative value {value}")
+    if value == 0:
+        return 1
+    width = (value.bit_length() + 7) // 8
+    if width > 32:
+        raise AssemblyError(f"value {value:#x} does not fit in PUSH32")
+    return width
+
+
+class EVMAssembler:
+    """Two-pass assembler with label support."""
+
+    def __init__(self) -> None:
+        self._items: List[AsmItem] = []
+
+    # ------------------------------------------------------------------ #
+    # program construction helpers
+
+    def emit(self, mnemonic: str, operand: Optional[Union[int, str]] = None) -> "EVMAssembler":
+        """Append one instruction (or pseudo-instruction) and return self."""
+        self._items.append((mnemonic.upper(), operand))
+        return self
+
+    def push(self, value: int, width: Optional[int] = None) -> "EVMAssembler":
+        """Append a PUSH of ``value`` using the minimal (or given) width."""
+        width = width or _push_width(value)
+        return self.emit(f"PUSH{width}", value)
+
+    def label(self, name: str) -> "EVMAssembler":
+        """Mark a jump destination."""
+        return self.emit("LABEL", name)
+
+    def push_label(self, name: str) -> "EVMAssembler":
+        """Push the byte offset of a label (always a PUSH2)."""
+        return self.emit("PUSHLABEL", name)
+
+    def extend(self, items: Iterable[AsmItem]) -> "EVMAssembler":
+        for mnemonic, operand in items:
+            self.emit(mnemonic, operand)
+        return self
+
+    @property
+    def items(self) -> List[AsmItem]:
+        return list(self._items)
+
+    # ------------------------------------------------------------------ #
+    # assembly
+
+    def assemble(self) -> bytes:
+        """Assemble the accumulated program into bytecode."""
+        return assemble(self._items)
+
+
+def _item_size(mnemonic: str, operand: Optional[Union[int, str]]) -> int:
+    if mnemonic == "LABEL":
+        return 1  # JUMPDEST
+    if mnemonic == "PUSHLABEL":
+        return 3  # PUSH2 + 2 bytes
+    op = OPCODES_BY_NAME.get(mnemonic)
+    if op is None:
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r}")
+    return 1 + op.immediate_size
+
+
+def assemble(items: Sequence[AsmItem]) -> bytes:
+    """Assemble ``items`` (mnemonic/operand pairs with label pseudo-ops).
+
+    Args:
+        items: sequence of ``(mnemonic, operand)`` pairs.  ``operand`` is an
+            int for PUSH immediates, a label name for LABEL / PUSHLABEL, and
+            None otherwise.
+
+    Returns:
+        The runtime bytecode.
+
+    Raises:
+        AssemblyError: on unknown mnemonics, missing labels, or immediates
+            that do not fit the PUSH width.
+    """
+    # pass 1: compute label offsets
+    labels: Dict[str, int] = {}
+    offset = 0
+    for mnemonic, operand in items:
+        mnemonic = mnemonic.upper()
+        if mnemonic == "LABEL":
+            if not isinstance(operand, str):
+                raise AssemblyError("LABEL requires a string name")
+            if operand in labels:
+                raise AssemblyError(f"duplicate label {operand!r}")
+            labels[operand] = offset
+        offset += _item_size(mnemonic, operand)
+
+    # pass 2: emit bytes
+    output = bytearray()
+    for mnemonic, operand in items:
+        mnemonic = mnemonic.upper()
+        if mnemonic == "LABEL":
+            output.append(OPCODES_BY_NAME["JUMPDEST"].value)
+            continue
+        if mnemonic == "PUSHLABEL":
+            if not isinstance(operand, str) or operand not in labels:
+                raise AssemblyError(f"unknown label {operand!r}")
+            target = labels[operand]
+            output.append(OPCODES_BY_NAME["PUSH2"].value)
+            output.extend(target.to_bytes(2, "big"))
+            continue
+        op = OPCODES_BY_NAME.get(mnemonic)
+        if op is None:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}")
+        output.append(op.value)
+        if op.immediate_size:
+            if operand is None:
+                operand = 0
+            if not isinstance(operand, int):
+                raise AssemblyError(f"{mnemonic} requires an integer immediate")
+            if operand < 0 or operand >= (1 << (8 * op.immediate_size)):
+                raise AssemblyError(
+                    f"immediate {operand:#x} does not fit in {mnemonic}")
+            output.extend(operand.to_bytes(op.immediate_size, "big"))
+        elif operand is not None and not isinstance(operand, str):
+            raise AssemblyError(f"{mnemonic} takes no operand (got {operand!r})")
+    return bytes(output)
+
+
+def assemble_text(text: str) -> bytes:
+    """Assemble a textual listing: one instruction per line, ``;`` comments.
+
+    Example::
+
+        PUSH1 0x04
+        CALLDATASIZE
+        LT
+        PUSHLABEL fallback
+        JUMPI
+        LABEL fallback
+        STOP
+    """
+    items: List[AsmItem] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        mnemonic = parts[0].upper()
+        operand: Optional[Union[int, str]] = None
+        if len(parts) > 1:
+            token = parts[1]
+            if mnemonic in ("LABEL", "PUSHLABEL"):
+                operand = token
+            else:
+                operand = int(token, 0)
+        items.append((mnemonic, operand))
+    return assemble(items)

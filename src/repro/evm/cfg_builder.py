@@ -1,0 +1,183 @@
+"""Control-flow graph construction for EVM bytecode.
+
+The builder performs three steps:
+
+1. Linear disassembly (:mod:`repro.evm.disassembler`).
+2. Basic-block splitting: a new block starts at offset 0, at every
+   ``JUMPDEST`` and after every block-ending instruction (``JUMP``,
+   ``JUMPI``, ``STOP``, ``RETURN``, ``REVERT``, ``INVALID``,
+   ``SELFDESTRUCT``, undefined opcodes).
+3. Edge construction with jump-target resolution.  Targets are resolved with
+   a bounded abstract interpretation over the
+   :class:`~repro.evm.stack.SymbolicStack`: block entry stacks are propagated
+   along discovered edges in a worklist until a fixpoint (or an iteration
+   bound) is reached.  Jumps whose target remains unknown receive
+   conservative ``"dynamic"`` edges to every ``JUMPDEST`` block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.evm.disassembler import EVMInstruction, disassemble
+from repro.evm.opcodes import is_block_end
+from repro.evm.stack import SymbolicStack, UNKNOWN
+from repro.ir.basic_block import BasicBlock
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.instruction import IRInstruction
+
+#: Maximum number of times a block's entry stack may be re-propagated.
+_MAX_VISITS_PER_BLOCK = 8
+
+#: If more than this many dynamic edges would be added for a single
+#: unresolved jump, the jump is left without successors instead (keeps
+#: adversarially-obfuscated graphs from degenerating into cliques).
+_MAX_DYNAMIC_FANOUT = 16
+
+
+def _to_ir(instruction: EVMInstruction) -> IRInstruction:
+    return IRInstruction(offset=instruction.offset, mnemonic=instruction.name,
+                         category=instruction.category, operand=instruction.operand,
+                         size=instruction.size, platform="evm")
+
+
+class EVMCFGBuilder:
+    """Builds :class:`ControlFlowGraph` objects from EVM runtime bytecode."""
+
+    def __init__(self, resolve_dynamic_jumps: bool = True,
+                 max_visits_per_block: int = _MAX_VISITS_PER_BLOCK) -> None:
+        self.resolve_dynamic_jumps = resolve_dynamic_jumps
+        self.max_visits_per_block = max_visits_per_block
+
+    # ------------------------------------------------------------------ #
+
+    def build(self, bytecode: Union[bytes, bytearray, str], name: str = "") -> ControlFlowGraph:
+        """Build the CFG of ``bytecode``."""
+        instructions = disassemble(bytecode)
+        blocks = self._split_blocks(instructions)
+        cfg = ControlFlowGraph(platform="evm", name=name)
+        for index, block_instructions in enumerate(blocks):
+            block = BasicBlock(block_id=block_instructions[0].offset,
+                               instructions=[_to_ir(i) for i in block_instructions],
+                               is_entry=(index == 0))
+            cfg.add_block(block)
+        if cfg.num_blocks:
+            self._add_edges(cfg, blocks)
+        return cfg
+
+    # ------------------------------------------------------------------ #
+    # step 2: block splitting
+
+    @staticmethod
+    def _split_blocks(instructions: Sequence[EVMInstruction]) -> List[List[EVMInstruction]]:
+        if not instructions:
+            return []
+        leaders: Set[int] = {instructions[0].offset}
+        for index, ins in enumerate(instructions):
+            if ins.name == "JUMPDEST":
+                leaders.add(ins.offset)
+            if is_block_end(ins.name) and index + 1 < len(instructions):
+                leaders.add(instructions[index + 1].offset)
+        blocks: List[List[EVMInstruction]] = []
+        current: List[EVMInstruction] = []
+        for ins in instructions:
+            if ins.offset in leaders and current:
+                blocks.append(current)
+                current = []
+            current.append(ins)
+        if current:
+            blocks.append(current)
+        return blocks
+
+    # ------------------------------------------------------------------ #
+    # step 3: edges with jump resolution
+
+    def _add_edges(self, cfg: ControlFlowGraph,
+                   blocks: List[List[EVMInstruction]]) -> None:
+        block_ids = [b[0].offset for b in blocks]
+        block_by_id: Dict[int, List[EVMInstruction]] = {
+            b[0].offset: b for b in blocks}
+        jumpdest_ids = [bid for bid, instrs in block_by_id.items()
+                        if instrs[0].name == "JUMPDEST"]
+        next_block: Dict[int, Optional[int]] = {}
+        for i, bid in enumerate(block_ids):
+            next_block[bid] = block_ids[i + 1] if i + 1 < len(block_ids) else None
+
+        entry_stacks: Dict[int, SymbolicStack] = {block_ids[0]: SymbolicStack()}
+        visits: Dict[int, int] = {}
+        unresolved_jumps: List[int] = []  # block ids whose JUMP/JUMPI target is unknown
+        worklist: List[int] = [block_ids[0]]
+
+        while worklist:
+            bid = worklist.pop()
+            visits[bid] = visits.get(bid, 0) + 1
+            if visits[bid] > self.max_visits_per_block:
+                continue
+            stack = entry_stacks.get(bid, SymbolicStack()).copy()
+            instrs = block_by_id[bid]
+            target: Optional[int] = None
+            last = instrs[-1]
+            for ins in instrs:
+                if ins.name in ("JUMP", "JUMPI"):
+                    target = stack.jump_target()
+                stack.apply(ins)
+
+            successors: List[Tuple[int, str]] = []
+            if last.name == "JUMP":
+                if target is not None and target in block_by_id:
+                    successors.append((target, "jump"))
+                else:
+                    unresolved_jumps.append(bid)
+            elif last.name == "JUMPI":
+                if target is not None and target in block_by_id:
+                    successors.append((target, "branch"))
+                else:
+                    unresolved_jumps.append(bid)
+                fall = next_block[bid]
+                if fall is not None:
+                    successors.append((fall, "fallthrough"))
+            elif last.name in ("STOP", "RETURN", "REVERT", "INVALID", "SELFDESTRUCT"):
+                pass  # terminal block
+            else:
+                fall = next_block[bid]
+                if fall is not None:
+                    successors.append((fall, "fallthrough"))
+
+            for succ, kind in successors:
+                cfg.add_edge(bid, succ, kind=kind)
+                # propagate the abstract stack along the edge; merge = keep the
+                # first seen stack unless the new one is shorter (conservative).
+                propagated = stack.copy()
+                previous = entry_stacks.get(succ)
+                if previous is None:
+                    entry_stacks[succ] = propagated
+                    worklist.append(succ)
+                elif len(previous) != len(propagated):
+                    entry_stacks[succ] = SymbolicStack([UNKNOWN] * min(len(previous),
+                                                                       len(propagated)))
+                    worklist.append(succ)
+
+        # conservative edges for unresolved indirect jumps
+        if self.resolve_dynamic_jumps:
+            for bid in set(unresolved_jumps):
+                if 0 < len(jumpdest_ids) <= _MAX_DYNAMIC_FANOUT:
+                    for dest in jumpdest_ids:
+                        if dest != bid:
+                            cfg.add_edge(bid, dest, kind="dynamic")
+
+        # blocks never reached by the worklist (data blobs, dead code) still
+        # need their intra-procedural fallthrough edges so the graph does not
+        # silently drop structure that obfuscators insert on purpose.
+        for bid in block_ids:
+            if bid in visits:
+                continue
+            last = block_by_id[bid][-1]
+            if not is_block_end(last.name):
+                fall = next_block[bid]
+                if fall is not None:
+                    cfg.add_edge(bid, fall, kind="fallthrough")
+
+
+def build_cfg(bytecode: Union[bytes, bytearray, str], name: str = "") -> ControlFlowGraph:
+    """Convenience wrapper: build an EVM CFG with default settings."""
+    return EVMCFGBuilder().build(bytecode, name=name)

@@ -1,0 +1,805 @@
+"""Synthetic EVM contract templates.
+
+The original PhishingHook/ScamDetect corpora are scraped from Etherscan and
+labelled via abuse databases; neither is reachable offline.  This module is
+the substitution documented in DESIGN.md: a template compiler that emits
+*realistic runtime bytecode* for benign and malicious contract families.  The
+bytecode follows the structure produced by solc (4-byte selector dispatcher,
+``JUMPDEST``-delimited function bodies, ``CALLVALUE`` guards, storage access
+via ``SHA3`` of slot keys, ``LOG`` events) so the disassembler, CFG builder,
+feature extractors and models are exercised exactly as they would be on real
+contracts.
+
+Every template exposes a ``generate(rng)`` hook that randomizes the number of
+functions, selectors, storage layout and the presence of optional snippets, so
+samples within a family are diverse and the classification task is learnable
+but not trivial.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.evm.assembler import EVMAssembler
+
+# --------------------------------------------------------------------------- #
+# low-level snippet helpers
+
+
+class ContractBuilder:
+    """A higher-level layer over :class:`EVMAssembler` for contract bodies.
+
+    The builder mimics the code shapes emitted by solc: a selector dispatcher
+    at the top of the runtime code, one labelled body per external function,
+    and a shared fallback/revert block.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.asm = EVMAssembler()
+        self.rng = rng or random.Random(0)
+        self._label_counter = 0
+        self._functions: List[Tuple[int, str]] = []  # (selector, body label)
+
+    # -- naming ---------------------------------------------------------- #
+
+    def fresh_label(self, prefix: str = "L") -> str:
+        self._label_counter += 1
+        return f"{prefix}_{self._label_counter}"
+
+    def random_selector(self) -> int:
+        return self.rng.randrange(1, 0xFFFFFFFF)
+
+    def random_address(self) -> int:
+        return self.rng.randrange(1, (1 << 160) - 1)
+
+    # -- dispatcher ------------------------------------------------------ #
+
+    def register_function(self, selector: Optional[int] = None) -> Tuple[int, str]:
+        """Reserve a selector and a body label; returns (selector, label)."""
+        selector = selector if selector is not None else self.random_selector()
+        label = self.fresh_label("fn")
+        self._functions.append((selector, label))
+        return selector, label
+
+    def emit_dispatcher(self, fallback_label: str) -> None:
+        """Emit the solc-style selector dispatcher.
+
+        Loads the first 4 bytes of calldata, compares them against every
+        registered selector, and falls through to ``fallback_label``.
+        """
+        asm = self.asm
+        # free memory pointer initialisation (solc idiom)
+        asm.push(0x80).push(0x40).emit("MSTORE")
+        # if calldatasize < 4 goto fallback
+        asm.push(4).emit("CALLDATASIZE").emit("LT")
+        asm.push_label(fallback_label).emit("JUMPI")
+        # selector = calldataload(0) >> 224
+        asm.push(0).emit("CALLDATALOAD").push(0xE0).emit("SHR")
+        for selector, label in self._functions:
+            asm.emit("DUP1").push(selector).emit("EQ")
+            asm.push_label(label).emit("JUMPI")
+        asm.push_label(fallback_label).emit("JUMP")
+
+    # -- common statement snippets ---------------------------------------- #
+
+    def emit_fallback(self, label: str, revert: bool = True) -> None:
+        asm = self.asm
+        asm.label(label)
+        if revert:
+            asm.push(0).push(0).emit("REVERT")
+        else:
+            asm.emit("STOP")
+
+    def emit_calldata_arg(self, index: int) -> None:
+        """Push calldata argument ``index`` (ABI encoded at 4 + 32*index)."""
+        self.asm.push(4 + 32 * index).emit("CALLDATALOAD")
+
+    def emit_sload(self, slot: int) -> None:
+        self.asm.push(slot).emit("SLOAD")
+
+    def emit_sstore_constant(self, slot: int, value: int) -> None:
+        self.asm.push(value).push(slot).emit("SSTORE")
+
+    def emit_mapping_slot(self, base_slot: int) -> None:
+        """Compute keccak(key . base_slot) for a mapping access.
+
+        Expects the key on top of the stack; leaves the storage slot.
+        """
+        asm = self.asm
+        asm.push(0).emit("MSTORE")                 # mem[0] = key
+        asm.push(base_slot).push(0x20).emit("MSTORE")  # mem[32] = base slot
+        asm.push(0x40).push(0).emit("SHA3")
+
+    def emit_caller_is_owner_check(self, owner_slot: int, fail_label: str) -> None:
+        """require(msg.sender == owner) -- jump to fail_label otherwise."""
+        asm = self.asm
+        asm.emit("CALLER")
+        self.emit_sload(owner_slot)
+        asm.emit("EQ").emit("ISZERO")
+        asm.push_label(fail_label).emit("JUMPI")
+
+    def emit_nonpayable_guard(self, fail_label: str) -> None:
+        """require(msg.value == 0)."""
+        asm = self.asm
+        asm.emit("CALLVALUE")
+        asm.push_label(fail_label).emit("JUMPI")
+
+    def emit_transfer_event(self, topic_seed: Optional[int] = None) -> None:
+        """LOG3 with a Transfer-like topic layout."""
+        asm = self.asm
+        topic = topic_seed if topic_seed is not None else self.rng.randrange(1, 1 << 64)
+        asm.push(0).push(0)               # data: offset, size 0
+        asm.push(topic)                    # topic0 (event signature hash)
+        asm.emit("CALLER")                 # topic1
+        self.emit_calldata_arg(0)          # topic2
+        asm.emit("LOG3")
+
+    def emit_balance_update(self, base_slot: int, add: bool = True) -> None:
+        """balances[msg.sender] ±= amount(arg1)."""
+        asm = self.asm
+        asm.emit("CALLER")
+        self.emit_mapping_slot(base_slot)          # slot
+        asm.emit("DUP1").emit("SLOAD")             # slot, old
+        self.emit_calldata_arg(1)                  # slot, old, amount
+        asm.emit("ADD" if add else "SWAP1")
+        if not add:
+            asm.emit("SUB")
+        asm.emit("SWAP1").emit("SSTORE")
+
+    def emit_external_call(self, value_from_stack: bool = False,
+                           gas_limited: bool = True) -> None:
+        """CALL to the address in calldata arg0, forwarding no data."""
+        asm = self.asm
+        asm.push(0).push(0).push(0).push(0)        # retSize retOffset argSize argOffset
+        if value_from_stack:
+            self.emit_calldata_arg(1)              # value
+        else:
+            asm.push(0)
+        self.emit_calldata_arg(0)                  # address
+        if gas_limited:
+            asm.push(0x5208)
+        else:
+            asm.emit("GAS")
+        asm.emit("CALL").emit("POP")
+
+    def emit_delegatecall_to_storage(self, slot: int) -> None:
+        """DELEGATECALL to the address stored at ``slot`` forwarding calldata."""
+        asm = self.asm
+        asm.emit("CALLDATASIZE").push(0).push(0).emit("CALLDATACOPY")
+        asm.push(0).push(0)                        # retSize retOffset
+        asm.emit("CALLDATASIZE").push(0)           # argSize argOffset
+        self.emit_sload(slot)                      # address
+        asm.emit("GAS").emit("DELEGATECALL").emit("POP")
+
+    def emit_return_uint(self, from_storage_slot: Optional[int] = None) -> None:
+        """Return a single 32-byte word (from storage or a constant)."""
+        asm = self.asm
+        if from_storage_slot is not None:
+            self.emit_sload(from_storage_slot)
+        else:
+            asm.push(1)
+        asm.push(0).emit("MSTORE")
+        asm.push(0x20).push(0).emit("RETURN")
+
+    def emit_stop(self) -> None:
+        self.asm.emit("STOP")
+
+    def emit_counted_loop(self, body: Callable[[], None], bound_slot: int) -> None:
+        """for (i = 0; i < sload(bound_slot); i++) { body() } -- bounded loop."""
+        asm = self.asm
+        head = self.fresh_label("loop_head")
+        exit_label = self.fresh_label("loop_exit")
+        asm.push(0)                                     # i
+        asm.label(head)
+        asm.emit("DUP1")
+        self.emit_sload(bound_slot)
+        asm.emit("GT").emit("ISZERO")                   # !(bound > i)
+        asm.push_label(exit_label).emit("JUMPI")
+        body()
+        asm.push(1).emit("ADD")                         # i++
+        asm.push_label(head).emit("JUMP")
+        asm.label(exit_label)
+        asm.emit("POP")
+
+    def emit_benign_math(self, depth: Optional[int] = None) -> None:
+        """A short burst of pure arithmetic (simulates fee / interest maths)."""
+        asm = self.asm
+        depth = depth if depth is not None else self.rng.randint(2, 6)
+        self.emit_calldata_arg(1)
+        for _ in range(depth):
+            op = self.rng.choice(["ADD", "MUL", "SUB", "DIV", "AND", "OR", "SHR"])
+            asm.push(self.rng.randrange(1, 1 << 16))
+            if op == "DIV":
+                asm.emit("SWAP1")
+            asm.emit(op)
+        asm.emit("POP")
+
+    # -- finalisation ------------------------------------------------------ #
+
+    def bytecode(self) -> bytes:
+        return self.asm.assemble()
+
+
+# --------------------------------------------------------------------------- #
+# contract templates
+
+
+@dataclass(frozen=True)
+class ContractTemplate:
+    """A named generator for one contract family.
+
+    Attributes:
+        name: Family name, e.g. ``"erc20_token"`` or ``"approval_drainer"``.
+        label: 1 for malicious, 0 for benign.
+        family_kind: Coarse kind used in reports ("token", "defi", "phishing",
+            "honeypot", ...).
+        generator: Callable producing runtime bytecode from an RNG.
+    """
+
+    name: str
+    label: int
+    family_kind: str
+    generator: Callable[[random.Random], bytes]
+
+    def generate(self, rng: Optional[random.Random] = None) -> bytes:
+        """Generate one randomized bytecode sample of this family."""
+        return self.generator(rng or random.Random())
+
+
+def _finish(builder: ContractBuilder, bodies: Sequence[Callable[[str], None]],
+            payable_fallback: bool = False) -> bytes:
+    """Emit dispatcher + registered bodies + fallback and assemble."""
+    fallback = builder.fresh_label("fallback")
+    builder.emit_dispatcher(fallback)
+    fail = builder.fresh_label("revert")
+    for body, (_, label) in zip(bodies, builder._functions):
+        builder.asm.label(label)
+        body(fail)
+    builder.emit_fallback(fallback, revert=not payable_fallback)
+    builder.emit_fallback(fail, revert=True)
+    return builder.bytecode()
+
+
+# ----------------------------- benign families ----------------------------- #
+
+
+def generate_erc20_token(rng: random.Random) -> bytes:
+    """A plain ERC-20-style token: transfer/approve/balanceOf/totalSupply."""
+    b = ContractBuilder(rng)
+    owner_slot, supply_slot, balances_slot, allow_slot = 0, 1, 2, 3
+    n_views = rng.randint(1, 3)
+
+    def transfer(fail: str) -> None:
+        b.emit_nonpayable_guard(fail)
+        b.emit_balance_update(balances_slot, add=False)
+        b.emit_balance_update(balances_slot, add=True)
+        b.emit_transfer_event()
+        b.emit_return_uint()
+
+    def approve(fail: str) -> None:
+        b.emit_nonpayable_guard(fail)
+        b.emit_calldata_arg(0)
+        b.emit_mapping_slot(allow_slot)
+        b.emit_calldata_arg(1)
+        b.asm.emit("SWAP1").emit("SSTORE")
+        b.emit_transfer_event()
+        b.emit_return_uint()
+
+    def mint(fail: str) -> None:
+        b.emit_caller_is_owner_check(owner_slot, fail)
+        b.emit_sload(supply_slot)
+        b.emit_calldata_arg(0)
+        b.asm.emit("ADD")
+        b.asm.push(supply_slot).emit("SSTORE")
+        b.emit_balance_update(balances_slot, add=True)
+        b.emit_stop()
+
+    def view(fail: str) -> None:
+        b.emit_benign_math()
+        b.emit_return_uint(from_storage_slot=rng.choice([supply_slot, balances_slot]))
+
+    bodies: List[Callable[[str], None]] = [transfer, approve, mint]
+    bodies.extend([view] * n_views)
+    for _ in bodies:
+        b.register_function()
+    return _finish(b, bodies)
+
+
+def generate_staking_vault(rng: random.Random) -> bytes:
+    """A staking vault: deposit/withdraw/claim with owner-managed parameters."""
+    b = ContractBuilder(rng)
+    owner_slot, rate_slot, stakes_slot, total_slot = 0, 1, 2, 3
+
+    def deposit(fail: str) -> None:
+        b.asm.emit("CALLVALUE").emit("ISZERO")
+        b.asm.push_label(fail).emit("JUMPI")
+        b.emit_balance_update(stakes_slot, add=True)
+        b.emit_sload(total_slot)
+        b.asm.emit("CALLVALUE").emit("ADD")
+        b.asm.push(total_slot).emit("SSTORE")
+        b.emit_transfer_event()
+        b.emit_stop()
+
+    def withdraw(fail: str) -> None:
+        b.emit_nonpayable_guard(fail)
+        b.emit_balance_update(stakes_slot, add=False)
+        b.emit_external_call(value_from_stack=True, gas_limited=True)
+        b.emit_transfer_event()
+        b.emit_stop()
+
+    def claim(fail: str) -> None:
+        b.emit_nonpayable_guard(fail)
+        b.emit_benign_math()
+        b.emit_sload(rate_slot)
+        b.emit_calldata_arg(0)
+        b.asm.emit("MUL").push(10000).emit("SWAP1").emit("DIV").emit("POP")
+        b.emit_return_uint(from_storage_slot=rate_slot)
+
+    def set_rate(fail: str) -> None:
+        b.emit_caller_is_owner_check(owner_slot, fail)
+        b.emit_calldata_arg(0)
+        b.asm.push(rate_slot).emit("SSTORE")
+        b.emit_stop()
+
+    bodies = [deposit, withdraw, claim, set_rate]
+    if rng.random() < 0.5:
+        bodies.append(lambda fail: b.emit_return_uint(from_storage_slot=total_slot))
+    for _ in bodies:
+        b.register_function()
+    return _finish(b, bodies, payable_fallback=True)
+
+
+def generate_dex_pair(rng: random.Random) -> bytes:
+    """A constant-product AMM pair: swap/addLiquidity/removeLiquidity/getReserves."""
+    b = ContractBuilder(rng)
+    reserve0_slot, reserve1_slot, lp_slot, fee_slot = 0, 1, 2, 3
+
+    def swap(fail: str) -> None:
+        b.emit_nonpayable_guard(fail)
+        b.emit_sload(reserve0_slot)
+        b.emit_sload(reserve1_slot)
+        b.asm.emit("MUL")                          # k = r0*r1
+        b.emit_calldata_arg(1)
+        b.asm.emit("DUP1").emit("ISZERO")
+        b.asm.push_label(fail).emit("JUMPI")
+        b.asm.emit("SWAP1").emit("DIV")            # out = k / amountIn
+        b.asm.push(reserve1_slot).emit("SSTORE")
+        b.emit_transfer_event()
+        b.emit_return_uint(from_storage_slot=reserve1_slot)
+
+    def add_liquidity(fail: str) -> None:
+        b.emit_nonpayable_guard(fail)
+        b.emit_balance_update(lp_slot, add=True)
+        b.emit_sload(reserve0_slot)
+        b.emit_calldata_arg(1)
+        b.asm.emit("ADD").push(reserve0_slot).emit("SSTORE")
+        b.emit_transfer_event()
+        b.emit_stop()
+
+    def remove_liquidity(fail: str) -> None:
+        b.emit_nonpayable_guard(fail)
+        b.emit_balance_update(lp_slot, add=False)
+        b.emit_external_call(value_from_stack=False, gas_limited=True)
+        b.emit_transfer_event()
+        b.emit_stop()
+
+    def get_reserves(fail: str) -> None:
+        b.emit_benign_math()
+        b.emit_return_uint(from_storage_slot=reserve0_slot)
+
+    def set_fee(fail: str) -> None:
+        b.emit_caller_is_owner_check(fee_slot, fail)
+        b.emit_calldata_arg(0)
+        b.asm.push(30).emit("GT")                  # fee must stay <= 30 bps
+        b.asm.push_label(fail).emit("JUMPI")
+        b.emit_calldata_arg(0)
+        b.asm.push(fee_slot).emit("SSTORE")
+        b.emit_stop()
+
+    bodies = [swap, add_liquidity, remove_liquidity, get_reserves]
+    if rng.random() < 0.6:
+        bodies.append(set_fee)
+    for _ in bodies:
+        b.register_function()
+    return _finish(b, bodies)
+
+
+def generate_airdrop_distributor(rng: random.Random) -> bytes:
+    """A batched airdrop distributor with a bounded loop and owner funding."""
+    b = ContractBuilder(rng)
+    owner_slot, count_slot, claimed_slot = 0, 1, 2
+
+    def distribute(fail: str) -> None:
+        b.emit_caller_is_owner_check(owner_slot, fail)
+
+        def body() -> None:
+            b.emit_balance_update(claimed_slot, add=True)
+            b.emit_transfer_event()
+
+        b.emit_counted_loop(body, count_slot)
+        b.emit_stop()
+
+    def claim(fail: str) -> None:
+        b.emit_nonpayable_guard(fail)
+        b.asm.emit("CALLER")
+        b.emit_mapping_slot(claimed_slot)
+        b.asm.emit("SLOAD").emit("ISZERO").emit("ISZERO")
+        b.asm.push_label(fail).emit("JUMPI")
+        b.asm.emit("CALLER")
+        b.emit_mapping_slot(claimed_slot)
+        b.asm.push(1).emit("SWAP1").emit("SSTORE")
+        b.emit_transfer_event()
+        b.emit_stop()
+
+    def fund(fail: str) -> None:
+        b.emit_caller_is_owner_check(owner_slot, fail)
+        b.emit_calldata_arg(0)
+        b.asm.push(count_slot).emit("SSTORE")
+        b.emit_stop()
+
+    bodies = [distribute, claim, fund]
+    if rng.random() < 0.5:
+        bodies.append(lambda fail: b.emit_return_uint(from_storage_slot=count_slot))
+    for _ in bodies:
+        b.register_function()
+    return _finish(b, bodies)
+
+
+def generate_multisig_wallet(rng: random.Random) -> bytes:
+    """A 2-of-N multisig wallet: submit/confirm/execute with quorum checks."""
+    b = ContractBuilder(rng)
+    quorum_slot, owners_slot, tx_slot, confirm_slot = 0, 1, 2, 3
+
+    def submit(fail: str) -> None:
+        b.asm.emit("CALLER")
+        b.emit_mapping_slot(owners_slot)
+        b.asm.emit("SLOAD").emit("ISZERO")
+        b.asm.push_label(fail).emit("JUMPI")
+        b.emit_calldata_arg(0)
+        b.asm.push(tx_slot).emit("SSTORE")
+        b.emit_transfer_event()
+        b.emit_stop()
+
+    def confirm(fail: str) -> None:
+        b.asm.emit("CALLER")
+        b.emit_mapping_slot(owners_slot)
+        b.asm.emit("SLOAD").emit("ISZERO")
+        b.asm.push_label(fail).emit("JUMPI")
+        b.emit_sload(confirm_slot)
+        b.asm.push(1).emit("ADD").push(confirm_slot).emit("SSTORE")
+        b.emit_stop()
+
+    def execute(fail: str) -> None:
+        b.emit_sload(confirm_slot)
+        b.emit_sload(quorum_slot)
+        b.asm.emit("GT")
+        b.asm.push_label(fail).emit("JUMPI")
+        b.emit_external_call(value_from_stack=True, gas_limited=True)
+        b.emit_transfer_event()
+        b.emit_stop()
+
+    def is_owner(fail: str) -> None:
+        b.emit_calldata_arg(0)
+        b.emit_mapping_slot(owners_slot)
+        b.asm.emit("SLOAD")
+        b.asm.push(0).emit("MSTORE")
+        b.asm.push(0x20).push(0).emit("RETURN")
+
+    bodies = [submit, confirm, execute, is_owner]
+    for _ in bodies:
+        b.register_function()
+    return _finish(b, bodies, payable_fallback=True)
+
+
+# ---------------------------- malicious families ---------------------------- #
+
+
+def generate_approval_drainer(rng: random.Random) -> bytes:
+    """Phishing approval drainer.
+
+    The contract masquerades as a token helper but its main entrypoint loops
+    over victim addresses held in storage and issues ``transferFrom``-style
+    external calls to sweep previously-granted allowances to the attacker,
+    keyed on ``tx.origin`` rather than ``msg.sender``.
+    """
+    b = ContractBuilder(rng)
+    attacker_slot, victims_slot, count_slot = 0, 1, 2
+    n_decoys = rng.randint(1, 3)
+
+    def sweep(fail: str) -> None:
+        # attacker gate on tx.origin (typical of drainer kits)
+        b.asm.emit("ORIGIN")
+        b.emit_sload(attacker_slot)
+        b.asm.emit("EQ").emit("ISZERO")
+        b.asm.push_label(fail).emit("JUMPI")
+
+        def body() -> None:
+            # victim = victims[i]; token.transferFrom(victim, attacker, max)
+            b.asm.emit("DUP1")
+            b.emit_mapping_slot(victims_slot)
+            b.asm.emit("SLOAD").emit("POP")
+            b.emit_external_call(value_from_stack=False, gas_limited=False)
+            b.emit_external_call(value_from_stack=False, gas_limited=False)
+
+        b.emit_counted_loop(body, count_slot)
+        b.emit_stop()
+
+    def register_victim(fail: str) -> None:
+        # "claim airdrop" style bait that records the caller as a victim
+        b.asm.emit("CALLER")
+        b.emit_mapping_slot(victims_slot)
+        b.asm.push(1).emit("SWAP1").emit("SSTORE")
+        b.emit_sload(count_slot)
+        b.asm.push(1).emit("ADD").push(count_slot).emit("SSTORE")
+        b.emit_stop()
+
+    def decoy(fail: str) -> None:
+        # looks like a view function so explorers show "token-like" behaviour
+        b.emit_benign_math()
+        b.emit_return_uint(from_storage_slot=count_slot)
+
+    def set_attacker(fail: str) -> None:
+        b.asm.emit("ORIGIN")
+        b.asm.push(attacker_slot).emit("SSTORE")
+        b.emit_stop()
+
+    bodies: List[Callable[[str], None]] = [sweep, register_victim, set_attacker]
+    bodies.extend([decoy] * n_decoys)
+    for _ in bodies:
+        b.register_function()
+    return _finish(b, bodies)
+
+
+def generate_honeypot(rng: random.Random) -> bytes:
+    """Honeypot: advertises a payout path that can never execute for victims.
+
+    The visible "withdraw" function compares a storage secret against a value
+    derived from calldata in a way only the deployer can satisfy, and the
+    deposit path quietly escalates the threshold.  A hidden drain function
+    sends the whole balance to the deployer and self-destructs.
+    """
+    b = ContractBuilder(rng)
+    secret_slot, owner_slot, deposits_slot = 0, 1, 2
+    magic = rng.randrange(1 << 32, 1 << 64)
+
+    def deposit(fail: str) -> None:
+        b.asm.emit("CALLVALUE").emit("ISZERO")
+        b.asm.push_label(fail).emit("JUMPI")
+        b.emit_balance_update(deposits_slot, add=True)
+        # quietly raise the secret so the payout check keeps failing
+        b.emit_sload(secret_slot)
+        b.asm.emit("CALLVALUE").emit("ADD").push(secret_slot).emit("SSTORE")
+        b.emit_transfer_event()
+        b.emit_stop()
+
+    def withdraw(fail: str) -> None:
+        # require(keccak-free "guess" == secret + magic) -- unsatisfiable for victims
+        b.emit_calldata_arg(0)
+        b.emit_sload(secret_slot)
+        b.asm.push(magic).emit("ADD")
+        b.asm.emit("EQ").emit("ISZERO")
+        b.asm.push_label(fail).emit("JUMPI")
+        b.asm.emit("SELFBALANCE")
+        b.emit_external_call(value_from_stack=False, gas_limited=False)
+        b.asm.emit("POP")
+        b.emit_stop()
+
+    def drain(fail: str) -> None:
+        b.emit_caller_is_owner_check(owner_slot, fail)
+        b.emit_sload(owner_slot)
+        b.asm.emit("SELFDESTRUCT")
+
+    def bait_view(fail: str) -> None:
+        b.emit_benign_math()
+        b.emit_return_uint(from_storage_slot=deposits_slot)
+
+    bodies = [deposit, withdraw, drain, bait_view]
+    for _ in bodies:
+        b.register_function()
+    return _finish(b, bodies, payable_fallback=True)
+
+
+def generate_ponzi_scheme(rng: random.Random) -> bytes:
+    """Ponzi: payouts to earlier investors are funded from new deposits only."""
+    b = ContractBuilder(rng)
+    queue_slot, index_slot, payout_slot, owner_slot = 0, 1, 2, 3
+
+    def invest(fail: str) -> None:
+        b.asm.emit("CALLVALUE").emit("ISZERO")
+        b.asm.push_label(fail).emit("JUMPI")
+        b.asm.emit("CALLER")
+        b.emit_mapping_slot(queue_slot)
+        b.asm.emit("CALLVALUE").emit("SWAP1").emit("SSTORE")
+        # payout loop over earlier investors, 10% cut to owner
+        b.asm.emit("CALLVALUE").push(10).emit("SWAP1").emit("DIV")
+        b.emit_sload(owner_slot)
+        b.asm.emit("POP").emit("POP")
+
+        def body() -> None:
+            b.emit_external_call(value_from_stack=False, gas_limited=False)
+            b.asm.emit("TIMESTAMP").emit("POP")
+
+        b.emit_counted_loop(body, index_slot)
+        b.emit_sload(index_slot)
+        b.asm.push(1).emit("ADD").push(index_slot).emit("SSTORE")
+        b.emit_transfer_event()
+        b.emit_stop()
+
+    def claim_returns(fail: str) -> None:
+        b.asm.emit("CALLER")
+        b.emit_mapping_slot(queue_slot)
+        b.asm.emit("SLOAD")
+        b.asm.push(150).emit("MUL").push(100).emit("SWAP1").emit("DIV")
+        b.asm.emit("TIMESTAMP").emit("AND").emit("POP")
+        b.emit_external_call(value_from_stack=False, gas_limited=False)
+        b.emit_stop()
+
+    def owner_exit(fail: str) -> None:
+        b.emit_caller_is_owner_check(owner_slot, fail)
+        b.emit_sload(owner_slot)
+        b.asm.emit("SELFDESTRUCT")
+
+    def stats(fail: str) -> None:
+        b.emit_return_uint(from_storage_slot=payout_slot)
+
+    bodies = [invest, claim_returns, owner_exit, stats]
+    for _ in bodies:
+        b.register_function()
+    return _finish(b, bodies, payable_fallback=True)
+
+
+def generate_rugpull_token(rng: random.Random) -> bytes:
+    """Rug-pull token: looks like an ERC-20 but has hidden owner escape hatches.
+
+    Alongside normal transfer/approve bodies it hides (a) a fee that the
+    owner can silently set to 100%, (b) an owner-only unrestricted mint, and
+    (c) a liquidity-drain function transferring the entire contract balance.
+    """
+    b = ContractBuilder(rng)
+    owner_slot, fee_slot, balances_slot, supply_slot = 0, 1, 2, 3
+
+    def transfer(fail: str) -> None:
+        b.emit_nonpayable_guard(fail)
+        # amount_after_fee = amount * (100 - fee) / 100
+        b.emit_calldata_arg(1)
+        b.emit_sload(fee_slot)
+        b.asm.push(100).emit("SUB").emit("MUL").push(100).emit("SWAP1").emit("DIV")
+        b.asm.emit("POP")
+        b.emit_balance_update(balances_slot, add=False)
+        b.emit_balance_update(balances_slot, add=True)
+        b.emit_transfer_event()
+        b.emit_return_uint()
+
+    def approve(fail: str) -> None:
+        b.emit_nonpayable_guard(fail)
+        b.emit_calldata_arg(0)
+        b.emit_mapping_slot(balances_slot)
+        b.emit_calldata_arg(1)
+        b.asm.emit("SWAP1").emit("SSTORE")
+        b.emit_return_uint()
+
+    def set_fee_unbounded(fail: str) -> None:
+        # no upper bound on the fee: owner can set 100% and block exits
+        b.emit_caller_is_owner_check(owner_slot, fail)
+        b.emit_calldata_arg(0)
+        b.asm.push(fee_slot).emit("SSTORE")
+        b.emit_stop()
+
+    def hidden_mint(fail: str) -> None:
+        b.emit_caller_is_owner_check(owner_slot, fail)
+        b.emit_sload(supply_slot)
+        b.emit_calldata_arg(0)
+        b.asm.emit("ADD").push(supply_slot).emit("SSTORE")
+        b.emit_balance_update(balances_slot, add=True)
+        b.emit_stop()
+
+    def drain_liquidity(fail: str) -> None:
+        b.emit_caller_is_owner_check(owner_slot, fail)
+        b.asm.emit("SELFBALANCE").emit("POP")
+        b.emit_external_call(value_from_stack=False, gas_limited=False)
+        b.emit_sload(owner_slot)
+        b.asm.emit("SELFDESTRUCT")
+
+    bodies = [transfer, approve, set_fee_unbounded, hidden_mint, drain_liquidity]
+    if rng.random() < 0.5:
+        bodies.append(lambda fail: b.emit_return_uint(from_storage_slot=supply_slot))
+    for _ in bodies:
+        b.register_function()
+    return _finish(b, bodies)
+
+
+def generate_backdoor_proxy(rng: random.Random) -> bytes:
+    """Hidden-backdoor contract: delegatecalls into an attacker-controlled slot.
+
+    The public functions look like a wallet, but every path funnels through a
+    DELEGATECALL whose target address lives in an innocuous storage slot the
+    deployer can rewrite, handing full control of the contract's storage and
+    funds to an external implementation.
+    """
+    b = ContractBuilder(rng)
+    impl_slot = rng.randrange(10, 200)
+    owner_slot = 0
+
+    def execute(fail: str) -> None:
+        b.emit_delegatecall_to_storage(impl_slot)
+        b.emit_stop()
+
+    def deposit(fail: str) -> None:
+        b.emit_balance_update(1, add=True)
+        b.emit_delegatecall_to_storage(impl_slot)
+        b.emit_transfer_event()
+        b.emit_stop()
+
+    def upgrade(fail: str) -> None:
+        # no owner check at all -- anyone aware of the selector can re-point it
+        b.emit_calldata_arg(0)
+        b.asm.push(impl_slot).emit("SSTORE")
+        b.emit_stop()
+
+    def probe(fail: str) -> None:
+        b.emit_calldata_arg(0)
+        b.asm.emit("EXTCODESIZE").emit("ISZERO")
+        b.asm.push_label(fail).emit("JUMPI")
+        b.emit_calldata_arg(0)
+        b.asm.emit("EXTCODEHASH").emit("POP")
+        b.emit_return_uint(from_storage_slot=owner_slot)
+
+    bodies = [execute, deposit, upgrade, probe]
+    for _ in bodies:
+        b.register_function()
+    return _finish(b, bodies, payable_fallback=True)
+
+
+# --------------------------------------------------------------------------- #
+# ERC-1167 minimal proxies (dedup ablation, E6)
+
+_ERC1167_PREFIX = bytes.fromhex("363d3d373d3d3d363d73")
+_ERC1167_SUFFIX = bytes.fromhex("5af43d82803e903d91602b57fd5bf3")
+
+
+def make_minimal_proxy(implementation_address: int) -> bytes:
+    """Return ERC-1167 minimal-proxy runtime bytecode for ``implementation_address``."""
+    if not 0 <= implementation_address < (1 << 160):
+        raise ValueError("implementation address must fit in 160 bits")
+    return _ERC1167_PREFIX + implementation_address.to_bytes(20, "big") + _ERC1167_SUFFIX
+
+
+def is_minimal_proxy(bytecode: bytes) -> bool:
+    """True if ``bytecode`` is an ERC-1167 minimal proxy."""
+    return (len(bytecode) == len(_ERC1167_PREFIX) + 20 + len(_ERC1167_SUFFIX)
+            and bytecode.startswith(_ERC1167_PREFIX)
+            and bytecode.endswith(_ERC1167_SUFFIX))
+
+
+def proxy_implementation_address(bytecode: bytes) -> int:
+    """Extract the implementation address from an ERC-1167 proxy."""
+    if not is_minimal_proxy(bytecode):
+        raise ValueError("not an ERC-1167 minimal proxy")
+    start = len(_ERC1167_PREFIX)
+    return int.from_bytes(bytecode[start:start + 20], "big")
+
+
+# --------------------------------------------------------------------------- #
+# template registries
+
+BENIGN_TEMPLATES: List[ContractTemplate] = [
+    ContractTemplate("erc20_token", 0, "token", generate_erc20_token),
+    ContractTemplate("staking_vault", 0, "defi", generate_staking_vault),
+    ContractTemplate("dex_pair", 0, "defi", generate_dex_pair),
+    ContractTemplate("airdrop_distributor", 0, "distribution", generate_airdrop_distributor),
+    ContractTemplate("multisig_wallet", 0, "wallet", generate_multisig_wallet),
+]
+
+MALICIOUS_TEMPLATES: List[ContractTemplate] = [
+    ContractTemplate("approval_drainer", 1, "phishing", generate_approval_drainer),
+    ContractTemplate("honeypot", 1, "honeypot", generate_honeypot),
+    ContractTemplate("ponzi_scheme", 1, "ponzi", generate_ponzi_scheme),
+    ContractTemplate("rugpull_token", 1, "rugpull", generate_rugpull_token),
+    ContractTemplate("backdoor_proxy", 1, "backdoor", generate_backdoor_proxy),
+]
+
+ALL_TEMPLATES: List[ContractTemplate] = BENIGN_TEMPLATES + MALICIOUS_TEMPLATES
+
+TEMPLATES_BY_NAME: Dict[str, ContractTemplate] = {t.name: t for t in ALL_TEMPLATES}

@@ -1,0 +1,106 @@
+"""EVM disassembler: runtime bytecode -> instruction stream / IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Union
+
+from repro.evm.opcodes import OPCODES, UNKNOWN_OPCODE_NAME, Opcode
+from repro.ir.instruction import IRInstruction
+
+
+@dataclass(frozen=True)
+class EVMInstruction:
+    """A decoded EVM instruction.
+
+    Attributes:
+        offset: Byte offset of the opcode within the bytecode.
+        opcode: The :class:`~repro.evm.opcodes.Opcode`, or None for undefined
+            byte values.
+        raw_byte: The raw opcode byte (meaningful when ``opcode`` is None).
+        operand: Immediate operand for PUSH instructions (big-endian int).
+        operand_bytes: Raw immediate bytes (may be shorter than declared when
+            the bytecode is truncated).
+    """
+
+    offset: int
+    opcode: Optional[Opcode]
+    raw_byte: int
+    operand: Optional[int] = None
+    operand_bytes: bytes = b""
+
+    @property
+    def name(self) -> str:
+        return self.opcode.name if self.opcode is not None else UNKNOWN_OPCODE_NAME
+
+    @property
+    def category(self) -> str:
+        return self.opcode.category if self.opcode is not None else "invalid"
+
+    @property
+    def size(self) -> int:
+        return 1 + len(self.operand_bytes)
+
+    @property
+    def end_offset(self) -> int:
+        return self.offset + self.size
+
+    def __str__(self) -> str:
+        if self.operand is not None:
+            return f"{self.offset:#06x}: {self.name} {self.operand:#x}"
+        return f"{self.offset:#06x}: {self.name}"
+
+
+def _normalize_bytecode(bytecode: Union[bytes, bytearray, str]) -> bytes:
+    """Accept bytes or a hex string (optionally 0x-prefixed)."""
+    if isinstance(bytecode, (bytes, bytearray)):
+        return bytes(bytecode)
+    text = bytecode.strip()
+    if text.startswith(("0x", "0X")):
+        text = text[2:]
+    if len(text) % 2:
+        text = "0" + text
+    return bytes.fromhex(text)
+
+
+def disassemble(bytecode: Union[bytes, bytearray, str]) -> List[EVMInstruction]:
+    """Linearly disassemble runtime bytecode into EVM instructions.
+
+    Truncated PUSH immediates at the end of the stream are tolerated (the
+    operand is decoded from the available bytes), matching the behaviour of
+    on-chain explorers.
+    """
+    code = _normalize_bytecode(bytecode)
+    instructions: List[EVMInstruction] = []
+    offset = 0
+    while offset < len(code):
+        raw = code[offset]
+        opcode = OPCODES.get(raw)
+        operand: Optional[int] = None
+        operand_bytes = b""
+        if opcode is not None and opcode.immediate_size:
+            operand_bytes = code[offset + 1: offset + 1 + opcode.immediate_size]
+            operand = int.from_bytes(operand_bytes, "big") if operand_bytes else 0
+        instructions.append(EVMInstruction(offset=offset, opcode=opcode, raw_byte=raw,
+                                           operand=operand, operand_bytes=operand_bytes))
+        offset += 1 + len(operand_bytes)
+    return instructions
+
+
+def disassemble_to_ir(bytecode: Union[bytes, bytearray, str]) -> List[IRInstruction]:
+    """Disassemble and lower into platform-agnostic IR instructions."""
+    return [
+        IRInstruction(offset=ins.offset, mnemonic=ins.name, category=ins.category,
+                      operand=ins.operand, size=ins.size, platform="evm")
+        for ins in disassemble(bytecode)
+    ]
+
+
+def to_mnemonic_sequence(bytecode: Union[bytes, bytearray, str]) -> List[str]:
+    """Opcode mnemonic sequence of the bytecode (PhishingHook's raw view)."""
+    return [ins.name for ins in disassemble(bytecode)]
+
+
+def format_disassembly(bytecode: Union[bytes, bytearray, str]) -> str:
+    """Human-readable disassembly listing."""
+    return "\n".join(str(ins) for ins in disassemble(bytecode))

@@ -1,0 +1,222 @@
+"""The EVM opcode table.
+
+Every opcode of the Shanghai-era Ethereum Virtual Machine is modelled as an
+:class:`Opcode` record carrying its byte value, mnemonic, stack arity
+(items popped / pushed), immediate operand width (only ``PUSH1``..``PUSH32``
+carry immediates), an approximate static gas cost and a *semantic category*.
+
+The semantic category is the platform-agnostic vocabulary shared with the
+WASM frontend (see :mod:`repro.ir.normalization`): models that operate on the
+intermediate representation never see raw byte values, only categories, which
+is what makes the ScamDetect pipeline platform-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """A single EVM opcode.
+
+    Attributes:
+        value: The byte value of the opcode (0x00 - 0xFF).
+        name: Canonical mnemonic, e.g. ``"PUSH1"`` or ``"SSTORE"``.
+        pops: Number of stack items consumed.
+        pushes: Number of stack items produced.
+        immediate_size: Number of immediate operand bytes following the opcode
+            in the bytecode stream (non-zero only for PUSH1..PUSH32).
+        gas: Approximate static gas cost (dynamic components ignored).
+        category: Semantic category used by the platform-agnostic IR.
+    """
+
+    value: int
+    name: str
+    pops: int
+    pushes: int
+    immediate_size: int
+    gas: int
+    category: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+# Semantic categories shared with the WASM frontend.
+CATEGORIES = (
+    "arithmetic",
+    "comparison",
+    "bitwise",
+    "crypto",
+    "environment",
+    "block",
+    "stack",
+    "memory",
+    "storage",
+    "control",
+    "call",
+    "create",
+    "log",
+    "terminator",
+    "invalid",
+)
+
+
+def _op(value: int, name: str, pops: int, pushes: int, gas: int, category: str,
+        immediate_size: int = 0) -> Opcode:
+    return Opcode(value=value, name=name, pops=pops, pushes=pushes,
+                  immediate_size=immediate_size, gas=gas, category=category)
+
+
+_BASE_OPCODES: List[Opcode] = [
+    # 0x00 - 0x0B: stop and arithmetic
+    _op(0x00, "STOP", 0, 0, 0, "terminator"),
+    _op(0x01, "ADD", 2, 1, 3, "arithmetic"),
+    _op(0x02, "MUL", 2, 1, 5, "arithmetic"),
+    _op(0x03, "SUB", 2, 1, 3, "arithmetic"),
+    _op(0x04, "DIV", 2, 1, 5, "arithmetic"),
+    _op(0x05, "SDIV", 2, 1, 5, "arithmetic"),
+    _op(0x06, "MOD", 2, 1, 5, "arithmetic"),
+    _op(0x07, "SMOD", 2, 1, 5, "arithmetic"),
+    _op(0x08, "ADDMOD", 3, 1, 8, "arithmetic"),
+    _op(0x09, "MULMOD", 3, 1, 8, "arithmetic"),
+    _op(0x0A, "EXP", 2, 1, 10, "arithmetic"),
+    _op(0x0B, "SIGNEXTEND", 2, 1, 5, "arithmetic"),
+    # 0x10 - 0x1D: comparison & bitwise
+    _op(0x10, "LT", 2, 1, 3, "comparison"),
+    _op(0x11, "GT", 2, 1, 3, "comparison"),
+    _op(0x12, "SLT", 2, 1, 3, "comparison"),
+    _op(0x13, "SGT", 2, 1, 3, "comparison"),
+    _op(0x14, "EQ", 2, 1, 3, "comparison"),
+    _op(0x15, "ISZERO", 1, 1, 3, "comparison"),
+    _op(0x16, "AND", 2, 1, 3, "bitwise"),
+    _op(0x17, "OR", 2, 1, 3, "bitwise"),
+    _op(0x18, "XOR", 2, 1, 3, "bitwise"),
+    _op(0x19, "NOT", 1, 1, 3, "bitwise"),
+    _op(0x1A, "BYTE", 2, 1, 3, "bitwise"),
+    _op(0x1B, "SHL", 2, 1, 3, "bitwise"),
+    _op(0x1C, "SHR", 2, 1, 3, "bitwise"),
+    _op(0x1D, "SAR", 2, 1, 3, "bitwise"),
+    # 0x20: keccak
+    _op(0x20, "SHA3", 2, 1, 30, "crypto"),
+    # 0x30 - 0x3F: environment
+    _op(0x30, "ADDRESS", 0, 1, 2, "environment"),
+    _op(0x31, "BALANCE", 1, 1, 100, "environment"),
+    _op(0x32, "ORIGIN", 0, 1, 2, "environment"),
+    _op(0x33, "CALLER", 0, 1, 2, "environment"),
+    _op(0x34, "CALLVALUE", 0, 1, 2, "environment"),
+    _op(0x35, "CALLDATALOAD", 1, 1, 3, "environment"),
+    _op(0x36, "CALLDATASIZE", 0, 1, 2, "environment"),
+    _op(0x37, "CALLDATACOPY", 3, 0, 3, "environment"),
+    _op(0x38, "CODESIZE", 0, 1, 2, "environment"),
+    _op(0x39, "CODECOPY", 3, 0, 3, "environment"),
+    _op(0x3A, "GASPRICE", 0, 1, 2, "environment"),
+    _op(0x3B, "EXTCODESIZE", 1, 1, 100, "environment"),
+    _op(0x3C, "EXTCODECOPY", 4, 0, 100, "environment"),
+    _op(0x3D, "RETURNDATASIZE", 0, 1, 2, "environment"),
+    _op(0x3E, "RETURNDATACOPY", 3, 0, 3, "environment"),
+    _op(0x3F, "EXTCODEHASH", 1, 1, 100, "environment"),
+    # 0x40 - 0x4A: block information
+    _op(0x40, "BLOCKHASH", 1, 1, 20, "block"),
+    _op(0x41, "COINBASE", 0, 1, 2, "block"),
+    _op(0x42, "TIMESTAMP", 0, 1, 2, "block"),
+    _op(0x43, "NUMBER", 0, 1, 2, "block"),
+    _op(0x44, "PREVRANDAO", 0, 1, 2, "block"),
+    _op(0x45, "GASLIMIT", 0, 1, 2, "block"),
+    _op(0x46, "CHAINID", 0, 1, 2, "block"),
+    _op(0x47, "SELFBALANCE", 0, 1, 5, "block"),
+    _op(0x48, "BASEFEE", 0, 1, 2, "block"),
+    # 0x50 - 0x5B: stack, memory, storage and flow
+    _op(0x50, "POP", 1, 0, 2, "stack"),
+    _op(0x51, "MLOAD", 1, 1, 3, "memory"),
+    _op(0x52, "MSTORE", 2, 0, 3, "memory"),
+    _op(0x53, "MSTORE8", 2, 0, 3, "memory"),
+    _op(0x54, "SLOAD", 1, 1, 100, "storage"),
+    _op(0x55, "SSTORE", 2, 0, 100, "storage"),
+    _op(0x56, "JUMP", 1, 0, 8, "control"),
+    _op(0x57, "JUMPI", 2, 0, 10, "control"),
+    _op(0x58, "PC", 0, 1, 2, "stack"),
+    _op(0x59, "MSIZE", 0, 1, 2, "memory"),
+    _op(0x5A, "GAS", 0, 1, 2, "environment"),
+    _op(0x5B, "JUMPDEST", 0, 0, 1, "control"),
+    _op(0x5F, "PUSH0", 0, 1, 2, "stack"),
+    # 0xA0 - 0xA4: logging
+    _op(0xA0, "LOG0", 2, 0, 375, "log"),
+    _op(0xA1, "LOG1", 3, 0, 750, "log"),
+    _op(0xA2, "LOG2", 4, 0, 1125, "log"),
+    _op(0xA3, "LOG3", 5, 0, 1500, "log"),
+    _op(0xA4, "LOG4", 6, 0, 1875, "log"),
+    # 0xF0 - 0xFF: system operations
+    _op(0xF0, "CREATE", 3, 1, 32000, "create"),
+    _op(0xF1, "CALL", 7, 1, 100, "call"),
+    _op(0xF2, "CALLCODE", 7, 1, 100, "call"),
+    _op(0xF3, "RETURN", 2, 0, 0, "terminator"),
+    _op(0xF4, "DELEGATECALL", 6, 1, 100, "call"),
+    _op(0xF5, "CREATE2", 4, 1, 32000, "create"),
+    _op(0xFA, "STATICCALL", 6, 1, 100, "call"),
+    _op(0xFD, "REVERT", 2, 0, 0, "terminator"),
+    _op(0xFE, "INVALID", 0, 0, 0, "invalid"),
+    _op(0xFF, "SELFDESTRUCT", 1, 0, 5000, "terminator"),
+]
+
+
+def _generate_push_dup_swap() -> List[Opcode]:
+    ops: List[Opcode] = []
+    for n in range(1, 33):
+        ops.append(Opcode(value=0x60 + n - 1, name=f"PUSH{n}", pops=0, pushes=1,
+                          immediate_size=n, gas=3, category="stack"))
+    for n in range(1, 17):
+        ops.append(Opcode(value=0x80 + n - 1, name=f"DUP{n}", pops=n, pushes=n + 1,
+                          immediate_size=0, gas=3, category="stack"))
+    for n in range(1, 17):
+        ops.append(Opcode(value=0x90 + n - 1, name=f"SWAP{n}", pops=n + 1, pushes=n + 1,
+                          immediate_size=0, gas=3, category="stack"))
+    return ops
+
+
+#: Mapping byte value -> Opcode for every defined opcode.
+OPCODES: Dict[int, Opcode] = {op.value: op for op in _BASE_OPCODES + _generate_push_dup_swap()}
+
+#: Mapping mnemonic -> Opcode.
+OPCODES_BY_NAME: Dict[str, Opcode] = {op.name: op for op in OPCODES.values()}
+
+#: Opcode returned for undefined byte values.
+UNKNOWN_OPCODE_NAME = "UNKNOWN"
+
+
+def opcode_by_value(value: int) -> Optional[Opcode]:
+    """Return the :class:`Opcode` for ``value``, or ``None`` if undefined."""
+    return OPCODES.get(value)
+
+
+def opcode_by_name(name: str) -> Opcode:
+    """Return the :class:`Opcode` with mnemonic ``name``.
+
+    Raises:
+        KeyError: if the mnemonic is not a defined EVM opcode.
+    """
+    return OPCODES_BY_NAME[name.upper()]
+
+
+def is_push(value: int) -> bool:
+    """Return True if ``value`` is one of PUSH1..PUSH32 (or PUSH0)."""
+    return 0x5F <= value <= 0x7F
+
+
+def push_size(value: int) -> int:
+    """Number of immediate bytes carried by a PUSH opcode (0 for PUSH0)."""
+    if not is_push(value):
+        raise ValueError(f"opcode 0x{value:02x} is not a PUSH")
+    return value - 0x5F
+
+
+def is_terminator(name: str) -> bool:
+    """Return True if the mnemonic unconditionally ends a basic block."""
+    return name in ("STOP", "RETURN", "REVERT", "INVALID", "SELFDESTRUCT", "JUMP")
+
+
+def is_block_end(name: str) -> bool:
+    """Return True if the mnemonic ends a basic block (including fallthrough JUMPI)."""
+    return is_terminator(name) or name == "JUMPI" or name == UNKNOWN_OPCODE_NAME

@@ -1,0 +1,101 @@
+"""Bounded symbolic stack used for static jump-target resolution.
+
+The EVM expresses jump targets as ordinary stack values, so a CFG builder
+must recover, for every ``JUMP``/``JUMPI``, the set of concrete targets that
+can reach it.  Full-blown symbolic execution is overkill for the detection
+pipeline; instead we track a small abstract stack per basic block where each
+slot is either a known constant (produced by a PUSH and propagated through
+DUP/SWAP/AND-masking) or ``UNKNOWN``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.evm.disassembler import EVMInstruction
+
+#: Sentinel for a stack slot whose value is not statically known.
+UNKNOWN = None
+
+#: Maximum tracked stack depth; deeper values are discarded (EVM limit is 1024
+#: but jump targets in practice live in the top few slots).
+MAX_TRACKED_DEPTH = 64
+
+
+class SymbolicStack:
+    """An abstract EVM stack tracking constants where statically derivable."""
+
+    def __init__(self, values: Optional[List[Optional[int]]] = None) -> None:
+        self._values: List[Optional[int]] = list(values or [])
+
+    def copy(self) -> "SymbolicStack":
+        return SymbolicStack(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def push(self, value: Optional[int]) -> None:
+        self._values.append(value)
+        if len(self._values) > MAX_TRACKED_DEPTH:
+            del self._values[0]
+
+    def pop(self) -> Optional[int]:
+        if not self._values:
+            return UNKNOWN
+        return self._values.pop()
+
+    def peek(self, depth: int = 0) -> Optional[int]:
+        """Value ``depth`` slots below the top (0 == top), UNKNOWN when absent."""
+        if depth >= len(self._values):
+            return UNKNOWN
+        return self._values[-1 - depth]
+
+    def apply(self, instruction: EVMInstruction) -> None:
+        """Update the abstract stack with the effect of one instruction.
+
+        PUSH propagates its constant; DUPn/SWAPn move tracked values around;
+        every other opcode pops its arguments and pushes UNKNOWN results.
+        """
+        opcode = instruction.opcode
+        if opcode is None:
+            self._values.clear()
+            return
+        name = opcode.name
+        if name.startswith("PUSH"):
+            self.push(instruction.operand if instruction.operand is not None else 0)
+            return
+        if name.startswith("DUP"):
+            depth = int(name[3:]) - 1
+            self.push(self.peek(depth))
+            return
+        if name.startswith("SWAP"):
+            depth = int(name[4:])
+            if depth < len(self._values):
+                top_index = len(self._values) - 1
+                other_index = top_index - depth
+                self._values[top_index], self._values[other_index] = (
+                    self._values[other_index], self._values[top_index])
+            else:
+                # cannot see that deep: conservatively forget everything we
+                # would have swapped with.
+                self._values = [UNKNOWN] * len(self._values)
+            return
+        # AND against a constant mask preserves small jump-target constants
+        # (a pattern emitted by solc for function pointers); other ops lose
+        # precision.
+        if name == "AND" and len(self._values) >= 2:
+            a = self.pop()
+            b = self.pop()
+            if a is not None and b is not None:
+                self.push(a & b)
+            else:
+                self.push(UNKNOWN)
+            return
+        for _ in range(opcode.pops):
+            self.pop()
+        for _ in range(opcode.pushes):
+            self.push(UNKNOWN)
+
+    def jump_target(self) -> Optional[int]:
+        """The statically-known jump target sitting on top of the stack, if any."""
+        return self.peek(0)

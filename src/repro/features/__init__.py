@@ -1,0 +1,34 @@
+"""Feature extraction for classical (non-graph) models.
+
+These are the PhishingHook-style representations benchmarked in E1 and used
+as the opcode-sequence baselines that the GNN models are compared against in
+E2-E4:
+
+* opcode histograms (mnemonic or category vocabulary),
+* opcode n-grams and TF-IDF re-weighted n-grams,
+* byte-image ("vision") encodings of the raw bytecode,
+* flat structural descriptors of the CFG.
+
+All extractors implement ``fit(corpus)`` / ``transform(corpus)`` and are
+platform-agnostic: they work from the shared opcode-sequence / CFG view
+provided by :mod:`repro.features.sequences`.
+"""
+
+from repro.features.sequences import opcode_sequence, normalized_vocabulary
+from repro.features.base import FeatureExtractor
+from repro.features.opcode_histogram import OpcodeHistogramExtractor
+from repro.features.ngrams import NgramExtractor
+from repro.features.tfidf import TfidfExtractor
+from repro.features.image_encoding import ByteImageExtractor
+from repro.features.cfg_features import CFGStructureExtractor
+
+__all__ = [
+    "opcode_sequence",
+    "normalized_vocabulary",
+    "FeatureExtractor",
+    "OpcodeHistogramExtractor",
+    "NgramExtractor",
+    "TfidfExtractor",
+    "ByteImageExtractor",
+    "CFGStructureExtractor",
+]

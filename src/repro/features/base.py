@@ -1,0 +1,39 @@
+"""Base protocol for feature extractors."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.corpus import Corpus
+
+
+class FeatureExtractor(abc.ABC):
+    """fit/transform feature extractor over contract corpora.
+
+    Extractors must be usable in cross-validation loops: ``fit`` learns any
+    vocabulary/statistics from the training corpus only, and ``transform``
+    can then be applied to unseen corpora.
+    """
+
+    #: Short name used in experiment tables.
+    name: str = "extractor"
+
+    @abc.abstractmethod
+    def fit(self, corpus: Corpus) -> "FeatureExtractor":
+        """Learn extraction state from ``corpus``; returns self."""
+
+    @abc.abstractmethod
+    def transform(self, corpus: Corpus) -> np.ndarray:
+        """Return the feature matrix of ``corpus`` (one row per sample)."""
+
+    def fit_transform(self, corpus: Corpus) -> np.ndarray:
+        """Fit on ``corpus`` and transform it in one call."""
+        return self.fit(corpus).transform(corpus)
+
+    @property
+    def dimension(self) -> Optional[int]:
+        """Dimensionality of the produced feature vectors, if known after fit."""
+        return None

@@ -1,0 +1,49 @@
+"""Flat structural CFG descriptors for classical models."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.corpus import Corpus
+from repro.features.base import FeatureExtractor
+from repro.ir.features import graph_feature_vector
+from repro.ir.normalization import CATEGORY_VOCABULARY
+from repro.evm.cfg_builder import build_cfg as build_evm_cfg
+from repro.wasm.cfg_builder import build_cfg as build_wasm_cfg
+
+
+def sample_to_cfg(sample) -> "object":
+    """Build the platform-appropriate CFG of a contract sample."""
+    if sample.platform == "evm":
+        return build_evm_cfg(sample.bytecode, name=sample.sample_id)
+    if sample.platform == "wasm":
+        return build_wasm_cfg(sample.bytecode, name=sample.sample_id)
+    raise ValueError(f"unknown platform {sample.platform!r}")
+
+
+class CFGStructureExtractor(FeatureExtractor):
+    """Fixed-size structural descriptor of each contract's CFG.
+
+    A "CFG-aware but flat" baseline sitting between pure opcode histograms
+    and the GNN models: it sees the global category distribution plus graph
+    shape statistics but no relational structure.
+    """
+
+    def __init__(self) -> None:
+        self.name = "cfg-structure"
+
+    def fit(self, corpus: Corpus) -> "CFGStructureExtractor":
+        return self
+
+    def transform(self, corpus: Corpus) -> np.ndarray:
+        width = len(CATEGORY_VOCABULARY) + 8
+        features = np.zeros((len(corpus), width), dtype=np.float64)
+        for row, sample in enumerate(corpus):
+            features[row] = graph_feature_vector(sample_to_cfg(sample))
+        return features
+
+    @property
+    def dimension(self) -> Optional[int]:
+        return len(CATEGORY_VOCABULARY) + 8

@@ -1,0 +1,73 @@
+"""Byte-image ("vision-based") encodings of raw bytecode.
+
+PhishingHook's model zoo includes vision-style encodings that treat the raw
+bytecode as a grayscale image.  This extractor reproduces the idea without a
+CNN substrate: the byte stream is resampled onto a fixed ``side x side`` grid
+(averaging within each cell) and flattened, optionally augmented with a
+byte-value histogram, yielding a fixed-size vector any classical model can
+consume.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.corpus import Corpus
+from repro.features.base import FeatureExtractor
+
+
+class ByteImageExtractor(FeatureExtractor):
+    """Fixed-size byte-image representation of the raw bytecode.
+
+    Args:
+        side: The image is ``side x side`` pixels (flattened to side**2 values
+            in [0, 1]).
+        include_byte_histogram: Append a 32-bin histogram of byte values.
+    """
+
+    def __init__(self, side: int = 16, include_byte_histogram: bool = True) -> None:
+        if side < 2:
+            raise ValueError("side must be >= 2")
+        self.side = side
+        self.include_byte_histogram = include_byte_histogram
+        self.name = f"byteimage-{side}x{side}"
+
+    def fit(self, corpus: Corpus) -> "ByteImageExtractor":
+        return self
+
+    def _resample(self, data: bytes) -> np.ndarray:
+        pixels = self.side * self.side
+        if not data:
+            return np.zeros(pixels, dtype=np.float64)
+        values = np.frombuffer(data, dtype=np.uint8).astype(np.float64) / 255.0
+        # average the byte values falling into each of the `pixels` buckets
+        bucket_edges = np.linspace(0, len(values), pixels + 1).astype(int)
+        image = np.zeros(pixels, dtype=np.float64)
+        for i in range(pixels):
+            start, end = bucket_edges[i], bucket_edges[i + 1]
+            if end > start:
+                image[i] = values[start:end].mean()
+            elif len(values):
+                image[i] = values[min(start, len(values) - 1)]
+        return image
+
+    def transform(self, corpus: Corpus) -> np.ndarray:
+        histogram_bins = 32 if self.include_byte_histogram else 0
+        width = self.side * self.side + histogram_bins + 1
+        features = np.zeros((len(corpus), width), dtype=np.float64)
+        for row, sample in enumerate(corpus):
+            image = self._resample(sample.bytecode)
+            features[row, :image.size] = image
+            if self.include_byte_histogram and sample.bytecode:
+                values = np.frombuffer(sample.bytecode, dtype=np.uint8)
+                histogram, _ = np.histogram(values, bins=histogram_bins, range=(0, 256))
+                features[row, image.size:image.size + histogram_bins] = (
+                    histogram / max(len(values), 1))
+            features[row, -1] = np.log1p(len(sample.bytecode))
+        return features
+
+    @property
+    def dimension(self) -> Optional[int]:
+        return self.side * self.side + (32 if self.include_byte_histogram else 0) + 1

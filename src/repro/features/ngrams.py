@@ -1,0 +1,65 @@
+"""Opcode n-gram features."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.corpus import Corpus
+from repro.features.base import FeatureExtractor
+from repro.features.sequences import opcode_sequence
+
+
+class NgramExtractor(FeatureExtractor):
+    """Counts of the most frequent opcode n-grams learned from the training set.
+
+    Args:
+        n: n-gram order (2 = bigrams, 3 = trigrams, ...).
+        top_k: Keep only the ``top_k`` most frequent n-grams seen during fit.
+        vocabulary: Token vocabulary passed to :func:`opcode_sequence`.
+        normalize: Divide counts by the number of n-grams in the sample.
+    """
+
+    def __init__(self, n: int = 2, top_k: int = 256,
+                 vocabulary: str = "mnemonic", normalize: bool = True) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+        self.top_k = top_k
+        self.vocabulary = vocabulary
+        self.normalize = normalize
+        self._ngram_index: Dict[Tuple[str, ...], int] = {}
+        self.name = f"{n}gram"
+
+    def _ngrams(self, sequence: List[str]) -> List[Tuple[str, ...]]:
+        if len(sequence) < self.n:
+            return []
+        return [tuple(sequence[i:i + self.n]) for i in range(len(sequence) - self.n + 1)]
+
+    def fit(self, corpus: Corpus) -> "NgramExtractor":
+        counter: Counter = Counter()
+        for sample in corpus:
+            counter.update(self._ngrams(opcode_sequence(sample, self.vocabulary)))
+        most_common = counter.most_common(self.top_k)
+        self._ngram_index = {ngram: i for i, (ngram, _) in enumerate(most_common)}
+        return self
+
+    def transform(self, corpus: Corpus) -> np.ndarray:
+        if not self._ngram_index:
+            raise RuntimeError("NgramExtractor.transform called before fit")
+        features = np.zeros((len(corpus), len(self._ngram_index)), dtype=np.float64)
+        for row, sample in enumerate(corpus):
+            ngrams = self._ngrams(opcode_sequence(sample, self.vocabulary))
+            for ngram in ngrams:
+                column = self._ngram_index.get(ngram)
+                if column is not None:
+                    features[row, column] += 1.0
+            if self.normalize and ngrams:
+                features[row] /= float(len(ngrams))
+        return features
+
+    @property
+    def dimension(self) -> Optional[int]:
+        return len(self._ngram_index) or None

@@ -1,0 +1,56 @@
+"""Opcode-histogram features (the core PhishingHook representation)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.corpus import Corpus
+from repro.features.base import FeatureExtractor
+from repro.features.sequences import normalized_vocabulary, opcode_sequence
+
+
+class OpcodeHistogramExtractor(FeatureExtractor):
+    """Normalized histogram of opcode tokens per contract.
+
+    Args:
+        vocabulary: ``"mnemonic"`` (normalized platform mnemonics) or
+            ``"category"`` (the shared semantic categories).
+        platform: Which platform's vocabulary to use; ``"both"`` makes feature
+            vectors comparable across EVM and WASM corpora (used in E5).
+        normalize: If True each histogram is divided by the sequence length.
+        include_length: If True a log-length column is appended.
+    """
+
+    def __init__(self, vocabulary: str = "mnemonic", platform: str = "both",
+                 normalize: bool = True, include_length: bool = True) -> None:
+        self.vocabulary = vocabulary
+        self.platform = platform
+        self.normalize = normalize
+        self.include_length = include_length
+        self._tokens = normalized_vocabulary(platform, vocabulary)
+        self._index = {token: i for i, token in enumerate(self._tokens)}
+        self.name = f"histogram-{vocabulary}"
+
+    def fit(self, corpus: Corpus) -> "OpcodeHistogramExtractor":
+        return self  # vocabulary is fixed; nothing to learn
+
+    def transform(self, corpus: Corpus) -> np.ndarray:
+        width = len(self._tokens) + (1 if self.include_length else 0)
+        features = np.zeros((len(corpus), width), dtype=np.float64)
+        for row, sample in enumerate(corpus):
+            sequence = opcode_sequence(sample, vocabulary=self.vocabulary)
+            for token in sequence:
+                column = self._index.get(token)
+                if column is not None:
+                    features[row, column] += 1.0
+            if self.normalize and sequence:
+                features[row, :len(self._tokens)] /= float(len(sequence))
+            if self.include_length:
+                features[row, -1] = np.log1p(len(sequence))
+        return features
+
+    @property
+    def dimension(self) -> Optional[int]:
+        return len(self._tokens) + (1 if self.include_length else 0)

@@ -1,0 +1,93 @@
+"""Shared opcode-sequence view of contract samples.
+
+Classical feature extractors do not consume raw bytecode directly; they work
+from the normalized opcode sequence produced here, which hides the
+platform-specific details (PUSH widths, DUP/SWAP depths, WASM type prefixes)
+behind a compact shared vocabulary.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence
+
+from repro.datasets.corpus import ContractSample
+from repro.evm.disassembler import disassemble
+from repro.evm.opcodes import OPCODES
+from repro.ir.normalization import CATEGORY_VOCABULARY
+from repro.wasm.opcodes import WASM_OPCODES
+from repro.wasm.parser import parse_module
+
+
+def _normalize_evm_mnemonic(name: str) -> str:
+    """Collapse parameterized mnemonics (PUSH1..32, DUP1..16, ...) onto one token."""
+    for prefix in ("PUSH", "DUP", "SWAP", "LOG"):
+        if name.startswith(prefix) and name[len(prefix):].isdigit():
+            return prefix
+    return name
+
+
+def _normalize_wasm_mnemonic(name: str) -> str:
+    """Collapse typed WASM mnemonics (i32.add / i64.add -> add, etc.)."""
+    if "." in name:
+        prefix, operation = name.split(".", 1)
+        if prefix in ("i32", "i64", "f32", "f64"):
+            return operation.upper()
+        return f"{prefix.upper()}_{operation.upper()}"
+    return name.upper()
+
+
+@lru_cache(maxsize=4096)
+def _cached_sequence(bytecode: bytes, platform: str, vocabulary: str) -> tuple:
+    if platform == "evm":
+        instructions = disassemble(bytecode)
+        if vocabulary == "category":
+            return tuple(ins.category for ins in instructions)
+        return tuple(_normalize_evm_mnemonic(ins.name) for ins in instructions)
+    if platform == "wasm":
+        module = parse_module(bytecode)
+        names: List[str] = []
+        categories: List[str] = []
+        for function in module.functions:
+            for entry in function.body:
+                names.append(_normalize_wasm_mnemonic(entry.name))
+                categories.append(entry.opcode.category)
+        return tuple(categories if vocabulary == "category" else names)
+    raise ValueError(f"unknown platform {platform!r}")
+
+
+def opcode_sequence(sample: ContractSample, vocabulary: str = "mnemonic") -> List[str]:
+    """The normalized opcode sequence of a contract sample.
+
+    Results are memoized on (bytecode, platform, vocabulary) because feature
+    extractors re-derive the same sequences many times during
+    cross-validation.
+
+    Args:
+        sample: The contract sample (EVM or WASM).
+        vocabulary: ``"mnemonic"`` for normalized platform mnemonics, or
+            ``"category"`` for the shared semantic categories.
+    """
+    return list(_cached_sequence(sample.bytecode, sample.platform, vocabulary))
+
+
+@lru_cache(maxsize=None)
+def normalized_vocabulary(platform: str = "both", vocabulary: str = "mnemonic") -> tuple:
+    """The fixed token vocabulary for histograms.
+
+    Args:
+        platform: ``"evm"``, ``"wasm"`` or ``"both"``.
+        vocabulary: ``"mnemonic"`` or ``"category"``.
+
+    Returns:
+        A sorted tuple of tokens; feature vectors index into it positionally.
+    """
+    if vocabulary == "category":
+        return tuple(CATEGORY_VOCABULARY)
+    tokens = set()
+    if platform in ("evm", "both"):
+        tokens.update(_normalize_evm_mnemonic(op.name) for op in OPCODES.values())
+        tokens.add("UNKNOWN")
+    if platform in ("wasm", "both"):
+        tokens.update(_normalize_wasm_mnemonic(op.name) for op in WASM_OPCODES.values())
+    return tuple(sorted(tokens))

@@ -1,0 +1,48 @@
+"""TF-IDF re-weighted opcode n-gram features."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.corpus import Corpus
+from repro.features.base import FeatureExtractor
+from repro.features.ngrams import NgramExtractor
+
+
+class TfidfExtractor(FeatureExtractor):
+    """TF-IDF weighting over opcode n-gram counts.
+
+    The term-frequency part reuses :class:`NgramExtractor` (unnormalized
+    counts); inverse document frequencies are learned during fit with the
+    standard smoothed formulation ``idf = ln((1 + N) / (1 + df)) + 1`` and
+    rows are L2-normalized.
+    """
+
+    def __init__(self, n: int = 2, top_k: int = 256,
+                 vocabulary: str = "mnemonic") -> None:
+        self._counts = NgramExtractor(n=n, top_k=top_k, vocabulary=vocabulary,
+                                      normalize=False)
+        self._idf: Optional[np.ndarray] = None
+        self.name = f"tfidf-{n}gram"
+
+    def fit(self, corpus: Corpus) -> "TfidfExtractor":
+        counts = self._counts.fit(corpus).transform(corpus)
+        document_frequency = (counts > 0).sum(axis=0)
+        num_documents = max(len(corpus), 1)
+        self._idf = np.log((1.0 + num_documents) / (1.0 + document_frequency)) + 1.0
+        return self
+
+    def transform(self, corpus: Corpus) -> np.ndarray:
+        if self._idf is None:
+            raise RuntimeError("TfidfExtractor.transform called before fit")
+        counts = self._counts.transform(corpus)
+        weighted = counts * self._idf[None, :]
+        norms = np.linalg.norm(weighted, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return weighted / norms
+
+    @property
+    def dimension(self) -> Optional[int]:
+        return self._counts.dimension

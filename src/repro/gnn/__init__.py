@@ -1,0 +1,31 @@
+"""Graph neural networks over contract control-flow graphs.
+
+Implements the five architectures the ScamDetect roadmap names for Phase 1 --
+GCN, GAT, GIN, TAG and GraphSAGE -- on top of the :mod:`repro.autograd`
+engine, together with graph readout pooling, a graph-classification model and
+a trainer.  Graphs are dense per-contract CFGs produced by
+:func:`repro.gnn.data.corpus_to_graphs`.
+"""
+
+from repro.gnn.data import ContractGraph, corpus_to_graphs, sample_to_graph
+from repro.gnn.layers import GCNConv, GATConv, GINConv, TAGConv, SAGEConv, make_conv
+from repro.gnn.pooling import readout
+from repro.gnn.model import GraphClassifier, GNN_ARCHITECTURES
+from repro.gnn.training import GNNTrainer, TrainingHistory
+
+__all__ = [
+    "ContractGraph",
+    "corpus_to_graphs",
+    "sample_to_graph",
+    "GCNConv",
+    "GATConv",
+    "GINConv",
+    "TAGConv",
+    "SAGEConv",
+    "make_conv",
+    "readout",
+    "GraphClassifier",
+    "GNN_ARCHITECTURES",
+    "GNNTrainer",
+    "TrainingHistory",
+]

@@ -1,0 +1,101 @@
+"""Graph data preparation for the GNN models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.corpus import ContractSample, Corpus
+from repro.features.cfg_features import sample_to_cfg
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.features import (
+    NODE_FEATURE_DIM,
+    adjacency_with_self_loops,
+    node_feature_matrix,
+    normalized_adjacency,
+)
+
+
+@dataclass
+class ContractGraph:
+    """A contract CFG prepared for GNN consumption.
+
+    Attributes:
+        node_features: (num_nodes, feature_dim) node feature matrix.
+        adjacency: Raw symmetric adjacency with self loops.
+        normalized_adjacency: GCN-normalized adjacency D^-1/2 (A+I) D^-1/2.
+        label: Ground-truth label of the contract.
+        sample_id: Originating sample identifier.
+        platform: "evm" or "wasm".
+    """
+
+    node_features: np.ndarray
+    adjacency: np.ndarray
+    normalized_adjacency: np.ndarray
+    label: int
+    sample_id: str = ""
+    platform: str = "evm"
+
+    @property
+    def num_nodes(self) -> int:
+        return self.node_features.shape[0]
+
+    @property
+    def feature_dim(self) -> int:
+        return self.node_features.shape[1]
+
+
+def cfg_to_graph(cfg: ControlFlowGraph, label: int, sample_id: str = "",
+                 include_structural: bool = True, feature_mode: str = "presence",
+                 include_markers: bool = True, max_nodes: Optional[int] = 512) -> ContractGraph:
+    """Convert a CFG into a :class:`ContractGraph`.
+
+    Args:
+        cfg: The control-flow graph.
+        label: Ground-truth label attached to the graph.
+        sample_id: Sample identifier for traceability.
+        include_structural: Include structural node-feature columns (ablated
+            in E7).
+        feature_mode: Category encoding of the node features ("presence",
+            "fraction" or "count"; see
+            :func:`repro.ir.features.node_feature_matrix`).
+        include_markers: Include the semantic-marker presence bits (ablated
+            in E7).
+        max_nodes: Truncate very large graphs (obfuscation can inflate them)
+            to keep dense adjacency matrices tractable; None disables.
+    """
+    features = node_feature_matrix(cfg, mode=feature_mode,
+                                   include_markers=include_markers,
+                                   include_structural=include_structural)
+    adjacency = adjacency_with_self_loops(cfg)
+    normalized = normalized_adjacency(cfg)
+    if max_nodes is not None and features.shape[0] > max_nodes:
+        features = features[:max_nodes]
+        adjacency = adjacency[:max_nodes, :max_nodes]
+        normalized = normalized[:max_nodes, :max_nodes]
+    return ContractGraph(node_features=features, adjacency=adjacency,
+                         normalized_adjacency=normalized, label=label,
+                         sample_id=sample_id, platform=cfg.platform)
+
+
+def sample_to_graph(sample: ContractSample, include_structural: bool = True,
+                    feature_mode: str = "presence", include_markers: bool = True,
+                    max_nodes: Optional[int] = 512) -> ContractGraph:
+    """Build the :class:`ContractGraph` of one contract sample."""
+    cfg = sample_to_cfg(sample)
+    return cfg_to_graph(cfg, label=sample.label, sample_id=sample.sample_id,
+                        include_structural=include_structural,
+                        feature_mode=feature_mode, include_markers=include_markers,
+                        max_nodes=max_nodes)
+
+
+def corpus_to_graphs(corpus: Corpus, include_structural: bool = True,
+                     feature_mode: str = "presence", include_markers: bool = True,
+                     max_nodes: Optional[int] = 512) -> List[ContractGraph]:
+    """Convert every sample of ``corpus`` into a :class:`ContractGraph`."""
+    return [sample_to_graph(sample, include_structural=include_structural,
+                            feature_mode=feature_mode, include_markers=include_markers,
+                            max_nodes=max_nodes)
+            for sample in corpus]

@@ -1,0 +1,164 @@
+"""Graph convolution layers: GCN, GAT, GIN, TAG and GraphSAGE.
+
+Each layer's ``forward`` takes the node feature :class:`Tensor` of one graph
+together with the (NumPy) adjacency matrices prepared by
+:mod:`repro.gnn.data` and returns the transformed node features.  Layers are
+deliberately dense -- contract CFGs have tens to a few hundred basic blocks,
+where dense matmuls beat sparse bookkeeping in pure NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.functional import leaky_relu, relu, softmax
+from repro.autograd.module import Linear, Module, Parameter, glorot
+from repro.autograd.tensor import Tensor
+from repro.gnn.data import ContractGraph
+
+
+class GraphConvLayer(Module):
+    """Base class: subclasses implement forward(x, graph) -> Tensor."""
+
+    def forward(self, x: Tensor, graph: ContractGraph) -> Tensor:  # pragma: no cover
+        raise NotImplementedError
+
+
+class GCNConv(GraphConvLayer):
+    """Graph convolutional network layer (Kipf & Welling, 2017).
+
+    ``H' = D^-1/2 (A + I) D^-1/2 H W + b``
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.linear = Linear(in_features, out_features, rng=rng)
+
+    def forward(self, x: Tensor, graph: ContractGraph) -> Tensor:
+        propagated = Tensor(graph.normalized_adjacency) @ x
+        return self.linear(propagated)
+
+
+class GATConv(GraphConvLayer):
+    """Graph attention layer (Velickovic et al., 2018), single head.
+
+    Attention logits ``e_ij = LeakyReLU(a_src . Wh_i + a_dst . Wh_j)`` are
+    masked to existing edges (plus self loops) and normalized with a softmax
+    over each node's neighbourhood.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 negative_slope: float = 0.2,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.linear = Linear(in_features, out_features, bias=False, rng=rng)
+        self.attention_src = Parameter(glorot((out_features, 1), rng), name="att_src")
+        self.attention_dst = Parameter(glorot((out_features, 1), rng), name="att_dst")
+        self.bias = Parameter(np.zeros(out_features), name="bias")
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor, graph: ContractGraph) -> Tensor:
+        transformed = self.linear(x)                          # (N, F')
+        source_scores = transformed @ self.attention_src      # (N, 1)
+        destination_scores = transformed @ self.attention_dst  # (N, 1)
+        logits = leaky_relu(source_scores + destination_scores.T, self.negative_slope)
+        mask = graph.adjacency > 0
+        # forbid attention to non-neighbours by pushing their logits to -inf
+        masked_logits = logits + Tensor(np.where(mask, 0.0, -1e9))
+        attention = softmax(masked_logits, axis=1)
+        output = attention @ transformed
+        return output + self.bias
+
+
+class GINConv(GraphConvLayer):
+    """Graph isomorphism network layer (Xu et al., 2019).
+
+    ``H' = MLP((1 + eps) H + A H)`` with a learnable ``eps`` and a two-layer
+    ReLU MLP.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.epsilon = Parameter(np.zeros(1), name="epsilon")
+        self.mlp_hidden = Linear(in_features, out_features, rng=rng)
+        self.mlp_output = Linear(out_features, out_features, rng=rng)
+
+    def forward(self, x: Tensor, graph: ContractGraph) -> Tensor:
+        neighbour_sum = Tensor(graph.adjacency) @ x
+        combined = x * (self.epsilon + 1.0) + neighbour_sum
+        return self.mlp_output(relu(self.mlp_hidden(combined)))
+
+
+class TAGConv(GraphConvLayer):
+    """Topology-adaptive graph convolution (Du et al., 2017).
+
+    ``H' = sum_{k=0..K} A_norm^k H W_k`` implemented as a single linear map
+    over the concatenation of the K+1 propagated feature blocks.
+    """
+
+    def __init__(self, in_features: int, out_features: int, hops: int = 2,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if hops < 1:
+            raise ValueError("hops must be >= 1")
+        self.hops = hops
+        self.linear = Linear(in_features * (hops + 1), out_features, rng=rng)
+
+    def forward(self, x: Tensor, graph: ContractGraph) -> Tensor:
+        adjacency = Tensor(graph.normalized_adjacency)
+        propagated = [x]
+        current = x
+        for _ in range(self.hops):
+            current = adjacency @ current
+            propagated.append(current)
+        stacked = Tensor.concatenate(propagated, axis=1)
+        return self.linear(stacked)
+
+
+class SAGEConv(GraphConvLayer):
+    """GraphSAGE layer with mean aggregation (Hamilton et al., 2017).
+
+    ``H' = H W_self + mean_neighbours(H) W_neigh + b``
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.linear_self = Linear(in_features, out_features, rng=rng)
+        self.linear_neighbour = Linear(in_features, out_features, bias=False, rng=rng)
+
+    def forward(self, x: Tensor, graph: ContractGraph) -> Tensor:
+        adjacency = graph.adjacency.copy()
+        np.fill_diagonal(adjacency, 0.0)
+        degrees = adjacency.sum(axis=1, keepdims=True)
+        degrees[degrees == 0] = 1.0
+        mean_aggregator = adjacency / degrees
+        neighbour_mean = Tensor(mean_aggregator) @ x
+        return self.linear_self(x) + self.linear_neighbour(neighbour_mean)
+
+
+#: Registry of the five architectures named in the ScamDetect roadmap.
+CONV_REGISTRY = {
+    "gcn": GCNConv,
+    "gat": GATConv,
+    "gin": GINConv,
+    "tag": TAGConv,
+    "graphsage": SAGEConv,
+}
+
+
+def make_conv(architecture: str, in_features: int, out_features: int,
+              rng: Optional[np.random.Generator] = None) -> GraphConvLayer:
+    """Instantiate a convolution layer by architecture name."""
+    key = architecture.lower()
+    if key not in CONV_REGISTRY:
+        raise ValueError(f"unknown GNN architecture {architecture!r}; "
+                         f"choose from {sorted(CONV_REGISTRY)}")
+    return CONV_REGISTRY[key](in_features, out_features, rng=rng)

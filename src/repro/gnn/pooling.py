@@ -1,0 +1,27 @@
+"""Graph readout (pooling) functions."""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+
+#: Supported readout names (ablated in E7).
+READOUTS = ("mean", "sum", "max")
+
+
+def readout(node_embeddings: Tensor, kind: str = "mean") -> Tensor:
+    """Aggregate node embeddings into a single graph embedding.
+
+    Args:
+        node_embeddings: Tensor of shape (num_nodes, hidden_dim).
+        kind: ``"mean"``, ``"sum"`` or ``"max"``.
+
+    Returns:
+        Tensor of shape (1, hidden_dim).
+    """
+    if kind == "mean":
+        return node_embeddings.mean(axis=0, keepdims=True)
+    if kind == "sum":
+        return node_embeddings.sum(axis=0, keepdims=True)
+    if kind == "max":
+        return node_embeddings.max(axis=0, keepdims=True)
+    raise ValueError(f"unknown readout {kind!r}; choose from {READOUTS}")

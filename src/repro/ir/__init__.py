@@ -1,0 +1,35 @@
+"""Platform-agnostic intermediate representation (IR).
+
+The IR is the seam that makes ScamDetect platform-agnostic: both the EVM and
+the WASM frontends lower their bytecode into the same
+:class:`~repro.ir.instruction.IRInstruction` / :class:`~repro.ir.cfg.ControlFlowGraph`
+model, and everything downstream (features, classical ML, GNNs, the detection
+pipeline) only ever consumes this representation.
+"""
+
+from repro.ir.instruction import IRInstruction
+from repro.ir.basic_block import BasicBlock
+from repro.ir.cfg import ControlFlowGraph, CFGEdge
+from repro.ir.normalization import (
+    CATEGORY_VOCABULARY,
+    category_index,
+    normalize_category,
+)
+from repro.ir.features import (
+    node_feature_matrix,
+    graph_feature_vector,
+    NODE_FEATURE_DIM,
+)
+
+__all__ = [
+    "IRInstruction",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "CFGEdge",
+    "CATEGORY_VOCABULARY",
+    "category_index",
+    "normalize_category",
+    "node_feature_matrix",
+    "graph_feature_vector",
+    "NODE_FEATURE_DIM",
+]

@@ -1,0 +1,66 @@
+"""Basic blocks of the platform-agnostic CFG."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.ir.instruction import IRInstruction
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of IR instructions.
+
+    Attributes:
+        block_id: Identifier of the block; by convention the offset of its
+            first instruction.
+        instructions: The instructions of the block, in program order.
+        is_entry: True for the entry block of the code unit.
+    """
+
+    block_id: int
+    instructions: List[IRInstruction] = field(default_factory=list)
+    is_entry: bool = False
+
+    @property
+    def start_offset(self) -> int:
+        """Offset of the first instruction (== block_id for frontend-built blocks)."""
+        if not self.instructions:
+            return self.block_id
+        return self.instructions[0].offset
+
+    @property
+    def end_offset(self) -> int:
+        """Offset one past the last instruction of the block."""
+        if not self.instructions:
+            return self.block_id
+        return self.instructions[-1].end_offset
+
+    @property
+    def terminator(self) -> IRInstruction | None:
+        """The last instruction of the block, or None if the block is empty."""
+        return self.instructions[-1] if self.instructions else None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def mnemonics(self) -> List[str]:
+        """Mnemonics of all instructions in program order."""
+        return [ins.mnemonic for ins in self.instructions]
+
+    def categories(self) -> List[str]:
+        """Normalized categories of all instructions in program order."""
+        return [ins.category for ins in self.instructions]
+
+    def category_counts(self) -> Dict[str, int]:
+        """Histogram of instruction categories within the block."""
+        counts: Dict[str, int] = {}
+        for ins in self.instructions:
+            counts[ins.category] = counts.get(ins.category, 0) + 1
+        return counts
+
+    def __str__(self) -> str:
+        lines = [f"block {self.block_id:#06x} ({len(self.instructions)} instrs)"]
+        lines.extend(f"  {ins}" for ins in self.instructions)
+        return "\n".join(lines)

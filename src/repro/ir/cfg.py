@@ -1,0 +1,235 @@
+"""Control-flow graph model shared by the EVM and WASM frontends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.ir.basic_block import BasicBlock
+
+
+@dataclass(frozen=True)
+class CFGEdge:
+    """A directed control-flow edge between two basic blocks.
+
+    Attributes:
+        source: block_id of the source block.
+        target: block_id of the target block.
+        kind: Edge kind -- one of ``"fallthrough"``, ``"jump"``, ``"branch"``
+            (conditional taken edge), ``"call"`` or ``"dynamic"`` (conservative
+            edge added for unresolved indirect jumps).
+    """
+
+    source: int
+    target: int
+    kind: str = "jump"
+
+
+class ControlFlowGraph:
+    """A control-flow graph over :class:`BasicBlock` nodes.
+
+    The graph is platform-agnostic: it is produced by the EVM and WASM
+    frontends and consumed by feature extractors and GNN models.  Blocks are
+    keyed by their ``block_id``.
+    """
+
+    def __init__(self, platform: str = "evm", name: str = "") -> None:
+        self.platform = platform
+        self.name = name
+        self._blocks: Dict[int, BasicBlock] = {}
+        self._edges: List[CFGEdge] = []
+        self._succ: Dict[int, List[CFGEdge]] = {}
+        self._pred: Dict[int, List[CFGEdge]] = {}
+        self.entry_id: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    def add_block(self, block: BasicBlock) -> None:
+        """Insert a basic block; the first block added becomes the entry."""
+        if block.block_id in self._blocks:
+            raise ValueError(f"duplicate block id {block.block_id:#x}")
+        self._blocks[block.block_id] = block
+        self._succ.setdefault(block.block_id, [])
+        self._pred.setdefault(block.block_id, [])
+        if self.entry_id is None or block.is_entry:
+            if block.is_entry or self.entry_id is None:
+                self.entry_id = block.block_id if block.is_entry else self.entry_id
+        if self.entry_id is None:
+            self.entry_id = block.block_id
+
+    def add_edge(self, source: int, target: int, kind: str = "jump") -> None:
+        """Insert a directed edge.  Both endpoints must already exist."""
+        if source not in self._blocks:
+            raise KeyError(f"unknown source block {source:#x}")
+        if target not in self._blocks:
+            raise KeyError(f"unknown target block {target:#x}")
+        edge = CFGEdge(source=source, target=target, kind=kind)
+        if any(e.target == target and e.kind == kind for e in self._succ[source]):
+            return
+        self._edges.append(edge)
+        self._succ[source].append(edge)
+        self._pred[target].append(edge)
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    @property
+    def blocks(self) -> List[BasicBlock]:
+        """All blocks, ordered by block_id."""
+        return [self._blocks[k] for k in sorted(self._blocks)]
+
+    @property
+    def edges(self) -> List[CFGEdge]:
+        """All edges in insertion order."""
+        return list(self._edges)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(len(b) for b in self._blocks.values())
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self._blocks[block_id]
+
+    def has_block(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    def successors(self, block_id: int) -> List[int]:
+        return [e.target for e in self._succ.get(block_id, [])]
+
+    def predecessors(self, block_id: int) -> List[int]:
+        return [e.source for e in self._pred.get(block_id, [])]
+
+    def out_degree(self, block_id: int) -> int:
+        return len(self._succ.get(block_id, []))
+
+    def in_degree(self, block_id: int) -> int:
+        return len(self._pred.get(block_id, []))
+
+    def entry_block(self) -> BasicBlock:
+        if self.entry_id is None:
+            raise ValueError("empty control-flow graph has no entry block")
+        return self._blocks[self.entry_id]
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    # ------------------------------------------------------------------ #
+    # traversal and analysis
+
+    def reachable_blocks(self, start: Optional[int] = None) -> Set[int]:
+        """Set of block ids reachable from ``start`` (default: the entry)."""
+        if not self._blocks:
+            return set()
+        start_id = self.entry_id if start is None else start
+        seen: Set[int] = set()
+        stack = [start_id]
+        while stack:
+            node = stack.pop()
+            if node in seen or node not in self._blocks:
+                continue
+            seen.add(node)
+            stack.extend(self.successors(node))
+        return seen
+
+    def depth_first_order(self) -> List[int]:
+        """Blocks in depth-first preorder from the entry block."""
+        if not self._blocks:
+            return []
+        order: List[int] = []
+        seen: Set[int] = set()
+        stack = [self.entry_id]
+        while stack:
+            node = stack.pop()
+            if node in seen or node is None:
+                continue
+            seen.add(node)
+            order.append(node)
+            stack.extend(reversed(self.successors(node)))
+        return order
+
+    def terminal_blocks(self) -> List[int]:
+        """Block ids with no successors (program exit points)."""
+        return [bid for bid in sorted(self._blocks) if not self._succ.get(bid)]
+
+    def adjacency_matrix(self) -> "list[list[int]]":
+        """Dense adjacency matrix over blocks sorted by block_id."""
+        order = sorted(self._blocks)
+        index = {bid: i for i, bid in enumerate(order)}
+        matrix = [[0] * len(order) for _ in order]
+        for edge in self._edges:
+            matrix[index[edge.source]][index[edge.target]] = 1
+        return matrix
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Export to a :class:`networkx.DiGraph` (block ids as nodes)."""
+        graph = nx.DiGraph(platform=self.platform, name=self.name)
+        for block in self.blocks:
+            graph.add_node(block.block_id, size=len(block),
+                           categories=block.category_counts())
+        for edge in self._edges:
+            graph.add_edge(edge.source, edge.target, kind=edge.kind)
+        return graph
+
+    def cyclomatic_complexity(self) -> int:
+        """McCabe cyclomatic complexity: E - N + 2 (single connected component)."""
+        if not self._blocks:
+            return 0
+        return max(1, self.num_edges - self.num_blocks + 2)
+
+    def instruction_mnemonics(self) -> List[str]:
+        """All instruction mnemonics in block order (used by sequence baselines)."""
+        result: List[str] = []
+        for block in self.blocks:
+            result.extend(block.mnemonics())
+        return result
+
+    def validate(self) -> None:
+        """Check structural invariants; raise ValueError on violation.
+
+        Invariants checked:
+          * every edge endpoint refers to an existing block,
+          * the entry block exists,
+          * block ids match the offset of their first instruction (when the
+            block is non-empty).
+        """
+        if self._blocks and (self.entry_id is None or self.entry_id not in self._blocks):
+            raise ValueError("entry block missing")
+        for edge in self._edges:
+            if edge.source not in self._blocks or edge.target not in self._blocks:
+                raise ValueError(f"dangling edge {edge}")
+        for block in self._blocks.values():
+            if block.instructions and block.instructions[0].offset != block.block_id:
+                raise ValueError(
+                    f"block id {block.block_id:#x} does not match first "
+                    f"instruction offset {block.instructions[0].offset:#x}")
+
+    def summary(self) -> Dict[str, int]:
+        """Small structural summary used in reports and tests."""
+        return {
+            "blocks": self.num_blocks,
+            "edges": self.num_edges,
+            "instructions": self.num_instructions,
+            "exits": len(self.terminal_blocks()),
+            "cyclomatic_complexity": self.cyclomatic_complexity(),
+        }
+
+    def __str__(self) -> str:
+        return (f"ControlFlowGraph({self.platform}, blocks={self.num_blocks}, "
+                f"edges={self.num_edges}, instructions={self.num_instructions})")

@@ -1,0 +1,196 @@
+"""Feature encoders over the platform-agnostic CFG.
+
+Two encoders are provided:
+
+* :func:`node_feature_matrix` -- per-basic-block feature vectors used as GNN
+  node features.
+* :func:`graph_feature_vector` -- a fixed-size structural descriptor of the
+  whole CFG used by classical (non-graph) models and by the E7 ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.normalization import CATEGORY_VOCABULARY, category_index
+
+#: Security-relevant semantic markers.  Each marker is a presence bit per
+#: basic block, computed from platform mnemonics.  Markers capture behaviour
+#: that obfuscators cannot remove or counterfeit without changing the
+#: contract's semantics (an obfuscator can pad a block with arithmetic, but it
+#: cannot take the DELEGATECALL out of a backdoor or add a SELFDESTRUCT to a
+#: benign token without breaking it), which is what makes CFG-level models
+#: robust where opcode-frequency models are not.
+SEMANTIC_MARKERS = (
+    ("origin_check", {"ORIGIN"}),
+    ("caller_check", {"CALLER"}),
+    ("self_destruct", {"SELFDESTRUCT", "unreachable"}),
+    ("delegate_call", {"DELEGATECALL", "CALLCODE", "call_indirect"}),
+    ("external_call", {"CALL", "STATICCALL", "call"}),
+    ("contract_creation", {"CREATE", "CREATE2"}),
+    ("storage_write", {"SSTORE", "global.set"}),
+    ("storage_read", {"SLOAD", "global.get"}),
+    ("hashing", {"SHA3"}),
+    ("balance_probe", {"BALANCE", "SELFBALANCE"}),
+    ("code_introspection", {"EXTCODESIZE", "EXTCODEHASH", "EXTCODECOPY",
+                            "memory.grow"}),
+    ("event_log", {"LOG0", "LOG1", "LOG2", "LOG3", "LOG4"}),
+    ("block_context", {"TIMESTAMP", "NUMBER", "PREVRANDAO"}),
+    ("calldata_access", {"CALLDATALOAD", "CALLDATACOPY"}),
+    ("value_check", {"CALLVALUE"}),
+)
+
+#: Number of structural features appended to the per-block category histogram.
+NUM_STRUCTURAL_FEATURES = 6
+_STRUCTURAL_FEATURES = NUM_STRUCTURAL_FEATURES
+
+#: Dimensionality of the node feature vectors produced by node_feature_matrix.
+NODE_FEATURE_DIM = (len(CATEGORY_VOCABULARY) + len(SEMANTIC_MARKERS)
+                    + _STRUCTURAL_FEATURES)
+
+
+def marker_vector(mnemonics) -> np.ndarray:
+    """Presence bits of every :data:`SEMANTIC_MARKERS` group in ``mnemonics``."""
+    present = set(mnemonics)
+    return np.array([1.0 if present & group else 0.0
+                     for _, group in SEMANTIC_MARKERS], dtype=np.float64)
+
+
+def node_feature_matrix(cfg: ControlFlowGraph,
+                        mode: str = "presence",
+                        include_markers: bool = True,
+                        include_structural: bool = True) -> np.ndarray:
+    """Build the node feature matrix of ``cfg``.
+
+    Each basic block becomes one row.  The first ``len(CATEGORY_VOCABULARY)``
+    columns encode the block's instruction-category content; the remaining
+    columns are structural features: block size, in-degree, out-degree,
+    whether the block is the entry, whether it is an exit, and whether it
+    ends in a conditional branch.
+
+    Category encodings (``mode``):
+      * ``"presence"`` (default) -- 1.0 if the block contains at least one
+        instruction of the category.  This is the obfuscation-robust encoding
+        used by the ScamDetect pipeline: junk instructions inserted into a
+        block cannot erase the presence of the block's real behaviour, they
+        can only switch additional (mostly stack/arithmetic) bits on.
+      * ``"fraction"`` -- the L1-normalized category histogram (sensitive to
+        dead-code dilution; used by the E7 node-feature ablation).
+      * ``"count"`` -- log1p of the raw category counts.
+
+    Args:
+        cfg: The control-flow graph.
+        mode: Category encoding, see above.
+        include_markers: Include the :data:`SEMANTIC_MARKERS` presence bits
+            (ablated in E7; they are the main carrier of obfuscation-robust
+            signal).
+        include_structural: Include the structural columns (ablated in E7).
+
+    Returns:
+        Array of shape ``(num_blocks, width)`` where ``width`` is
+        :data:`NODE_FEATURE_DIM` when both optional groups are enabled; rows
+        are ordered by block id.
+    """
+    if mode not in ("presence", "fraction", "count"):
+        raise ValueError(f"unknown node-feature mode {mode!r}")
+    blocks = cfg.blocks
+    n_cat = len(CATEGORY_VOCABULARY)
+    n_marker = len(SEMANTIC_MARKERS) if include_markers else 0
+    width = n_cat + n_marker + (_STRUCTURAL_FEATURES if include_structural else 0)
+    features = np.zeros((max(len(blocks), 1), width), dtype=np.float64)
+    if not blocks:
+        return features
+
+    structural_offset = n_cat + n_marker
+    max_size = max(len(b) for b in blocks) or 1
+    for row, block in enumerate(blocks):
+        for category, count in block.category_counts().items():
+            features[row, category_index(category)] = count
+        if mode == "presence":
+            features[row, :n_cat] = (features[row, :n_cat] > 0).astype(np.float64)
+        elif mode == "fraction" and len(block) > 0:
+            features[row, :n_cat] /= float(len(block))
+        elif mode == "count":
+            features[row, :n_cat] = np.log1p(features[row, :n_cat])
+        if include_markers:
+            features[row, n_cat:structural_offset] = marker_vector(block.mnemonics())
+        if include_structural:
+            terminator = block.terminator
+            features[row, structural_offset + 0] = len(block) / float(max_size)
+            features[row, structural_offset + 1] = min(cfg.in_degree(block.block_id), 8) / 8.0
+            features[row, structural_offset + 2] = min(cfg.out_degree(block.block_id), 8) / 8.0
+            features[row, structural_offset + 3] = 1.0 if block.block_id == cfg.entry_id else 0.0
+            features[row, structural_offset + 4] = (
+                1.0 if cfg.out_degree(block.block_id) == 0 else 0.0)
+            features[row, structural_offset + 5] = (
+                1.0 if terminator is not None and terminator.category == "control"
+                and cfg.out_degree(block.block_id) >= 2 else 0.0)
+    return features
+
+
+def graph_feature_vector(cfg: ControlFlowGraph) -> np.ndarray:
+    """Build a fixed-size structural descriptor of the whole CFG.
+
+    The descriptor contains the global category distribution, size statistics
+    (blocks, edges, instructions), degree statistics, the number of exit
+    blocks and the cyclomatic complexity.  It is used by classical models as a
+    "CFG-aware but flat" representation and in reports.
+
+    Returns:
+        1-D array of length ``len(CATEGORY_VOCABULARY) + 8``.
+    """
+    n_cat = len(CATEGORY_VOCABULARY)
+    vec = np.zeros(n_cat + 8, dtype=np.float64)
+    blocks = cfg.blocks
+    total_instructions = cfg.num_instructions
+    for block in blocks:
+        for category, count in block.category_counts().items():
+            vec[category_index(category)] += count
+    if total_instructions:
+        vec[:n_cat] /= float(total_instructions)
+
+    out_degrees = [cfg.out_degree(b.block_id) for b in blocks] or [0]
+    in_degrees = [cfg.in_degree(b.block_id) for b in blocks] or [0]
+    vec[n_cat + 0] = np.log1p(cfg.num_blocks)
+    vec[n_cat + 1] = np.log1p(cfg.num_edges)
+    vec[n_cat + 2] = np.log1p(total_instructions)
+    vec[n_cat + 3] = float(np.mean(out_degrees))
+    vec[n_cat + 4] = float(np.max(out_degrees))
+    vec[n_cat + 5] = float(np.mean(in_degrees))
+    vec[n_cat + 6] = np.log1p(len(cfg.terminal_blocks()))
+    vec[n_cat + 7] = np.log1p(cfg.cyclomatic_complexity())
+    return vec
+
+
+def adjacency_with_self_loops(cfg: ControlFlowGraph,
+                              symmetric: bool = True) -> np.ndarray:
+    """Dense adjacency matrix with self loops, optionally symmetrized.
+
+    GNN layers expect an adjacency matrix aligned with the rows of
+    :func:`node_feature_matrix` (blocks sorted by block id).
+
+    Args:
+        cfg: The control-flow graph.
+        symmetric: If True the matrix is symmetrized (A | A^T), which is the
+            convention used by GCN/GraphSAGE-style spectral layers on directed
+            program graphs.
+    """
+    adjacency = np.asarray(cfg.adjacency_matrix(), dtype=np.float64)
+    if adjacency.size == 0:
+        return np.ones((1, 1), dtype=np.float64)
+    if symmetric:
+        adjacency = np.maximum(adjacency, adjacency.T)
+    np.fill_diagonal(adjacency, 1.0)
+    return adjacency
+
+
+def normalized_adjacency(cfg: ControlFlowGraph, symmetric: bool = True) -> np.ndarray:
+    """Symmetrically-normalized adjacency D^-1/2 (A + I) D^-1/2 (GCN convention)."""
+    adjacency = adjacency_with_self_loops(cfg, symmetric=symmetric)
+    degrees = adjacency.sum(axis=1)
+    degrees[degrees == 0] = 1.0
+    inv_sqrt = 1.0 / np.sqrt(degrees)
+    return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]

@@ -1,0 +1,47 @@
+"""Platform-agnostic instruction model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class IRInstruction:
+    """A single lowered instruction, independent of the source platform.
+
+    Attributes:
+        offset: Byte offset (EVM) or instruction index (WASM) in the original
+            code stream.  Offsets are unique within one code unit and are used
+            as jump targets / basic-block identifiers.
+        mnemonic: The platform mnemonic (e.g. ``"PUSH1"``, ``"i32.add"``).
+        category: Normalized semantic category (see
+            :mod:`repro.ir.normalization`).  Everything downstream of the
+            frontends keys on this field, never on the raw mnemonic.
+        operand: Immediate operand value, if any (int for numeric immediates).
+        size: Number of bytes the instruction occupies in the encoded stream.
+        platform: ``"evm"`` or ``"wasm"``.
+    """
+
+    offset: int
+    mnemonic: str
+    category: str
+    operand: Optional[int] = None
+    size: int = 1
+    platform: str = "evm"
+
+    @property
+    def end_offset(self) -> int:
+        """Offset of the first byte after this instruction."""
+        return self.offset + self.size
+
+    def with_offset(self, offset: int) -> "IRInstruction":
+        """Return a copy of this instruction relocated to ``offset``."""
+        return IRInstruction(offset=offset, mnemonic=self.mnemonic,
+                             category=self.category, operand=self.operand,
+                             size=self.size, platform=self.platform)
+
+    def __str__(self) -> str:
+        if self.operand is not None:
+            return f"{self.offset:#06x}: {self.mnemonic} {self.operand:#x}"
+        return f"{self.offset:#06x}: {self.mnemonic}"

@@ -1,0 +1,76 @@
+"""Normalization of platform-specific opcodes into a shared category vocabulary.
+
+The category vocabulary is the contract between the platform frontends
+(:mod:`repro.evm`, :mod:`repro.wasm`) and everything downstream.  Each
+frontend annotates the instructions it emits with one of the categories
+below; feature extraction and GNN node features are computed over this
+vocabulary only, which is what allows a model trained per-platform to be
+served by the same pipeline on either platform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Ordered category vocabulary.  The order is part of the public contract --
+#: feature vectors index into it positionally.
+CATEGORY_VOCABULARY: List[str] = [
+    "arithmetic",
+    "comparison",
+    "bitwise",
+    "crypto",
+    "environment",
+    "block",
+    "stack",
+    "memory",
+    "storage",
+    "control",
+    "call",
+    "create",
+    "log",
+    "terminator",
+    "invalid",
+    "local",      # WASM locals (no EVM equivalent; EVM never emits it)
+    "constant",   # WASM const instructions
+    "conversion", # WASM numeric conversions
+]
+
+_CATEGORY_INDEX: Dict[str, int] = {c: i for i, c in enumerate(CATEGORY_VOCABULARY)}
+
+#: Aliases tolerated from frontends or external tooling.
+_ALIASES: Dict[str, str] = {
+    "arith": "arithmetic",
+    "cmp": "comparison",
+    "bit": "bitwise",
+    "env": "environment",
+    "mem": "memory",
+    "store": "storage",
+    "flow": "control",
+    "halt": "terminator",
+    "const": "constant",
+    "convert": "conversion",
+    "unknown": "invalid",
+}
+
+
+def normalize_category(category: str) -> str:
+    """Map a frontend-provided category (or alias) onto the shared vocabulary.
+
+    Unknown categories map to ``"invalid"`` instead of raising so that a
+    frontend emitting a new category degrades gracefully rather than
+    breaking feature extraction.
+    """
+    category = category.strip().lower()
+    if category in _CATEGORY_INDEX:
+        return category
+    return _ALIASES.get(category, "invalid")
+
+
+def category_index(category: str) -> int:
+    """Positional index of ``category`` in :data:`CATEGORY_VOCABULARY`."""
+    return _CATEGORY_INDEX[normalize_category(category)]
+
+
+def num_categories() -> int:
+    """Size of the shared category vocabulary."""
+    return len(CATEGORY_VOCABULARY)

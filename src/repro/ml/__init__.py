@@ -1,0 +1,50 @@
+"""Classical machine-learning models implemented from scratch on NumPy.
+
+These replace the scikit-learn dependency of the original PhishingHook work
+(see the DESIGN.md substitution table).  All classifiers follow the same
+``fit(X, y)`` / ``predict(X)`` / ``predict_proba(X)`` protocol and operate on
+dense ``numpy`` feature matrices produced by :mod:`repro.features`.
+"""
+
+from repro.ml.base import Classifier
+from repro.ml.preprocessing import StandardScaler, MinMaxScaler, train_test_split
+from repro.ml.metrics import (
+    accuracy_score,
+    precision_score,
+    recall_score,
+    f1_score,
+    confusion_matrix,
+    roc_auc_score,
+    classification_summary,
+)
+from repro.ml.logistic_regression import LogisticRegression
+from repro.ml.naive_bayes import GaussianNaiveBayes, MultinomialNaiveBayes
+from repro.ml.knn import KNearestNeighbors
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.random_forest import RandomForestClassifier
+from repro.ml.gradient_boosting import GradientBoostingClassifier
+from repro.ml.svm import LinearSVM
+from repro.ml.mlp import MLPClassifier
+
+__all__ = [
+    "Classifier",
+    "StandardScaler",
+    "MinMaxScaler",
+    "train_test_split",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "roc_auc_score",
+    "classification_summary",
+    "LogisticRegression",
+    "GaussianNaiveBayes",
+    "MultinomialNaiveBayes",
+    "KNearestNeighbors",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "GradientBoostingClassifier",
+    "LinearSVM",
+    "MLPClassifier",
+]

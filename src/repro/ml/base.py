@@ -1,0 +1,61 @@
+"""Base classifier protocol."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+
+class Classifier(abc.ABC):
+    """A binary (or small multi-class) classifier.
+
+    All implementations store the sorted unique training labels in
+    ``self.classes_`` after fit and return probability matrices whose columns
+    follow that order.
+    """
+
+    #: Short name used in experiment tables.
+    name: str = "classifier"
+
+    classes_: Optional[np.ndarray] = None
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Train on features ``X`` (n_samples, n_features) and labels ``y``."""
+
+    @abc.abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability matrix of shape (n_samples, n_classes)."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels (argmax of :meth:`predict_proba`)."""
+        probabilities = self.predict_proba(X)
+        if self.classes_ is None:
+            raise RuntimeError("classifier used before fit")
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on ``(X, y)``."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+
+    @staticmethod
+    def _validate(X: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y is not None:
+            y = np.asarray(y)
+            if len(y) != X.shape[0]:
+                raise ValueError("X and y have inconsistent lengths")
+        return X
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        """Store classes_ and return labels re-encoded as 0..n_classes-1."""
+        self.classes_ = np.unique(np.asarray(y))
+        index = {label: i for i, label in enumerate(self.classes_)}
+        return np.array([index[label] for label in np.asarray(y)], dtype=np.int64)

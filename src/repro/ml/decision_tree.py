@@ -1,0 +1,160 @@
+"""CART decision tree (gini / entropy splits)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a class-probability vector."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    probabilities: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.probabilities is not None
+
+
+def _impurity(counts: np.ndarray, criterion: str) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    if criterion == "entropy":
+        nonzero = proportions[proportions > 0]
+        return float(-np.sum(nonzero * np.log2(nonzero)))
+    return float(1.0 - np.sum(proportions ** 2))
+
+
+class DecisionTreeClassifier(Classifier):
+    """Binary-split CART classifier.
+
+    Args:
+        max_depth: Maximum tree depth (None = unbounded).
+        min_samples_split: Minimum samples required to attempt a split.
+        min_samples_leaf: Minimum samples in each child of a split.
+        criterion: ``"gini"`` or ``"entropy"``.
+        max_features: If set, the number of features sampled per split (used
+            by the random forest); None uses all features.
+        random_state: Seed for feature subsampling.
+    """
+
+    name = "decision-tree"
+
+    def __init__(self, max_depth: Optional[int] = 12, min_samples_split: int = 2,
+                 min_samples_leaf: int = 1, criterion: str = "gini",
+                 max_features: Optional[int] = None,
+                 random_state: Optional[int] = None) -> None:
+        if criterion not in ("gini", "entropy"):
+            raise ValueError(f"unknown criterion {criterion!r}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.criterion = criterion
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: Optional[_Node] = None
+        self._rng = np.random.default_rng(random_state)
+
+    # ------------------------------------------------------------------ #
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = self._validate(X, y)
+        encoded = self._encode_labels(y)
+        self._num_classes = len(self.classes_)
+        self._root = self._grow(X, encoded, depth=0)
+        return self
+
+    def _leaf(self, y: np.ndarray) -> _Node:
+        counts = np.bincount(y, minlength=self._num_classes).astype(np.float64)
+        total = counts.sum() or 1.0
+        return _Node(probabilities=counts / total)
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        if (len(y) < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or len(np.unique(y)) == 1):
+            return self._leaf(y)
+
+        feature, threshold = self._best_split(X, y)
+        if feature < 0:
+            return self._leaf(y)
+
+        mask = X[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return self._leaf(y)
+        node = _Node(feature=feature, threshold=threshold)
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple:
+        num_samples, num_features = X.shape
+        parent_counts = np.bincount(y, minlength=self._num_classes).astype(np.float64)
+        parent_impurity = _impurity(parent_counts, self.criterion)
+        best_gain = 1e-12
+        best = (-1, 0.0)
+
+        if self.max_features is not None and self.max_features < num_features:
+            candidate_features = self._rng.choice(num_features, size=self.max_features,
+                                                  replace=False)
+        else:
+            candidate_features = np.arange(num_features)
+
+        for feature in candidate_features:
+            order = np.argsort(X[:, feature], kind="mergesort")
+            values = X[order, feature]
+            labels = y[order]
+            # cumulative class counts below each candidate split position
+            one_hot = np.zeros((num_samples, self._num_classes))
+            one_hot[np.arange(num_samples), labels] = 1.0
+            left_counts = np.cumsum(one_hot, axis=0)
+            # only positions where the value changes are valid thresholds
+            change = np.flatnonzero(np.diff(values) > 1e-12)
+            if len(change) == 0:
+                continue
+            for position in change:
+                left = left_counts[position]
+                right = parent_counts - left
+                n_left, n_right = left.sum(), right.sum()
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                weighted = (n_left * _impurity(left, self.criterion)
+                            + n_right * _impurity(right, self.criterion)) / num_samples
+                gain = parent_impurity - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float((values[position] + values[position + 1]) / 2.0))
+        return best
+
+    # ------------------------------------------------------------------ #
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("DecisionTreeClassifier used before fit")
+        X = self._validate(X)
+        output = np.zeros((X.shape[0], self._num_classes))
+        for row in range(X.shape[0]):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if X[row, node.feature] <= node.threshold else node.right
+            output[row] = node.probabilities
+        return output
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree (0 for a single leaf)."""
+        def _depth(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+        return _depth(self._root)

@@ -1,0 +1,149 @@
+"""Gradient boosting with regression stumps/trees on the logistic loss."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier
+
+
+@dataclass
+class _RegressionNode:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_RegressionNode"] = None
+    right: Optional["_RegressionNode"] = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+class _RegressionTree:
+    """A small least-squares regression tree used as the boosting weak learner."""
+
+    def __init__(self, max_depth: int = 3, min_samples_leaf: int = 2) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.root: Optional[_RegressionNode] = None
+
+    def fit(self, X: np.ndarray, residuals: np.ndarray) -> "_RegressionTree":
+        self.root = self._grow(X, residuals, depth=0)
+        return self
+
+    def _grow(self, X: np.ndarray, residuals: np.ndarray, depth: int) -> _RegressionNode:
+        node = _RegressionNode(value=float(residuals.mean()) if len(residuals) else 0.0)
+        if depth >= self.max_depth or len(residuals) < 2 * self.min_samples_leaf:
+            return node
+        best_gain = 1e-12
+        best: Optional[tuple] = None
+        parent_sse = float(np.sum((residuals - residuals.mean()) ** 2))
+        for feature in range(X.shape[1]):
+            order = np.argsort(X[:, feature], kind="mergesort")
+            values = X[order, feature]
+            targets = residuals[order]
+            cumulative_sum = np.cumsum(targets)
+            cumulative_squares = np.cumsum(targets ** 2)
+            total_sum = cumulative_sum[-1]
+            total_squares = cumulative_squares[-1]
+            change = np.flatnonzero(np.diff(values) > 1e-12)
+            for position in change:
+                n_left = position + 1
+                n_right = len(targets) - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left_sum = cumulative_sum[position]
+                right_sum = total_sum - left_sum
+                left_sse = cumulative_squares[position] - left_sum ** 2 / n_left
+                right_sse = (total_squares - cumulative_squares[position]
+                             - right_sum ** 2 / n_right)
+                gain = parent_sse - (left_sse + right_sse)
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float((values[position] + values[position + 1]) / 2.0))
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], residuals[mask], depth + 1)
+        node.right = self._grow(X[~mask], residuals[~mask], depth + 1)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        output = np.zeros(X.shape[0])
+        for row in range(X.shape[0]):
+            node = self.root
+            while node is not None and not node.is_leaf:
+                node = node.left if X[row, node.feature] <= node.threshold else node.right
+            output[row] = node.value if node is not None else 0.0
+        return output
+
+
+class GradientBoostingClassifier(Classifier):
+    """Binary gradient boosting on the logistic loss (GBM).
+
+    Args:
+        n_estimators: Number of boosting rounds.
+        learning_rate: Shrinkage applied to each tree's contribution.
+        max_depth: Depth of the regression-tree weak learners.
+        subsample: Row-subsampling fraction per round (stochastic GBM).
+        random_state: Seed for subsampling.
+    """
+
+    name = "gradient-boosting"
+
+    def __init__(self, n_estimators: int = 60, learning_rate: float = 0.2,
+                 max_depth: int = 3, subsample: float = 1.0,
+                 random_state: int = 0) -> None:
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.subsample = subsample
+        self.random_state = random_state
+        self.trees_: List[_RegressionTree] = []
+        self.initial_logit_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+        X = self._validate(X, y)
+        encoded = self._encode_labels(y)
+        if len(self.classes_) != 2:
+            raise ValueError("GradientBoostingClassifier supports binary labels only")
+        targets = encoded.astype(np.float64)
+        positive_rate = np.clip(targets.mean(), 1e-6, 1 - 1e-6)
+        self.initial_logit_ = float(np.log(positive_rate / (1 - positive_rate)))
+        logits = np.full(len(targets), self.initial_logit_)
+        rng = np.random.default_rng(self.random_state)
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            probabilities = 1.0 / (1.0 + np.exp(-logits))
+            residuals = targets - probabilities
+            if self.subsample < 1.0:
+                rows = rng.choice(len(targets),
+                                  size=max(2, int(len(targets) * self.subsample)),
+                                  replace=False)
+            else:
+                rows = np.arange(len(targets))
+            tree = _RegressionTree(max_depth=self.max_depth).fit(X[rows], residuals[rows])
+            self.trees_.append(tree)
+            logits += self.learning_rate * tree.predict(X)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw additive logits."""
+        X = self._validate(X)
+        logits = np.full(X.shape[0], self.initial_logit_)
+        for tree in self.trees_:
+            logits += self.learning_rate * tree.predict(X)
+        return logits
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("GradientBoostingClassifier used before fit")
+        positive = 1.0 / (1.0 + np.exp(-self.decision_function(X)))
+        return np.column_stack([1.0 - positive, positive])

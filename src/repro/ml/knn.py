@@ -1,0 +1,68 @@
+"""k-nearest-neighbours classifier."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier
+
+
+class KNearestNeighbors(Classifier):
+    """k-NN with euclidean or cosine distance and optional distance weighting.
+
+    Args:
+        k: Number of neighbours.
+        metric: ``"euclidean"`` or ``"cosine"``.
+        weighted: If True neighbours vote with weight 1/(distance + eps).
+    """
+
+    name = "knn"
+
+    def __init__(self, k: int = 5, metric: str = "euclidean",
+                 weighted: bool = False) -> None:
+        if metric not in ("euclidean", "cosine"):
+            raise ValueError(f"unknown metric {metric!r}")
+        self.k = k
+        self.metric = metric
+        self.weighted = weighted
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNearestNeighbors":
+        X = self._validate(X, y)
+        self._y = self._encode_labels(y)
+        self._X = X
+        return self
+
+    def _distances(self, X: np.ndarray) -> np.ndarray:
+        if self.metric == "euclidean":
+            squared = (np.sum(X ** 2, axis=1)[:, None]
+                       + np.sum(self._X ** 2, axis=1)[None, :]
+                       - 2.0 * X @ self._X.T)
+            return np.sqrt(np.clip(squared, 0.0, None))
+        # cosine distance
+        X_norm = X / (np.linalg.norm(X, axis=1, keepdims=True) + 1e-12)
+        train_norm = self._X / (np.linalg.norm(self._X, axis=1, keepdims=True) + 1e-12)
+        return 1.0 - X_norm @ train_norm.T
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None or self._y is None:
+            raise RuntimeError("KNearestNeighbors used before fit")
+        X = self._validate(X)
+        distances = self._distances(X)
+        k = min(self.k, self._X.shape[0])
+        neighbour_indices = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
+        probabilities = np.zeros((X.shape[0], len(self.classes_)))
+        for row in range(X.shape[0]):
+            neighbours = neighbour_indices[row]
+            if self.weighted:
+                weights = 1.0 / (distances[row, neighbours] + 1e-9)
+            else:
+                weights = np.ones(len(neighbours))
+            for neighbour, weight in zip(neighbours, weights):
+                probabilities[row, self._y[neighbour]] += weight
+        totals = probabilities.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return probabilities / totals

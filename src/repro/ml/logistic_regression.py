@@ -1,0 +1,64 @@
+"""Binary/multinomial logistic regression trained with full-batch gradient descent."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / exponentials.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression(Classifier):
+    """Multinomial logistic regression with L2 regularization.
+
+    Args:
+        learning_rate: Gradient-descent step size.
+        epochs: Number of full-batch passes.
+        l2: L2 regularization strength.
+        fit_intercept: Learn a bias column.
+    """
+
+    name = "logistic-regression"
+
+    def __init__(self, learning_rate: float = 0.5, epochs: int = 300,
+                 l2: float = 1e-3, fit_intercept: bool = True) -> None:
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.fit_intercept = fit_intercept
+        self.weights_: Optional[np.ndarray] = None
+        self.bias_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X = self._validate(X, y)
+        encoded = self._encode_labels(y)
+        num_classes = len(self.classes_)
+        num_samples, num_features = X.shape
+        targets = np.zeros((num_samples, num_classes))
+        targets[np.arange(num_samples), encoded] = 1.0
+
+        self.weights_ = np.zeros((num_features, num_classes))
+        self.bias_ = np.zeros(num_classes)
+        for _ in range(self.epochs):
+            logits = X @ self.weights_ + self.bias_
+            probabilities = _softmax(logits)
+            error = (probabilities - targets) / num_samples
+            gradient_weights = X.T @ error + self.l2 * self.weights_
+            gradient_bias = error.sum(axis=0)
+            self.weights_ -= self.learning_rate * gradient_weights
+            if self.fit_intercept:
+                self.bias_ -= self.learning_rate * gradient_bias
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("LogisticRegression used before fit")
+        X = self._validate(X)
+        return _softmax(X @ self.weights_ + self.bias_)

@@ -1,0 +1,98 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly-matching predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     positive_label: int = 1) -> Dict[str, int]:
+    """Binary confusion matrix as a dict with tp/fp/tn/fn counts."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    positive_true = y_true == positive_label
+    positive_pred = y_pred == positive_label
+    return {
+        "tp": int(np.sum(positive_true & positive_pred)),
+        "fp": int(np.sum(~positive_true & positive_pred)),
+        "tn": int(np.sum(~positive_true & ~positive_pred)),
+        "fn": int(np.sum(positive_true & ~positive_pred)),
+    }
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray,
+                    positive_label: int = 1) -> float:
+    """tp / (tp + fp); 0 when no positive predictions were made."""
+    cm = confusion_matrix(y_true, y_pred, positive_label)
+    denominator = cm["tp"] + cm["fp"]
+    return cm["tp"] / denominator if denominator else 0.0
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray,
+                 positive_label: int = 1) -> float:
+    """tp / (tp + fn); 0 when there are no positive ground-truth samples."""
+    cm = confusion_matrix(y_true, y_pred, positive_label)
+    denominator = cm["tp"] + cm["fn"]
+    return cm["tp"] / denominator if denominator else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray,
+             positive_label: int = 1) -> float:
+    """Harmonic mean of precision and recall."""
+    precision = precision_score(y_true, y_pred, positive_label)
+    recall = recall_score(y_true, y_pred, positive_label)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def roc_auc_score(y_true: np.ndarray, scores: np.ndarray,
+                  positive_label: int = 1) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) formulation.
+
+    ``scores`` are the predicted probabilities (or any monotone score) of the
+    positive class.  Returns 0.5 when only one class is present.
+    """
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    positives = scores[y_true == positive_label]
+    negatives = scores[y_true != positive_label]
+    if len(positives) == 0 or len(negatives) == 0:
+        return 0.5
+    all_scores = np.concatenate([negatives, positives])
+    # midranks (ties get the average of the rank range they span)
+    unique, inverse, counts = np.unique(all_scores, return_inverse=True,
+                                        return_counts=True)
+    cumulative = np.cumsum(counts).astype(np.float64)
+    midranks = cumulative - (counts - 1) / 2.0
+    ranks = midranks[inverse]
+    rank_sum_positive = ranks[len(negatives):].sum()
+    auc = (rank_sum_positive - len(positives) * (len(positives) + 1) / 2.0) / (
+        len(positives) * len(negatives))
+    return float(auc)
+
+
+def classification_summary(y_true: np.ndarray, y_pred: np.ndarray,
+                           scores: np.ndarray = None,
+                           positive_label: int = 1) -> Dict[str, float]:
+    """All headline metrics in one dict (the row format of the E1 table)."""
+    summary = {
+        "accuracy": accuracy_score(y_true, y_pred),
+        "precision": precision_score(y_true, y_pred, positive_label),
+        "recall": recall_score(y_true, y_pred, positive_label),
+        "f1": f1_score(y_true, y_pred, positive_label),
+    }
+    if scores is not None:
+        summary["roc_auc"] = roc_auc_score(y_true, scores, positive_label)
+    return summary

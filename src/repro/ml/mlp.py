@@ -1,0 +1,123 @@
+"""Multi-layer perceptron with manual backpropagation (NumPy only)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.base import Classifier
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / exponentials.sum(axis=1, keepdims=True)
+
+
+class MLPClassifier(Classifier):
+    """Fully-connected ReLU network trained with mini-batch Adam.
+
+    Args:
+        hidden_sizes: Width of each hidden layer.
+        epochs: Training epochs.
+        batch_size: Mini-batch size.
+        learning_rate: Adam step size.
+        l2: L2 weight decay.
+        random_state: Initialization and shuffling seed.
+    """
+
+    name = "mlp"
+
+    def __init__(self, hidden_sizes: Sequence[int] = (64, 32), epochs: int = 80,
+                 batch_size: int = 32, learning_rate: float = 1e-2,
+                 l2: float = 1e-4, random_state: int = 0) -> None:
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.random_state = random_state
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------ #
+
+    def _initialize(self, num_features: int, num_classes: int) -> None:
+        rng = np.random.default_rng(self.random_state)
+        sizes = [num_features, *self.hidden_sizes, num_classes]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(2.0 / fan_in)
+            self._weights.append(rng.normal(0.0, limit, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> Tuple[List[np.ndarray], np.ndarray]:
+        activations = [X]
+        hidden = X
+        for layer in range(len(self._weights) - 1):
+            hidden = _relu(hidden @ self._weights[layer] + self._biases[layer])
+            activations.append(hidden)
+        logits = hidden @ self._weights[-1] + self._biases[-1]
+        return activations, logits
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X = self._validate(X, y)
+        encoded = self._encode_labels(y)
+        num_classes = len(self.classes_)
+        self._initialize(X.shape[1], num_classes)
+
+        targets = np.zeros((len(encoded), num_classes))
+        targets[np.arange(len(encoded)), encoded] = 1.0
+
+        rng = np.random.default_rng(self.random_state)
+        # Adam state
+        m_w = [np.zeros_like(w) for w in self._weights]
+        v_w = [np.zeros_like(w) for w in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, epsilon = 0.9, 0.999, 1e-8
+        step = 0
+
+        for _ in range(self.epochs):
+            order = rng.permutation(len(X))
+            for start in range(0, len(X), self.batch_size):
+                batch = order[start:start + self.batch_size]
+                if len(batch) == 0:
+                    continue
+                step += 1
+                activations, logits = self._forward(X[batch])
+                probabilities = _softmax(logits)
+                delta = (probabilities - targets[batch]) / len(batch)
+
+                gradients_w: List[np.ndarray] = [None] * len(self._weights)
+                gradients_b: List[np.ndarray] = [None] * len(self._biases)
+                for layer in reversed(range(len(self._weights))):
+                    gradients_w[layer] = (activations[layer].T @ delta
+                                          + self.l2 * self._weights[layer])
+                    gradients_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self._weights[layer].T) * (activations[layer] > 0)
+
+                for layer in range(len(self._weights)):
+                    for state_m, state_v, grad, param in (
+                            (m_w, v_w, gradients_w, self._weights),
+                            (m_b, v_b, gradients_b, self._biases)):
+                        state_m[layer] = beta1 * state_m[layer] + (1 - beta1) * grad[layer]
+                        state_v[layer] = beta2 * state_v[layer] + (1 - beta2) * grad[layer] ** 2
+                        m_hat = state_m[layer] / (1 - beta1 ** step)
+                        v_hat = state_v[layer] / (1 - beta2 ** step)
+                        param[layer] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + epsilon)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self._weights:
+            raise RuntimeError("MLPClassifier used before fit")
+        X = self._validate(X)
+        _, logits = self._forward(X)
+        return _softmax(logits)

@@ -1,0 +1,89 @@
+"""Gaussian and multinomial naive Bayes classifiers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier
+
+
+class GaussianNaiveBayes(Classifier):
+    """Naive Bayes with per-class Gaussian feature likelihoods."""
+
+    name = "gaussian-nb"
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        self.var_smoothing = var_smoothing
+        self.means_: Optional[np.ndarray] = None
+        self.variances_: Optional[np.ndarray] = None
+        self.priors_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNaiveBayes":
+        X = self._validate(X, y)
+        encoded = self._encode_labels(y)
+        num_classes = len(self.classes_)
+        self.means_ = np.zeros((num_classes, X.shape[1]))
+        self.variances_ = np.zeros((num_classes, X.shape[1]))
+        self.priors_ = np.zeros(num_classes)
+        global_variance = X.var(axis=0).max() or 1.0
+        for index in range(num_classes):
+            members = X[encoded == index]
+            self.priors_[index] = len(members) / len(X)
+            self.means_[index] = members.mean(axis=0) if len(members) else 0.0
+            variance = members.var(axis=0) if len(members) else np.ones(X.shape[1])
+            self.variances_[index] = variance + self.var_smoothing * global_variance
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.means_ is None:
+            raise RuntimeError("GaussianNaiveBayes used before fit")
+        X = self._validate(X)
+        log_likelihood = np.zeros((X.shape[0], len(self.classes_)))
+        for index in range(len(self.classes_)):
+            delta = X - self.means_[index]
+            log_likelihood[:, index] = (
+                np.log(self.priors_[index] + 1e-12)
+                - 0.5 * np.sum(np.log(2 * np.pi * self.variances_[index]))
+                - 0.5 * np.sum(delta ** 2 / self.variances_[index], axis=1))
+        shifted = log_likelihood - log_likelihood.max(axis=1, keepdims=True)
+        probabilities = np.exp(shifted)
+        return probabilities / probabilities.sum(axis=1, keepdims=True)
+
+
+class MultinomialNaiveBayes(Classifier):
+    """Naive Bayes for count-like features (opcode histograms, n-grams).
+
+    Negative feature values are clipped to zero before use.
+    """
+
+    name = "multinomial-nb"
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = alpha
+        self.feature_log_prob_: Optional[np.ndarray] = None
+        self.class_log_prior_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MultinomialNaiveBayes":
+        X = np.clip(self._validate(X, y), 0.0, None)
+        encoded = self._encode_labels(y)
+        num_classes = len(self.classes_)
+        counts = np.zeros((num_classes, X.shape[1]))
+        priors = np.zeros(num_classes)
+        for index in range(num_classes):
+            members = X[encoded == index]
+            counts[index] = members.sum(axis=0) + self.alpha
+            priors[index] = max(len(members), 1) / len(X)
+        self.feature_log_prob_ = np.log(counts / counts.sum(axis=1, keepdims=True))
+        self.class_log_prior_ = np.log(priors)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.feature_log_prob_ is None:
+            raise RuntimeError("MultinomialNaiveBayes used before fit")
+        X = np.clip(self._validate(X), 0.0, None)
+        log_likelihood = X @ self.feature_log_prob_.T + self.class_log_prior_
+        shifted = log_likelihood - log_likelihood.max(axis=1, keepdims=True)
+        probabilities = np.exp(shifted)
+        return probabilities / probabilities.sum(axis=1, keepdims=True)

@@ -1,0 +1,95 @@
+"""Feature scaling and array-level train/test splitting."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance feature scaling."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler.transform called before fit")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class MinMaxScaler:
+    """Scale features into [0, 1] per column."""
+
+    def __init__(self) -> None:
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.min_ = X.min(axis=0)
+        value_range = X.max(axis=0) - self.min_
+        value_range[value_range == 0] = 1.0
+        self.range_ = value_range
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("MinMaxScaler.transform called before fit")
+        return (np.asarray(X, dtype=np.float64) - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def train_test_split(X: np.ndarray, y: np.ndarray, test_fraction: float = 0.3,
+                     seed: int = 0, stratify: bool = True
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split feature/label arrays into train and test portions.
+
+    Args:
+        X: Feature matrix.
+        y: Label vector.
+        test_fraction: Fraction of samples assigned to the test split.
+        seed: Shuffling seed.
+        stratify: Preserve per-class proportions.
+
+    Returns:
+        ``(X_train, X_test, y_train, y_test)``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError("X and y have inconsistent lengths")
+    rng = np.random.default_rng(seed)
+    test_indices: list = []
+    train_indices: list = []
+    if stratify:
+        for label in np.unique(y):
+            indices = np.flatnonzero(y == label)
+            rng.shuffle(indices)
+            cut = max(1, int(round(len(indices) * test_fraction))) if len(indices) > 1 else 0
+            test_indices.extend(indices[:cut].tolist())
+            train_indices.extend(indices[cut:].tolist())
+    else:
+        indices = np.arange(len(y))
+        rng.shuffle(indices)
+        cut = int(round(len(indices) * test_fraction))
+        test_indices = indices[:cut].tolist()
+        train_indices = indices[cut:].tolist()
+    rng.shuffle(train_indices)
+    rng.shuffle(test_indices)
+    return X[train_indices], X[test_indices], y[train_indices], y[test_indices]

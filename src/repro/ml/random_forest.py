@@ -1,0 +1,88 @@
+"""Random forest: bootstrap-aggregated CART trees with feature subsampling."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.ml.decision_tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(Classifier):
+    """Bagged decision trees voting by averaged class probabilities.
+
+    Args:
+        n_estimators: Number of trees.
+        max_depth: Depth limit per tree.
+        max_features: Features sampled per split; ``"sqrt"`` (default) uses
+            ``round(sqrt(n_features))``, an int uses that many, None uses all.
+        min_samples_leaf: Minimum samples per leaf.
+        bootstrap: Sample training rows with replacement per tree.
+        random_state: Seed controlling bootstraps and feature sampling.
+    """
+
+    name = "random-forest"
+
+    def __init__(self, n_estimators: int = 50, max_depth: Optional[int] = 12,
+                 max_features: object = "sqrt", min_samples_leaf: int = 1,
+                 bootstrap: bool = True, random_state: int = 0) -> None:
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.min_samples_leaf = min_samples_leaf
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.trees_: List[DecisionTreeClassifier] = []
+
+    def _resolve_max_features(self, num_features: int) -> Optional[int]:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(round(np.sqrt(num_features))))
+        if isinstance(self.max_features, int):
+            return max(1, min(self.max_features, num_features))
+        raise ValueError(f"unsupported max_features {self.max_features!r}")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = self._validate(X, y)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        rng = np.random.default_rng(self.random_state)
+        max_features = self._resolve_max_features(X.shape[1])
+        self.trees_ = []
+        for index in range(self.n_estimators):
+            if self.bootstrap:
+                rows = rng.integers(0, len(X), size=len(X))
+            else:
+                rows = np.arange(len(X))
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                random_state=int(rng.integers(0, 2 ** 31 - 1)))
+            sample_y = y[rows]
+            if len(np.unique(sample_y)) < 2:
+                # degenerate bootstrap: force at least one sample of another class
+                missing = np.setdiff1d(self.classes_, np.unique(sample_y))
+                for label in missing:
+                    rows[int(rng.integers(0, len(rows)))] = int(
+                        np.flatnonzero(y == label)[0])
+                sample_y = y[rows]
+            tree.fit(X[rows], sample_y)
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("RandomForestClassifier used before fit")
+        X = self._validate(X)
+        aggregate = np.zeros((X.shape[0], len(self.classes_)))
+        for tree in self.trees_:
+            tree_probabilities = tree.predict_proba(X)
+            # align tree class order with forest class order
+            for column, label in enumerate(tree.classes_):
+                forest_column = int(np.flatnonzero(self.classes_ == label)[0])
+                aggregate[:, forest_column] += tree_probabilities[:, column]
+        return aggregate / len(self.trees_)

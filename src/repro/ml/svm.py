@@ -1,0 +1,73 @@
+"""Linear support-vector machine trained with sub-gradient descent on the hinge loss."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier
+
+
+class LinearSVM(Classifier):
+    """Binary linear SVM (hinge loss + L2) with a Platt-style probability output.
+
+    Args:
+        C: Inverse regularization strength (larger = less regularization).
+        epochs: Number of passes over the shuffled training set.
+        learning_rate: Initial step size (decays as 1/sqrt(t)).
+        random_state: Shuffling seed.
+    """
+
+    name = "linear-svm"
+
+    def __init__(self, C: float = 1.0, epochs: int = 120,
+                 learning_rate: float = 0.05, random_state: int = 0) -> None:
+        self.C = C
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.random_state = random_state
+        self.weights_: Optional[np.ndarray] = None
+        self.bias_: float = 0.0
+        self._probability_scale: float = 1.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        X = self._validate(X, y)
+        encoded = self._encode_labels(y)
+        if len(self.classes_) != 2:
+            raise ValueError("LinearSVM supports binary labels only")
+        signs = np.where(encoded == 1, 1.0, -1.0)
+        rng = np.random.default_rng(self.random_state)
+        num_samples, num_features = X.shape
+        self.weights_ = np.zeros(num_features)
+        self.bias_ = 0.0
+        regularization = 1.0 / max(self.C, 1e-9)
+        step = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(num_samples)
+            for row in order:
+                step += 1
+                rate = self.learning_rate / np.sqrt(step)
+                margin = signs[row] * (X[row] @ self.weights_ + self.bias_)
+                if margin < 1.0:
+                    gradient = regularization * self.weights_ / num_samples - signs[row] * X[row]
+                    self.weights_ -= rate * gradient
+                    self.bias_ += rate * signs[row]
+                else:
+                    self.weights_ -= rate * regularization * self.weights_ / num_samples
+        margins = X @ self.weights_ + self.bias_
+        scale = np.std(margins)
+        self._probability_scale = 1.0 / scale if scale > 1e-9 else 1.0
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed distances to the separating hyperplane."""
+        if self.weights_ is None:
+            raise RuntimeError("LinearSVM used before fit")
+        X = self._validate(X)
+        return X @ self.weights_ + self.bias_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        margins = self.decision_function(X) * self._probability_scale
+        positive = 1.0 / (1.0 + np.exp(-margins))
+        return np.column_stack([1.0 - positive, positive])

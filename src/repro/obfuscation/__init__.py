@@ -1,0 +1,60 @@
+"""Obfuscation engines used to stress the detectors (E2-E4).
+
+The passes implement the transformation categories described by BOSC
+(bytecode-level obfuscation for smart contracts), BiAn (source-level
+obfuscation lowered to the same effects) and wasm-mutate (binary
+diversification for WebAssembly):
+
+* EVM: dead-code injection, instruction substitution, opaque predicates,
+  control-flow flattening, junk selector dispatchers and constant blinding.
+* WASM: nop/identity injection, instruction substitution, opaque branches and
+  block wrapping.
+
+All passes are semantics-preserving for the synthetic corpus (they never
+remove or reorder live effects), so the ground-truth labels remain valid
+after obfuscation.  Every pass takes an ``intensity`` knob in ``[0, 1]``
+controlling how aggressively it rewrites the program.
+"""
+
+from repro.obfuscation.base import ObfuscationError, ObfuscationReport
+from repro.obfuscation.evm_lift import lift_bytecode_to_items
+from repro.obfuscation.evm_passes import (
+    DeadCodeInjection,
+    InstructionSubstitution,
+    OpaquePredicateInsertion,
+    ControlFlowFlattening,
+    JunkSelectorInsertion,
+    ConstantBlinding,
+    DEFAULT_EVM_PASSES,
+)
+from repro.obfuscation.wasm_passes import (
+    WasmNopInjection,
+    WasmIdentityArithmetic,
+    WasmOpaqueBranch,
+    WasmBlockWrapping,
+    WasmConstantBlinding,
+    DEFAULT_WASM_PASSES,
+)
+from repro.obfuscation.pipeline import EVMObfuscator, WasmObfuscator, obfuscate_sample
+
+__all__ = [
+    "ObfuscationError",
+    "ObfuscationReport",
+    "lift_bytecode_to_items",
+    "DeadCodeInjection",
+    "InstructionSubstitution",
+    "OpaquePredicateInsertion",
+    "ControlFlowFlattening",
+    "JunkSelectorInsertion",
+    "ConstantBlinding",
+    "DEFAULT_EVM_PASSES",
+    "WasmNopInjection",
+    "WasmIdentityArithmetic",
+    "WasmOpaqueBranch",
+    "WasmBlockWrapping",
+    "WasmConstantBlinding",
+    "DEFAULT_WASM_PASSES",
+    "EVMObfuscator",
+    "WasmObfuscator",
+    "obfuscate_sample",
+]

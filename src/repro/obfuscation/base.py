@@ -1,0 +1,66 @@
+"""Common types for the obfuscation engines."""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.evm.assembler import AsmItem
+from repro.wasm.module import WasmModule
+
+
+class ObfuscationError(RuntimeError):
+    """Raised when a pass cannot be applied to the given program."""
+
+
+@dataclass
+class ObfuscationReport:
+    """Statistics about one obfuscation run (useful for tests and reports).
+
+    Attributes:
+        passes_applied: names of the passes that ran, in order.
+        instructions_before: instruction count before obfuscation.
+        instructions_after: instruction count after obfuscation.
+        intensity: the intensity knob the run used.
+    """
+
+    passes_applied: List[str] = field(default_factory=list)
+    instructions_before: int = 0
+    instructions_after: int = 0
+    intensity: float = 0.0
+
+    @property
+    def growth_factor(self) -> float:
+        """Code-size growth (after / before); 1.0 when nothing changed."""
+        if self.instructions_before == 0:
+            return 1.0
+        return self.instructions_after / self.instructions_before
+
+
+class EVMObfuscationPass(abc.ABC):
+    """An EVM pass transforming a lifted assembly-item program."""
+
+    name: str = "evm-pass"
+
+    @abc.abstractmethod
+    def apply(self, items: List[AsmItem], rng: random.Random,
+              intensity: float) -> List[AsmItem]:
+        """Return a transformed copy of ``items`` (never mutate the input)."""
+
+
+class WasmObfuscationPass(abc.ABC):
+    """A WASM pass transforming a parsed module in place-free style."""
+
+    name: str = "wasm-pass"
+
+    @abc.abstractmethod
+    def apply(self, module: WasmModule, rng: random.Random,
+              intensity: float) -> WasmModule:
+        """Return a transformed module (the input must not be mutated)."""
+
+
+def clamp_intensity(intensity: float) -> float:
+    """Clamp the intensity knob into [0, 1]."""
+    return max(0.0, min(1.0, float(intensity)))

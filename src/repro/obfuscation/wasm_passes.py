@@ -1,0 +1,182 @@
+"""WASM obfuscation passes (wasm-mutate-style binary diversification).
+
+The passes rewrite function bodies of a parsed :class:`WasmModule` with
+semantics-preserving transformations and never touch the host-shim functions
+required by the templates.  As with the EVM passes, every inserted sequence
+is stack-neutral.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import List, Tuple
+
+from repro.obfuscation.base import WasmObfuscationPass, clamp_intensity
+from repro.wasm.module import WasmFunction, WasmInstructionEntry, WasmModule, instr
+from repro.wasm.opcodes import BLOCKTYPE_VOID
+
+
+def _clone_module(module: WasmModule) -> WasmModule:
+    return copy.deepcopy(module)
+
+
+def _body_insertion_points(body: List[WasmInstructionEntry]) -> List[int]:
+    """Positions where a self-contained snippet may be inserted.
+
+    Inserting directly after a ``return``/``unreachable``/``br`` is allowed
+    (dead code); inserting before an ``else``/``end`` is also fine because the
+    snippets leave the value stack unchanged.
+    """
+    return list(range(len(body) + 1))
+
+
+class WasmNopInjection(WasmObfuscationPass):
+    """Insert ``nop`` instructions at random points of every function body."""
+
+    name = "wasm-nop-injection"
+
+    def __init__(self, rate: float = 0.30) -> None:
+        self.rate = rate
+
+    def apply(self, module: WasmModule, rng: random.Random,
+              intensity: float) -> WasmModule:
+        intensity = clamp_intensity(intensity)
+        result = _clone_module(module)
+        for function in result.functions:
+            count = int(len(function.body) * self.rate * intensity)
+            for _ in range(count):
+                position = rng.choice(_body_insertion_points(function.body))
+                function.body.insert(position, instr("nop"))
+        return result
+
+
+class WasmIdentityArithmetic(WasmObfuscationPass):
+    """Insert arithmetic no-op pairs (push a constant, combine, drop)."""
+
+    name = "wasm-identity-arithmetic"
+
+    def __init__(self, rate: float = 0.25) -> None:
+        self.rate = rate
+
+    def _snippet(self, rng: random.Random) -> List[WasmInstructionEntry]:
+        choice = rng.randrange(3)
+        if choice == 0:
+            return [instr("i64.const", rng.randrange(1 << 16)),
+                    instr("i64.const", rng.randrange(1 << 16)),
+                    instr("i64.xor"), instr("drop")]
+        if choice == 1:
+            return [instr("i32.const", rng.randrange(1 << 16)),
+                    instr("i32.const", 1), instr("i32.mul"), instr("drop")]
+        return [instr("i64.const", 0), instr("i64.const", 0),
+                instr("i64.add"), instr("drop")]
+
+    def apply(self, module: WasmModule, rng: random.Random,
+              intensity: float) -> WasmModule:
+        intensity = clamp_intensity(intensity)
+        result = _clone_module(module)
+        for function in result.functions:
+            count = int(len(function.body) * self.rate * intensity)
+            for _ in range(count):
+                position = rng.choice(_body_insertion_points(function.body))
+                function.body[position:position] = self._snippet(rng)
+        return result
+
+
+class WasmOpaqueBranch(WasmObfuscationPass):
+    """Insert never-taken conditional branches wrapped in their own block."""
+
+    name = "wasm-opaque-branch"
+
+    def __init__(self, rate: float = 0.08) -> None:
+        self.rate = rate
+
+    def apply(self, module: WasmModule, rng: random.Random,
+              intensity: float) -> WasmModule:
+        intensity = clamp_intensity(intensity)
+        result = _clone_module(module)
+        for function in result.functions:
+            count = max(0, int(len(function.body) * self.rate * intensity))
+            for _ in range(count):
+                position = rng.choice(_body_insertion_points(function.body))
+                snippet = [
+                    instr("block", BLOCKTYPE_VOID),
+                    instr("i32.const", 0),
+                    instr("br_if", 0),
+                    instr("i64.const", rng.randrange(1 << 16)),
+                    instr("drop"),
+                    instr("end"),
+                ]
+                function.body[position:position] = snippet
+        return result
+
+
+class WasmBlockWrapping(WasmObfuscationPass):
+    """Wrap random instruction runs in redundant ``block``/``end`` pairs.
+
+    Branch labels inside the wrapped run would shift by one, so only runs
+    containing no branch instructions are wrapped (semantics preserved).
+    """
+
+    name = "wasm-block-wrapping"
+
+    _BRANCHING = {"br", "br_if", "if", "else", "end", "block", "loop", "return",
+                  "unreachable"}
+
+    def __init__(self, rate: float = 0.06) -> None:
+        self.rate = rate
+
+    def apply(self, module: WasmModule, rng: random.Random,
+              intensity: float) -> WasmModule:
+        intensity = clamp_intensity(intensity)
+        result = _clone_module(module)
+        for function in result.functions:
+            count = max(0, int(len(function.body) * self.rate * intensity))
+            for _ in range(count):
+                if len(function.body) < 3:
+                    break
+                start = rng.randrange(0, len(function.body) - 1)
+                end = min(len(function.body), start + rng.randint(1, 4))
+                run = function.body[start:end]
+                if any(entry.name in self._BRANCHING for entry in run):
+                    continue
+                function.body[start:end] = ([instr("block", BLOCKTYPE_VOID)]
+                                            + run + [instr("end")])
+        return result
+
+
+class WasmConstantBlinding(WasmObfuscationPass):
+    """Replace i64 constants with xor-blinded pairs recomputed at runtime."""
+
+    name = "wasm-constant-blinding"
+
+    def apply(self, module: WasmModule, rng: random.Random,
+              intensity: float) -> WasmModule:
+        intensity = clamp_intensity(intensity)
+        result = _clone_module(module)
+        for function in result.functions:
+            new_body: List[WasmInstructionEntry] = []
+            for entry in function.body:
+                if (entry.name == "i64.const" and entry.operands
+                        and 0 <= entry.operands[0] < (1 << 32)
+                        and rng.random() < intensity):
+                    key = rng.randrange(1, 1 << 16)
+                    new_body.extend([
+                        instr("i64.const", entry.operands[0] ^ key),
+                        instr("i64.const", key),
+                        instr("i64.xor"),
+                    ])
+                else:
+                    new_body.append(entry)
+            function.body = new_body
+        return result
+
+
+#: Default WASM pass stack used by the cross-platform robustness experiments.
+DEFAULT_WASM_PASSES: Tuple[WasmObfuscationPass, ...] = (
+    WasmConstantBlinding(),
+    WasmIdentityArithmetic(),
+    WasmNopInjection(),
+    WasmOpaqueBranch(),
+    WasmBlockWrapping(),
+)

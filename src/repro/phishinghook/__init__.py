@@ -1,0 +1,17 @@
+"""PhishingHook baseline: the 16-model opcode/bytecode classification zoo.
+
+Reproduces the prior-work system the paper builds on: a benchmark of sixteen
+classification pipelines (feature encoding x classifier family) over smart
+contract bytecode, whose average detection accuracy of roughly 90% is the
+E1 headline number.
+"""
+
+from repro.phishinghook.zoo import ZooEntry, build_model_zoo
+from repro.phishinghook.framework import PhishingHookFramework, ModelEvaluation
+
+__all__ = [
+    "ZooEntry",
+    "build_model_zoo",
+    "PhishingHookFramework",
+    "ModelEvaluation",
+]

@@ -1,0 +1,100 @@
+"""The PhishingHook evaluation framework (cross-validated model zoo runs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.corpus import Corpus
+from repro.datasets.splits import k_fold_indices
+from repro.ml.metrics import classification_summary
+from repro.ml.preprocessing import StandardScaler
+from repro.phishinghook.zoo import ZooEntry, build_model_zoo
+
+
+@dataclass
+class ModelEvaluation:
+    """Cross-validated metrics of one zoo entry.
+
+    Attributes:
+        name: Zoo-entry name.
+        encoding: Feature-encoding family.
+        fold_metrics: Per-fold metric dicts (accuracy, precision, recall, f1,
+            roc_auc).
+        mean_metrics: Metric means across folds.
+    """
+
+    name: str
+    encoding: str
+    fold_metrics: List[Dict[str, float]] = field(default_factory=list)
+    mean_metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        return self.mean_metrics.get("accuracy", float("nan"))
+
+
+class PhishingHookFramework:
+    """Runs the 16-model zoo over a corpus with stratified cross-validation.
+
+    Args:
+        folds: Number of cross-validation folds.
+        seed: Seed controlling fold assignment and model randomness.
+        entries: Optional custom zoo (defaults to the full 16-model grid).
+    """
+
+    def __init__(self, folds: int = 5, seed: int = 0,
+                 entries: Optional[Sequence[ZooEntry]] = None) -> None:
+        self.folds = folds
+        self.seed = seed
+        self.entries = list(entries) if entries is not None else build_model_zoo(seed)
+
+    # ------------------------------------------------------------------ #
+
+    def evaluate_entry(self, entry: ZooEntry, corpus: Corpus) -> ModelEvaluation:
+        """Cross-validate a single zoo entry over ``corpus``."""
+        labels = np.asarray(corpus.labels())
+        evaluation = ModelEvaluation(name=entry.name, encoding=entry.encoding)
+        folds = k_fold_indices(len(corpus), labels.tolist(), k=self.folds, seed=self.seed)
+        for train_indices, test_indices in folds:
+            train_corpus = corpus.subset(train_indices)
+            test_corpus = corpus.subset(test_indices)
+            extractor = entry.make_extractor()
+            X_train = extractor.fit_transform(train_corpus)
+            X_test = extractor.transform(test_corpus)
+            if entry.scale_features:
+                scaler = StandardScaler()
+                X_train = scaler.fit_transform(X_train)
+                X_test = scaler.transform(X_test)
+            classifier = entry.make_classifier()
+            classifier.fit(X_train, labels[train_indices])
+            predictions = classifier.predict(X_test)
+            probabilities = classifier.predict_proba(X_test)
+            positive_column = int(np.flatnonzero(classifier.classes_ == 1)[0]) \
+                if 1 in classifier.classes_ else probabilities.shape[1] - 1
+            evaluation.fold_metrics.append(classification_summary(
+                labels[test_indices], predictions,
+                scores=probabilities[:, positive_column]))
+        metric_names = evaluation.fold_metrics[0].keys()
+        evaluation.mean_metrics = {
+            metric: float(np.mean([fold[metric] for fold in evaluation.fold_metrics]))
+            for metric in metric_names}
+        return evaluation
+
+    def evaluate(self, corpus: Corpus,
+                 entry_names: Optional[Sequence[str]] = None) -> List[ModelEvaluation]:
+        """Cross-validate every (or the named) zoo entries over ``corpus``."""
+        selected = self.entries
+        if entry_names is not None:
+            wanted = set(entry_names)
+            selected = [entry for entry in self.entries if entry.name in wanted]
+        return [self.evaluate_entry(entry, corpus) for entry in selected]
+
+    @staticmethod
+    def average_accuracy(evaluations: Sequence[ModelEvaluation]) -> float:
+        """The zoo-wide average accuracy (the paper's ~90% headline number)."""
+        if not evaluations:
+            return float("nan")
+        return float(np.mean([evaluation.accuracy for evaluation in evaluations]))

@@ -1,0 +1,97 @@
+"""The 16-model PhishingHook zoo: 4 feature encodings x 4 classifier families."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.features.base import FeatureExtractor
+from repro.features.image_encoding import ByteImageExtractor
+from repro.features.ngrams import NgramExtractor
+from repro.features.opcode_histogram import OpcodeHistogramExtractor
+from repro.features.tfidf import TfidfExtractor
+from repro.ml.base import Classifier
+from repro.ml.gradient_boosting import GradientBoostingClassifier
+from repro.ml.knn import KNearestNeighbors
+from repro.ml.logistic_regression import LogisticRegression
+from repro.ml.mlp import MLPClassifier
+from repro.ml.naive_bayes import GaussianNaiveBayes, MultinomialNaiveBayes
+from repro.ml.random_forest import RandomForestClassifier
+from repro.ml.svm import LinearSVM
+
+
+@dataclass(frozen=True)
+class ZooEntry:
+    """One model of the zoo: a named (extractor, classifier) pipeline.
+
+    Attributes:
+        name: Table row name, e.g. ``"histogram+random-forest"``.
+        encoding: The feature-encoding family ("histogram", "ngram", "tfidf",
+            "byteimage").
+        make_extractor: Factory for a fresh feature extractor.
+        make_classifier: Factory for a fresh classifier.
+        scale_features: Whether to standardize features before the classifier
+            (distance- and gradient-based models want this; tree and count
+            models do not).
+    """
+
+    name: str
+    encoding: str
+    make_extractor: Callable[[], FeatureExtractor]
+    make_classifier: Callable[[], Classifier]
+    scale_features: bool
+
+
+def build_model_zoo(seed: int = 0) -> List[ZooEntry]:
+    """Build the 16 PhishingHook pipelines evaluated in E1.
+
+    The grid is 4 encodings x 4 classifier families; classifier
+    hyper-parameters are kept modest so a full 5-fold evaluation of the whole
+    zoo runs in minutes on a laptop.
+    """
+    histogram = lambda: OpcodeHistogramExtractor(vocabulary="mnemonic")
+    histogram_counts = lambda: OpcodeHistogramExtractor(vocabulary="mnemonic",
+                                                        normalize=False)
+    bigram = lambda: NgramExtractor(n=2, top_k=192)
+    tfidf = lambda: TfidfExtractor(n=2, top_k=192)
+    byteimage = lambda: ByteImageExtractor(side=12)
+
+    return [
+        # opcode histogram encodings
+        ZooEntry("histogram+random-forest", "histogram", histogram,
+                 lambda: RandomForestClassifier(n_estimators=40, random_state=seed), False),
+        ZooEntry("histogram+logistic-regression", "histogram", histogram,
+                 lambda: LogisticRegression(epochs=250), True),
+        ZooEntry("histogram+linear-svm", "histogram", histogram,
+                 lambda: LinearSVM(epochs=80, random_state=seed), True),
+        ZooEntry("histogram+knn", "histogram", histogram,
+                 lambda: KNearestNeighbors(k=5), True),
+        # opcode bigram encodings
+        ZooEntry("2gram+random-forest", "ngram", bigram,
+                 lambda: RandomForestClassifier(n_estimators=40, random_state=seed), False),
+        ZooEntry("2gram+multinomial-nb", "ngram",
+                 lambda: NgramExtractor(n=2, top_k=192, normalize=False),
+                 lambda: MultinomialNaiveBayes(alpha=0.5), False),
+        ZooEntry("2gram+gradient-boosting", "ngram", bigram,
+                 lambda: GradientBoostingClassifier(n_estimators=40, random_state=seed), False),
+        ZooEntry("2gram+mlp", "ngram", bigram,
+                 lambda: MLPClassifier(hidden_sizes=(48,), epochs=60, random_state=seed), True),
+        # tf-idf encodings
+        ZooEntry("tfidf+logistic-regression", "tfidf", tfidf,
+                 lambda: LogisticRegression(epochs=250), False),
+        ZooEntry("tfidf+linear-svm", "tfidf", tfidf,
+                 lambda: LinearSVM(epochs=80, random_state=seed), False),
+        ZooEntry("tfidf+knn", "tfidf", tfidf,
+                 lambda: KNearestNeighbors(k=5, metric="cosine"), False),
+        ZooEntry("tfidf+random-forest", "tfidf", tfidf,
+                 lambda: RandomForestClassifier(n_estimators=40, random_state=seed), False),
+        # byte-image ("vision") encodings
+        ZooEntry("byteimage+mlp", "byteimage", byteimage,
+                 lambda: MLPClassifier(hidden_sizes=(64,), epochs=60, random_state=seed), True),
+        ZooEntry("byteimage+random-forest", "byteimage", byteimage,
+                 lambda: RandomForestClassifier(n_estimators=40, random_state=seed), False),
+        ZooEntry("byteimage+gaussian-nb", "byteimage", byteimage,
+                 lambda: GaussianNaiveBayes(), True),
+        ZooEntry("byteimage+gradient-boosting", "byteimage", byteimage,
+                 lambda: GradientBoostingClassifier(n_estimators=40, random_state=seed), False),
+    ]

@@ -1,0 +1,44 @@
+"""WASM substrate: a WebAssembly subset sufficient for smart-contract analysis.
+
+The WASM frontend mirrors the EVM frontend: it can encode and decode binary
+modules (magic header, type/function/code sections, LEB128 immediates),
+disassemble function bodies, and lower structured control flow into the same
+platform-agnostic :class:`~repro.ir.cfg.ControlFlowGraph` the rest of the
+pipeline consumes.  Contract templates analogous to the EVM families allow
+the cross-platform experiments (E5) to run without access to real
+NEAR/Polkadot/EOS contract binaries (see DESIGN.md substitutions).
+"""
+
+from repro.wasm.opcodes import WASM_OPCODES, WASM_OPCODES_BY_NAME, WasmOpcode
+from repro.wasm.leb128 import encode_unsigned, encode_signed, decode_unsigned, decode_signed
+from repro.wasm.module import WasmFunction, WasmModule, WasmInstructionEntry
+from repro.wasm.encoder import encode_module
+from repro.wasm.parser import parse_module
+from repro.wasm.cfg_builder import WasmCFGBuilder, build_cfg
+from repro.wasm.contracts import (
+    WasmContractTemplate,
+    WASM_BENIGN_TEMPLATES,
+    WASM_MALICIOUS_TEMPLATES,
+    WASM_ALL_TEMPLATES,
+)
+
+__all__ = [
+    "WasmOpcode",
+    "WASM_OPCODES",
+    "WASM_OPCODES_BY_NAME",
+    "encode_unsigned",
+    "encode_signed",
+    "decode_unsigned",
+    "decode_signed",
+    "WasmFunction",
+    "WasmModule",
+    "WasmInstructionEntry",
+    "encode_module",
+    "parse_module",
+    "WasmCFGBuilder",
+    "build_cfg",
+    "WasmContractTemplate",
+    "WASM_BENIGN_TEMPLATES",
+    "WASM_MALICIOUS_TEMPLATES",
+    "WASM_ALL_TEMPLATES",
+]

@@ -1,0 +1,245 @@
+"""Control-flow graph construction for the WASM subset.
+
+WASM control flow is structured (``block`` / ``loop`` / ``if`` / ``else`` /
+``end`` with relative branch labels), so CFG construction differs from the
+EVM: instead of resolving stack-held jump targets, the builder matches each
+structured construct with its ``end`` (and ``else``), turns branch labels
+into concrete instruction indices, and then splits basic blocks at leaders.
+
+The module-level CFG is the union of the per-function CFGs plus ``call``
+edges from every block containing a direct ``call`` to the entry block of the
+callee, giving the GNN an interprocedural view comparable to the EVM
+whole-contract graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.instruction import IRInstruction
+from repro.wasm.module import WasmFunction, WasmInstructionEntry, WasmModule
+from repro.wasm.parser import parse_module
+
+#: Spacing between the offset ranges assigned to consecutive functions, so
+#: block ids from different functions never collide.
+_FUNCTION_OFFSET_STRIDE = 100000
+
+
+@dataclass
+class _Frame:
+    kind: str          # "block" | "loop" | "if"
+    start: int         # index of the block/loop/if instruction
+    end: int = -1      # index of the matching end
+    else_index: int = -1
+
+
+def _match_structures(body: List[WasmInstructionEntry]) -> Dict[int, _Frame]:
+    """Map the index of each block/loop/if instruction to its matched frame."""
+    frames: Dict[int, _Frame] = {}
+    stack: List[_Frame] = []
+    for index, entry in enumerate(body):
+        if entry.name in ("block", "loop", "if"):
+            frame = _Frame(kind=entry.name, start=index)
+            frames[index] = frame
+            stack.append(frame)
+        elif entry.name == "else":
+            if stack:
+                stack[-1].else_index = index
+        elif entry.name == "end":
+            if stack:
+                stack.pop().end = index
+    # unterminated frames (malformed body): close at the end of the body
+    for frame in frames.values():
+        if frame.end < 0:
+            frame.end = len(body) - 1
+    return frames
+
+
+def _branch_target(frames: Dict[int, _Frame], enclosing: List[int],
+                   label: int, body_len: int) -> int:
+    """Instruction index a ``br``/``br_if`` with ``label`` transfers to."""
+    if label >= len(enclosing):
+        return body_len  # branching out of the function: treat as exit
+    frame = frames[enclosing[-1 - label]]
+    if frame.kind == "loop":
+        return frame.start  # back-edge to the loop header
+    return frame.end + 1    # forward edge to after the construct
+
+
+class WasmCFGBuilder:
+    """Builds :class:`ControlFlowGraph` objects from WASM modules or binaries."""
+
+    def __init__(self, interprocedural: bool = True) -> None:
+        self.interprocedural = interprocedural
+
+    # ------------------------------------------------------------------ #
+
+    def build_from_module(self, module: WasmModule, name: str = "") -> ControlFlowGraph:
+        cfg = ControlFlowGraph(platform="wasm", name=name or module.name)
+        function_entry: Dict[int, int] = {}
+        call_sites: List[Tuple[int, int]] = []  # (block_id, callee_index)
+
+        for func_index, function in enumerate(module.functions):
+            base = func_index * _FUNCTION_OFFSET_STRIDE
+            entry_id = self._build_function(cfg, function, base,
+                                            is_entry=(func_index == 0),
+                                            call_sites=call_sites)
+            if entry_id is not None:
+                function_entry[func_index] = entry_id
+
+        if self.interprocedural:
+            for block_id, callee in call_sites:
+                target = function_entry.get(callee)
+                if target is not None and target != block_id:
+                    cfg.add_edge(block_id, target, kind="call")
+        return cfg
+
+    def build(self, data: bytes, name: str = "") -> ControlFlowGraph:
+        """Build the CFG of a binary module."""
+        return self.build_from_module(parse_module(data, name=name), name=name)
+
+    # ------------------------------------------------------------------ #
+
+    def _build_function(self, cfg: ControlFlowGraph, function: WasmFunction,
+                        base: int, is_entry: bool,
+                        call_sites: List[Tuple[int, int]]) -> Optional[int]:
+        body = function.body
+        if not body:
+            block = BasicBlock(block_id=base, is_entry=is_entry, instructions=[
+                IRInstruction(offset=base, mnemonic="nop", category="stack",
+                              platform="wasm")])
+            cfg.add_block(block)
+            return base
+
+        frames = _match_structures(body)
+
+        # leaders: entry, loop headers, instruction after control transfers,
+        # and branch targets.
+        leaders: Set[int] = {0}
+        enclosing: List[int] = []
+        for index, entry in enumerate(body):
+            if entry.name in ("block", "loop", "if"):
+                enclosing.append(index)
+                if entry.name == "loop":
+                    leaders.add(index)
+                if entry.name == "if":
+                    leaders.add(index + 1)
+                    frame = frames[index]
+                    false_target = (frame.else_index + 1 if frame.else_index >= 0
+                                    else frame.end + 1)
+                    leaders.add(min(false_target, len(body)))
+            elif entry.name == "end":
+                if enclosing:
+                    enclosing.pop()
+                leaders.add(index + 1)
+            elif entry.name == "else":
+                leaders.add(index + 1)
+                frame = frames[enclosing[-1]] if enclosing else None
+                if frame is not None:
+                    leaders.add(min(frame.end + 1, len(body)))
+            elif entry.name in ("br", "br_if"):
+                label = entry.operands[0] if entry.operands else 0
+                leaders.add(index + 1)
+                leaders.add(min(_branch_target(frames, enclosing, label, len(body)),
+                                len(body)))
+            elif entry.name in ("return", "unreachable"):
+                leaders.add(index + 1)
+        leaders = {l for l in leaders if l < len(body)}
+
+        # build blocks
+        ordered_leaders = sorted(leaders)
+        block_of_index: Dict[int, int] = {}
+        blocks: List[Tuple[int, int, int]] = []  # (block_id, start, end_exclusive)
+        for pos, start in enumerate(ordered_leaders):
+            end = ordered_leaders[pos + 1] if pos + 1 < len(ordered_leaders) else len(body)
+            block_id = base + start
+            blocks.append((block_id, start, end))
+            for index in range(start, end):
+                block_of_index[index] = block_id
+            instructions = [
+                IRInstruction(offset=base + index, mnemonic=body[index].name,
+                              category=body[index].opcode.category,
+                              operand=(body[index].operands[0]
+                                       if body[index].operands else None),
+                              platform="wasm")
+                for index in range(start, end)
+            ]
+            cfg.add_block(BasicBlock(block_id=block_id, instructions=instructions,
+                                     is_entry=(is_entry and pos == 0)))
+
+        # record call sites
+        for index, entry in enumerate(body):
+            if entry.name == "call" and entry.operands:
+                call_sites.append((block_of_index[index], entry.operands[0]))
+
+        # edges
+        enclosing = []
+        # recompute enclosing chain per index for target resolution
+        enclosing_at: List[List[int]] = []
+        current: List[int] = []
+        for index, entry in enumerate(body):
+            if entry.name in ("block", "loop", "if"):
+                current.append(index)
+                enclosing_at.append(list(current))
+            elif entry.name == "end":
+                enclosing_at.append(list(current))
+                if current:
+                    current.pop()
+            else:
+                enclosing_at.append(list(current))
+
+        def block_at(index: int) -> Optional[int]:
+            if index >= len(body):
+                return None
+            return block_of_index.get(index)
+
+        for block_id, start, end in blocks:
+            last_index = end - 1
+            last = body[last_index]
+            chain = enclosing_at[last_index]
+            if last.name == "br":
+                label = last.operands[0] if last.operands else 0
+                target = block_at(_branch_target(frames, chain, label, len(body)))
+                if target is not None:
+                    cfg.add_edge(block_id, target, kind="jump")
+            elif last.name == "br_if":
+                label = last.operands[0] if last.operands else 0
+                target = block_at(_branch_target(frames, chain, label, len(body)))
+                if target is not None:
+                    cfg.add_edge(block_id, target, kind="branch")
+                fall = block_at(end)
+                if fall is not None:
+                    cfg.add_edge(block_id, fall, kind="fallthrough")
+            elif last.name == "if":
+                then_block = block_at(end)
+                if then_block is not None:
+                    cfg.add_edge(block_id, then_block, kind="branch")
+                frame = frames[last_index]
+                false_target = (frame.else_index + 1 if frame.else_index >= 0
+                                else frame.end + 1)
+                false_block = block_at(false_target)
+                if false_block is not None and false_block != block_id:
+                    cfg.add_edge(block_id, false_block, kind="fallthrough")
+            elif last.name == "else":
+                # end of the "then" region: control skips to after the construct
+                frame_index = chain[-1] if chain else None
+                if frame_index is not None:
+                    target = block_at(frames[frame_index].end + 1)
+                    if target is not None:
+                        cfg.add_edge(block_id, target, kind="jump")
+            elif last.name in ("return", "unreachable"):
+                pass
+            else:
+                fall = block_at(end)
+                if fall is not None:
+                    cfg.add_edge(block_id, fall, kind="fallthrough")
+
+        return blocks[0][0] if blocks else None
+
+
+def build_cfg(data: bytes, name: str = "") -> ControlFlowGraph:
+    """Convenience wrapper: build a WASM CFG from a binary module."""
+    return WasmCFGBuilder().build(data, name=name)

@@ -1,0 +1,363 @@
+"""Synthetic WASM smart-contract templates.
+
+Analogous to :mod:`repro.evm.contracts`, these templates stand in for real
+NEAR/Polkadot/EOS contract binaries (unavailable offline).  Each template
+emits a :class:`~repro.wasm.module.WasmModule` whose functions follow the
+shapes produced by contract SDKs: guard checks on the caller, state held in
+globals/linear memory, host interaction through ``call``, bounded loops and
+arithmetic.  The malicious families mirror the EVM ones so the
+cross-platform experiment (E5) compares like with like.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.wasm.encoder import encode_module
+from repro.wasm.module import WasmFunction, WasmInstructionEntry, WasmModule, instr
+from repro.wasm.opcodes import BLOCKTYPE_VOID, VALTYPE_I64
+
+# Host-function index convention used by the templates: the first few defined
+# functions act as "host shims" (storage read/write, transfer, log), the way
+# contract SDKs wrap imported host functions.
+HOST_STORAGE_READ = 0
+HOST_STORAGE_WRITE = 1
+HOST_TRANSFER = 2
+HOST_LOG_EVENT = 3
+NUM_HOST_SHIMS = 4
+
+
+class WasmContractBuilder:
+    """Composable instruction-sequence snippets for WASM contract bodies."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.rng = rng or random.Random(0)
+        self.module = WasmModule()
+        self._void_type = self.module.add_type(0, 0)
+        self._unary_type = self.module.add_type(1, 1)
+        self._emit_host_shims()
+
+    # -- host shims ------------------------------------------------------- #
+
+    def _emit_host_shims(self) -> None:
+        """Small helper functions standing in for imported host functions."""
+        for shim in range(NUM_HOST_SHIMS):
+            body = [
+                instr("local.get", 0),
+                instr("i64.const", shim + 1),
+                instr("i64.add"),
+            ]
+            if shim in (HOST_STORAGE_READ,):
+                body.append(instr("global.get", 0))
+                body.append(instr("i64.add"))
+            elif shim in (HOST_STORAGE_WRITE,):
+                body.insert(0, instr("global.set", 0))
+                body.insert(0, instr("local.get", 0))
+            body.append(instr("drop"))
+            self.module.add_function(WasmFunction(
+                type_index=self._unary_type,
+                locals=[(1, VALTYPE_I64)],
+                body=body,
+                name=f"host_shim_{shim}"))
+
+    # -- snippets ---------------------------------------------------------- #
+
+    def snippet_guard_caller(self, owner_global: int = 1) -> List[WasmInstructionEntry]:
+        """if (caller != owner) return -- SDK-style access control check."""
+        return [
+            instr("local.get", 0),
+            instr("global.get", owner_global),
+            instr("i64.ne"),
+            instr("if", BLOCKTYPE_VOID),
+            instr("return"),
+            instr("end"),
+        ]
+
+    def snippet_storage_update(self, slot: int, add: bool = True) -> List[WasmInstructionEntry]:
+        """storage[slot] ±= arg -- via host shims and a global mirror."""
+        return [
+            instr("i64.const", slot),
+            instr("call", HOST_STORAGE_READ),
+            instr("local.get", 0),
+            instr("global.get", slot % 4),
+            instr("i64.add" if add else "i64.sub"),
+            instr("global.set", slot % 4),
+            instr("i64.const", slot),
+            instr("call", HOST_STORAGE_WRITE),
+        ]
+
+    def snippet_arith_burst(self, depth: Optional[int] = None) -> List[WasmInstructionEntry]:
+        depth = depth if depth is not None else self.rng.randint(2, 6)
+        body = [instr("local.get", 0)]
+        for _ in range(depth):
+            body.append(instr("i64.const", self.rng.randrange(1, 1 << 16)))
+            body.append(instr(self.rng.choice(
+                ["i64.add", "i64.sub", "i64.mul", "i64.and", "i64.or", "i64.xor"])))
+        body.append(instr("drop"))
+        return body
+
+    def snippet_memory_touch(self) -> List[WasmInstructionEntry]:
+        offset = self.rng.randrange(0, 1024)
+        return [
+            instr("i32.const", offset),
+            instr("i32.const", self.rng.randrange(1, 1 << 20)),
+            instr("i32.store", 2, offset),
+            instr("i32.const", offset),
+            instr("i32.load", 2, offset),
+            instr("drop"),
+        ]
+
+    def snippet_log_event(self) -> List[WasmInstructionEntry]:
+        return [
+            instr("local.get", 0),
+            instr("call", HOST_LOG_EVENT),
+        ]
+
+    def snippet_transfer(self) -> List[WasmInstructionEntry]:
+        return [
+            instr("local.get", 0),
+            instr("call", HOST_TRANSFER),
+        ]
+
+    def snippet_bounded_loop(self, body: List[WasmInstructionEntry],
+                             bound_local: int = 1) -> List[WasmInstructionEntry]:
+        """loop { body; i++; br_if i < bound }"""
+        return ([instr("i64.const", 0), instr("local.set", bound_local),
+                 instr("loop", BLOCKTYPE_VOID)]
+                + body
+                + [
+                    instr("local.get", bound_local),
+                    instr("i64.const", 1),
+                    instr("i64.add"),
+                    instr("local.tee", bound_local),
+                    instr("local.get", 0),
+                    instr("i64.lt_s"),
+                    instr("br_if", 0),
+                    instr("end"),
+                ])
+
+    def snippet_conditional(self, then_body: List[WasmInstructionEntry],
+                            else_body: Optional[List[WasmInstructionEntry]] = None
+                            ) -> List[WasmInstructionEntry]:
+        result = [
+            instr("local.get", 0),
+            instr("i64.const", self.rng.randrange(1, 1 << 8)),
+            instr("i64.gt_s"),
+            instr("if", BLOCKTYPE_VOID),
+        ] + then_body
+        if else_body is not None:
+            result.append(instr("else"))
+            result.extend(else_body)
+        result.append(instr("end"))
+        return result
+
+    # -- function / module assembly ---------------------------------------- #
+
+    def add_export_function(self, body: List[WasmInstructionEntry], name: str = "") -> int:
+        function = WasmFunction(type_index=self._unary_type,
+                                locals=[(2, VALTYPE_I64)],
+                                body=list(body), name=name, is_export=True)
+        return self.module.add_function(function)
+
+    def binary(self) -> bytes:
+        return encode_module(self.module)
+
+
+# --------------------------------------------------------------------------- #
+# templates
+
+
+@dataclass(frozen=True)
+class WasmContractTemplate:
+    """A named WASM contract family generator (same contract as the EVM one)."""
+
+    name: str
+    label: int
+    family_kind: str
+    generator: Callable[[random.Random], bytes]
+
+    def generate(self, rng: Optional[random.Random] = None) -> bytes:
+        return self.generator(rng or random.Random())
+
+
+def generate_wasm_token(rng: random.Random) -> bytes:
+    """Fungible token: transfer / balance_of / mint with owner guard."""
+    b = WasmContractBuilder(rng)
+    transfer = (b.snippet_guard_caller()
+                + b.snippet_storage_update(2, add=False)
+                + b.snippet_storage_update(3, add=True)
+                + b.snippet_log_event()
+                + [instr("local.get", 0)])
+    balance_of = (b.snippet_arith_burst()
+                  + [instr("i64.const", 2), instr("call", HOST_STORAGE_READ),
+                     instr("local.get", 0)])
+    mint = (b.snippet_guard_caller()
+            + b.snippet_storage_update(1, add=True)
+            + b.snippet_log_event()
+            + [instr("local.get", 0)])
+    b.add_export_function(transfer, "ft_transfer")
+    b.add_export_function(balance_of, "ft_balance_of")
+    b.add_export_function(mint, "ft_mint")
+    if rng.random() < 0.5:
+        b.add_export_function(b.snippet_arith_burst() + [instr("local.get", 0)],
+                              "ft_metadata")
+    return b.binary()
+
+
+def generate_wasm_staking_vault(rng: random.Random) -> bytes:
+    """Staking vault: deposit / withdraw / accrue with bounded reward loop."""
+    b = WasmContractBuilder(rng)
+    deposit = (b.snippet_memory_touch()
+               + b.snippet_storage_update(2, add=True)
+               + b.snippet_log_event()
+               + [instr("local.get", 0)])
+    withdraw = (b.snippet_guard_caller()
+                + b.snippet_storage_update(2, add=False)
+                + b.snippet_transfer()
+                + b.snippet_log_event()
+                + [instr("local.get", 0)])
+    accrue = (b.snippet_bounded_loop(b.snippet_arith_burst(3)
+                                     + b.snippet_storage_update(3, add=True))
+              + [instr("local.get", 0)])
+    b.add_export_function(deposit, "deposit")
+    b.add_export_function(withdraw, "withdraw")
+    b.add_export_function(accrue, "accrue_rewards")
+    return b.binary()
+
+
+def generate_wasm_registry(rng: random.Random) -> bytes:
+    """A name/asset registry: register / resolve / update with owner checks."""
+    b = WasmContractBuilder(rng)
+    register = (b.snippet_conditional(b.snippet_storage_update(2, add=True),
+                                      [instr("return")])
+                + b.snippet_log_event()
+                + [instr("local.get", 0)])
+    resolve = (b.snippet_memory_touch()
+               + [instr("i64.const", 2), instr("call", HOST_STORAGE_READ),
+                  instr("local.get", 0)])
+    update = (b.snippet_guard_caller()
+              + b.snippet_storage_update(3, add=True)
+              + [instr("local.get", 0)])
+    b.add_export_function(register, "register")
+    b.add_export_function(resolve, "resolve")
+    b.add_export_function(update, "update")
+    if rng.random() < 0.5:
+        b.add_export_function(b.snippet_memory_touch() + [instr("local.get", 0)],
+                              "stats")
+    return b.binary()
+
+
+def generate_wasm_drainer(rng: random.Random) -> bytes:
+    """Approval drainer: bait entrypoint plus a sweep loop of transfers."""
+    b = WasmContractBuilder(rng)
+    sweep_body = (b.snippet_transfer() + b.snippet_transfer()
+                  + b.snippet_storage_update(2, add=False))
+    sweep = ([instr("local.get", 0), instr("global.get", 1), instr("i64.eq"),
+              instr("if", BLOCKTYPE_VOID)]
+             + b.snippet_bounded_loop(sweep_body)
+             + [instr("end"), instr("local.get", 0)])
+    register_victim = (b.snippet_storage_update(3, add=True)
+                       + b.snippet_transfer()
+                       + [instr("local.get", 0)])
+    set_attacker = ([instr("local.get", 0), instr("global.set", 1),
+                     instr("local.get", 0)])
+    decoy = b.snippet_arith_burst() + [instr("local.get", 0)]
+    b.add_export_function(register_victim, "claim_airdrop")
+    b.add_export_function(sweep, "sweep")
+    b.add_export_function(set_attacker, "init")
+    for _ in range(rng.randint(1, 2)):
+        b.add_export_function(list(decoy), "view_stats")
+    return b.binary()
+
+
+def generate_wasm_honeypot(rng: random.Random) -> bytes:
+    """Honeypot: payout gated on an unsatisfiable secret, hidden owner drain."""
+    b = WasmContractBuilder(rng)
+    magic = rng.randrange(1 << 32, 1 << 48)
+    deposit = (b.snippet_storage_update(2, add=True)
+               + b.snippet_storage_update(0, add=True)  # secret silently grows
+               + b.snippet_log_event()
+               + [instr("local.get", 0)])
+    withdraw = ([instr("local.get", 0), instr("global.get", 0),
+                 instr("i64.const", magic), instr("i64.add"), instr("i64.eq"),
+                 instr("if", BLOCKTYPE_VOID)]
+                + b.snippet_transfer()
+                + [instr("end"), instr("local.get", 0)])
+    drain = (b.snippet_guard_caller()
+             + b.snippet_transfer() + b.snippet_transfer()
+             + [instr("unreachable")])
+    b.add_export_function(deposit, "deposit")
+    b.add_export_function(withdraw, "withdraw")
+    b.add_export_function(drain, "collect")
+    b.add_export_function(b.snippet_arith_burst() + [instr("local.get", 0)], "stats")
+    return b.binary()
+
+
+def generate_wasm_backdoor(rng: random.Random) -> bytes:
+    """Backdoor: every path funnels into a call_indirect on an unguarded global."""
+    b = WasmContractBuilder(rng)
+    execute = ([instr("global.get", 2), instr("i32.wrap_i64"), instr("drop"),
+                instr("local.get", 0), instr("i32.wrap_i64"),
+                instr("call_indirect", 0, 0),
+                instr("local.get", 0)])
+    upgrade = ([instr("local.get", 0), instr("global.set", 2),
+                instr("local.get", 0)])  # no access control
+    deposit = (b.snippet_storage_update(1, add=True)
+               + [instr("local.get", 0), instr("i32.wrap_i64"),
+                  instr("call_indirect", 0, 0)]
+               + [instr("local.get", 0)])
+    probe = (b.snippet_memory_touch()
+             + [instr("memory.size", 0), instr("drop"), instr("local.get", 0)])
+    b.add_export_function(execute, "execute")
+    b.add_export_function(upgrade, "set_impl")
+    b.add_export_function(deposit, "deposit")
+    b.add_export_function(probe, "probe")
+    return b.binary()
+
+
+def generate_wasm_rugpull(rng: random.Random) -> bytes:
+    """Rug-pull token: hidden unbounded fee, owner mint and liquidity drain."""
+    b = WasmContractBuilder(rng)
+    transfer = (b.snippet_arith_burst(2)
+                + [instr("global.get", 3), instr("i64.const", 100), instr("i64.sub"),
+                   instr("i64.mul"), instr("i64.const", 100), instr("i64.div_s"),
+                   instr("drop")]
+                + b.snippet_storage_update(2, add=False)
+                + b.snippet_storage_update(3, add=True)
+                + [instr("local.get", 0)])
+    set_fee = ([instr("local.get", 0), instr("global.set", 3),
+                instr("local.get", 0)])  # unbounded fee, no guard on range
+    hidden_mint = (b.snippet_guard_caller()
+                   + b.snippet_storage_update(1, add=True)
+                   + b.snippet_storage_update(2, add=True)
+                   + [instr("local.get", 0)])
+    drain = (b.snippet_guard_caller()
+             + b.snippet_transfer() + b.snippet_transfer()
+             + [instr("unreachable")])
+    b.add_export_function(transfer, "transfer")
+    b.add_export_function(set_fee, "set_fee")
+    b.add_export_function(hidden_mint, "mint")
+    b.add_export_function(drain, "remove_liquidity")
+    return b.binary()
+
+
+WASM_BENIGN_TEMPLATES: List[WasmContractTemplate] = [
+    WasmContractTemplate("wasm_token", 0, "token", generate_wasm_token),
+    WasmContractTemplate("wasm_staking_vault", 0, "defi", generate_wasm_staking_vault),
+    WasmContractTemplate("wasm_registry", 0, "registry", generate_wasm_registry),
+]
+
+WASM_MALICIOUS_TEMPLATES: List[WasmContractTemplate] = [
+    WasmContractTemplate("wasm_drainer", 1, "phishing", generate_wasm_drainer),
+    WasmContractTemplate("wasm_honeypot", 1, "honeypot", generate_wasm_honeypot),
+    WasmContractTemplate("wasm_backdoor", 1, "backdoor", generate_wasm_backdoor),
+    WasmContractTemplate("wasm_rugpull", 1, "rugpull", generate_wasm_rugpull),
+]
+
+WASM_ALL_TEMPLATES: List[WasmContractTemplate] = (
+    WASM_BENIGN_TEMPLATES + WASM_MALICIOUS_TEMPLATES)
+
+WASM_TEMPLATES_BY_NAME: Dict[str, WasmContractTemplate] = {
+    t.name: t for t in WASM_ALL_TEMPLATES}

@@ -1,0 +1,101 @@
+"""Binary encoder for the WASM module subset."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.wasm.leb128 import encode_signed, encode_unsigned
+from repro.wasm.module import WasmFunction, WasmInstructionEntry, WasmModule
+from repro.wasm.opcodes import (
+    IMM_BLOCKTYPE,
+    IMM_CALL_INDIRECT,
+    IMM_I32,
+    IMM_I64,
+    IMM_INDEX,
+    IMM_MEMARG,
+    IMM_NONE,
+    VALTYPE_I64,
+    WASM_OPCODES_BY_NAME,
+)
+
+MAGIC = b"\x00asm"
+VERSION = b"\x01\x00\x00\x00"
+
+SECTION_TYPE = 1
+SECTION_FUNCTION = 3
+SECTION_CODE = 10
+
+
+class WasmEncodeError(ValueError):
+    """Raised when a module cannot be encoded."""
+
+
+def encode_instruction(entry: WasmInstructionEntry) -> bytes:
+    """Encode one instruction (opcode byte + immediates)."""
+    opcode = WASM_OPCODES_BY_NAME.get(entry.name)
+    if opcode is None:
+        raise WasmEncodeError(f"unknown mnemonic {entry.name!r}")
+    output = bytearray([opcode.value])
+    kind = opcode.immediate
+    operands = entry.operands
+    if kind == IMM_NONE:
+        if operands:
+            raise WasmEncodeError(f"{entry.name} takes no operands")
+    elif kind == IMM_BLOCKTYPE:
+        output.append(operands[0] if operands else 0x40)
+    elif kind == IMM_INDEX:
+        output += encode_unsigned(operands[0] if operands else 0)
+    elif kind == IMM_MEMARG:
+        align = operands[0] if len(operands) > 0 else 2
+        offset = operands[1] if len(operands) > 1 else 0
+        output += encode_unsigned(align) + encode_unsigned(offset)
+    elif kind == IMM_I32 or kind == IMM_I64:
+        output += encode_signed(operands[0] if operands else 0)
+    elif kind == IMM_CALL_INDIRECT:
+        type_index = operands[0] if len(operands) > 0 else 0
+        table_index = operands[1] if len(operands) > 1 else 0
+        output += encode_unsigned(type_index) + encode_unsigned(table_index)
+    else:  # pragma: no cover - defensive
+        raise WasmEncodeError(f"unhandled immediate kind {kind!r}")
+    return bytes(output)
+
+
+def _encode_function_body(function: WasmFunction) -> bytes:
+    body = bytearray()
+    body += encode_unsigned(len(function.locals))
+    for count, valtype in function.locals:
+        body += encode_unsigned(count)
+        body.append(valtype)
+    for entry in function.body:
+        body += encode_instruction(entry)
+    body.append(WASM_OPCODES_BY_NAME["end"].value)
+    return encode_unsigned(len(body)) + bytes(body)
+
+
+def _section(section_id: int, payload: bytes) -> bytes:
+    return bytes([section_id]) + encode_unsigned(len(payload)) + payload
+
+
+def encode_module(module: WasmModule) -> bytes:
+    """Encode a :class:`WasmModule` into its binary representation."""
+    # type section: (param_count, result_count) with all-i64 params/results
+    type_payload = bytearray(encode_unsigned(len(module.types)))
+    for params, results in module.types:
+        type_payload.append(0x60)  # functype
+        type_payload += encode_unsigned(params)
+        type_payload += bytes([VALTYPE_I64]) * params
+        type_payload += encode_unsigned(results)
+        type_payload += bytes([VALTYPE_I64]) * results
+
+    func_payload = bytearray(encode_unsigned(len(module.functions)))
+    for function in module.functions:
+        func_payload += encode_unsigned(function.type_index)
+
+    code_payload = bytearray(encode_unsigned(len(module.functions)))
+    for function in module.functions:
+        code_payload += _encode_function_body(function)
+
+    return (MAGIC + VERSION
+            + _section(SECTION_TYPE, bytes(type_payload))
+            + _section(SECTION_FUNCTION, bytes(func_payload))
+            + _section(SECTION_CODE, bytes(code_payload)))

@@ -1,0 +1,84 @@
+"""LEB128 variable-length integer encoding used by the WASM binary format."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class LEB128Error(ValueError):
+    """Raised on malformed LEB128 sequences."""
+
+
+def encode_unsigned(value: int) -> bytes:
+    """Encode a non-negative integer as unsigned LEB128."""
+    if value < 0:
+        raise LEB128Error(f"cannot encode negative value {value} as unsigned LEB128")
+    output = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            output.append(byte | 0x80)
+        else:
+            output.append(byte)
+            return bytes(output)
+
+
+def encode_signed(value: int) -> bytes:
+    """Encode a (possibly negative) integer as signed LEB128."""
+    output = bytearray()
+    more = True
+    while more:
+        byte = value & 0x7F
+        value >>= 7
+        sign_bit = bool(byte & 0x40)
+        if (value == 0 and not sign_bit) or (value == -1 and sign_bit):
+            more = False
+        else:
+            byte |= 0x80
+        output.append(byte)
+    return bytes(output)
+
+
+def decode_unsigned(data: bytes, offset: int = 0, max_bytes: int = 10) -> Tuple[int, int]:
+    """Decode an unsigned LEB128 value.
+
+    Returns:
+        ``(value, new_offset)`` where ``new_offset`` points past the last byte
+        consumed.
+
+    Raises:
+        LEB128Error: if the sequence is truncated or longer than ``max_bytes``.
+    """
+    result = 0
+    shift = 0
+    position = offset
+    for _ in range(max_bytes):
+        if position >= len(data):
+            raise LEB128Error("truncated unsigned LEB128")
+        byte = data[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+    raise LEB128Error("unsigned LEB128 too long")
+
+
+def decode_signed(data: bytes, offset: int = 0, max_bytes: int = 10) -> Tuple[int, int]:
+    """Decode a signed LEB128 value; see :func:`decode_unsigned` for the contract."""
+    result = 0
+    shift = 0
+    position = offset
+    for _ in range(max_bytes):
+        if position >= len(data):
+            raise LEB128Error("truncated signed LEB128")
+        byte = data[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        shift += 7
+        if not byte & 0x80:
+            if shift < 64 and (byte & 0x40):
+                result |= -(1 << shift)
+            return result, position
+    raise LEB128Error("signed LEB128 too long")

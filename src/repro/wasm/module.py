@@ -1,0 +1,97 @@
+"""In-memory model of a (subset) WASM module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.wasm.opcodes import WASM_OPCODES_BY_NAME, WasmOpcode
+
+
+@dataclass(frozen=True)
+class WasmInstructionEntry:
+    """One instruction of a function body.
+
+    Attributes:
+        name: Opcode mnemonic (must exist in the opcode table).
+        operands: Immediate operands, already decoded as a tuple of ints.  The
+            number and meaning of operands depends on the opcode's immediate
+            kind (see :mod:`repro.wasm.opcodes`).
+    """
+
+    name: str
+    operands: Tuple[int, ...] = ()
+
+    @property
+    def opcode(self) -> WasmOpcode:
+        return WASM_OPCODES_BY_NAME[self.name]
+
+    def __str__(self) -> str:
+        if self.operands:
+            return f"{self.name} " + " ".join(str(o) for o in self.operands)
+        return self.name
+
+
+def instr(name: str, *operands: int) -> WasmInstructionEntry:
+    """Convenience constructor used by the contract templates."""
+    if name not in WASM_OPCODES_BY_NAME:
+        raise ValueError(f"unknown WASM mnemonic {name!r}")
+    return WasmInstructionEntry(name=name, operands=tuple(operands))
+
+
+@dataclass
+class WasmFunction:
+    """A function: its type signature index, local declarations and body.
+
+    The body excludes the final ``end`` terminating the function expression;
+    the encoder appends it automatically, and the parser strips it.
+    """
+
+    type_index: int
+    locals: List[Tuple[int, int]] = field(default_factory=list)  # (count, valtype)
+    body: List[WasmInstructionEntry] = field(default_factory=list)
+    name: str = ""
+    is_export: bool = False
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.body)
+
+
+@dataclass
+class WasmModule:
+    """A minimal module: function type signatures and function definitions.
+
+    Attributes:
+        types: list of (param_count, result_count) pairs -- parameter and
+            result types are all i64 in this subset, so arity is sufficient.
+        functions: defined functions, in index order.
+        name: Optional module name used in reports.
+    """
+
+    types: List[Tuple[int, int]] = field(default_factory=list)
+    functions: List[WasmFunction] = field(default_factory=list)
+    name: str = ""
+
+    def add_type(self, params: int, results: int) -> int:
+        """Register (or reuse) a function type; returns its index."""
+        signature = (params, results)
+        if signature in self.types:
+            return self.types.index(signature)
+        self.types.append(signature)
+        return len(self.types) - 1
+
+    def add_function(self, function: WasmFunction) -> int:
+        """Append a function; returns its function index."""
+        if function.type_index >= len(self.types):
+            raise ValueError(f"type index {function.type_index} out of range")
+        self.functions.append(function)
+        return len(self.functions) - 1
+
+    @property
+    def num_functions(self) -> int:
+        return len(self.functions)
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(f.num_instructions for f in self.functions)

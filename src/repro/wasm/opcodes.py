@@ -1,0 +1,127 @@
+"""The WASM opcode subset used by the frontend.
+
+The subset covers the instructions emitted by smart-contract toolchains that
+matter for control-flow and category analysis: structured control flow,
+branches, calls, locals, globals, linear-memory access, constants, integer
+arithmetic/comparison and conversions.  Each opcode carries the normalized
+semantic category shared with the EVM frontend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Immediate kinds understood by the encoder/parser.
+IMM_NONE = "none"
+IMM_BLOCKTYPE = "blocktype"   # single byte (0x40 = void, or a valtype)
+IMM_INDEX = "index"           # one unsigned LEB128 (label/function/local/global index)
+IMM_MEMARG = "memarg"         # two unsigned LEB128s (alignment, offset)
+IMM_I32 = "i32"               # one signed LEB128
+IMM_I64 = "i64"               # one signed LEB128
+IMM_CALL_INDIRECT = "call_indirect"  # type index + table index (two LEB128s)
+
+
+@dataclass(frozen=True)
+class WasmOpcode:
+    """A WASM opcode: byte value, mnemonic, immediate kind and category."""
+
+    value: int
+    name: str
+    immediate: str
+    category: str
+
+
+def _w(value: int, name: str, immediate: str, category: str) -> WasmOpcode:
+    return WasmOpcode(value=value, name=name, immediate=immediate, category=category)
+
+
+_OPCODE_LIST = [
+    # control
+    _w(0x00, "unreachable", IMM_NONE, "terminator"),
+    _w(0x01, "nop", IMM_NONE, "stack"),
+    _w(0x02, "block", IMM_BLOCKTYPE, "control"),
+    _w(0x03, "loop", IMM_BLOCKTYPE, "control"),
+    _w(0x04, "if", IMM_BLOCKTYPE, "control"),
+    _w(0x05, "else", IMM_NONE, "control"),
+    _w(0x0B, "end", IMM_NONE, "control"),
+    _w(0x0C, "br", IMM_INDEX, "control"),
+    _w(0x0D, "br_if", IMM_INDEX, "control"),
+    _w(0x0F, "return", IMM_NONE, "terminator"),
+    _w(0x10, "call", IMM_INDEX, "call"),
+    _w(0x11, "call_indirect", IMM_CALL_INDIRECT, "call"),
+    # parametric
+    _w(0x1A, "drop", IMM_NONE, "stack"),
+    _w(0x1B, "select", IMM_NONE, "stack"),
+    # variables
+    _w(0x20, "local.get", IMM_INDEX, "local"),
+    _w(0x21, "local.set", IMM_INDEX, "local"),
+    _w(0x22, "local.tee", IMM_INDEX, "local"),
+    _w(0x23, "global.get", IMM_INDEX, "storage"),
+    _w(0x24, "global.set", IMM_INDEX, "storage"),
+    # memory
+    _w(0x28, "i32.load", IMM_MEMARG, "memory"),
+    _w(0x29, "i64.load", IMM_MEMARG, "memory"),
+    _w(0x2D, "i32.load8_u", IMM_MEMARG, "memory"),
+    _w(0x36, "i32.store", IMM_MEMARG, "memory"),
+    _w(0x37, "i64.store", IMM_MEMARG, "memory"),
+    _w(0x3A, "i32.store8", IMM_MEMARG, "memory"),
+    _w(0x3F, "memory.size", IMM_INDEX, "memory"),
+    _w(0x40, "memory.grow", IMM_INDEX, "memory"),
+    # constants
+    _w(0x41, "i32.const", IMM_I32, "constant"),
+    _w(0x42, "i64.const", IMM_I64, "constant"),
+    # i32 comparison
+    _w(0x45, "i32.eqz", IMM_NONE, "comparison"),
+    _w(0x46, "i32.eq", IMM_NONE, "comparison"),
+    _w(0x47, "i32.ne", IMM_NONE, "comparison"),
+    _w(0x48, "i32.lt_s", IMM_NONE, "comparison"),
+    _w(0x49, "i32.lt_u", IMM_NONE, "comparison"),
+    _w(0x4A, "i32.gt_s", IMM_NONE, "comparison"),
+    _w(0x4B, "i32.gt_u", IMM_NONE, "comparison"),
+    _w(0x4C, "i32.le_s", IMM_NONE, "comparison"),
+    _w(0x4E, "i32.ge_s", IMM_NONE, "comparison"),
+    # i64 comparison
+    _w(0x50, "i64.eqz", IMM_NONE, "comparison"),
+    _w(0x51, "i64.eq", IMM_NONE, "comparison"),
+    _w(0x52, "i64.ne", IMM_NONE, "comparison"),
+    _w(0x53, "i64.lt_s", IMM_NONE, "comparison"),
+    _w(0x55, "i64.gt_s", IMM_NONE, "comparison"),
+    # i32 arithmetic / bitwise
+    _w(0x6A, "i32.add", IMM_NONE, "arithmetic"),
+    _w(0x6B, "i32.sub", IMM_NONE, "arithmetic"),
+    _w(0x6C, "i32.mul", IMM_NONE, "arithmetic"),
+    _w(0x6D, "i32.div_s", IMM_NONE, "arithmetic"),
+    _w(0x6E, "i32.div_u", IMM_NONE, "arithmetic"),
+    _w(0x6F, "i32.rem_s", IMM_NONE, "arithmetic"),
+    _w(0x71, "i32.and", IMM_NONE, "bitwise"),
+    _w(0x72, "i32.or", IMM_NONE, "bitwise"),
+    _w(0x73, "i32.xor", IMM_NONE, "bitwise"),
+    _w(0x74, "i32.shl", IMM_NONE, "bitwise"),
+    _w(0x75, "i32.shr_s", IMM_NONE, "bitwise"),
+    _w(0x76, "i32.shr_u", IMM_NONE, "bitwise"),
+    _w(0x77, "i32.rotl", IMM_NONE, "bitwise"),
+    # i64 arithmetic / bitwise
+    _w(0x7C, "i64.add", IMM_NONE, "arithmetic"),
+    _w(0x7D, "i64.sub", IMM_NONE, "arithmetic"),
+    _w(0x7E, "i64.mul", IMM_NONE, "arithmetic"),
+    _w(0x7F, "i64.div_s", IMM_NONE, "arithmetic"),
+    _w(0x83, "i64.and", IMM_NONE, "bitwise"),
+    _w(0x84, "i64.or", IMM_NONE, "bitwise"),
+    _w(0x85, "i64.xor", IMM_NONE, "bitwise"),
+    # conversions
+    _w(0xA7, "i32.wrap_i64", IMM_NONE, "conversion"),
+    _w(0xAC, "i64.extend_i32_s", IMM_NONE, "conversion"),
+    _w(0xAD, "i64.extend_i32_u", IMM_NONE, "conversion"),
+]
+
+#: byte value -> opcode
+WASM_OPCODES: Dict[int, WasmOpcode] = {op.value: op for op in _OPCODE_LIST}
+
+#: mnemonic -> opcode
+WASM_OPCODES_BY_NAME: Dict[str, WasmOpcode] = {op.name: op for op in _OPCODE_LIST}
+
+#: valtype byte values
+VALTYPE_I32 = 0x7F
+VALTYPE_I64 = 0x7E
+BLOCKTYPE_VOID = 0x40

@@ -1,0 +1,150 @@
+"""Binary parser for the WASM module subset (inverse of the encoder)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.wasm.encoder import MAGIC, SECTION_CODE, SECTION_FUNCTION, SECTION_TYPE, VERSION
+from repro.wasm.leb128 import decode_signed, decode_unsigned
+from repro.wasm.module import WasmFunction, WasmInstructionEntry, WasmModule
+from repro.wasm.opcodes import (
+    IMM_BLOCKTYPE,
+    IMM_CALL_INDIRECT,
+    IMM_I32,
+    IMM_I64,
+    IMM_INDEX,
+    IMM_MEMARG,
+    IMM_NONE,
+    WASM_OPCODES,
+)
+
+
+class WasmParseError(ValueError):
+    """Raised on malformed module binaries."""
+
+
+def decode_instruction(data: bytes, offset: int) -> Tuple[WasmInstructionEntry, int]:
+    """Decode one instruction at ``offset``; returns (entry, new_offset)."""
+    if offset >= len(data):
+        raise WasmParseError("truncated instruction stream")
+    opcode = WASM_OPCODES.get(data[offset])
+    if opcode is None:
+        raise WasmParseError(f"unknown opcode byte 0x{data[offset]:02x} at {offset}")
+    offset += 1
+    kind = opcode.immediate
+    operands: Tuple[int, ...] = ()
+    if kind == IMM_NONE:
+        pass
+    elif kind == IMM_BLOCKTYPE:
+        if offset >= len(data):
+            raise WasmParseError("truncated blocktype")
+        operands = (data[offset],)
+        offset += 1
+    elif kind == IMM_INDEX:
+        value, offset = decode_unsigned(data, offset)
+        operands = (value,)
+    elif kind == IMM_MEMARG:
+        align, offset = decode_unsigned(data, offset)
+        mem_offset, offset = decode_unsigned(data, offset)
+        operands = (align, mem_offset)
+    elif kind in (IMM_I32, IMM_I64):
+        value, offset = decode_signed(data, offset)
+        operands = (value,)
+    elif kind == IMM_CALL_INDIRECT:
+        type_index, offset = decode_unsigned(data, offset)
+        table_index, offset = decode_unsigned(data, offset)
+        operands = (type_index, table_index)
+    else:  # pragma: no cover - defensive
+        raise WasmParseError(f"unhandled immediate kind {kind!r}")
+    return WasmInstructionEntry(name=opcode.name, operands=operands), offset
+
+
+def _parse_type_section(payload: bytes) -> List[Tuple[int, int]]:
+    types: List[Tuple[int, int]] = []
+    count, offset = decode_unsigned(payload, 0)
+    for _ in range(count):
+        if payload[offset] != 0x60:
+            raise WasmParseError("expected functype marker 0x60")
+        offset += 1
+        params, offset = decode_unsigned(payload, offset)
+        offset += params  # skip valtypes
+        results, offset = decode_unsigned(payload, offset)
+        offset += results
+        types.append((params, results))
+    return types
+
+
+def _parse_function_section(payload: bytes) -> List[int]:
+    indices: List[int] = []
+    count, offset = decode_unsigned(payload, 0)
+    for _ in range(count):
+        index, offset = decode_unsigned(payload, offset)
+        indices.append(index)
+    return indices
+
+
+def _parse_code_section(payload: bytes) -> List[WasmFunction]:
+    functions: List[WasmFunction] = []
+    count, offset = decode_unsigned(payload, 0)
+    for _ in range(count):
+        body_size, offset = decode_unsigned(payload, offset)
+        body_end = offset + body_size
+        local_groups, offset = decode_unsigned(payload, offset)
+        locals_list: List[Tuple[int, int]] = []
+        for _ in range(local_groups):
+            local_count, offset = decode_unsigned(payload, offset)
+            valtype = payload[offset]
+            offset += 1
+            locals_list.append((local_count, valtype))
+        instructions: List[WasmInstructionEntry] = []
+        depth = 0
+        while offset < body_end:
+            entry, offset = decode_instruction(payload, offset)
+            if entry.name in ("block", "loop", "if"):
+                depth += 1
+            elif entry.name == "end":
+                if depth == 0:
+                    break  # function-terminating end: not part of the body
+                depth -= 1
+            instructions.append(entry)
+        offset = body_end
+        functions.append(WasmFunction(type_index=0, locals=locals_list, body=instructions))
+    return functions
+
+
+def parse_module(data: bytes, name: str = "") -> WasmModule:
+    """Parse a binary module produced by :func:`repro.wasm.encoder.encode_module`.
+
+    Unknown sections are skipped, mirroring the lenient behaviour of real
+    decoders towards custom sections.
+    """
+    if len(data) < 8 or data[:4] != MAGIC:
+        raise WasmParseError("missing \\0asm magic header")
+    if data[4:8] != VERSION:
+        raise WasmParseError("unsupported WASM version")
+
+    module = WasmModule(name=name)
+    type_indices: List[int] = []
+    offset = 8
+    while offset < len(data):
+        section_id = data[offset]
+        offset += 1
+        size, offset = decode_unsigned(data, offset)
+        payload = data[offset:offset + size]
+        if len(payload) != size:
+            raise WasmParseError("truncated section payload")
+        offset += size
+        if section_id == SECTION_TYPE:
+            module.types = _parse_type_section(payload)
+        elif section_id == SECTION_FUNCTION:
+            type_indices = _parse_function_section(payload)
+        elif section_id == SECTION_CODE:
+            module.functions = _parse_code_section(payload)
+        # other sections are ignored
+
+    for index, function in enumerate(module.functions):
+        if index < len(type_indices):
+            function.type_index = type_indices[index]
+    if not module.types and module.functions:
+        module.types = [(0, 0)]
+    return module

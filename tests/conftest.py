@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.generator import CorpusGenerator, GeneratorConfig
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """A deterministic RNG shared by tests that need randomness."""
+    return random.Random(1234)
+
+
+@pytest.fixture(scope="session")
+def small_evm_corpus():
+    """A small, clean EVM corpus (60 contracts, no label noise)."""
+    return CorpusGenerator(GeneratorConfig(
+        platform="evm", num_samples=60, label_noise=0.0, seed=11)).generate("test-evm")
+
+
+@pytest.fixture(scope="session")
+def small_wasm_corpus():
+    """A small, clean WASM corpus (40 contracts, no label noise)."""
+    return CorpusGenerator(GeneratorConfig(
+        platform="wasm", num_samples=40, label_noise=0.0, seed=13)).generate("test-wasm")
+
+
+@pytest.fixture(scope="session")
+def tiny_evm_corpus():
+    """A very small EVM corpus for expensive (training) tests."""
+    return CorpusGenerator(GeneratorConfig(
+        platform="evm", num_samples=24, label_noise=0.0, seed=17)).generate("tiny-evm")

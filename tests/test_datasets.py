@@ -1,0 +1,227 @@
+"""Tests for the dataset substrate: corpus, generator, dedup, splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.corpus import ContractSample, Corpus
+from repro.datasets.dedup import bytecode_fingerprint, deduplicate
+from repro.datasets.generator import (
+    CorpusGenerator,
+    GeneratorConfig,
+    generate_paired_clean_and_obfuscated,
+)
+from repro.datasets.labels import BENIGN, FAMILIES_BY_NAME, MALICIOUS, family_label
+from repro.datasets.splits import k_fold_indices, stratified_split
+from repro.evm.contracts import make_minimal_proxy
+
+
+def _sample(idx, label=0, bytecode=b"\x60\x01", family="erc20_token"):
+    return ContractSample(sample_id=f"s{idx}", platform="evm", bytecode=bytecode,
+                          label=label, family=family)
+
+
+# -------------------------------------------------------------------------- #
+# labels
+
+
+def test_family_catalog_covers_templates():
+    from repro.evm.contracts import ALL_TEMPLATES
+    from repro.wasm.contracts import WASM_ALL_TEMPLATES
+    for template in ALL_TEMPLATES + WASM_ALL_TEMPLATES:
+        assert template.name in FAMILIES_BY_NAME
+        assert family_label(template.name) == template.label
+
+
+def test_family_label_unknown_raises():
+    with pytest.raises(KeyError):
+        family_label("not-a-family")
+
+
+# -------------------------------------------------------------------------- #
+# corpus container
+
+
+def test_corpus_container_protocol():
+    corpus = Corpus([_sample(0), _sample(1, label=1)], name="c")
+    assert len(corpus) == 2
+    assert corpus[0].sample_id == "s0"
+    assert [s.sample_id for s in corpus] == ["s0", "s1"]
+    corpus.add(_sample(2))
+    assert len(corpus) == 3
+
+
+def test_corpus_filters_and_views():
+    corpus = Corpus([_sample(0, label=0), _sample(1, label=1), _sample(2, label=1)])
+    assert corpus.labels() == [0, 1, 1]
+    assert len(corpus.by_label(1)) == 2
+    assert len(corpus.by_platform("wasm")) == 0
+    assert corpus.class_balance() == {"benign": 1, "malicious": 2}
+    assert corpus.family_counts() == {"erc20_token": 3}
+    subset = corpus.subset([2, 0])
+    assert [s.sample_id for s in subset] == ["s2", "s0"]
+
+
+def test_corpus_map_bytecode_marks_obfuscation():
+    corpus = Corpus([_sample(0)])
+    mapped = corpus.map_bytecode(lambda s: s.bytecode + b"\x00", intensity=0.7)
+    assert mapped[0].bytecode.endswith(b"\x00")
+    assert mapped[0].obfuscated
+    assert mapped[0].obfuscation_intensity == 0.7
+    assert not corpus[0].obfuscated  # original untouched
+
+
+def test_sample_clean_label_and_hash():
+    noisy = ContractSample(sample_id="x", platform="evm", bytecode=b"\x01",
+                           label=1, family="erc20_token", true_label=0)
+    assert noisy.clean_label == 0
+    assert len(noisy.sha256()) == 64
+    assert noisy.size == 1
+
+
+def test_corpus_summary_keys(small_evm_corpus):
+    summary = small_evm_corpus.summary()
+    assert summary["samples"] == 60
+    assert summary["benign"] + summary["malicious"] == 60
+    assert summary["families"] > 1
+
+
+# -------------------------------------------------------------------------- #
+# generator
+
+
+def test_generator_is_deterministic():
+    config = GeneratorConfig(num_samples=30, seed=3)
+    first = CorpusGenerator(config).generate()
+    second = CorpusGenerator(config).generate()
+    assert [s.bytecode for s in first] == [s.bytecode for s in second]
+    assert first.labels() == second.labels()
+
+
+def test_generator_respects_class_balance():
+    corpus = CorpusGenerator(GeneratorConfig(num_samples=100, malicious_fraction=0.25,
+                                             label_noise=0.0, seed=1)).generate()
+    balance = corpus.class_balance()
+    assert balance["malicious"] == 25
+    assert balance["benign"] == 75
+
+
+def test_generator_label_noise_flips_some_labels():
+    corpus = CorpusGenerator(GeneratorConfig(num_samples=200, label_noise=0.1,
+                                             seed=2)).generate()
+    flipped = sum(1 for s in corpus if s.label != s.clean_label)
+    assert 5 <= flipped <= 40
+
+
+def test_generator_wasm_platform(small_wasm_corpus):
+    assert all(s.platform == "wasm" for s in small_wasm_corpus)
+    assert all(s.bytecode.startswith(b"\x00asm") for s in small_wasm_corpus)
+    assert set(small_wasm_corpus.labels()) == {0, 1}
+
+
+def test_generator_obfuscation_knob():
+    corpus = CorpusGenerator(GeneratorConfig(num_samples=20, seed=4,
+                                             obfuscation_intensity=0.6)).generate()
+    assert all(s.obfuscated for s in corpus)
+    assert all(s.obfuscation_intensity == 0.6 for s in corpus)
+
+
+def test_generator_duplicate_injection():
+    corpus = CorpusGenerator(GeneratorConfig(num_samples=40, seed=5,
+                                             proxy_duplicate_fraction=0.5)).generate()
+    duplicates = [s for s in corpus if s.is_proxy_duplicate]
+    assert len(duplicates) == 20
+    originals = {s.bytecode for s in corpus if not s.is_proxy_duplicate}
+    assert all(d.bytecode in originals for d in duplicates)
+
+
+def test_generator_rejects_unknown_platform():
+    with pytest.raises(ValueError):
+        CorpusGenerator(GeneratorConfig(platform="jvm"))
+
+
+def test_paired_clean_and_obfuscated_alignment():
+    clean, obfuscated = generate_paired_clean_and_obfuscated(
+        GeneratorConfig(num_samples=12, seed=6), intensity=0.5)
+    assert len(clean) == len(obfuscated)
+    assert clean.labels() == obfuscated.labels()
+    assert all(o.obfuscated for o in obfuscated)
+    assert any(c.bytecode != o.bytecode for c, o in zip(clean, obfuscated))
+
+
+# -------------------------------------------------------------------------- #
+# dedup
+
+
+def test_dedup_removes_exact_duplicates():
+    corpus = Corpus([_sample(0, bytecode=b"\x01\x02"), _sample(1, bytecode=b"\x01\x02"),
+                     _sample(2, bytecode=b"\x03")])
+    deduplicated, stats = deduplicate(corpus)
+    assert len(deduplicated) == 2
+    assert stats["exact"] == 1
+
+
+def test_dedup_collapses_erc1167_proxies():
+    proxies = [_sample(i, bytecode=make_minimal_proxy(0x1000 + i)) for i in range(4)]
+    corpus = Corpus(proxies + [_sample(9, bytecode=b"\x60\x01\x00")])
+    deduplicated, stats = deduplicate(corpus, collapse_proxies=True)
+    assert len(deduplicated) == 2
+    assert stats["proxy"] == 3
+    kept_all, stats_all = deduplicate(corpus, collapse_proxies=False)
+    assert len(kept_all) == 5  # distinct implementation addresses => distinct bytecode
+
+
+def test_fingerprint_distinguishes_labels_for_proxies():
+    benign_proxy = _sample(0, bytecode=make_minimal_proxy(1), label=0)
+    malicious_proxy = _sample(1, bytecode=make_minimal_proxy(2), label=1)
+    assert bytecode_fingerprint(benign_proxy) != bytecode_fingerprint(malicious_proxy)
+
+
+# -------------------------------------------------------------------------- #
+# splits
+
+
+def test_stratified_split_preserves_balance(small_evm_corpus):
+    train, test = stratified_split(small_evm_corpus, test_fraction=0.3, seed=0)
+    assert len(train) + len(test) == len(small_evm_corpus)
+    test_balance = test.class_balance()
+    assert abs(test_balance["benign"] - test_balance["malicious"]) <= 3
+    train_ids = {s.sample_id for s in train}
+    test_ids = {s.sample_id for s in test}
+    assert not train_ids & test_ids
+
+
+def test_stratified_split_validates_fraction(small_evm_corpus):
+    with pytest.raises(ValueError):
+        stratified_split(small_evm_corpus, test_fraction=0.0)
+    with pytest.raises(ValueError):
+        stratified_split(small_evm_corpus, test_fraction=1.5)
+
+
+def test_k_fold_partitions_every_sample_once():
+    labels = [0, 1] * 20
+    folds = k_fold_indices(40, labels, k=5, seed=1)
+    assert len(folds) == 5
+    all_test = sorted(i for _, test in folds for i in test)
+    assert all_test == list(range(40))
+    for train, test in folds:
+        assert not set(train) & set(test)
+        assert sorted(train + test) == list(range(40))
+
+
+def test_k_fold_validates_inputs():
+    with pytest.raises(ValueError):
+        k_fold_indices(10, [0] * 10, k=1)
+    with pytest.raises(ValueError):
+        k_fold_indices(10, [0] * 9, k=2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=10, max_value=80), st.integers(min_value=2, max_value=6),
+       st.integers(min_value=0, max_value=1000))
+def test_k_fold_property_partition(num_samples, k, seed):
+    labels = [i % 2 for i in range(num_samples)]
+    folds = k_fold_indices(num_samples, labels, k=k, seed=seed)
+    covered = sorted(i for _, test in folds for i in test)
+    assert covered == list(range(num_samples))

@@ -1,0 +1,137 @@
+"""Tests for the evaluation harness: reporting, cross-validation, experiments."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    E1Config,
+    E2Config,
+    E3Config,
+    E5Config,
+    E6Config,
+    E7Config,
+    ExperimentResult,
+    cross_validate,
+    format_series,
+    format_table,
+    run_e1_phishinghook_zoo,
+    run_e2_obfuscation_degradation,
+    run_e3_gnn_vs_baseline,
+    run_e5_cross_platform,
+    run_e6_dedup_ablation,
+    run_e7_gnn_ablation,
+)
+from repro.evaluation.experiments import obfuscate_corpus
+from repro.features.opcode_histogram import OpcodeHistogramExtractor
+from repro.ml.logistic_regression import LogisticRegression
+
+
+# -------------------------------------------------------------------------- #
+# reporting
+
+
+def test_format_table_alignment_and_values():
+    rows = [{"model": "gcn", "accuracy": 0.9123}, {"model": "histogram-rf", "accuracy": 0.5}]
+    text = format_table(rows)
+    assert "model" in text and "accuracy" in text
+    assert "0.912" in text and "histogram-rf" in text
+    assert format_table([]) == "(no rows)"
+
+
+def test_format_series_renders_bars():
+    text = format_series({"gnn": [0.9, 0.8], "baseline": [0.9, 0.5]},
+                         x_values=[0.0, 1.0], title="robustness")
+    assert "robustness" in text
+    assert "[gnn]" in text and "[baseline]" in text
+    assert text.count("|") >= 8
+
+
+def test_experiment_result_format():
+    result = ExperimentResult(experiment_id="EX", title="demo",
+                              rows=[{"a": 1.0}], summary={"mean": 1.0},
+                              notes=["hello"])
+    text = result.format()
+    assert "EX" in text and "demo" in text and "hello" in text
+    assert result.column_names() == ["a"]
+
+
+# -------------------------------------------------------------------------- #
+# cross-validation helper
+
+
+def test_cross_validate_returns_mean_metrics(small_evm_corpus):
+    metrics = cross_validate(small_evm_corpus,
+                             make_extractor=lambda: OpcodeHistogramExtractor(),
+                             make_classifier=lambda: LogisticRegression(epochs=120),
+                             folds=3, scale_features=True)
+    assert set(metrics) == {"accuracy", "precision", "recall", "f1", "roc_auc"}
+    assert metrics["accuracy"] >= 0.8
+
+
+# -------------------------------------------------------------------------- #
+# experiment drivers (tiny configurations to keep the suite fast)
+
+
+def test_obfuscate_corpus_helper(small_evm_corpus):
+    subset = small_evm_corpus.subset(range(6))
+    obfuscated = obfuscate_corpus(subset, 0.5, seed=1)
+    assert len(obfuscated) == 6
+    assert all(o.obfuscated for o in obfuscated)
+    assert obfuscate_corpus(subset, 0.0, seed=1) is subset
+
+
+def test_e1_small_run_matches_paper_band():
+    result = run_e1_phishinghook_zoo(E1Config(
+        num_samples=90, folds=3,
+        entry_names=["histogram+random-forest", "histogram+knn", "2gram+random-forest"]))
+    assert result.experiment_id == "E1"
+    assert len(result.rows) == 3
+    assert 0.75 <= result.summary["average_accuracy"] <= 1.0
+    assert result.summary["best_accuracy"] >= result.summary["average_accuracy"] - 1e-9
+
+
+def test_e2_degradation_is_monotone_in_the_large():
+    result = run_e2_obfuscation_degradation(E2Config(
+        num_samples=100, intensities=(0.0, 0.75)))
+    clean = result.rows[0]["histogram_rf_accuracy"]
+    obfuscated = result.rows[-1]["histogram_rf_accuracy"]
+    assert clean >= 0.9
+    assert obfuscated <= clean - 0.2
+    assert result.summary["histogram_drop"] >= 0.2
+
+
+def test_e3_small_run_produces_all_rows():
+    result = run_e3_gnn_vs_baseline(E3Config(
+        num_samples=60, epochs=4, architectures=("gcn",), test_intensity=0.5))
+    models = [row["model"] for row in result.rows]
+    assert "histogram+random-forest" in models
+    assert "scamdetect-gcn" in models
+    for row in result.rows:
+        assert 0.0 <= row["obfuscated_accuracy"] <= 1.0
+        assert row["accuracy_drop"] == pytest.approx(
+            row["clean_accuracy"] - row["obfuscated_accuracy"])
+
+
+def test_e5_cross_platform_rows():
+    result = run_e5_cross_platform(E5Config(num_samples_per_platform=50, epochs=4))
+    platforms = {row["platform"] for row in result.rows}
+    assert platforms == {"evm", "wasm"}
+    assert "cross_platform_gap" in result.summary
+    assert 0.0 <= result.summary["cross_platform_gap"] <= 1.0
+
+
+def test_e6_dedup_reports_inflation_sign():
+    result = run_e6_dedup_ablation(E6Config(num_samples=100,
+                                            proxy_duplicate_fraction=0.5))
+    raw_row, dedup_row = result.rows
+    assert raw_row["corpus_size"] > dedup_row["corpus_size"]
+    assert result.summary["duplicates_removed"] > 0
+
+
+def test_e7_ablation_covers_variants():
+    result = run_e7_gnn_ablation(E7Config(num_samples=50, epochs=3,
+                                          depths=(1, 2), readouts=("mean",)))
+    variants = [row["variant"] for row in result.rows]
+    assert "depth=1" in variants and "depth=2" in variants
+    assert any(v.startswith("features=") for v in variants)
+    assert result.summary["num_variants"] == len(result.rows)

@@ -1,0 +1,82 @@
+"""Unit tests for the EVM assembler."""
+
+import pytest
+
+from repro.evm.assembler import AssemblyError, EVMAssembler, assemble, assemble_text
+from repro.evm.disassembler import disassemble
+
+
+def test_assemble_simple_program():
+    code = assemble([("PUSH1", 0x60), ("PUSH1", 0x40), ("MSTORE", None), ("STOP", None)])
+    assert code == bytes.fromhex("6060604052" + "00")[:6]
+    assert code.hex() == "60606040" + "52" + "00"
+
+
+def test_assemble_label_roundtrip():
+    asm = EVMAssembler()
+    asm.push_label("target").emit("JUMP").label("target").emit("STOP")
+    code = asm.assemble()
+    instructions = disassemble(code)
+    # PUSH2 <offset of JUMPDEST>, JUMP, JUMPDEST, STOP
+    assert [ins.name for ins in instructions] == ["PUSH2", "JUMP", "JUMPDEST", "STOP"]
+    jumpdest_offset = instructions[2].offset
+    assert instructions[0].operand == jumpdest_offset
+
+
+def test_push_width_is_minimal():
+    asm = EVMAssembler()
+    asm.push(0x05).push(0x1234).push(0x123456)
+    names = [ins.name for ins in disassemble(asm.assemble())]
+    assert names == ["PUSH1", "PUSH2", "PUSH3"]
+
+
+def test_push_value_too_wide_rejected():
+    with pytest.raises(AssemblyError):
+        assemble([("PUSH1", 0x1FF)])
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblyError):
+        assemble([("FROBNICATE", None)])
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble([("LABEL", "a"), ("LABEL", "a")])
+
+
+def test_missing_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble([("PUSHLABEL", "missing"), ("JUMP", None)])
+
+
+def test_negative_push_rejected():
+    asm = EVMAssembler()
+    with pytest.raises(AssemblyError):
+        asm.push(-1)
+
+
+def test_operand_on_operandless_opcode_rejected():
+    with pytest.raises(AssemblyError):
+        assemble([("ADD", 3)])
+
+
+def test_assemble_text_with_comments():
+    code = assemble_text(
+        """
+        ; dispatcher prologue
+        PUSH1 0x80
+        PUSH1 0x40
+        MSTORE
+        LABEL done
+        STOP
+        """)
+    names = [ins.name for ins in disassemble(code)]
+    assert names == ["PUSH1", "PUSH1", "MSTORE", "JUMPDEST", "STOP"]
+
+
+def test_assemble_disassemble_roundtrip_preserves_operands():
+    items = [("PUSH4", 0xDEADBEEF), ("PUSH2", 0x0102), ("ADD", None), ("STOP", None)]
+    instructions = disassemble(assemble(items))
+    assert instructions[0].operand == 0xDEADBEEF
+    assert instructions[1].operand == 0x0102

@@ -1,0 +1,120 @@
+"""Unit tests for EVM CFG construction."""
+
+import random
+
+import pytest
+
+from repro.evm.assembler import EVMAssembler
+from repro.evm.cfg_builder import EVMCFGBuilder, build_cfg
+from repro.evm.contracts import ALL_TEMPLATES
+
+
+def _linear_program():
+    asm = EVMAssembler()
+    asm.push(1).push(2).emit("ADD").emit("POP").emit("STOP")
+    return asm.assemble()
+
+
+def _branching_program():
+    asm = EVMAssembler()
+    asm.emit("CALLVALUE")
+    asm.push_label("payable").emit("JUMPI")
+    asm.push(0).push(0).emit("REVERT")
+    asm.label("payable")
+    asm.emit("STOP")
+    return asm.assemble()
+
+
+def _loop_program():
+    asm = EVMAssembler()
+    asm.push(3)                       # counter
+    asm.label("head")
+    asm.push(1).emit("SWAP1").emit("SUB")
+    asm.emit("DUP1")
+    asm.push_label("head").emit("JUMPI")
+    asm.emit("POP").emit("STOP")
+    return asm.assemble()
+
+
+def test_linear_program_is_single_block():
+    cfg = build_cfg(_linear_program())
+    assert cfg.num_blocks == 1
+    assert cfg.num_edges == 0
+    assert cfg.terminal_blocks() == [cfg.entry_id]
+
+
+def test_conditional_branch_has_two_successors():
+    cfg = build_cfg(_branching_program())
+    cfg.validate()
+    entry_successors = cfg.successors(cfg.entry_id)
+    assert len(entry_successors) == 2
+    kinds = {edge.kind for edge in cfg.edges if edge.source == cfg.entry_id}
+    assert kinds == {"branch", "fallthrough"}
+
+
+def test_loop_produces_back_edge():
+    cfg = build_cfg(_loop_program())
+    cfg.validate()
+    has_back_edge = any(edge.target <= edge.source for edge in cfg.edges
+                        if edge.kind in ("branch", "jump"))
+    assert has_back_edge
+    assert cfg.cyclomatic_complexity() >= 2
+
+
+def test_jumpdest_starts_new_block():
+    cfg = build_cfg(_branching_program())
+    jumpdest_blocks = [block for block in cfg.blocks
+                       if block.instructions[0].mnemonic == "JUMPDEST"]
+    assert len(jumpdest_blocks) == 1
+
+
+def test_block_ids_match_first_instruction_offsets():
+    for template in ALL_TEMPLATES[:4]:
+        cfg = build_cfg(template.generate(random.Random(3)))
+        for block in cfg.blocks:
+            assert block.block_id == block.instructions[0].offset
+
+
+def test_all_templates_produce_valid_multi_block_cfgs(rng):
+    for template in ALL_TEMPLATES:
+        code = template.generate(rng)
+        cfg = build_cfg(code, name=template.name)
+        cfg.validate()
+        assert cfg.num_blocks > 5, template.name
+        assert cfg.num_edges > 0, template.name
+        # the dispatcher must reach every function entry: most blocks reachable
+        reachable = cfg.reachable_blocks()
+        assert len(reachable) >= cfg.num_blocks * 0.5, template.name
+
+
+def test_dispatcher_entry_is_reachable_root(rng):
+    code = ALL_TEMPLATES[0].generate(rng)
+    cfg = build_cfg(code)
+    assert cfg.entry_id == 0
+    assert cfg.entry_block().is_entry
+
+
+def test_empty_bytecode_gives_empty_cfg():
+    cfg = build_cfg(b"")
+    assert cfg.num_blocks == 0
+    assert cfg.num_edges == 0
+
+
+def test_unresolved_dynamic_jump_gets_conservative_edges():
+    # JUMP whose target comes from calldata cannot be resolved statically
+    asm = EVMAssembler()
+    asm.push(0).emit("CALLDATALOAD").emit("JUMP")
+    asm.label("a").emit("STOP")
+    asm.label("b").emit("STOP")
+    cfg = EVMCFGBuilder(resolve_dynamic_jumps=True).build(asm.assemble())
+    dynamic_edges = [edge for edge in cfg.edges if edge.kind == "dynamic"]
+    assert len(dynamic_edges) == 2
+    cfg_without = EVMCFGBuilder(resolve_dynamic_jumps=False).build(asm.assemble())
+    assert not [edge for edge in cfg_without.edges if edge.kind == "dynamic"]
+
+
+def test_depth_first_order_starts_at_entry(rng):
+    cfg = build_cfg(ALL_TEMPLATES[1].generate(rng))
+    order = cfg.depth_first_order()
+    assert order[0] == cfg.entry_id
+    assert len(order) == len(set(order))

@@ -1,0 +1,92 @@
+"""Unit tests for the synthetic EVM contract templates."""
+
+import random
+
+import pytest
+
+from repro.evm.contracts import (
+    ALL_TEMPLATES,
+    BENIGN_TEMPLATES,
+    MALICIOUS_TEMPLATES,
+    TEMPLATES_BY_NAME,
+    is_minimal_proxy,
+    make_minimal_proxy,
+    proxy_implementation_address,
+)
+from repro.evm.disassembler import to_mnemonic_sequence
+
+
+def test_registries_are_consistent():
+    assert len(BENIGN_TEMPLATES) == 5
+    assert len(MALICIOUS_TEMPLATES) == 5
+    assert len(ALL_TEMPLATES) == 10
+    assert all(t.label == 0 for t in BENIGN_TEMPLATES)
+    assert all(t.label == 1 for t in MALICIOUS_TEMPLATES)
+    assert set(TEMPLATES_BY_NAME) == {t.name for t in ALL_TEMPLATES}
+
+
+def test_generation_is_deterministic_given_seed():
+    for template in ALL_TEMPLATES:
+        first = template.generate(random.Random(42))
+        second = template.generate(random.Random(42))
+        assert first == second, template.name
+
+
+def test_generation_varies_across_seeds():
+    template = TEMPLATES_BY_NAME["erc20_token"]
+    outputs = {template.generate(random.Random(seed)) for seed in range(8)}
+    assert len(outputs) > 1
+
+
+def test_all_templates_emit_dispatcher_pattern(rng):
+    for template in ALL_TEMPLATES:
+        mnemonics = to_mnemonic_sequence(template.generate(rng))
+        assert "CALLDATASIZE" in mnemonics, template.name
+        assert "SHR" in mnemonics, template.name
+        assert "JUMPDEST" in mnemonics, template.name
+        assert mnemonics.count("EQ") >= 2, template.name
+
+
+def test_malicious_families_carry_their_signature_opcodes(rng):
+    drainer = to_mnemonic_sequence(TEMPLATES_BY_NAME["approval_drainer"].generate(rng))
+    assert "ORIGIN" in drainer
+    assert drainer.count("CALL") >= 2
+
+    honeypot = to_mnemonic_sequence(TEMPLATES_BY_NAME["honeypot"].generate(rng))
+    assert "SELFDESTRUCT" in honeypot
+    assert "SELFBALANCE" in honeypot
+
+    backdoor = to_mnemonic_sequence(TEMPLATES_BY_NAME["backdoor_proxy"].generate(rng))
+    assert "DELEGATECALL" in backdoor
+
+    rugpull = to_mnemonic_sequence(TEMPLATES_BY_NAME["rugpull_token"].generate(rng))
+    assert "SELFDESTRUCT" in rugpull
+
+
+def test_benign_families_do_not_selfdestruct(rng):
+    for template in BENIGN_TEMPLATES:
+        mnemonics = to_mnemonic_sequence(template.generate(rng))
+        assert "SELFDESTRUCT" not in mnemonics, template.name
+        assert "DELEGATECALL" not in mnemonics, template.name
+
+
+def test_minimal_proxy_roundtrip():
+    address = 0x1234567890ABCDEF1234567890ABCDEF12345678
+    proxy = make_minimal_proxy(address)
+    assert len(proxy) == 45
+    assert is_minimal_proxy(proxy)
+    assert proxy_implementation_address(proxy) == address
+
+
+def test_minimal_proxy_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        make_minimal_proxy(1 << 160)
+    with pytest.raises(ValueError):
+        proxy_implementation_address(b"\x00" * 45)
+    assert not is_minimal_proxy(b"\x60\x80")
+
+
+def test_generated_code_sizes_are_contract_like(rng):
+    for template in ALL_TEMPLATES:
+        size = len(template.generate(rng))
+        assert 100 < size < 2000, template.name

@@ -1,0 +1,74 @@
+"""Unit tests for the EVM disassembler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evm.assembler import assemble
+from repro.evm.disassembler import (
+    disassemble,
+    disassemble_to_ir,
+    format_disassembly,
+    to_mnemonic_sequence,
+)
+
+
+def test_disassemble_hex_string_and_bytes_agree():
+    code = bytes.fromhex("6080604052")
+    from_bytes = disassemble(code)
+    from_hex = disassemble("0x6080604052")
+    assert [i.name for i in from_bytes] == [i.name for i in from_hex]
+    assert [i.operand for i in from_bytes] == [i.operand for i in from_hex]
+
+
+def test_disassemble_push_operands():
+    instructions = disassemble(bytes.fromhex("6001611234"))
+    assert instructions[0].name == "PUSH1"
+    assert instructions[0].operand == 1
+    assert instructions[1].name == "PUSH2"
+    assert instructions[1].operand == 0x1234
+
+
+def test_offsets_are_cumulative_sizes():
+    instructions = disassemble(bytes.fromhex("600160026003"))
+    assert [ins.offset for ins in instructions] == [0, 2, 4]
+    assert all(ins.size == 2 for ins in instructions)
+
+
+def test_truncated_push_is_tolerated():
+    # PUSH2 with only one immediate byte available
+    instructions = disassemble(bytes.fromhex("61ff"))
+    assert instructions[0].name == "PUSH2"
+    assert instructions[0].operand == 0xFF
+    assert instructions[0].size == 2
+
+
+def test_unknown_opcode_decoded_as_unknown():
+    instructions = disassemble(bytes([0xEF, 0x00]))
+    assert instructions[0].name == "UNKNOWN"
+    assert instructions[0].category == "invalid"
+    assert instructions[1].name == "STOP"
+
+
+def test_ir_lowering_preserves_order_and_platform():
+    code = assemble([("PUSH1", 7), ("CALLER", None), ("SSTORE", None), ("STOP", None)])
+    lowered = disassemble_to_ir(code)
+    assert [ins.mnemonic for ins in lowered] == ["PUSH1", "CALLER", "SSTORE", "STOP"]
+    assert all(ins.platform == "evm" for ins in lowered)
+    assert lowered[2].category == "storage"
+
+
+def test_mnemonic_sequence_and_formatting():
+    code = assemble([("PUSH1", 1), ("STOP", None)])
+    assert to_mnemonic_sequence(code) == ["PUSH1", "STOP"]
+    listing = format_disassembly(code)
+    assert "PUSH1" in listing and "STOP" in listing
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(min_size=0, max_size=400))
+def test_disassembly_is_total_and_covers_every_byte(data):
+    """Disassembly never raises and instruction sizes tile the input exactly."""
+    instructions = disassemble(data)
+    assert sum(ins.size for ins in instructions) == len(data)
+    offsets = [ins.offset for ins in instructions]
+    assert offsets == sorted(offsets)

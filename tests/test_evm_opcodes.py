@@ -1,0 +1,96 @@
+"""Unit tests for the EVM opcode table."""
+
+import pytest
+
+from repro.evm.opcodes import (
+    OPCODES,
+    OPCODES_BY_NAME,
+    is_block_end,
+    is_push,
+    is_terminator,
+    opcode_by_name,
+    opcode_by_value,
+    push_size,
+)
+
+
+def test_core_opcodes_present():
+    for name in ("STOP", "ADD", "SHA3", "CALLER", "SSTORE", "JUMP", "JUMPI",
+                 "JUMPDEST", "CALL", "DELEGATECALL", "RETURN", "REVERT",
+                 "SELFDESTRUCT", "PUSH1", "PUSH32", "DUP1", "DUP16", "SWAP1",
+                 "SWAP16", "LOG0", "LOG4", "PUSH0"):
+        assert name in OPCODES_BY_NAME, name
+
+
+def test_opcode_values_match_specification():
+    assert OPCODES_BY_NAME["STOP"].value == 0x00
+    assert OPCODES_BY_NAME["ADD"].value == 0x01
+    assert OPCODES_BY_NAME["SHA3"].value == 0x20
+    assert OPCODES_BY_NAME["CALLER"].value == 0x33
+    assert OPCODES_BY_NAME["SSTORE"].value == 0x55
+    assert OPCODES_BY_NAME["JUMPDEST"].value == 0x5B
+    assert OPCODES_BY_NAME["PUSH1"].value == 0x60
+    assert OPCODES_BY_NAME["PUSH32"].value == 0x7F
+    assert OPCODES_BY_NAME["DUP1"].value == 0x80
+    assert OPCODES_BY_NAME["SWAP1"].value == 0x90
+    assert OPCODES_BY_NAME["SELFDESTRUCT"].value == 0xFF
+
+
+def test_push_immediate_sizes():
+    for width in range(1, 33):
+        opcode = OPCODES_BY_NAME[f"PUSH{width}"]
+        assert opcode.immediate_size == width
+        assert push_size(opcode.value) == width
+
+
+def test_push0_has_no_immediate():
+    assert OPCODES_BY_NAME["PUSH0"].immediate_size == 0
+    assert push_size(0x5F) == 0
+
+
+def test_is_push_range():
+    assert is_push(0x5F)
+    assert is_push(0x60)
+    assert is_push(0x7F)
+    assert not is_push(0x5B)
+    assert not is_push(0x80)
+
+
+def test_push_size_rejects_non_push():
+    with pytest.raises(ValueError):
+        push_size(0x01)
+
+
+def test_dup_swap_stack_arity():
+    for depth in range(1, 17):
+        dup = OPCODES_BY_NAME[f"DUP{depth}"]
+        swap = OPCODES_BY_NAME[f"SWAP{depth}"]
+        assert dup.pushes == dup.pops + 1
+        assert swap.pops == swap.pushes == depth + 1
+
+
+def test_terminators():
+    for name in ("STOP", "RETURN", "REVERT", "INVALID", "SELFDESTRUCT", "JUMP"):
+        assert is_terminator(name)
+    assert not is_terminator("JUMPI")
+    assert is_block_end("JUMPI")
+    assert not is_block_end("ADD")
+
+
+def test_lookup_helpers():
+    assert opcode_by_value(0x01).name == "ADD"
+    assert opcode_by_value(0xEF) is None
+    assert opcode_by_name("add").value == 0x01
+    with pytest.raises(KeyError):
+        opcode_by_name("NOTANOPCODE")
+
+
+def test_no_duplicate_values_or_names():
+    assert len(OPCODES) == len({op.value for op in OPCODES.values()})
+    assert len(OPCODES_BY_NAME) == len(OPCODES)
+
+
+def test_categories_are_normalizable():
+    from repro.ir.normalization import CATEGORY_VOCABULARY, normalize_category
+    for opcode in OPCODES.values():
+        assert normalize_category(opcode.category) in CATEGORY_VOCABULARY

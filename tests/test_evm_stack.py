@@ -1,0 +1,64 @@
+"""Unit tests for the symbolic stack used in jump-target resolution."""
+
+from repro.evm.assembler import assemble
+from repro.evm.disassembler import disassemble
+from repro.evm.stack import UNKNOWN, SymbolicStack
+
+
+def _apply_program(items):
+    stack = SymbolicStack()
+    for instruction in disassemble(assemble(items)):
+        stack.apply(instruction)
+    return stack
+
+
+def test_push_tracks_constant():
+    stack = _apply_program([("PUSH2", 0x1234)])
+    assert stack.jump_target() == 0x1234
+
+
+def test_dup_and_swap_preserve_constants():
+    stack = _apply_program([("PUSH1", 5), ("PUSH1", 9), ("SWAP1", None)])
+    assert stack.peek(0) == 5
+    assert stack.peek(1) == 9
+    stack = _apply_program([("PUSH1", 7), ("DUP1", None)])
+    assert stack.peek(0) == 7
+    assert stack.peek(1) == 7
+
+
+def test_and_mask_preserves_constant():
+    stack = _apply_program([("PUSH2", 0x00FF), ("PUSH2", 0x0F0F), ("AND", None)])
+    assert stack.peek(0) == 0x000F
+
+
+def test_opaque_operations_lose_precision():
+    stack = _apply_program([("PUSH1", 3), ("CALLDATALOAD", None)])
+    assert stack.peek(0) is UNKNOWN
+    stack = _apply_program([("PUSH1", 3), ("PUSH1", 4), ("ADD", None)])
+    assert stack.peek(0) is UNKNOWN
+
+
+def test_pop_on_empty_stack_is_unknown():
+    stack = SymbolicStack()
+    assert stack.pop() is UNKNOWN
+    assert stack.peek(10) is UNKNOWN
+
+
+def test_unknown_opcode_clears_tracking():
+    stack = SymbolicStack()
+    for instruction in disassemble(bytes([0x60, 0x10, 0xEF])):
+        stack.apply(instruction)
+    assert len(stack) == 0
+
+
+def test_copy_is_independent():
+    stack = _apply_program([("PUSH1", 1)])
+    clone = stack.copy()
+    clone.pop()
+    assert stack.peek(0) == 1
+    assert clone.peek(0) is UNKNOWN
+
+
+def test_deep_swap_conservatively_forgets():
+    stack = _apply_program([("PUSH1", 1), ("SWAP16", None)])
+    assert stack.peek(0) is UNKNOWN

@@ -1,0 +1,123 @@
+"""Tests for the feature extractors."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.corpus import Corpus
+from repro.features import (
+    ByteImageExtractor,
+    CFGStructureExtractor,
+    NgramExtractor,
+    OpcodeHistogramExtractor,
+    TfidfExtractor,
+    normalized_vocabulary,
+    opcode_sequence,
+)
+
+
+def test_opcode_sequence_evm(small_evm_corpus):
+    sequence = opcode_sequence(small_evm_corpus[0])
+    assert sequence
+    assert "PUSH" in sequence  # widths are collapsed
+    assert not any(token.startswith("PUSH1") for token in sequence)
+    categories = opcode_sequence(small_evm_corpus[0], vocabulary="category")
+    assert len(categories) == len(sequence)
+    assert set(categories) <= set(normalized_vocabulary("both", "category"))
+
+
+def test_opcode_sequence_wasm(small_wasm_corpus):
+    sequence = opcode_sequence(small_wasm_corpus[0])
+    assert sequence
+    assert any(token in ("ADD", "CONST", "CALL") for token in sequence)
+
+
+def test_normalized_vocabulary_is_stable_and_sorted():
+    vocabulary = normalized_vocabulary("both", "mnemonic")
+    assert list(vocabulary) == sorted(vocabulary)
+    assert "PUSH" in vocabulary and "SSTORE" in vocabulary
+    assert vocabulary == normalized_vocabulary("both", "mnemonic")
+
+
+def test_histogram_extractor_shapes_and_normalization(small_evm_corpus):
+    extractor = OpcodeHistogramExtractor()
+    features = extractor.fit_transform(small_evm_corpus)
+    assert features.shape == (len(small_evm_corpus), extractor.dimension)
+    token_columns = features[:, :-1]
+    assert np.all(token_columns >= 0.0)
+    assert np.allclose(token_columns.sum(axis=1), 1.0, atol=1e-9)
+
+
+def test_histogram_extractor_counts_mode(small_evm_corpus):
+    extractor = OpcodeHistogramExtractor(normalize=False, include_length=False)
+    features = extractor.fit_transform(small_evm_corpus)
+    assert features.sum(axis=1).min() > 10  # raw counts
+
+
+def test_histogram_category_vocabulary_cross_platform(small_evm_corpus, small_wasm_corpus):
+    extractor = OpcodeHistogramExtractor(vocabulary="category")
+    evm_features = extractor.fit_transform(small_evm_corpus)
+    wasm_features = extractor.transform(small_wasm_corpus)
+    assert evm_features.shape[1] == wasm_features.shape[1]
+
+
+def test_ngram_extractor_learns_vocabulary(small_evm_corpus):
+    extractor = NgramExtractor(n=2, top_k=64)
+    features = extractor.fit_transform(small_evm_corpus)
+    assert features.shape == (len(small_evm_corpus), extractor.dimension)
+    assert extractor.dimension <= 64
+    with pytest.raises(RuntimeError):
+        NgramExtractor().transform(small_evm_corpus)
+
+
+def test_ngram_extractor_rejects_bad_order():
+    with pytest.raises(ValueError):
+        NgramExtractor(n=0)
+
+
+def test_tfidf_rows_are_l2_normalized(small_evm_corpus):
+    extractor = TfidfExtractor(n=2, top_k=64)
+    features = extractor.fit_transform(small_evm_corpus)
+    norms = np.linalg.norm(features, axis=1)
+    assert np.all((np.isclose(norms, 1.0)) | (norms == 0.0))
+    with pytest.raises(RuntimeError):
+        TfidfExtractor().transform(small_evm_corpus)
+
+
+def test_byteimage_extractor_shape_and_range(small_evm_corpus):
+    extractor = ByteImageExtractor(side=8)
+    features = extractor.fit_transform(small_evm_corpus)
+    assert features.shape == (len(small_evm_corpus), extractor.dimension)
+    assert np.all(features[:, :64] >= 0.0)
+    assert np.all(features[:, :64] <= 1.0)
+
+
+def test_byteimage_handles_empty_bytecode():
+    from repro.datasets.corpus import ContractSample
+    empty = Corpus([ContractSample(sample_id="e", platform="evm", bytecode=b"",
+                                   label=0, family="erc20_token")])
+    features = ByteImageExtractor(side=4).fit_transform(empty)
+    assert features.shape[0] == 1
+    assert np.all(np.isfinite(features))
+
+
+def test_byteimage_rejects_tiny_side():
+    with pytest.raises(ValueError):
+        ByteImageExtractor(side=1)
+
+
+def test_cfg_structure_extractor(small_evm_corpus, small_wasm_corpus):
+    extractor = CFGStructureExtractor()
+    evm_features = extractor.fit_transform(small_evm_corpus)
+    wasm_features = extractor.transform(small_wasm_corpus)
+    assert evm_features.shape[1] == wasm_features.shape[1] == extractor.dimension
+    assert np.all(np.isfinite(evm_features))
+
+
+def test_features_separate_classes(small_evm_corpus):
+    """Benign and malicious mean feature vectors must differ measurably."""
+    extractor = OpcodeHistogramExtractor()
+    features = extractor.fit_transform(small_evm_corpus)
+    labels = np.asarray(small_evm_corpus.labels())
+    benign_mean = features[labels == 0].mean(axis=0)
+    malicious_mean = features[labels == 1].mean(axis=0)
+    assert np.linalg.norm(benign_mean - malicious_mean) > 0.01

@@ -1,0 +1,192 @@
+"""Tests for the GNN library: data prep, layers, model, trainer."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.datasets.generator import CorpusGenerator, GeneratorConfig
+from repro.gnn import (
+    GNN_ARCHITECTURES,
+    ContractGraph,
+    GNNTrainer,
+    GraphClassifier,
+    corpus_to_graphs,
+    make_conv,
+    readout,
+    sample_to_graph,
+)
+from repro.gnn.layers import GATConv, GCNConv, GINConv, SAGEConv, TAGConv
+from repro.ir.features import NODE_FEATURE_DIM
+
+
+def _toy_graph(num_nodes=5, feature_dim=8, label=1, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.random((num_nodes, feature_dim))
+    adjacency = (rng.random((num_nodes, num_nodes)) > 0.6).astype(float)
+    adjacency = np.maximum(adjacency, adjacency.T)
+    np.fill_diagonal(adjacency, 1.0)
+    degrees = adjacency.sum(axis=1)
+    inverse_sqrt = 1.0 / np.sqrt(degrees)
+    normalized = adjacency * inverse_sqrt[:, None] * inverse_sqrt[None, :]
+    return ContractGraph(node_features=features, adjacency=adjacency,
+                         normalized_adjacency=normalized, label=label)
+
+
+# -------------------------------------------------------------------------- #
+# data preparation
+
+
+def test_sample_to_graph_dimensions(small_evm_corpus):
+    graph = sample_to_graph(small_evm_corpus[0])
+    assert graph.feature_dim == NODE_FEATURE_DIM
+    assert graph.adjacency.shape == (graph.num_nodes, graph.num_nodes)
+    assert graph.normalized_adjacency.shape == graph.adjacency.shape
+    assert graph.label == small_evm_corpus[0].label
+
+
+def test_corpus_to_graphs_cross_platform(small_evm_corpus, small_wasm_corpus):
+    evm_graphs = corpus_to_graphs(small_evm_corpus)
+    wasm_graphs = corpus_to_graphs(small_wasm_corpus)
+    assert len(evm_graphs) == len(small_evm_corpus)
+    assert evm_graphs[0].feature_dim == wasm_graphs[0].feature_dim
+    assert {g.platform for g in wasm_graphs} == {"wasm"}
+
+
+def test_graph_truncation_by_max_nodes(small_evm_corpus):
+    graph = sample_to_graph(small_evm_corpus[0], max_nodes=4)
+    assert graph.num_nodes <= 4
+    assert graph.adjacency.shape == (graph.num_nodes, graph.num_nodes)
+
+
+# -------------------------------------------------------------------------- #
+# layers
+
+
+@pytest.mark.parametrize("layer_class", [GCNConv, GATConv, GINConv, TAGConv, SAGEConv])
+def test_layer_output_shapes(layer_class):
+    graph = _toy_graph()
+    layer = layer_class(8, 16)
+    output = layer(Tensor(graph.node_features), graph)
+    assert output.shape == (5, 16)
+    assert np.all(np.isfinite(output.numpy()))
+
+
+@pytest.mark.parametrize("layer_class", [GCNConv, GATConv, GINConv, TAGConv, SAGEConv])
+def test_layer_gradients_flow_to_parameters(layer_class):
+    graph = _toy_graph()
+    layer = layer_class(8, 4)
+    loss = (layer(Tensor(graph.node_features), graph) ** 2).sum()
+    loss.backward()
+    grads = [p.grad for p in layer.parameters()]
+    assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+
+def test_make_conv_registry():
+    for name in GNN_ARCHITECTURES:
+        conv = make_conv(name, 8, 8)
+        assert conv is not None
+    with pytest.raises(ValueError):
+        make_conv("transformer", 8, 8)
+
+
+def test_gat_attention_ignores_non_edges():
+    """Perturbing a non-neighbour's features must not change a node's output."""
+    graph = _toy_graph(num_nodes=4, seed=1)
+    # make node 3 isolated except for its self loop
+    graph.adjacency[3, :] = 0.0
+    graph.adjacency[:, 3] = 0.0
+    graph.adjacency[3, 3] = 1.0
+    layer = GATConv(8, 6)
+    out_before = layer(Tensor(graph.node_features), graph).numpy()[0].copy()
+    graph.node_features[3] += 10.0
+    out_after = layer(Tensor(graph.node_features), graph).numpy()[0]
+    assert np.allclose(out_before, out_after, atol=1e-9)
+
+
+def test_readout_kinds():
+    embeddings = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]))
+    assert np.allclose(readout(embeddings, "mean").numpy(), [[2.0, 3.0]])
+    assert np.allclose(readout(embeddings, "sum").numpy(), [[4.0, 6.0]])
+    assert np.allclose(readout(embeddings, "max").numpy(), [[3.0, 4.0]])
+    with pytest.raises(ValueError):
+        readout(embeddings, "median")
+
+
+# -------------------------------------------------------------------------- #
+# model + training
+
+
+def test_graph_classifier_forward_and_describe():
+    model = GraphClassifier(architecture="gcn", in_features=8, hidden_features=16,
+                            num_layers=2)
+    graph = _toy_graph()
+    logits = model(graph)
+    assert logits.shape == (1, 2)
+    probabilities = model.predict_proba_graph(graph)
+    assert probabilities.shape == (2,)
+    assert probabilities.sum() == pytest.approx(1.0)
+    assert "gcn" in model.describe()
+
+
+def test_graph_classifier_validates_configuration():
+    with pytest.raises(ValueError):
+        GraphClassifier(num_layers=0)
+    with pytest.raises(ValueError):
+        GraphClassifier(readout_kind="median")
+    with pytest.raises(ValueError):
+        GraphClassifier(architecture="cnn")
+
+
+def test_trainer_learns_separable_toy_graphs():
+    graphs = []
+    for index in range(40):
+        label = index % 2
+        graph = _toy_graph(num_nodes=6, seed=index, label=label)
+        # make the signal obvious: class-1 graphs have a feature column set high
+        graph.node_features[:, 0] = 3.0 * label
+        graphs.append(graph)
+    model = GraphClassifier(architecture="gcn", in_features=8, hidden_features=8,
+                            num_layers=1, dropout_rate=0.0)
+    trainer = GNNTrainer(model, epochs=25, learning_rate=1e-2, seed=0)
+    trainer.fit(graphs)
+    assert trainer.score(graphs) >= 0.95
+    assert trainer.history.losses[0] > trainer.history.losses[-1]
+
+
+def test_trainer_on_real_corpus_all_architectures(tiny_evm_corpus):
+    graphs = corpus_to_graphs(tiny_evm_corpus)
+    labels = [g.label for g in graphs]
+    for architecture in GNN_ARCHITECTURES:
+        model = GraphClassifier(architecture=architecture,
+                                in_features=graphs[0].feature_dim,
+                                hidden_features=16, num_layers=2, seed=0)
+        trainer = GNNTrainer(model, epochs=20, seed=0)
+        trainer.fit(graphs)
+        assert trainer.score(graphs, labels) >= 0.65, architecture
+
+
+def test_trainer_early_stopping_with_validation(tiny_evm_corpus):
+    graphs = corpus_to_graphs(tiny_evm_corpus)
+    model = GraphClassifier(architecture="gcn", in_features=graphs[0].feature_dim,
+                            hidden_features=8, num_layers=1)
+    trainer = GNNTrainer(model, epochs=50, seed=0, patience=2)
+    trainer.fit(graphs, validation_graphs=graphs,
+                validation_labels=[g.label for g in graphs])
+    assert len(trainer.history.validation_accuracies) <= 50
+
+
+def test_trainer_label_length_mismatch(tiny_evm_corpus):
+    graphs = corpus_to_graphs(tiny_evm_corpus)
+    model = GraphClassifier(in_features=graphs[0].feature_dim)
+    with pytest.raises(ValueError):
+        GNNTrainer(model, epochs=1).fit(graphs, labels=[0])
+
+
+def test_predictions_are_deterministic_after_training(tiny_evm_corpus):
+    graphs = corpus_to_graphs(tiny_evm_corpus)
+    model = GraphClassifier(architecture="gin", in_features=graphs[0].feature_dim,
+                            hidden_features=8, seed=3)
+    trainer = GNNTrainer(model, epochs=4, seed=3).fit(graphs)
+    first = trainer.predict_proba(graphs)
+    second = trainer.predict_proba(graphs)
+    assert np.allclose(first, second)

@@ -1,0 +1,98 @@
+"""Integration tests exercising the whole pipeline across module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import ScamDetectConfig, ScamDetector
+from repro.datasets.corpus import Corpus
+from repro.datasets.dedup import deduplicate
+from repro.datasets.generator import CorpusGenerator, GeneratorConfig
+from repro.datasets.splits import stratified_split
+from repro.features.opcode_histogram import OpcodeHistogramExtractor
+from repro.ml.random_forest import RandomForestClassifier
+from repro.obfuscation.pipeline import EVMObfuscator
+from repro.phishinghook.framework import PhishingHookFramework
+
+
+def test_generate_split_train_evaluate_scan_roundtrip():
+    """The full README quickstart path: generate -> split -> train -> scan."""
+    corpus = CorpusGenerator(GeneratorConfig(num_samples=70, label_noise=0.0,
+                                             seed=41)).generate()
+    train, test = stratified_split(corpus, test_fraction=0.3, seed=0)
+    detector = ScamDetector(ScamDetectConfig(epochs=25, hidden_features=32))
+    detector.train(train)
+    metrics = detector.evaluate(test)
+    assert metrics["accuracy"] >= 0.75
+
+    summary = detector.scan_corpus(test)
+    predicted_malicious = {r.sample_id for r in summary.malicious_reports()}
+    actually_malicious = {s.sample_id for s in test if s.label == 1}
+    overlap = len(predicted_malicious & actually_malicious)
+    assert overlap >= len(actually_malicious) * 0.6
+
+
+def test_baseline_and_gnn_agree_on_clean_data():
+    """On clean data the opcode baseline and the GNN should both be strong."""
+    corpus = CorpusGenerator(GeneratorConfig(num_samples=60, label_noise=0.0,
+                                             seed=43)).generate()
+    train, test = stratified_split(corpus, test_fraction=0.3, seed=1)
+    labels_train = np.asarray(train.labels())
+    labels_test = np.asarray(test.labels())
+
+    extractor = OpcodeHistogramExtractor()
+    features_train = extractor.fit_transform(train)
+    features_test = extractor.transform(test)
+    baseline = RandomForestClassifier(n_estimators=20, random_state=0)
+    baseline.fit(features_train, labels_train)
+    baseline_accuracy = float(np.mean(baseline.predict(features_test) == labels_test))
+
+    detector = ScamDetector(ScamDetectConfig(epochs=12, hidden_features=16))
+    detector.train(train)
+    gnn_accuracy = detector.evaluate(test)["accuracy"]
+
+    assert baseline_accuracy >= 0.85
+    assert gnn_accuracy >= 0.85
+
+
+def test_obfuscation_does_not_change_ground_truth_detectability():
+    """Obfuscated malicious contracts keep their semantic markers end to end."""
+    corpus = CorpusGenerator(GeneratorConfig(num_samples=20, label_noise=0.0,
+                                             seed=47)).generate()
+    obfuscator = EVMObfuscator(intensity=0.7, seed=5)
+    obfuscated = corpus.map_bytecode(lambda s: obfuscator.obfuscate(s.bytecode),
+                                     intensity=0.7)
+    assert obfuscated.labels() == corpus.labels()
+    from repro.core.frontends import get_frontend
+    frontend = get_frontend("evm")
+    for original, transformed in zip(corpus, obfuscated):
+        original_cfg = frontend.build_cfg(original.bytecode)
+        transformed_cfg = frontend.build_cfg(transformed.bytecode)
+        transformed_cfg.validate()
+        assert transformed_cfg.num_blocks >= original_cfg.num_blocks
+
+
+def test_dedup_then_train_pipeline():
+    corpus = CorpusGenerator(GeneratorConfig(num_samples=40, seed=49,
+                                             proxy_duplicate_fraction=0.4,
+                                             label_noise=0.0)).generate()
+    deduplicated, stats = deduplicate(corpus)
+    assert stats["exact"] + stats["proxy"] > 0
+    framework = PhishingHookFramework(folds=3, seed=0)
+    entry = next(e for e in framework.entries if e.name == "histogram+random-forest")
+    evaluation = framework.evaluate_entry(entry, deduplicated)
+    assert evaluation.accuracy >= 0.8
+
+
+def test_cross_platform_detector_single_model():
+    """One detector instance trained on a mixed EVM+WASM corpus serves both."""
+    evm = CorpusGenerator(GeneratorConfig(num_samples=36, label_noise=0.0,
+                                          seed=51)).generate()
+    wasm = CorpusGenerator(GeneratorConfig(platform="wasm", num_samples=36,
+                                           label_noise=0.0, seed=52)).generate()
+    mixed = Corpus(list(evm) + list(wasm), name="mixed")
+    detector = ScamDetector(ScamDetectConfig(epochs=25, hidden_features=32))
+    detector.train(mixed)
+    evm_accuracy = detector.evaluate(evm)["accuracy"]
+    wasm_accuracy = detector.evaluate(wasm)["accuracy"]
+    assert evm_accuracy >= 0.7
+    assert wasm_accuracy >= 0.7

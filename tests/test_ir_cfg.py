@@ -1,0 +1,132 @@
+"""Unit tests for the platform-agnostic CFG model."""
+
+import pytest
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.instruction import IRInstruction
+
+
+def _instruction(offset, mnemonic="ADD", category="arithmetic"):
+    return IRInstruction(offset=offset, mnemonic=mnemonic, category=category)
+
+
+def _block(block_id, size=2, is_entry=False):
+    instructions = [_instruction(block_id + i) for i in range(size)]
+    return BasicBlock(block_id=block_id, instructions=instructions, is_entry=is_entry)
+
+
+def _diamond():
+    """entry -> (left | right) -> join"""
+    cfg = ControlFlowGraph(platform="evm", name="diamond")
+    cfg.add_block(_block(0, is_entry=True))
+    cfg.add_block(_block(10))
+    cfg.add_block(_block(20))
+    cfg.add_block(_block(30))
+    cfg.add_edge(0, 10, kind="branch")
+    cfg.add_edge(0, 20, kind="fallthrough")
+    cfg.add_edge(10, 30)
+    cfg.add_edge(20, 30)
+    return cfg
+
+
+def test_basic_properties():
+    cfg = _diamond()
+    assert cfg.num_blocks == 4
+    assert cfg.num_edges == 4
+    assert cfg.num_instructions == 8
+    assert len(cfg) == 4
+    assert 10 in cfg and 99 not in cfg
+
+
+def test_entry_and_terminals():
+    cfg = _diamond()
+    assert cfg.entry_id == 0
+    assert cfg.entry_block().is_entry
+    assert cfg.terminal_blocks() == [30]
+
+
+def test_successors_predecessors_degrees():
+    cfg = _diamond()
+    assert sorted(cfg.successors(0)) == [10, 20]
+    assert sorted(cfg.predecessors(30)) == [10, 20]
+    assert cfg.out_degree(0) == 2
+    assert cfg.in_degree(30) == 2
+
+
+def test_duplicate_block_rejected():
+    cfg = _diamond()
+    with pytest.raises(ValueError):
+        cfg.add_block(_block(0))
+
+
+def test_edge_to_unknown_block_rejected():
+    cfg = _diamond()
+    with pytest.raises(KeyError):
+        cfg.add_edge(0, 999)
+    with pytest.raises(KeyError):
+        cfg.add_edge(999, 0)
+
+
+def test_duplicate_edges_are_ignored():
+    cfg = _diamond()
+    before = cfg.num_edges
+    cfg.add_edge(10, 30)
+    assert cfg.num_edges == before
+
+
+def test_reachability_and_dfs():
+    cfg = _diamond()
+    assert cfg.reachable_blocks() == {0, 10, 20, 30}
+    order = cfg.depth_first_order()
+    assert order[0] == 0
+    assert set(order) == {0, 10, 20, 30}
+
+
+def test_adjacency_matrix_matches_edges():
+    cfg = _diamond()
+    matrix = cfg.adjacency_matrix()
+    order = [b.block_id for b in cfg.blocks]
+    index = {bid: i for i, bid in enumerate(order)}
+    assert matrix[index[0]][index[10]] == 1
+    assert matrix[index[0]][index[20]] == 1
+    assert matrix[index[10]][index[30]] == 1
+    assert matrix[index[30]][index[0]] == 0
+
+
+def test_networkx_export():
+    graph = _diamond().to_networkx()
+    assert graph.number_of_nodes() == 4
+    assert graph.number_of_edges() == 4
+    assert graph.nodes[0]["size"] == 2
+
+
+def test_cyclomatic_complexity():
+    assert _diamond().cyclomatic_complexity() == 2
+    empty = ControlFlowGraph()
+    assert empty.cyclomatic_complexity() == 0
+
+
+def test_validate_catches_mismatched_block_id():
+    cfg = ControlFlowGraph()
+    bad = BasicBlock(block_id=5, instructions=[_instruction(7)])
+    cfg.add_block(bad)
+    with pytest.raises(ValueError):
+        cfg.validate()
+
+
+def test_block_helpers():
+    block = _block(0, size=3)
+    assert len(block) == 3
+    assert block.mnemonics() == ["ADD", "ADD", "ADD"]
+    assert block.categories() == ["arithmetic"] * 3
+    assert block.category_counts() == {"arithmetic": 3}
+    assert block.terminator is block.instructions[-1]
+    assert block.start_offset == 0
+    assert block.end_offset == 3
+
+
+def test_summary_keys():
+    summary = _diamond().summary()
+    assert set(summary) == {"blocks", "edges", "instructions", "exits",
+                            "cyclomatic_complexity"}

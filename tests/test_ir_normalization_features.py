@@ -1,0 +1,113 @@
+"""Unit tests for IR normalization and feature encoders."""
+
+import numpy as np
+import pytest
+
+from repro.evm.contracts import TEMPLATES_BY_NAME
+from repro.evm.cfg_builder import build_cfg
+from repro.ir.features import (
+    NODE_FEATURE_DIM,
+    NUM_STRUCTURAL_FEATURES,
+    SEMANTIC_MARKERS,
+    adjacency_with_self_loops,
+    graph_feature_vector,
+    marker_vector,
+    node_feature_matrix,
+    normalized_adjacency,
+)
+from repro.ir.normalization import (
+    CATEGORY_VOCABULARY,
+    category_index,
+    normalize_category,
+    num_categories,
+)
+
+
+def _example_cfg(rng, family="approval_drainer"):
+    return build_cfg(TEMPLATES_BY_NAME[family].generate(rng))
+
+
+def test_normalize_category_known_and_aliases():
+    assert normalize_category("storage") == "storage"
+    assert normalize_category("  Storage ") == "storage"
+    assert normalize_category("mem") == "memory"
+    assert normalize_category("halt") == "terminator"
+    assert normalize_category("something-new") == "invalid"
+
+
+def test_category_index_is_positional():
+    for position, category in enumerate(CATEGORY_VOCABULARY):
+        assert category_index(category) == position
+    assert num_categories() == len(CATEGORY_VOCABULARY)
+
+
+def test_marker_vector_detects_groups():
+    vector = marker_vector(["ORIGIN", "CALL", "SSTORE"])
+    names = [name for name, _ in SEMANTIC_MARKERS]
+    assert vector[names.index("origin_check")] == 1.0
+    assert vector[names.index("external_call")] == 1.0
+    assert vector[names.index("storage_write")] == 1.0
+    assert vector[names.index("self_destruct")] == 0.0
+    assert vector.shape == (len(SEMANTIC_MARKERS),)
+
+
+def test_node_feature_matrix_shape_and_range(rng):
+    cfg = _example_cfg(rng)
+    features = node_feature_matrix(cfg)
+    assert features.shape == (cfg.num_blocks, NODE_FEATURE_DIM)
+    assert np.all(features >= 0.0)
+    assert np.all(features <= 1.0)
+
+
+def test_node_feature_matrix_modes(rng):
+    cfg = _example_cfg(rng)
+    presence = node_feature_matrix(cfg, mode="presence")
+    fraction = node_feature_matrix(cfg, mode="fraction")
+    count = node_feature_matrix(cfg, mode="count")
+    n_cat = len(CATEGORY_VOCABULARY)
+    assert set(np.unique(presence[:, :n_cat])) <= {0.0, 1.0}
+    assert np.all(fraction[:, :n_cat] <= 1.0)
+    # counts are log1p so they can exceed 1 for busy blocks
+    assert count[:, :n_cat].max() > 1.0
+    with pytest.raises(ValueError):
+        node_feature_matrix(cfg, mode="bogus")
+
+
+def test_node_feature_matrix_optional_column_groups(rng):
+    cfg = _example_cfg(rng)
+    no_markers = node_feature_matrix(cfg, include_markers=False)
+    no_structural = node_feature_matrix(cfg, include_structural=False)
+    bare = node_feature_matrix(cfg, include_markers=False, include_structural=False)
+    n_cat = len(CATEGORY_VOCABULARY)
+    assert no_markers.shape[1] == n_cat + NUM_STRUCTURAL_FEATURES
+    assert no_structural.shape[1] == n_cat + len(SEMANTIC_MARKERS)
+    assert bare.shape[1] == n_cat
+
+
+def test_drainer_blocks_carry_origin_marker(rng):
+    cfg = _example_cfg(rng, family="approval_drainer")
+    features = node_feature_matrix(cfg)
+    names = [name for name, _ in SEMANTIC_MARKERS]
+    origin_column = len(CATEGORY_VOCABULARY) + names.index("origin_check")
+    assert features[:, origin_column].max() == 1.0
+
+
+def test_graph_feature_vector_shape_and_distribution(rng):
+    cfg = _example_cfg(rng)
+    vector = graph_feature_vector(cfg)
+    assert vector.shape == (len(CATEGORY_VOCABULARY) + 8,)
+    # category proportions sum to 1 over the categories present
+    assert np.isclose(vector[:len(CATEGORY_VOCABULARY)].sum(), 1.0)
+
+
+def test_adjacency_helpers(rng):
+    cfg = _example_cfg(rng)
+    adjacency = adjacency_with_self_loops(cfg)
+    assert adjacency.shape == (cfg.num_blocks, cfg.num_blocks)
+    assert np.all(np.diag(adjacency) == 1.0)
+    normalized = normalized_adjacency(cfg)
+    assert normalized.shape == adjacency.shape
+    # symmetric normalization of a symmetric matrix stays symmetric
+    assert np.allclose(normalized, normalized.T)
+    eigenvalues = np.linalg.eigvalsh(normalized)
+    assert eigenvalues.max() <= 1.0 + 1e-9

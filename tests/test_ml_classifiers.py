@@ -1,0 +1,165 @@
+"""Tests for the from-scratch classical classifiers.
+
+Each classifier is checked on (a) a linearly-separable blob problem it must
+solve nearly perfectly, (b) probability-output sanity, and (c) guard rails
+(use before fit, label encoding).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    GaussianNaiveBayes,
+    GradientBoostingClassifier,
+    KNearestNeighbors,
+    LinearSVM,
+    LogisticRegression,
+    MLPClassifier,
+    MultinomialNaiveBayes,
+    RandomForestClassifier,
+)
+
+ALL_CLASSIFIERS = [
+    LogisticRegression(epochs=200),
+    GaussianNaiveBayes(),
+    KNearestNeighbors(k=3),
+    KNearestNeighbors(k=3, metric="cosine", weighted=True),
+    DecisionTreeClassifier(max_depth=6),
+    RandomForestClassifier(n_estimators=15, random_state=0),
+    GradientBoostingClassifier(n_estimators=25, random_state=0),
+    LinearSVM(epochs=60),
+    MLPClassifier(hidden_sizes=(16,), epochs=60),
+]
+
+
+def _blobs(seed=0, n=120, separation=4.0):
+    rng = np.random.default_rng(seed)
+    benign = rng.normal(0.0, 1.0, size=(n // 2, 4))
+    malicious = rng.normal(separation, 1.0, size=(n // 2, 4))
+    X = np.vstack([benign, malicious])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    order = rng.permutation(n)
+    return X[order], y[order]
+
+
+@pytest.mark.parametrize("classifier", ALL_CLASSIFIERS,
+                         ids=[type(c).__name__ + str(i) for i, c in enumerate(ALL_CLASSIFIERS)])
+def test_separable_problem_is_solved(classifier):
+    X, y = _blobs()
+    classifier.fit(X[:90], y[:90])
+    assert classifier.score(X[90:], y[90:]) >= 0.85
+
+
+@pytest.mark.parametrize("classifier", ALL_CLASSIFIERS,
+                         ids=[type(c).__name__ + str(i) for i, c in enumerate(ALL_CLASSIFIERS)])
+def test_probabilities_are_valid(classifier):
+    X, y = _blobs(seed=1)
+    classifier.fit(X, y)
+    probabilities = classifier.predict_proba(X[:10])
+    assert probabilities.shape == (10, 2)
+    assert np.all(probabilities >= -1e-9)
+    assert np.allclose(probabilities.sum(axis=1), 1.0, atol=1e-6)
+
+
+def test_multinomial_nb_on_count_features():
+    rng = np.random.default_rng(2)
+    benign = rng.poisson([8, 1, 3, 1], size=(60, 4))
+    malicious = rng.poisson([1, 8, 1, 3], size=(60, 4))
+    X = np.vstack([benign, malicious]).astype(float)
+    y = np.array([0] * 60 + [1] * 60)
+    model = MultinomialNaiveBayes(alpha=0.5).fit(X, y)
+    assert model.score(X, y) > 0.9
+
+
+def test_label_encoding_preserves_original_labels():
+    X, y = _blobs()
+    y_named = np.where(y == 1, 7, 3)  # non-contiguous labels
+    model = LogisticRegression(epochs=100).fit(X, y_named)
+    predictions = model.predict(X)
+    assert set(np.unique(predictions)) <= {3, 7}
+
+
+def test_use_before_fit_raises():
+    X, _ = _blobs()
+    for classifier in (LogisticRegression(), GaussianNaiveBayes(), KNearestNeighbors(),
+                       DecisionTreeClassifier(), RandomForestClassifier(),
+                       GradientBoostingClassifier(), LinearSVM(),
+                       MLPClassifier(), MultinomialNaiveBayes()):
+        with pytest.raises(RuntimeError):
+            classifier.predict(X[:2])
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        LogisticRegression().fit(np.ones(5), np.ones(5))  # 1-D X
+    with pytest.raises(ValueError):
+        LogisticRegression().fit(np.ones((5, 2)), np.ones(4))  # length mismatch
+
+
+def test_decision_tree_respects_max_depth():
+    X, y = _blobs(n=200, separation=1.0)
+    tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+    assert tree.depth() <= 3
+
+
+def test_decision_tree_pure_node_is_leaf():
+    X = np.array([[0.0], [1.0], [2.0]])
+    y = np.array([1, 1, 1])
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert tree.depth() == 0
+    assert np.all(tree.predict(X) == 1)
+
+
+def test_random_forest_improves_over_single_tree_on_noise():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(200, 10))
+    y = (X[:, 0] + X[:, 1] + 0.5 * rng.normal(size=200) > 0).astype(int)
+    split = 150
+    tree = DecisionTreeClassifier(max_depth=None).fit(X[:split], y[:split])
+    forest = RandomForestClassifier(n_estimators=30, random_state=0).fit(X[:split], y[:split])
+    assert forest.score(X[split:], y[split:]) >= tree.score(X[split:], y[split:]) - 0.05
+
+
+def test_gradient_boosting_rejects_multiclass():
+    X = np.random.default_rng(0).normal(size=(30, 3))
+    y = np.array([0, 1, 2] * 10)
+    with pytest.raises(ValueError):
+        GradientBoostingClassifier().fit(X, y)
+
+
+def test_linear_svm_rejects_multiclass():
+    X = np.random.default_rng(0).normal(size=(30, 3))
+    y = np.array([0, 1, 2] * 10)
+    with pytest.raises(ValueError):
+        LinearSVM().fit(X, y)
+
+
+def test_svm_decision_function_sign_matches_prediction():
+    X, y = _blobs(seed=4)
+    model = LinearSVM(epochs=80).fit(X, y)
+    margins = model.decision_function(X)
+    predictions = model.predict(X)
+    assert np.all((margins > 0) == (predictions == 1))
+
+
+def test_knn_k_larger_than_dataset_is_safe():
+    X = np.array([[0.0], [1.0], [10.0]])
+    y = np.array([0, 0, 1])
+    model = KNearestNeighbors(k=10).fit(X, y)
+    assert model.predict(np.array([[0.5]]))[0] == 0
+
+
+def test_mlp_learns_xor():
+    X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 30, dtype=float)
+    y = np.array([0, 1, 1, 0] * 30)
+    model = MLPClassifier(hidden_sizes=(16, 16), epochs=300, learning_rate=2e-2,
+                          random_state=1).fit(X, y)
+    assert model.score(X, y) >= 0.95
+
+
+def test_deterministic_given_random_state():
+    X, y = _blobs(seed=5)
+    first = RandomForestClassifier(n_estimators=10, random_state=7).fit(X, y)
+    second = RandomForestClassifier(n_estimators=10, random_state=7).fit(X, y)
+    assert np.allclose(first.predict_proba(X), second.predict_proba(X))

@@ -1,0 +1,113 @@
+"""Tests for metrics and preprocessing utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_summary,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler, train_test_split
+
+
+def test_accuracy_basics():
+    assert accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+    assert accuracy_score([1, 0, 1, 0], [1, 1, 1, 1]) == 0.5
+    assert accuracy_score([], []) == 0.0
+
+
+def test_confusion_matrix_counts():
+    cm = confusion_matrix([1, 1, 0, 0, 1], [1, 0, 0, 1, 1])
+    assert cm == {"tp": 2, "fp": 1, "tn": 1, "fn": 1}
+
+
+def test_precision_recall_f1():
+    y_true = [1, 1, 0, 0, 1]
+    y_pred = [1, 0, 0, 1, 1]
+    precision = precision_score(y_true, y_pred)
+    recall = recall_score(y_true, y_pred)
+    assert precision == pytest.approx(2 / 3)
+    assert recall == pytest.approx(2 / 3)
+    assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+
+def test_degenerate_precision_recall():
+    assert precision_score([0, 0], [0, 0]) == 0.0
+    assert recall_score([0, 0], [1, 1]) == 0.0
+    assert f1_score([0, 0], [0, 0]) == 0.0
+
+
+def test_roc_auc_perfect_and_inverted():
+    labels = [0, 0, 1, 1]
+    assert roc_auc_score(labels, [0.1, 0.2, 0.8, 0.9]) == 1.0
+    assert roc_auc_score(labels, [0.9, 0.8, 0.2, 0.1]) == 0.0
+    assert roc_auc_score([1, 1], [0.5, 0.6]) == 0.5  # single class
+
+
+def test_roc_auc_handles_ties():
+    assert roc_auc_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+
+def test_classification_summary_keys():
+    summary = classification_summary([0, 1], [0, 1], scores=[0.2, 0.9])
+    assert set(summary) == {"accuracy", "precision", "recall", "f1", "roc_auc"}
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 1), st.floats(0, 1, allow_nan=False)),
+                min_size=4, max_size=60))
+def test_roc_auc_bounded(pairs):
+    labels = [label for label, _ in pairs]
+    scores = [score for _, score in pairs]
+    auc = roc_auc_score(labels, scores)
+    assert 0.0 <= auc <= 1.0
+
+
+def test_standard_scaler_zero_mean_unit_variance():
+    rng = np.random.default_rng(0)
+    X = rng.normal(3.0, 2.0, size=(100, 5))
+    scaled = StandardScaler().fit_transform(X)
+    assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+    assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+
+def test_standard_scaler_constant_column_safe():
+    X = np.array([[1.0, 5.0], [1.0, 7.0]])
+    scaled = StandardScaler().fit_transform(X)
+    assert np.all(np.isfinite(scaled))
+
+
+def test_scalers_require_fit():
+    with pytest.raises(RuntimeError):
+        StandardScaler().transform(np.ones((2, 2)))
+    with pytest.raises(RuntimeError):
+        MinMaxScaler().transform(np.ones((2, 2)))
+
+
+def test_minmax_scaler_range():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(50, 3)) * 10
+    scaled = MinMaxScaler().fit_transform(X)
+    assert scaled.min() >= 0.0
+    assert scaled.max() <= 1.0
+
+
+def test_train_test_split_stratified():
+    X = np.arange(100).reshape(50, 2)
+    y = np.array([0] * 40 + [1] * 10)
+    X_train, X_test, y_train, y_test = train_test_split(X, y, test_fraction=0.2, seed=0)
+    assert len(X_train) + len(X_test) == 50
+    assert (y_test == 1).sum() == 2
+    assert (y_test == 0).sum() == 8
+
+
+def test_train_test_split_length_mismatch():
+    with pytest.raises(ValueError):
+        train_test_split(np.ones((3, 1)), np.ones(4))

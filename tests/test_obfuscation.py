@@ -1,0 +1,170 @@
+"""Tests for the EVM and WASM obfuscation engines."""
+
+import random
+
+import pytest
+
+from repro.evm.assembler import assemble
+from repro.evm.cfg_builder import build_cfg
+from repro.evm.contracts import TEMPLATES_BY_NAME
+from repro.evm.disassembler import disassemble, to_mnemonic_sequence
+from repro.obfuscation import (
+    ConstantBlinding,
+    ControlFlowFlattening,
+    DeadCodeInjection,
+    EVMObfuscator,
+    InstructionSubstitution,
+    JunkSelectorInsertion,
+    ObfuscationReport,
+    OpaquePredicateInsertion,
+    WasmObfuscator,
+    obfuscate_sample,
+)
+from repro.obfuscation.evm_lift import lift_bytecode_to_items
+from repro.wasm.cfg_builder import build_cfg as build_wasm_cfg
+from repro.wasm.contracts import WASM_TEMPLATES_BY_NAME
+from repro.wasm.parser import parse_module
+
+
+@pytest.fixture(scope="module")
+def evm_code():
+    return TEMPLATES_BY_NAME["erc20_token"].generate(random.Random(7))
+
+
+@pytest.fixture(scope="module")
+def wasm_code():
+    return WASM_TEMPLATES_BY_NAME["wasm_token"].generate(random.Random(7))
+
+
+# -------------------------------------------------------------------------- #
+# lifting
+
+
+def test_lift_reassemble_is_semantically_stable(evm_code):
+    """Lifting and reassembling without passes preserves the mnemonic stream."""
+    items = lift_bytecode_to_items(evm_code)
+    reassembled = assemble(items)
+    original = [name for name in to_mnemonic_sequence(evm_code)]
+    roundtripped = to_mnemonic_sequence(reassembled)
+    # PUSH widths of jump targets may change (PUSH2 for labels); normalize
+    normalize = lambda names: ["PUSH" if name.startswith("PUSH") else name
+                               for name in names]
+    assert normalize(original) == normalize(roundtripped)
+
+
+def test_lift_preserves_jump_structure(evm_code):
+    cfg_before = build_cfg(evm_code)
+    cfg_after = build_cfg(assemble(lift_bytecode_to_items(evm_code)))
+    assert cfg_before.num_blocks == cfg_after.num_blocks
+    assert cfg_before.num_edges == cfg_after.num_edges
+
+
+# -------------------------------------------------------------------------- #
+# individual passes
+
+
+def _apply(pass_, evm_code, intensity=0.8, seed=3):
+    items = lift_bytecode_to_items(evm_code)
+    transformed = pass_.apply(items, random.Random(seed), intensity)
+    return items, transformed
+
+
+def test_dead_code_injection_grows_program(evm_code):
+    items, transformed = _apply(DeadCodeInjection(), evm_code)
+    assert len(transformed) > len(items)
+    assemble(transformed)  # must remain assemblable
+
+
+def test_instruction_substitution_preserves_non_targets(evm_code):
+    items, transformed = _apply(InstructionSubstitution(), evm_code, intensity=1.0)
+    assert len(transformed) >= len(items)
+    originals = [item[0] for item in items if item[0] == "SSTORE"]
+    substituted = [item[0] for item in transformed if item[0] == "SSTORE"]
+    assert originals == substituted  # storage writes never touched
+
+
+def test_opaque_predicates_add_branches(evm_code):
+    _, transformed = _apply(OpaquePredicateInsertion(rate=0.3), evm_code, intensity=1.0)
+    cfg = build_cfg(assemble(transformed))
+    cfg.validate()
+    assert any(item[0] == "JUMPI" for item in transformed)
+
+
+def test_flattening_adds_jumps_and_blocks(evm_code):
+    items, transformed = _apply(ControlFlowFlattening(rate=0.3), evm_code, intensity=1.0)
+    before = build_cfg(assemble(items)).num_blocks
+    after = build_cfg(assemble(transformed)).num_blocks
+    assert after > before
+
+
+def test_junk_selectors_prepend_comparisons(evm_code):
+    _, transformed = _apply(JunkSelectorInsertion(max_selectors=4), evm_code,
+                            intensity=1.0)
+    head = [item[0] for item in transformed[:8]]
+    assert "PUSH4" in head and "EQ" in head
+
+
+def test_constant_blinding_replaces_pushes(evm_code):
+    items, transformed = _apply(ConstantBlinding(), evm_code, intensity=1.0)
+    assert sum(1 for item in transformed if item[0] == "XOR") > \
+        sum(1 for item in items if item[0] == "XOR")
+
+
+def test_zero_intensity_is_identity(evm_code):
+    for pass_ in (DeadCodeInjection(), InstructionSubstitution(),
+                  OpaquePredicateInsertion(), ControlFlowFlattening(),
+                  ConstantBlinding()):
+        items, transformed = _apply(pass_, evm_code, intensity=0.0)
+        assert transformed == items, type(pass_).__name__
+
+
+# -------------------------------------------------------------------------- #
+# pipelines
+
+
+def test_evm_obfuscator_is_deterministic_and_reports(evm_code):
+    report = ObfuscationReport()
+    first = EVMObfuscator(intensity=0.6, seed=11).obfuscate(evm_code, report)
+    second = EVMObfuscator(intensity=0.6, seed=11).obfuscate(evm_code)
+    assert first == second
+    assert report.growth_factor > 1.0
+    assert len(report.passes_applied) == 6
+    assert build_cfg(first).num_blocks > build_cfg(evm_code).num_blocks
+
+
+def test_evm_obfuscator_intensity_scales_growth(evm_code):
+    sizes = [len(EVMObfuscator(intensity=i, seed=5).obfuscate(evm_code))
+             for i in (0.0, 0.4, 0.9)]
+    assert sizes[0] == len(evm_code)
+    assert sizes[0] < sizes[1] < sizes[2]
+
+
+def test_wasm_obfuscator_preserves_decodability(wasm_code):
+    report = ObfuscationReport()
+    obfuscated = WasmObfuscator(intensity=0.8, seed=2).obfuscate(wasm_code, report)
+    module = parse_module(obfuscated)
+    assert module.num_instructions > parse_module(wasm_code).num_instructions
+    build_wasm_cfg(obfuscated).validate()
+    assert report.growth_factor > 1.0
+
+
+def test_wasm_obfuscator_zero_intensity_identity(wasm_code):
+    assert WasmObfuscator(intensity=0.0).obfuscate(wasm_code) == wasm_code
+
+
+def test_obfuscate_sample_dispatches_platform(evm_code, wasm_code):
+    assert obfuscate_sample(evm_code, "evm", 0.5, seed=1) != evm_code
+    assert obfuscate_sample(wasm_code, "wasm", 0.5, seed=1) != wasm_code
+    with pytest.raises(ValueError):
+        obfuscate_sample(evm_code, "jvm", 0.5)
+
+
+def test_obfuscation_preserves_semantic_markers(evm_code):
+    """The security-relevant opcodes are never removed by obfuscation."""
+    drainer = TEMPLATES_BY_NAME["approval_drainer"].generate(random.Random(9))
+    obfuscated = EVMObfuscator(intensity=1.0, seed=4).obfuscate(drainer)
+    before = to_mnemonic_sequence(drainer)
+    after = to_mnemonic_sequence(obfuscated)
+    for marker in ("ORIGIN", "SSTORE", "SLOAD"):
+        assert after.count(marker) >= before.count(marker), marker
+    assert after.count("CALL") >= before.count("CALL")

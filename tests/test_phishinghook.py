@@ -1,0 +1,47 @@
+"""Tests for the PhishingHook 16-model zoo and evaluation framework."""
+
+import numpy as np
+import pytest
+
+from repro.phishinghook import ModelEvaluation, PhishingHookFramework, build_model_zoo
+
+
+def test_zoo_has_sixteen_distinct_models():
+    zoo = build_model_zoo()
+    assert len(zoo) == 16
+    assert len({entry.name for entry in zoo}) == 16
+    encodings = {entry.encoding for entry in zoo}
+    assert encodings == {"histogram", "ngram", "tfidf", "byteimage"}
+    # four models per encoding family
+    for encoding in encodings:
+        assert sum(1 for entry in zoo if entry.encoding == encoding) == 4
+
+
+def test_zoo_factories_produce_fresh_objects():
+    entry = build_model_zoo()[0]
+    assert entry.make_extractor() is not entry.make_extractor()
+    assert entry.make_classifier() is not entry.make_classifier()
+
+
+def test_evaluate_entry_returns_fold_metrics(small_evm_corpus):
+    framework = PhishingHookFramework(folds=3, seed=0)
+    entry = next(e for e in framework.entries if e.name == "histogram+random-forest")
+    evaluation = framework.evaluate_entry(entry, small_evm_corpus)
+    assert isinstance(evaluation, ModelEvaluation)
+    assert len(evaluation.fold_metrics) == 3
+    assert 0.7 <= evaluation.accuracy <= 1.0
+    assert set(evaluation.mean_metrics) == {"accuracy", "precision", "recall", "f1",
+                                            "roc_auc"}
+
+
+def test_evaluate_selected_entries(small_evm_corpus):
+    framework = PhishingHookFramework(folds=3, seed=1)
+    names = ["histogram+knn", "byteimage+gaussian-nb"]
+    evaluations = framework.evaluate(small_evm_corpus, entry_names=names)
+    assert [e.name for e in evaluations] == names
+    average = PhishingHookFramework.average_accuracy(evaluations)
+    assert 0.5 <= average <= 1.0
+
+
+def test_average_accuracy_empty():
+    assert np.isnan(PhishingHookFramework.average_accuracy([]))

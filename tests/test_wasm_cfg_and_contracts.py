@@ -1,0 +1,138 @@
+"""Tests for WASM CFG construction and contract templates."""
+
+import pytest
+
+from repro.wasm.cfg_builder import WasmCFGBuilder, build_cfg
+from repro.wasm.contracts import (
+    WASM_ALL_TEMPLATES,
+    WASM_BENIGN_TEMPLATES,
+    WASM_MALICIOUS_TEMPLATES,
+    WASM_TEMPLATES_BY_NAME,
+)
+from repro.wasm.encoder import encode_module
+from repro.wasm.module import WasmFunction, WasmModule, instr
+from repro.wasm.opcodes import BLOCKTYPE_VOID
+
+
+def _single_function_cfg(body):
+    module = WasmModule()
+    type_index = module.add_type(0, 0)
+    module.add_function(WasmFunction(type_index=type_index, body=body))
+    return WasmCFGBuilder(interprocedural=False).build_from_module(module)
+
+
+def test_straightline_body_is_one_block():
+    cfg = _single_function_cfg([instr("i64.const", 1), instr("drop"), instr("nop")])
+    assert cfg.num_blocks == 1
+    assert cfg.num_edges == 0
+
+
+def test_if_else_produces_branching_blocks():
+    cfg = _single_function_cfg([
+        instr("i32.const", 1),
+        instr("if", BLOCKTYPE_VOID),
+        instr("i64.const", 1),
+        instr("drop"),
+        instr("else"),
+        instr("i64.const", 2),
+        instr("drop"),
+        instr("end"),
+        instr("nop"),
+    ])
+    cfg.validate()
+    assert cfg.num_blocks >= 3
+    branching = [b for b in cfg.blocks if cfg.out_degree(b.block_id) == 2]
+    assert branching, "the if block must have two successors"
+
+
+def test_loop_with_br_if_has_back_edge():
+    cfg = _single_function_cfg([
+        instr("loop", BLOCKTYPE_VOID),
+        instr("i32.const", 1),
+        instr("br_if", 0),
+        instr("end"),
+        instr("nop"),
+    ])
+    cfg.validate()
+    back_edges = [edge for edge in cfg.edges if edge.target <= edge.source]
+    assert back_edges
+
+
+def test_br_out_of_block_is_forward_edge():
+    cfg = _single_function_cfg([
+        instr("block", BLOCKTYPE_VOID),
+        instr("br", 0),
+        instr("i64.const", 9),
+        instr("drop"),
+        instr("end"),
+        instr("nop"),
+    ])
+    cfg.validate()
+    jump_edges = [edge for edge in cfg.edges if edge.kind == "jump"]
+    assert jump_edges
+    assert all(edge.target > edge.source for edge in jump_edges)
+
+
+def test_return_terminates_block_without_successors():
+    cfg = _single_function_cfg([
+        instr("i32.const", 1),
+        instr("if", BLOCKTYPE_VOID),
+        instr("return"),
+        instr("end"),
+        instr("nop"),
+    ])
+    return_blocks = [b for b in cfg.blocks
+                     if b.instructions[-1].mnemonic == "return"]
+    assert return_blocks
+    assert all(cfg.out_degree(b.block_id) == 0 for b in return_blocks)
+
+
+def test_interprocedural_call_edges(rng):
+    binary = WASM_TEMPLATES_BY_NAME["wasm_token"].generate(rng)
+    with_calls = WasmCFGBuilder(interprocedural=True).build(binary)
+    without_calls = WasmCFGBuilder(interprocedural=False).build(binary)
+    call_edges = [edge for edge in with_calls.edges if edge.kind == "call"]
+    assert call_edges
+    assert with_calls.num_edges > without_calls.num_edges
+
+
+def test_all_templates_produce_valid_cfgs(rng):
+    for template in WASM_ALL_TEMPLATES:
+        cfg = build_cfg(template.generate(rng), name=template.name)
+        cfg.validate()
+        assert cfg.num_blocks >= 5, template.name
+        assert cfg.platform == "wasm"
+
+
+def test_template_registries():
+    assert len(WASM_BENIGN_TEMPLATES) == 3
+    assert len(WASM_MALICIOUS_TEMPLATES) == 4
+    assert all(t.label == 0 for t in WASM_BENIGN_TEMPLATES)
+    assert all(t.label == 1 for t in WASM_MALICIOUS_TEMPLATES)
+
+
+def test_generation_is_deterministic(rng):
+    import random
+    for template in WASM_ALL_TEMPLATES:
+        assert (template.generate(random.Random(5))
+                == template.generate(random.Random(5))), template.name
+
+
+def test_malicious_wasm_signatures(rng):
+    from repro.wasm.parser import parse_module
+
+    def mnemonics(name):
+        module = parse_module(WASM_TEMPLATES_BY_NAME[name].generate(rng))
+        return [entry.name for function in module.functions for entry in function.body]
+
+    assert "call_indirect" in mnemonics("wasm_backdoor")
+    assert "unreachable" in mnemonics("wasm_honeypot")
+    assert mnemonics("wasm_drainer").count("call") >= 4
+
+
+def test_empty_function_gets_placeholder_block():
+    module = WasmModule()
+    type_index = module.add_type(0, 0)
+    module.add_function(WasmFunction(type_index=type_index, body=[]))
+    cfg = WasmCFGBuilder().build_from_module(module)
+    assert cfg.num_blocks == 1

@@ -1,0 +1,70 @@
+"""Unit and property tests for LEB128 encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wasm.leb128 import (
+    LEB128Error,
+    decode_signed,
+    decode_unsigned,
+    encode_signed,
+    encode_unsigned,
+)
+
+
+def test_known_unsigned_encodings():
+    assert encode_unsigned(0) == b"\x00"
+    assert encode_unsigned(127) == b"\x7f"
+    assert encode_unsigned(128) == b"\x80\x01"
+    assert encode_unsigned(624485) == b"\xe5\x8e\x26"
+
+
+def test_known_signed_encodings():
+    assert encode_signed(0) == b"\x00"
+    assert encode_signed(-1) == b"\x7f"
+    assert encode_signed(63) == b"\x3f"
+    assert encode_signed(-64) == b"\x40"
+    assert encode_signed(-123456) == b"\xc0\xbb\x78"
+
+
+def test_decode_reports_consumed_offset():
+    data = encode_unsigned(300) + b"\xAA"
+    value, offset = decode_unsigned(data, 0)
+    assert value == 300
+    assert offset == 2
+
+
+def test_unsigned_rejects_negative():
+    with pytest.raises(LEB128Error):
+        encode_unsigned(-1)
+
+
+def test_truncated_sequences_rejected():
+    with pytest.raises(LEB128Error):
+        decode_unsigned(b"\x80", 0)
+    with pytest.raises(LEB128Error):
+        decode_signed(b"\xff", 0)
+
+
+def test_overlong_sequence_rejected():
+    with pytest.raises(LEB128Error):
+        decode_unsigned(b"\x80" * 11 + b"\x00", 0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 63 - 1))
+def test_unsigned_roundtrip(value):
+    encoded = encode_unsigned(value)
+    decoded, offset = decode_unsigned(encoded)
+    assert decoded == value
+    assert offset == len(encoded)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=-(2 ** 62), max_value=2 ** 62 - 1))
+def test_signed_roundtrip(value):
+    encoded = encode_signed(value)
+    decoded, offset = decode_signed(encoded)
+    assert decoded == value
+    assert offset == len(encoded)

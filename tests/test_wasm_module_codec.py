@@ -1,0 +1,117 @@
+"""Tests for the WASM module encoder/parser roundtrip."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wasm.contracts import WASM_ALL_TEMPLATES
+from repro.wasm.encoder import MAGIC, VERSION, encode_instruction, encode_module
+from repro.wasm.module import WasmFunction, WasmModule, instr
+from repro.wasm.opcodes import BLOCKTYPE_VOID, VALTYPE_I64, WASM_OPCODES_BY_NAME
+from repro.wasm.parser import WasmParseError, decode_instruction, parse_module
+
+
+def _simple_module():
+    module = WasmModule(name="simple")
+    type_index = module.add_type(1, 1)
+    module.add_function(WasmFunction(type_index=type_index,
+                                     locals=[(2, VALTYPE_I64)],
+                                     body=[
+                                         instr("local.get", 0),
+                                         instr("i64.const", 41),
+                                         instr("i64.add"),
+                                     ]))
+    return module
+
+
+def test_module_header():
+    binary = encode_module(_simple_module())
+    assert binary.startswith(MAGIC + VERSION)
+
+
+def test_roundtrip_simple_module():
+    module = _simple_module()
+    parsed = parse_module(encode_module(module))
+    assert parsed.num_functions == 1
+    assert parsed.types == [(1, 1)]
+    assert [e.name for e in parsed.functions[0].body] == ["local.get", "i64.const",
+                                                          "i64.add"]
+    assert parsed.functions[0].body[1].operands == (41,)
+    assert parsed.functions[0].locals == [(2, VALTYPE_I64)]
+
+
+def test_roundtrip_structured_control_flow():
+    module = WasmModule()
+    type_index = module.add_type(0, 0)
+    body = [
+        instr("block", BLOCKTYPE_VOID),
+        instr("i32.const", 0),
+        instr("br_if", 0),
+        instr("loop", BLOCKTYPE_VOID),
+        instr("i32.const", 1),
+        instr("br_if", 0),
+        instr("end"),
+        instr("end"),
+    ]
+    module.add_function(WasmFunction(type_index=type_index, body=body))
+    parsed = parse_module(encode_module(module))
+    assert [e.name for e in parsed.functions[0].body] == [e.name for e in body]
+
+
+def test_roundtrip_all_templates(rng):
+    for template in WASM_ALL_TEMPLATES:
+        binary = template.generate(rng)
+        parsed = parse_module(binary)
+        assert parsed.num_functions >= 4, template.name
+        reencoded = encode_module(parsed)
+        assert parse_module(reencoded).num_instructions == parsed.num_instructions
+
+
+def test_parser_rejects_bad_magic():
+    with pytest.raises(WasmParseError):
+        parse_module(b"\x00bad\x01\x00\x00\x00")
+    with pytest.raises(WasmParseError):
+        parse_module(MAGIC + b"\x02\x00\x00\x00")
+
+
+def test_parser_rejects_unknown_opcode():
+    with pytest.raises(WasmParseError):
+        decode_instruction(bytes([0xFE]), 0)
+
+
+def test_encode_instruction_memarg():
+    encoded = encode_instruction(instr("i32.store", 2, 16))
+    assert encoded[0] == WASM_OPCODES_BY_NAME["i32.store"].value
+    decoded, _ = decode_instruction(encoded, 0)
+    assert decoded.operands == (2, 16)
+
+
+def test_add_type_deduplicates():
+    module = WasmModule()
+    first = module.add_type(2, 1)
+    second = module.add_type(2, 1)
+    third = module.add_type(0, 0)
+    assert first == second
+    assert third != first
+
+
+def test_add_function_validates_type_index():
+    module = WasmModule()
+    with pytest.raises(ValueError):
+        module.add_function(WasmFunction(type_index=3))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from(["i64.add", "i64.sub", "drop", "nop", "i64.mul"]),
+                min_size=0, max_size=30),
+       st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+def test_roundtrip_random_straightline_bodies(names, constant):
+    module = WasmModule()
+    type_index = module.add_type(0, 0)
+    body = [instr("i64.const", constant)] + [instr(name) for name in names]
+    module.add_function(WasmFunction(type_index=type_index, body=body))
+    parsed = parse_module(encode_module(module))
+    assert [e.name for e in parsed.functions[0].body] == [e.name for e in body]
+    assert parsed.functions[0].body[0].operands == (constant,)
