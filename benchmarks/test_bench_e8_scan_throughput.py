@@ -1,0 +1,25 @@
+"""E8: batch scanning service throughput -- cold vs cached corpus re-scan.
+
+The service-layer acceptance experiment: re-scanning a corpus through the
+content-addressed graph cache must be at least 5x faster than the cold scan
+that filled it, and every batch verdict must be bit-identical to the
+single-sample ``ScamDetector.scan`` path.
+"""
+
+from benchmarks.conftest import record_result, run_once
+from repro.evaluation import E8Config, run_e8_scan_throughput
+
+
+def test_bench_e8_scan_throughput(benchmark):
+    config = E8Config(num_samples=120, epochs=6, seed=0)
+    result = run_once(benchmark, run_e8_scan_throughput, config)
+    record_result(result)
+
+    sequential_row, cold_row, warm_row = result.rows
+    assert warm_row["cache_hit_rate"] == 1.0
+    # the cache must never change a verdict
+    assert result.summary["verdict_mismatches"] == 0
+    # acceptance: cached re-scan is >= 5x faster than the cold scan
+    assert result.summary["warm_speedup"] >= 5.0
+    # and the batch path must not be slower than the plain scan() loop
+    assert cold_row["seconds"] <= sequential_row["seconds"] * 1.5

@@ -63,9 +63,20 @@ def main() -> None:
         print(f"{name:<24} {platform:>8} {report.malicious_probability:>13.3f} "
               f"{decision:>10}")
 
-    summary = detector.scan_batch([code for _, code in submissions],
-                                  sample_ids=[name for name, _ in submissions])
+    # the same gate as a batch service call: parallel lowering, a graph cache
+    # shared across submission waves, and throughput telemetry
+    from repro.service import GraphCache
+
+    cache = GraphCache.for_config(detector.config)
+    summary = detector.scan_many([code for _, code in submissions],
+                                 sample_ids=[name for name, _ in submissions],
+                                 cache=cache)
     print("\n" + summary.format())
+    resubmitted = detector.scan_many([code for _, code in submissions],
+                                     sample_ids=[name for name, _ in submissions],
+                                     cache=cache)
+    print(f"re-submission wave served from cache: "
+          f"{resubmitted.cache_stats.hits}/{resubmitted.num_scanned} hits")
 
 
 if __name__ == "__main__":

@@ -1,3 +1,41 @@
-from setuptools import setup
+"""Packaging for the ScamDetect reproduction.
 
-setup()
+``pip install -e .`` makes ``import repro`` work without PYTHONPATH tricks
+and installs the ``scamdetect`` console entry point.
+"""
+
+import pathlib
+
+from setuptools import find_packages, setup
+
+README = pathlib.Path(__file__).parent / "README.md"
+
+setup(
+    name="scamdetect-repro",
+    version="1.0.0",
+    description=("Reproduction of ScamDetect (DSN-S 2025): platform-agnostic "
+                 "smart-contract malware detection with GNNs over CFGs, plus "
+                 "a batch scanning service layer"),
+    long_description=README.read_text() if README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "scamdetect=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Security",
+    ],
+)

@@ -14,6 +14,8 @@ Robust, Agnostic Framework to Uncover Threats in Smart Contracts"* (DSN-S
   substrates (reverse-mode AD, classical classifiers, the five GNNs).
 * :mod:`repro.phishinghook` -- the 16-model baseline zoo.
 * :mod:`repro.core` -- the ScamDetect pipeline and :class:`ScamDetector` API.
+* :mod:`repro.service` -- the batch scanning service layer (content-addressed
+  graph cache, parallel lowering, batched inference).
 * :mod:`repro.evaluation` -- the E1-E7 experiment drivers and reporting.
 
 Quickstart::

@@ -1,11 +1,14 @@
 """Command-line interface for the ScamDetect reproduction.
 
-Usage (after ``pip install -e .``)::
+Usage (after ``pip install -e .`` the ``scamdetect`` entry point is on PATH;
+``python -m repro.cli`` always works)::
 
-    python -m repro.cli corpus    --platform evm --num-samples 200
-    python -m repro.cli train     --model-path /tmp/scamdetect --num-samples 200
-    python -m repro.cli scan      --model-path /tmp/scamdetect --hex-file contract.hex
-    python -m repro.cli experiment --id E2
+    scamdetect corpus     --platform evm --num-samples 200
+    scamdetect train      --model-path /tmp/scamdetect --num-samples 200
+    scamdetect scan       --model-path /tmp/scamdetect --hex-file contract.hex
+    scamdetect scan-batch --model-path /tmp/scamdetect --input-dir submissions/ \
+                          --cache-dir /tmp/scamdetect-cache
+    scamdetect experiment --id E2
 
 The CLI is intentionally thin: every command maps onto one public-API call so
 scripts and notebooks can do the same thing programmatically.
@@ -85,6 +88,30 @@ def _command_scan(args: argparse.Namespace) -> int:
     return 1 if report.is_malicious else 0
 
 
+def _command_scan_batch(args: argparse.Namespace) -> int:
+    from repro.service import BatchScanner, GraphCache
+
+    detector = ScamDetector.load(args.model_path, threshold=args.threshold,
+                                 explain=args.explain)
+    cache = None
+    if args.cache_dir or args.cache_capacity:
+        cache = GraphCache.for_config(detector.config,
+                                      capacity=args.cache_capacity or 1024,
+                                      disk_dir=args.cache_dir)
+    scanner = BatchScanner(detector, cache=cache, max_workers=args.workers)
+    try:
+        result = scanner.scan_directory(args.input_dir, pattern=args.pattern,
+                                        platform=args.platform)
+    except (FileNotFoundError, ValueError) as error:
+        raise SystemExit(f"scan-batch: {error}")
+    print(result.format())
+    if args.show_reports:
+        for report in result.reports:
+            print()
+            print(report.format())
+    return 1 if result.num_malicious else 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     from repro.evaluation import (
         run_e1_phishinghook_zoo,
@@ -94,6 +121,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         run_e5_cross_platform,
         run_e6_dedup_ablation,
         run_e7_gnn_ablation,
+        run_e8_scan_throughput,
     )
 
     runners = {
@@ -104,6 +132,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         "E5": run_e5_cross_platform,
         "E6": run_e6_dedup_ablation,
         "E7": run_e7_gnn_ablation,
+        "E8": run_e8_scan_throughput,
     }
     result = runners[args.id.upper()]()
     print(result.format())
@@ -140,10 +169,39 @@ def build_parser() -> argparse.ArgumentParser:
     scan_parser.add_argument("--sample-id", default="contract")
     scan_parser.set_defaults(handler=_command_scan)
 
+    batch_parser = subparsers.add_parser(
+        "scan-batch",
+        help="scan a directory of bytecode files with parallel lowering, "
+             "a content-addressed graph cache and throughput reporting")
+    batch_parser.add_argument("--model-path", required=True)
+    batch_parser.add_argument("--input-dir", required=True,
+                              help="directory of bytecode files (.hex parsed as "
+                                   "hex text, anything else as raw binary)")
+    batch_parser.add_argument("--pattern", default="*",
+                              help="glob filter applied inside --input-dir")
+    batch_parser.add_argument("--platform", choices=("evm", "wasm"), default=None,
+                              help="force one platform (sniffed per file when "
+                                   "omitted)")
+    batch_parser.add_argument("--threshold", type=float, default=0.5)
+    batch_parser.add_argument("--cache-dir", default=None,
+                              help="directory for the persistent graph-cache "
+                                   "tier (re-use across runs for warm scans)")
+    batch_parser.add_argument("--cache-capacity", type=int, default=None,
+                              help="in-memory graph-cache entries (default 1024)")
+    batch_parser.add_argument("--workers", type=int, default=None,
+                              help="lowering threads (default: executor heuristic)")
+    batch_parser.add_argument("--explain", action="store_true",
+                              help="attach indicator notes to every report "
+                                   "(slower; off by default in batch mode)")
+    batch_parser.add_argument("--show-reports", action="store_true",
+                              help="print every per-contract report after the "
+                                   "summary")
+    batch_parser.set_defaults(handler=_command_scan_batch)
+
     experiment_parser = subparsers.add_parser("experiment",
-                                              help="run one E1-E7 experiment")
+                                              help="run one E1-E8 experiment")
     experiment_parser.add_argument("--id", required=True,
-                                   choices=[f"E{i}" for i in range(1, 8)])
+                                   choices=[f"E{i}" for i in range(1, 9)])
     experiment_parser.set_defaults(handler=_command_experiment)
     return parser
 

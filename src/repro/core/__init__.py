@@ -7,8 +7,10 @@ The core package ties the substrates together:
 * :mod:`repro.core.config` -- pipeline configuration.
 * :mod:`repro.core.pipeline` -- the trainable bytecode -> CFG -> GNN pipeline.
 * :mod:`repro.core.detector` -- the high-level :class:`ScamDetector` API
-  (train / scan / scan_batch / save-load of verdict reports).
+  (train / scan / scan_many / scan_directory / save-load).
 * :mod:`repro.core.report` -- verdict report structures.
+* :mod:`repro.core.persistence` -- model bundles with graph-fingerprint
+  staleness checks (pairs with :mod:`repro.service.cache`).
 """
 
 from repro.core.frontends import (

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional
 
@@ -66,6 +68,34 @@ class ScamDetectConfig:
             raise ValueError("batch_size must be >= 1")
         if self.node_feature_mode not in ("presence", "fraction", "count"):
             raise ValueError(f"unknown node_feature_mode {self.node_feature_mode!r}")
+
+    def graph_fingerprint(self) -> str:
+        """Content-address of the graph-lowering configuration.
+
+        Two configs with the same fingerprint lower any given bytecode to
+        bit-identical :class:`~repro.gnn.data.ContractGraph` objects, so
+        cached graphs keyed by this fingerprint can be shared between them.
+        The fingerprint covers every setting that shapes node features or
+        adjacency (feature mode, marker/structural columns, truncation) plus
+        the feature-space vocabulary itself, so changing the IR feature
+        layout invalidates old caches automatically.  Model-only settings
+        (architecture, epochs, seed, ...) deliberately do not participate.
+        """
+        from repro.ir.features import NUM_STRUCTURAL_FEATURES, SEMANTIC_MARKERS
+        from repro.ir.normalization import CATEGORY_VOCABULARY
+
+        payload = {
+            "node_feature_mode": self.node_feature_mode,
+            "include_marker_features": self.include_marker_features,
+            "include_structural_features": self.include_structural_features,
+            "max_nodes": self.max_nodes,
+            "category_vocabulary": list(CATEGORY_VOCABULARY),
+            "semantic_markers": [[name, sorted(ops)]
+                                 for name, ops in SEMANTIC_MARKERS],
+            "num_structural_features": NUM_STRUCTURAL_FEATURES,
+        }
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:16]
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)

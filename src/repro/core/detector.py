@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union, TYPE_CHECKING
 
 from repro.core.config import ScamDetectConfig
 from repro.core.frontends import get_frontend
@@ -12,16 +12,33 @@ from repro.core.report import ScanSummary, VerdictReport
 from repro.datasets.corpus import Corpus
 from repro.evm.contracts import is_minimal_proxy
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.gnn.data import ContractGraph
+    from repro.service.batch import BatchScanResult
+    from repro.service.cache import GraphCache
+
 BytecodeLike = Union[bytes, bytearray, str]
 
 
-def _to_bytes(code: BytecodeLike) -> bytes:
+def coerce_bytecode(code: BytecodeLike) -> bytes:
+    """Normalize any accepted bytecode representation to raw bytes.
+
+    Accepts ``bytes``/``bytearray`` as-is and hex strings with or without a
+    ``0x`` prefix.  Every scanning entry point funnels through this helper so
+    single-contract and batch scans agree byte-for-byte on their input.
+    """
     if isinstance(code, (bytes, bytearray)):
         return bytes(code)
-    text = code.strip()
+    # collapse ALL whitespace, not just the edges: line-wrapped hex dumps are
+    # common, and bytes.fromhex only skips interior spaces from Python 3.11 on
+    text = "".join(code.split())
     if text.startswith(("0x", "0X")):
         text = text[2:]
     return bytes.fromhex(text)
+
+
+# Backwards-compatible private alias (pre-service-layer name).
+_to_bytes = coerce_bytecode
 
 
 class ScamDetector:
@@ -35,9 +52,22 @@ class ScamDetector:
         if report.is_malicious:
             print(report.format())
 
+    For repeated or high-volume scanning, attach a graph cache and use the
+    batch entry points (both delegate to
+    :class:`~repro.service.batch.BatchScanner`)::
+
+        from repro.service import GraphCache
+
+        cache = GraphCache.for_config(detector.config, disk_dir="~/.scamdetect")
+        result = detector.scan_many(codes, cache=cache)
+        result = detector.scan_directory("submissions/", cache=cache)
+
     Args:
         config: Pipeline configuration; defaults train a 2-layer GCN.
         threshold: Probability above which a contract is flagged malicious.
+        explain: Attach human-readable indicator notes to every report
+            (costs one extra CFG build per scan; batch deployments that only
+            need verdicts can disable it).
     """
 
     def __init__(self, config: Optional[ScamDetectConfig] = None,
@@ -53,19 +83,58 @@ class ScamDetector:
 
     @property
     def is_trained(self) -> bool:
+        """True once :meth:`train` (or :meth:`load`) has produced a model."""
         return self.pipeline.is_fitted
 
     def train(self, corpus: Corpus,
               validation_corpus: Optional[Corpus] = None) -> "ScamDetector":
-        """Train the underlying pipeline on a labelled corpus."""
+        """Train the underlying pipeline on a labelled corpus; returns self.
+
+        Args:
+            corpus: Labelled training corpus (may mix EVM and WASM samples).
+            validation_corpus: Optional held-out corpus enabling
+                early-stopping on validation accuracy.
+        """
         self.pipeline.fit(corpus, validation_corpus=validation_corpus)
         return self
 
     def evaluate(self, corpus: Corpus) -> Dict[str, float]:
-        """Headline metrics on a labelled corpus."""
+        """Headline metrics (accuracy, precision, recall, F1, ROC-AUC) on a
+        labelled corpus."""
         return self.pipeline.evaluate(corpus)
 
     # ------------------------------------------------------------------ #
+
+    def build_report(self, raw: bytes, sample_id: str, platform: str,
+                     probability: float, graph: "ContractGraph") -> VerdictReport:
+        """Compose the :class:`VerdictReport` for one scored contract.
+
+        Single-contract :meth:`scan` and the batch scanner both call this,
+        which is what guarantees their verdicts are bit-identical: the
+        threshold rule, indicator notes and CFG statistics all come from the
+        same code path.
+        """
+        label = 1 if probability >= self.threshold else 0
+        notes: List[str] = []
+        if self.explain:
+            cfg = get_frontend(platform).build_cfg(raw, name=sample_id)
+            notes.extend(format_indicators(extract_indicators(cfg)))
+        if platform == "evm" and is_minimal_proxy(raw):
+            notes.append("ERC-1167 minimal proxy: verdict reflects the proxy stub, "
+                         "scan the implementation contract for a definitive answer")
+        if graph.num_nodes >= (self.config.max_nodes or 512):
+            notes.append("CFG truncated to max_nodes; consider raising "
+                         "ScamDetectConfig.max_nodes for very large contracts")
+        return VerdictReport(
+            sample_id=sample_id,
+            platform=platform,
+            label=label,
+            malicious_probability=probability,
+            cfg_blocks=graph.num_nodes,
+            cfg_edges=int(graph.adjacency.sum() - graph.num_nodes),
+            num_instructions=len(raw),
+            model=self.pipeline.describe(),
+            notes=notes)
 
     def scan(self, code: BytecodeLike, platform: Optional[str] = None,
              sample_id: str = "contract") -> VerdictReport:
@@ -75,38 +144,27 @@ class ScamDetector:
             code: Raw bytecode (bytes or hex string).
             platform: "evm" or "wasm"; sniffed from the code when omitted.
             sample_id: Identifier echoed into the report.
+
+        Raises:
+            RuntimeError: If called before :meth:`train` / :meth:`load`.
         """
         if not self.is_trained:
             raise RuntimeError("ScamDetector.scan called before train()")
-        raw = _to_bytes(code)
-        label, probability, graph, resolved_platform = self.pipeline.predict_bytecode(
+        raw = coerce_bytecode(code)
+        _, probability, graph, resolved_platform = self.pipeline.predict_bytecode(
             raw, platform)
-        label = 1 if probability >= self.threshold else 0
-        notes: List[str] = []
-        if self.explain:
-            cfg = get_frontend(resolved_platform).build_cfg(raw, name=sample_id)
-            notes.extend(format_indicators(extract_indicators(cfg)))
-        if resolved_platform == "evm" and is_minimal_proxy(raw):
-            notes.append("ERC-1167 minimal proxy: verdict reflects the proxy stub, "
-                         "scan the implementation contract for a definitive answer")
-        if graph.num_nodes >= (self.config.max_nodes or 512):
-            notes.append("CFG truncated to max_nodes; consider raising "
-                         "ScamDetectConfig.max_nodes for very large contracts")
-        return VerdictReport(
-            sample_id=sample_id,
-            platform=resolved_platform,
-            label=label,
-            malicious_probability=probability,
-            cfg_blocks=graph.num_nodes,
-            cfg_edges=int(graph.adjacency.sum() - graph.num_nodes),
-            num_instructions=len(raw),
-            model=self.pipeline.describe(),
-            notes=notes)
+        return self.build_report(raw, sample_id, resolved_platform,
+                                 probability, graph)
 
     def scan_batch(self, codes: Iterable[BytecodeLike],
                    platform: Optional[str] = None,
                    sample_ids: Optional[Sequence[str]] = None) -> ScanSummary:
-        """Scan many contracts and return an aggregate :class:`ScanSummary`."""
+        """Scan many contracts one-by-one and return a :class:`ScanSummary`.
+
+        This is the simple sequential loop; prefer :meth:`scan_many` for
+        large inputs -- it lowers in parallel, batches GNN inference and can
+        reuse a graph cache across calls.
+        """
         summary = ScanSummary()
         for index, code in enumerate(codes):
             sample_id = (sample_ids[index] if sample_ids is not None
@@ -115,15 +173,82 @@ class ScamDetector:
                                              sample_id=sample_id))
         return summary
 
+    def scan_many(self, codes: Iterable[BytecodeLike],
+                  platform: Optional[str] = None,
+                  sample_ids: Optional[Sequence[str]] = None,
+                  cache: Optional["GraphCache"] = None,
+                  max_workers: Optional[int] = None) -> "BatchScanResult":
+        """Scan many contracts through the batch service layer.
+
+        Args:
+            codes: Bytecode inputs (bytes or hex strings).
+            platform: Force one platform for all inputs; sniffed per input
+                when omitted.
+            sample_ids: Optional identifiers, parallel to ``codes``.
+            cache: Optional :class:`~repro.service.cache.GraphCache`; attach
+                the same cache across calls to skip re-lowering repeated
+                bytecode.
+            max_workers: Worker threads for frontend lowering (defaults to
+                the executor's heuristic).
+
+        Returns:
+            A :class:`~repro.service.batch.BatchScanResult` with per-contract
+            reports (bit-identical to :meth:`scan`), wall-clock timing and
+            cache statistics.
+        """
+        from repro.service.batch import BatchScanner
+
+        previous_cache = self.pipeline.graph_cache
+        scanner = BatchScanner(self, cache=cache, max_workers=max_workers)
+        try:
+            return scanner.scan_codes(codes, platform=platform,
+                                      sample_ids=sample_ids)
+        finally:
+            # the scanner is throwaway here: restore whatever cache (or None)
+            # the pipeline had so this call has no lasting side effect
+            self.pipeline.graph_cache = previous_cache
+
+    def scan_directory(self, directory, pattern: str = "*",
+                       platform: Optional[str] = None,
+                       cache: Optional["GraphCache"] = None,
+                       max_workers: Optional[int] = None) -> "BatchScanResult":
+        """Scan every bytecode file under ``directory`` (see
+        :meth:`~repro.service.batch.BatchScanner.scan_directory`).
+
+        Files ending in ``.hex`` are parsed as hex text; anything else is
+        read as raw binary.  Sample ids are the file names relative to
+        ``directory``.
+        """
+        from repro.service.batch import BatchScanner
+
+        previous_cache = self.pipeline.graph_cache
+        scanner = BatchScanner(self, cache=cache, max_workers=max_workers)
+        try:
+            return scanner.scan_directory(directory, pattern=pattern,
+                                          platform=platform)
+        finally:
+            self.pipeline.graph_cache = previous_cache
+
     def save(self, path) -> None:
-        """Persist the trained pipeline to ``path`` (.json + .npz pair)."""
+        """Persist the trained pipeline to ``path`` (.json + .npz pair).
+
+        The bundle records the config's graph fingerprint so that loads can
+        detect caches (or bundles) produced under an incompatible lowering
+        configuration.
+        """
         from repro.core.persistence import save_pipeline
 
         save_pipeline(self.pipeline, path)
 
     @classmethod
     def load(cls, path, threshold: float = 0.5, explain: bool = True) -> "ScamDetector":
-        """Load a detector previously written by :meth:`save`."""
+        """Load a detector previously written by :meth:`save`.
+
+        Args:
+            path: Base path of the ``.json``/``.npz`` bundle.
+            threshold: Malicious-probability decision threshold.
+            explain: Attach indicator notes to reports (see ``__init__``).
+        """
         from repro.core.persistence import load_pipeline
 
         pipeline = load_pipeline(path)

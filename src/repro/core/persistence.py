@@ -7,13 +7,21 @@ A trained pipeline is persisted as two files next to each other:
 
 Only configuration and numeric arrays are stored -- no pickled code objects --
 so model files are safe to exchange between analysts.
+
+Since the batch-scanning service landed, the JSON metadata also carries the
+config's **graph fingerprint** (see
+:meth:`ScamDetectConfig.graph_fingerprint`).  On load the fingerprint is
+recomputed from the stored config and compared: a mismatch means the feature
+space of this code base has drifted since the bundle was written, so any
+cached graphs (and the model's input layout itself) would be stale -- the
+load fails loudly instead of producing silently wrong verdicts.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Union
+from typing import Optional, Union, TYPE_CHECKING
 
 import numpy as np
 
@@ -22,6 +30,9 @@ from repro.core.pipeline import ScamDetectPipeline
 from repro.datasets.corpus import Corpus
 from repro.gnn.training import GNNTrainer
 from repro.gnn.model import GraphClassifier
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.cache import GraphCache
 
 #: Bumped whenever the on-disk layout changes.
 FORMAT_VERSION = 1
@@ -49,6 +60,7 @@ def save_pipeline(pipeline: ScamDetectPipeline, path: PathLike) -> pathlib.Path:
         "format_version": FORMAT_VERSION,
         "config": pipeline.config.to_dict(),
         "description": pipeline.describe(),
+        "graph_fingerprint": pipeline.config.graph_fingerprint(),
     }
     json_path.parent.mkdir(parents=True, exist_ok=True)
     with json_path.open("w") as handle:
@@ -57,8 +69,21 @@ def save_pipeline(pipeline: ScamDetectPipeline, path: PathLike) -> pathlib.Path:
     return json_path
 
 
-def load_pipeline(path: PathLike) -> ScamDetectPipeline:
-    """Load a pipeline previously written by :func:`save_pipeline`."""
+def load_pipeline(path: PathLike,
+                  graph_cache: Optional["GraphCache"] = None) -> ScamDetectPipeline:
+    """Load a pipeline previously written by :func:`save_pipeline`.
+
+    Args:
+        path: Base path of the ``.json``/``.npz`` bundle.
+        graph_cache: Optional lowering cache to attach to the loaded
+            pipeline; its fingerprint must match the bundle's.
+
+    Raises:
+        PersistenceError: On missing files, an unsupported format version, a
+            bundle whose stored graph fingerprint no longer matches the one
+            recomputed from its config (stale feature space), or an attached
+            cache built for a different fingerprint.
+    """
     json_path, npz_path = _paths(path)
     if not json_path.exists() or not npz_path.exists():
         raise PersistenceError(f"model files not found at {json_path} / {npz_path}")
@@ -68,8 +93,24 @@ def load_pipeline(path: PathLike) -> ScamDetectPipeline:
         raise PersistenceError(
             f"unsupported model format version {metadata.get('format_version')!r}")
     config = ScamDetectConfig.from_dict(metadata["config"])
+    stored_fingerprint = metadata.get("graph_fingerprint")
+    if (stored_fingerprint is not None
+            and stored_fingerprint != config.graph_fingerprint()):
+        raise PersistenceError(
+            f"graph fingerprint mismatch: bundle was written with "
+            f"{stored_fingerprint!r} but this code base computes "
+            f"{config.graph_fingerprint()!r}; the feature space changed, so "
+            f"cached graphs and the saved model input layout are stale -- "
+            f"retrain and re-save the model")
 
     pipeline = ScamDetectPipeline(config)
+    if graph_cache is not None:
+        # Raises ValueError on a fingerprint mismatch before any scan can
+        # consume a stale entry.
+        try:
+            pipeline.set_graph_cache(graph_cache)
+        except ValueError as error:
+            raise PersistenceError(str(error)) from error
     model = GraphClassifier(
         architecture=config.architecture,
         in_features=pipeline._node_feature_dim(),

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -16,6 +16,9 @@ from repro.ir.features import NUM_STRUCTURAL_FEATURES, SEMANTIC_MARKERS
 from repro.ir.normalization import CATEGORY_VOCABULARY
 from repro.ml.metrics import classification_summary
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.cache import GraphCache
+
 
 class ScamDetectPipeline:
     """End-to-end trainable detection pipeline.
@@ -24,16 +27,48 @@ class ScamDetectPipeline:
     mix EVM and WASM contracts freely, because every sample is lowered into
     the shared IR by its platform frontend before reaching the model.
 
+    Lowering (bytecode -> CFG -> graph) is the dominant cost of both training
+    and scanning, so every lowering entry point honours the optional
+    ``graph_cache`` hook: attach a
+    :class:`~repro.service.cache.GraphCache` (directly or via
+    :meth:`set_graph_cache`) and repeated lowerings of identical bytecode are
+    served from the cache instead of being recomputed.
+
     Args:
         config: Pipeline hyper-parameters (defaults are sensible for the
             synthetic corpora used in the experiments).
+        graph_cache: Optional content-addressed cache consulted by
+            :meth:`sample_to_graph` and everything built on it.
     """
 
-    def __init__(self, config: Optional[ScamDetectConfig] = None) -> None:
+    def __init__(self, config: Optional[ScamDetectConfig] = None,
+                 graph_cache: Optional["GraphCache"] = None) -> None:
         self.config = config or ScamDetectConfig()
         self.config.validate()
+        self.graph_cache = graph_cache
+        self._check_cache_fingerprint()
         self._trainer: Optional[GNNTrainer] = None
         self._model: Optional[GraphClassifier] = None
+
+    def set_graph_cache(self, cache: Optional["GraphCache"]) -> "ScamDetectPipeline":
+        """Attach (or detach, with None) a lowering cache; returns self.
+
+        Raises ValueError if the cache was built for a different graph
+        fingerprint: serving graphs lowered under another config would
+        silently change verdicts, so a mismatch is always an error.
+        """
+        self.graph_cache = cache
+        self._check_cache_fingerprint()
+        return self
+
+    def _check_cache_fingerprint(self) -> None:
+        cache = self.graph_cache
+        if cache is not None and cache.fingerprint != self.config.graph_fingerprint():
+            raise ValueError(
+                f"graph cache fingerprint {cache.fingerprint!r} does not match "
+                f"the pipeline config fingerprint "
+                f"{self.config.graph_fingerprint()!r}; build the cache with "
+                f"GraphCache.for_config(pipeline.config)")
 
     # ------------------------------------------------------------------ #
     # graph preparation
@@ -47,17 +82,31 @@ class ScamDetectPipeline:
         return width
 
     def sample_to_graph(self, sample: ContractSample) -> ContractGraph:
-        """Lower one sample into a GNN-ready graph via its platform frontend."""
+        """Lower one sample into a GNN-ready graph via its platform frontend.
+
+        When a ``graph_cache`` is attached the lowering is served from the
+        cache on a hit and stored into it on a miss; cached graphs are
+        bit-identical to freshly lowered ones.
+        """
+        cache = self.graph_cache
+        if cache is not None:
+            cached = cache.get(sample.bytecode, sample.platform,
+                               label=sample.label, sample_id=sample.sample_id)
+            if cached is not None:
+                return cached
         frontend = get_frontend(sample.platform)
         cfg = frontend.build_cfg(sample.bytecode, name=sample.sample_id)
-        return cfg_to_graph(cfg, label=sample.label, sample_id=sample.sample_id,
-                            include_structural=self.config.include_structural_features,
-                            feature_mode=self.config.node_feature_mode,
-                            include_markers=self.config.include_marker_features,
-                            max_nodes=self.config.max_nodes)
+        graph = cfg_to_graph(cfg, label=sample.label, sample_id=sample.sample_id,
+                             include_structural=self.config.include_structural_features,
+                             feature_mode=self.config.node_feature_mode,
+                             include_markers=self.config.include_marker_features,
+                             max_nodes=self.config.max_nodes)
+        if cache is not None:
+            cache.put(sample.bytecode, sample.platform, graph)
+        return graph
 
     def corpus_to_graphs(self, corpus: Corpus) -> List[ContractGraph]:
-        """Lower a whole corpus into graphs."""
+        """Lower a whole corpus into graphs (cache-aware, order-preserving)."""
         return [self.sample_to_graph(sample) for sample in corpus]
 
     # ------------------------------------------------------------------ #
@@ -126,7 +175,16 @@ class ScamDetectPipeline:
     def analyse_bytecode(self, code: bytes, platform: Optional[str] = None,
                          sample_id: str = "contract"
                          ) -> Tuple[ContractGraph, str]:
-        """Lower raw contract code (platform optionally sniffed) into a graph."""
+        """Lower raw contract code into a graph; returns (graph, platform).
+
+        Args:
+            code: Raw bytecode bytes.
+            platform: "evm" or "wasm"; sniffed from the code when omitted.
+            sample_id: Identifier carried into the graph for traceability.
+
+        The lowering goes through :meth:`sample_to_graph`, so an attached
+        ``graph_cache`` short-circuits repeated analyses of the same code.
+        """
         resolved_platform = platform or detect_platform(code)
         sample = ContractSample(sample_id=sample_id, platform=resolved_platform,
                                 bytecode=bytes(code), label=0, family="unknown")

@@ -1,4 +1,4 @@
-"""Evaluation harness: cross-validation, the E1-E7 experiments and reporting.
+"""Evaluation harness: cross-validation, the E1-E8 experiments and reporting.
 
 Each experiment function reproduces one claim of the paper (see DESIGN.md's
 experiment index) and returns an :class:`~repro.evaluation.reporting.ExperimentResult`
@@ -21,6 +21,7 @@ from repro.evaluation.experiments import (
     E5Config,
     E6Config,
     E7Config,
+    E8Config,
     run_e1_phishinghook_zoo,
     run_e2_obfuscation_degradation,
     run_e3_gnn_vs_baseline,
@@ -28,6 +29,7 @@ from repro.evaluation.experiments import (
     run_e5_cross_platform,
     run_e6_dedup_ablation,
     run_e7_gnn_ablation,
+    run_e8_scan_throughput,
 )
 
 __all__ = [
@@ -42,6 +44,7 @@ __all__ = [
     "E5Config",
     "E6Config",
     "E7Config",
+    "E8Config",
     "run_e1_phishinghook_zoo",
     "run_e2_obfuscation_degradation",
     "run_e3_gnn_vs_baseline",
@@ -49,4 +52,5 @@ __all__ = [
     "run_e5_cross_platform",
     "run_e6_dedup_ablation",
     "run_e7_gnn_ablation",
+    "run_e8_scan_throughput",
 ]

@@ -532,3 +532,96 @@ def run_e7_gnn_ablation(config: Optional[E7Config] = None) -> ExperimentResult:
     }
     result.notes.append(f"best variant under obfuscation: {best['variant']}")
     return result
+
+
+# --------------------------------------------------------------------------- #
+# E8: batch scanning service throughput
+
+
+@dataclass
+class E8Config:
+    """Workload of the E8 scan-throughput experiment.
+
+    The corpus is scanned three ways with the *same* trained detector:
+    a sequential ``scan`` loop (the pre-service baseline), a cold batch scan
+    that fills the graph cache, and a warm batch scan served from it.
+    """
+
+    num_samples: int = 120
+    epochs: int = 6
+    num_layers: int = 1
+    hidden_features: int = 16
+    cache_capacity: int = 4096
+    max_workers: Optional[int] = None
+    seed: int = 0
+
+
+def run_e8_scan_throughput(config: Optional[E8Config] = None) -> ExperimentResult:
+    """E8: cold vs warm batch-scan throughput and verdict fidelity.
+
+    Measures the service layer introduced for deployment-gate workloads:
+    repeated scans of the same bytecode should be served from the
+    content-addressed graph cache at a large multiple of cold throughput,
+    while every batch verdict stays bit-identical to the single-sample
+    :meth:`ScamDetector.scan` path.
+    """
+    import time
+
+    from repro.core.detector import ScamDetector
+    from repro.service import BatchScanner, GraphCache
+
+    config = config or E8Config()
+    corpus = CorpusGenerator(GeneratorConfig(
+        platform="evm", num_samples=config.num_samples,
+        label_noise=0.0, seed=config.seed)).generate("e8-corpus")
+    detector = ScamDetector(
+        ScamDetectConfig(epochs=config.epochs, num_layers=config.num_layers,
+                         hidden_features=config.hidden_features,
+                         seed=config.seed),
+        explain=False)
+    detector.train(corpus)
+    codes = [sample.bytecode for sample in corpus]
+    ids = [sample.sample_id for sample in corpus]
+
+    # sequential baseline: one scan() call per contract, no cache
+    started = time.perf_counter()
+    sequential = [detector.scan(code, sample_id=sample_id)
+                  for code, sample_id in zip(codes, ids)]
+    sequential_seconds = time.perf_counter() - started
+
+    cache = GraphCache.for_config(detector.config,
+                                  capacity=config.cache_capacity)
+    scanner = BatchScanner(detector, cache=cache,
+                           max_workers=config.max_workers)
+    cold = scanner.scan_codes(codes, sample_ids=ids)
+    warm = scanner.scan_codes(codes, sample_ids=ids)
+
+    mismatches = sum(
+        1 for single, batch in zip(sequential, warm.reports)
+        if single.to_dict() != batch.to_dict())
+
+    def row(mode: str, seconds: float, hit_rate: float) -> Dict[str, object]:
+        return {"mode": mode, "contracts": len(codes), "seconds": seconds,
+                "contracts_per_second": len(codes) / seconds if seconds else 0.0,
+                "cache_hit_rate": hit_rate}
+
+    result = ExperimentResult(
+        experiment_id="E8",
+        title="Batch scanning service: cold vs cached corpus re-scan")
+    result.rows = [
+        row("sequential-scan", sequential_seconds, 0.0),
+        row("batch-cold", cold.elapsed_seconds, cold.cache_stats.hit_rate),
+        row("batch-warm", warm.elapsed_seconds, warm.cache_stats.hit_rate),
+    ]
+    result.summary = {
+        "cold_seconds": cold.elapsed_seconds,
+        "warm_seconds": warm.elapsed_seconds,
+        "warm_speedup": (cold.elapsed_seconds / warm.elapsed_seconds
+                         if warm.elapsed_seconds else float("inf")),
+        "warm_hit_rate": warm.cache_stats.hit_rate,
+        "verdict_mismatches": float(mismatches),
+    }
+    result.notes.append(
+        "warm batch verdicts are compared field-by-field against sequential "
+        "ScamDetector.scan verdicts; mismatches must be zero")
+    return result

@@ -121,6 +121,20 @@ class GNNTrainer:
                 output[row] = self.model.predict_proba_graph(graph)
         return output
 
+    def iter_predict_proba(self, graphs: Sequence[ContractGraph],
+                           batch_size: int = 256):
+        """Yield class-probability matrices over ``graphs`` in chunks.
+
+        Equivalent to :meth:`predict_proba` but bounds peak memory, so the
+        batch scanning service can stream corpora far larger than RAM-sized
+        probability matrices would allow.  Each yielded array covers
+        ``batch_size`` consecutive graphs (the last chunk may be shorter).
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        for start in range(0, len(graphs), batch_size):
+            yield self.predict_proba(graphs[start:start + batch_size])
+
     def predict(self, graphs: Sequence[ContractGraph]) -> np.ndarray:
         """Predicted class indices over ``graphs``."""
         return np.argmax(self.predict_proba(graphs), axis=1)

@@ -1,0 +1,26 @@
+"""Batch scanning service layer.
+
+This package turns the one-shot :class:`~repro.core.detector.ScamDetector`
+into a service that can sustain repeated, high-volume scanning workloads:
+
+* :mod:`repro.service.cache` -- a content-addressed graph cache keyed by
+  SHA-256 of the bytecode plus the config's graph fingerprint, with an
+  in-memory LRU tier and an optional on-disk ``.npz`` tier.
+* :mod:`repro.service.batch` -- :class:`BatchScanner`, which lowers a corpus
+  or a directory of bytecode files in parallel worker threads and feeds the
+  resulting graphs to the GNN in batches.
+
+The service layer plugs into the existing stack through the pipeline's
+``graph_cache`` hook, so training, evaluation and single-contract scans all
+benefit from warm caches without any API change.
+"""
+
+from repro.service.cache import CacheStats, GraphCache
+from repro.service.batch import BatchScanner, BatchScanResult
+
+__all__ = [
+    "GraphCache",
+    "CacheStats",
+    "BatchScanner",
+    "BatchScanResult",
+]

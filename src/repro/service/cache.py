@@ -1,0 +1,248 @@
+"""Content-addressed cache of lowered contract graphs.
+
+Deployment-gate and triage workloads scan the same bytecode over and over
+(factory clones, re-submitted contracts, re-audits after a model update), but
+the frontend lowering -- disassembly, CFG recovery, feature extraction -- is
+by far the most expensive part of a scan.  :class:`GraphCache` memoises the
+lowering step: entries are addressed by the SHA-256 of the raw bytecode (plus
+the platform), and the whole cache is scoped to one
+:meth:`~repro.core.config.ScamDetectConfig.graph_fingerprint`, so a config
+change that would alter the lowered graphs can never serve stale entries.
+
+Two tiers:
+
+* an in-memory LRU bounded by ``capacity`` entries, and
+* an optional on-disk tier (one ``.npz`` file per entry under
+  ``disk_dir/<fingerprint>/``) that survives process restarts and is shared
+  between workers on the same host.
+
+The disk layout stores only numeric arrays and a tiny JSON sidecar -- no
+pickled code objects -- matching the safety guarantees of
+:mod:`repro.core.persistence`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.config import ScamDetectConfig
+from repro.gnn.data import ContractGraph
+
+PathLike = Union[str, pathlib.Path]
+
+#: Name of the JSON sidecar that scopes a disk cache directory to one
+#: graph fingerprint.
+DISK_META_FILENAME = "cache-meta.json"
+
+
+def bytecode_key(code: bytes, platform: str) -> str:
+    """Content address of one cache entry: SHA-256 over platform + bytecode."""
+    digest = hashlib.sha256()
+    digest.update(platform.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(code)
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by a :class:`GraphCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+    stale_purges: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def format(self) -> str:
+        return (f"cache: {self.hits} hits / {self.lookups} lookups "
+                f"(hit_rate={self.hit_rate:.1%}, evictions={self.evictions}, "
+                f"disk_hits={self.disk_hits})")
+
+
+class GraphCache:
+    """Two-tier content-addressed cache of :class:`ContractGraph` objects.
+
+    Args:
+        fingerprint: The graph fingerprint the cache is scoped to; use
+            :meth:`for_config` to derive it from a pipeline config.
+        capacity: Maximum entries held in the in-memory LRU tier.
+        disk_dir: Optional directory for the persistent tier.  Entries are
+            kept under ``disk_dir/<fingerprint>/``, so caches for different
+            configs can share one directory safely; a fingerprint
+            sub-directory whose sidecar is missing or mismatched is purged
+            on first use (stale-cache detection), so pointing an upgraded
+            pipeline at an old cache directory is always safe.
+
+    The cache is thread-safe: :class:`~repro.service.batch.BatchScanner`
+    lowers contracts from many worker threads against one shared cache.
+    """
+
+    def __init__(self, fingerprint: str, capacity: int = 1024,
+                 disk_dir: Optional[PathLike] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.fingerprint = fingerprint
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, ContractGraph]" = OrderedDict()
+        # Entries live under disk_dir/<fingerprint>/ so caches built for
+        # different configs can share one directory without ever seeing each
+        # other's graphs.
+        self._tier_dir: Optional[pathlib.Path] = None
+        if disk_dir is not None:
+            self._tier_dir = pathlib.Path(disk_dir) / self.fingerprint
+            self._prepare_disk_tier()
+
+    @classmethod
+    def for_config(cls, config: ScamDetectConfig, capacity: int = 1024,
+                   disk_dir: Optional[PathLike] = None) -> "GraphCache":
+        """Build a cache scoped to ``config``'s graph fingerprint."""
+        return cls(config.graph_fingerprint(), capacity=capacity,
+                   disk_dir=disk_dir)
+
+    # ------------------------------------------------------------------ #
+    # public API
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, code: bytes, platform: str, label: int = 0,
+            sample_id: str = "") -> Optional[ContractGraph]:
+        """Return the cached graph for ``code`` or None on a miss.
+
+        ``label`` and ``sample_id`` are per-request metadata, not part of the
+        content address: the stored arrays are rebound to the caller's values
+        so one cached lowering serves every sample with identical bytecode.
+        """
+        key = bytecode_key(code, platform)
+        with self._lock:
+            graph = self._entries.get(key)
+            if graph is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._rebind(graph, label, sample_id)
+        graph = self._disk_get(key)
+        if graph is not None:
+            with self._lock:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._insert(key, graph)
+                return self._rebind(graph, label, sample_id)
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def put(self, code: bytes, platform: str, graph: ContractGraph) -> None:
+        """Store the lowering of ``code``; evicts LRU entries past capacity."""
+        key = bytecode_key(code, platform)
+        with self._lock:
+            fresh = key not in self._entries
+            self._insert(key, graph)
+        if fresh:
+            self._disk_put(key, graph)
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (disk entries are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    # in-memory tier
+
+    def _insert(self, key: str, graph: ContractGraph) -> None:
+        self._entries[key] = graph
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    @staticmethod
+    def _rebind(graph: ContractGraph, label: int, sample_id: str) -> ContractGraph:
+        return ContractGraph(node_features=graph.node_features,
+                             adjacency=graph.adjacency,
+                             normalized_adjacency=graph.normalized_adjacency,
+                             label=label, sample_id=sample_id,
+                             platform=graph.platform)
+
+    # ------------------------------------------------------------------ #
+    # disk tier
+
+    def _prepare_disk_tier(self) -> None:
+        assert self._tier_dir is not None
+        self._tier_dir.mkdir(parents=True, exist_ok=True)
+        meta_path = self._tier_dir / DISK_META_FILENAME
+        stored = None
+        if meta_path.exists():
+            try:
+                stored = json.loads(meta_path.read_text()).get("fingerprint")
+            except (ValueError, OSError):
+                stored = None
+        # The directory name already scopes entries to one fingerprint; the
+        # sidecar is a tamper check.  Entries without a matching sidecar
+        # (meta deleted, dir renamed, layout from an older version) cannot
+        # be trusted and are purged.
+        if stored != self.fingerprint:
+            for entry in self._tier_dir.glob("*.npz"):
+                entry.unlink()
+                self.stats.stale_purges += 1
+        meta_path.write_text(json.dumps({"fingerprint": self.fingerprint},
+                                        indent=2, sort_keys=True))
+
+    def _entry_path(self, key: str) -> Optional[pathlib.Path]:
+        if self._tier_dir is None:
+            return None
+        return self._tier_dir / f"{key}.npz"
+
+    def _disk_get(self, key: str) -> Optional[ContractGraph]:
+        path = self._entry_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as arrays:
+                return ContractGraph(
+                    node_features=arrays["node_features"],
+                    adjacency=arrays["adjacency"],
+                    normalized_adjacency=arrays["normalized_adjacency"],
+                    label=0, sample_id="",
+                    platform=str(arrays["platform"]))
+        except (OSError, ValueError, KeyError):
+            # A corrupt or truncated entry behaves like a miss and is
+            # rewritten on the next put.
+            return None
+
+    def _disk_put(self, key: str, graph: ContractGraph) -> None:
+        path = self._entry_path(key)
+        if path is None:
+            return
+        tmp_path = path.with_suffix(".tmp.npz")
+        np.savez(tmp_path,
+                 node_features=graph.node_features,
+                 adjacency=graph.adjacency,
+                 normalized_adjacency=graph.normalized_adjacency,
+                 platform=np.asarray(graph.platform))
+        tmp_path.replace(path)
+        self.stats.disk_writes += 1
+
+    def __repr__(self) -> str:
+        tier = f", disk={self._tier_dir}" if self._tier_dir is not None else ""
+        return (f"GraphCache(fingerprint={self.fingerprint!r}, "
+                f"entries={len(self._entries)}/{self.capacity}{tier})")
