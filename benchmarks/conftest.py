@@ -8,6 +8,7 @@ EXPERIMENTS.md can be refreshed from a single run.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -21,6 +22,25 @@ def record_result(result) -> None:
     print("\n" + text)
     with RESULTS_FILE.open("a") as handle:
         handle.write(text + "\n\n")
+
+
+def record_json(name: str, result) -> pathlib.Path:
+    """Persist one experiment result as machine-readable JSON.
+
+    Writes ``benchmarks/BENCH_<NAME>.json`` with the experiment's rows and
+    summary so CI and downstream tooling can consume throughput numbers
+    without scraping ``results.txt``.
+    """
+    path = pathlib.Path(__file__).parent / f"BENCH_{name.upper()}.json"
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "rows": result.rows,
+        "summary": result.summary,
+        "notes": result.notes,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session", autouse=True)

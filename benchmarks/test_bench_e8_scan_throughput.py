@@ -6,7 +6,7 @@ that filled it, and every batch verdict must be bit-identical to the
 single-sample ``ScamDetector.scan`` path.
 """
 
-from benchmarks.conftest import record_result, run_once
+from benchmarks.conftest import record_json, record_result, run_once
 from repro.evaluation import E8Config, run_e8_scan_throughput
 
 
@@ -14,6 +14,7 @@ def test_bench_e8_scan_throughput(benchmark):
     config = E8Config(num_samples=120, epochs=6, seed=0)
     result = run_once(benchmark, run_e8_scan_throughput, config)
     record_result(result)
+    record_json("E8", result)
 
     sequential_row, cold_row, warm_row = result.rows
     assert warm_row["cache_hit_rate"] == 1.0

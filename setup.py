@@ -25,7 +25,10 @@ setup(
     packages=find_packages("src"),
     install_requires=["numpy"],
     extras_require={
-        "test": ["pytest", "pytest-benchmark"],
+        # SciPy accelerates the batched-graph engine's sparse kernels; the
+        # engine falls back to a pure-NumPy path when it is absent
+        "accel": ["scipy"],
+        "test": ["pytest", "pytest-benchmark", "scipy"],
     },
     entry_points={
         "console_scripts": [

@@ -3,7 +3,9 @@
 This is the substitution for PyTorch (see DESIGN.md): a vectorized
 micrograd-style ``Tensor`` with the operations required by the GNN layers
 (matrix products, broadcasting arithmetic, activations, softmax, reductions,
-concatenation), plus loss functions, parameter modules and optimizers.
+concatenation), plus loss functions, parameter modules, optimizers, and the
+batched-graph primitives (sorted-segment reductions, gather/scatter, and a
+block-diagonal CSR sparse matmul) behind the vectorized GNN engine.
 """
 
 from repro.autograd.tensor import Tensor, no_grad
@@ -20,10 +22,27 @@ from repro.autograd.functional import (
 )
 from repro.autograd.module import Module, Parameter, Linear, Sequential
 from repro.autograd.optim import SGD, Adam
+from repro.autograd.segment_ops import (
+    gather_rows,
+    scatter_sum,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+)
+from repro.autograd.sparse import CSRMatrix, sparse_matmul
 
 __all__ = [
     "Tensor",
     "no_grad",
+    "gather_rows",
+    "scatter_sum",
+    "segment_max",
+    "segment_mean",
+    "segment_softmax",
+    "segment_sum",
+    "CSRMatrix",
+    "sparse_matmul",
     "relu",
     "leaky_relu",
     "sigmoid",

@@ -68,6 +68,8 @@ class Adam(Optimizer):
 
     def step(self) -> None:
         self._step += 1
+        correction1 = 1 - self.beta1 ** self._step
+        correction2 = 1 - self.beta2 ** self._step
         for parameter in self.parameters:
             if parameter.grad is None:
                 continue
@@ -80,10 +82,19 @@ class Adam(Optimizer):
             if m is None:
                 m = np.zeros_like(parameter.data)
                 v = np.zeros_like(parameter.data)
-            m = self.beta1 * m + (1 - self.beta1) * gradient
-            v = self.beta2 * v + (1 - self.beta2) * gradient ** 2
-            self._m[key] = m
-            self._v[key] = v
-            m_hat = m / (1 - self.beta1 ** self._step)
-            v_hat = v / (1 - self.beta2 ** self._step)
-            parameter.data -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+                self._m[key] = m
+                self._v[key] = v
+            # in-place moment updates: same arithmetic as
+            # ``m = b1*m + (1-b1)*g`` / ``v = b2*v + (1-b2)*g^2``,
+            # minus the per-step temporaries (this runs once per parameter
+            # per mini-batch, which adds up on small-graph workloads)
+            m *= self.beta1
+            m += (1 - self.beta1) * gradient
+            v *= self.beta2
+            v += (1 - self.beta2) * gradient ** 2
+            update = m / correction1
+            update *= self.learning_rate
+            denominator = np.sqrt(v / correction2)
+            denominator += self.epsilon
+            update /= denominator
+            parameter.data -= update

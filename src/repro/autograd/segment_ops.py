@@ -1,0 +1,169 @@
+"""Segment (per-graph) reduction primitives with reverse-mode gradients.
+
+A mini-batch of graphs is stored as one stacked node matrix plus an int64
+``segment_ids`` array mapping every row to its graph.  These primitives
+reduce or redistribute rows along those segments so that readout pooling,
+GAT's per-neighbourhood softmax and message scatter/gather all run as a
+constant number of NumPy ops per *batch* instead of per graph.
+
+Sorted-segment convention: ``segment_ids`` must be non-decreasing (rows of
+one segment are contiguous), which is how :class:`repro.gnn.data.GraphBatch`
+lays batches out.  ``scatter_sum`` is the unsorted escape hatch.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def _prepare_segments(segment_ids: np.ndarray,
+                      num_segments: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate sorted segment ids; returns (ids, counts, indptr)."""
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    if ids.ndim != 1:
+        raise ValueError("segment_ids must be 1-D")
+    if ids.size:
+        if np.any(np.diff(ids) < 0):
+            raise ValueError("segment_ids must be sorted (non-decreasing)")
+        if ids[0] < 0 or ids[-1] >= num_segments:
+            raise ValueError("segment_ids must lie in [0, num_segments)")
+    counts = np.bincount(ids, minlength=num_segments)
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+    return ids, counts, indptr
+
+
+def _broadcast_counts(counts: np.ndarray, ndim: int) -> np.ndarray:
+    """Reshape per-row counts for broadcasting against an ndim-D operand."""
+    return counts.reshape((-1,) + (1,) * (ndim - 1)).astype(np.float64)
+
+
+def _reduce_sum(values: np.ndarray, counts: np.ndarray,
+                indptr: np.ndarray) -> np.ndarray:
+    """Per-segment sums via ``reduceat``; empty segments become zero rows."""
+    output_shape = (counts.shape[0],) + values.shape[1:]
+    if values.shape[0] == 0:
+        return np.zeros(output_shape)
+    nonempty = counts > 0
+    if np.all(nonempty):
+        return np.add.reduceat(values, indptr[:-1], axis=0)
+    output = np.zeros(output_shape)
+    output[nonempty] = np.add.reduceat(values, indptr[:-1][nonempty], axis=0)
+    return output
+
+
+def _segment_sum_prepared(x: Tensor, ids: np.ndarray, counts: np.ndarray,
+                          indptr: np.ndarray) -> Tensor:
+    """:func:`segment_sum` body for already-validated segment structure."""
+    result = _reduce_sum(x.data, counts, indptr)
+
+    def backward(out: Tensor) -> None:
+        x._accumulate(out.grad[ids])
+
+    return x._make(result, (x,), backward)
+
+
+def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum the rows of ``x`` within each segment -> (num_segments, ...).
+
+    Backward: the gradient of a segment's sum flows unchanged to every row
+    of that segment (a plain gather).
+    """
+    ids, counts, indptr = _prepare_segments(segment_ids, num_segments)
+    return _segment_sum_prepared(x, ids, counts, indptr)
+
+
+def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Average the rows of ``x`` within each segment -> (num_segments, ...).
+
+    Empty segments yield zero rows (and receive no gradient).
+    """
+    ids, counts, indptr = _prepare_segments(segment_ids, num_segments)
+    divisors = _broadcast_counts(np.maximum(counts, 1), x.ndim)
+    result = _reduce_sum(x.data, counts, indptr) / divisors
+
+    def backward(out: Tensor) -> None:
+        x._accumulate(out.grad[ids] / _broadcast_counts(counts[ids], x.ndim))
+
+    return x._make(result, (x,), backward)
+
+
+def segment_max(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Row-wise maximum within each segment -> (num_segments, ...).
+
+    Every segment must be non-empty (a max over nothing is undefined).
+    Backward matches :meth:`Tensor.max`: the gradient is split evenly among
+    the rows that attain the maximum.
+    """
+    ids, counts, indptr = _prepare_segments(segment_ids, num_segments)
+    if np.any(counts == 0):
+        raise ValueError("segment_max requires every segment to be non-empty")
+    result = np.maximum.reduceat(x.data, indptr[:-1], axis=0)
+
+    def backward(out: Tensor) -> None:
+        mask = (x.data == result[ids]).astype(np.float64)
+        ties = _reduce_sum(mask, counts, indptr)
+        x._accumulate(mask / ties[ids] * out.grad[ids])
+
+    return x._make(result, (x,), backward)
+
+
+def segment_softmax(x: Tensor, segment_ids: np.ndarray,
+                    num_segments: int) -> Tensor:
+    """Softmax over the rows of each segment (column-wise), max-shifted.
+
+    This is GAT's neighbourhood softmax in edge form: with one segment per
+    destination node, the attention weights of that node's incoming edges
+    sum to 1.  The per-segment max shift is detached, mirroring
+    :func:`repro.autograd.functional.softmax`.
+    """
+    ids, counts, indptr = _prepare_segments(segment_ids, num_segments)
+    if np.any(counts == 0):
+        raise ValueError("segment_softmax requires every segment to be non-empty")
+    # the shift is detached, so it can bypass autograd (and the repeated
+    # segment validation) entirely -- this runs per layer on GAT's hot path
+    shift = np.maximum.reduceat(x.data, indptr[:-1], axis=0)
+    exponentials = (x - Tensor(shift[ids])).exp()
+    normalizers = _segment_sum_prepared(exponentials, ids, counts, indptr)
+    return exponentials / gather_rows(normalizers, ids)
+
+
+def gather_rows(x: Tensor, row_indices: np.ndarray) -> Tensor:
+    """Select ``x[row_indices]`` with a scatter-add backward.
+
+    Duplicate indices are allowed (and are the point: expanding per-segment
+    values back to per-row/per-edge shape).
+    """
+    indices = np.asarray(row_indices, dtype=np.int64)
+    result = x.data[indices]
+
+    def backward(out: Tensor) -> None:
+        gradient = np.zeros_like(x.data)
+        np.add.at(gradient, indices, out.grad)
+        x._accumulate(gradient)
+
+    return x._make(result, (x,), backward)
+
+
+def scatter_sum(x: Tensor, row_indices: np.ndarray, num_rows: int) -> Tensor:
+    """Sum rows of ``x`` into ``num_rows`` output rows by ``row_indices``.
+
+    The unsorted counterpart of :func:`segment_sum` (forward uses
+    ``np.add.at``); prefer ``segment_sum`` when indices are sorted, its
+    ``reduceat`` forward is considerably faster.
+    """
+    indices = np.asarray(row_indices, dtype=np.int64)
+    if indices.ndim != 1:
+        raise ValueError("row_indices must be 1-D")
+    if indices.size and (indices.min() < 0 or indices.max() >= num_rows):
+        raise ValueError("row_indices must lie in [0, num_rows)")
+    result = np.zeros((num_rows,) + x.data.shape[1:])
+    np.add.at(result, indices, x.data)
+
+    def backward(out: Tensor) -> None:
+        x._accumulate(out.grad[indices])
+
+    return x._make(result, (x,), backward)

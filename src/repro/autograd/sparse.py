@@ -1,0 +1,194 @@
+"""Block-diagonal sparse (CSR) matrices and their autograd matmul.
+
+Mini-batched GNN execution stacks every graph of a batch into one node-feature
+matrix and propagates it through a single *block-diagonal* adjacency operator
+instead of one dense matmul per graph.  Contract CFG adjacencies are sparse
+(a handful of successors per basic block), so the operator is stored in CSR
+form (``data``/``indices``/``indptr``) and applied with a vectorized
+``reduceat`` -- no scipy required, and no O(total_nodes^2) dense block
+matrix is ever materialized.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # SciPy is an optional accelerator, never a hard dependency
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised via the _numpy fallback tests
+    _scipy_sparse = None
+
+from repro.autograd.tensor import Tensor
+
+
+class CSRMatrix:
+    """An immutable CSR sparse matrix over float64.
+
+    Attributes:
+        data: Non-zero values, row-major (length nnz).
+        indices: Column index of each value (length nnz).
+        indptr: Row pointer array (length num_rows + 1); row ``i`` owns the
+            slice ``data[indptr[i]:indptr[i + 1]]``.
+        shape: (num_rows, num_cols).
+
+    The transpose is computed once on first use and cached, because the
+    autograd backward of ``A @ X`` needs ``A.T`` on every backprop step.
+    """
+
+    __slots__ = ("data", "indices", "indptr", "shape", "symmetric",
+                 "_transpose", "_scipy")
+
+    def __init__(self, data: np.ndarray, indices: np.ndarray,
+                 indptr: np.ndarray, shape: Tuple[int, int],
+                 symmetric: bool = False) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if self.indptr.shape[0] != self.shape[0] + 1:
+            raise ValueError("indptr length must be num_rows + 1")
+        if self.data.shape != self.indices.shape:
+            raise ValueError("data and indices must have the same length")
+        self.symmetric = bool(symmetric)
+        self._transpose: Optional["CSRMatrix"] = None
+        self._scipy = None
+
+    # ------------------------------------------------------------------ #
+    # constructors
+
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray) -> "CSRMatrix":
+        """CSR view of a dense 2-D array (zeros dropped)."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError("from_dense expects a 2-D matrix")
+        rows, cols = np.nonzero(matrix)
+        counts = np.bincount(rows, minlength=matrix.shape[0])
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        symmetric = (matrix.shape[0] == matrix.shape[1]
+                     and np.array_equal(matrix, matrix.T))
+        return cls(matrix[rows, cols], cols, indptr, matrix.shape,
+                   symmetric=symmetric)
+
+    @classmethod
+    def block_diagonal(cls, blocks: Sequence["CSRMatrix"]) -> "CSRMatrix":
+        """Stack square CSR blocks into one block-diagonal CSR matrix.
+
+        Used to pack the per-graph adjacency operators of a mini-batch into a
+        single operator over the stacked node dimension; concatenation-only,
+        so batching N cached per-graph matrices costs O(total nnz).
+        """
+        if not blocks:
+            raise ValueError("block_diagonal requires at least one block")
+        if any(block.shape[0] != block.shape[1] for block in blocks):
+            raise ValueError("block_diagonal blocks must be square")
+        block_rows = np.array([block.shape[0] for block in blocks], dtype=np.int64)
+        block_nnz = np.array([block.data.shape[0] for block in blocks],
+                             dtype=np.int64)
+        # per-entry offsets applied in bulk (one repeat + one in-place add
+        # each) instead of one temporary array per block
+        row_offsets = np.concatenate(([0], np.cumsum(block_rows)[:-1]))
+        nnz_offsets = np.concatenate(([0], np.cumsum(block_nnz)[:-1]))
+        indices = np.concatenate([block.indices for block in blocks])
+        indices += np.repeat(row_offsets, block_nnz)
+        indptr = np.concatenate(
+            [np.zeros(1, dtype=np.int64)]
+            + [block.indptr[1:] for block in blocks])
+        indptr[1:] += np.repeat(nnz_offsets, block_rows)
+        total_rows = int(block_rows.sum())
+        return cls(np.concatenate([block.data for block in blocks]), indices,
+                   indptr, (total_rows, total_rows),
+                   symmetric=all(block.symmetric for block in blocks))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.shape[0])
+
+    def row_ids(self) -> np.ndarray:
+        """The row index of every stored value (COO row array, length nnz)."""
+        return np.repeat(np.arange(self.shape[0], dtype=np.int64),
+                         np.diff(self.indptr))
+
+    def transpose(self) -> "CSRMatrix":
+        """The CSR transpose (``self`` for symmetric matrices, else cached).
+
+        Backward passes apply ``A.T`` once per batch, so adjacency-style
+        operators (symmetric by construction) skip the transpose sort
+        entirely.
+        """
+        if self.symmetric:
+            return self
+        if self._transpose is None:
+            rows = self.row_ids()
+            order = np.lexsort((rows, self.indices))
+            counts = np.bincount(self.indices, minlength=self.shape[1])
+            indptr = np.concatenate(([0], np.cumsum(counts)))
+            transposed = CSRMatrix(self.data[order], rows[order], indptr,
+                                   (self.shape[1], self.shape[0]))
+            transposed._transpose = self
+            self._transpose = transposed
+        return self._transpose
+
+    def matmul_dense(self, dense: np.ndarray) -> np.ndarray:
+        """``self @ dense`` for a dense (num_cols, width) operand.
+
+        Runs through SciPy's C sparse kernels when SciPy is installed
+        (optional accelerator, ~20x faster at contract-CFG sizes) and
+        otherwise through the pure-NumPy ``reduceat`` path
+        (:meth:`_matmul_dense_numpy`).  Both are row-sequential sums, so
+        results are deterministic per row regardless of what else shares
+        the batch.
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.shape[0] != self.shape[1]:
+            raise ValueError(f"dimension mismatch: {self.shape} @ {dense.shape}")
+        if _scipy_sparse is not None:
+            if self._scipy is None:
+                self._scipy = _scipy_sparse.csr_matrix(
+                    (self.data, self.indices, self.indptr), shape=self.shape)
+            return np.asarray(self._scipy @ dense)
+        return self._matmul_dense_numpy(dense)
+
+    def _matmul_dense_numpy(self, dense: np.ndarray) -> np.ndarray:
+        """SciPy-free fallback: one gather + one masked ``reduceat`` sum.
+
+        The empty-row handling lives in
+        :func:`repro.autograd.segment_ops._reduce_sum` (shared with the
+        segment reductions): ``reduceat`` alone would repeat a neighbouring
+        value on empty rows.
+        """
+        from repro.autograd.segment_ops import _reduce_sum
+
+        if self.nnz == 0:
+            return np.zeros((self.shape[0],) + dense.shape[1:])
+        contributions = (self.data[:, None] * dense[self.indices]
+                         if dense.ndim == 2 else self.data * dense[self.indices])
+        return _reduce_sum(contributions, np.diff(self.indptr), self.indptr)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense copy (tests / debugging only)."""
+        dense = np.zeros(self.shape)
+        dense[self.row_ids(), self.indices] = self.data
+        return dense
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+def sparse_matmul(matrix: CSRMatrix, x: Tensor) -> Tensor:
+    """Autograd product ``matrix @ x`` of a constant CSR matrix and a Tensor.
+
+    The matrix holds graph structure (adjacency, normalization weights) and
+    is treated as a constant: gradients flow to ``x`` only, via the cached
+    transpose (``dX = A.T @ dOut``).
+    """
+    result = matrix.matmul_dense(x.data)
+
+    def backward(out: Tensor) -> None:
+        x._accumulate(matrix.transpose().matmul_dense(out.grad))
+
+    return x._make(result, (x,), backward)

@@ -101,7 +101,12 @@ class Tensor:
     def _make(self, data: np.ndarray, parents: Tuple["Tensor", ...],
               backward: Callable[["Tensor"], None]) -> "Tensor":
         """Create a result tensor wired into the graph (if grad is enabled)."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = False
+        if _GRAD_ENABLED:
+            for parent in parents:
+                if parent.requires_grad:
+                    requires = True
+                    break
         output = Tensor(data, requires_grad=requires)
         if requires:
             output._parents = parents
@@ -219,7 +224,7 @@ class Tensor:
 
     def clip_min(self, minimum: float) -> "Tensor":
         """Elementwise max(x, minimum); gradient flows only where x > minimum."""
-        mask = (self.data > minimum).astype(np.float64)
+        mask = self.data > minimum  # bool; promotes to float64 on multiply
 
         def backward(out: "Tensor") -> None:
             self._accumulate(out.grad * mask)
@@ -228,7 +233,7 @@ class Tensor:
 
     def maximum(self, other: ArrayLike) -> "Tensor":
         other = self._wrap(other)
-        mask = (self.data >= other.data).astype(np.float64)
+        mask = (self.data >= other.data).astype(np.float64)  # float: used in 1.0 - mask
 
         def backward(out: "Tensor") -> None:
             self._accumulate(out.grad * mask)

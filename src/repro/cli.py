@@ -122,6 +122,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         run_e6_dedup_ablation,
         run_e7_gnn_ablation,
         run_e8_scan_throughput,
+        run_e9_gnn_throughput,
     )
 
     runners = {
@@ -133,6 +134,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         "E6": run_e6_dedup_ablation,
         "E7": run_e7_gnn_ablation,
         "E8": run_e8_scan_throughput,
+        "E9": run_e9_gnn_throughput,
     }
     result = runners[args.id.upper()]()
     print(result.format())
@@ -199,9 +201,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.set_defaults(handler=_command_scan_batch)
 
     experiment_parser = subparsers.add_parser("experiment",
-                                              help="run one E1-E8 experiment")
+                                              help="run one E1-E9 experiment")
     experiment_parser.add_argument("--id", required=True,
-                                   choices=[f"E{i}" for i in range(1, 9)])
+                                   choices=[f"E{i}" for i in range(1, 10)])
     experiment_parser.set_defaults(handler=_command_experiment)
     return parser
 

@@ -110,10 +110,16 @@ class ScamDetector:
         """Compose the :class:`VerdictReport` for one scored contract.
 
         Single-contract :meth:`scan` and the batch scanner both call this,
-        which is what guarantees their verdicts are bit-identical: the
-        threshold rule, indicator notes and CFG statistics all come from the
-        same code path.
+        which is what guarantees their verdicts are identical: the threshold
+        rule, indicator notes and CFG statistics all come from the same code
+        path.  The probability is quantized to 9 decimals before anything
+        else happens so that verdicts are *batch-invariant*: BLAS reduction
+        order differs between a lone forward pass and the same graph inside
+        a stacked mini-batch (~1e-13 score noise), and quantizing far above
+        that noise floor -- but far below any decision-relevant precision --
+        keeps the published report independent of batch composition.
         """
+        probability = round(float(probability), 9)
         label = 1 if probability >= self.threshold else 0
         notes: List[str] = []
         if self.explain:

@@ -1,4 +1,4 @@
-"""Evaluation harness: cross-validation, the E1-E8 experiments and reporting.
+"""Evaluation harness: cross-validation, the E1-E9 experiments and reporting.
 
 Each experiment function reproduces one claim of the paper (see DESIGN.md's
 experiment index) and returns an :class:`~repro.evaluation.reporting.ExperimentResult`
@@ -22,6 +22,7 @@ from repro.evaluation.experiments import (
     E6Config,
     E7Config,
     E8Config,
+    E9Config,
     run_e1_phishinghook_zoo,
     run_e2_obfuscation_degradation,
     run_e3_gnn_vs_baseline,
@@ -30,6 +31,7 @@ from repro.evaluation.experiments import (
     run_e6_dedup_ablation,
     run_e7_gnn_ablation,
     run_e8_scan_throughput,
+    run_e9_gnn_throughput,
 )
 
 __all__ = [
@@ -45,6 +47,7 @@ __all__ = [
     "E6Config",
     "E7Config",
     "E8Config",
+    "E9Config",
     "run_e1_phishinghook_zoo",
     "run_e2_obfuscation_degradation",
     "run_e3_gnn_vs_baseline",
@@ -53,4 +56,5 @@ __all__ = [
     "run_e6_dedup_ablation",
     "run_e7_gnn_ablation",
     "run_e8_scan_throughput",
+    "run_e9_gnn_throughput",
 ]

@@ -1,4 +1,4 @@
-"""The E1-E7 experiment drivers (see DESIGN.md's experiment index).
+"""The E1-E9 experiment drivers (see DESIGN.md's experiment index).
 
 Each ``run_*`` function generates its workload, trains the relevant models
 and returns an :class:`~repro.evaluation.reporting.ExperimentResult`.  Default
@@ -24,7 +24,7 @@ from repro.evaluation.reporting import ExperimentResult
 from repro.features.ngrams import NgramExtractor
 from repro.features.opcode_histogram import OpcodeHistogramExtractor
 from repro.gnn.model import GNN_ARCHITECTURES
-from repro.ml.metrics import accuracy_score, classification_summary, f1_score
+from repro.ml.metrics import accuracy_score, classification_summary
 from repro.ml.random_forest import RandomForestClassifier
 from repro.obfuscation.evm_passes import (
     ConstantBlinding,
@@ -91,6 +91,21 @@ def _ngram_rf_baseline(train: Corpus, seed: int = 0):
 def _baseline_accuracy(extractor, classifier, corpus: Corpus) -> float:
     features = extractor.transform(corpus)
     return accuracy_score(np.asarray(corpus.labels()), classifier.predict(features))
+
+
+def _baseline_metrics(extractor, classifier, corpus: Corpus) -> Dict[str, float]:
+    """Full metric set (accuracy/precision/recall/F1/ROC-AUC) of a baseline.
+
+    Baselines are scored with the same :func:`classification_summary` as the
+    GNN pipelines so comparison tables never mix real numbers with NaN
+    placeholders.
+    """
+    features = extractor.transform(corpus)
+    labels = np.asarray(corpus.labels())
+    probabilities = classifier.predict_proba(features)
+    predictions = classifier.classes_[np.argmax(probabilities, axis=1)]
+    return classification_summary(labels, predictions,
+                                  scores=probabilities[:, 1])
 
 
 def _fit_gnn(train: Corpus, architecture: str, epochs: int, seed: int,
@@ -387,26 +402,22 @@ def run_e5_cross_platform(config: Optional[E5Config] = None) -> ExperimentResult
         gnn_metrics = pipeline.evaluate(test)
 
         histogram = _histogram_rf_baseline(train, seed=config.seed)
-        baseline_accuracy = _baseline_accuracy(*histogram, test)
-
-        labels = np.asarray(test.labels())
-        probabilities = pipeline.predict_proba(test)
-        gnn_f1 = f1_score(labels, np.argmax(probabilities, axis=1))
+        baseline_metrics = _baseline_metrics(*histogram, test)
 
         per_platform_accuracy[platform] = gnn_metrics["accuracy"]
         result.rows.append({
             "platform": platform,
             "model": f"scamdetect-{config.architecture}",
             "accuracy": gnn_metrics["accuracy"],
-            "f1": gnn_f1,
+            "f1": gnn_metrics["f1"],
             "roc_auc": gnn_metrics["roc_auc"],
         })
         result.rows.append({
             "platform": platform,
             "model": "histogram+random-forest",
-            "accuracy": baseline_accuracy,
-            "f1": float("nan"),
-            "roc_auc": float("nan"),
+            "accuracy": baseline_metrics["accuracy"],
+            "f1": baseline_metrics["f1"],
+            "roc_auc": baseline_metrics["roc_auc"],
         })
 
     result.summary = {
@@ -624,4 +635,136 @@ def run_e8_scan_throughput(config: Optional[E8Config] = None) -> ExperimentResul
     result.notes.append(
         "warm batch verdicts are compared field-by-field against sequential "
         "ScamDetector.scan verdicts; mismatches must be zero")
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# E9: vectorized batched-graph engine throughput
+
+
+@dataclass
+class E9Config:
+    """Workload of the E9 batched-engine throughput experiment.
+
+    One model per engine is trained on the E5-style EVM corpus (identical
+    seeds, so both engines perform the same optimizer trajectory), then the
+    batched-engine model scores the full EVM + WASM corpora with both
+    inference paths.  ``epochs``/``batch_size`` mirror the trainer defaults
+    the service and experiments actually use.
+    """
+
+    num_samples_per_platform: int = 200
+    label_noise: float = 0.03
+    test_fraction: float = 0.3
+    architecture: str = "gcn"
+    epochs: int = 6
+    batch_size: int = 16
+    hidden_features: int = 32
+    num_layers: int = 2
+    train_repeats: int = 2
+    inference_repeats: int = 3
+    seed: int = 0
+
+
+def run_e9_gnn_throughput(config: Optional[E9Config] = None) -> ExperimentResult:
+    """E9: per-graph vs batched GNN training and inference throughput.
+
+    Measures the vectorized batched-graph engine against the per-graph
+    oracle it replaced: training epochs/second over mini-batches of
+    ``batch_size`` graphs, inference graphs/second over the E5 corpora, and
+    prediction parity (argmax mismatches between the two inference paths,
+    which must be zero).
+    """
+    import time
+
+    from repro.gnn.data import corpus_to_graphs
+    from repro.gnn.model import GraphClassifier
+    from repro.gnn.training import GNNTrainer
+
+    config = config or E9Config()
+
+    graphs_by_platform = {}
+    for platform in ("evm", "wasm"):
+        corpus = CorpusGenerator(GeneratorConfig(
+            platform=platform, num_samples=config.num_samples_per_platform,
+            label_noise=config.label_noise, seed=config.seed)).generate(
+                f"e5-{platform}")
+        graphs_by_platform[platform] = corpus_to_graphs(corpus)
+    train_graphs = graphs_by_platform["evm"][
+        :int(config.num_samples_per_platform * (1.0 - config.test_fraction))]
+    all_graphs = graphs_by_platform["evm"] + graphs_by_platform["wasm"]
+    feature_dim = all_graphs[0].feature_dim
+
+    def make_trainer(vectorized: bool, epochs: int) -> GNNTrainer:
+        model = GraphClassifier(architecture=config.architecture,
+                                in_features=feature_dim,
+                                hidden_features=config.hidden_features,
+                                num_layers=config.num_layers,
+                                seed=config.seed)
+        return GNNTrainer(model, epochs=epochs,
+                          batch_size=config.batch_size, seed=config.seed,
+                          vectorized=vectorized)
+
+    # warm-up: one throwaway epoch per engine populates the lazy per-graph
+    # operator caches (CSR forms, aggregators) and the BLAS/scipy kernels,
+    # so the timed runs below measure steady-state engine throughput
+    for vectorized in (False, True):
+        make_trainer(vectorized, epochs=1).fit(train_graphs)
+
+    # -- training: identical workload, per-graph loop vs batched engine ---- #
+    # best-of-repeats on fresh trainers isolates engine throughput from
+    # scheduler noise; both engines run the same trajectory every repeat
+    timings: Dict[str, float] = {}
+    trainers: Dict[str, GNNTrainer] = {}
+    for mode, vectorized in (("per-graph", False), ("batched", True)):
+        best = float("inf")
+        for _ in range(max(1, config.train_repeats)):
+            trainer = make_trainer(vectorized, epochs=config.epochs)
+            started = time.perf_counter()
+            trainer.fit(train_graphs)
+            best = min(best, time.perf_counter() - started)
+        timings[mode] = best
+        trainers[mode] = trainer
+
+    # -- inference: the batched-engine model scored through both paths ----- #
+    scorer = trainers["batched"]
+    inference: Dict[str, float] = {}
+    probabilities: Dict[str, np.ndarray] = {}
+    for mode, vectorized in (("per-graph", False), ("batched", True)):
+        scorer.vectorized = vectorized
+        best = float("inf")
+        for _ in range(max(1, config.inference_repeats)):
+            started = time.perf_counter()
+            probabilities[mode] = scorer.predict_proba(all_graphs)
+            best = min(best, time.perf_counter() - started)
+        inference[mode] = best
+    scorer.vectorized = True
+    mismatches = int(np.sum(np.argmax(probabilities["batched"], axis=1)
+                            != np.argmax(probabilities["per-graph"], axis=1)))
+
+    result = ExperimentResult(
+        experiment_id="E9",
+        title=f"Batched-graph engine throughput vs per-graph oracle "
+              f"({config.architecture}, batch_size={config.batch_size})")
+    for mode in ("per-graph", "batched"):
+        result.rows.append({
+            "mode": mode,
+            "train_seconds": timings[mode],
+            "train_epochs_per_second": config.epochs / timings[mode],
+            "infer_seconds": inference[mode],
+            "infer_graphs_per_second": len(all_graphs) / inference[mode],
+        })
+    result.summary = {
+        "train_speedup": timings["per-graph"] / timings["batched"],
+        "inference_speedup": inference["per-graph"] / inference["batched"],
+        "train_graphs": float(len(train_graphs)),
+        "inference_graphs": float(len(all_graphs)),
+        "prediction_mismatches": float(mismatches),
+        "max_probability_delta": float(np.abs(probabilities["batched"]
+                                              - probabilities["per-graph"]).max()),
+    }
+    result.notes.append(
+        "identical seeds/shuffling/dropout streams: both engines walk the "
+        "same optimizer trajectory, so the speedup is pure execution "
+        "efficiency, not a different training run")
     return result

@@ -7,14 +7,16 @@ a trainer.  Graphs are dense per-contract CFGs produced by
 :func:`repro.gnn.data.corpus_to_graphs`.
 """
 
-from repro.gnn.data import ContractGraph, corpus_to_graphs, sample_to_graph
+from repro.gnn.data import ContractGraph, GraphBatch, corpus_to_graphs, sample_to_graph
 from repro.gnn.layers import GCNConv, GATConv, GINConv, TAGConv, SAGEConv, make_conv
-from repro.gnn.pooling import readout
+from repro.gnn.pooling import readout, readout_batch
 from repro.gnn.model import GraphClassifier, GNN_ARCHITECTURES
 from repro.gnn.training import GNNTrainer, TrainingHistory
 
 __all__ = [
     "ContractGraph",
+    "GraphBatch",
+    "readout_batch",
     "corpus_to_graphs",
     "sample_to_graph",
     "GCNConv",

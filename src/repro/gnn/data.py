@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.autograd.sparse import CSRMatrix
 from repro.datasets.corpus import ContractSample, Corpus
 from repro.features.cfg_features import sample_to_cfg
 from repro.ir.cfg import ControlFlowGraph
@@ -21,6 +22,11 @@ from repro.ir.features import (
 @dataclass
 class ContractGraph:
     """A contract CFG prepared for GNN consumption.
+
+    Treated as immutable once lowered: the derived operators below (mean
+    aggregator, attention mask, sparse forms) are computed lazily from the
+    adjacency matrices and cached on the instance, so every epoch and every
+    batch that touches the graph reuses them instead of recomputing.
 
     Attributes:
         node_features: (num_nodes, feature_dim) node feature matrix.
@@ -37,6 +43,12 @@ class ContractGraph:
     label: int
     sample_id: str = ""
     platform: str = "evm"
+    _mean_aggregator: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False)
+    _attention_mask: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False)
+    _sparse_operators: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False)
 
     @property
     def num_nodes(self) -> int:
@@ -45,6 +57,150 @@ class ContractGraph:
     @property
     def feature_dim(self) -> int:
         return self.node_features.shape[1]
+
+    # ------------------------------------------------------------------ #
+    # cached derived operators (computed once per graph, reused every call)
+
+    @property
+    def mean_aggregator(self) -> np.ndarray:
+        """Row-normalized neighbour averaging matrix used by GraphSAGE.
+
+        Self loops are excluded (SAGE aggregates *neighbours*, the node's own
+        features go through the separate self-weight matrix); rows of
+        isolated nodes stay zero.
+        """
+        if self._mean_aggregator is None:
+            aggregator = self.adjacency.copy()
+            np.fill_diagonal(aggregator, 0.0)
+            degrees = aggregator.sum(axis=1, keepdims=True)
+            degrees[degrees == 0] = 1.0
+            self._mean_aggregator = aggregator / degrees
+        return self._mean_aggregator
+
+    @property
+    def attention_mask(self) -> np.ndarray:
+        """Additive GAT mask: 0 on edges (incl. self loops), -1e9 elsewhere."""
+        if self._attention_mask is None:
+            self._attention_mask = np.where(self.adjacency > 0, 0.0, -1e9)
+        return self._attention_mask
+
+    def sparse_operator(self, kind: str) -> CSRMatrix:
+        """CSR form of one of the graph's propagation operators.
+
+        ``kind`` is ``"adjacency"``, ``"normalized"`` or ``"mean"``; the CSR
+        matrices feed :meth:`GraphBatch` block-diagonal batching and are
+        cached per graph so repeated batching is concatenation-only.
+        """
+        cached = self._sparse_operators.get(kind)
+        if cached is None:
+            if kind == "adjacency":
+                dense = self.adjacency
+            elif kind == "normalized":
+                dense = self.normalized_adjacency
+            elif kind == "mean":
+                dense = self.mean_aggregator
+            else:
+                raise ValueError(f"unknown sparse operator kind {kind!r}")
+            cached = CSRMatrix.from_dense(dense)
+            self._sparse_operators[kind] = cached
+        return cached
+
+
+class GraphBatch:
+    """N contract graphs packed into one block-diagonal mini-batch.
+
+    Node features are stacked row-wise into a single matrix; each adjacency
+    operator becomes a block-diagonal :class:`CSRMatrix` over the stacked
+    node dimension; ``segment_ids`` maps every stacked row back to its
+    graph.  One forward/backward pass over a :class:`GraphBatch` is
+    numerically equivalent to per-graph passes over its members, but costs a
+    constant number of NumPy ops instead of a constant number *per graph*.
+
+    Attributes:
+        graphs: The member :class:`ContractGraph` objects, in batch order.
+        node_features: (total_nodes, feature_dim) stacked features.
+        segment_ids: (total_nodes,) graph index of every stacked node
+            (non-decreasing, as the segment ops require).
+        node_counts: (num_graphs,) nodes per member graph.
+        labels: (num_graphs,) member labels.
+    """
+
+    def __init__(self, graphs: Sequence[ContractGraph]) -> None:
+        self.graphs: List[ContractGraph] = list(graphs)
+        if not self.graphs:
+            raise ValueError("GraphBatch requires at least one graph")
+        features = [graph.node_features for graph in self.graphs]
+        width = features[0].shape[1]
+        if any(block.shape[1] != width for block in features):
+            raise ValueError("inconsistent node feature widths across the batch")
+        self.node_counts = np.array([block.shape[0] for block in features],
+                                    dtype=np.int64)
+        self.node_features = np.concatenate(features, axis=0)
+        self.segment_ids = np.repeat(
+            np.arange(len(self.graphs), dtype=np.int64), self.node_counts)
+        self.labels = np.array([graph.label for graph in self.graphs],
+                               dtype=np.int64)
+        self._operators: dict = {}
+        self._attention_edges: Optional[tuple] = None
+
+    @classmethod
+    def from_graphs(cls, graphs: Sequence[ContractGraph]) -> "GraphBatch":
+        return cls(graphs)
+
+    @property
+    def num_graphs(self) -> int:
+        return len(self.graphs)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.node_features.shape[0])
+
+    @property
+    def feature_dim(self) -> int:
+        return int(self.node_features.shape[1])
+
+    def operator(self, kind: str) -> CSRMatrix:
+        """Block-diagonal CSR operator over the stacked node dimension.
+
+        ``kind`` as in :meth:`ContractGraph.sparse_operator`.  Built from the
+        members' cached per-graph CSR parts and cached on the batch, so a
+        batch reused across epochs pays the concatenation once.
+        """
+        cached = self._operators.get(kind)
+        if cached is None:
+            cached = CSRMatrix.block_diagonal(
+                [graph.sparse_operator(kind) for graph in self.graphs])
+            self._operators[kind] = cached
+        return cached
+
+    @property
+    def adjacency_op(self) -> CSRMatrix:
+        """Block-diagonal raw adjacency (with self loops); used by GIN."""
+        return self.operator("adjacency")
+
+    @property
+    def normalized_adjacency_op(self) -> CSRMatrix:
+        """Block-diagonal GCN-normalized adjacency; used by GCN and TAG."""
+        return self.operator("normalized")
+
+    @property
+    def mean_aggregator_op(self) -> CSRMatrix:
+        """Block-diagonal neighbour-mean operator; used by GraphSAGE."""
+        return self.operator("mean")
+
+    @property
+    def attention_edges(self):
+        """(rows, cols) of every edge (incl. self loops), sorted by row.
+
+        Global stacked-node indices; because the adjacency is block-diagonal
+        the row array doubles as sorted segment ids for GAT's per-
+        neighbourhood softmax, and self loops guarantee every row segment is
+        non-empty.
+        """
+        if self._attention_edges is None:
+            operator = self.adjacency_op
+            self._attention_edges = (operator.row_ids(), operator.indices)
+        return self._attention_edges
 
 
 def cfg_to_graph(cfg: ControlFlowGraph, label: int, sample_id: str = "",

@@ -1,10 +1,19 @@
 """Graph convolution layers: GCN, GAT, GIN, TAG and GraphSAGE.
 
-Each layer's ``forward`` takes the node feature :class:`Tensor` of one graph
-together with the (NumPy) adjacency matrices prepared by
-:mod:`repro.gnn.data` and returns the transformed node features.  Layers are
-deliberately dense -- contract CFGs have tens to a few hundred basic blocks,
-where dense matmuls beat sparse bookkeeping in pure NumPy.
+Each layer has two forward paths over the node feature :class:`Tensor`:
+
+* ``forward(x, graph)`` -- the dense per-graph path over one
+  :class:`~repro.gnn.data.ContractGraph` (tens to a few hundred basic
+  blocks, where dense matmuls are simple and fast).  This is the parity
+  oracle for the batched engine.
+* ``forward_batch(x, batch)`` -- the vectorized path over a whole
+  :class:`~repro.gnn.data.GraphBatch`: propagation runs through the batch's
+  block-diagonal CSR operators and GAT's neighbourhood softmax through the
+  sorted-segment primitives, so one call covers every graph of the batch.
+
+Derived per-graph constants (GraphSAGE's mean aggregator, GAT's additive
+attention mask, CSR forms) are cached on the graph/batch objects -- see
+:mod:`repro.gnn.data` -- instead of being rebuilt on every call.
 """
 
 from __future__ import annotations
@@ -15,14 +24,19 @@ import numpy as np
 
 from repro.autograd.functional import leaky_relu, relu, softmax
 from repro.autograd.module import Linear, Module, Parameter, glorot
+from repro.autograd.segment_ops import gather_rows, segment_softmax, segment_sum
+from repro.autograd.sparse import sparse_matmul
 from repro.autograd.tensor import Tensor
-from repro.gnn.data import ContractGraph
+from repro.gnn.data import ContractGraph, GraphBatch
 
 
 class GraphConvLayer(Module):
-    """Base class: subclasses implement forward(x, graph) -> Tensor."""
+    """Base class: subclasses implement both forward paths."""
 
     def forward(self, x: Tensor, graph: ContractGraph) -> Tensor:  # pragma: no cover
+        raise NotImplementedError
+
+    def forward_batch(self, x: Tensor, batch: GraphBatch) -> Tensor:  # pragma: no cover
         raise NotImplementedError
 
 
@@ -41,13 +55,20 @@ class GCNConv(GraphConvLayer):
         propagated = Tensor(graph.normalized_adjacency) @ x
         return self.linear(propagated)
 
+    def forward_batch(self, x: Tensor, batch: GraphBatch) -> Tensor:
+        propagated = sparse_matmul(batch.normalized_adjacency_op, x)
+        return self.linear(propagated)
+
 
 class GATConv(GraphConvLayer):
     """Graph attention layer (Velickovic et al., 2018), single head.
 
     Attention logits ``e_ij = LeakyReLU(a_src . Wh_i + a_dst . Wh_j)`` are
     masked to existing edges (plus self loops) and normalized with a softmax
-    over each node's neighbourhood.
+    over each node's neighbourhood.  The batched path never materializes the
+    dense logit matrix: logits live on the block-diagonal edge list and the
+    neighbourhood softmax is a per-row segment softmax, which masks
+    attention per block by construction.
     """
 
     def __init__(self, in_features: int, out_features: int,
@@ -66,11 +87,23 @@ class GATConv(GraphConvLayer):
         source_scores = transformed @ self.attention_src      # (N, 1)
         destination_scores = transformed @ self.attention_dst  # (N, 1)
         logits = leaky_relu(source_scores + destination_scores.T, self.negative_slope)
-        mask = graph.adjacency > 0
         # forbid attention to non-neighbours by pushing their logits to -inf
-        masked_logits = logits + Tensor(np.where(mask, 0.0, -1e9))
+        masked_logits = logits + Tensor(graph.attention_mask)
         attention = softmax(masked_logits, axis=1)
         output = attention @ transformed
+        return output + self.bias
+
+    def forward_batch(self, x: Tensor, batch: GraphBatch) -> Tensor:
+        transformed = self.linear(x)                           # (N_total, F')
+        source_scores = transformed @ self.attention_src       # (N_total, 1)
+        destination_scores = transformed @ self.attention_dst  # (N_total, 1)
+        rows, cols = batch.attention_edges
+        edge_logits = leaky_relu(
+            gather_rows(source_scores, rows) + gather_rows(destination_scores, cols),
+            self.negative_slope)                               # (E, 1)
+        attention = segment_softmax(edge_logits, rows, batch.num_nodes)
+        messages = attention * gather_rows(transformed, cols)
+        output = segment_sum(messages, rows, batch.num_nodes)
         return output + self.bias
 
 
@@ -91,6 +124,13 @@ class GINConv(GraphConvLayer):
 
     def forward(self, x: Tensor, graph: ContractGraph) -> Tensor:
         neighbour_sum = Tensor(graph.adjacency) @ x
+        return self._combine(x, neighbour_sum)
+
+    def forward_batch(self, x: Tensor, batch: GraphBatch) -> Tensor:
+        neighbour_sum = sparse_matmul(batch.adjacency_op, x)
+        return self._combine(x, neighbour_sum)
+
+    def _combine(self, x: Tensor, neighbour_sum: Tensor) -> Tensor:
         combined = x * (self.epsilon + 1.0) + neighbour_sum
         return self.mlp_output(relu(self.mlp_hidden(combined)))
 
@@ -120,6 +160,16 @@ class TAGConv(GraphConvLayer):
         stacked = Tensor.concatenate(propagated, axis=1)
         return self.linear(stacked)
 
+    def forward_batch(self, x: Tensor, batch: GraphBatch) -> Tensor:
+        operator = batch.normalized_adjacency_op
+        propagated = [x]
+        current = x
+        for _ in range(self.hops):
+            current = sparse_matmul(operator, current)
+            propagated.append(current)
+        stacked = Tensor.concatenate(propagated, axis=1)
+        return self.linear(stacked)
+
 
 class SAGEConv(GraphConvLayer):
     """GraphSAGE layer with mean aggregation (Hamilton et al., 2017).
@@ -135,12 +185,11 @@ class SAGEConv(GraphConvLayer):
         self.linear_neighbour = Linear(in_features, out_features, bias=False, rng=rng)
 
     def forward(self, x: Tensor, graph: ContractGraph) -> Tensor:
-        adjacency = graph.adjacency.copy()
-        np.fill_diagonal(adjacency, 0.0)
-        degrees = adjacency.sum(axis=1, keepdims=True)
-        degrees[degrees == 0] = 1.0
-        mean_aggregator = adjacency / degrees
-        neighbour_mean = Tensor(mean_aggregator) @ x
+        neighbour_mean = Tensor(graph.mean_aggregator) @ x
+        return self.linear_self(x) + self.linear_neighbour(neighbour_mean)
+
+    def forward_batch(self, x: Tensor, batch: GraphBatch) -> Tensor:
+        neighbour_mean = sparse_matmul(batch.mean_aggregator_op, x)
         return self.linear_self(x) + self.linear_neighbour(neighbour_mean)
 
 

@@ -9,12 +9,19 @@ import numpy as np
 from repro.autograd.functional import dropout, relu
 from repro.autograd.module import Linear, Module
 from repro.autograd.tensor import Tensor
-from repro.gnn.data import ContractGraph
+from repro.gnn.data import ContractGraph, GraphBatch
 from repro.gnn.layers import make_conv
-from repro.gnn.pooling import READOUTS, readout
+from repro.gnn.pooling import READOUTS, readout, readout_batch
 
 #: The architectures evaluated in E3/E4 (the paper's Phase-1 candidate list).
 GNN_ARCHITECTURES = ("gcn", "gat", "gin", "tag", "graphsage")
+
+
+def _softmax_rows(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-shift stabilization (plain NumPy)."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / exponentials.sum(axis=1, keepdims=True)
 
 
 class GraphClassifier(Module):
@@ -74,9 +81,37 @@ class GraphClassifier(Module):
     def predict_proba_graph(self, graph: ContractGraph) -> np.ndarray:
         """Class probabilities of a single graph (inference helper)."""
         logits = self.forward(graph).numpy()
-        shifted = logits - logits.max(axis=1, keepdims=True)
-        exponentials = np.exp(shifted)
-        return (exponentials / exponentials.sum(axis=1, keepdims=True))[0]
+        return _softmax_rows(logits)[0]
+
+    # ------------------------------------------------------------------ #
+    # batched paths (one pass per mini-batch instead of per graph)
+
+    def embed_batch(self, batch: GraphBatch) -> Tensor:
+        """Graph embeddings of shape (num_graphs, hidden_features)."""
+        x = Tensor(batch.node_features)
+        for conv in self.convs:
+            x = relu(conv.forward_batch(x, batch))
+        return readout_batch(x, batch.segment_ids, batch.num_graphs,
+                             self.readout_kind)
+
+    def forward_batch(self, batch: GraphBatch) -> Tensor:
+        """Class logits of shape (num_graphs, num_classes).
+
+        Row ``i`` equals :meth:`forward` on ``batch.graphs[i]`` up to
+        floating-point reduction-order noise.  Dropout draws one (B, hidden)
+        mask, which consumes the model RNG stream exactly as B per-graph
+        (1, hidden) draws would -- so batched and per-graph training see the
+        same dropout noise.
+        """
+        embeddings = self.embed_batch(batch)
+        embeddings = dropout(embeddings, self.dropout_rate, self._rng,
+                             training=self.training)
+        hidden = relu(self.head_hidden(embeddings))
+        return self.head_output(hidden)
+
+    def predict_proba_batch(self, batch: GraphBatch) -> np.ndarray:
+        """Class-probability matrix (num_graphs, num_classes) of a batch."""
+        return _softmax_rows(self.forward_batch(batch).numpy())
 
     def describe(self) -> str:
         """One-line architecture summary used in experiment tables."""

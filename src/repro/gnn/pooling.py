@@ -1,7 +1,10 @@
-"""Graph readout (pooling) functions."""
+"""Graph readout (pooling) functions, per-graph and batched."""
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.autograd.segment_ops import segment_max, segment_mean, segment_sum
 from repro.autograd.tensor import Tensor
 
 #: Supported readout names (ablated in E7).
@@ -24,4 +27,29 @@ def readout(node_embeddings: Tensor, kind: str = "mean") -> Tensor:
         return node_embeddings.sum(axis=0, keepdims=True)
     if kind == "max":
         return node_embeddings.max(axis=0, keepdims=True)
+    raise ValueError(f"unknown readout {kind!r}; choose from {READOUTS}")
+
+
+def readout_batch(node_embeddings: Tensor, segment_ids: np.ndarray,
+                  num_graphs: int, kind: str = "mean") -> Tensor:
+    """Aggregate stacked node embeddings into per-graph embeddings.
+
+    The batched counterpart of :func:`readout`: one segment reduction over
+    the whole mini-batch instead of one reduction per graph.
+
+    Args:
+        node_embeddings: Tensor of shape (total_nodes, hidden_dim).
+        segment_ids: Sorted graph index of every stacked node.
+        num_graphs: Number of graphs in the batch.
+        kind: ``"mean"``, ``"sum"`` or ``"max"``.
+
+    Returns:
+        Tensor of shape (num_graphs, hidden_dim).
+    """
+    if kind == "mean":
+        return segment_mean(node_embeddings, segment_ids, num_graphs)
+    if kind == "sum":
+        return segment_sum(node_embeddings, segment_ids, num_graphs)
+    if kind == "max":
+        return segment_max(node_embeddings, segment_ids, num_graphs)
     raise ValueError(f"unknown readout {kind!r}; choose from {READOUTS}")

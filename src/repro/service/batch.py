@@ -9,10 +9,13 @@ optimises each one:
    :class:`concurrent.futures.ThreadPoolExecutor`, consulting the shared
    :class:`~repro.service.cache.GraphCache` first so repeated bytecode --
    factory clones, re-submissions, re-audits -- is lowered exactly once.
-2. **Inference** runs over the whole lowered batch in bounded chunks instead
-   of one model call per contract.
+2. **Inference** runs on the vectorized batched-graph engine: every chunk of
+   ``inference_batch_size`` graphs is packed into one block-diagonal
+   :class:`~repro.gnn.data.GraphBatch` and scored with a single model call,
+   instead of one Python-level forward pass per contract.
 3. **Reporting** reuses :meth:`ScamDetector.build_report`, which is what
-   makes batch verdicts bit-identical to single-contract ``scan`` verdicts.
+   makes batch verdicts identical to single-contract ``scan`` verdicts
+   (scores are quantized there, so verdicts are batch-invariant).
 """
 
 from __future__ import annotations
@@ -83,8 +86,8 @@ class BatchScanner:
             lowering releases the GIL (NumPy-heavy graphs) or waits on the
             disk cache tier; for small hot corpora ``max_workers=1`` can be
             the fastest cold-scan setting.
-        inference_batch_size: Graphs per model call (bounds peak memory on
-            very large corpora).
+        inference_batch_size: Graphs per batched model call (bounds the peak
+            size of the stacked node-feature matrix on very large corpora).
     """
 
     def __init__(self, detector: ScamDetector,

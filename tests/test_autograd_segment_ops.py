@@ -1,0 +1,244 @@
+"""Tests for the batched-graph autograd primitives: segment ops + CSR matmul."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    CSRMatrix,
+    Tensor,
+    gather_rows,
+    scatter_sum,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    sparse_matmul,
+)
+
+SEGMENT_IDS = np.array([0, 0, 1, 2, 2, 2])
+NUM_SEGMENTS = 3
+
+
+def _finite_difference_check(build_loss, tensor, epsilon=1e-6, atol=1e-6):
+    """Compare autograd gradients of a scalar loss against central differences."""
+    loss = build_loss()
+    loss.backward()
+    analytic = tensor.grad.copy()
+    numeric = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = build_loss().item()
+        flat[index] = original - epsilon
+        lower = build_loss().item()
+        flat[index] = original
+        numeric.reshape(-1)[index] = (upper - lower) / (2 * epsilon)
+    np.testing.assert_allclose(analytic, numeric, atol=atol)
+
+
+# -------------------------------------------------------------------------- #
+# segment reductions: forward
+
+
+def test_segment_sum_mean_max_forward_match_loops():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((6, 4))
+    summed = segment_sum(Tensor(x), SEGMENT_IDS, NUM_SEGMENTS).numpy()
+    averaged = segment_mean(Tensor(x), SEGMENT_IDS, NUM_SEGMENTS).numpy()
+    maxed = segment_max(Tensor(x), SEGMENT_IDS, NUM_SEGMENTS).numpy()
+    for segment in range(NUM_SEGMENTS):
+        rows = x[SEGMENT_IDS == segment]
+        np.testing.assert_allclose(summed[segment], rows.sum(axis=0))
+        np.testing.assert_allclose(averaged[segment], rows.mean(axis=0))
+        np.testing.assert_allclose(maxed[segment], rows.max(axis=0))
+
+
+def test_segment_sum_handles_empty_segments():
+    x = Tensor(np.ones((2, 3)))
+    result = segment_sum(x, np.array([0, 3]), 5).numpy()
+    np.testing.assert_allclose(result[[0, 3]], np.ones((2, 3)))
+    np.testing.assert_allclose(result[[1, 2, 4]], 0.0)
+    # mean over an empty segment is defined as zero, not NaN
+    averaged = segment_mean(x, np.array([0, 3]), 5).numpy()
+    assert np.all(np.isfinite(averaged))
+
+
+def test_segment_ops_validate_inputs():
+    x = Tensor(np.ones((3, 2)))
+    with pytest.raises(ValueError, match="sorted"):
+        segment_sum(x, np.array([1, 0, 1]), 2)
+    with pytest.raises(ValueError, match="num_segments"):
+        segment_sum(x, np.array([0, 1, 5]), 2)
+    with pytest.raises(ValueError, match="non-empty"):
+        segment_max(x, np.array([0, 0, 2]), 3)
+    with pytest.raises(ValueError, match="non-empty"):
+        segment_softmax(x, np.array([0, 0, 2]), 3)
+
+
+# -------------------------------------------------------------------------- #
+# segment reductions: gradients vs finite differences
+
+
+@pytest.mark.parametrize("operation", [segment_sum, segment_mean, segment_softmax])
+def test_segment_op_gradients_match_finite_differences(operation):
+    rng = np.random.default_rng(1)
+    x = Tensor(rng.standard_normal((6, 3)), requires_grad=True)
+    weights = rng.standard_normal((NUM_SEGMENTS if operation is not segment_softmax
+                                   else 6, 3))
+
+    def loss():
+        x.zero_grad()
+        return (operation(x, SEGMENT_IDS, NUM_SEGMENTS) * Tensor(weights)).sum()
+
+    _finite_difference_check(loss, x)
+
+
+def test_segment_max_gradient_matches_finite_differences():
+    # distinct values keep the max unique, so central differences are valid
+    x = Tensor(np.arange(18, dtype=float).reshape(6, 3) ** 1.1,
+               requires_grad=True)
+    weights = np.random.default_rng(2).standard_normal((NUM_SEGMENTS, 3))
+
+    def loss():
+        x.zero_grad()
+        return (segment_max(x, SEGMENT_IDS, NUM_SEGMENTS) * Tensor(weights)).sum()
+
+    _finite_difference_check(loss, x)
+
+
+def test_segment_max_splits_gradient_among_ties():
+    x = Tensor(np.array([[2.0], [2.0], [5.0]]), requires_grad=True)
+    segment_max(x, np.array([0, 0, 1]), 2).sum().backward()
+    np.testing.assert_allclose(x.grad, [[0.5], [0.5], [1.0]])
+
+
+def test_segment_softmax_normalizes_per_segment():
+    rng = np.random.default_rng(3)
+    x = Tensor(rng.standard_normal((6, 1)))
+    weights = segment_softmax(x, SEGMENT_IDS, NUM_SEGMENTS).numpy()
+    for segment in range(NUM_SEGMENTS):
+        assert weights[SEGMENT_IDS == segment].sum() == pytest.approx(1.0)
+
+
+# -------------------------------------------------------------------------- #
+# gather / scatter
+
+
+def test_gather_rows_forward_and_gradient():
+    rng = np.random.default_rng(4)
+    x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+    indices = np.array([0, 2, 2, 3])
+    gathered = gather_rows(x, indices)
+    np.testing.assert_allclose(gathered.numpy(), x.data[indices])
+    weights = rng.standard_normal((4, 3))
+
+    def loss():
+        x.zero_grad()
+        return (gather_rows(x, indices) * Tensor(weights)).sum()
+
+    _finite_difference_check(loss, x)
+
+
+def test_scatter_sum_forward_and_gradient():
+    rng = np.random.default_rng(5)
+    x = Tensor(rng.standard_normal((5, 2)), requires_grad=True)
+    indices = np.array([3, 0, 3, 1, 0])  # unsorted with duplicates
+    scattered = scatter_sum(x, indices, 4).numpy()
+    expected = np.zeros((4, 2))
+    for row, target in enumerate(indices):
+        expected[target] += x.data[row]
+    np.testing.assert_allclose(scattered, expected)
+    weights = rng.standard_normal((4, 2))
+
+    def loss():
+        x.zero_grad()
+        return (scatter_sum(x, indices, 4) * Tensor(weights)).sum()
+
+    _finite_difference_check(loss, x)
+
+    with pytest.raises(ValueError, match="num_rows"):
+        scatter_sum(x, np.array([0, 1, 2, 3, 9]), 4)
+
+
+# -------------------------------------------------------------------------- #
+# CSR matrices
+
+
+def _random_sparse(rng, rows, cols, density=0.3):
+    dense = rng.standard_normal((rows, cols))
+    dense[rng.random((rows, cols)) > density] = 0.0
+    return dense
+
+
+def test_csr_from_dense_roundtrip_and_matmul():
+    rng = np.random.default_rng(6)
+    dense = _random_sparse(rng, 7, 5)
+    matrix = CSRMatrix.from_dense(dense)
+    np.testing.assert_allclose(matrix.to_dense(), dense)
+    operand = rng.standard_normal((5, 3))
+    np.testing.assert_allclose(matrix.matmul_dense(operand), dense @ operand,
+                               atol=1e-12)
+    # the pure-NumPy fallback agrees with the (possibly SciPy) default path
+    np.testing.assert_allclose(matrix._matmul_dense_numpy(operand),
+                               dense @ operand, atol=1e-12)
+
+
+def test_csr_matmul_handles_empty_rows_and_empty_matrix():
+    dense = np.zeros((4, 4))
+    dense[1, 2] = 3.0
+    matrix = CSRMatrix.from_dense(dense)
+    operand = np.ones((4, 2))
+    np.testing.assert_allclose(matrix.matmul_dense(operand), dense @ operand)
+    np.testing.assert_allclose(matrix._matmul_dense_numpy(operand),
+                               dense @ operand)
+    empty = CSRMatrix.from_dense(np.zeros((3, 3)))
+    np.testing.assert_allclose(empty.matmul_dense(operand[:3]), 0.0)
+
+
+def test_csr_transpose_and_symmetric_shortcut():
+    rng = np.random.default_rng(7)
+    dense = _random_sparse(rng, 6, 4)
+    matrix = CSRMatrix.from_dense(dense)
+    assert not matrix.symmetric
+    np.testing.assert_allclose(matrix.transpose().to_dense(), dense.T)
+
+    symmetric_dense = dense[:4] + dense[:4].T
+    symmetric = CSRMatrix.from_dense(symmetric_dense)
+    assert symmetric.symmetric
+    assert symmetric.transpose() is symmetric
+
+
+def test_csr_block_diagonal_matches_dense_blocks():
+    rng = np.random.default_rng(8)
+    blocks = [_random_sparse(rng, size, size) for size in (3, 1, 5)]
+    stacked = CSRMatrix.block_diagonal([CSRMatrix.from_dense(b) for b in blocks])
+    assert stacked.shape == (9, 9)
+    expected = np.zeros((9, 9))
+    offset = 0
+    for block in blocks:
+        expected[offset:offset + len(block), offset:offset + len(block)] = block
+        offset += len(block)
+    np.testing.assert_allclose(stacked.to_dense(), expected)
+    operand = rng.standard_normal((9, 2))
+    np.testing.assert_allclose(stacked.matmul_dense(operand),
+                               expected @ operand, atol=1e-12)
+
+
+def test_sparse_matmul_gradient_matches_dense_matmul():
+    rng = np.random.default_rng(9)
+    dense = _random_sparse(rng, 5, 5)
+    matrix = CSRMatrix.from_dense(dense)
+    x_sparse = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+    x_dense = Tensor(x_sparse.data.copy(), requires_grad=True)
+    weights = rng.standard_normal((5, 3))
+
+    (sparse_matmul(matrix, x_sparse) * Tensor(weights)).sum().backward()
+    ((Tensor(dense) @ x_dense) * Tensor(weights)).sum().backward()
+    np.testing.assert_allclose(x_sparse.grad, x_dense.grad, atol=1e-12)
+
+    def loss():
+        x_sparse.zero_grad()
+        return (sparse_matmul(matrix, x_sparse) * Tensor(weights)).sum()
+
+    _finite_difference_check(loss, x_sparse)

@@ -1,0 +1,237 @@
+"""Parity tests: the batched-graph engine vs the per-graph oracle.
+
+Every architecture's ``forward_batch`` must reproduce the per-graph forward
+pass, batched ``predict_proba`` must reproduce the per-graph probabilities,
+and a vectorized ``fit`` must land on the same parameters as the per-graph
+training loop (identical seeds and dropout RNG streams make the two engines
+walk the same optimizer trajectory, so only float reduction-order noise
+separates them).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.functional import cross_entropy
+from repro.gnn import (
+    GNN_ARCHITECTURES,
+    ContractGraph,
+    GNNTrainer,
+    GraphBatch,
+    GraphClassifier,
+    corpus_to_graphs,
+    readout,
+    readout_batch,
+)
+from repro.gnn.layers import CONV_REGISTRY, GATConv
+
+
+def _toy_graph(num_nodes=5, feature_dim=8, label=1, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.random((num_nodes, feature_dim))
+    adjacency = (rng.random((num_nodes, num_nodes)) > 0.6).astype(float)
+    adjacency = np.maximum(adjacency, adjacency.T)
+    np.fill_diagonal(adjacency, 1.0)
+    degrees = adjacency.sum(axis=1)
+    inverse_sqrt = 1.0 / np.sqrt(degrees)
+    normalized = adjacency * inverse_sqrt[:, None] * inverse_sqrt[None, :]
+    return ContractGraph(node_features=features, adjacency=adjacency,
+                         normalized_adjacency=normalized, label=label)
+
+
+@pytest.fixture()
+def toy_graphs():
+    """Mixed-size toy graphs, including a single-node graph."""
+    return [_toy_graph(num_nodes=n, seed=i, label=i % 2)
+            for i, n in enumerate([5, 3, 9, 1, 7, 4])]
+
+
+# -------------------------------------------------------------------------- #
+# GraphBatch structure
+
+
+def test_graph_batch_layout(toy_graphs):
+    batch = GraphBatch(toy_graphs)
+    assert batch.num_graphs == len(toy_graphs)
+    assert batch.num_nodes == sum(g.num_nodes for g in toy_graphs)
+    assert batch.node_features.shape == (batch.num_nodes, 8)
+    np.testing.assert_array_equal(batch.node_counts,
+                                  [g.num_nodes for g in toy_graphs])
+    np.testing.assert_array_equal(batch.labels,
+                                  [g.label for g in toy_graphs])
+    # segment ids are sorted and block-aligned
+    assert np.all(np.diff(batch.segment_ids) >= 0)
+    np.testing.assert_array_equal(np.bincount(batch.segment_ids),
+                                  batch.node_counts)
+
+
+def test_graph_batch_block_diagonal_operators(toy_graphs):
+    batch = GraphBatch(toy_graphs[:3])
+    for kind, attribute in (("adjacency", "adjacency"),
+                            ("normalized", "normalized_adjacency"),
+                            ("mean", "mean_aggregator")):
+        operator = batch.operator(kind)
+        expected = np.zeros((batch.num_nodes, batch.num_nodes))
+        offset = 0
+        for graph in batch.graphs:
+            block = getattr(graph, attribute)
+            expected[offset:offset + graph.num_nodes,
+                     offset:offset + graph.num_nodes] = block
+            offset += graph.num_nodes
+        np.testing.assert_allclose(operator.to_dense(), expected)
+
+
+def test_graph_batch_rejects_bad_input(toy_graphs):
+    with pytest.raises(ValueError, match="at least one"):
+        GraphBatch([])
+    narrow = _toy_graph(num_nodes=3, feature_dim=4)
+    with pytest.raises(ValueError, match="width"):
+        GraphBatch([toy_graphs[0], narrow])
+
+
+def test_contract_graph_caches_derived_operators(toy_graphs):
+    graph = toy_graphs[0]
+    assert graph.mean_aggregator is graph.mean_aggregator
+    assert graph.attention_mask is graph.attention_mask
+    assert graph.sparse_operator("normalized") is graph.sparse_operator("normalized")
+    with pytest.raises(ValueError, match="kind"):
+        graph.sparse_operator("laplacian")
+    # the SAGE aggregator excludes self loops and row-normalizes
+    aggregator = graph.mean_aggregator
+    assert np.all(np.diag(aggregator) == 0.0)
+    row_sums = aggregator.sum(axis=1)
+    assert np.all((np.abs(row_sums - 1.0) < 1e-9) | (row_sums == 0.0))
+
+
+# -------------------------------------------------------------------------- #
+# layer / readout / model parity
+
+
+@pytest.mark.parametrize("architecture", GNN_ARCHITECTURES)
+def test_layer_forward_batch_matches_per_graph(architecture, toy_graphs):
+    layer = CONV_REGISTRY[architecture](8, 6)
+    batch = GraphBatch(toy_graphs)
+    batched = layer.forward_batch(Tensor(batch.node_features), batch).numpy()
+    offset = 0
+    for graph in toy_graphs:
+        single = layer(Tensor(graph.node_features), graph).numpy()
+        np.testing.assert_allclose(batched[offset:offset + graph.num_nodes],
+                                   single, atol=1e-9)
+        offset += graph.num_nodes
+
+
+@pytest.mark.parametrize("kind", ["mean", "sum", "max"])
+def test_readout_batch_matches_per_graph(kind, toy_graphs):
+    batch = GraphBatch(toy_graphs)
+    rng = np.random.default_rng(0)
+    embeddings = rng.standard_normal((batch.num_nodes, 4))
+    batched = readout_batch(Tensor(embeddings), batch.segment_ids,
+                            batch.num_graphs, kind).numpy()
+    offset = 0
+    for row, graph in enumerate(toy_graphs):
+        single = readout(Tensor(embeddings[offset:offset + graph.num_nodes]),
+                         kind).numpy()
+        np.testing.assert_allclose(batched[row:row + 1], single, atol=1e-12)
+        offset += graph.num_nodes
+    with pytest.raises(ValueError, match="median"):
+        readout_batch(Tensor(embeddings), batch.segment_ids,
+                      batch.num_graphs, "median")
+
+
+@pytest.mark.parametrize("architecture", GNN_ARCHITECTURES)
+def test_model_forward_batch_matches_per_graph_logits(architecture, toy_graphs):
+    model = GraphClassifier(architecture=architecture, in_features=8,
+                            hidden_features=16, num_layers=2,
+                            readout_kind="max", dropout_rate=0.0)
+    model.eval()
+    batch = GraphBatch(toy_graphs)
+    batched = model.forward_batch(batch).numpy()
+    singles = np.concatenate([model(graph).numpy() for graph in toy_graphs])
+    np.testing.assert_allclose(batched, singles, atol=1e-9)
+
+
+def test_gat_batched_attention_ignores_non_edges():
+    """Perturbing a non-neighbour must not change a node's batched output."""
+    graphs = [_toy_graph(num_nodes=4, seed=1), _toy_graph(num_nodes=3, seed=2)]
+    layer = GATConv(8, 6)
+    before = layer.forward_batch(Tensor(GraphBatch(graphs).node_features),
+                                 GraphBatch(graphs)).numpy()[:4].copy()
+    # node 0 of graph 1 is in a different block: changing it must not leak
+    graphs[1].node_features[0] += 10.0
+    after = layer.forward_batch(Tensor(GraphBatch(graphs).node_features),
+                                GraphBatch(graphs)).numpy()[:4]
+    np.testing.assert_allclose(before, after, atol=1e-12)
+
+
+# -------------------------------------------------------------------------- #
+# gradient + training parity
+
+
+@pytest.mark.parametrize("architecture", GNN_ARCHITECTURES)
+def test_batched_gradients_match_per_graph(architecture, toy_graphs):
+    kwargs = dict(architecture=architecture, in_features=8, hidden_features=8,
+                  num_layers=2, dropout_rate=0.0, seed=3)
+    batched_model = GraphClassifier(**kwargs)
+    oracle_model = GraphClassifier(**kwargs)
+    targets = [graph.label for graph in toy_graphs]
+
+    cross_entropy(batched_model.forward_batch(GraphBatch(toy_graphs)),
+                  targets).backward()
+    cross_entropy(Tensor.concatenate([oracle_model(g) for g in toy_graphs],
+                                     axis=0), targets).backward()
+    for batched, oracle in zip(batched_model.parameters(),
+                               oracle_model.parameters()):
+        np.testing.assert_allclose(batched.grad, oracle.grad, atol=1e-9)
+
+
+@pytest.mark.parametrize("architecture", GNN_ARCHITECTURES)
+def test_fit_and_predict_parity(architecture, tiny_evm_corpus):
+    """Post-fit parameters, probabilities and predictions match the oracle."""
+    graphs = corpus_to_graphs(tiny_evm_corpus)
+    kwargs = dict(architecture=architecture, in_features=graphs[0].feature_dim,
+                  hidden_features=8, num_layers=1, dropout_rate=0.0, seed=0)
+    batched_model = GraphClassifier(**kwargs)
+    oracle_model = GraphClassifier(**kwargs)
+    batched = GNNTrainer(batched_model, epochs=4, seed=0,
+                         vectorized=True).fit(graphs)
+    oracle = GNNTrainer(oracle_model, epochs=4, seed=0,
+                        vectorized=False).fit(graphs)
+
+    for left, right in zip(batched_model.parameters(), oracle_model.parameters()):
+        np.testing.assert_allclose(left.data, right.data, atol=1e-8)
+    np.testing.assert_allclose(batched.history.losses, oracle.history.losses,
+                               atol=1e-8)
+    np.testing.assert_allclose(batched.predict_proba(graphs),
+                               oracle.predict_proba(graphs), atol=1e-8)
+    np.testing.assert_array_equal(batched.predict(graphs), oracle.predict(graphs))
+
+
+def test_fit_parity_with_dropout(tiny_evm_corpus):
+    """Both engines consume the dropout RNG stream identically."""
+    graphs = corpus_to_graphs(tiny_evm_corpus)
+    kwargs = dict(architecture="gcn", in_features=graphs[0].feature_dim,
+                  hidden_features=8, num_layers=1, dropout_rate=0.3, seed=0)
+    batched_model = GraphClassifier(**kwargs)
+    oracle_model = GraphClassifier(**kwargs)
+    GNNTrainer(batched_model, epochs=3, seed=0, vectorized=True).fit(graphs)
+    GNNTrainer(oracle_model, epochs=3, seed=0, vectorized=False).fit(graphs)
+    for left, right in zip(batched_model.parameters(), oracle_model.parameters()):
+        np.testing.assert_allclose(left.data, right.data, atol=1e-8)
+
+
+def test_iter_predict_proba_chunks_match_full(tiny_evm_corpus):
+    graphs = corpus_to_graphs(tiny_evm_corpus)
+    model = GraphClassifier(architecture="gin", in_features=graphs[0].feature_dim,
+                            hidden_features=8, seed=1)
+    trainer = GNNTrainer(model, epochs=2, seed=1).fit(graphs)
+    full = trainer.predict_proba(graphs)
+    chunked = np.concatenate(list(trainer.iter_predict_proba(graphs,
+                                                             batch_size=7)))
+    np.testing.assert_allclose(chunked, full, atol=1e-12)
+
+
+def test_trainer_validates_inference_batch_size(tiny_evm_corpus):
+    graphs = corpus_to_graphs(tiny_evm_corpus)
+    model = GraphClassifier(in_features=graphs[0].feature_dim)
+    with pytest.raises(ValueError):
+        GNNTrainer(model, inference_batch_size=0)

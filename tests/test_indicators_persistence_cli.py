@@ -127,8 +127,10 @@ def test_cli_parser_subcommands():
     assert args.command == "corpus"
     args = parser.parse_args(["experiment", "--id", "E2"])
     assert args.id == "E2"
+    args = parser.parse_args(["experiment", "--id", "E9"])
+    assert args.id == "E9"
     with pytest.raises(SystemExit):
-        parser.parse_args(["experiment", "--id", "E9"])
+        parser.parse_args(["experiment", "--id", "E10"])
 
 
 def test_cli_corpus_command(capsys):
