@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: compare fresh BENCH_*.json against baselines.
+
+The benchmark suite writes machine-readable ``benchmarks/BENCH_<ID>.json``
+files on every run (see ``benchmarks/conftest.py``).  Known-good copies are
+committed under ``benchmarks/baselines/``.  This script compares the two and
+fails (exit 1) when:
+
+* a **throughput metric** (summary or per-row keys ending in ``_per_second``
+  or containing ``speedup``) drops by more than ``--tolerance`` (default
+  20%) relative to the baseline, or
+* a **fidelity counter** (keys containing ``mismatch``) rises at all --
+  verdict/prediction parity is exact, so any increase is a correctness
+  regression, never noise.
+
+Rows are matched to baseline rows by their ``mode`` field.  A fresh file
+missing for a committed baseline is itself a failure (the benchmark stopped
+producing output).  Metrics present only on one side are reported but do not
+fail the gate, so adding a new measurement does not require lock-step edits.
+
+Usage::
+
+    python benchmarks/check_regression.py                # after a bench run
+    python benchmarks/check_regression.py --tolerance 0.5
+
+CI runs this right after the benchmark step.  Throughput on shared CI
+runners is noisy; raise ``--tolerance`` there rather than deleting the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, Iterator, List, Tuple
+
+BENCH_DIR = pathlib.Path(__file__).parent
+BASELINE_DIR = BENCH_DIR / "baselines"
+
+
+def is_throughput_key(key: str) -> bool:
+    """Higher-is-better rate metrics gated by the relative tolerance."""
+    return key.endswith("_per_second") or "speedup" in key
+
+
+def is_fidelity_key(key: str) -> bool:
+    """Lower-is-better exact counters gated at zero increase."""
+    return "mismatch" in key
+
+
+def _metric_pairs(baseline: Dict, fresh: Dict
+                  ) -> Iterator[Tuple[str, float, float]]:
+    """Yield (label, baseline value, fresh value) for comparable metrics."""
+    base_summary = baseline.get("summary") or {}
+    fresh_summary = fresh.get("summary") or {}
+    for key in sorted(base_summary):
+        if key in fresh_summary and isinstance(base_summary[key], (int, float)):
+            yield f"summary.{key}", float(base_summary[key]), \
+                float(fresh_summary[key])
+    fresh_rows = {row.get("mode"): row for row in fresh.get("rows", [])
+                  if isinstance(row, dict)}
+    for row in baseline.get("rows", []):
+        if not isinstance(row, dict) or row.get("mode") not in fresh_rows:
+            continue
+        fresh_row = fresh_rows[row["mode"]]
+        for key in sorted(row):
+            if key in fresh_row and isinstance(row[key], (int, float)) \
+                    and not isinstance(row[key], bool):
+                yield f"rows[{row['mode']}].{key}", float(row[key]), \
+                    float(fresh_row[key])
+
+
+def compare_file(baseline_path: pathlib.Path, fresh_path: pathlib.Path,
+                 tolerance: float,
+                 ratios_only: bool = False) -> Tuple[List[str], List[str]]:
+    """Compare one benchmark file pair; returns (report lines, failures).
+
+    With ``ratios_only`` the absolute-rate metrics (``*_per_second``) are
+    skipped and only machine-independent ratios (``*speedup*``) and the
+    exact fidelity counters are gated -- the right mode for CI runners whose
+    hardware differs from the machine that produced the baselines.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+    name = fresh_path.name
+    if not fresh_path.exists():
+        return [], [f"{name}: fresh benchmark output missing "
+                    f"(did the benchmark run?)"]
+    baseline = json.loads(baseline_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+    for label, base_value, fresh_value in _metric_pairs(baseline, fresh):
+        key = label.rsplit(".", 1)[-1]
+        if ratios_only and key.endswith("_per_second"):
+            lines.append(f"  skip {label}: absolute rate "
+                         f"(--ratios-only)")
+            continue
+        if is_throughput_key(key):
+            floor = base_value * (1.0 - tolerance)
+            ok = fresh_value >= floor
+            lines.append(f"  {'ok  ' if ok else 'FAIL'} {label}: "
+                         f"{fresh_value:.3f} vs baseline {base_value:.3f} "
+                         f"(floor {floor:.3f})")
+            if not ok:
+                drop = (1.0 - fresh_value / base_value) * 100 \
+                    if base_value else 0.0
+                failures.append(
+                    f"{name}: {label} dropped {drop:.1f}% "
+                    f"({base_value:.3f} -> {fresh_value:.3f}, "
+                    f"tolerance {tolerance:.0%})")
+        elif is_fidelity_key(key):
+            ok = fresh_value <= base_value
+            lines.append(f"  {'ok  ' if ok else 'FAIL'} {label}: "
+                         f"{fresh_value:g} vs baseline {base_value:g} "
+                         f"(must not rise)")
+            if not ok:
+                failures.append(
+                    f"{name}: {label} rose from {base_value:g} to "
+                    f"{fresh_value:g} -- parity broke, this is a "
+                    f"correctness regression")
+    return lines, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when benchmarks regress against the committed "
+                    "baselines")
+    parser.add_argument("--baseline-dir", type=pathlib.Path,
+                        default=BASELINE_DIR,
+                        help="directory of committed BENCH_*.json baselines")
+    parser.add_argument("--fresh-dir", type=pathlib.Path, default=BENCH_DIR,
+                        help="directory of freshly produced BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional throughput drop "
+                             "(default 0.2 = 20%%)")
+    parser.add_argument("--ratios-only", action="store_true",
+                        help="gate only machine-independent metrics "
+                             "(speedup ratios, mismatch counters); use on "
+                             "CI hardware that differs from the baseline "
+                             "machine")
+    args = parser.parse_args(argv)
+
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"check_regression: no baselines under {args.baseline_dir}",
+              file=sys.stderr)
+        return 1
+
+    all_failures: List[str] = []
+    for baseline_path in baselines:
+        fresh_path = args.fresh_dir / baseline_path.name
+        lines, failures = compare_file(baseline_path, fresh_path,
+                                       args.tolerance,
+                                       ratios_only=args.ratios_only)
+        print(f"{baseline_path.name}:")
+        for line in lines:
+            print(line)
+        all_failures.extend(failures)
+
+    if all_failures:
+        print(f"\nbench-regression gate FAILED "
+              f"({len(all_failures)} violation"
+              f"{'s' if len(all_failures) != 1 else ''}):", file=sys.stderr)
+        for failure in all_failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench-regression gate passed "
+          f"({len(baselines)} baseline file"
+          f"{'s' if len(baselines) != 1 else ''}, "
+          f"tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

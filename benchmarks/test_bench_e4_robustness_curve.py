@@ -5,7 +5,6 @@ the opcode-histogram and opcode-bigram baselines under unseen structural
 obfuscation.
 """
 
-import numpy as np
 
 from benchmarks.conftest import record_result, run_once
 from repro.evaluation import E4Config, run_e4_robustness_curve

@@ -15,7 +15,8 @@ setup(
     version="1.0.0",
     description=("Reproduction of ScamDetect (DSN-S 2025): platform-agnostic "
                  "smart-contract malware detection with GNNs over CFGs, plus "
-                 "a batch scanning service layer"),
+                 "a batch scanning service layer and a coalescing scan "
+                 "server"),
     long_description=README.read_text() if README.exists() else "",
     long_description_content_type="text/markdown",
     author="paper-repo-growth",
@@ -29,6 +30,9 @@ setup(
         # engine falls back to a pure-NumPy path when it is absent
         "accel": ["scipy"],
         "test": ["pytest", "pytest-benchmark", "scipy"],
+        # lint/format tooling used by the CI lint job ([tool.ruff] in
+        # pyproject.toml holds the configuration)
+        "dev": ["ruff", "pytest", "pytest-benchmark", "scipy"],
     },
     entry_points={
         "console_scripts": [

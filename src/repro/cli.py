@@ -8,6 +8,8 @@ Usage (after ``pip install -e .`` the ``scamdetect`` entry point is on PATH;
     scamdetect scan       --model-path /tmp/scamdetect --hex-file contract.hex
     scamdetect scan-batch --model-path /tmp/scamdetect --input-dir submissions/ \
                           --cache-dir /tmp/scamdetect-cache
+    scamdetect serve      --model-path /tmp/scamdetect --port 8742 \
+                          --workers 8 --max-batch 32
     scamdetect experiment --id E2
 
 The CLI is intentionally thin: every command maps onto one public-API call so
@@ -19,7 +21,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.config import ScamDetectConfig
 from repro.core.detector import ScamDetector
@@ -80,7 +82,7 @@ def _read_code(args: argparse.Namespace) -> bytes:
 
 
 def _command_scan(args: argparse.Namespace) -> int:
-    detector = ScamDetector.load(args.model_path, threshold=args.threshold)
+    detector = _load_detector("scan", args, explain=True)
     code = _read_code(args)
     report = detector.scan(code, platform=args.platform,
                            sample_id=args.sample_id)
@@ -88,16 +90,34 @@ def _command_scan(args: argparse.Namespace) -> int:
     return 1 if report.is_malicious else 0
 
 
+def _load_detector(command: str, args: argparse.Namespace,
+                   explain: bool) -> ScamDetector:
+    """Load the model bundle for a serving command; exits non-zero with a
+    clear message when the bundle is missing or unreadable."""
+    from repro.core.persistence import PersistenceError
+
+    try:
+        return ScamDetector.load(args.model_path, threshold=args.threshold,
+                                 explain=explain)
+    except (PersistenceError, OSError) as error:
+        raise SystemExit(f"{command}: cannot load model bundle "
+                         f"{args.model_path!r}: {error}")
+
+
 def _command_scan_batch(args: argparse.Namespace) -> int:
     from repro.service import BatchScanner, GraphCache
 
-    detector = ScamDetector.load(args.model_path, threshold=args.threshold,
-                                 explain=args.explain)
+    detector = _load_detector("scan-batch", args, explain=args.explain)
     cache = None
-    if args.cache_dir or args.cache_capacity:
-        cache = GraphCache.for_config(detector.config,
-                                      capacity=args.cache_capacity or 1024,
-                                      disk_dir=args.cache_dir)
+    if args.cache_dir is not None or args.cache_capacity is not None:
+        try:
+            cache = GraphCache.for_config(
+                detector.config,
+                capacity=(args.cache_capacity
+                          if args.cache_capacity is not None else 1024),
+                disk_dir=args.cache_dir)
+        except ValueError as error:
+            raise SystemExit(f"scan-batch: {error}")
     scanner = BatchScanner(detector, cache=cache, max_workers=args.workers)
     try:
         result = scanner.scan_directory(args.input_dir, pattern=args.pattern,
@@ -105,11 +125,54 @@ def _command_scan_batch(args: argparse.Namespace) -> int:
     except (FileNotFoundError, ValueError) as error:
         raise SystemExit(f"scan-batch: {error}")
     print(result.format())
+    for entry in result.skipped:
+        print(f"  skipped: {entry}", file=sys.stderr)
     if args.show_reports:
         for report in result.reports:
             print()
             print(report.format())
     return 1 if result.num_malicious else 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service import GraphCache
+    from repro.service.server import ScanServer
+
+    detector = _load_detector("serve", args, explain=not args.no_explain)
+    try:
+        cache = GraphCache.for_config(
+            detector.config,
+            capacity=(args.cache_capacity
+                      if args.cache_capacity is not None else 1024),
+            disk_dir=args.cache_dir)
+        server = ScanServer(detector, host=args.host, port=args.port,
+                            workers=args.workers, max_batch=args.max_batch,
+                            max_wait_ms=args.max_wait_ms, cache=cache)
+    except (OSError, OverflowError) as error:
+        raise SystemExit(f"serve: cannot bind {args.host}:{args.port}: "
+                         f"{error}")
+    except ValueError as error:
+        raise SystemExit(f"serve: invalid parameters: {error}")
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_handler = signal.signal(signal.SIGTERM, _terminate)
+    print(f"scamdetect server listening on {server.url} "
+          f"(workers={args.workers}, max_batch={args.max_batch}, "
+          f"max_wait_ms={args.max_wait_ms})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("serve: draining in-flight scans and shutting down",
+              flush=True)
+        server.shutdown()
+        signal.signal(signal.SIGTERM, previous_handler)
+    return 0
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
@@ -199,6 +262,35 @@ def build_parser() -> argparse.ArgumentParser:
                               help="print every per-contract report after the "
                                    "summary")
     batch_parser.set_defaults(handler=_command_scan_batch)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-running scan server (POST /scan, /scan-batch; "
+             "GET /healthz, /metrics) with request coalescing")
+    serve_parser.add_argument("--model-path", required=True)
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8742,
+                              help="TCP port (0 picks a free port)")
+    serve_parser.add_argument("--workers", type=int, default=8,
+                              help="handler threads (bytecode-lowering "
+                                   "concurrency)")
+    serve_parser.add_argument("--max-batch", type=int, default=32,
+                              help="max graphs coalesced into one GNN "
+                                   "inference call")
+    serve_parser.add_argument("--max-wait-ms", type=float, default=5.0,
+                              help="how long to hold a request while "
+                                   "coalescing a batch (0 disables)")
+    serve_parser.add_argument("--threshold", type=float, default=0.5)
+    serve_parser.add_argument("--cache-dir", default=None,
+                              help="directory for the persistent graph-cache "
+                                   "tier")
+    serve_parser.add_argument("--cache-capacity", type=int, default=None,
+                              help="in-memory graph-cache entries "
+                                   "(default 1024)")
+    serve_parser.add_argument("--no-explain", action="store_true",
+                              help="skip indicator notes in verdicts "
+                                   "(faster; default keeps scan parity)")
+    serve_parser.set_defaults(handler=_command_serve)
 
     experiment_parser = subparsers.add_parser("experiment",
                                               help="run one E1-E9 experiment")

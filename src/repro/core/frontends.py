@@ -9,7 +9,7 @@ here -- nothing downstream changes.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 from repro.evm.cfg_builder import build_cfg as build_evm_cfg
 from repro.evm.disassembler import disassemble_to_ir as evm_disassemble_to_ir

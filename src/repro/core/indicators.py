@@ -11,7 +11,7 @@ can verify directly in the disassembly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Set
+from typing import List, Set
 
 from repro.ir.basic_block import BasicBlock
 from repro.ir.cfg import ControlFlowGraph

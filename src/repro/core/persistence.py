@@ -27,7 +27,6 @@ import numpy as np
 
 from repro.core.config import ScamDetectConfig
 from repro.core.pipeline import ScamDetectPipeline
-from repro.datasets.corpus import Corpus
 from repro.gnn.training import GNNTrainer
 from repro.gnn.model import GraphClassifier
 

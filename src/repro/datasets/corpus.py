@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
-from repro.datasets.labels import BENIGN, LABEL_NAMES, MALICIOUS
+from repro.datasets.labels import LABEL_NAMES, MALICIOUS
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,7 @@ import hashlib
 from typing import Dict, List, Set, Tuple
 
 from repro.datasets.corpus import ContractSample, Corpus
-from repro.evm.contracts import is_minimal_proxy, proxy_implementation_address
+from repro.evm.contracts import is_minimal_proxy
 
 
 def bytecode_fingerprint(sample: ContractSample) -> str:

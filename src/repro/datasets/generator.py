@@ -13,15 +13,14 @@ and assembles them into a :class:`~repro.datasets.corpus.Corpus`.  Knobs:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.datasets.corpus import ContractSample, Corpus
 from repro.datasets.labels import BENIGN, MALICIOUS
 from repro.evm.contracts import ALL_TEMPLATES as EVM_TEMPLATES
-from repro.evm.contracts import ContractTemplate
 from repro.obfuscation.pipeline import obfuscate_sample
-from repro.wasm.contracts import WASM_ALL_TEMPLATES, WasmContractTemplate
+from repro.wasm.contracts import WASM_ALL_TEMPLATES
 
 
 @dataclass

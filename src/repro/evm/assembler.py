@@ -14,10 +14,9 @@ Label model:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.evm.opcodes import OPCODES_BY_NAME, opcode_by_name
+from repro.evm.opcodes import OPCODES_BY_NAME
 
 AsmItem = Tuple[str, Optional[Union[int, str]]]
 

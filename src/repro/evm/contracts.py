@@ -19,7 +19,7 @@ but not trivial.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.evm.assembler import EVMAssembler

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Union
+from typing import List, Optional, Union
 
 from repro.evm.opcodes import OPCODES, UNKNOWN_OPCODE_NAME, Opcode
 from repro.ir.instruction import IRInstruction

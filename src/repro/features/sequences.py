@@ -9,7 +9,7 @@ behind a compact shared vocabulary.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Sequence
+from typing import List
 
 from repro.datasets.corpus import ContractSample
 from repro.evm.disassembler import disassemble

@@ -12,7 +12,6 @@ from repro.datasets.corpus import ContractSample, Corpus
 from repro.features.cfg_features import sample_to_cfg
 from repro.ir.cfg import ControlFlowGraph
 from repro.ir.features import (
-    NODE_FEATURE_DIM,
     adjacency_with_self_loops,
     node_feature_matrix,
     normalized_adjacency,

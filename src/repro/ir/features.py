@@ -10,7 +10,6 @@ Two encoders are provided:
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 import numpy as np
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List
 
 from repro.evm.assembler import AsmItem
 from repro.wasm.module import WasmModule

@@ -10,7 +10,7 @@ preserved and ground-truth labels stay valid.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.evm.assembler import AsmItem
 from repro.obfuscation.base import EVMObfuscationPass, clamp_intensity

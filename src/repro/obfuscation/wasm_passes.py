@@ -13,7 +13,7 @@ import random
 from typing import List, Tuple
 
 from repro.obfuscation.base import WasmObfuscationPass, clamp_intensity
-from repro.wasm.module import WasmFunction, WasmInstructionEntry, WasmModule, instr
+from repro.wasm.module import WasmInstructionEntry, WasmModule, instr
 from repro.wasm.opcodes import BLOCKTYPE_VOID
 
 

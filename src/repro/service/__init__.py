@@ -1,4 +1,4 @@
-"""Batch scanning service layer.
+"""Scanning service layer: batch offline scans and the live scan server.
 
 This package turns the one-shot :class:`~repro.core.detector.ScamDetector`
 into a service that can sustain repeated, high-volume scanning workloads:
@@ -9,18 +9,180 @@ into a service that can sustain repeated, high-volume scanning workloads:
 * :mod:`repro.service.batch` -- :class:`BatchScanner`, which lowers a corpus
   or a directory of bytecode files in parallel worker threads and feeds the
   resulting graphs to the GNN in batches.
+* :mod:`repro.service.server` -- :class:`ScanServer`, a long-running HTTP
+  daemon whose :class:`~repro.service.server.RequestCoalescer` micro-batches
+  concurrent scan requests into single block-diagonal inference calls, and
+  :class:`ServerClient` (defined here), the stdlib client used by the tests,
+  the examples and the CI smoke test.
 
 The service layer plugs into the existing stack through the pipeline's
 ``graph_cache`` hook, so training, evaluation and single-contract scans all
 benefit from warm caches without any API change.
 """
 
+import json as _json
+import time as _time
+import urllib.error as _urllib_error
+import urllib.request as _urllib_request
+from base64 import b64encode as _b64encode
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.core.detector import coerce_bytecode as _coerce_bytecode
 from repro.service.cache import CacheStats, GraphCache
-from repro.service.batch import BatchScanner, BatchScanResult
+from repro.service.batch import BatchScanner, BatchScanResult, throughput_stats
+from repro.service.server import (
+    DEFAULT_PORT,
+    RequestCoalescer,
+    ScanServer,
+    ServerMetrics,
+    ServerShuttingDown,
+)
 
 __all__ = [
     "GraphCache",
     "CacheStats",
     "BatchScanner",
     "BatchScanResult",
+    "throughput_stats",
+    "ScanServer",
+    "RequestCoalescer",
+    "ServerMetrics",
+    "ServerShuttingDown",
+    "ServerClient",
+    "ServerClientError",
+    "DEFAULT_PORT",
 ]
+
+
+class ServerClientError(RuntimeError):
+    """An HTTP-level error returned by the scan server.
+
+    Attributes:
+        status: HTTP status code (0 when the server was unreachable).
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServerClient:
+    """Minimal stdlib client for :class:`~repro.service.server.ScanServer`.
+
+    Used by the test suite, ``examples/scan_server_client.py`` and the CI
+    smoke test; application code can use it too, or speak the (plain JSON
+    over HTTP) protocol directly -- see the curl examples in the README.
+
+    Args:
+        host: Server host.
+        port: Server port (``ScanServer.port`` tells the bound one).
+        timeout: Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 timeout: float = 30.0) -> None:
+        self.base_url = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # -------------------------------------------------------------- #
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        data = (_json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        request = _urllib_request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with _urllib_request.urlopen(request,
+                                         timeout=self.timeout) as response:
+                return _json.loads(response.read().decode("utf-8"))
+        except _urllib_error.HTTPError as error:
+            body = error.read().decode("utf-8", errors="replace")
+            try:
+                message = _json.loads(body).get("error", body)
+            except ValueError:
+                message = body
+            raise ServerClientError(error.code, message) from error
+        except _urllib_error.URLError as error:
+            raise ServerClientError(
+                0, f"scan server unreachable at {self.base_url}: "
+                   f"{error.reason}") from error
+
+    @staticmethod
+    def _encode(code: Union[bytes, bytearray, str],
+                encoding: str) -> str:
+        """Encode ``code`` for transport under ``encoding``.
+
+        A ``str`` input always means *hex bytecode text* (``0x`` prefix and
+        whitespace allowed); it is normalized to raw bytes first so that
+        requesting base64 transport re-encodes the same bytes instead of
+        shipping hex digits that the server would misread as base64.
+        """
+        raw = _coerce_bytecode(code) if isinstance(code, str) else bytes(code)
+        if encoding == "base64":
+            return _b64encode(raw).decode("ascii")
+        return raw.hex()
+
+    # -------------------------------------------------------------- #
+
+    def healthz(self) -> dict:
+        """``GET /healthz`` -- raises :class:`ServerClientError` if down."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """``GET /metrics`` -- the server's live counters."""
+        return self._request("GET", "/metrics")
+
+    def scan(self, code: Union[bytes, bytearray, str],
+             platform: Optional[str] = None, sample_id: str = "contract",
+             encoding: str = "hex") -> dict:
+        """``POST /scan`` one contract; returns the verdict report dict.
+
+        ``code`` may be raw bytes (encoded for transport per ``encoding``)
+        or an already-hex string.
+        """
+        payload = {"bytecode": self._encode(code, encoding),
+                   "encoding": encoding, "sample_id": sample_id}
+        if platform is not None:
+            payload["platform"] = platform
+        return self._request("POST", "/scan", payload)
+
+    def scan_batch(self, codes: Iterable[Union[bytes, bytearray, str]],
+                   platform: Optional[str] = None,
+                   sample_ids: Optional[Sequence[str]] = None,
+                   encoding: str = "hex") -> dict:
+        """``POST /scan-batch`` many contracts in one request."""
+        codes = list(codes)
+        if sample_ids is not None and len(sample_ids) != len(codes):
+            raise ValueError(f"sample_ids length ({len(sample_ids)}) must "
+                             f"match codes length ({len(codes)})")
+        contracts = []
+        for index, code in enumerate(codes):
+            entry = {"bytecode": self._encode(code, encoding),
+                     "encoding": encoding}
+            if sample_ids is not None:
+                entry["sample_id"] = sample_ids[index]
+            contracts.append(entry)
+        payload: dict = {"contracts": contracts}
+        if platform is not None:
+            payload["platform"] = platform
+        return self._request("POST", "/scan-batch", payload)
+
+    def wait_until_ready(self, timeout: float = 10.0,
+                         interval: float = 0.05) -> dict:
+        """Poll ``/healthz`` until the server answers or ``timeout`` runs out.
+
+        Returns the first health payload; raises :class:`ServerClientError`
+        with the last failure if the server never came up.
+        """
+        deadline = _time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServerClientError as error:
+                if _time.monotonic() >= deadline:
+                    raise ServerClientError(
+                        error.status, f"scan server not ready after "
+                                      f"{timeout:.1f}s: {error}") from error
+            _time.sleep(interval)

@@ -23,8 +23,9 @@ from __future__ import annotations
 import concurrent.futures
 import pathlib
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.detector import BytecodeLike, ScamDetector, coerce_bytecode
 from repro.core.frontends import detect_platform
@@ -33,6 +34,43 @@ from repro.gnn.data import ContractGraph
 from repro.service.cache import CacheStats, DISK_META_FILENAME, GraphCache
 
 PathLike = Union[str, pathlib.Path]
+
+
+def throughput_stats(contracts: int, malicious: int, elapsed_seconds: float,
+                     cache_stats: CacheStats,
+                     batch_sizes: Dict[int, int]) -> Dict[str, object]:
+    """The shared stats schema reported by offline and online scan paths.
+
+    ``BatchScanResult.stats_dict`` (offline batch scans) and the scan
+    server's ``GET /metrics`` (online serving) both emit exactly this shape,
+    so one dashboard/alerting parser covers both deployment modes.
+
+    Args:
+        contracts: Contracts scored.
+        malicious: Contracts flagged malicious.
+        elapsed_seconds: Wall-clock window the counters cover.
+        cache_stats: Graph-cache counters for the same window.
+        batch_sizes: Histogram of GNN inference batch sizes
+            (``{batch_size: num_batches}``).
+    """
+    total_batches = sum(batch_sizes.values())
+    return {
+        "contracts": contracts,
+        "malicious": malicious,
+        "benign": contracts - malicious,
+        "elapsed_seconds": elapsed_seconds,
+        "contracts_per_second": (contracts / elapsed_seconds
+                                 if elapsed_seconds > 0.0 else 0.0),
+        "cache": cache_stats.to_dict(),
+        "batches": {
+            "count": total_batches,
+            "max_size": max(batch_sizes) if batch_sizes else 0,
+            "coalesced": sum(count for size, count in batch_sizes.items()
+                             if size > 1),
+            "histogram": {str(size): batch_sizes[size]
+                          for size in sorted(batch_sizes)},
+        },
+    }
 
 
 @dataclass
@@ -45,11 +83,17 @@ class BatchScanResult(ScanSummary):
         num_workers: Worker threads used for lowering.
         cache_stats: Snapshot of the cache counters accumulated during this
             scan (zeros when no cache was attached).
+        batch_sizes: Histogram of GNN inference batch sizes in this scan
+            (``{batch_size: num_batches}``).
+        skipped: Directory-scan inputs that were skipped (unreadable, empty,
+            or undecodable files), as ``"<sample id>: <reason>"`` strings.
     """
 
     elapsed_seconds: float = 0.0
     num_workers: int = 1
     cache_stats: CacheStats = field(default_factory=CacheStats)
+    batch_sizes: Dict[int, int] = field(default_factory=dict)
+    skipped: List[str] = field(default_factory=list)
 
     @property
     def contracts_per_second(self) -> float:
@@ -57,6 +101,13 @@ class BatchScanResult(ScanSummary):
         if self.elapsed_seconds <= 0.0:
             return 0.0
         return self.num_scanned / self.elapsed_seconds
+
+    def stats_dict(self) -> Dict[str, object]:
+        """This scan's telemetry in the shared offline/online stats schema
+        (see :func:`throughput_stats`)."""
+        return throughput_stats(self.num_scanned, self.num_malicious,
+                                self.elapsed_seconds, self.cache_stats,
+                                self.batch_sizes)
 
     def format(self) -> str:
         lines = [super().format(),
@@ -66,6 +117,9 @@ class BatchScanResult(ScanSummary):
                  f"workers={self.num_workers})"]
         if self.cache_stats.lookups:
             lines.append(f"  {self.cache_stats.format()}")
+        if self.skipped:
+            lines.append(f"  skipped {len(self.skipped)} unreadable input"
+                         f"{'s' if len(self.skipped) != 1 else ''}")
         return "\n".join(lines)
 
 
@@ -136,31 +190,49 @@ class BatchScanner:
         own files (``cache-meta.json``, ``*.npz``) are skipped, so pointing
         this at a directory that also holds a cache tier is safe.
 
+        A file that cannot be read, is empty, or (for ``.hex``) does not
+        decode is *skipped with a warning* instead of aborting the whole
+        batch -- one corrupt submission must not take down a triage run.
+        Skipped files are listed in :attr:`BatchScanResult.skipped`.
+
         Raises:
             FileNotFoundError: If ``directory`` does not exist.
-            ValueError: If a ``.hex`` file does not decode (the message
-                names the offending file).
         """
         root = pathlib.Path(directory)
         if not root.is_dir():
             raise FileNotFoundError(f"scan directory not found: {root}")
         raw_codes: List[bytes] = []
         ids: List[str] = []
+        skipped: List[str] = []
+
+        def skip(path: pathlib.Path, reason: str) -> None:
+            entry = f"{path.relative_to(root)}: {reason}"
+            skipped.append(entry)
+            warnings.warn(f"scan_directory skipping {path}: {reason}",
+                          stacklevel=2)
+
         for path in sorted(root.rglob(pattern)):
             if (not path.is_file() or path.name.startswith(".")
                     or path.name == DISK_META_FILENAME
                     or path.suffix == ".npz"):
                 continue
-            if path.suffix == ".hex":
-                try:
-                    raw_codes.append(coerce_bytecode(path.read_text()))
-                except ValueError as error:
-                    raise ValueError(f"{path}: not valid hex bytecode "
-                                     f"({error})") from error
-            else:
-                raw_codes.append(path.read_bytes())
+            try:
+                raw = (coerce_bytecode(path.read_text())
+                       if path.suffix == ".hex" else path.read_bytes())
+            except ValueError as error:
+                skip(path, f"not valid hex bytecode ({error})")
+                continue
+            except OSError as error:
+                skip(path, f"unreadable ({error.strerror or error})")
+                continue
+            if not raw:
+                skip(path, "empty file")
+                continue
+            raw_codes.append(raw)
             ids.append(str(path.relative_to(root)))
-        return self._scan_raw(raw_codes, ids, platform)
+        result = self._scan_raw(raw_codes, ids, platform)
+        result.skipped = skipped
+        return result
 
     # ------------------------------------------------------------------ #
 
@@ -192,11 +264,14 @@ class BatchScanner:
 
         graphs = [graph for graph, _ in lowered]
         probabilities: List[float] = []
+        batch_sizes: Dict[int, int] = {}
         for chunk in pipeline._trainer.iter_predict_proba(
                 graphs, batch_size=self.inference_batch_size):
+            batch_sizes[len(chunk)] = batch_sizes.get(len(chunk), 0) + 1
             probabilities.extend(float(row[1]) for row in chunk)
 
-        result = BatchScanResult(num_workers=num_workers)
+        result = BatchScanResult(num_workers=num_workers,
+                                 batch_sizes=batch_sizes)
         for index, ((graph, resolved), probability) in enumerate(
                 zip(lowered, probabilities)):
             result.reports.append(self.detector.build_report(

@@ -28,7 +28,7 @@ import json
 import pathlib
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 import numpy as np
@@ -70,6 +70,25 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """Counters plus the derived rates, as plain JSON-ready values.
+
+        This is the ``cache`` section of the shared stats schema emitted by
+        both :meth:`~repro.service.batch.BatchScanResult.stats_dict` (offline
+        batch scans) and the scan server's ``GET /metrics`` (online serving),
+        so dashboards can consume either path with one parser.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+            "stale_purges": self.stale_purges,
+        }
 
     def format(self) -> str:
         return (f"cache: {self.hits} hits / {self.lookups} lookups "

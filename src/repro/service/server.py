@@ -1,0 +1,733 @@
+"""Long-running scan server: HTTP endpoints + request coalescing.
+
+This module turns a trained :class:`~repro.core.detector.ScamDetector` into a
+stdlib-only daemon (``http.server`` + ``threading`` + ``queue``) that serves
+live scan traffic:
+
+* ``POST /scan`` -- one contract (hex or base64 bytecode) -> verdict JSON,
+* ``POST /scan-batch`` -- many contracts in one request,
+* ``GET /healthz`` -- liveness probe (model description, uptime, queue depth),
+* ``GET /metrics`` -- request counts, latency percentiles, cache hit rate and
+  the inference batch-size histogram, in the same stats schema the offline
+  :class:`~repro.service.batch.BatchScanResult` reports.
+
+The core of the serving path is the :class:`RequestCoalescer`: handler
+threads lower bytecode to graphs (through the shared
+:class:`~repro.service.cache.GraphCache`) and enqueue them; a single
+inference thread drains the queue into one block-diagonal
+:class:`~repro.gnn.data.GraphBatch` call per micro-batch (up to ``max_batch``
+graphs, waiting at most ``max_wait_ms`` for stragglers).  Because
+:meth:`ScamDetector.build_report` quantizes scores far above the batch
+composition noise floor, coalesced verdicts are byte-identical to
+single-shot :meth:`ScamDetector.scan` verdicts -- concurrency changes
+latency, never answers.
+
+Start it from the CLI (``scamdetect serve --model-path ... --port 8742``) or
+programmatically::
+
+    with ScanServer(detector, port=0) as server:       # port 0: pick free port
+        client = ServerClient(port=server.port)
+        verdict = client.scan(bytecode)
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from base64 import b64decode
+from collections import deque
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.detector import ScamDetector, coerce_bytecode
+from repro.gnn.data import ContractGraph
+from repro.service.batch import throughput_stats
+from repro.service.cache import CacheStats, GraphCache
+
+#: Default TCP port of the scan server (spells "scan" on a phone pad, almost).
+DEFAULT_PORT = 8742
+
+#: Largest accepted request body; anything bigger is rejected with 413.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_LATENCY_WINDOW = 4096
+
+
+class ServerShuttingDown(RuntimeError):
+    """Raised by :meth:`RequestCoalescer.submit` once shutdown has begun.
+
+    A ``RuntimeError`` subclass so callers may catch either; the HTTP layer
+    maps exactly this type to 503 (anything else is a real 500).
+    """
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (0.0 for an empty window)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class ServerMetrics:
+    """Thread-safe counters behind ``GET /metrics``.
+
+    Latencies are kept in bounded per-endpoint windows (the last
+    ``_LATENCY_WINDOW`` requests) so percentiles reflect recent traffic and
+    memory stays constant under sustained load.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started_monotonic = time.monotonic()
+        self.requests: Dict[str, int] = {}
+        self.errors = 0
+        self.contracts = 0
+        self.malicious = 0
+        self.batch_sizes: Dict[int, int] = {}
+        self._latencies: Dict[str, deque] = {}
+
+    def record_request(self, endpoint: str) -> None:
+        with self._lock:
+            self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_latency(self, endpoint: str, seconds: float) -> None:
+        with self._lock:
+            window = self._latencies.setdefault(
+                endpoint, deque(maxlen=_LATENCY_WINDOW))
+            window.append(seconds)
+
+    def record_batch(self, size: int) -> None:
+        """Record one GNN inference call over ``size`` graphs."""
+        with self._lock:
+            self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+
+    def record_verdicts(self, num_contracts: int, num_malicious: int) -> None:
+        with self._lock:
+            self.contracts += num_contracts
+            self.malicious += num_malicious
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    def snapshot(self, cache_stats: CacheStats) -> Dict[str, object]:
+        """The ``GET /metrics`` payload.
+
+        The ``scans`` section uses the exact schema of
+        :meth:`~repro.service.batch.BatchScanResult.stats_dict`, so offline
+        batch runs and the live server feed the same dashboards.
+        """
+        with self._lock:
+            requests = dict(self.requests)
+            errors = self.errors
+            contracts = self.contracts
+            malicious = self.malicious
+            batch_sizes = dict(self.batch_sizes)
+            latencies = {endpoint: list(window)
+                         for endpoint, window in self._latencies.items()}
+        latency_ms = {}
+        for endpoint, window in sorted(latencies.items()):
+            latency_ms[endpoint] = {
+                "count": len(window),
+                "p50_ms": _percentile(window, 0.50) * 1e3,
+                "p90_ms": _percentile(window, 0.90) * 1e3,
+                "p99_ms": _percentile(window, 0.99) * 1e3,
+            }
+        return {
+            "uptime_seconds": self.uptime_seconds,
+            "requests": {"total": sum(requests.values()), **requests},
+            "errors": errors,
+            "latency": latency_ms,
+            "scans": throughput_stats(contracts, malicious,
+                                      self.uptime_seconds,
+                                      cache_stats, batch_sizes),
+        }
+
+
+class _PendingInference:
+    """One submitter's graphs waiting for the coalescer to score them."""
+
+    __slots__ = ("graphs", "probabilities", "error", "ready")
+
+    def __init__(self, graphs: List[ContractGraph]) -> None:
+        self.graphs = graphs
+        self.probabilities: Optional[List[float]] = None
+        self.error: Optional[BaseException] = None
+        self.ready = threading.Event()
+
+
+class RequestCoalescer:
+    """Micro-batches concurrent inference requests into single model calls.
+
+    Handler threads call :meth:`submit` with already-lowered graphs and
+    block; a single drain thread collects up to ``max_batch`` graphs --
+    waiting at most ``max_wait_ms`` after the first arrival for stragglers --
+    and scores them with one batched ``predict_proba`` call.  One inference
+    thread means the model itself is never called concurrently, so no model
+    state needs locking.
+
+    Shutdown is graceful: :meth:`close` rejects new submissions but drains
+    everything already queued before the thread exits, so no accepted request
+    is ever dropped.
+
+    Args:
+        trainer: The fitted :class:`~repro.gnn.training.GNNTrainer` used for
+            scoring (one batched model call per micro-batch).
+        metrics: Sink for the batch-size histogram.
+        max_batch: Graph budget per inference call.  A single oversized
+            submission (a big ``/scan-batch`` request) is still honoured;
+            it is chunked internally at this size.
+        max_wait_ms: How long to hold the first request of a batch while
+            waiting for companions.  0 disables coalescing (every request is
+            scored alone, still through the single inference thread).
+    """
+
+    def __init__(self, trainer, metrics: ServerMetrics,
+                 max_batch: int = 32, max_wait_ms: float = 5.0) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self._trainer = trainer
+        self._metrics = metrics
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self._queue: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._stopping = threading.Event()
+        #: queued by close() AFTER the closed flag flips, under the same
+        #: lock submit() enqueues under -- FIFO ordering then guarantees the
+        #: sentinel sits behind every accepted submission, so the drain
+        #: thread cannot exit with work still queued
+        self._shutdown_sentinel = object()
+        self._thread = threading.Thread(target=self._drain_loop,
+                                        name="scamdetect-coalescer",
+                                        daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def submit(self, graphs: Sequence[ContractGraph]) -> List[float]:
+        """Score ``graphs``; blocks until the drain thread has answered.
+
+        Returns the malicious-class probability per graph, in input order.
+
+        Raises:
+            ServerShuttingDown: If the coalescer is shutting down.
+        """
+        if not graphs:
+            return []
+        pending = _PendingInference(list(graphs))
+        with self._lock:
+            if self._closed:
+                raise ServerShuttingDown("scan server is shutting down")
+            self._queue.put(pending)
+        pending.ready.wait()
+        if pending.error is not None:
+            raise pending.error
+        assert pending.probabilities is not None
+        return pending.probabilities
+
+    def close(self) -> None:
+        """Stop accepting work, drain the queue, then stop the thread."""
+        self._stopping.set()      # skip hold windows from here on
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(self._shutdown_sentinel)
+        if self._thread.is_alive():
+            self._thread.join()
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------ #
+
+    def _drain_loop(self) -> None:
+        done = False
+        while not done:
+            first = self._queue.get()
+            if first is self._shutdown_sentinel:
+                return
+            batch = [first]
+            total = len(first.graphs)
+            if not self._stopping.is_set() and self.max_wait_ms > 0:
+                deadline = time.monotonic() + self.max_wait_ms / 1e3
+                while total < self.max_batch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    try:
+                        extra = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                    if extra is self._shutdown_sentinel:
+                        done = True
+                        break
+                    batch.append(extra)
+                    total += len(extra.graphs)
+            else:
+                # shutting down (or coalescing disabled): take whatever is
+                # already queued without holding the batch open
+                while total < self.max_batch:
+                    try:
+                        extra = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if extra is self._shutdown_sentinel:
+                        done = True
+                        break
+                    batch.append(extra)
+                    total += len(extra.graphs)
+            self._score(batch, total)
+
+    def _score(self, batch: List[_PendingInference], total: int) -> None:
+        graphs = [graph for pending in batch for graph in pending.graphs]
+        try:
+            probabilities = self._trainer.predict_proba(
+                graphs, batch_size=self.max_batch)
+        except BaseException as error:  # propagate to every blocked submitter
+            for pending in batch:
+                pending.error = error
+                pending.ready.set()
+            return
+        # record the chunk sizes the model actually saw (predict_proba
+        # splits anything beyond max_batch internally)
+        full, remainder = divmod(total, self.max_batch)
+        for _ in range(full):
+            self._metrics.record_batch(self.max_batch)
+        if remainder:
+            self._metrics.record_batch(remainder)
+        offset = 0
+        for pending in batch:
+            rows = probabilities[offset:offset + len(pending.graphs)]
+            pending.probabilities = [float(row[1]) for row in rows]
+            offset += len(pending.graphs)
+            pending.ready.set()
+
+
+# ---------------------------------------------------------------------- #
+# HTTP plumbing
+
+
+class _RequestError(Exception):
+    """A client error carrying its HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _parse_contract(entry: object, index: Optional[int] = None,
+                    default_platform: Optional[str] = None
+                    ) -> Tuple[bytes, Optional[str], str]:
+    """Decode one contract object from a request payload.
+
+    Accepted shape: ``{"bytecode": "...", "encoding": "hex"|"base64",
+    "platform": "evm"|"wasm", "sample_id": "..."}`` -- only ``bytecode`` is
+    required.  Returns ``(raw bytes, platform or None, sample id)``.
+    """
+    where = f"contracts[{index}]" if index is not None else "request body"
+    if not isinstance(entry, dict):
+        raise _RequestError(400, f"{where} must be a JSON object")
+    bytecode = entry.get("bytecode")
+    if not isinstance(bytecode, str) or not bytecode:
+        raise _RequestError(400, f"{where}: 'bytecode' must be a non-empty "
+                                 f"hex or base64 string")
+    encoding = entry.get("encoding", "hex")
+    if encoding not in ("hex", "base64"):
+        raise _RequestError(400, f"{where}: unsupported encoding "
+                                 f"{encoding!r} (use 'hex' or 'base64')")
+    try:
+        if encoding == "base64":
+            raw = b64decode(bytecode, validate=True)
+        else:
+            raw = coerce_bytecode(bytecode)
+    except (ValueError, TypeError) as error:
+        raise _RequestError(400, f"{where}: bytecode does not decode as "
+                                 f"{encoding} ({error})") from error
+    if not raw:
+        raise _RequestError(400, f"{where}: bytecode decodes to zero bytes")
+    platform = entry.get("platform", default_platform)
+    if platform is not None and platform not in ("evm", "wasm"):
+        raise _RequestError(400, f"{where}: unknown platform {platform!r}")
+    sample_id = entry.get("sample_id")
+    if sample_id is None:
+        sample_id = ("contract" if index is None else f"contract-{index:04d}")
+    elif not isinstance(sample_id, str):
+        raise _RequestError(400, f"{where}: 'sample_id' must be a string")
+    return raw, platform, sample_id
+
+
+class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning :class:`ScanServer`."""
+
+    server_version = "scamdetect"
+    # HTTP/1.0: one request per connection, so pool workers are never pinned
+    # by an idle keep-alive peer
+    protocol_version = "HTTP/1.0"
+    # per-connection socket timeout: a peer that stalls mid-request (slow
+    # headers, missing body bytes) frees its pool worker instead of pinning
+    # it forever -- and shutdown's worker join can always complete
+    timeout = 30.0
+
+    @property
+    def scan_server(self) -> "ScanServer":
+        return self.server.scan_server  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # access logging would swamp the smoke tests; metrics cover it
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> object:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise _RequestError(411, "Content-Length header is required")
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise _RequestError(400, "invalid Content-Length") from None
+        if length < 0:
+            # a negative length would turn rfile.read() into read-to-EOF,
+            # pinning a pool worker until the peer hangs up
+            raise _RequestError(400, "invalid Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise _RequestError(413, f"request body exceeds "
+                                     f"{MAX_BODY_BYTES} bytes")
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body)
+        except ValueError as error:
+            raise _RequestError(400, f"request body is not valid JSON "
+                                     f"({error})") from error
+
+    # -------------------------------------------------------------- #
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+        server = self.scan_server
+        if self.path == "/healthz":
+            server.metrics.record_request("healthz")
+            self._send_json(200, server.health())
+        elif self.path == "/metrics":
+            server.metrics.record_request("metrics")
+            self._send_json(200, server.metrics.snapshot(server.cache_stats))
+        else:
+            server.metrics.record_error()
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
+        server = self.scan_server
+        routes = {"/scan": ("scan", self._handle_scan),
+                  "/scan-batch": ("scan_batch", self._handle_scan_batch)}
+        if self.path not in routes:
+            server.metrics.record_error()
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        endpoint, handler = routes[self.path]
+        server.metrics.record_request(endpoint)
+        started = time.perf_counter()
+        try:
+            status, payload = handler()
+        except _RequestError as error:
+            server.metrics.record_error()
+            self._send_json(error.status, {"error": str(error)})
+            return
+        except ServerShuttingDown as error:
+            server.metrics.record_error()
+            self._send_json(503, {"error": str(error)})
+            return
+        except ValueError as error:
+            # bytecode that decoded but failed to parse/lower is a client
+            # problem, not a server fault
+            server.metrics.record_error()
+            self._send_json(400, {"error": f"bytecode rejected: {error}"})
+            return
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            server.metrics.record_error()
+            self._send_json(500, {"error": f"internal error: {error}"})
+            return
+        server.metrics.record_latency(endpoint,
+                                      time.perf_counter() - started)
+        self._send_json(status, payload)
+
+    # -------------------------------------------------------------- #
+
+    def _handle_scan(self) -> Tuple[int, Dict[str, object]]:
+        server = self.scan_server
+        raw, platform, sample_id = _parse_contract(self._read_json())
+        report = server.scan_one(raw, platform, sample_id)
+        return 200, report.to_dict()
+
+    def _handle_scan_batch(self) -> Tuple[int, Dict[str, object]]:
+        server = self.scan_server
+        payload = self._read_json()
+        if not isinstance(payload, dict) or \
+                not isinstance(payload.get("contracts"), list):
+            raise _RequestError(400, "request body must be a JSON object "
+                                     "with a 'contracts' array")
+        default_platform = payload.get("platform")
+        if default_platform is not None and \
+                default_platform not in ("evm", "wasm"):
+            raise _RequestError(400, f"unknown platform {default_platform!r}")
+        contracts = [
+            _parse_contract(entry, index=index,
+                            default_platform=default_platform)
+            for index, entry in enumerate(payload["contracts"])]
+        started = time.perf_counter()
+        reports = server.scan_group(contracts)
+        elapsed = time.perf_counter() - started
+        malicious = sum(1 for report in reports if report.is_malicious)
+        return 200, {
+            "reports": [report.to_dict() for report in reports],
+            "contracts": len(reports),
+            "malicious": malicious,
+            "benign": len(reports) - malicious,
+            "elapsed_seconds": elapsed,
+        }
+
+
+class _ThreadPoolHTTPServer(HTTPServer):
+    """An :class:`HTTPServer` handling connections on a fixed worker pool.
+
+    The stdlib ``ThreadingHTTPServer`` spawns an unbounded thread per
+    connection; a fixed pool keeps the ``--workers`` knob honest and bounds
+    lowering concurrency.  Accepted connections queue up; on shutdown the
+    sentinel values are enqueued *behind* any pending connections, so every
+    accepted request is answered before the workers exit.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # the stdlib default listen backlog of 5 resets connections under the
+    # very bursts the coalescer exists for (64 concurrent clients is the
+    # acceptance scenario); size it like a daemon, not a toy
+    request_queue_size = 128
+
+    def __init__(self, address, handler, scan_server: "ScanServer",
+                 workers: int) -> None:
+        super().__init__(address, handler)
+        self.scan_server = scan_server
+        self._tasks: queue.Queue = queue.Queue()
+        self._workers = [
+            threading.Thread(target=self._work,
+                             name=f"scamdetect-http-{index}", daemon=True)
+            for index in range(workers)]
+
+    def start_workers(self) -> None:
+        for worker in self._workers:
+            worker.start()
+
+    def stop_workers(self) -> None:
+        for _ in self._workers:
+            self._tasks.put(None)
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.join()
+
+    def process_request(self, request, client_address) -> None:
+        self._tasks.put((request, client_address))
+
+    def _work(self) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                return
+            request, client_address = task
+            try:
+                self.finish_request(request, client_address)
+            except Exception:  # noqa: BLE001 - a broken peer must not kill
+                pass  # the worker; the error surfaced to the peer already
+            finally:
+                self.shutdown_request(request)
+
+
+class ScanServer:
+    """The long-running scan daemon.
+
+    Binds immediately (so a bad port fails at construction, not at
+    ``start()``), serves on a fixed pool of handler threads, and scores all
+    traffic through one :class:`RequestCoalescer`, one shared
+    :class:`~repro.service.cache.GraphCache` and one pipeline.
+
+    Args:
+        detector: A trained detector; its threshold/explain settings apply
+            to every verdict (leave both at the defaults for verdicts
+            byte-identical to a default ``ScamDetector.scan``).
+        host: Bind address.
+        port: TCP port; 0 picks a free port (see :attr:`port`).
+        workers: Handler threads -- the lowering (CFG recovery) concurrency.
+        max_batch: Coalescer graph budget per inference call.
+        max_wait_ms: Coalescer hold time for batch formation.
+        cache: Optional :class:`GraphCache`; one scoped to the detector's
+            config is created when omitted, so repeated bytecode is lowered
+            once across all clients.
+
+    Raises:
+        OSError: If the address cannot be bound.
+        RuntimeError: If the detector is not trained.
+    """
+
+    def __init__(self, detector: ScamDetector, host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT, workers: int = 8,
+                 max_batch: int = 32, max_wait_ms: float = 5.0,
+                 cache: Optional[GraphCache] = None) -> None:
+        if not detector.is_trained:
+            raise RuntimeError("ScanServer requires a trained detector")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.detector = detector
+        if cache is None:
+            cache = GraphCache.for_config(detector.config)
+        # remember what the pipeline had so shutdown() leaves the caller's
+        # detector exactly as it was found
+        self._previous_cache = detector.pipeline.graph_cache
+        detector.pipeline.set_graph_cache(cache)
+        self.cache = cache
+        self.workers = workers
+        self.metrics = ServerMetrics()
+        self.coalescer = RequestCoalescer(
+            detector.pipeline._trainer, self.metrics,
+            max_batch=max_batch, max_wait_ms=max_wait_ms)
+        self._httpd = _ThreadPoolHTTPServer(
+            (host, port), _ScanHTTPRequestHandler, self, workers)
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stop_requested = threading.Event()
+        self._started = False
+        self._stopped = False
+
+    # -------------------------------------------------------------- #
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats if self.cache is not None else CacheStats()
+
+    def health(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "model": self.detector.pipeline.describe(),
+            "uptime_seconds": self.metrics.uptime_seconds,
+            "workers": self.workers,
+            "max_batch": self.coalescer.max_batch,
+            "max_wait_ms": self.coalescer.max_wait_ms,
+            "queue_depth": self.coalescer.queue_depth,
+        }
+
+    # -------------------------------------------------------------- #
+    # scoring entry points used by the HTTP handlers (and tests)
+
+    def scan_one(self, raw: bytes, platform: Optional[str],
+                 sample_id: str):
+        """Lower, coalesce-score and report one contract."""
+        graph, resolved = self.detector.pipeline.analyse_bytecode(
+            raw, platform=platform, sample_id=sample_id)
+        probability = self.coalescer.submit([graph])[0]
+        report = self.detector.build_report(raw, sample_id, resolved,
+                                            probability, graph)
+        self.metrics.record_verdicts(1, int(report.is_malicious))
+        return report
+
+    def scan_group(self, contracts: Sequence[Tuple[bytes, Optional[str],
+                                                   str]]):
+        """Lower and score one ``/scan-batch`` request as a single group."""
+        lowered = []
+        for raw, platform, sample_id in contracts:
+            graph, resolved = self.detector.pipeline.analyse_bytecode(
+                raw, platform=platform, sample_id=sample_id)
+            lowered.append((raw, sample_id, resolved, graph))
+        probabilities = self.coalescer.submit(
+            [graph for _, _, _, graph in lowered])
+        reports = [
+            self.detector.build_report(raw, sample_id, resolved, probability,
+                                       graph)
+            for (raw, sample_id, resolved, graph), probability
+            in zip(lowered, probabilities)]
+        self.metrics.record_verdicts(
+            len(reports), sum(1 for report in reports if report.is_malicious))
+        return reports
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+
+    def start(self) -> "ScanServer":
+        """Start the coalescer, the worker pool and the accept loop."""
+        if self._started:
+            raise RuntimeError("ScanServer.start called twice")
+        self._started = True
+        self.coalescer.start()
+        self._httpd.start_workers()
+        self._accept_thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="scamdetect-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block the calling thread until :meth:`shutdown` (or a signal)."""
+        if not self._started:
+            self.start()
+        while not self._stop_requested.wait(0.2):
+            pass
+
+    def shutdown(self) -> None:
+        """Graceful stop: accept no new connections, answer everything
+        already accepted, drain the inference queue, release the socket,
+        and hand the detector back with its original cache."""
+        if not self._started or self._stopped:
+            self._stopped = True
+            self._stop_requested.set()
+            self._httpd.server_close()
+            self._restore_cache()
+            return
+        self._stopped = True
+        self._stop_requested.set()
+        self._httpd.shutdown()            # stops the accept loop
+        if self._accept_thread is not None:
+            self._accept_thread.join()
+        self._httpd.stop_workers()        # drains accepted connections
+        self.coalescer.close()            # drains queued inference work
+        self._httpd.server_close()
+        self._restore_cache()
+
+    def _restore_cache(self) -> None:
+        # direct assignment like ScamDetector.scan_many's restore: the
+        # previous cache (or None) was attached to this very pipeline, so it
+        # needs no re-validation
+        self.detector.pipeline.graph_cache = self._previous_cache
+
+    def __enter__(self) -> "ScanServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()

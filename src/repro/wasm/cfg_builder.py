@@ -147,7 +147,7 @@ class WasmCFGBuilder:
                                 len(body)))
             elif entry.name in ("return", "unreachable"):
                 leaders.add(index + 1)
-        leaders = {l for l in leaders if l < len(body)}
+        leaders = {leader for leader in leaders if leader < len(body)}
 
         # build blocks
         ordered_leaders = sorted(leaders)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.wasm.leb128 import encode_signed, encode_unsigned
 from repro.wasm.module import WasmFunction, WasmInstructionEntry, WasmModule

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.autograd import (
     Adam,
     Linear,
-    Module,
     Parameter,
     SGD,
     Sequential,

@@ -14,7 +14,6 @@ from repro.core.frontends import (
 from repro.core.pipeline import ScamDetectPipeline
 from repro.core.report import ScanSummary, VerdictReport
 from repro.datasets.generator import CorpusGenerator, GeneratorConfig
-from repro.datasets.splits import stratified_split
 from repro.evm.contracts import TEMPLATES_BY_NAME, make_minimal_proxy
 from repro.wasm.contracts import WASM_TEMPLATES_BY_NAME
 

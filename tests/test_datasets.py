@@ -1,6 +1,5 @@
 """Tests for the dataset substrate: corpus, generator, dedup, splits."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -12,7 +11,7 @@ from repro.datasets.generator import (
     GeneratorConfig,
     generate_paired_clean_and_obfuscated,
 )
-from repro.datasets.labels import BENIGN, FAMILIES_BY_NAME, MALICIOUS, family_label
+from repro.datasets.labels import FAMILIES_BY_NAME, family_label
 from repro.datasets.splits import k_fold_indices, stratified_split
 from repro.evm.contracts import make_minimal_proxy
 

@@ -1,6 +1,5 @@
 """Tests for the evaluation harness: reporting, cross-validation, experiments."""
 
-import numpy as np
 import pytest
 
 from repro.evaluation import (

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.evm.assembler import EVMAssembler
 from repro.evm.cfg_builder import EVMCFGBuilder, build_cfg

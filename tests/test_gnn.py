@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor
-from repro.datasets.generator import CorpusGenerator, GeneratorConfig
 from repro.gnn import (
     GNN_ARCHITECTURES,
     ContractGraph,

@@ -1,6 +1,5 @@
 """Tests for risk indicators, model persistence and the CLI."""
 
-import random
 
 import numpy as np
 import pytest

@@ -1,7 +1,6 @@
 """Integration tests exercising the whole pipeline across module boundaries."""
 
 import numpy as np
-import pytest
 
 from repro import ScamDetectConfig, ScamDetector
 from repro.datasets.corpus import Corpus

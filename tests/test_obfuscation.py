@@ -7,7 +7,7 @@ import pytest
 from repro.evm.assembler import assemble
 from repro.evm.cfg_builder import build_cfg
 from repro.evm.contracts import TEMPLATES_BY_NAME
-from repro.evm.disassembler import disassemble, to_mnemonic_sequence
+from repro.evm.disassembler import to_mnemonic_sequence
 from repro.obfuscation import (
     ConstantBlinding,
     ControlFlowFlattening,

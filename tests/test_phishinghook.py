@@ -1,7 +1,6 @@
 """Tests for the PhishingHook 16-model zoo and evaluation framework."""
 
 import numpy as np
-import pytest
 
 from repro.phishinghook import ModelEvaluation, PhishingHookFramework, build_model_zoo
 

@@ -1,0 +1,316 @@
+"""Tests of the scan server: coalescing, verdict parity, metrics, shutdown.
+
+The server fixtures bind to port 0 (a free ephemeral port), so the suite can
+run in parallel with anything else on the host.
+"""
+
+import concurrent.futures
+import threading
+import time
+
+import pytest
+
+from repro.core.config import ScamDetectConfig
+from repro.core.detector import ScamDetector
+from repro.service import ServerClient, ServerClientError
+from repro.service.server import (
+    RequestCoalescer,
+    ScanServer,
+    ServerMetrics,
+    _percentile,
+)
+
+FAST = ScamDetectConfig(epochs=3, num_layers=1, hidden_features=8)
+
+
+@pytest.fixture(scope="module")
+def trained_detector(tiny_evm_corpus):
+    # explain stays at the default (True) so server verdicts carry the same
+    # indicator notes as a default ScamDetector.scan
+    return ScamDetector(FAST).train(tiny_evm_corpus)
+
+
+@pytest.fixture()
+def server(trained_detector):
+    with ScanServer(trained_detector, port=0, workers=16, max_batch=16,
+                    max_wait_ms=25.0) as running:
+        yield running
+    # shutdown hands the detector back with its original (absent) cache
+    assert trained_detector.pipeline.graph_cache is None
+
+
+@pytest.fixture()
+def client(server):
+    probe = ServerClient(port=server.port)
+    probe.wait_until_ready(timeout=10.0)
+    return probe
+
+
+# --------------------------------------------------------------------------- #
+# endpoints
+
+
+def test_healthz_reports_configuration(server, client):
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["workers"] == 16
+    assert health["max_batch"] == 16
+    assert "scamdetect-" in health["model"]
+    assert health["uptime_seconds"] >= 0.0
+
+
+def test_unknown_paths_are_404(client):
+    for method, path in (("GET", "/nope"), ("POST", "/nope")):
+        with pytest.raises(ServerClientError) as caught:
+            client._request(method, path, {} if method == "POST" else None)
+        assert caught.value.status == 404
+
+
+def test_bad_requests_are_400(client):
+    cases = [
+        {"bytecode": "zz-not-hex"},
+        {"bytecode": "6001", "encoding": "rot13"},
+        {"bytecode": "6001", "platform": "solana"},
+        {"bytecode": ""},
+        {"bytecode": "6001", "sample_id": 7},
+        "not an object",
+    ]
+    for payload in cases:
+        with pytest.raises(ServerClientError) as caught:
+            client._request("POST", "/scan", payload)
+        assert caught.value.status == 400, payload
+    with pytest.raises(ServerClientError) as caught:
+        client._request("POST", "/scan-batch", {"contracts": "nope"})
+    assert caught.value.status == 400
+
+
+def test_scan_verdict_parity_with_detector_scan(trained_detector, client,
+                                                tiny_evm_corpus):
+    for sample in tiny_evm_corpus[:8]:
+        served = client.scan(sample.bytecode, sample_id=sample.sample_id)
+        direct = trained_detector.scan(sample.bytecode,
+                                       sample_id=sample.sample_id)
+        assert served == direct.to_dict()
+
+
+def test_scan_accepts_base64_and_hex_string(trained_detector, client,
+                                            tiny_evm_corpus):
+    code = tiny_evm_corpus[0].bytecode
+    direct = trained_detector.scan(code).to_dict()
+    assert client.scan(code, encoding="base64") == direct
+    assert client.scan("0x" + code.hex()) == direct
+    # a hex *string* sent over base64 transport must describe the same
+    # bytes, not have its hex digits misread as base64 alphabet
+    assert client.scan(code.hex(), encoding="base64") == direct
+
+
+def test_undecodable_bytecode_is_client_error_not_500(client):
+    # decodes fine as hex, then fails inside the WASM frontend: still a 400
+    bad_wasm = b"\x00asm\x01\x00\x00\x00" + b"\xff" * 20
+    with pytest.raises(ServerClientError) as caught:
+        client.scan(bad_wasm)
+    assert caught.value.status == 400
+    assert "rejected" in str(caught.value)
+
+
+def test_negative_content_length_is_400(server):
+    import http.client
+
+    connection = http.client.HTTPConnection(server.host, server.port,
+                                            timeout=10)
+    try:
+        connection.putrequest("POST", "/scan", skip_host=False)
+        connection.putheader("Content-Length", "-1")
+        connection.endheaders()
+        response = connection.getresponse()
+        assert response.status == 400
+        response.read()
+    finally:
+        connection.close()
+
+
+def test_scan_batch_endpoint_orders_and_summarises(trained_detector, client,
+                                                   tiny_evm_corpus):
+    samples = tiny_evm_corpus[:6]
+    response = client.scan_batch(
+        [sample.bytecode for sample in samples],
+        sample_ids=[sample.sample_id for sample in samples])
+    assert response["contracts"] == 6
+    assert response["malicious"] + response["benign"] == 6
+    assert [report["sample_id"] for report in response["reports"]] == \
+        [sample.sample_id for sample in samples]
+    for sample, report in zip(samples, response["reports"]):
+        assert report == trained_detector.scan(
+            sample.bytecode, sample_id=sample.sample_id).to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# coalescing under concurrency (the acceptance scenario)
+
+
+def test_64_concurrent_scans_coalesce_and_match_single_shot(
+        trained_detector, server, client, tiny_evm_corpus):
+    codes = [sample.bytecode for sample in tiny_evm_corpus] * 3  # 72 scans
+    codes = codes[:64]
+    with concurrent.futures.ThreadPoolExecutor(max_workers=32) as pool:
+        served = list(pool.map(client.scan, codes))
+    direct = [trained_detector.scan(code).to_dict() for code in codes]
+    assert served == direct
+
+    metrics = client.metrics()
+    batches = metrics["scans"]["batches"]
+    assert batches["count"] >= 1
+    # coalescing engaged: at least one inference batch held >1 request
+    assert batches["max_size"] > 1
+    assert batches["coalesced"] >= 1
+    assert sum(int(size) * count
+               for size, count in batches["histogram"].items()) == \
+        metrics["scans"]["contracts"]
+
+
+def test_metrics_counters_advance(client, tiny_evm_corpus):
+    before = client.metrics()
+    client.scan(tiny_evm_corpus[0].bytecode)
+    client.scan(tiny_evm_corpus[1].bytecode)
+    after = client.metrics()
+    assert after["requests"]["scan"] == before["requests"].get("scan", 0) + 2
+    assert after["requests"]["metrics"] == before["requests"]["metrics"] + 1
+    assert after["scans"]["contracts"] == before["scans"]["contracts"] + 2
+    assert after["latency"]["scan"]["count"] >= 2
+    assert after["latency"]["scan"]["p50_ms"] > 0.0
+    assert after["scans"]["cache"]["lookups"] >= \
+        before["scans"]["cache"]["lookups"] + 2
+    assert after["errors"] == before["errors"]
+
+
+def test_errors_counted_not_latency(client):
+    before = client.metrics()
+    with pytest.raises(ServerClientError):
+        client._request("POST", "/scan", {"bytecode": "zz"})
+    after = client.metrics()
+    assert after["errors"] == before["errors"] + 1
+
+
+# --------------------------------------------------------------------------- #
+# graceful shutdown
+
+
+def test_shutdown_drains_inflight_http_requests(trained_detector,
+                                                tiny_evm_corpus):
+    # long hold window + big batch budget: requests pile up in the coalescer
+    # and are still unanswered when shutdown starts
+    server = ScanServer(trained_detector, port=0, workers=16, max_batch=64,
+                        max_wait_ms=400.0).start()
+    try:
+        client = ServerClient(port=server.port)
+        client.wait_until_ready()
+        codes = [sample.bytecode for sample in tiny_evm_corpus[:12]]
+        with concurrent.futures.ThreadPoolExecutor(max_workers=12) as pool:
+            futures = [pool.submit(client.scan, code) for code in codes]
+            # wait until every request reached a handler (the coalescer's
+            # 400ms hold window keeps them all unanswered) -- sleeping
+            # instead would race the accept loop under a loaded test host
+            deadline = time.monotonic() + 10.0
+            while server.metrics.requests.get("scan", 0) < len(codes):
+                assert time.monotonic() < deadline, "requests never accepted"
+                time.sleep(0.01)
+            server.shutdown()         # must drain, not drop
+            served = [future.result(timeout=10.0) for future in futures]
+    finally:
+        server.shutdown()
+    assert trained_detector.pipeline.graph_cache is None  # cache restored
+    direct = [trained_detector.scan(code).to_dict() for code in codes]
+    assert served == direct
+
+
+def test_coalescer_close_drains_queue(trained_detector, tiny_evm_corpus):
+    pipeline = trained_detector.pipeline
+    graphs = [pipeline.analyse_bytecode(sample.bytecode)[0]
+              for sample in tiny_evm_corpus[:8]]
+    coalescer = RequestCoalescer(pipeline._trainer, ServerMetrics(),
+                                 max_batch=64, max_wait_ms=500.0)
+    coalescer.start()
+    results = {}
+    threads = [threading.Thread(target=lambda i=i: results.update(
+        {i: coalescer.submit([graphs[i]])})) for i in range(len(graphs))]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.1)                   # everything queued, window still open
+    coalescer.close()                 # drains before stopping
+    for thread in threads:
+        thread.join(timeout=10.0)
+    assert sorted(results) == list(range(len(graphs)))
+    expected = pipeline._trainer.predict_proba(graphs)
+    for index, probabilities in results.items():
+        assert probabilities[0] == pytest.approx(
+            float(expected[index][1]), abs=1e-9)
+
+    with pytest.raises(RuntimeError, match="shutting down"):
+        coalescer.submit([graphs[0]])
+
+
+def test_server_refuses_untrained_detector():
+    with pytest.raises(RuntimeError, match="trained"):
+        ScanServer(ScamDetector(FAST))
+
+
+def test_coalescer_validates_parameters(trained_detector):
+    with pytest.raises(ValueError, match="max_batch"):
+        RequestCoalescer(trained_detector.pipeline._trainer, ServerMetrics(),
+                         max_batch=0)
+    with pytest.raises(ValueError, match="max_wait_ms"):
+        RequestCoalescer(trained_detector.pipeline._trainer, ServerMetrics(),
+                         max_wait_ms=-1.0)
+
+
+def test_percentile_nearest_rank():
+    assert _percentile([], 0.5) == 0.0
+    assert _percentile([3.0], 0.99) == 3.0
+    values = list(range(1, 101))
+    assert _percentile(values, 0.0) == 1
+    assert _percentile(values, 0.5) == 51
+    assert _percentile(values, 1.0) == 100
+
+
+# --------------------------------------------------------------------------- #
+# CLI startup errors
+
+
+def test_client_scan_batch_rejects_mismatched_sample_ids(client,
+                                                         tiny_evm_corpus):
+    with pytest.raises(ValueError, match="sample_ids length"):
+        client.scan_batch([s.bytecode for s in tiny_evm_corpus[:2]],
+                          sample_ids=["only-one"])
+
+
+def test_cli_serve_missing_bundle_exits_nonzero(tmp_path):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit) as caught:
+        main(["serve", "--model-path", str(tmp_path / "missing")])
+    assert "cannot load model bundle" in str(caught.value)
+
+
+def test_cli_serve_bad_port_exits_nonzero(trained_detector, tmp_path):
+    from repro.cli import main
+
+    model_path = tmp_path / "model"
+    trained_detector.save(model_path)
+    with pytest.raises(SystemExit) as caught:
+        main(["serve", "--model-path", str(model_path), "--port", "99999"])
+    assert "cannot bind" in str(caught.value)
+
+
+def test_cli_serve_bad_parameters_name_the_parameter(trained_detector,
+                                                     tmp_path):
+    from repro.cli import main
+
+    model_path = tmp_path / "model"
+    trained_detector.save(model_path)
+    for flags, fragment in ((["--workers", "0"], "workers"),
+                            (["--max-batch", "0"], "max_batch"),
+                            (["--cache-capacity", "0"], "capacity")):
+        with pytest.raises(SystemExit) as caught:
+            main(["serve", "--model-path", str(model_path), *flags])
+        message = str(caught.value)
+        assert "invalid parameters" in message and fragment in message

@@ -226,12 +226,53 @@ def test_scan_directory(trained_detector, tiny_evm_corpus, tmp_path):
     assert got.to_dict() == expected.to_dict()
 
 
-def test_scan_directory_bad_hex_names_file(trained_detector, tmp_path):
+def test_scan_directory_skips_bad_inputs_with_warning(trained_detector,
+                                                      tiny_evm_corpus,
+                                                      tmp_path, monkeypatch):
+    import pathlib
+
     feed = tmp_path / "feed"
     feed.mkdir()
+    (feed / "good.bin").write_bytes(tiny_evm_corpus[0].bytecode)
     (feed / "broken.hex").write_text("this is not hex")
-    with pytest.raises(ValueError, match="broken.hex"):
-        trained_detector.scan_directory(feed)
+    (feed / "empty.bin").write_bytes(b"")
+    (feed / "locked.bin").write_bytes(tiny_evm_corpus[1].bytecode)
+
+    # simulate an unreadable file (chmod is useless when tests run as root)
+    original_read_bytes = pathlib.Path.read_bytes
+
+    def read_bytes(self):
+        if self.name == "locked.bin":
+            raise PermissionError(13, "Permission denied")
+        return original_read_bytes(self)
+
+    monkeypatch.setattr(pathlib.Path, "read_bytes", read_bytes)
+    with pytest.warns(UserWarning) as warned:
+        result = trained_detector.scan_directory(feed)
+    # one corrupt submission must not abort the batch
+    assert [r.sample_id for r in result.reports] == ["good.bin"]
+    assert len(result.skipped) == 3
+    assert any("broken.hex" in entry for entry in result.skipped)
+    assert any("empty" in entry for entry in result.skipped)
+    assert any("locked.bin" in entry for entry in result.skipped)
+    assert len(warned) == 3
+    assert "skipped 3 unreadable inputs" in result.format()
+
+
+def test_batch_result_stats_dict_schema(trained_detector, tiny_evm_corpus):
+    scanner = BatchScanner(trained_detector, inference_batch_size=4)
+    result = scanner.scan_codes([s.bytecode for s in tiny_evm_corpus[:10]])
+    stats = result.stats_dict()
+    assert stats["contracts"] == 10
+    assert stats["malicious"] + stats["benign"] == 10
+    assert stats["contracts_per_second"] > 0.0
+    # 10 contracts at inference_batch_size=4 -> batches of 4, 4, 2
+    assert result.batch_sizes == {4: 2, 2: 1}
+    assert stats["batches"] == {"count": 3, "max_size": 4, "coalesced": 3,
+                                "histogram": {"2": 1, "4": 2}}
+    assert set(stats["cache"]) == {"hits", "misses", "lookups", "hit_rate",
+                                   "evictions", "disk_hits", "disk_writes",
+                                   "stale_purges"}
 
 
 def test_batch_scanner_requires_trained_detector():

@@ -1,6 +1,5 @@
 """Tests for WASM CFG construction and contract templates."""
 
-import pytest
 
 from repro.wasm.cfg_builder import WasmCFGBuilder, build_cfg
 from repro.wasm.contracts import (
@@ -9,7 +8,6 @@ from repro.wasm.contracts import (
     WASM_MALICIOUS_TEMPLATES,
     WASM_TEMPLATES_BY_NAME,
 )
-from repro.wasm.encoder import encode_module
 from repro.wasm.module import WasmFunction, WasmModule, instr
 from repro.wasm.opcodes import BLOCKTYPE_VOID
 

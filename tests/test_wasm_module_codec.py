@@ -1,6 +1,5 @@
 """Tests for the WASM module encoder/parser roundtrip."""
 
-import random
 
 import pytest
 from hypothesis import given, settings
