@@ -30,9 +30,9 @@ setup(
         # engine falls back to a pure-NumPy path when it is absent
         "accel": ["scipy"],
         "test": ["pytest", "pytest-benchmark", "scipy"],
-        # lint/format tooling used by the CI lint job ([tool.ruff] in
-        # pyproject.toml holds the configuration)
-        "dev": ["ruff", "pytest", "pytest-benchmark", "scipy"],
+        # lint/format/coverage tooling used by the CI lint and coverage jobs
+        # ([tool.ruff] / [tool.coverage.*] in pyproject.toml hold the config)
+        "dev": ["ruff", "pytest", "pytest-benchmark", "scipy", "coverage"],
     },
     entry_points={
         "console_scripts": [

@@ -7,9 +7,9 @@ Usage (after ``pip install -e .`` the ``scamdetect`` entry point is on PATH;
     scamdetect train      --model-path /tmp/scamdetect --num-samples 200
     scamdetect scan       --model-path /tmp/scamdetect --hex-file contract.hex
     scamdetect scan-batch --model-path /tmp/scamdetect --input-dir submissions/ \
-                          --cache-dir /tmp/scamdetect-cache
+                          --cache-dir /tmp/scamdetect-cache --shards 4
     scamdetect serve      --model-path /tmp/scamdetect --port 8742 \
-                          --workers 8 --max-batch 32
+                          --workers 8 --max-batch 32 --shards 4
     scamdetect experiment --id E2
 
 The CLI is intentionally thin: every command maps onto one public-API call so
@@ -105,7 +105,7 @@ def _load_detector(command: str, args: argparse.Namespace,
 
 
 def _command_scan_batch(args: argparse.Namespace) -> int:
-    from repro.service import BatchScanner, GraphCache
+    from repro.service import BatchScanner, GraphCache, ShardError
 
     detector = _load_detector("scan-batch", args, explain=args.explain)
     cache = None
@@ -118,12 +118,15 @@ def _command_scan_batch(args: argparse.Namespace) -> int:
                 disk_dir=args.cache_dir)
         except ValueError as error:
             raise SystemExit(f"scan-batch: {error}")
-    scanner = BatchScanner(detector, cache=cache, max_workers=args.workers)
+    scanner = BatchScanner(detector, cache=cache, max_workers=args.workers,
+                           shards=args.shards)
     try:
         result = scanner.scan_directory(args.input_dir, pattern=args.pattern,
                                         platform=args.platform)
-    except (FileNotFoundError, ValueError) as error:
+    except (FileNotFoundError, ValueError, ShardError) as error:
         raise SystemExit(f"scan-batch: {error}")
+    finally:
+        scanner.close()
     print(result.format())
     for entry in result.skipped:
         print(f"  skipped: {entry}", file=sys.stderr)
@@ -137,7 +140,7 @@ def _command_scan_batch(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     import signal
 
-    from repro.service import GraphCache
+    from repro.service import GraphCache, ShardError
     from repro.service.server import ScanServer
 
     detector = _load_detector("serve", args, explain=not args.no_explain)
@@ -149,7 +152,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             disk_dir=args.cache_dir)
         server = ScanServer(detector, host=args.host, port=args.port,
                             workers=args.workers, max_batch=args.max_batch,
-                            max_wait_ms=args.max_wait_ms, cache=cache)
+                            max_wait_ms=args.max_wait_ms, cache=cache,
+                            shards=args.shards)
     except (OSError, OverflowError) as error:
         raise SystemExit(f"serve: cannot bind {args.host}:{args.port}: "
                          f"{error}")
@@ -167,6 +171,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
+    except ShardError as error:
+        # a shard replica that cannot come up (or stay up) is a startup
+        # failure, not a crash: exit non-zero with a clear message
+        raise SystemExit(f"serve: shard pool failed: {error}")
     finally:
         print("serve: draining in-flight scans and shutting down",
               flush=True)
@@ -186,6 +194,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         run_e7_gnn_ablation,
         run_e8_scan_throughput,
         run_e9_gnn_throughput,
+        run_e10_sharded_throughput,
     )
 
     runners = {
@@ -198,6 +207,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         "E7": run_e7_gnn_ablation,
         "E8": run_e8_scan_throughput,
         "E9": run_e9_gnn_throughput,
+        "E10": run_e10_sharded_throughput,
     }
     result = runners[args.id.upper()]()
     print(result.format())
@@ -255,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="in-memory graph-cache entries (default 1024)")
     batch_parser.add_argument("--workers", type=int, default=None,
                               help="lowering threads (default: executor heuristic)")
+    batch_parser.add_argument("--shards", type=int, default=1,
+                              help="scan worker processes; >= 2 shards the "
+                                   "scan by content hash across pipeline "
+                                   "replicas (escapes the GIL for lowering)")
     batch_parser.add_argument("--explain", action="store_true",
                               help="attach indicator notes to every report "
                                    "(slower; off by default in batch mode)")
@@ -280,6 +294,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--max-wait-ms", type=float, default=5.0,
                               help="how long to hold a request while "
                                    "coalescing a batch (0 disables)")
+    serve_parser.add_argument("--shards", type=int, default=1,
+                              help="inference worker processes; >= 2 makes "
+                                   "the coalescer dispatch micro-batches "
+                                   "round-robin to shard replicas")
     serve_parser.add_argument("--threshold", type=float, default=0.5)
     serve_parser.add_argument("--cache-dir", default=None,
                               help="directory for the persistent graph-cache "
@@ -293,9 +311,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.set_defaults(handler=_command_serve)
 
     experiment_parser = subparsers.add_parser("experiment",
-                                              help="run one E1-E9 experiment")
+                                              help="run one E1-E10 experiment")
     experiment_parser.add_argument("--id", required=True,
-                                   choices=[f"E{i}" for i in range(1, 10)])
+                                   choices=[f"E{i}" for i in range(1, 11)])
     experiment_parser.set_defaults(handler=_command_experiment)
     return parser
 

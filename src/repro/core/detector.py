@@ -183,7 +183,8 @@ class ScamDetector:
                   platform: Optional[str] = None,
                   sample_ids: Optional[Sequence[str]] = None,
                   cache: Optional["GraphCache"] = None,
-                  max_workers: Optional[int] = None) -> "BatchScanResult":
+                  max_workers: Optional[int] = None,
+                  shards: int = 1) -> "BatchScanResult":
         """Scan many contracts through the batch service layer.
 
         Args:
@@ -196,6 +197,12 @@ class ScamDetector:
                 bytecode.
             max_workers: Worker threads for frontend lowering (defaults to
                 the executor's heuristic).
+            shards: Scan worker *processes*; ``>= 2`` shards the scan
+                across a :class:`~repro.service.sharded.ShardedScanner`
+                pool by content hash (verdicts stay bit-identical to
+                :meth:`scan`).  The throwaway pool is released before this
+                returns; hold a ``BatchScanner(shards=N)`` instead to amortise
+                pool startup over many calls.
 
         Returns:
             A :class:`~repro.service.batch.BatchScanResult` with per-contract
@@ -205,34 +212,40 @@ class ScamDetector:
         from repro.service.batch import BatchScanner
 
         previous_cache = self.pipeline.graph_cache
-        scanner = BatchScanner(self, cache=cache, max_workers=max_workers)
+        scanner = BatchScanner(self, cache=cache, max_workers=max_workers,
+                               shards=shards)
         try:
             return scanner.scan_codes(codes, platform=platform,
                                       sample_ids=sample_ids)
         finally:
             # the scanner is throwaway here: restore whatever cache (or None)
             # the pipeline had so this call has no lasting side effect
+            scanner.close()
             self.pipeline.graph_cache = previous_cache
 
     def scan_directory(self, directory, pattern: str = "*",
                        platform: Optional[str] = None,
                        cache: Optional["GraphCache"] = None,
-                       max_workers: Optional[int] = None) -> "BatchScanResult":
+                       max_workers: Optional[int] = None,
+                       shards: int = 1) -> "BatchScanResult":
         """Scan every bytecode file under ``directory`` (see
         :meth:`~repro.service.batch.BatchScanner.scan_directory`).
 
         Files ending in ``.hex`` are parsed as hex text; anything else is
         read as raw binary.  Sample ids are the file names relative to
-        ``directory``.
+        ``directory``.  ``shards >= 2`` scans on a multi-process pool (see
+        :meth:`scan_many`).
         """
         from repro.service.batch import BatchScanner
 
         previous_cache = self.pipeline.graph_cache
-        scanner = BatchScanner(self, cache=cache, max_workers=max_workers)
+        scanner = BatchScanner(self, cache=cache, max_workers=max_workers,
+                               shards=shards)
         try:
             return scanner.scan_directory(directory, pattern=pattern,
                                           platform=platform)
         finally:
+            scanner.close()
             self.pipeline.graph_cache = previous_cache
 
     def save(self, path) -> None:

@@ -1,4 +1,4 @@
-"""Evaluation harness: cross-validation, the E1-E9 experiments and reporting.
+"""Evaluation harness: cross-validation, the E1-E10 experiments and reporting.
 
 Each experiment function reproduces one claim of the paper (see DESIGN.md's
 experiment index) and returns an :class:`~repro.evaluation.reporting.ExperimentResult`
@@ -23,6 +23,7 @@ from repro.evaluation.experiments import (
     E7Config,
     E8Config,
     E9Config,
+    E10Config,
     run_e1_phishinghook_zoo,
     run_e2_obfuscation_degradation,
     run_e3_gnn_vs_baseline,
@@ -32,6 +33,7 @@ from repro.evaluation.experiments import (
     run_e7_gnn_ablation,
     run_e8_scan_throughput,
     run_e9_gnn_throughput,
+    run_e10_sharded_throughput,
 )
 
 __all__ = [
@@ -48,6 +50,7 @@ __all__ = [
     "E7Config",
     "E8Config",
     "E9Config",
+    "E10Config",
     "run_e1_phishinghook_zoo",
     "run_e2_obfuscation_degradation",
     "run_e3_gnn_vs_baseline",
@@ -57,4 +60,5 @@ __all__ = [
     "run_e7_gnn_ablation",
     "run_e8_scan_throughput",
     "run_e9_gnn_throughput",
+    "run_e10_sharded_throughput",
 ]

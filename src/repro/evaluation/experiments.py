@@ -768,3 +768,153 @@ def run_e9_gnn_throughput(config: Optional[E9Config] = None) -> ExperimentResult
         "same optimizer trajectory, so the speedup is pure execution "
         "efficiency, not a different training run")
     return result
+
+
+# --------------------------------------------------------------------------- #
+# E10: multi-process sharded scan throughput
+
+
+def available_cores() -> int:
+    """CPU cores this process may actually use (affinity-aware)."""
+    import os
+
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+@dataclass
+class E10Config:
+    """Workload of the E10 sharded-scan throughput experiment.
+
+    One corpus is cold-scanned by the single-process :class:`BatchScanner`
+    (the verdict oracle), by a 1-shard pool (the sharding-overhead
+    baseline) and by a ``shards``-shard pool; a final warm re-scan on a
+    fresh pool exercises the cross-process shared disk cache tier.  Pools
+    are started *before* their timing window, so the measurement is scan
+    throughput, not replica-load time.
+    """
+
+    # 240 contracts keep per-shard compute well above the pool's IPC and
+    # merge overhead, so the >= 2x scaling floor measures lowering
+    # parallelism rather than dispatch cost on small corpora
+    num_samples: int = 240
+    epochs: int = 6
+    num_layers: int = 1
+    hidden_features: int = 16
+    shards: int = 4
+    chunk_size: int = 8
+    repeats: int = 2
+    seed: int = 0
+
+
+def run_e10_sharded_throughput(config: Optional[E10Config] = None) -> ExperimentResult:
+    """E10: multi-process sharded scanning -- throughput scaling + parity.
+
+    The acceptance claim is that on a machine with >= ``shards`` usable
+    cores a cold sharded scan is at least 2x faster than the 1-shard pool,
+    with **zero** verdict mismatches against the single-process oracle.
+    Speedup is hardware-bound (a 1-core container cannot parallelise
+    CPU-bound lowering, whatever the software does), so the measured
+    ``available_cores`` is part of the result and the benchmark gate scales
+    its floor accordingly; parity is asserted unconditionally.
+    """
+    import tempfile
+    import time
+
+    from repro.core.detector import ScamDetector
+    from repro.service import BatchScanner, ShardedScanner
+
+    config = config or E10Config()
+    corpus = CorpusGenerator(GeneratorConfig(
+        platform="evm", num_samples=config.num_samples,
+        label_noise=0.0, seed=config.seed)).generate("e10-corpus")
+    detector = ScamDetector(
+        ScamDetectConfig(epochs=config.epochs, num_layers=config.num_layers,
+                         hidden_features=config.hidden_features,
+                         seed=config.seed),
+        explain=False)
+    detector.train(corpus)
+    codes = [sample.bytecode for sample in corpus]
+    ids = [sample.sample_id for sample in corpus]
+
+    repeats = max(1, config.repeats)
+
+    # single-process oracle (no cache): the verdicts every sharded run
+    # must reproduce byte-for-byte
+    oracle_scanner = BatchScanner(detector, max_workers=1)
+    single_seconds = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        oracle = oracle_scanner.scan_codes(codes, sample_ids=ids)
+        single_seconds = min(single_seconds, time.perf_counter() - started)
+
+    def sharded_scan(shards: int, cache_dir=None, scan_repeats: int = repeats):
+        # best-of-repeats on a FRESH pool each time: workers hold in-memory
+        # caches, so re-scanning one pool would silently turn a cold
+        # measurement warm.  Pools start before the timing window, so
+        # replica-load cost never pollutes throughput.
+        best = float("inf")
+        for _ in range(scan_repeats):
+            with ShardedScanner(detector, shards=shards,
+                                chunk_size=config.chunk_size,
+                                cache_dir=cache_dir) as scanner:
+                scanner.start()
+                started = time.perf_counter()
+                result = scanner.scan_codes(codes, sample_ids=ids)
+                best = min(best, time.perf_counter() - started)
+        return result, best
+
+    one_result, one_seconds = sharded_scan(1)
+    many_result, many_seconds = sharded_scan(config.shards)
+    with tempfile.TemporaryDirectory(prefix="e10-cache-") as cache_dir:
+        # fill the shared disk tier with one pool, then re-scan with
+        # *fresh* pools: every warm hit crosses a process boundary
+        sharded_scan(config.shards, cache_dir=cache_dir, scan_repeats=1)
+        warm_result, warm_seconds = sharded_scan(config.shards,
+                                                 cache_dir=cache_dir)
+
+    def mismatches(result) -> int:
+        return sum(1 for single, sharded in zip(oracle.reports, result.reports)
+                   if single.to_dict() != sharded.to_dict())
+
+    total_mismatches = (mismatches(one_result) + mismatches(many_result)
+                        + mismatches(warm_result))
+
+    def row(mode: str, seconds: float, result) -> Dict[str, object]:
+        return {"mode": mode, "contracts": len(codes), "seconds": seconds,
+                "contracts_per_second": (len(codes) / seconds
+                                         if seconds else 0.0),
+                "cache_hit_rate": result.cache_stats.hit_rate}
+
+    result = ExperimentResult(
+        experiment_id="E10",
+        title=f"Sharded scan engine: process-pool scaling at "
+              f"{config.shards} shards ({available_cores()} usable cores)")
+    result.rows = [
+        row("single-process", single_seconds, oracle),
+        row("sharded-1", one_seconds, one_result),
+        row(f"sharded-{config.shards}", many_seconds, many_result),
+        row(f"sharded-{config.shards}-warm", warm_seconds, warm_result),
+    ]
+    result.summary = {
+        "sharded_speedup": one_seconds / many_seconds if many_seconds else 0.0,
+        # deliberately NOT named *_speedup: whether warm disk-tier reads beat
+        # fresh lowering of small contracts depends on disk/page-cache state,
+        # so this ratio is telemetry, not a gated throughput contract (the
+        # gated warm contract is hit_rate == 1.0 + verdict parity)
+        "warm_vs_cold_ratio": (many_seconds / warm_seconds
+                               if warm_seconds else 0.0),
+        "warm_hit_rate": warm_result.cache_stats.hit_rate,
+        "verdict_mismatches": float(total_mismatches),
+        "available_cores": float(available_cores()),
+        "shards": float(config.shards),
+    }
+    result.notes.append(
+        "all sharded verdicts are compared field-by-field against the "
+        "single-process BatchScanner oracle; mismatches must be zero")
+    result.notes.append(
+        "sharded_speedup is CPU-bound: expect >= 2x only with >= "
+        f"{config.shards} usable cores (this run saw "
+        f"{available_cores()})")
+    return result

@@ -14,6 +14,12 @@ into a service that can sustain repeated, high-volume scanning workloads:
   concurrent scan requests into single block-diagonal inference calls, and
   :class:`ServerClient` (defined here), the stdlib client used by the tests,
   the examples and the CI smoke test.
+* :mod:`repro.service.sharded` -- :class:`ShardedScanner`, a multi-process
+  engine that partitions scans by content hash across pipeline replicas
+  (one per worker process), shares the warm disk cache tier between shards
+  via atomic writes, and recovers from killed workers by requeueing their
+  unacknowledged chunks.  ``BatchScanner(shards=N)`` and
+  ``ScanServer(shards=N)`` route through it.
 
 The service layer plugs into the existing stack through the pipeline's
 ``graph_cache`` hook, so training, evaluation and single-contract scans all
@@ -37,6 +43,7 @@ from repro.service.server import (
     ServerMetrics,
     ServerShuttingDown,
 )
+from repro.service.sharded import ShardedScanner, ShardError, shard_for_bytecode
 
 __all__ = [
     "GraphCache",
@@ -50,6 +57,9 @@ __all__ = [
     "ServerShuttingDown",
     "ServerClient",
     "ServerClientError",
+    "ShardedScanner",
+    "ShardError",
+    "shard_for_bytecode",
     "DEFAULT_PORT",
 ]
 

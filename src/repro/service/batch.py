@@ -36,6 +36,56 @@ from repro.service.cache import CacheStats, DISK_META_FILENAME, GraphCache
 PathLike = Union[str, pathlib.Path]
 
 
+def collect_directory_inputs(directory: PathLike, pattern: str = "*"
+                             ) -> Tuple[List[bytes], List[str], List[str]]:
+    """Gather ``(raw_codes, sample_ids, skipped)`` for a directory scan.
+
+    Shared by :meth:`BatchScanner.scan_directory` and
+    :meth:`~repro.service.sharded.ShardedScanner.scan_directory`, so both
+    engines agree exactly on which files a directory scan covers: ``.hex``
+    files parse as hex text, everything else reads as raw binary; hidden
+    files and the graph cache's own files are ignored; unreadable, empty or
+    undecodable files are skipped with a warning and reported in the third
+    element instead of aborting the walk.
+
+    Raises:
+        FileNotFoundError: If ``directory`` does not exist.
+    """
+    root = pathlib.Path(directory)
+    if not root.is_dir():
+        raise FileNotFoundError(f"scan directory not found: {root}")
+    raw_codes: List[bytes] = []
+    ids: List[str] = []
+    skipped: List[str] = []
+
+    def skip(path: pathlib.Path, reason: str) -> None:
+        entry = f"{path.relative_to(root)}: {reason}"
+        skipped.append(entry)
+        warnings.warn(f"scan_directory skipping {path}: {reason}",
+                      stacklevel=2)
+
+    for path in sorted(root.rglob(pattern)):
+        if (not path.is_file() or path.name.startswith(".")
+                or path.name == DISK_META_FILENAME
+                or path.suffix == ".npz"):
+            continue
+        try:
+            raw = (coerce_bytecode(path.read_text())
+                   if path.suffix == ".hex" else path.read_bytes())
+        except ValueError as error:
+            skip(path, f"not valid hex bytecode ({error})")
+            continue
+        except OSError as error:
+            skip(path, f"unreadable ({error.strerror or error})")
+            continue
+        if not raw:
+            skip(path, "empty file")
+            continue
+        raw_codes.append(raw)
+        ids.append(str(path.relative_to(root)))
+    return raw_codes, ids, skipped
+
+
 def throughput_stats(contracts: int, malicious: int, elapsed_seconds: float,
                      cache_stats: CacheStats,
                      batch_sizes: Dict[int, int]) -> Dict[str, object]:
@@ -87,6 +137,9 @@ class BatchScanResult(ScanSummary):
             (``{batch_size: num_batches}``).
         skipped: Directory-scan inputs that were skipped (unreadable, empty,
             or undecodable files), as ``"<sample id>: <reason>"`` strings.
+        shard_stats: Per-shard telemetry (``{"shard-N": throughput_stats}``)
+            when the scan ran on a :class:`~repro.service.sharded.
+            ShardedScanner` worker pool; empty for single-process scans.
     """
 
     elapsed_seconds: float = 0.0
@@ -94,6 +147,7 @@ class BatchScanResult(ScanSummary):
     cache_stats: CacheStats = field(default_factory=CacheStats)
     batch_sizes: Dict[int, int] = field(default_factory=dict)
     skipped: List[str] = field(default_factory=list)
+    shard_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     @property
     def contracts_per_second(self) -> float:
@@ -105,18 +159,28 @@ class BatchScanResult(ScanSummary):
     def stats_dict(self) -> Dict[str, object]:
         """This scan's telemetry in the shared offline/online stats schema
         (see :func:`throughput_stats`)."""
-        return throughput_stats(self.num_scanned, self.num_malicious,
-                                self.elapsed_seconds, self.cache_stats,
-                                self.batch_sizes)
+        stats = throughput_stats(self.num_scanned, self.num_malicious,
+                                 self.elapsed_seconds, self.cache_stats,
+                                 self.batch_sizes)
+        if self.shard_stats:
+            stats["shards"] = dict(self.shard_stats)
+        return stats
 
     def format(self) -> str:
         lines = [super().format(),
                  f"  throughput: {self.num_scanned} contracts in "
                  f"{self.elapsed_seconds:.3f}s "
                  f"({self.contracts_per_second:.1f}/s, "
-                 f"workers={self.num_workers})"]
+                 f"{'shards' if self.shard_stats else 'workers'}="
+                 f"{self.num_workers})"]
         if self.cache_stats.lookups:
             lines.append(f"  {self.cache_stats.format()}")
+        for name in sorted(self.shard_stats):
+            shard = self.shard_stats[name]
+            lines.append(f"  {name}: {shard['contracts']} contracts "
+                         f"({shard['contracts_per_second']:.1f}/s, "
+                         f"cache hit_rate="
+                         f"{shard['cache']['hit_rate']:.1%})")
         if self.skipped:
             lines.append(f"  skipped {len(self.skipped)} unreadable input"
                          f"{'s' if len(self.skipped) != 1 else ''}")
@@ -142,22 +206,81 @@ class BatchScanner:
             the fastest cold-scan setting.
         inference_batch_size: Graphs per batched model call (bounds the peak
             size of the stacked node-feature matrix on very large corpora).
+        shards: Number of scan worker *processes*.  The default (1) runs
+            everything in this process; ``shards >= 2`` routes scans through
+            a :class:`~repro.service.sharded.ShardedScanner` pool that
+            partitions contracts by content hash across pipeline replicas,
+            escaping the GIL for the CPU-bound lowering path.  Workers can
+            only share a cache through its *disk* tier -- attach a
+            ``GraphCache`` built with ``disk_dir=...`` (a memory-only cache
+            is invisible to the pool and draws a warning).  Use
+            :meth:`close` (or the context-manager form) to release the pool.
     """
 
     def __init__(self, detector: ScamDetector,
                  cache: Optional[GraphCache] = None,
                  max_workers: Optional[int] = None,
-                 inference_batch_size: int = 256) -> None:
+                 inference_batch_size: int = 256,
+                 shards: int = 1) -> None:
         if not detector.is_trained:
             raise RuntimeError("BatchScanner requires a trained detector")
         if inference_batch_size < 1:
             raise ValueError("inference_batch_size must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.detector = detector
         if cache is not None:
             detector.pipeline.set_graph_cache(cache)
         self.cache = detector.pipeline.graph_cache
         self.max_workers = max_workers
         self.inference_batch_size = inference_batch_size
+        self.shards = shards
+        self._sharded = None
+
+    # ------------------------------------------------------------------ #
+    # sharded path
+
+    def _sharded_scanner(self):
+        """Lazily build (and reuse) the worker pool behind ``shards >= 2``.
+
+        The pool workers share this scanner's on-disk cache tier (when the
+        attached :class:`GraphCache` has one), so a warm directory serves
+        every shard.
+        """
+        if self._sharded is None:
+            from repro.service.sharded import ShardedScanner
+
+            cache_dir = None
+            capacity = 1024
+            if self.cache is not None:
+                cache_dir = self.cache.disk_parent_dir
+                capacity = self.cache.capacity
+                if cache_dir is None:
+                    # process memory cannot cross the pool boundary: a
+                    # memory-only cache (warm or not) is invisible to the
+                    # workers, which would silently re-lower everything
+                    warnings.warn(
+                        "BatchScanner(shards>1): the attached GraphCache has "
+                        "no disk tier, so shard workers cannot share it; "
+                        "build the cache with disk_dir=... to reuse warm "
+                        "entries across shards", stacklevel=3)
+            self._sharded = ShardedScanner(
+                self.detector, shards=self.shards, cache_dir=cache_dir,
+                cache_capacity=capacity,
+                inference_batch_size=self.inference_batch_size)
+        return self._sharded
+
+    def close(self) -> None:
+        """Shut down the sharded worker pool, if one was started."""
+        if self._sharded is not None:
+            self._sharded.close()
+            self._sharded = None
+
+    def __enter__(self) -> "BatchScanner":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
 
@@ -198,38 +321,7 @@ class BatchScanner:
         Raises:
             FileNotFoundError: If ``directory`` does not exist.
         """
-        root = pathlib.Path(directory)
-        if not root.is_dir():
-            raise FileNotFoundError(f"scan directory not found: {root}")
-        raw_codes: List[bytes] = []
-        ids: List[str] = []
-        skipped: List[str] = []
-
-        def skip(path: pathlib.Path, reason: str) -> None:
-            entry = f"{path.relative_to(root)}: {reason}"
-            skipped.append(entry)
-            warnings.warn(f"scan_directory skipping {path}: {reason}",
-                          stacklevel=2)
-
-        for path in sorted(root.rglob(pattern)):
-            if (not path.is_file() or path.name.startswith(".")
-                    or path.name == DISK_META_FILENAME
-                    or path.suffix == ".npz"):
-                continue
-            try:
-                raw = (coerce_bytecode(path.read_text())
-                       if path.suffix == ".hex" else path.read_bytes())
-            except ValueError as error:
-                skip(path, f"not valid hex bytecode ({error})")
-                continue
-            except OSError as error:
-                skip(path, f"unreadable ({error.strerror or error})")
-                continue
-            if not raw:
-                skip(path, "empty file")
-                continue
-            raw_codes.append(raw)
-            ids.append(str(path.relative_to(root)))
+        raw_codes, ids, skipped = collect_directory_inputs(directory, pattern)
         result = self._scan_raw(raw_codes, ids, platform)
         result.skipped = skipped
         return result
@@ -239,6 +331,9 @@ class BatchScanner:
     def _scan_raw(self, raw_codes: List[bytes], ids: List[str],
                   platform: Optional[str],
                   platforms: Optional[List[str]] = None) -> BatchScanResult:
+        if self.shards > 1 and raw_codes:
+            return self._sharded_scanner()._scan_raw(raw_codes, ids, platform,
+                                                     platforms=platforms)
         pipeline = self.detector.pipeline
         stats_before = self._stats_snapshot()
         started = time.perf_counter()
@@ -285,17 +380,7 @@ class BatchScanner:
     def _stats_snapshot(self) -> CacheStats:
         if self.cache is None:
             return CacheStats()
-        stats = self.cache.stats
-        return CacheStats(hits=stats.hits, misses=stats.misses,
-                          evictions=stats.evictions, disk_hits=stats.disk_hits,
-                          disk_writes=stats.disk_writes,
-                          stale_purges=stats.stale_purges)
+        return self.cache.stats.copy()
 
     def _stats_delta(self, before: CacheStats) -> CacheStats:
-        now = self._stats_snapshot()
-        return CacheStats(hits=now.hits - before.hits,
-                          misses=now.misses - before.misses,
-                          evictions=now.evictions - before.evictions,
-                          disk_hits=now.disk_hits - before.disk_hits,
-                          disk_writes=now.disk_writes - before.disk_writes,
-                          stale_purges=now.stale_purges - before.stale_purges)
+        return self._stats_snapshot().delta(before)

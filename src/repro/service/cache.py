@@ -16,6 +16,14 @@ Two tiers:
   ``disk_dir/<fingerprint>/``) that survives process restarts and is shared
   between workers on the same host.
 
+The disk tier is **cross-process safe** without lockfiles: writers dump each
+entry to a process-unique hidden temp file and publish it with one atomic
+:func:`os.replace`, so a reader can never observe a torn ``.npz``; readers
+treat an entry that still fails to load (bit rot, pre-fix torn writes) as a
+miss, warn, and delete it so the next scan rewrites it.  This is what lets
+the :class:`~repro.service.sharded.ShardedScanner` worker processes share
+one warm directory with zero coordination.
+
 The disk layout stores only numeric arrays and a tiny JSON sidecar -- no
 pickled code objects -- matching the safety guarantees of
 :mod:`repro.core.persistence`.
@@ -24,11 +32,16 @@ pickled code objects -- matching the safety guarantees of
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
+import os
 import pathlib
 import threading
+import time
+import warnings
+import zipfile
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 from typing import Optional, Union
 
 import numpy as np
@@ -41,6 +54,10 @@ PathLike = Union[str, pathlib.Path]
 #: Name of the JSON sidecar that scopes a disk cache directory to one
 #: graph fingerprint.
 DISK_META_FILENAME = "cache-meta.json"
+
+#: Per-process counter that, together with the pid, makes every temp file
+#: written by the disk tier unique across concurrent writers.
+_TEMP_COUNTER = itertools.count()
 
 
 def bytecode_key(code: bytes, platform: str) -> str:
@@ -62,6 +79,7 @@ class CacheStats:
     disk_hits: int = 0
     disk_writes: int = 0
     stale_purges: int = 0
+    disk_corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -88,7 +106,24 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "disk_writes": self.disk_writes,
             "stale_purges": self.stale_purges,
+            "disk_corrupt": self.disk_corrupt,
         }
+
+    def copy(self) -> "CacheStats":
+        """An independent snapshot of the counters."""
+        return replace(self)
+
+    def delta(self, before: "CacheStats") -> "CacheStats":
+        """Counter-wise difference ``self - before`` (for window stats)."""
+        return CacheStats(**{field.name: getattr(self, field.name)
+                             - getattr(before, field.name)
+                             for field in fields(self)})
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Counter-wise sum (for aggregating per-shard windows)."""
+        return CacheStats(**{field.name: getattr(self, field.name)
+                             + getattr(other, field.name)
+                             for field in fields(self)})
 
     def format(self) -> str:
         return (f"cache: {self.hits} hits / {self.lookups} lookups "
@@ -143,6 +178,19 @@ class GraphCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def disk_parent_dir(self) -> Optional[pathlib.Path]:
+        """The ``disk_dir`` this cache was built with (None if memory-only).
+
+        Handing this directory to another ``GraphCache`` -- or to the
+        :class:`~repro.service.sharded.ShardedScanner` worker processes --
+        shares the same persistent tier, which the atomic write protocol
+        makes safe.
+        """
+        if self._tier_dir is None:
+            return None
+        return self._tier_dir.parent
 
     def get(self, code: bytes, platform: str, label: int = 0,
             sample_id: str = "") -> Optional[ContractGraph]:
@@ -218,13 +266,55 @@ class GraphCache:
         # The directory name already scopes entries to one fingerprint; the
         # sidecar is a tamper check.  Entries without a matching sidecar
         # (meta deleted, dir renamed, layout from an older version) cannot
-        # be trusted and are purged.
+        # be trusted and are purged.  ``missing_ok`` tolerates another
+        # process purging (or replacing) the same entry concurrently.
         if stored != self.fingerprint:
             for entry in self._tier_dir.glob("*.npz"):
-                entry.unlink()
+                try:
+                    entry.unlink()
+                except OSError:
+                    continue
                 self.stats.stale_purges += 1
-        meta_path.write_text(json.dumps({"fingerprint": self.fingerprint},
-                                        indent=2, sort_keys=True))
+        # orphaned temp files (a writer that crashed between dump and
+        # rename) are garbage, never published entries: sweep them -- entry
+        # temps (.tmp.npz) and sidecar temps (.tmp.json) alike -- once old
+        # enough that no live writer can still own them
+        now = time.time()
+        for leftover in self._tier_dir.glob(".*.tmp.*"):
+            try:
+                if now - leftover.stat().st_mtime > 300.0:
+                    leftover.unlink()
+            except OSError:
+                continue
+        # publish the sidecar atomically too: a concurrent reader must see
+        # either the old complete sidecar or the new one, never a torn file
+        # that would trigger a spurious purge of shared entries
+        self._atomic_write_bytes(
+            meta_path,
+            json.dumps({"fingerprint": self.fingerprint},
+                       indent=2, sort_keys=True).encode("utf-8"))
+
+    def _atomic_write_bytes(self, path: pathlib.Path, payload: bytes) -> None:
+        tmp_path = self._temp_path_for(path)
+        try:
+            tmp_path.write_bytes(payload)
+            os.replace(tmp_path, path)
+        except OSError:
+            tmp_path.unlink(missing_ok=True)
+            raise
+
+    @staticmethod
+    def _temp_path_for(path: pathlib.Path) -> pathlib.Path:
+        """A process-unique hidden sibling of ``path`` for write-then-rename.
+
+        The name embeds the pid plus a per-process counter so concurrent
+        writers (threads or :class:`~repro.service.sharded.ShardedScanner`
+        worker processes) can never scribble over each other's half-written
+        temp file; the leading dot keeps ``scan_directory`` and the stale
+        purge glob from ever seeing it as an entry.
+        """
+        token = f"{os.getpid()}-{next(_TEMP_COUNTER)}"
+        return path.with_name(f".{path.stem}.{token}.tmp{path.suffix}")
 
     def _entry_path(self, key: str) -> Optional[pathlib.Path]:
         if self._tier_dir is None:
@@ -243,22 +333,46 @@ class GraphCache:
                     normalized_adjacency=arrays["normalized_adjacency"],
                     label=0, sample_id="",
                     platform=str(arrays["platform"]))
-        except (OSError, ValueError, KeyError):
-            # A corrupt or truncated entry behaves like a miss and is
-            # rewritten on the next put.
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            # Writes are atomic (temp file + os.replace), so an unreadable
+            # entry means bit rot or a torn write from a pre-atomic version
+            # of this cache: treat it as a miss, warn, and delete it so the
+            # next put rewrites a clean copy.
+            with self._lock:
+                self.stats.disk_corrupt += 1
+            warnings.warn(f"graph cache entry {path} is unreadable; "
+                          f"treating it as a miss and removing it",
+                          stacklevel=2)
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
             return None
 
     def _disk_put(self, key: str, graph: ContractGraph) -> None:
         path = self._entry_path(key)
         if path is None:
             return
-        tmp_path = path.with_suffix(".tmp.npz")
-        np.savez(tmp_path,
-                 node_features=graph.node_features,
-                 adjacency=graph.adjacency,
-                 normalized_adjacency=graph.normalized_adjacency,
-                 platform=np.asarray(graph.platform))
-        tmp_path.replace(path)
+        # write-temp-then-rename: the published path only ever holds a
+        # complete .npz, so concurrent readers (threads or ShardedScanner
+        # worker processes) can never load a torn entry; the temp name is
+        # process-unique so concurrent writers of the same key cannot
+        # interleave, and the last atomic os.replace simply wins
+        tmp_path = self._temp_path_for(path)
+        try:
+            np.savez(tmp_path,
+                     node_features=graph.node_features,
+                     adjacency=graph.adjacency,
+                     normalized_adjacency=graph.normalized_adjacency,
+                     platform=np.asarray(graph.platform))
+            os.replace(tmp_path, path)
+        except OSError as error:
+            # a full or vanished cache directory must never fail a scan --
+            # the disk tier is an optimisation, not a requirement
+            tmp_path.unlink(missing_ok=True)
+            warnings.warn(f"graph cache write to {path} failed ({error}); "
+                          f"continuing without the disk entry", stacklevel=2)
+            return
         self.stats.disk_writes += 1
 
     def __repr__(self) -> str:

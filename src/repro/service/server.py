@@ -119,12 +119,17 @@ class ServerMetrics:
     def uptime_seconds(self) -> float:
         return time.monotonic() - self._started_monotonic
 
-    def snapshot(self, cache_stats: CacheStats) -> Dict[str, object]:
+    def snapshot(self, cache_stats: CacheStats,
+                 shard_stats: Optional[Dict[str, Dict[str, object]]] = None
+                 ) -> Dict[str, object]:
         """The ``GET /metrics`` payload.
 
         The ``scans`` section uses the exact schema of
         :meth:`~repro.service.batch.BatchScanResult.stats_dict`, so offline
-        batch runs and the live server feed the same dashboards.
+        batch runs and the live server feed the same dashboards.  When the
+        server runs sharded, ``shard_stats`` adds a ``shards`` section with
+        per-shard inference latency, cache counters and restarts (see
+        :meth:`~repro.service.sharded.ShardedScanner.shard_stats_dict`).
         """
         with self._lock:
             requests = dict(self.requests)
@@ -142,7 +147,7 @@ class ServerMetrics:
                 "p90_ms": _percentile(window, 0.90) * 1e3,
                 "p99_ms": _percentile(window, 0.99) * 1e3,
             }
-        return {
+        payload = {
             "uptime_seconds": self.uptime_seconds,
             "requests": {"total": sum(requests.values()), **requests},
             "errors": errors,
@@ -151,6 +156,9 @@ class ServerMetrics:
                                       self.uptime_seconds,
                                       cache_stats, batch_sizes),
         }
+        if shard_stats is not None:
+            payload["shards"] = shard_stats
+        return payload
 
 
 class _PendingInference:
@@ -189,15 +197,24 @@ class RequestCoalescer:
         max_wait_ms: How long to hold the first request of a batch while
             waiting for companions.  0 disables coalescing (every request is
             scored alone, still through the single inference thread).
+        scorer: Optional replacement for ``trainer.predict_proba`` with the
+            same ``(graphs, batch_size)`` signature.  The sharded server
+            passes :meth:`~repro.service.sharded.ShardedScanner.infer` here,
+            so coalesced micro-batches fan out round-robin across the worker
+            processes instead of scoring on the parent's model.
     """
 
     def __init__(self, trainer, metrics: ServerMetrics,
-                 max_batch: int = 32, max_wait_ms: float = 5.0) -> None:
+                 max_batch: int = 32, max_wait_ms: float = 5.0,
+                 scorer=None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
-        self._trainer = trainer
+        if trainer is None and scorer is None:
+            raise ValueError("RequestCoalescer needs a trainer or a scorer")
+        self._score_graphs = (scorer if scorer is not None
+                              else trainer.predict_proba)
         self._metrics = metrics
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
@@ -296,7 +313,7 @@ class RequestCoalescer:
     def _score(self, batch: List[_PendingInference], total: int) -> None:
         graphs = [graph for pending in batch for graph in pending.graphs]
         try:
-            probabilities = self._trainer.predict_proba(
+            probabilities = self._score_graphs(
                 graphs, batch_size=self.max_batch)
         except BaseException as error:  # propagate to every blocked submitter
             for pending in batch:
@@ -429,7 +446,8 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, server.health())
         elif self.path == "/metrics":
             server.metrics.record_request("metrics")
-            self._send_json(200, server.metrics.snapshot(server.cache_stats))
+            self._send_json(200, server.metrics.snapshot(
+                server.cache_stats, server.shard_stats()))
         else:
             server.metrics.record_error()
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
@@ -580,6 +598,12 @@ class ScanServer:
         cache: Optional :class:`GraphCache`; one scoped to the detector's
             config is created when omitted, so repeated bytecode is lowered
             once across all clients.
+        shards: Inference worker *processes*.  With the default (1) the
+            coalescer scores on the in-process model; ``shards >= 2``
+            spawns a :class:`~repro.service.sharded.ShardedScanner` pool
+            and the coalescer dispatches its micro-batches round-robin to
+            the shard replicas, with per-shard latency/cache/restart
+            counters surfaced under ``GET /metrics``.
 
     Raises:
         OSError: If the address cannot be bound.
@@ -589,11 +613,14 @@ class ScanServer:
     def __init__(self, detector: ScamDetector, host: str = "127.0.0.1",
                  port: int = DEFAULT_PORT, workers: int = 8,
                  max_batch: int = 32, max_wait_ms: float = 5.0,
-                 cache: Optional[GraphCache] = None) -> None:
+                 cache: Optional[GraphCache] = None,
+                 shards: int = 1) -> None:
         if not detector.is_trained:
             raise RuntimeError("ScanServer requires a trained detector")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.detector = detector
         if cache is None:
             cache = GraphCache.for_config(detector.config)
@@ -603,10 +630,19 @@ class ScanServer:
         detector.pipeline.set_graph_cache(cache)
         self.cache = cache
         self.workers = workers
+        self.shards = shards
+        self.sharded = None
+        scorer = None
+        if shards > 1:
+            from repro.service.sharded import ShardedScanner
+
+            self.sharded = ShardedScanner(detector, shards=shards,
+                                          inference_batch_size=max_batch)
+            scorer = self.sharded.infer
         self.metrics = ServerMetrics()
         self.coalescer = RequestCoalescer(
             detector.pipeline._trainer, self.metrics,
-            max_batch=max_batch, max_wait_ms=max_wait_ms)
+            max_batch=max_batch, max_wait_ms=max_wait_ms, scorer=scorer)
         self._httpd = _ThreadPoolHTTPServer(
             (host, port), _ScanHTTPRequestHandler, self, workers)
         self._accept_thread: Optional[threading.Thread] = None
@@ -639,10 +675,17 @@ class ScanServer:
             "model": self.detector.pipeline.describe(),
             "uptime_seconds": self.metrics.uptime_seconds,
             "workers": self.workers,
+            "shards": self.shards,
             "max_batch": self.coalescer.max_batch,
             "max_wait_ms": self.coalescer.max_wait_ms,
             "queue_depth": self.coalescer.queue_depth,
         }
+
+    def shard_stats(self) -> Optional[Dict[str, Dict[str, object]]]:
+        """Per-shard telemetry for ``/metrics`` (None when unsharded)."""
+        if self.sharded is None:
+            return None
+        return self.sharded.shard_stats_dict()
 
     # -------------------------------------------------------------- #
     # scoring entry points used by the HTTP handlers (and tests)
@@ -681,10 +724,22 @@ class ScanServer:
     # lifecycle
 
     def start(self) -> "ScanServer":
-        """Start the coalescer, the worker pool and the accept loop."""
+        """Start the shard pool (if any), the coalescer, the worker pool
+        and the accept loop."""
         if self._started:
             raise RuntimeError("ScanServer.start called twice")
         self._started = True
+        if self.sharded is not None:
+            # fork the shard replicas before any server thread exists, so
+            # the children never inherit a mid-transaction thread state
+            try:
+                self.sharded.start()
+            except Exception:
+                # nothing else has started: flip back so shutdown() takes
+                # the short path -- the full path would block forever in
+                # _httpd.shutdown(), whose event only serve_forever() sets
+                self._started = False
+                raise
         self.coalescer.start()
         self._httpd.start_workers()
         self._accept_thread = threading.Thread(
@@ -708,6 +763,8 @@ class ScanServer:
             self._stopped = True
             self._stop_requested.set()
             self._httpd.server_close()
+            if self.sharded is not None:
+                self.sharded.close()
             self._restore_cache()
             return
         self._stopped = True
@@ -717,6 +774,8 @@ class ScanServer:
             self._accept_thread.join()
         self._httpd.stop_workers()        # drains accepted connections
         self.coalescer.close()            # drains queued inference work
+        if self.sharded is not None:
+            self.sharded.close()          # after the coalescer: no new work
         self._httpd.server_close()
         self._restore_cache()
 

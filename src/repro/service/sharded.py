@@ -1,0 +1,686 @@
+"""Multi-process sharded scan engine.
+
+PRs 1-3 made scanning fast *within* one interpreter (content-addressed graph
+cache, block-diagonal batched inference, request coalescing), but lowering --
+disassembly, CFG recovery, feature extraction -- is pure CPU-bound Python, so
+a single process caps the whole stack at one core.  :class:`ShardedScanner`
+breaks that ceiling: it partitions work **by content hash** across a pool of
+worker processes, each owning a full pipeline replica loaded once from a
+persistence bundle, and merges the workers' quantized verdicts back into one
+:class:`~repro.service.batch.BatchScanResult`.
+
+Design points:
+
+* **Hash partitioning.**  A contract always lands on the shard addressed by
+  the SHA-256 of its bytecode, so repeated bytecode hits the same worker's
+  in-memory cache, and the shard assignment is deterministic across runs.
+* **Shared warm disk tier.**  All workers may point at one cache directory;
+  the :class:`~repro.service.cache.GraphCache` disk tier publishes entries
+  with atomic temp-file renames and treats unreadable entries as misses, so
+  concurrent shards need no lock to share a warm cache.
+* **Verdict parity.**  Workers score through the same
+  :meth:`~repro.core.detector.ScamDetector.build_report` path as everything
+  else; because scores are quantized there, sharded verdicts are
+  byte-identical to single-process ``ScamDetector.scan`` verdicts no matter
+  how the corpus is split.
+* **Crash recovery.**  Chunks are executed *at least once* and merged
+  *exactly once*: if a worker dies mid-batch its unacknowledged chunks are
+  requeued onto a respawned replica (duplicated results are dropped by chunk
+  id), so a killed worker loses time, never verdicts.  A shard that keeps
+  dying (a genuinely poisonous input) stops the scan with an error after
+  ``max_restarts`` respawns instead of looping forever.
+* **Non-intrusive observability.**  Workers ship a tiny stats delta with
+  every completed chunk (wall-clock, cache counters, batch histogram); the
+  parent aggregates them into per-shard ``throughput_stats`` without ever
+  touching the scoring hot path.
+
+The pool speaks only picklable primitives (bytes, dataclasses of ints,
+NumPy arrays), so it works under both ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import os
+import pathlib
+import queue as queue_module
+import tempfile
+import time
+import traceback
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.detector import BytecodeLike, ScamDetector, coerce_bytecode
+from repro.gnn.data import ContractGraph
+from repro.service.batch import (
+    BatchScanResult,
+    collect_directory_inputs,
+    throughput_stats,
+)
+from repro.service.cache import CacheStats, GraphCache
+
+PathLike = Union[str, pathlib.Path]
+
+#: Exit code used by the fault-injection hook (see ``crash_file``).
+_CRASH_EXIT_CODE = 3
+
+
+class ShardError(RuntimeError):
+    """A worker failed in a way the pool could not recover from."""
+
+
+def shard_for_bytecode(raw: bytes, shards: int) -> int:
+    """Deterministic shard index of ``raw``: SHA-256 prefix modulo ``shards``.
+
+    Content addressing (rather than round-robin) keeps identical bytecode on
+    one shard, so factory clones and re-submissions always hit that worker's
+    warm in-memory cache.
+    """
+    digest = hashlib.sha256(raw).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+# --------------------------------------------------------------------------- #
+# worker process
+
+
+def _graph_payload(graph: ContractGraph) -> Tuple:
+    """Strip a graph to the picklable arrays a worker needs to re-score it."""
+    return (np.asarray(graph.node_features), np.asarray(graph.adjacency),
+            np.asarray(graph.normalized_adjacency), graph.platform)
+
+
+def _payload_graph(payload: Tuple) -> ContractGraph:
+    node_features, adjacency, normalized, platform = payload
+    return ContractGraph(node_features=node_features, adjacency=adjacency,
+                         normalized_adjacency=normalized, label=0,
+                         platform=platform)
+
+
+def _scan_chunk(detector: ScamDetector, cache: GraphCache,
+                items: Sequence[Tuple], inference_batch_size: int):
+    """Lower + score one chunk of ``(index, raw, platform, sample_id)``."""
+    started = time.perf_counter()
+    before = cache.stats.copy()
+    lowered = []
+    for index, raw, platform, sample_id in items:
+        graph, resolved = detector.pipeline.analyse_bytecode(
+            raw, platform=platform, sample_id=sample_id)
+        lowered.append((index, raw, resolved, sample_id, graph))
+    graphs = [graph for *_, graph in lowered]
+    probabilities: List[float] = []
+    batch_sizes: Dict[int, int] = {}
+    for chunk in detector.pipeline._trainer.iter_predict_proba(
+            graphs, batch_size=inference_batch_size):
+        batch_sizes[len(chunk)] = batch_sizes.get(len(chunk), 0) + 1
+        probabilities.extend(float(row[1]) for row in chunk)
+    reports = []
+    for (index, raw, resolved, sample_id, graph), probability in zip(
+            lowered, probabilities):
+        reports.append((index, detector.build_report(
+            raw, sample_id, resolved, probability, graph)))
+    stats = {
+        "contracts": len(reports),
+        "malicious": sum(1 for _, report in reports if report.is_malicious),
+        "elapsed_seconds": time.perf_counter() - started,
+        "cache": cache.stats.delta(before),
+        "batch_sizes": batch_sizes,
+    }
+    return reports, stats
+
+
+def _shard_worker(shard_id: int, options: Dict, task_queue, result_queue) -> None:
+    """Worker main loop: load a pipeline replica once, then serve tasks.
+
+    Messages back to the parent are ``(kind, shard_id, chunk_id, payload)``
+    tuples; ``kind`` is ``ready``/``scan``/``infer``/``error``/``fatal``.
+    """
+    try:
+        detector = ScamDetector.load(options["bundle_path"],
+                                     threshold=options["threshold"],
+                                     explain=options["explain"])
+        cache = GraphCache.for_config(detector.config,
+                                      capacity=options["cache_capacity"],
+                                      disk_dir=options["cache_dir"])
+        detector.pipeline.set_graph_cache(cache)
+    except BaseException:
+        result_queue.put(("fatal", shard_id, None, traceback.format_exc()))
+        return
+    result_queue.put(("ready", shard_id, None, os.getpid()))
+    crash_file = options.get("crash_file")
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        kind, chunk_id, payload = task
+        if crash_file is not None and kind == "scan":
+            # fault injection for the crash-recovery tests: the first worker
+            # to consume the marker file dies *after* dequeuing its chunk,
+            # exactly the window where work would be lost without requeueing
+            try:
+                os.unlink(crash_file)
+            except OSError:
+                pass
+            else:
+                os._exit(_CRASH_EXIT_CODE)
+        try:
+            if kind == "scan":
+                result_queue.put(("scan", shard_id, chunk_id, _scan_chunk(
+                    detector, cache, payload,
+                    options["inference_batch_size"])))
+            elif kind == "infer":
+                started = time.perf_counter()
+                graphs = [_payload_graph(entry) for entry in payload]
+                rows = detector.pipeline._trainer.predict_proba(
+                    graphs, batch_size=max(1, len(graphs)))
+                result_queue.put(("infer", shard_id, chunk_id,
+                                  (np.asarray(rows, dtype=np.float64),
+                                   time.perf_counter() - started)))
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown task kind {kind!r}")
+        except BaseException:
+            result_queue.put(("error", shard_id, chunk_id,
+                              traceback.format_exc()))
+
+
+# --------------------------------------------------------------------------- #
+# parent-side pool
+
+
+@dataclass
+class _ShardHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    shard_id: int
+    process: multiprocessing.Process
+    task_queue: object
+    #: chunk_id -> task tuple, for requeueing if the worker dies
+    tasks: Dict[int, Tuple] = field(default_factory=dict)
+    restarts: int = 0
+
+
+@dataclass
+class _ShardWindow:
+    """Accumulated per-shard telemetry (scan + inference counters)."""
+
+    contracts: int = 0
+    malicious: int = 0
+    elapsed_seconds: float = 0.0
+    cache: CacheStats = field(default_factory=CacheStats)
+    batch_sizes: Dict[int, int] = field(default_factory=dict)
+    infer_calls: int = 0
+    infer_graphs: int = 0
+    infer_seconds: float = 0.0
+    restarts: int = 0
+
+    def absorb_scan(self, stats: Dict) -> None:
+        self.contracts += stats["contracts"]
+        self.malicious += stats["malicious"]
+        self.elapsed_seconds += stats["elapsed_seconds"]
+        self.cache = self.cache.merge(stats["cache"])
+        for size, count in stats["batch_sizes"].items():
+            self.batch_sizes[size] = self.batch_sizes.get(size, 0) + count
+
+    def absorb_infer(self, num_graphs: int, seconds: float) -> None:
+        self.infer_calls += 1
+        self.infer_graphs += num_graphs
+        self.infer_seconds += seconds
+
+    def copy(self) -> "_ShardWindow":
+        """Independent snapshot, for per-scan window deltas."""
+        return _ShardWindow(
+            contracts=self.contracts, malicious=self.malicious,
+            elapsed_seconds=self.elapsed_seconds, cache=self.cache.copy(),
+            batch_sizes=dict(self.batch_sizes),
+            infer_calls=self.infer_calls, infer_graphs=self.infer_graphs,
+            infer_seconds=self.infer_seconds, restarts=self.restarts)
+
+    def delta_stats(self, before: "_ShardWindow") -> Dict[str, object]:
+        """One scan's per-shard entry: this window minus a snapshot, in the
+        shared ``throughput_stats`` schema plus the restart counter."""
+        sizes = {size: count - before.batch_sizes.get(size, 0)
+                 for size, count in self.batch_sizes.items()
+                 if count - before.batch_sizes.get(size, 0) > 0}
+        entry = throughput_stats(self.contracts - before.contracts,
+                                 self.malicious - before.malicious,
+                                 self.elapsed_seconds - before.elapsed_seconds,
+                                 self.cache.delta(before.cache), sizes)
+        entry["restarts"] = self.restarts - before.restarts
+        return entry
+
+    def to_dict(self) -> Dict[str, object]:
+        """Per-shard stats in the shared offline/online schema, plus the
+        shard-only inference and restart counters."""
+        stats = throughput_stats(self.contracts, self.malicious,
+                                 self.elapsed_seconds, self.cache,
+                                 self.batch_sizes)
+        stats["inference"] = {
+            "calls": self.infer_calls,
+            "graphs": self.infer_graphs,
+            "seconds": self.infer_seconds,
+            "mean_latency_ms": (self.infer_seconds / self.infer_calls * 1e3
+                                if self.infer_calls else 0.0),
+        }
+        stats["restarts"] = self.restarts
+        return stats
+
+
+class ShardedScanner:
+    """Scan driver that shards work across a process pool of replicas.
+
+    Each worker process loads its own detector replica from a persistence
+    bundle (written automatically when a live ``detector`` is given) and
+    runs lowering plus batched GNN inference locally; the parent only
+    partitions inputs, merges verdicts and aggregates telemetry.
+
+    Args:
+        detector: A trained detector to replicate.  It is saved once to a
+            scanner-owned temp bundle; its ``threshold``/``explain`` settings
+            apply to every worker, so sharded verdicts match what this very
+            detector's ``scan`` would say.
+        bundle_path: Alternative to ``detector``: replicate from an existing
+            ``save()`` bundle (workers then use the explicit ``threshold`` /
+            ``explain`` arguments).
+        shards: Worker process count (>= 1).
+        threshold: Decision threshold for bundle-loaded replicas.
+        explain: Attach indicator notes in bundle-loaded replicas.
+        cache_dir: Optional directory for the shared on-disk graph cache
+            tier.  Safe to share across shards and across runs (atomic
+            writes); omit for per-worker in-memory caches only.
+        cache_capacity: In-memory cache entries per worker.
+        inference_batch_size: Graphs per batched model call inside a worker.
+        chunk_size: Contracts per dispatched work unit.  Smaller chunks
+            spread a skewed corpus more evenly and shrink the requeue window
+            after a crash; larger chunks amortise IPC.
+        start_method: ``multiprocessing`` start method (default: ``fork``
+            where available, else the platform default).
+        max_restarts: Respawns allowed per shard before the scan fails.
+        crash_file: Fault-injection hook for tests -- when this file exists,
+            the first worker to dequeue a scan chunk unlinks it and dies
+            hard (``os._exit``), exercising the requeue path.
+
+    Use as a context manager (or call :meth:`close`) to release the pool;
+    the pool starts lazily on first use and survives across scans, so the
+    bundle-load cost is paid once, not per call.
+    """
+
+    def __init__(self, detector: Optional[ScamDetector] = None, *,
+                 bundle_path: Optional[PathLike] = None, shards: int = 2,
+                 threshold: float = 0.5, explain: bool = False,
+                 cache_dir: Optional[PathLike] = None,
+                 cache_capacity: int = 1024,
+                 inference_batch_size: int = 256, chunk_size: int = 16,
+                 start_method: Optional[str] = None,
+                 max_restarts: int = 3,
+                 crash_file: Optional[PathLike] = None) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if (detector is None) == (bundle_path is None):
+            raise ValueError("pass exactly one of detector / bundle_path")
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        if detector is not None:
+            if not detector.is_trained:
+                raise RuntimeError("ShardedScanner requires a trained "
+                                   "detector")
+            self._tempdir = tempfile.TemporaryDirectory(
+                prefix="scamdetect-shards-")
+            bundle_path = pathlib.Path(self._tempdir.name) / "replica"
+            detector.save(bundle_path)
+            threshold = detector.threshold
+            explain = detector.explain
+        self.shards = shards
+        self.chunk_size = chunk_size
+        self.inference_batch_size = inference_batch_size
+        self.max_restarts = max_restarts
+        self._options = {
+            "bundle_path": str(bundle_path),
+            "threshold": threshold,
+            "explain": explain,
+            "cache_dir": str(cache_dir) if cache_dir is not None else None,
+            "cache_capacity": cache_capacity,
+            "inference_batch_size": inference_batch_size,
+            "crash_file": str(crash_file) if crash_file is not None else None,
+        }
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else available[0]
+        self._context = multiprocessing.get_context(start_method)
+        self._result_queue = None
+        self._handles: List[_ShardHandle] = []
+        self._windows = [_ShardWindow() for _ in range(shards)]
+        self._chunk_counter = itertools.count()
+        self._round_robin = itertools.cycle(range(shards))
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    @property
+    def started(self) -> bool:
+        return bool(self._handles)
+
+    @property
+    def restarts(self) -> int:
+        """Total worker respawns over the pool's lifetime."""
+        return sum(window.restarts for window in self._windows)
+
+    def start(self) -> "ShardedScanner":
+        """Spawn the worker pool and wait until every replica is loaded.
+
+        Idempotent; scans call it implicitly.  Separating start from the
+        first scan lets benchmarks exclude replica-load time from
+        throughput windows.
+        """
+        if self._closed:
+            raise ShardError("ShardedScanner is closed")
+        if self._handles:
+            return self
+        self._result_queue = self._context.Queue()
+        self._handles = [self._spawn(shard_id)
+                         for shard_id in range(self.shards)]
+        ready = set()
+        deadline = time.monotonic() + 120.0
+        while len(ready) < self.shards:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.close()
+                raise ShardError("timed out waiting for shard workers to "
+                                 "load their pipeline replicas")
+            try:
+                kind, shard_id, _, payload = self._result_queue.get(
+                    timeout=min(remaining, 0.5))
+            except queue_module.Empty:
+                for handle in self._handles:
+                    # a replica that died without managing a 'fatal'
+                    # message (OOM-kill, SIGKILL mid-load) would otherwise
+                    # stall start() for the whole deadline
+                    if handle.shard_id not in ready \
+                            and not handle.process.is_alive():
+                        exitcode = handle.process.exitcode
+                        self.close()
+                        raise ShardError(
+                            f"shard {handle.shard_id} worker died during "
+                            f"replica load (exit code {exitcode})")
+                continue
+            if kind == "fatal":
+                self.close()
+                raise ShardError(f"shard {shard_id} failed to initialise:\n"
+                                 f"{payload}")
+            if kind == "ready":
+                ready.add(shard_id)
+        return self
+
+    def _spawn(self, shard_id: int) -> _ShardHandle:
+        task_queue = self._context.Queue()
+        process = self._context.Process(
+            target=_shard_worker,
+            args=(shard_id, self._options, task_queue, self._result_queue),
+            name=f"scamdetect-shard-{shard_id}", daemon=True)
+        process.start()
+        return _ShardHandle(shard_id=shard_id, process=process,
+                            task_queue=task_queue)
+
+    def close(self) -> None:
+        """Stop the workers and release queues/bundle; idempotent."""
+        self._closed = True
+        for handle in self._handles:
+            try:
+                handle.task_queue.put(None)
+            except (OSError, ValueError):
+                pass
+        for handle in self._handles:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+        for handle in self._handles:
+            handle.task_queue.close()
+            handle.task_queue.cancel_join_thread()
+        if self._result_queue is not None:
+            self._result_queue.close()
+            self._result_queue.cancel_join_thread()
+            self._result_queue = None
+        self._handles = []
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def __enter__(self) -> "ShardedScanner":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback_) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            if self._handles:
+                self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # scanning entry points (mirror BatchScanner)
+
+    def scan_codes(self, codes: Iterable[BytecodeLike],
+                   platform: Optional[str] = None,
+                   sample_ids: Optional[Sequence[str]] = None
+                   ) -> BatchScanResult:
+        """Scan an iterable of bytecode inputs; reports keep input order."""
+        raw_codes = [coerce_bytecode(code) for code in codes]
+        if sample_ids is not None and len(sample_ids) != len(raw_codes):
+            raise ValueError("sample_ids length must match codes")
+        ids = (list(sample_ids) if sample_ids is not None
+               else [f"contract-{index:04d}"
+                     for index in range(len(raw_codes))])
+        return self._scan_raw(raw_codes, ids, platform)
+
+    def scan_corpus(self, corpus) -> BatchScanResult:
+        """Scan every sample of a corpus (corpus labels are ignored)."""
+        samples = list(corpus)
+        return self._scan_raw([sample.bytecode for sample in samples],
+                              [sample.sample_id for sample in samples],
+                              platform=None,
+                              platforms=[sample.platform
+                                         for sample in samples])
+
+    def scan_directory(self, directory: PathLike, pattern: str = "*",
+                       platform: Optional[str] = None) -> BatchScanResult:
+        """Scan a directory tree (same file rules as ``BatchScanner``)."""
+        raw_codes, ids, skipped = collect_directory_inputs(directory, pattern)
+        result = self._scan_raw(raw_codes, ids, platform)
+        result.skipped = skipped
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _scan_raw(self, raw_codes: List[bytes], ids: List[str],
+                  platform: Optional[str],
+                  platforms: Optional[List[str]] = None) -> BatchScanResult:
+        started = time.perf_counter()
+        if not raw_codes:
+            return BatchScanResult(num_workers=self.shards)
+        self.start()
+        per_shard: List[List[Tuple]] = [[] for _ in range(self.shards)]
+        for index, raw in enumerate(raw_codes):
+            resolved = (platforms[index] if platforms is not None
+                        else platform)
+            per_shard[shard_for_bytecode(raw, self.shards)].append(
+                (index, raw, resolved, ids[index]))
+        assignments = []
+        for shard_id, items in enumerate(per_shard):
+            for start in range(0, len(items), self.chunk_size):
+                assignments.append((shard_id, "scan",
+                                    items[start:start + self.chunk_size]))
+        windows_before = [window.copy() for window in self._windows]
+        outputs = self._run_tasks(assignments)
+
+        reports: List = [None] * len(raw_codes)
+        merged_cache = CacheStats()
+        batch_sizes: Dict[int, int] = {}
+        for (shard_id, chunk_reports, stats) in outputs:
+            for index, report in chunk_reports:
+                reports[index] = report
+            merged_cache = merged_cache.merge(stats["cache"])
+            for size, count in stats["batch_sizes"].items():
+                batch_sizes[size] = batch_sizes.get(size, 0) + count
+            self._windows[shard_id].absorb_scan(stats)
+        missing = [ids[i] for i, report in enumerate(reports)
+                   if report is None]
+        if missing:  # pragma: no cover - defensive: requeueing prevents this
+            raise ShardError(f"sharded scan lost {len(missing)} "
+                             f"contracts: {missing[:5]}")
+
+        result = BatchScanResult(num_workers=self.shards,
+                                 batch_sizes=batch_sizes)
+        result.reports = reports
+        result.cache_stats = merged_cache
+        result.elapsed_seconds = time.perf_counter() - started
+        result.shard_stats = {
+            f"shard-{shard_id}": window.delta_stats(windows_before[shard_id])
+            for shard_id, window in enumerate(self._windows)}
+        return result
+
+    # ------------------------------------------------------------------ #
+    # inference-only dispatch (used by the scan server's coalescer)
+
+    def infer(self, graphs: Sequence[ContractGraph],
+              batch_size: Optional[int] = None) -> np.ndarray:
+        """Score already-lowered graphs on the pool; rows keep input order.
+
+        Micro-batches of ``batch_size`` graphs are dispatched round-robin
+        (inference has no cache affinity to preserve), which is how the
+        scan server's :class:`~repro.service.server.RequestCoalescer`
+        spreads coalesced batches across shards.
+        """
+        if not len(graphs):
+            return np.zeros((0, 2))
+        self.start()
+        size = batch_size or self.inference_batch_size
+        assignments = []
+        spans = []
+        for start in range(0, len(graphs), size):
+            chunk = graphs[start:start + size]
+            shard_id = next(self._round_robin)
+            assignments.append((shard_id, "infer",
+                                [_graph_payload(graph) for graph in chunk]))
+            spans.append((start, len(chunk)))
+        outputs = self._run_tasks(assignments)
+        width = outputs[0][1].shape[1] if outputs else 2
+        rows = np.zeros((len(graphs), width))
+        for (shard_id, shard_rows, seconds), (start, count) in zip(outputs,
+                                                                   spans):
+            rows[start:start + count] = shard_rows
+            self._windows[shard_id].absorb_infer(count, seconds)
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # dispatch/collect core with crash recovery
+
+    def _run_tasks(self, assignments: Sequence[Tuple[int, str, object]]
+                   ) -> List[Tuple]:
+        """Run ``(shard_id, kind, payload)`` tasks; returns per-assignment
+        ``(executing_shard_id, *payload)`` results in assignment order.
+
+        Execution is at-least-once, merging exactly-once: a dead worker is
+        respawned with a fresh queue and its unacknowledged chunks are
+        redispatched; results for chunks already merged are dropped.
+        """
+        order: List[int] = []
+        pending: Dict[int, int] = {}
+        results: Dict[int, Tuple] = {}
+        for shard_id, kind, payload in assignments:
+            chunk_id = next(self._chunk_counter)
+            task = (kind, chunk_id, payload)
+            handle = self._handles[shard_id]
+            handle.tasks[chunk_id] = task
+            pending[chunk_id] = shard_id
+            order.append(chunk_id)
+            handle.task_queue.put(task)
+        while pending:
+            try:
+                message = self._result_queue.get(timeout=0.1)
+            except queue_module.Empty:
+                try:
+                    self._heal_workers()
+                except ShardError:
+                    self._abandon(pending)
+                    raise
+                continue
+            kind, shard_id, chunk_id, payload = message
+            if kind == "ready":
+                continue
+            if kind == "fatal":
+                self._abandon(pending)
+                raise ShardError(f"shard {shard_id} replica failed to "
+                                 f"reload after a crash:\n{payload}")
+            if chunk_id not in pending:
+                continue  # duplicate answer for a requeued chunk
+            if kind == "error":
+                self._abandon(pending)
+                raise ShardError(f"shard {shard_id} failed:\n{payload}")
+            if kind == "scan":
+                chunk_reports, stats = payload
+                results[chunk_id] = (shard_id, chunk_reports, stats)
+            else:  # infer
+                rows, seconds = payload
+                results[chunk_id] = (shard_id, rows, seconds)
+            del pending[chunk_id]
+            self._handles[shard_id].tasks.pop(chunk_id, None)
+        return [results[chunk_id] for chunk_id in order]
+
+    def _abandon(self, pending: Dict[int, int]) -> None:
+        """Forget a failed run's outstanding chunks (stale results for them
+        are already ignored by the ``chunk_id not in pending`` check)."""
+        for handle in self._handles:
+            for chunk_id in list(pending):
+                handle.tasks.pop(chunk_id, None)
+        pending.clear()
+
+    def _heal_workers(self) -> None:
+        """Respawn dead workers and redispatch their unacknowledged work."""
+        for index, handle in enumerate(self._handles):
+            if handle.process.is_alive():
+                continue
+            restarts = handle.restarts + 1
+            if restarts > self.max_restarts:
+                raise ShardError(
+                    f"shard {handle.shard_id} died {restarts} times "
+                    f"(exit code {handle.process.exitcode}); giving up -- "
+                    f"a task in this shard is likely crashing the worker")
+            warnings.warn(
+                f"shard {handle.shard_id} worker died (exit code "
+                f"{handle.process.exitcode}); respawning and requeueing "
+                f"{len(handle.tasks)} chunk(s)", stacklevel=3)
+            # a fresh queue avoids ever reading a byte stream the dead
+            # worker may have been mid-way through consuming
+            old_queue = handle.task_queue
+            replacement = self._spawn(handle.shard_id)
+            replacement.restarts = restarts
+            replacement.tasks = handle.tasks
+            for chunk_id in sorted(replacement.tasks):
+                replacement.task_queue.put(replacement.tasks[chunk_id])
+            self._handles[index] = replacement
+            self._windows[handle.shard_id].restarts += 1
+            old_queue.close()
+            old_queue.cancel_join_thread()
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+
+    def shard_stats_dict(self) -> Dict[str, Dict[str, object]]:
+        """Lifetime per-shard telemetry (scan + inference + restarts).
+
+        The scan server surfaces this under ``GET /metrics`` as the
+        ``shards`` section; each entry reuses the shared
+        :func:`~repro.service.batch.throughput_stats` schema plus
+        ``inference`` latency counters and the shard's ``restarts``.
+        """
+        return {f"shard-{shard_id}": window.to_dict()
+                for shard_id, window in enumerate(self._windows)}

@@ -78,7 +78,11 @@ def decode_signed(data: bytes, offset: int = 0, max_bytes: int = 10) -> Tuple[in
         result |= (byte & 0x7F) << shift
         shift += 7
         if not byte & 0x80:
-            if shift < 64 and (byte & 0x40):
+            # sign-extend whenever the final byte's sign bit is set; a
+            # shift cap here would mis-decode 10-byte encodings (negative
+            # values near the int64 boundary reach shift 70), found by the
+            # seeded round-trip fuzzer
+            if byte & 0x40:
                 result |= -(1 << shift)
             return result, position
     raise LEB128Error("signed LEB128 too long")

@@ -1,0 +1,337 @@
+"""Seeded property-based round-trip fuzzing of the codec layers.
+
+Multi-process scanning moves bytecode and graphs across process
+boundaries, so the codecs underneath everything -- LEB128, the WASM module
+encoder/parser and the EVM assembler/disassembler -- must round-trip
+*exactly*.  These tests generate ~500 random cases per property from the
+stdlib ``random`` module (no external fuzzing dependency) under a fixed
+seed, so failures are reproducible; CI runs the suite under two different
+seeds each week to keep exploring new input space.
+
+Reproduction: every failure message prints the seed, the case index and a
+greedily *shrunk* minimal repro.  Re-run with::
+
+    SCAMDETECT_FUZZ_SEED=<seed> pytest tests/test_fuzz_roundtrip.py
+
+Each case draws from ``random.Random(f"{seed}:{property}:{index}")``, so a
+single case can be regenerated without replaying the ones before it.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.evm.assembler import AssemblyError, assemble
+from repro.evm.disassembler import disassemble
+from repro.evm.opcodes import OPCODES_BY_NAME
+from repro.wasm.encoder import encode_module
+from repro.wasm.leb128 import (
+    LEB128Error,
+    decode_signed,
+    decode_unsigned,
+    encode_signed,
+    encode_unsigned,
+)
+from repro.wasm.module import WasmFunction, WasmInstructionEntry, WasmModule
+from repro.wasm.opcodes import (
+    BLOCKTYPE_VOID,
+    IMM_BLOCKTYPE,
+    IMM_CALL_INDIRECT,
+    IMM_I32,
+    IMM_I64,
+    IMM_INDEX,
+    IMM_MEMARG,
+    IMM_NONE,
+    VALTYPE_I32,
+    VALTYPE_I64,
+    WASM_OPCODES_BY_NAME,
+)
+from repro.wasm.parser import parse_module
+
+#: Cases per property; ~500 each keeps the whole file under a few seconds.
+NUM_CASES = 500
+
+FUZZ_SEED = os.environ.get("SCAMDETECT_FUZZ_SEED", "20260727")
+
+
+def case_rng(prop: str, index: int) -> random.Random:
+    """Independent RNG for one generated case (regenerable in isolation)."""
+    return random.Random(f"{FUZZ_SEED}:{prop}:{index}")
+
+
+def fail_with_repro(prop: str, index: int, repro: object,
+                    detail: str) -> None:
+    pytest.fail(
+        f"fuzz property {prop!r} failed (seed={FUZZ_SEED}, case={index}): "
+        f"{detail}\n"
+        f"shrunk repro: {repro!r}\n"
+        f"re-run with SCAMDETECT_FUZZ_SEED={FUZZ_SEED} "
+        f"pytest tests/test_fuzz_roundtrip.py")
+
+
+def shrink_list(items: Sequence, fails: Callable[[List], bool],
+                valid: Callable[[List], bool] = lambda _: True) -> List:
+    """Greedy delta-debugging: drop elements while the failure persists.
+
+    ``valid`` filters candidates that would violate the generator's own
+    invariants (balanced WASM blocks, resolvable EVM labels) -- removing an
+    element must not turn a real codec bug into a trivially-invalid input.
+    """
+    current = list(items)
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current)):
+            candidate = current[:index] + current[index + 1:]
+            if valid(candidate) and fails(candidate):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+# --------------------------------------------------------------------------- #
+# LEB128
+
+
+def _unsigned_value(rng: random.Random) -> int:
+    return rng.getrandbits(rng.randint(0, 66))
+
+
+def _signed_value(rng: random.Random) -> int:
+    magnitude = rng.getrandbits(rng.randint(0, 63))
+    return -magnitude if rng.random() < 0.5 else magnitude
+
+
+def test_fuzz_leb128_unsigned_roundtrip():
+    for index in range(NUM_CASES):
+        rng = case_rng("leb128u", index)
+        value = _unsigned_value(rng)
+        encoded = encode_unsigned(value)
+        prefix = rng.randbytes(rng.randint(0, 4))
+        decoded, offset = decode_unsigned(prefix + encoded, len(prefix),
+                                          max_bytes=len(encoded))
+        if decoded != value or offset != len(prefix) + len(encoded):
+            fail_with_repro("leb128u", index, value,
+                            f"decoded {decoded} at offset {offset}")
+
+
+def test_fuzz_leb128_signed_roundtrip():
+    for index in range(NUM_CASES):
+        rng = case_rng("leb128s", index)
+        value = _signed_value(rng)
+        encoded = encode_signed(value)
+        prefix = rng.randbytes(rng.randint(0, 4))
+        decoded, offset = decode_signed(prefix + encoded, len(prefix),
+                                        max_bytes=len(encoded))
+        if decoded != value or offset != len(prefix) + len(encoded):
+            fail_with_repro("leb128s", index, value,
+                            f"decoded {decoded} at offset {offset}")
+
+
+def test_fuzz_leb128_rejects_truncation():
+    """Stripping the final (continuation-bit-free) byte must always raise."""
+    for index in range(NUM_CASES):
+        rng = case_rng("leb128t", index)
+        value = _unsigned_value(rng) | (1 << 30)  # force multi-byte
+        encoded = encode_unsigned(value)
+        assert len(encoded) > 1
+        with pytest.raises(LEB128Error):
+            decode_unsigned(encoded[:-1])
+        with pytest.raises(LEB128Error):
+            decode_signed(bytes([b | 0x80 for b in encode_signed(
+                _signed_value(rng))]))  # all-continuation: never terminates
+
+
+# --------------------------------------------------------------------------- #
+# WASM module codec
+
+_WASM_VALTYPES = (0x7C, 0x7D, VALTYPE_I64, VALTYPE_I32)
+_WASM_OPS = list(WASM_OPCODES_BY_NAME.values())
+
+
+def _wasm_operands(rng: random.Random, kind: str) -> Tuple[int, ...]:
+    if kind == IMM_NONE:
+        return ()
+    if kind == IMM_BLOCKTYPE:
+        return (rng.choice((BLOCKTYPE_VOID,) + _WASM_VALTYPES),)
+    if kind == IMM_INDEX:
+        return (rng.getrandbits(rng.randint(0, 24)),)
+    if kind == IMM_MEMARG:
+        return (rng.randint(0, 4), rng.getrandbits(rng.randint(0, 20)))
+    if kind == IMM_I32:
+        return (rng.randint(-(1 << 31), (1 << 31) - 1),)
+    if kind == IMM_I64:
+        return (rng.randint(-(1 << 63), (1 << 63) - 1),)
+    assert kind == IMM_CALL_INDIRECT
+    return (rng.getrandbits(rng.randint(0, 10)), rng.randint(0, 3))
+
+
+def _wasm_body(rng: random.Random) -> List[WasmInstructionEntry]:
+    body: List[WasmInstructionEntry] = []
+    depth = 0
+    for _ in range(rng.randint(0, 12)):
+        opcode = rng.choice(_WASM_OPS)
+        if opcode.name == "end":
+            if depth == 0:
+                continue  # a bare end would terminate the body early
+            depth -= 1
+        elif opcode.name in ("block", "loop", "if"):
+            depth += 1
+        body.append(WasmInstructionEntry(
+            name=opcode.name, operands=_wasm_operands(rng, opcode.immediate)))
+    while depth:  # close every open block so the terminating end is ours
+        body.append(WasmInstructionEntry(name="end"))
+        depth -= 1
+    return body
+
+
+def _wasm_body_valid(body: Sequence[WasmInstructionEntry]) -> bool:
+    """True when ``body`` keeps its structured blocks balanced."""
+    depth = 0
+    for entry in body:
+        if entry.name in ("block", "loop", "if"):
+            depth += 1
+        elif entry.name == "end":
+            if depth == 0:
+                return False
+            depth -= 1
+    return depth == 0
+
+
+def _wasm_module(rng: random.Random) -> WasmModule:
+    module = WasmModule(name="fuzz")
+    for _ in range(rng.randint(1, 3)):
+        module.types.append((rng.randint(0, 3), rng.randint(0, 1)))
+    for _ in range(rng.randint(1, 4)):
+        module.functions.append(WasmFunction(
+            type_index=rng.randrange(len(module.types)),
+            locals=[(rng.randint(0, 7), rng.choice(_WASM_VALTYPES))
+                    for _ in range(rng.randint(0, 2))],
+            body=_wasm_body(rng)))
+    return module
+
+
+def _wasm_roundtrip_fails(module: WasmModule) -> Optional[str]:
+    """None when encode -> parse -> encode is byte-identical, else why."""
+    first = encode_module(module)
+    parsed = parse_module(first)
+    second = encode_module(parsed)
+    if first != second:
+        return (f"re-encoded bytes differ: {first.hex()} -> {second.hex()}")
+    if [f.body for f in parsed.functions] != [f.body for f in module.functions]:
+        return "parsed bodies differ from the originals"
+    if parsed.types != module.types:
+        return f"types {module.types} parsed as {parsed.types}"
+    if ([f.type_index for f in parsed.functions]
+            != [f.type_index for f in module.functions]):
+        return "function type indices differ"
+    if [f.locals for f in parsed.functions] != [f.locals for f in module.functions]:
+        return "function locals differ"
+    return None
+
+
+def test_fuzz_wasm_module_roundtrip():
+    for index in range(NUM_CASES):
+        module = _wasm_module(case_rng("wasm", index))
+        detail = _wasm_roundtrip_fails(module)
+        if detail is None:
+            continue
+
+        def function_fails(functions: List[WasmFunction]) -> bool:
+            candidate = WasmModule(types=module.types, functions=functions)
+            return bool(functions) and _wasm_roundtrip_fails(candidate)
+
+        shrunk_functions = shrink_list(module.functions, function_fails)
+        shrunk = WasmModule(types=module.types, functions=shrunk_functions)
+        if len(shrunk.functions) == 1:
+
+            def body_fails(body: List[WasmInstructionEntry]) -> bool:
+                candidate = WasmModule(types=module.types, functions=[
+                    WasmFunction(type_index=shrunk.functions[0].type_index,
+                                 locals=shrunk.functions[0].locals,
+                                 body=body)])
+                return bool(_wasm_roundtrip_fails(candidate))
+
+            shrunk.functions[0].body = shrink_list(
+                shrunk.functions[0].body, body_fails,
+                valid=_wasm_body_valid)
+        repro = [(f.type_index, f.locals, [str(i) for i in f.body])
+                 for f in shrunk.functions]
+        fail_with_repro("wasm", index, repro, detail)
+
+
+# --------------------------------------------------------------------------- #
+# EVM assembler/disassembler
+
+#: Everything except UNKNOWN placeholders -- all real, encodable opcodes.
+_EVM_OPS = list(OPCODES_BY_NAME.values())
+
+AsmItems = List[Tuple[str, Optional[object]]]
+
+
+def _evm_items(rng: random.Random) -> AsmItems:
+    items: AsmItems = []
+    labels = [f"L{i}" for i in range(rng.randint(0, 3))]
+    for _ in range(rng.randint(1, 20)):
+        if labels and rng.random() < 0.15:
+            items.append(("PUSHLABEL", rng.choice(labels)))
+            continue
+        opcode = rng.choice(_EVM_OPS)
+        operand = (rng.getrandbits(8 * opcode.immediate_size)
+                   if opcode.immediate_size else None)
+        items.append((opcode.name, operand))
+    for label in labels:  # definitions at random positions
+        items.insert(rng.randint(0, len(items)), ("LABEL", label))
+    return items
+
+
+def _evm_roundtrip_fails(items: AsmItems) -> Optional[str]:
+    """None when assemble -> disassemble -> assemble is byte-identical."""
+    first = assemble(items)
+    listing = [(instruction.name, instruction.operand)
+               for instruction in disassemble(first)]
+    second = assemble(listing)
+    if first != second:
+        return (f"re-assembled bytes differ: {first.hex()} -> "
+                f"{second.hex()} via {listing}")
+    return None
+
+
+def _evm_items_valid(items: AsmItems) -> bool:
+    """Shrink filter: the candidate must still assemble at all."""
+    try:
+        assemble(items)
+    except AssemblyError:
+        return False
+    return True
+
+
+def test_fuzz_evm_assembler_roundtrip():
+    for index in range(NUM_CASES):
+        items = _evm_items(case_rng("evm", index))
+        detail = _evm_roundtrip_fails(items)
+        if detail is None:
+            continue
+        shrunk = shrink_list(
+            items, lambda candidate: bool(_evm_roundtrip_fails(candidate)),
+            valid=_evm_items_valid)
+        fail_with_repro("evm", index, shrunk, detail)
+
+
+def test_fuzz_evm_disassembler_total():
+    """The disassembler must accept arbitrary bytes without raising --
+    truncated PUSH immediates and undefined opcodes included -- and cover
+    every input byte exactly once."""
+    for index in range(NUM_CASES):
+        rng = case_rng("evmraw", index)
+        raw = rng.randbytes(rng.randint(0, 64))
+        instructions = disassemble(raw)
+        covered = sum(instruction.size for instruction in instructions)
+        if covered != len(raw):
+            fail_with_repro("evmraw", index, raw.hex(),
+                            f"{covered} of {len(raw)} bytes covered")

@@ -128,8 +128,15 @@ def test_cli_parser_subcommands():
     assert args.id == "E2"
     args = parser.parse_args(["experiment", "--id", "E9"])
     assert args.id == "E9"
+    args = parser.parse_args(["experiment", "--id", "E10"])
+    assert args.id == "E10"
     with pytest.raises(SystemExit):
-        parser.parse_args(["experiment", "--id", "E10"])
+        parser.parse_args(["experiment", "--id", "E11"])
+    args = parser.parse_args(["scan-batch", "--model-path", "m",
+                              "--input-dir", "d", "--shards", "4"])
+    assert args.shards == 4
+    args = parser.parse_args(["serve", "--model-path", "m", "--shards", "2"])
+    assert args.shards == 2
 
 
 def test_cli_corpus_command(capsys):

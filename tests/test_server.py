@@ -314,3 +314,62 @@ def test_cli_serve_bad_parameters_name_the_parameter(trained_detector,
             main(["serve", "--model-path", str(model_path), *flags])
         message = str(caught.value)
         assert "invalid parameters" in message and fragment in message
+
+
+# --------------------------------------------------------------------------- #
+# sharded serving
+
+
+def test_sharded_server_parity_and_metrics(trained_detector, tiny_evm_corpus):
+    """A ``shards=2`` server scores through the process pool: verdicts stay
+    byte-identical to ``scan`` and ``/metrics`` grows a per-shard section."""
+    with ScanServer(trained_detector, port=0, workers=8, max_batch=8,
+                    max_wait_ms=10.0, shards=2) as server:
+        client = ServerClient(port=server.port)
+        health = client.wait_until_ready(timeout=10.0)
+        assert health["shards"] == 2
+
+        samples = tiny_evm_corpus[:8]
+        batch = client.scan_batch([s.bytecode for s in samples],
+                                  sample_ids=[s.sample_id for s in samples])
+        singles = [client.scan(s.bytecode, sample_id=s.sample_id)
+                   for s in samples]
+        metrics = client.metrics()
+
+    for sample, report in zip(samples, batch["reports"]):
+        assert report == trained_detector.scan(
+            sample.bytecode, sample_id=sample.sample_id).to_dict()
+    for sample, report in zip(samples, singles):
+        assert report == trained_detector.scan(
+            sample.bytecode, sample_id=sample.sample_id).to_dict()
+
+    assert set(metrics["shards"]) == {"shard-0", "shard-1"}
+    inference = [entry["inference"] for entry in metrics["shards"].values()]
+    assert sum(entry["graphs"] for entry in inference) >= 16
+    assert all(entry["seconds"] >= 0.0 for entry in inference)
+    assert all(entry["restarts"] == 0
+               for entry in metrics["shards"].values())
+    # unsharded servers must not grow the section
+    with ScanServer(trained_detector, port=0, workers=2) as server:
+        client = ServerClient(port=server.port)
+        client.wait_until_ready(timeout=10.0)
+        assert "shards" not in client.metrics()
+        assert client.healthz()["shards"] == 1
+
+
+def test_shard_pool_start_failure_does_not_hang_shutdown(trained_detector):
+    """If the shard pool fails to come up, start() must leave the server in
+    a state whose shutdown() returns promptly (the full shutdown path would
+    block forever on an accept loop that never ran)."""
+    from repro.service import ShardError
+
+    server = ScanServer(trained_detector, port=0, workers=2, shards=2)
+
+    def refuse_to_start():
+        raise ShardError("replica failed to load")
+
+    server.sharded.start = refuse_to_start
+    with pytest.raises(ShardError):
+        server.start()
+    server.shutdown()  # regression: this used to deadlock
+    assert trained_detector.pipeline.graph_cache is None

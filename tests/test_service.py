@@ -140,6 +140,59 @@ def test_disk_tier_isolates_fingerprints(tmp_path, tiny_evm_corpus):
         sample.bytecode, sample.platform) is not None
 
 
+def test_disk_tier_truncated_entry_is_warned_miss(tmp_path, tiny_evm_corpus):
+    """A torn/corrupt entry on disk (e.g. from a pre-atomic writer or bit
+    rot) is treated as a miss with a warning, deleted, and rewritten clean
+    by the next put."""
+    import warnings
+
+    disk = tmp_path / "graph-cache"
+    sample = tiny_evm_corpus[0]
+    cache = GraphCache.for_config(FAST, disk_dir=disk)
+    pipeline = ScamDetectPipeline(FAST, graph_cache=cache)
+    fresh = pipeline.sample_to_graph(sample)
+    key = bytecode_key(sample.bytecode, sample.platform)
+    entry = disk / FAST.graph_fingerprint() / f"{key}.npz"
+    payload = entry.read_bytes()
+    entry.write_bytes(payload[:len(payload) // 2])  # torn write
+
+    revived = GraphCache.for_config(FAST, disk_dir=disk)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert revived.get(sample.bytecode, sample.platform) is None
+    assert any("unreadable" in str(entry_.message) for entry_ in caught)
+    assert revived.stats.disk_corrupt == 1
+    assert revived.stats.misses == 1 and revived.stats.hits == 0
+    assert not entry.exists()  # removed, so the next put rewrites it
+
+    relowered = ScamDetectPipeline(FAST, graph_cache=revived) \
+        .sample_to_graph(sample)
+    np.testing.assert_array_equal(relowered.node_features,
+                                  fresh.node_features)
+    assert revived.stats.disk_writes == 1
+    third = GraphCache.for_config(FAST, disk_dir=disk)
+    assert third.get(sample.bytecode, sample.platform) is not None
+
+
+def test_disk_tier_writes_are_atomic_and_uniquely_named(tmp_path,
+                                                        tiny_evm_corpus):
+    """The publish step is a temp-file + os.replace with a process-unique
+    temp name: no bare .npz ever exists in a partial state, and no temp
+    files are left behind."""
+    disk = tmp_path / "graph-cache"
+    sample = tiny_evm_corpus[0]
+    cache = GraphCache.for_config(FAST, disk_dir=disk)
+    first = cache._temp_path_for(cache._entry_path("abc123"))
+    second = cache._temp_path_for(cache._entry_path("abc123"))
+    assert first != second  # unique even for the same key in one process
+    assert first.name.startswith(".") and first.suffix == ".npz"
+
+    ScamDetectPipeline(FAST, graph_cache=cache).sample_to_graph(sample)
+    tier = disk / FAST.graph_fingerprint()
+    leftovers = [path for path in tier.iterdir() if ".tmp." in path.name]
+    assert leftovers == []
+
+
 def test_disk_tier_purges_entries_without_sidecar(tmp_path, tiny_evm_corpus):
     disk = tmp_path / "graph-cache"
     sample = tiny_evm_corpus[0]
@@ -272,7 +325,7 @@ def test_batch_result_stats_dict_schema(trained_detector, tiny_evm_corpus):
                                 "histogram": {"2": 1, "4": 2}}
     assert set(stats["cache"]) == {"hits", "misses", "lookups", "hit_rate",
                                    "evictions", "disk_hits", "disk_writes",
-                                   "stale_purges"}
+                                   "stale_purges", "disk_corrupt"}
 
 
 def test_batch_scanner_requires_trained_detector():
