@@ -9,9 +9,10 @@ fails (exit 1) when:
 * a **throughput metric** (summary or per-row keys ending in ``_per_second``
   or containing ``speedup``) drops by more than ``--tolerance`` (default
   20%) relative to the baseline, or
-* a **fidelity counter** (keys containing ``mismatch``) rises at all --
-  verdict/prediction parity is exact, so any increase is a correctness
-  regression, never noise.
+* a **fidelity counter** (keys containing ``mismatch``, or summary
+  ``*_inference_calls`` counters for contractually inference-free paths)
+  rises at all -- verdict/prediction parity is exact, so any increase is a
+  correctness regression, never noise.
 
 Rows are matched to baseline rows by their ``mode`` field.  A fresh file
 missing for a committed baseline is itself a failure (the benchmark stopped
@@ -45,8 +46,14 @@ def is_throughput_key(key: str) -> bool:
 
 
 def is_fidelity_key(key: str) -> bool:
-    """Lower-is-better exact counters gated at zero increase."""
-    return "mismatch" in key
+    """Lower-is-better exact counters gated at zero increase.
+
+    ``*mismatch*`` counts broken verdict parity; ``*inference_calls`` in a
+    summary counts model invocations on paths contractually required to be
+    inference-free (E11's warm watch polls) -- both are exact, so any rise
+    is a correctness regression, never noise.
+    """
+    return "mismatch" in key or key.endswith("inference_calls")
 
 
 def _metric_pairs(baseline: Dict, fresh: Dict

@@ -24,7 +24,12 @@ setup(
     python_requires=">=3.9",
     package_dir={"": "src"},
     packages=find_packages("src"),
-    install_requires=["numpy"],
+    install_requires=[
+        "numpy",
+        # the triage rules engine parses TOML; stdlib tomllib exists from
+        # 3.11, older interpreters use the API-identical backport
+        'tomli>=1.1.0; python_version < "3.11"',
+    ],
     extras_require={
         # SciPy accelerates the batched-graph engine's sparse kernels; the
         # engine falls back to a pure-NumPy path when it is absent

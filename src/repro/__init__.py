@@ -16,7 +16,9 @@ Robust, Agnostic Framework to Uncover Threats in Smart Contracts"* (DSN-S
 * :mod:`repro.core` -- the ScamDetect pipeline and :class:`ScamDetector` API.
 * :mod:`repro.service` -- the batch scanning service layer (content-addressed
   graph cache, parallel lowering, batched inference).
-* :mod:`repro.evaluation` -- the E1-E7 experiment drivers and reporting.
+* :mod:`repro.registry` -- the persistent layer: SQLite verdict registry,
+  continuous watch daemon and the TOML triage rules engine.
+* :mod:`repro.evaluation` -- the E1-E11 experiment drivers and reporting.
 
 Quickstart::
 

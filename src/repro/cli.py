@@ -10,10 +10,21 @@ Usage (after ``pip install -e .`` the ``scamdetect`` entry point is on PATH;
                           --cache-dir /tmp/scamdetect-cache --shards 4
     scamdetect serve      --model-path /tmp/scamdetect --port 8742 \
                           --workers 8 --max-batch 32 --shards 4
+    scamdetect watch submissions/ --model-path /tmp/scamdetect \
+                          --registry /tmp/verdicts.db --rules triage.toml
+    scamdetect query      --registry /tmp/verdicts.db --verdict malicious \
+                          --min-score 0.9 --json
+    scamdetect rules check triage.toml
     scamdetect experiment --id E2
 
 The CLI is intentionally thin: every command maps onto one public-API call so
 scripts and notebooks can do the same thing programmatically.
+
+Exit codes are verdict-coded so shell pipelines can branch on them:
+``scan`` and ``scan-batch`` exit 0 when everything was benign, 2 when
+anything was flagged malicious, and 1 on errors (bad model path, unreadable
+input, ...); ``watch`` exits 2 when a triage rule with the
+``exit_nonzero`` action fired.
 """
 
 from __future__ import annotations
@@ -84,10 +95,16 @@ def _read_code(args: argparse.Namespace) -> bytes:
 def _command_scan(args: argparse.Namespace) -> int:
     detector = _load_detector("scan", args, explain=True)
     code = _read_code(args)
-    report = detector.scan(code, platform=args.platform,
-                           sample_id=args.sample_id)
+    try:
+        report = detector.scan(code, platform=args.platform,
+                               sample_id=args.sample_id)
+    except ValueError as error:
+        raise SystemExit(f"scan: bytecode rejected: {error}")
     print(report.format())
-    return 1 if report.is_malicious else 0
+    # verdict-coded exit status (documented in the module docstring and
+    # README): 2 on a malicious verdict so pipelines can tell "scam found"
+    # (2) from "scan failed" (1, the SystemExit paths above)
+    return 2 if report.is_malicious else 0
 
 
 def _load_detector(command: str, args: argparse.Namespace,
@@ -118,15 +135,19 @@ def _command_scan_batch(args: argparse.Namespace) -> int:
                 disk_dir=args.cache_dir)
         except ValueError as error:
             raise SystemExit(f"scan-batch: {error}")
+    registry = _open_registry("scan-batch", args.registry, detector)
     scanner = BatchScanner(detector, cache=cache, max_workers=args.workers,
-                           shards=args.shards)
+                           shards=args.shards, registry=registry)
     try:
         result = scanner.scan_directory(args.input_dir, pattern=args.pattern,
-                                        platform=args.platform)
+                                        platform=args.platform,
+                                        recursive=not args.no_recursive)
     except (FileNotFoundError, ValueError, ShardError) as error:
         raise SystemExit(f"scan-batch: {error}")
     finally:
         scanner.close()
+        if registry is not None:
+            registry.close()
     print(result.format())
     for entry in result.skipped:
         print(f"  skipped: {entry}", file=sys.stderr)
@@ -134,7 +155,172 @@ def _command_scan_batch(args: argparse.Namespace) -> int:
         for report in result.reports:
             print()
             print(report.format())
-    return 1 if result.num_malicious else 0
+    return 2 if result.num_malicious else 0
+
+
+def _open_registry(command: str, path: Optional[str], detector):
+    """Open ``--registry`` scoped to the loaded detector's fingerprint
+    (None when the flag was not given); exits non-zero on registry errors."""
+    if path is None:
+        return None
+    from repro.registry import RegistryError, ScanRegistry
+
+    try:
+        return ScanRegistry.for_config(path, detector.config)
+    except (RegistryError, OSError) as error:
+        raise SystemExit(f"{command}: cannot open registry {path!r}: {error}")
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.registry import RegistryError, RuleParseError, RulesEngine, \
+        WatchDaemon, load_rules
+    from repro.service import GraphCache, ShardError
+
+    detector = _load_detector("watch", args, explain=args.explain)
+    registry = _open_registry("watch", args.registry, detector)
+    rules_engine = None
+    if args.rules is not None:
+        try:
+            rules_engine = RulesEngine(load_rules(args.rules),
+                                       alert_path=args.alert_file)
+        except RuleParseError as error:
+            raise SystemExit(f"watch: {error}")
+    cache = None
+    if args.cache_dir is not None:
+        try:
+            cache = GraphCache.for_config(detector.config,
+                                          disk_dir=args.cache_dir)
+        except ValueError as error:
+            raise SystemExit(f"watch: {error}")
+    try:
+        daemon = WatchDaemon(detector, registry, args.directory,
+                             pattern=args.pattern,
+                             recursive=not args.no_recursive,
+                             rules=rules_engine, interval=args.interval,
+                             cache=cache, max_workers=args.workers,
+                             shards=args.shards)
+    except (FileNotFoundError, ValueError, RegistryError) as error:
+        raise SystemExit(f"watch: {error}")
+
+    def _terminate(signum, frame):
+        # finish the cycle in flight, record everything, then exit run()
+        daemon.stop()
+
+    previous = {sig: signal.signal(sig, _terminate)
+                for sig in (signal.SIGTERM, signal.SIGINT)}
+    print(f"watching {daemon.directory} every {args.interval:g}s "
+          f"(registry {args.registry}, "
+          f"rules {args.rules or 'none'}); SIGTERM drains cleanly",
+          flush=True)
+
+    def on_poll(cycle: int, stats) -> None:
+        print(f"poll {cycle}: {stats.format()}", flush=True)
+
+    try:
+        daemon.run(max_polls=args.max_polls, on_poll=on_poll)
+    except ShardError as error:
+        raise SystemExit(f"watch: shard pool failed: {error}")
+    finally:
+        print("watch: shutting down", flush=True)
+        daemon.close()
+        registry.close()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    return 2 if daemon.exit_nonzero else 0
+
+
+def _parse_when(command: str, value: Optional[str]) -> Optional[float]:
+    """``--since/--until`` accept epoch seconds or an ISO-8601 timestamp."""
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    import datetime
+
+    try:
+        return datetime.datetime.fromisoformat(value).timestamp()
+    except ValueError:
+        raise SystemExit(f"{command}: cannot parse time {value!r}; use "
+                         f"epoch seconds or ISO-8601 "
+                         f"(e.g. 2026-07-27T12:00)")
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    import json
+    import sqlite3
+
+    from repro.registry import RegistryError, ScanRegistry
+
+    fingerprint = args.fingerprint
+    if args.model_path is not None:
+        fingerprint = _load_detector("query", args,
+                                     explain=False).config.graph_fingerprint()
+    try:
+        registry = ScanRegistry(args.registry, fingerprint=fingerprint or "")
+    except (RegistryError, OSError) as error:
+        raise SystemExit(f"query: cannot open registry "
+                         f"{args.registry!r}: {error}")
+    try:
+        rows = registry.query(
+            verdict=args.verdict,
+            min_score=args.min_score,
+            max_score=args.max_score,
+            platform=args.platform,
+            since=_parse_when("query", args.since),
+            until=_parse_when("query", args.until),
+            path_glob=args.path_glob,
+            tag=args.tag,
+            sha256_prefix=args.sha256,
+            all_fingerprints=fingerprint is None,
+            limit=None if args.all else args.limit)
+        if args.json:
+            payload = []
+            for row in rows:
+                entry = row.to_dict()
+                if args.history:
+                    entry["history"] = registry.history(
+                        row.sha256, fingerprint=row.fingerprint)
+                payload.append(entry)
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for row in rows:
+                print(row.format())
+                if args.history:
+                    for entry in registry.history(
+                            row.sha256, fingerprint=row.fingerprint):
+                        print(f"    {entry['scanned_at']:.0f}: "
+                              f"p={entry['malicious_probability']:.3f} "
+                              f"({entry['model']})")
+            print(f"{len(rows)} verdict{'s' if len(rows) != 1 else ''} "
+                  f"({'all fingerprints' if fingerprint is None else 'fingerprint ' + fingerprint})",
+                  file=sys.stderr)
+    except RegistryError as error:
+        raise SystemExit(f"query: {error}")
+    except sqlite3.Error as error:
+        # e.g. a database produced by a different build whose schema
+        # version lies: fail with a message, not a traceback
+        raise SystemExit(f"query: registry {args.registry!r} is not "
+                         f"usable ({error})")
+    finally:
+        registry.close()
+    return 0
+
+
+def _command_rules_check(args: argparse.Namespace) -> int:
+    from repro.registry import RuleParseError, load_rules
+
+    try:
+        rules = load_rules(args.rules_file)
+    except RuleParseError as error:
+        raise SystemExit(f"rules check: {error}")
+    for rule in rules:
+        print(rule.describe())
+    print(f"{len(rules)} rule{'s' if len(rules) != 1 else ''} ok")
+    return 0
 
 
 def _command_serve(args: argparse.Namespace) -> int:
@@ -144,6 +330,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.service.server import ScanServer
 
     detector = _load_detector("serve", args, explain=not args.no_explain)
+    registry = _open_registry("serve", args.registry, detector)
     try:
         cache = GraphCache.for_config(
             detector.config,
@@ -153,7 +340,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         server = ScanServer(detector, host=args.host, port=args.port,
                             workers=args.workers, max_batch=args.max_batch,
                             max_wait_ms=args.max_wait_ms, cache=cache,
-                            shards=args.shards)
+                            shards=args.shards, registry=registry)
     except (OSError, OverflowError) as error:
         raise SystemExit(f"serve: cannot bind {args.host}:{args.port}: "
                          f"{error}")
@@ -179,6 +366,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         print("serve: draining in-flight scans and shutting down",
               flush=True)
         server.shutdown()
+        if registry is not None:
+            registry.close()
         signal.signal(signal.SIGTERM, previous_handler)
     return 0
 
@@ -195,6 +384,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         run_e8_scan_throughput,
         run_e9_gnn_throughput,
         run_e10_sharded_throughput,
+        run_e11_watch_ingest,
     )
 
     runners = {
@@ -208,6 +398,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         "E8": run_e8_scan_throughput,
         "E9": run_e9_gnn_throughput,
         "E10": run_e10_sharded_throughput,
+        "E11": run_e11_watch_ingest,
     }
     result = runners[args.id.upper()]()
     print(result.format())
@@ -254,6 +445,14 @@ def build_parser() -> argparse.ArgumentParser:
                                    "hex text, anything else as raw binary)")
     batch_parser.add_argument("--pattern", default="*",
                               help="glob filter applied inside --input-dir")
+    batch_parser.add_argument("--no-recursive", action="store_true",
+                              help="scan only the top level of --input-dir "
+                                   "(default recurses into subdirectories)")
+    batch_parser.add_argument("--registry", default=None,
+                              help="persistent verdict registry (SQLite); "
+                                   "known bytecode is answered without "
+                                   "inference and fresh verdicts are "
+                                   "recorded")
     batch_parser.add_argument("--platform", choices=("evm", "wasm"), default=None,
                               help="force one platform (sniffed per file when "
                                    "omitted)")
@@ -308,12 +507,104 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--no-explain", action="store_true",
                               help="skip indicator notes in verdicts "
                                    "(faster; default keeps scan parity)")
+    serve_parser.add_argument("--registry", default=None,
+                              help="persistent verdict registry (SQLite); "
+                                   "enables GET /verdicts and records "
+                                   "every served verdict")
     serve_parser.set_defaults(handler=_command_serve)
 
+    watch_parser = subparsers.add_parser(
+        "watch",
+        help="continuously watch a directory: scan new/changed contracts, "
+             "record verdicts in the registry, run triage rules")
+    watch_parser.add_argument("directory",
+                              help="corpus directory to watch")
+    watch_parser.add_argument("--model-path", required=True)
+    watch_parser.add_argument("--registry", required=True,
+                              help="SQLite verdict registry (created on "
+                                   "first use; survives daemon restarts)")
+    watch_parser.add_argument("--rules", default=None,
+                              help="TOML triage rules evaluated on every "
+                                   "new verdict (see 'scamdetect rules "
+                                   "check')")
+    watch_parser.add_argument("--alert-file", default=None,
+                              help="JSONL sink for rule 'alert' actions")
+    watch_parser.add_argument("--interval", type=float, default=2.0,
+                              help="seconds between poll cycles")
+    watch_parser.add_argument("--max-polls", type=int, default=None,
+                              help="stop after N poll cycles (default: run "
+                                   "until SIGTERM/SIGINT)")
+    watch_parser.add_argument("--pattern", default="*",
+                              help="glob filter for contract files")
+    watch_parser.add_argument("--no-recursive", action="store_true",
+                              help="watch only the top level of DIRECTORY")
+    watch_parser.add_argument("--threshold", type=float, default=0.5)
+    watch_parser.add_argument("--cache-dir", default=None,
+                              help="directory for the persistent "
+                                   "graph-cache tier")
+    watch_parser.add_argument("--workers", type=int, default=None,
+                              help="lowering threads per scan cycle")
+    watch_parser.add_argument("--shards", type=int, default=1,
+                              help="scan worker processes per cycle")
+    watch_parser.add_argument("--explain", action="store_true",
+                              help="attach indicator notes to recorded "
+                                   "verdicts (matches scan-batch --explain)")
+    watch_parser.set_defaults(handler=_command_watch)
+
+    query_parser = subparsers.add_parser(
+        "query",
+        help="query the persistent verdict registry (by verdict, score "
+             "range, platform, time window, path glob, tag)")
+    query_parser.add_argument("--registry", required=True)
+    query_parser.add_argument("--model-path", default=None,
+                              help="scope to this model bundle's graph "
+                                   "fingerprint")
+    query_parser.add_argument("--fingerprint", default=None,
+                              help="scope to an explicit graph fingerprint "
+                                   "(default: all fingerprints)")
+    query_parser.add_argument("--sha256", default=None,
+                              help="only rows whose content hash starts "
+                                   "with this prefix")
+    query_parser.add_argument("--verdict",
+                              choices=("malicious", "benign"), default=None)
+    query_parser.add_argument("--min-score", type=float, default=None)
+    query_parser.add_argument("--max-score", type=float, default=None)
+    query_parser.add_argument("--platform", choices=("evm", "wasm"),
+                              default=None)
+    query_parser.add_argument("--since", default=None,
+                              help="scanned at/after (epoch or ISO-8601)")
+    query_parser.add_argument("--until", default=None,
+                              help="scanned at/before (epoch or ISO-8601)")
+    query_parser.add_argument("--path-glob", default=None,
+                              help="shell glob on the recorded source path")
+    query_parser.add_argument("--tag", default=None,
+                              help="only rows carrying this triage tag")
+    query_parser.add_argument("--limit", type=int, default=50,
+                              help="newest-first row cap (default 50)")
+    query_parser.add_argument("--all", action="store_true",
+                              help="no row cap (overrides --limit)")
+    query_parser.add_argument("--history", action="store_true",
+                              help="include the per-contract rescan history")
+    query_parser.add_argument("--json", action="store_true",
+                              help="machine-readable output (report dicts "
+                                   "identical to scan-batch verdicts)")
+    query_parser.set_defaults(handler=_command_query, threshold=0.5)
+
+    rules_parser = subparsers.add_parser(
+        "rules", help="triage-rules tooling")
+    rules_subparsers = rules_parser.add_subparsers(dest="rules_command",
+                                                   required=True)
+    rules_check_parser = rules_subparsers.add_parser(
+        "check", help="validate a TOML rules file and print the parsed "
+                      "rules")
+    rules_check_parser.add_argument("rules_file",
+                                    help="TOML rules file to validate")
+    rules_check_parser.set_defaults(handler=_command_rules_check)
+
     experiment_parser = subparsers.add_parser("experiment",
-                                              help="run one E1-E10 experiment")
+                                              help="run one E1-E11 experiment")
     experiment_parser.add_argument("--id", required=True,
-                                   choices=[f"E{i}" for i in range(1, 11)])
+                                   choices=[f"E{i}" for i in range(1, 12)])
     experiment_parser.set_defaults(handler=_command_experiment)
     return parser
 

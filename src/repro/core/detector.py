@@ -14,6 +14,7 @@ from repro.evm.contracts import is_minimal_proxy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.gnn.data import ContractGraph
+    from repro.registry.store import ScanRegistry
     from repro.service.batch import BatchScanResult
     from repro.service.cache import GraphCache
 
@@ -184,7 +185,9 @@ class ScamDetector:
                   sample_ids: Optional[Sequence[str]] = None,
                   cache: Optional["GraphCache"] = None,
                   max_workers: Optional[int] = None,
-                  shards: int = 1) -> "BatchScanResult":
+                  shards: int = 1,
+                  registry: Optional["ScanRegistry"] = None
+                  ) -> "BatchScanResult":
         """Scan many contracts through the batch service layer.
 
         Args:
@@ -203,6 +206,11 @@ class ScamDetector:
                 :meth:`scan`).  The throwaway pool is released before this
                 returns; hold a ``BatchScanner(shards=N)`` instead to amortise
                 pool startup over many calls.
+            registry: Optional persistent
+                :class:`~repro.registry.store.ScanRegistry`: known bytecode
+                is answered from the store without lowering or inference,
+                and fresh verdicts are recorded durably (see
+                :class:`~repro.service.batch.BatchScanner`).
 
         Returns:
             A :class:`~repro.service.batch.BatchScanResult` with per-contract
@@ -213,7 +221,7 @@ class ScamDetector:
 
         previous_cache = self.pipeline.graph_cache
         scanner = BatchScanner(self, cache=cache, max_workers=max_workers,
-                               shards=shards)
+                               shards=shards, registry=registry)
         try:
             return scanner.scan_codes(codes, platform=platform,
                                       sample_ids=sample_ids)
@@ -227,23 +235,28 @@ class ScamDetector:
                        platform: Optional[str] = None,
                        cache: Optional["GraphCache"] = None,
                        max_workers: Optional[int] = None,
-                       shards: int = 1) -> "BatchScanResult":
+                       shards: int = 1,
+                       registry: Optional["ScanRegistry"] = None,
+                       recursive: bool = True) -> "BatchScanResult":
         """Scan every bytecode file under ``directory`` (see
         :meth:`~repro.service.batch.BatchScanner.scan_directory`).
 
         Files ending in ``.hex`` are parsed as hex text; anything else is
         read as raw binary.  Sample ids are the file names relative to
-        ``directory``.  ``shards >= 2`` scans on a multi-process pool (see
-        :meth:`scan_many`).
+        ``directory``.  ``shards >= 2`` scans on a multi-process pool, and
+        ``registry=`` answers known bytecode from the persistent verdict
+        store (see :meth:`scan_many`).  ``recursive=False`` restricts the
+        walk to the top level.
         """
         from repro.service.batch import BatchScanner
 
         previous_cache = self.pipeline.graph_cache
         scanner = BatchScanner(self, cache=cache, max_workers=max_workers,
-                               shards=shards)
+                               shards=shards, registry=registry)
         try:
             return scanner.scan_directory(directory, pattern=pattern,
-                                          platform=platform)
+                                          platform=platform,
+                                          recursive=recursive)
         finally:
             scanner.close()
             self.pipeline.graph_cache = previous_cache

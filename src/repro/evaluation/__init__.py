@@ -1,4 +1,4 @@
-"""Evaluation harness: cross-validation, the E1-E10 experiments and reporting.
+"""Evaluation harness: cross-validation, the E1-E11 experiments and reporting.
 
 Each experiment function reproduces one claim of the paper (see DESIGN.md's
 experiment index) and returns an :class:`~repro.evaluation.reporting.ExperimentResult`
@@ -24,6 +24,7 @@ from repro.evaluation.experiments import (
     E8Config,
     E9Config,
     E10Config,
+    E11Config,
     run_e1_phishinghook_zoo,
     run_e2_obfuscation_degradation,
     run_e3_gnn_vs_baseline,
@@ -34,6 +35,7 @@ from repro.evaluation.experiments import (
     run_e8_scan_throughput,
     run_e9_gnn_throughput,
     run_e10_sharded_throughput,
+    run_e11_watch_ingest,
 )
 
 __all__ = [
@@ -51,6 +53,7 @@ __all__ = [
     "E8Config",
     "E9Config",
     "E10Config",
+    "E11Config",
     "run_e1_phishinghook_zoo",
     "run_e2_obfuscation_degradation",
     "run_e3_gnn_vs_baseline",
@@ -61,4 +64,5 @@ __all__ = [
     "run_e8_scan_throughput",
     "run_e9_gnn_throughput",
     "run_e10_sharded_throughput",
+    "run_e11_watch_ingest",
 ]

@@ -1,0 +1,52 @@
+"""Persistent verdict registry, watch daemon, and triage rules.
+
+This package is the stateful layer over the scanning service stack:
+
+* :mod:`repro.registry.store` -- :class:`ScanRegistry`, a SQLite-backed,
+  content-addressed verdict store keyed by ``(sha256, graph fingerprint)``
+  with WAL concurrency, schema migrations, rescan history and a query API.
+* :mod:`repro.registry.watch` -- :class:`WatchDaemon`, the continuous
+  ingestion path: poll a directory, scan only unseen bytecode, record
+  verdicts durably (``scamdetect watch DIR``).
+* :mod:`repro.registry.rules` -- the declarative TOML triage rules engine
+  (tag / JSONL alert / webhook / exit-nonzero) evaluated on new verdicts.
+
+``BatchScanner(registry=...)`` and ``ScanServer(registry=...)`` plug the
+store into the offline and online scan paths; ``scamdetect query`` and
+``GET /verdicts`` read it back.
+"""
+
+from repro.registry.rules import (
+    RuleParseError,
+    RulesEngine,
+    TriageOutcome,
+    TriageRule,
+    load_rules,
+    parse_rules,
+)
+from repro.registry.store import (
+    SCHEMA_VERSION,
+    RegistryError,
+    ScanRegistry,
+    VerdictRow,
+    WatchedFile,
+    content_sha256,
+)
+from repro.registry.watch import PollStats, WatchDaemon
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RegistryError",
+    "ScanRegistry",
+    "VerdictRow",
+    "WatchedFile",
+    "content_sha256",
+    "RuleParseError",
+    "RulesEngine",
+    "TriageOutcome",
+    "TriageRule",
+    "load_rules",
+    "parse_rules",
+    "PollStats",
+    "WatchDaemon",
+]

@@ -1,0 +1,442 @@
+"""Declarative triage rules evaluated on every new verdict.
+
+Continuous scanning produces verdicts nobody is sitting in front of, so the
+watch daemon routes every *new* verdict through a small rules engine the
+operator configures in TOML (the same user-facing shape as the metadata
+rules of ``azuline/rose``: declarative matchers, explicit actions, loud
+validation errors).  A rules file looks like::
+
+    [[rules]]
+    name = "hot-scams"
+
+    [rules.match]
+    verdict = "malicious"        # "malicious" or "benign"
+    min_score = 0.9              # inclusive probability bounds
+    platform = "evm"             # restrict to one frontend
+    indicators = ["DELEGATECALL"]  # substrings that must appear in notes
+    path_glob = "inbox/*"        # shell glob on the source path
+
+    [rules.actions]
+    tag = ["hot", "escalate"]    # merged into the registry row's tag set
+    alert = true                 # append a JSONL line to the alert sink
+    webhook = "http://hooks.internal/scam"   # POST the alert as JSON
+    exit_nonzero = true          # make `scamdetect watch` exit 2
+
+Every ``match`` condition must hold for a rule to fire (conditions are
+AND-ed; omit a key to not constrain it) and every listed action runs.
+Unknown keys are *errors*, not ignored -- a typo in a triage rule must not
+silently disable paging.
+
+:class:`RulesEngine` is deliberately I/O-light: tag application is returned
+to the caller (the daemon owns the registry transaction), the JSONL sink is
+an append, and webhook failures warn instead of raising -- a dead HTTP
+endpoint must never stall the scan loop.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import pathlib
+import time
+import urllib.error
+import urllib.request
+import warnings
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+    import tomli as tomllib  # type: ignore[no-redef]
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.report import VerdictReport
+
+PathLike = Union[str, pathlib.Path]
+
+_MATCH_KEYS = frozenset(
+    ("verdict", "min_score", "max_score", "platform", "indicators",
+     "path_glob")
+)
+_ACTION_KEYS = frozenset(("tag", "alert", "webhook", "exit_nonzero"))
+
+#: How long a webhook POST may take before it is abandoned with a warning.
+WEBHOOK_TIMEOUT_SECONDS = 5.0
+
+
+class RuleParseError(ValueError):
+    """A rules file that cannot be trusted: syntax or validation failure."""
+
+
+@dataclass(frozen=True)
+class TriageRule:
+    """One parsed rule: a conjunction of matchers plus its actions."""
+
+    name: str
+    verdict: Optional[str] = None
+    min_score: Optional[float] = None
+    max_score: Optional[float] = None
+    platform: Optional[str] = None
+    indicators: tuple = ()
+    path_glob: Optional[str] = None
+    tag: tuple = ()
+    alert: bool = False
+    webhook: Optional[str] = None
+    exit_nonzero: bool = False
+
+    def matches(
+        self, report: VerdictReport, source_path: Optional[str]
+    ) -> bool:
+        """True when every configured condition holds for ``report``."""
+        if self.verdict is not None and report.verdict != self.verdict:
+            return False
+        score = report.malicious_probability
+        if self.min_score is not None and score < self.min_score:
+            return False
+        if self.max_score is not None and score > self.max_score:
+            return False
+        if self.platform is not None and report.platform != self.platform:
+            return False
+        for indicator in self.indicators:
+            if not any(indicator in note for note in report.notes):
+                return False
+        if self.path_glob is not None:
+            candidate = source_path or report.sample_id
+            if not fnmatch.fnmatchcase(candidate, self.path_glob):
+                return False
+        return True
+
+    def describe(self) -> str:
+        conditions = []
+        if self.verdict is not None:
+            conditions.append(f"verdict={self.verdict}")
+        if self.min_score is not None:
+            conditions.append(f"score>={self.min_score}")
+        if self.max_score is not None:
+            conditions.append(f"score<={self.max_score}")
+        if self.platform is not None:
+            conditions.append(f"platform={self.platform}")
+        if self.indicators:
+            conditions.append(f"indicators={list(self.indicators)}")
+        if self.path_glob is not None:
+            conditions.append(f"path={self.path_glob}")
+        actions = []
+        if self.tag:
+            actions.append(f"tag={list(self.tag)}")
+        if self.alert:
+            actions.append("alert")
+        if self.webhook:
+            actions.append(f"webhook={self.webhook}")
+        if self.exit_nonzero:
+            actions.append("exit_nonzero")
+        return (
+            f"{self.name}: {' and '.join(conditions) or 'match everything'}"
+            f" -> {', '.join(actions)}"
+        )
+
+
+def _require(condition: bool, rule_name: str, message: str) -> None:
+    if not condition:
+        raise RuleParseError(f"rule {rule_name!r}: {message}")
+
+
+def parse_rules(text: str, origin: str = "<rules>") -> List[TriageRule]:
+    """Parse and validate a TOML rules document.
+
+    Raises:
+        RuleParseError: On TOML syntax errors, unknown keys, out-of-range
+            scores, impossible score windows, or a rule with no actions.
+    """
+    try:
+        document = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as error:
+        raise RuleParseError(f"{origin}: invalid TOML: {error}") from error
+    entries = document.pop("rules", None)
+    if document:
+        raise RuleParseError(
+            f"{origin}: unknown top-level keys {sorted(document)}; rules "
+            f"files hold only [[rules]] tables"
+        )
+    if not isinstance(entries, list) or not entries:
+        raise RuleParseError(
+            f"{origin}: no [[rules]] tables found; define at least one rule"
+        )
+    rules: List[TriageRule] = []
+    seen_names = set()
+    for index, entry in enumerate(entries):
+        name = entry.pop("name", None)
+        _require(
+            isinstance(name, str) and bool(name),
+            f"#{index}",
+            "every rule needs a non-empty string 'name'",
+        )
+        _require(name not in seen_names, name, "duplicate rule name")
+        seen_names.add(name)
+        match = entry.pop("match", {})
+        actions = entry.pop("actions", {})
+        _require(
+            not entry,
+            name,
+            f"unknown keys {sorted(entry)}; rules hold 'name', [rules."
+            f"match] and [rules.actions]",
+        )
+        _require(isinstance(match, dict), name, "'match' must be a table")
+        _require(
+            isinstance(actions, dict), name, "'actions' must be a table"
+        )
+        unknown = set(match) - _MATCH_KEYS
+        _require(
+            not unknown,
+            name,
+            f"unknown match keys {sorted(unknown)} "
+            f"(known: {sorted(_MATCH_KEYS)})",
+        )
+        unknown = set(actions) - _ACTION_KEYS
+        _require(
+            not unknown,
+            name,
+            f"unknown action keys {sorted(unknown)} "
+            f"(known: {sorted(_ACTION_KEYS)})",
+        )
+
+        verdict = match.get("verdict")
+        if verdict is not None:
+            _require(
+                verdict in ("malicious", "benign"),
+                name,
+                f"verdict must be 'malicious' or 'benign', not {verdict!r}",
+            )
+        bounds = {}
+        for key in ("min_score", "max_score"):
+            value = match.get(key)
+            if value is not None:
+                _require(
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and 0.0 <= value <= 1.0,
+                    name,
+                    f"{key} must be a probability in [0, 1]",
+                )
+                bounds[key] = float(value)
+        if "min_score" in bounds and "max_score" in bounds:
+            _require(
+                bounds["min_score"] <= bounds["max_score"],
+                name,
+                "min_score must not exceed max_score",
+            )
+        platform = match.get("platform")
+        if platform is not None:
+            _require(
+                platform in ("evm", "wasm"),
+                name,
+                f"platform must be 'evm' or 'wasm', not {platform!r}",
+            )
+        indicators = match.get("indicators", [])
+        _require(
+            isinstance(indicators, list)
+            and all(isinstance(item, str) and item for item in indicators),
+            name,
+            "indicators must be a list of non-empty strings",
+        )
+        path_glob = match.get("path_glob")
+        if path_glob is not None:
+            _require(
+                isinstance(path_glob, str) and bool(path_glob),
+                name,
+                "path_glob must be a non-empty string",
+            )
+
+        tags = actions.get("tag", [])
+        _require(
+            isinstance(tags, list)
+            and all(isinstance(item, str) and item for item in tags),
+            name,
+            "actions.tag must be a list of non-empty strings",
+        )
+        alert = actions.get("alert", False)
+        _require(
+            isinstance(alert, bool), name, "actions.alert must be a boolean"
+        )
+        webhook = actions.get("webhook")
+        if webhook is not None:
+            _require(
+                isinstance(webhook, str)
+                and webhook.startswith(("http://", "https://")),
+                name,
+                "actions.webhook must be an http(s) URL",
+            )
+        exit_nonzero = actions.get("exit_nonzero", False)
+        _require(
+            isinstance(exit_nonzero, bool),
+            name,
+            "actions.exit_nonzero must be a boolean",
+        )
+        _require(
+            bool(tags) or alert or webhook is not None or exit_nonzero,
+            name,
+            "rule has no actions; add tag/alert/webhook/exit_nonzero",
+        )
+        rules.append(
+            TriageRule(
+                name=name,
+                verdict=verdict,
+                min_score=bounds.get("min_score"),
+                max_score=bounds.get("max_score"),
+                platform=platform,
+                indicators=tuple(indicators),
+                path_glob=path_glob,
+                tag=tuple(tags),
+                alert=alert,
+                webhook=webhook,
+                exit_nonzero=exit_nonzero,
+            )
+        )
+    return rules
+
+
+def load_rules(path: PathLike) -> List[TriageRule]:
+    """Load and validate a TOML rules file from disk."""
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise RuleParseError(
+            f"cannot read rules file {path}: {error}"
+        ) from error
+    return parse_rules(text, origin=str(path))
+
+
+@dataclass
+class TriageOutcome:
+    """What the rules engine decided for one verdict."""
+
+    matched: List[str] = field(default_factory=list)
+    tags: List[str] = field(default_factory=list)
+    alerts: int = 0
+    exit_nonzero: bool = False
+
+
+class RulesEngine:
+    """Evaluates a parsed rule set against verdicts and runs the actions.
+
+    Args:
+        rules: Parsed rules (see :func:`load_rules`).
+        alert_path: JSONL sink for the ``alert`` action (one JSON object
+            per line, append-only); None drops alerts with a warning the
+            first time a rule wants one.
+        opener: Replacement for :func:`urllib.request.urlopen` (tests
+            inject a recorder; production uses the default).
+
+    The engine is stateless apart from counters, so one instance can serve
+    every poll cycle of a daemon.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[TriageRule],
+        alert_path: Optional[PathLike] = None,
+        opener=urllib.request.urlopen,
+    ) -> None:
+        self.rules = list(rules)
+        self.alert_path = (
+            pathlib.Path(alert_path) if alert_path is not None else None
+        )
+        self._opener = opener
+        self._warned_no_sink = False
+        self.alerts_emitted = 0
+        self.webhook_failures = 0
+
+    def evaluate(
+        self,
+        report: VerdictReport,
+        sha256: str,
+        source_path: Optional[str] = None,
+        fired_at: Optional[float] = None,
+    ) -> TriageOutcome:
+        """Run every matching rule's actions for one new verdict.
+
+        Returns the outcome; the caller applies ``outcome.tags`` to the
+        registry (the engine does not hold a registry handle, so rules stay
+        usable on ad-hoc reports too).
+        """
+        outcome = TriageOutcome()
+        tags: List[str] = []
+        for rule in self.rules:
+            if not rule.matches(report, source_path):
+                continue
+            outcome.matched.append(rule.name)
+            tags.extend(rule.tag)
+            if rule.alert or rule.webhook:
+                payload = self._alert_payload(
+                    rule, report, sha256, source_path, fired_at
+                )
+                if rule.alert:
+                    self._emit_alert(payload)
+                    outcome.alerts += 1
+                if rule.webhook:
+                    self._post_webhook(rule.webhook, payload)
+            if rule.exit_nonzero:
+                outcome.exit_nonzero = True
+        outcome.tags = sorted(set(tags))
+        return outcome
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _alert_payload(
+        rule: TriageRule,
+        report: VerdictReport,
+        sha256: str,
+        source_path: Optional[str],
+        fired_at: Optional[float],
+    ) -> Dict[str, object]:
+        return {
+            "rule": rule.name,
+            "sha256": sha256,
+            "source_path": source_path,
+            "sample_id": report.sample_id,
+            "platform": report.platform,
+            "verdict": report.verdict,
+            "malicious_probability": report.malicious_probability,
+            "notes": list(report.notes),
+            "fired_at": time.time() if fired_at is None else fired_at,
+        }
+
+    def _emit_alert(self, payload: Dict[str, object]) -> None:
+        if self.alert_path is None:
+            if not self._warned_no_sink:
+                self._warned_no_sink = True
+                warnings.warn(
+                    "triage rule requested an alert but no alert sink is "
+                    "configured (pass alert_path= / --alert-file); alerts "
+                    "are being dropped",
+                    stacklevel=3,
+                )
+            return
+        line = json.dumps(payload, sort_keys=True)
+        self.alert_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.alert_path.open("a") as handle:
+            handle.write(line + "\n")
+        self.alerts_emitted += 1
+
+    def _post_webhook(self, url: str, payload: Dict[str, object]) -> None:
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(payload, sort_keys=True).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with self._opener(
+                request, timeout=WEBHOOK_TIMEOUT_SECONDS
+            ) as response:
+                response.read()
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            # a dead endpoint must never stall or kill the scan loop
+            self.webhook_failures += 1
+            warnings.warn(
+                f"triage webhook POST to {url} failed ({error}); "
+                f"continuing",
+                stacklevel=3,
+            )

@@ -29,6 +29,7 @@ benefit from warm caches without any API change.
 import json as _json
 import time as _time
 import urllib.error as _urllib_error
+import urllib.parse as _urllib_parse
 import urllib.request as _urllib_request
 from base64 import b64encode as _b64encode
 from typing import Iterable, Optional, Sequence, Union
@@ -143,6 +144,26 @@ class ServerClient:
     def metrics(self) -> dict:
         """``GET /metrics`` -- the server's live counters."""
         return self._request("GET", "/metrics")
+
+    def verdicts(self, **filters) -> dict:
+        """``GET /verdicts`` over the server's persistent registry.
+
+        Keyword filters mirror
+        :meth:`repro.registry.store.ScanRegistry.query`: ``verdict``,
+        ``min_score``, ``max_score``, ``platform``, ``since``, ``until``,
+        ``path_glob``, ``tag``, ``limit``.  Raises
+        :class:`ServerClientError` (503) when no registry is attached.
+        """
+        query = {key: str(value) for key, value in filters.items()
+                 if value is not None}
+        path = "/verdicts"
+        if query:
+            path += "?" + _urllib_parse.urlencode(query)
+        return self._request("GET", path)
+
+    def verdict(self, sha256: str) -> dict:
+        """``GET /verdicts/<sha256>`` -- one stored verdict + history."""
+        return self._request("GET", f"/verdicts/{sha256}")
 
     def scan(self, code: Union[bytes, bytearray, str],
              platform: Optional[str] = None, sample_id: str = "contract",

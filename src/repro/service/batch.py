@@ -35,18 +35,29 @@ from repro.service.cache import CacheStats, DISK_META_FILENAME, GraphCache
 
 PathLike = Union[str, pathlib.Path]
 
+#: File suffixes a directory walk never treats as contract bytecode: cache
+#: entries and SQLite registries (plus their WAL sidecars) may legitimately
+#: live next to a watched corpus.
+_NON_CONTRACT_SUFFIXES = frozenset(
+    (".npz", ".db", ".db-wal", ".db-shm", ".sqlite", ".sqlite3"))
 
-def collect_directory_inputs(directory: PathLike, pattern: str = "*"
-                             ) -> Tuple[List[bytes], List[str], List[str]]:
-    """Gather ``(raw_codes, sample_ids, skipped)`` for a directory scan.
 
-    Shared by :meth:`BatchScanner.scan_directory` and
-    :meth:`~repro.service.sharded.ShardedScanner.scan_directory`, so both
-    engines agree exactly on which files a directory scan covers: ``.hex``
-    files parse as hex text, everything else reads as raw binary; hidden
-    files and the graph cache's own files are ignored; unreadable, empty or
-    undecodable files are skipped with a warning and reported in the third
-    element instead of aborting the walk.
+def iter_contract_files(directory: PathLike, pattern: str = "*",
+                        recursive: bool = True):
+    """Yield the contract files a directory scan covers, sorted by path.
+
+    The single source of truth for what counts as a scannable file --
+    :meth:`BatchScanner.scan_directory`, the sharded engine and the
+    :class:`~repro.registry.watch.WatchDaemon` all walk through here, so a
+    watch cycle sees exactly the corpus a ``scan-batch`` over the same
+    directory would.  Hidden files, graph-cache files and SQLite registry
+    files are never contracts.
+
+    Args:
+        directory: Root directory (must exist).
+        pattern: Glob filter (may contain ``/`` to constrain directories).
+        recursive: Walk subdirectories too (default); False restricts the
+            scan to the top level.
 
     Raises:
         FileNotFoundError: If ``directory`` does not exist.
@@ -54,6 +65,47 @@ def collect_directory_inputs(directory: PathLike, pattern: str = "*"
     root = pathlib.Path(directory)
     if not root.is_dir():
         raise FileNotFoundError(f"scan directory not found: {root}")
+    walker = root.rglob(pattern) if recursive else root.glob(pattern)
+    for path in sorted(walker):
+        if (not path.is_file() or path.name.startswith(".")
+                or path.name == DISK_META_FILENAME
+                or path.suffix in _NON_CONTRACT_SUFFIXES):
+            continue
+        yield path
+
+
+def read_contract_file(path: PathLike) -> bytes:
+    """Read one contract file: ``.hex`` parses as hex text, the rest as
+    raw binary.
+
+    Raises:
+        ValueError: On undecodable hex or an empty file.
+        OSError: On an unreadable file.
+    """
+    path = pathlib.Path(path)
+    raw = (coerce_bytecode(path.read_text())
+           if path.suffix == ".hex" else path.read_bytes())
+    if not raw:
+        raise ValueError("empty file")
+    return raw
+
+
+def collect_directory_inputs(directory: PathLike, pattern: str = "*",
+                             recursive: bool = True
+                             ) -> Tuple[List[bytes], List[str], List[str]]:
+    """Gather ``(raw_codes, sample_ids, skipped)`` for a directory scan.
+
+    Shared by :meth:`BatchScanner.scan_directory` and
+    :meth:`~repro.service.sharded.ShardedScanner.scan_directory`, so both
+    engines agree exactly on which files a directory scan covers (see
+    :func:`iter_contract_files`); unreadable, empty or undecodable files
+    are skipped with a warning and reported in the third element instead of
+    aborting the walk.
+
+    Raises:
+        FileNotFoundError: If ``directory`` does not exist.
+    """
+    root = pathlib.Path(directory)
     raw_codes: List[bytes] = []
     ids: List[str] = []
     skipped: List[str] = []
@@ -64,22 +116,16 @@ def collect_directory_inputs(directory: PathLike, pattern: str = "*"
         warnings.warn(f"scan_directory skipping {path}: {reason}",
                       stacklevel=2)
 
-    for path in sorted(root.rglob(pattern)):
-        if (not path.is_file() or path.name.startswith(".")
-                or path.name == DISK_META_FILENAME
-                or path.suffix == ".npz"):
-            continue
+    for path in iter_contract_files(root, pattern, recursive=recursive):
         try:
-            raw = (coerce_bytecode(path.read_text())
-                   if path.suffix == ".hex" else path.read_bytes())
+            raw = read_contract_file(path)
         except ValueError as error:
-            skip(path, f"not valid hex bytecode ({error})")
+            reason = ("empty file" if "empty file" in str(error)
+                      else f"not valid hex bytecode ({error})")
+            skip(path, reason)
             continue
         except OSError as error:
             skip(path, f"unreadable ({error.strerror or error})")
-            continue
-        if not raw:
-            skip(path, "empty file")
             continue
         raw_codes.append(raw)
         ids.append(str(path.relative_to(root)))
@@ -140,6 +186,10 @@ class BatchScanResult(ScanSummary):
         shard_stats: Per-shard telemetry (``{"shard-N": throughput_stats}``)
             when the scan ran on a :class:`~repro.service.sharded.
             ShardedScanner` worker pool; empty for single-process scans.
+        registry_hits: Contracts answered straight from the attached
+            :class:`~repro.registry.store.ScanRegistry` -- distinct from
+            graph-cache hits: a cache hit skips *lowering* but still runs
+            inference, a registry hit skips the model entirely.
     """
 
     elapsed_seconds: float = 0.0
@@ -148,6 +198,7 @@ class BatchScanResult(ScanSummary):
     batch_sizes: Dict[int, int] = field(default_factory=dict)
     skipped: List[str] = field(default_factory=list)
     shard_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    registry_hits: int = 0
 
     @property
     def contracts_per_second(self) -> float:
@@ -162,6 +213,10 @@ class BatchScanResult(ScanSummary):
         stats = throughput_stats(self.num_scanned, self.num_malicious,
                                  self.elapsed_seconds, self.cache_stats,
                                  self.batch_sizes)
+        stats["registry"] = {
+            "hits": self.registry_hits,
+            "misses": self.num_scanned - self.registry_hits,
+        }
         if self.shard_stats:
             stats["shards"] = dict(self.shard_stats)
         return stats
@@ -173,6 +228,10 @@ class BatchScanResult(ScanSummary):
                  f"({self.contracts_per_second:.1f}/s, "
                  f"{'shards' if self.shard_stats else 'workers'}="
                  f"{self.num_workers})"]
+        if self.registry_hits:
+            lines.append(f"  registry: {self.registry_hits} hits / "
+                         f"{self.num_scanned} contracts served without "
+                         f"inference")
         if self.cache_stats.lookups:
             lines.append(f"  {self.cache_stats.format()}")
         for name in sorted(self.shard_stats):
@@ -215,13 +274,22 @@ class BatchScanner:
             ``GraphCache`` built with ``disk_dir=...`` (a memory-only cache
             is invisible to the pool and draws a warning).  Use
             :meth:`close` (or the context-manager form) to release the pool.
+        registry: Optional :class:`~repro.registry.store.ScanRegistry`.
+            When attached, every scan first consults the registry: bytecode
+            whose ``(sha256, graph fingerprint)`` is already recorded under
+            the *same model description and explain setting* is answered
+            from the stored verdict with no lowering and no inference
+            (reported as :attr:`BatchScanResult.registry_hits`), and every
+            freshly scanned verdict is recorded back durably.  The registry
+            must be scoped to this detector's graph fingerprint.
     """
 
     def __init__(self, detector: ScamDetector,
                  cache: Optional[GraphCache] = None,
                  max_workers: Optional[int] = None,
                  inference_batch_size: int = 256,
-                 shards: int = 1) -> None:
+                 shards: int = 1,
+                 registry=None) -> None:
         if not detector.is_trained:
             raise RuntimeError("BatchScanner requires a trained detector")
         if inference_batch_size < 1:
@@ -236,6 +304,15 @@ class BatchScanner:
         self.inference_batch_size = inference_batch_size
         self.shards = shards
         self._sharded = None
+        if registry is not None:
+            fingerprint = detector.config.graph_fingerprint()
+            if registry.fingerprint and registry.fingerprint != fingerprint:
+                raise ValueError(
+                    f"registry fingerprint {registry.fingerprint!r} does "
+                    f"not match this detector config's {fingerprint!r}; a "
+                    f"fingerprint change must never serve stale verdicts")
+            registry.fingerprint = fingerprint
+        self.registry = registry
 
     # ------------------------------------------------------------------ #
     # sharded path
@@ -304,14 +381,18 @@ class BatchScanner:
                               platforms=[sample.platform for sample in samples])
 
     def scan_directory(self, directory: PathLike, pattern: str = "*",
-                       platform: Optional[str] = None) -> BatchScanResult:
+                       platform: Optional[str] = None,
+                       recursive: bool = True) -> BatchScanResult:
         """Scan every bytecode file under ``directory`` matching ``pattern``.
 
         ``.hex`` files are parsed as hex text (``0x`` prefix and line wraps
         allowed); everything else is read as raw binary.  Sample ids are the
-        paths relative to ``directory``.  Hidden files and the graph cache's
-        own files (``cache-meta.json``, ``*.npz``) are skipped, so pointing
-        this at a directory that also holds a cache tier is safe.
+        paths relative to ``directory``.  Hidden files, the graph cache's
+        own files (``cache-meta.json``, ``*.npz``) and SQLite registries
+        are skipped, so pointing this at a directory that also holds a
+        cache tier or verdict registry is safe.  ``recursive=False``
+        restricts the walk to the top level; ``pattern`` may contain ``/``
+        to filter by subdirectory.
 
         A file that cannot be read, is empty, or (for ``.hex``) does not
         decode is *skipped with a warning* instead of aborting the whole
@@ -321,7 +402,8 @@ class BatchScanner:
         Raises:
             FileNotFoundError: If ``directory`` does not exist.
         """
-        raw_codes, ids, skipped = collect_directory_inputs(directory, pattern)
+        raw_codes, ids, skipped = collect_directory_inputs(
+            directory, pattern, recursive=recursive)
         result = self._scan_raw(raw_codes, ids, platform)
         result.skipped = skipped
         return result
@@ -331,6 +413,67 @@ class BatchScanner:
     def _scan_raw(self, raw_codes: List[bytes], ids: List[str],
                   platform: Optional[str],
                   platforms: Optional[List[str]] = None) -> BatchScanResult:
+        if self.registry is None:
+            return self._scan_fresh(raw_codes, ids, platform, platforms)
+        # deferred import: repro.registry.watch imports this module, so a
+        # top-level import here would be circular
+        from repro.registry.store import content_sha256
+
+        started = time.perf_counter()
+        shas = [content_sha256(raw) for raw in raw_codes]
+        # weight-level identity, not the architecture label: a retrained
+        # model with identical hyper-parameters must never be served the
+        # old model's verdicts
+        identity = self.detector.pipeline.model_fingerprint()
+        rows = self.registry.get_many(shas)
+        hit_rows = {}
+        miss: List[int] = []
+        for index, sha in enumerate(shas):
+            row = rows.get(sha)
+            # a row is only reusable when it was produced by the very same
+            # weights under the same explain setting -- anything else could
+            # serve a stale score or mismatched notes
+            if (row is not None and row.model_identity == identity
+                    and row.explained == self.detector.explain):
+                hit_rows[index] = row
+            else:
+                miss.append(index)
+        fresh = self._scan_fresh(
+            [raw_codes[index] for index in miss],
+            [ids[index] for index in miss],
+            platform,
+            ([platforms[index] for index in miss]
+             if platforms is not None else None))
+        if miss:
+            self.registry.record_many(
+                [(shas[index], report, ids[index])
+                 for index, report in zip(miss, fresh.reports)],
+                explained=self.detector.explain,
+                model_identity=identity)
+        result = BatchScanResult(
+            num_workers=fresh.num_workers, batch_sizes=fresh.batch_sizes,
+            cache_stats=fresh.cache_stats, shard_stats=fresh.shard_stats,
+            registry_hits=len(hit_rows))
+        fresh_reports = iter(fresh.reports)
+        threshold = self.detector.threshold
+        for index in range(len(raw_codes)):
+            row = hit_rows.get(index)
+            if row is None:
+                result.reports.append(next(fresh_reports))
+                continue
+            # rebind the caller's sample id and re-apply the *current*
+            # threshold to the stored probability, exactly as build_report
+            # would -- a threshold tweak must not require a re-scan
+            report = row.to_report(sample_id=ids[index])
+            report.label = int(report.malicious_probability >= threshold)
+            result.reports.append(report)
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def _scan_fresh(self, raw_codes: List[bytes], ids: List[str],
+                    platform: Optional[str],
+                    platforms: Optional[List[str]] = None
+                    ) -> BatchScanResult:
         if self.shards > 1 and raw_codes:
             return self._sharded_scanner()._scan_raw(raw_codes, ids, platform,
                                                      platforms=platforms)

@@ -9,7 +9,10 @@ live scan traffic:
 * ``GET /healthz`` -- liveness probe (model description, uptime, queue depth),
 * ``GET /metrics`` -- request counts, latency percentiles, cache hit rate and
   the inference batch-size histogram, in the same stats schema the offline
-  :class:`~repro.service.batch.BatchScanResult` reports.
+  :class:`~repro.service.batch.BatchScanResult` reports,
+* ``GET /verdicts`` / ``GET /verdicts/<sha256>`` -- filtered reads over the
+  attached persistent :class:`~repro.registry.store.ScanRegistry` (scan
+  traffic is recorded into it, and registry hits skip inference entirely).
 
 The core of the serving path is the :class:`RequestCoalescer`: handler
 threads lower bytecode to graphs (through the shared
@@ -36,6 +39,7 @@ import json
 import queue
 import threading
 import time
+import urllib.parse
 from base64 import b64decode
 from collections import deque
 from http.server import BaseHTTPRequestHandler, HTTPServer
@@ -89,6 +93,8 @@ class ServerMetrics:
         self.contracts = 0
         self.malicious = 0
         self.batch_sizes: Dict[int, int] = {}
+        self.registry_hits = 0
+        self.registry_misses = 0
         self._latencies: Dict[str, deque] = {}
 
     def record_request(self, endpoint: str) -> None:
@@ -115,6 +121,14 @@ class ServerMetrics:
             self.contracts += num_contracts
             self.malicious += num_malicious
 
+    def record_registry(self, hit: bool) -> None:
+        """Record one persistent-registry lookup on the scan path."""
+        with self._lock:
+            if hit:
+                self.registry_hits += 1
+            else:
+                self.registry_misses += 1
+
     @property
     def uptime_seconds(self) -> float:
         return time.monotonic() - self._started_monotonic
@@ -137,6 +151,8 @@ class ServerMetrics:
             contracts = self.contracts
             malicious = self.malicious
             batch_sizes = dict(self.batch_sizes)
+            registry_hits = self.registry_hits
+            registry_misses = self.registry_misses
             latencies = {endpoint: list(window)
                          for endpoint, window in self._latencies.items()}
         latency_ms = {}
@@ -147,14 +163,18 @@ class ServerMetrics:
                 "p90_ms": _percentile(window, 0.90) * 1e3,
                 "p99_ms": _percentile(window, 0.99) * 1e3,
             }
+        scans = throughput_stats(contracts, malicious, self.uptime_seconds,
+                                 cache_stats, batch_sizes)
+        # mirror BatchScanResult.stats_dict's registry section so offline
+        # and online paths keep one dashboard schema
+        scans["registry"] = {"hits": registry_hits,
+                             "misses": registry_misses}
         payload = {
             "uptime_seconds": self.uptime_seconds,
             "requests": {"total": sum(requests.values()), **requests},
             "errors": errors,
             "latency": latency_ms,
-            "scans": throughput_stats(contracts, malicious,
-                                      self.uptime_seconds,
-                                      cache_stats, batch_sizes),
+            "scans": scans,
         }
         if shard_stats is not None:
             payload["shards"] = shard_stats
@@ -441,13 +461,28 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
         server = self.scan_server
-        if self.path == "/healthz":
+        parsed = urllib.parse.urlsplit(self.path)
+        if parsed.path == "/healthz":
             server.metrics.record_request("healthz")
             self._send_json(200, server.health())
-        elif self.path == "/metrics":
+        elif parsed.path == "/metrics":
             server.metrics.record_request("metrics")
             self._send_json(200, server.metrics.snapshot(
                 server.cache_stats, server.shard_stats()))
+        elif parsed.path == "/verdicts" or \
+                parsed.path.startswith("/verdicts/"):
+            server.metrics.record_request("verdicts")
+            try:
+                if parsed.path == "/verdicts":
+                    payload = server.verdicts_index(
+                        urllib.parse.parse_qs(parsed.query))
+                else:
+                    payload = server.verdicts_detail(
+                        parsed.path[len("/verdicts/"):])
+                self._send_json(200, payload)
+            except _RequestError as error:
+                server.metrics.record_error()
+                self._send_json(error.status, {"error": str(error)})
         else:
             server.metrics.record_error()
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
@@ -604,6 +639,13 @@ class ScanServer:
             and the coalescer dispatches its micro-batches round-robin to
             the shard replicas, with per-shard latency/cache/restart
             counters surfaced under ``GET /metrics``.
+        registry: Optional persistent
+            :class:`~repro.registry.store.ScanRegistry`.  When attached,
+            every served verdict is recorded durably, contracts the
+            registry already knows are answered without lowering or
+            inference, and ``GET /verdicts`` (+ ``/verdicts/<sha256>``)
+            serve filtered reads over the store.  Must be scoped to the
+            detector config's graph fingerprint.
 
     Raises:
         OSError: If the address cannot be bound.
@@ -614,13 +656,21 @@ class ScanServer:
                  port: int = DEFAULT_PORT, workers: int = 8,
                  max_batch: int = 32, max_wait_ms: float = 5.0,
                  cache: Optional[GraphCache] = None,
-                 shards: int = 1) -> None:
+                 shards: int = 1, registry=None) -> None:
         if not detector.is_trained:
             raise RuntimeError("ScanServer requires a trained detector")
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if registry is not None:
+            fingerprint = detector.config.graph_fingerprint()
+            if registry.fingerprint and registry.fingerprint != fingerprint:
+                raise ValueError(
+                    f"registry fingerprint {registry.fingerprint!r} does "
+                    f"not match this detector config's {fingerprint!r}")
+            registry.fingerprint = fingerprint
+        self.registry = registry
         self.detector = detector
         if cache is None:
             cache = GraphCache.for_config(detector.config)
@@ -670,7 +720,7 @@ class ScanServer:
         return self.cache.stats if self.cache is not None else CacheStats()
 
     def health(self) -> Dict[str, object]:
-        return {
+        payload = {
             "status": "ok",
             "model": self.detector.pipeline.describe(),
             "uptime_seconds": self.metrics.uptime_seconds,
@@ -680,6 +730,9 @@ class ScanServer:
             "max_wait_ms": self.coalescer.max_wait_ms,
             "queue_depth": self.coalescer.queue_depth,
         }
+        if self.registry is not None:
+            payload["registry"] = self.registry.counts()
+        return payload
 
     def shard_stats(self) -> Optional[Dict[str, Dict[str, object]]]:
         """Per-shard telemetry for ``/metrics`` (None when unsharded)."""
@@ -692,33 +745,164 @@ class ScanServer:
 
     def scan_one(self, raw: bytes, platform: Optional[str],
                  sample_id: str):
-        """Lower, coalesce-score and report one contract."""
+        """Report one contract: registry lookup, else coalesce-score."""
+        cached = self._registry_lookup(raw, sample_id)
+        if cached is not None:
+            self.metrics.record_verdicts(1, int(cached.is_malicious))
+            return cached
         graph, resolved = self.detector.pipeline.analyse_bytecode(
             raw, platform=platform, sample_id=sample_id)
         probability = self.coalescer.submit([graph])[0]
         report = self.detector.build_report(raw, sample_id, resolved,
                                             probability, graph)
+        self._registry_record([(raw, report)])
         self.metrics.record_verdicts(1, int(report.is_malicious))
         return report
 
     def scan_group(self, contracts: Sequence[Tuple[bytes, Optional[str],
                                                    str]]):
-        """Lower and score one ``/scan-batch`` request as a single group."""
+        """Score one ``/scan-batch`` request as a single group.
+
+        Contracts the registry already knows are answered directly; only
+        the rest are lowered and submitted to the coalescer.
+        """
+        cached_reports = self._registry_lookup_many(
+            [raw for raw, _, _ in contracts],
+            [sample_id for _, _, sample_id in contracts])
+        reports: List = list(cached_reports)
         lowered = []
-        for raw, platform, sample_id in contracts:
+        for index, (raw, platform, sample_id) in enumerate(contracts):
+            if reports[index] is not None:
+                continue
             graph, resolved = self.detector.pipeline.analyse_bytecode(
                 raw, platform=platform, sample_id=sample_id)
-            lowered.append((raw, sample_id, resolved, graph))
+            lowered.append((index, raw, sample_id, resolved, graph))
         probabilities = self.coalescer.submit(
-            [graph for _, _, _, graph in lowered])
-        reports = [
-            self.detector.build_report(raw, sample_id, resolved, probability,
-                                       graph)
-            for (raw, sample_id, resolved, graph), probability
-            in zip(lowered, probabilities)]
+            [graph for _, _, _, _, graph in lowered])
+        recorded = []
+        for (index, raw, sample_id, resolved, graph), probability \
+                in zip(lowered, probabilities):
+            report = self.detector.build_report(raw, sample_id, resolved,
+                                                probability, graph)
+            reports[index] = report
+            recorded.append((raw, report))
+        self._registry_record(recorded)
         self.metrics.record_verdicts(
             len(reports), sum(1 for report in reports if report.is_malicious))
         return reports
+
+    # -------------------------------------------------------------- #
+    # registry integration
+
+    def _registry_lookup(self, raw: bytes, sample_id: str):
+        """The stored verdict for ``raw``, or None (no registry / unknown /
+        recorded under different weights or another explain setting)."""
+        return self._registry_lookup_many([raw], [sample_id])[0]
+
+    def _registry_lookup_many(self, raws: Sequence[bytes],
+                              sample_ids: Sequence[str]) -> List:
+        """Stored verdicts for ``raws`` in one bulk registry query (None
+        per miss) -- one locked SELECT per request, not per contract."""
+        if self.registry is None:
+            return [None] * len(raws)
+        from repro.registry.store import content_sha256
+
+        shas = [content_sha256(raw) for raw in raws]
+        # weight-level identity: a retrained model with the same
+        # architecture must never be served the old model's verdicts
+        identity = self.detector.pipeline.model_fingerprint()
+        rows = self.registry.get_many(shas)
+        reports: List = []
+        for sha, sample_id in zip(shas, sample_ids):
+            row = rows.get(sha)
+            if row is None or row.model_identity != identity \
+                    or row.explained != self.detector.explain:
+                self.metrics.record_registry(hit=False)
+                reports.append(None)
+                continue
+            self.metrics.record_registry(hit=True)
+            report = row.to_report(sample_id=sample_id)
+            report.label = int(report.malicious_probability
+                               >= self.detector.threshold)
+            reports.append(report)
+        return reports
+
+    def _registry_record(self, entries) -> None:
+        if self.registry is None or not entries:
+            return
+        from repro.registry.store import content_sha256
+
+        self.registry.record_many(
+            [(content_sha256(raw), report, report.sample_id)
+             for raw, report in entries],
+            explained=self.detector.explain,
+            model_identity=self.detector.pipeline.model_fingerprint())
+
+    def verdicts_index(self, params: Dict[str, List[str]]
+                       ) -> Dict[str, object]:
+        """``GET /verdicts`` -- filtered registry rows, newest first."""
+        registry = self._require_registry()
+        from repro.registry.store import RegistryError
+
+        def single(name: str) -> Optional[str]:
+            values = params.pop(name, None)
+            if values is None:
+                return None
+            if len(values) != 1:
+                raise _RequestError(400, f"{name} given more than once")
+            return values[0]
+
+        def number(name: str) -> Optional[float]:
+            value = single(name)
+            if value is None:
+                return None
+            try:
+                return float(value)
+            except ValueError:
+                raise _RequestError(
+                    400, f"{name} must be a number, not {value!r}"
+                ) from None
+
+        query = {
+            "verdict": single("verdict"),
+            "platform": single("platform"),
+            "path_glob": single("path_glob"),
+            "tag": single("tag"),
+            "min_score": number("min_score"),
+            "max_score": number("max_score"),
+            "since": number("since"),
+            "until": number("until"),
+        }
+        limit = number("limit")
+        query["limit"] = int(limit) if limit is not None else 100
+        if params:
+            raise _RequestError(
+                400, f"unknown query parameters {sorted(params)}")
+        try:
+            rows = registry.query(**query)
+        except RegistryError as error:
+            raise _RequestError(400, str(error)) from error
+        return {"count": len(rows),
+                "verdicts": [row.to_dict() for row in rows]}
+
+    def verdicts_detail(self, sha256: str) -> Dict[str, object]:
+        """``GET /verdicts/<sha256>`` -- one row plus its scan history."""
+        registry = self._require_registry()
+        row = registry.get(sha256)
+        if row is None:
+            raise _RequestError(
+                404, f"no verdict recorded for {sha256!r} under the "
+                     f"current graph fingerprint")
+        payload = row.to_dict()
+        payload["history"] = registry.history(sha256)
+        return payload
+
+    def _require_registry(self):
+        if self.registry is None:
+            raise _RequestError(
+                503, "no verdict registry attached; start the server with "
+                     "registry=... (CLI: scamdetect serve --registry PATH)")
+        return self.registry
 
     # -------------------------------------------------------------- #
     # lifecycle

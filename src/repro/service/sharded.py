@@ -491,9 +491,11 @@ class ShardedScanner:
                                          for sample in samples])
 
     def scan_directory(self, directory: PathLike, pattern: str = "*",
-                       platform: Optional[str] = None) -> BatchScanResult:
+                       platform: Optional[str] = None,
+                       recursive: bool = True) -> BatchScanResult:
         """Scan a directory tree (same file rules as ``BatchScanner``)."""
-        raw_codes, ids, skipped = collect_directory_inputs(directory, pattern)
+        raw_codes, ids, skipped = collect_directory_inputs(
+            directory, pattern, recursive=recursive)
         result = self._scan_raw(raw_codes, ids, platform)
         result.skipped = skipped
         return result

@@ -130,11 +130,21 @@ def test_cli_parser_subcommands():
     assert args.id == "E9"
     args = parser.parse_args(["experiment", "--id", "E10"])
     assert args.id == "E10"
+    args = parser.parse_args(["experiment", "--id", "E11"])
+    assert args.id == "E11"
     with pytest.raises(SystemExit):
-        parser.parse_args(["experiment", "--id", "E11"])
+        parser.parse_args(["experiment", "--id", "E12"])
     args = parser.parse_args(["scan-batch", "--model-path", "m",
                               "--input-dir", "d", "--shards", "4"])
     assert args.shards == 4
+    args = parser.parse_args(["watch", "feed", "--model-path", "m",
+                              "--registry", "r.db", "--max-polls", "3"])
+    assert args.command == "watch" and args.max_polls == 3
+    args = parser.parse_args(["query", "--registry", "r.db",
+                              "--verdict", "malicious", "--json"])
+    assert args.verdict == "malicious" and args.json
+    args = parser.parse_args(["rules", "check", "triage.toml"])
+    assert args.rules_file == "triage.toml"
     args = parser.parse_args(["serve", "--model-path", "m", "--shards", "2"])
     assert args.shards == 2
 
@@ -161,7 +171,10 @@ def test_cli_train_and_scan_roundtrip(tmp_path, capsys, rng):
                       "--hex-file", str(drainer_hex), "--sample-id", "drainer"])
     output = capsys.readouterr().out
     assert "drainer" in output
-    assert exit_code in (0, 1)
+    # verdict-coded exit status: 0 benign, 2 malicious (1 is reserved for
+    # errors, so a pipeline can tell "scam found" from "scan failed")
+    assert exit_code in (0, 2)
+    assert exit_code == (2 if "verdict:     malicious" in output else 0)
 
 
 def test_cli_scan_requires_input(tmp_path, fitted_pipeline):

@@ -1,0 +1,223 @@
+"""Tests for the TOML triage rules engine."""
+
+from __future__ import annotations
+
+import io
+import json
+import urllib.error
+
+import pytest
+
+from repro.core.report import VerdictReport
+from repro.registry import RuleParseError, RulesEngine, parse_rules
+
+VALID = """
+[[rules]]
+name = "hot-scams"
+
+[rules.match]
+verdict = "malicious"
+min_score = 0.9
+platform = "evm"
+indicators = ["DELEGATECALL"]
+path_glob = "inbox/*"
+
+[rules.actions]
+tag = ["hot"]
+alert = true
+webhook = "http://hooks.test/scam"
+exit_nonzero = true
+
+[[rules]]
+name = "sweep-benign"
+
+[rules.match]
+verdict = "benign"
+max_score = 0.1
+
+[rules.actions]
+tag = ["clean"]
+"""
+
+
+def report(verdict=1, probability=0.95, platform="evm",
+           sample_id="inbox/a.bin", notes=("note: DELEGATECALL at 0x10",)):
+    return VerdictReport(sample_id=sample_id, platform=platform,
+                         label=verdict,
+                         malicious_probability=probability,
+                         model="m", notes=list(notes))
+
+
+# --------------------------------------------------------------------------- #
+# parsing + validation
+
+
+def test_parse_valid_rules():
+    rules = parse_rules(VALID)
+    assert [rule.name for rule in rules] == ["hot-scams", "sweep-benign"]
+    hot = rules[0]
+    assert hot.verdict == "malicious" and hot.min_score == 0.9
+    assert hot.indicators == ("DELEGATECALL",)
+    assert hot.tag == ("hot",) and hot.alert and hot.exit_nonzero
+    assert hot.webhook == "http://hooks.test/scam"
+    assert "hot-scams" in hot.describe()
+
+
+@pytest.mark.parametrize("text, match", [
+    ("not [valid toml", "invalid TOML"),
+    ("", "no \\[\\[rules\\]\\] tables"),
+    ("[[rules]]\n[rules.actions]\ntag = ['x']", "non-empty string 'name'"),
+    ("[[rules]]\nname = 'a'\nbogus = 1\n[rules.actions]\ntag = ['x']",
+     "unknown keys"),
+    ("[[rules]]\nname = 'a'\n[rules.match]\ncolour = 'red'\n"
+     "[rules.actions]\ntag = ['x']", "unknown match keys"),
+    ("[[rules]]\nname = 'a'\n[rules.actions]\npage = true", "unknown action"),
+    ("[[rules]]\nname = 'a'\n[rules.match]\nverdict = 'sus'\n"
+     "[rules.actions]\ntag = ['x']", "verdict must be"),
+    ("[[rules]]\nname = 'a'\n[rules.match]\nmin_score = 1.5\n"
+     "[rules.actions]\ntag = ['x']", "probability in"),
+    ("[[rules]]\nname = 'a'\n[rules.match]\nmin_score = 0.9\n"
+     "max_score = 0.1\n[rules.actions]\ntag = ['x']",
+     "min_score must not exceed"),
+    ("[[rules]]\nname = 'a'\n[rules.match]\nplatform = 'solana'\n"
+     "[rules.actions]\ntag = ['x']", "platform must be"),
+    ("[[rules]]\nname = 'a'\n[rules.match]\nverdict = 'benign'",
+     "no actions"),
+    ("[[rules]]\nname = 'a'\n[rules.actions]\nwebhook = 'ftp://x'",
+     "http\\(s\\) URL"),
+    ("[[rules]]\nname = 'a'\n[rules.actions]\ntag = ['x']\n"
+     "[[rules]]\nname = 'a'\n[rules.actions]\ntag = ['y']",
+     "duplicate rule name"),
+    ("top = 1\n[[rules]]\nname = 'a'\n[rules.actions]\ntag = ['x']",
+     "unknown top-level keys"),
+])
+def test_parse_rejects_invalid_documents(text, match):
+    with pytest.raises(RuleParseError, match=match):
+        parse_rules(text)
+
+
+# --------------------------------------------------------------------------- #
+# matching semantics
+
+
+def test_match_requires_every_condition():
+    rule = parse_rules(VALID)[0]
+    assert rule.matches(report(), "inbox/a.bin")
+    assert not rule.matches(report(verdict=0), "inbox/a.bin")
+    assert not rule.matches(report(probability=0.5), "inbox/a.bin")
+    assert not rule.matches(report(platform="wasm"), "inbox/a.bin")
+    assert not rule.matches(report(notes=()), "inbox/a.bin")
+    assert not rule.matches(report(), "archive/a.bin")
+
+
+def test_match_falls_back_to_sample_id_without_source_path():
+    rule = parse_rules(VALID)[0]
+    assert rule.matches(report(sample_id="inbox/z.bin"), None)
+    assert not rule.matches(report(sample_id="outbox/z.bin"), None)
+
+
+def test_score_bounds_are_inclusive():
+    rules = parse_rules(
+        "[[rules]]\nname = 'band'\n[rules.match]\n"
+        "min_score = 0.25\nmax_score = 0.75\n"
+        "[rules.actions]\ntag = ['band']")
+    rule = rules[0]
+    assert rule.matches(report(probability=0.25), None)
+    assert rule.matches(report(probability=0.75), None)
+    assert not rule.matches(report(probability=0.76), None)
+
+
+# --------------------------------------------------------------------------- #
+# actions
+
+
+def test_engine_tags_alerts_and_exit_flag(tmp_path):
+    sink = tmp_path / "alerts.jsonl"
+    engine = RulesEngine(parse_rules(VALID), alert_path=sink,
+                         opener=_opener_recording([]))
+    outcome = engine.evaluate(report(), "a" * 64,
+                              source_path="inbox/a.bin", fired_at=123.0)
+    assert outcome.matched == ["hot-scams"]
+    assert outcome.tags == ["hot"]
+    assert outcome.alerts == 1
+    assert outcome.exit_nonzero
+    lines = sink.read_text().splitlines()
+    assert len(lines) == 1
+    alert = json.loads(lines[0])
+    assert alert["rule"] == "hot-scams"
+    assert alert["sha256"] == "a" * 64
+    assert alert["fired_at"] == 123.0
+    # a non-matching verdict leaves the sink untouched
+    outcome = engine.evaluate(report(probability=0.5), "b" * 64,
+                              source_path="inbox/a.bin")
+    assert outcome.matched == [] and not outcome.exit_nonzero
+    assert len(sink.read_text().splitlines()) == 1
+
+
+def _opener_recording(calls):
+    def opener(request, timeout=None):
+        calls.append((request.full_url, request.data, timeout))
+        return io.BytesIO(b"ok")
+    return opener
+
+
+def test_engine_posts_webhook_payload(tmp_path):
+    calls = []
+    engine = RulesEngine(parse_rules(VALID),
+                         alert_path=tmp_path / "alerts.jsonl",
+                         opener=_opener_recording(calls))
+    engine.evaluate(report(), "c" * 64, source_path="inbox/a.bin")
+    assert len(calls) == 1
+    url, body, timeout = calls[0]
+    assert url == "http://hooks.test/scam"
+    assert timeout is not None
+    payload = json.loads(body)
+    assert payload["verdict"] == "malicious"
+    assert payload["sha256"] == "c" * 64
+
+
+def test_webhook_failure_warns_and_continues(tmp_path):
+    def broken_opener(request, timeout=None):
+        raise urllib.error.URLError("connection refused")
+
+    engine = RulesEngine(parse_rules(VALID),
+                         alert_path=tmp_path / "alerts.jsonl",
+                         opener=broken_opener)
+    with pytest.warns(UserWarning, match="webhook POST .* failed"):
+        outcome = engine.evaluate(report(), "d" * 64,
+                                  source_path="inbox/a.bin")
+    # the failure is counted but the rest of the rule still ran
+    assert engine.webhook_failures == 1
+    assert outcome.alerts == 1 and outcome.exit_nonzero
+
+
+def test_alert_without_sink_warns_once():
+    engine = RulesEngine(parse_rules(VALID), alert_path=None,
+                         opener=_opener_recording([]))
+    with pytest.warns(UserWarning, match="no alert sink"):
+        engine.evaluate(report(), "e" * 64, source_path="inbox/a.bin")
+    # second evaluation stays quiet (warning is once per engine)
+    engine.evaluate(report(), "f" * 64, source_path="inbox/a.bin")
+    assert engine.alerts_emitted == 0
+
+
+def test_multiple_matching_rules_merge_tags():
+    text = """
+[[rules]]
+name = "one"
+[rules.match]
+verdict = "malicious"
+[rules.actions]
+tag = ["b", "a"]
+
+[[rules]]
+name = "two"
+[rules.match]
+min_score = 0.5
+[rules.actions]
+tag = ["a", "c"]
+"""
+    engine = RulesEngine(parse_rules(text))
+    outcome = engine.evaluate(report(), "a" * 64)
+    assert outcome.matched == ["one", "two"]
+    assert outcome.tags == ["a", "b", "c"]

@@ -373,3 +373,102 @@ def test_shard_pool_start_failure_does_not_hang_shutdown(trained_detector):
         server.start()
     server.shutdown()  # regression: this used to deadlock
     assert trained_detector.pipeline.graph_cache is None
+
+
+# --------------------------------------------------------------------------- #
+# verdict registry endpoints
+
+
+@pytest.fixture()
+def registry_server(trained_detector, tmp_path):
+    from repro.registry import ScanRegistry
+
+    registry = ScanRegistry.for_config(tmp_path / "verdicts.db",
+                                       trained_detector.config)
+    with ScanServer(trained_detector, port=0, workers=4, max_batch=8,
+                    max_wait_ms=5.0, registry=registry) as running:
+        yield running, registry
+    registry.close()
+
+
+def test_verdicts_endpoint_serves_recorded_scans(registry_server,
+                                                 tiny_evm_corpus):
+    from repro.registry import content_sha256
+
+    server, registry = registry_server
+    client = ServerClient(port=server.port)
+    client.wait_until_ready(timeout=10.0)
+    codes = [sample.bytecode for sample in tiny_evm_corpus[:5]]
+    direct = [client.scan(code, sample_id=f"c-{index}")
+              for index, code in enumerate(codes)]
+
+    listing = client.verdicts(limit=10)
+    assert listing["count"] == len({content_sha256(code) for code in codes})
+    by_sha = {row["sha256"]: row for row in listing["verdicts"]}
+    for code, report in zip(codes, direct):
+        row = by_sha[content_sha256(code)]
+        assert row["report"]["malicious_probability"] == \
+            report["malicious_probability"]
+
+    # point lookup + history
+    sha = content_sha256(codes[0])
+    detail = client.verdict(sha)
+    assert detail["sha256"] == sha
+    assert len(detail["history"]) >= 1
+    with pytest.raises(ServerClientError) as excinfo:
+        client.verdict("0" * 64)
+    assert excinfo.value.status == 404
+
+    # filters pass through to the registry query API
+    malicious = client.verdicts(verdict="malicious")
+    assert all(row["report"]["verdict"] == "malicious"
+               for row in malicious["verdicts"])
+    with pytest.raises(ServerClientError) as excinfo:
+        client.verdicts(min_score="not-a-number")
+    assert excinfo.value.status == 400
+    with pytest.raises(ServerClientError) as excinfo:
+        client._request("GET", "/verdicts?bogus=1")
+    assert excinfo.value.status == 400
+
+    # health grows registry counts
+    health = client.healthz()
+    assert health["registry"]["verdicts"] == listing["count"]
+
+
+def test_server_registry_hits_skip_inference(registry_server,
+                                             tiny_evm_corpus):
+    server, registry = registry_server
+    client = ServerClient(port=server.port)
+    client.wait_until_ready(timeout=10.0)
+    code = tiny_evm_corpus[0].bytecode
+
+    first = client.scan(code, sample_id="first")
+    inference_before = sum(
+        server.metrics.batch_sizes.get(size, 0) * size
+        for size in server.metrics.batch_sizes)
+    second = client.scan(code, sample_id="second")
+    inference_after = sum(
+        server.metrics.batch_sizes.get(size, 0) * size
+        for size in server.metrics.batch_sizes)
+
+    # verdicts identical (apart from the requested sample id), no new model
+    # work for the repeat, and the metrics surface the registry hit
+    assert second["malicious_probability"] == first["malicious_probability"]
+    assert second["sample_id"] == "second"
+    assert inference_after == inference_before
+    scans = client.metrics()["scans"]
+    assert scans["registry"]["hits"] >= 1
+    # scan-batch mixes hits and fresh contracts in one request
+    fresh = tiny_evm_corpus[1].bytecode
+    batch = client.scan_batch([code, fresh], sample_ids=["again", "new"])
+    assert batch["contracts"] == 2
+    direct = server.detector.scan(fresh, sample_id="new")
+    assert batch["reports"][1]["malicious_probability"] == \
+        direct.malicious_probability
+
+
+def test_verdicts_without_registry_is_503(client):
+    with pytest.raises(ServerClientError) as excinfo:
+        client.verdicts()
+    assert excinfo.value.status == 503
+    assert "no verdict registry" in str(excinfo.value)

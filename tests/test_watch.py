@@ -1,0 +1,438 @@
+"""End-to-end tests of the watch daemon + registry-backed scanning.
+
+Locks the PR's acceptance invariant: for any corpus, one ``watch`` poll
+cycle followed by ``query --all`` returns verdicts byte-identical to a
+``scan-batch`` over the same corpus; a second poll cycle performs zero GNN
+inference calls; the registry survives a daemon restart; and a graph
+fingerprint change invalidates only the stale rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import ScamDetectConfig
+from repro.core.detector import ScamDetector
+from repro.registry import RulesEngine, ScanRegistry, WatchDaemon, \
+    content_sha256, parse_rules
+from repro.service import BatchScanner, GraphCache
+
+FAST = ScamDetectConfig(epochs=3, num_layers=1, hidden_features=8)
+
+
+@pytest.fixture(scope="module")
+def trained_detector(tiny_evm_corpus):
+    detector = ScamDetector(FAST, explain=False)
+    detector.train(tiny_evm_corpus)
+    return detector
+
+
+@pytest.fixture()
+def feed(tmp_path, tiny_evm_corpus):
+    """A corpus directory of .bin files plus the matching raw codes."""
+    directory = tmp_path / "feed"
+    directory.mkdir()
+    for sample in tiny_evm_corpus:
+        (directory / f"{sample.sample_id}.bin").write_bytes(sample.bytecode)
+    return directory
+
+
+@pytest.fixture()
+def registry(tmp_path, trained_detector):
+    with ScanRegistry.for_config(tmp_path / "verdicts.db",
+                                 trained_detector.config) as reg:
+        yield reg
+
+
+def write_contract(directory, name, bytecode):
+    path = directory / name
+    path.write_bytes(bytecode)
+    # poll change detection keys on (size, mtime_ns); same-size rewrites in
+    # the same timestamp granule must still be visible
+    stat = path.stat()
+    os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# the acceptance invariant
+
+
+def test_watch_then_query_matches_scan_batch_byte_identical(
+        trained_detector, feed, registry):
+    daemon = WatchDaemon(trained_detector, registry, feed)
+    cold = daemon.poll_once()
+    assert cold.new == cold.files_seen > 0
+    assert cold.inference_calls >= 1
+
+    oracle = trained_detector.scan_directory(feed)
+    rows = {row.source_path: row for row in registry.query(limit=None)}
+    assert len(rows) == oracle.num_scanned
+    for report in oracle.reports:
+        stored = rows[report.sample_id].to_report()
+        assert stored.to_dict() == report.to_dict()
+
+    # second cycle over the unchanged corpus: stat short-circuit only
+    warm = daemon.poll_once()
+    assert warm.unchanged == warm.files_seen
+    assert warm.scanned == 0
+    assert warm.registry_hits == 0
+    assert warm.inference_calls == 0
+
+
+def test_watch_query_cli_roundtrip(trained_detector, feed, tmp_path,
+                                   capsys):
+    model_path = tmp_path / "model"
+    trained_detector.save(model_path)
+    registry_path = tmp_path / "cli-verdicts.db"
+
+    exit_code = main(["watch", str(feed), "--model-path", str(model_path),
+                      "--registry", str(registry_path),
+                      "--interval", "0.05", "--max-polls", "2"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "poll 1:" in out and "poll 2:" in out
+    assert "0 inference calls" in out  # the second poll was free
+
+    exit_code = main(["query", "--registry", str(registry_path),
+                      "--model-path", str(model_path), "--all", "--json"])
+    assert exit_code == 0
+    rows = json.loads(capsys.readouterr().out)
+
+    # CLI parity: the recorded reports equal a scan-batch over the corpus
+    batch = main(["scan-batch", "--model-path", str(model_path),
+                  "--input-dir", str(feed), "--show-reports"])
+    assert batch in (0, 2)
+    oracle = trained_detector.scan_directory(feed)
+    by_path = {row["source_path"]: row["report"] for row in rows}
+    assert len(by_path) == oracle.num_scanned
+    for report in oracle.reports:
+        assert by_path[report.sample_id] == report.to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# incremental change detection
+
+
+def test_new_changed_deleted_files_are_tracked(trained_detector, feed,
+                                               registry, tiny_evm_corpus):
+    daemon = WatchDaemon(trained_detector, registry, feed)
+    daemon.poll_once()
+
+    # drop a brand-new contract, mutate an existing one, delete another
+    existing = sorted(feed.glob("evm-*.bin"))
+    fresh_code = tiny_evm_corpus[0].bytecode + b"\x00"
+    write_contract(feed, "dropped.bin", fresh_code)
+    write_contract(feed, existing[0].name,
+                   existing[0].read_bytes() + b"\x00\x00")
+    removed = existing[1]
+    removed.unlink()
+
+    stats = daemon.poll_once()
+    assert stats.new == 1
+    assert stats.changed == 1
+    assert stats.deleted == 1
+    assert stats.scanned == 2 and stats.inference_calls == 1
+
+    # the deleted path is flagged in the index; its verdict row remains
+    assert removed.name not in registry.watched_files()
+    deleted_entry = registry.watched_files(
+        include_deleted=True)[removed.name]
+    assert deleted_entry.deleted_at is not None
+    assert registry.get(deleted_entry.sha256) is not None
+
+    # and the new verdicts landed
+    assert registry.get(content_sha256(fresh_code)) is not None
+
+
+def test_duplicate_content_served_from_registry_without_inference(
+        trained_detector, feed, registry):
+    daemon = WatchDaemon(trained_detector, registry, feed)
+    daemon.poll_once()
+    clone_source = sorted(feed.glob("*.bin"))[0]
+    write_contract(feed, "clone-of-first.bin", clone_source.read_bytes())
+    stats = daemon.poll_once()
+    assert stats.new == 1
+    assert stats.registry_hits == 1
+    assert stats.scanned == 0
+    assert stats.inference_calls == 0
+    # the registry hit is rebound to the new path in the poll's reports
+    assert stats.reports[0].sample_id == "clone-of-first.bin"
+
+
+def test_registry_survives_daemon_restart(trained_detector, feed, tmp_path):
+    registry_path = tmp_path / "restart.db"
+    with ScanRegistry.for_config(registry_path,
+                                 trained_detector.config) as registry:
+        WatchDaemon(trained_detector, registry, feed).poll_once()
+        before = {row.sha256: row.malicious_probability
+                  for row in registry.query(limit=None)}
+    assert before
+
+    # a brand-new daemon process-equivalent: fresh handles, same file.  The
+    # stat index survives too, so not even re-hashing happens.
+    with ScanRegistry.for_config(registry_path,
+                                 trained_detector.config) as registry:
+        stats = WatchDaemon(trained_detector, registry, feed).poll_once()
+        assert stats.inference_calls == 0
+        assert stats.scanned == 0 and stats.unchanged == stats.files_seen
+        after = {row.sha256: row.malicious_probability
+                 for row in registry.query(limit=None)}
+    assert after == before
+
+
+def test_fingerprint_change_invalidates_only_stale_rows(
+        trained_detector, feed, tmp_path, tiny_evm_corpus):
+    registry_path = tmp_path / "fp.db"
+    with ScanRegistry.for_config(registry_path,
+                                 trained_detector.config) as registry:
+        WatchDaemon(trained_detector, registry, feed).poll_once()
+        old_rows = len(registry.query(limit=None))
+    assert old_rows > 0
+
+    # a lowering-config change (different max_nodes) gets a new fingerprint
+    changed = ScamDetector(
+        ScamDetectConfig(epochs=3, num_layers=1, hidden_features=8,
+                         max_nodes=64),
+        explain=False).train(tiny_evm_corpus)
+    assert changed.config.graph_fingerprint() != \
+        trained_detector.config.graph_fingerprint()
+
+    with ScanRegistry.for_config(registry_path,
+                                 changed.config) as registry:
+        stats = WatchDaemon(changed, registry, feed).poll_once()
+        # nothing of the old fingerprint is trusted: everything re-scans
+        assert stats.scanned == stats.files_seen
+        assert stats.inference_calls >= 1
+        # ... but the stale rows are still there under their own scope
+        assert len(registry.query(limit=None)) == stats.files_seen
+        assert len(registry.query(all_fingerprints=True)) \
+            == old_rows + stats.files_seen
+        assert registry.purge_stale() == old_rows
+
+
+def test_mismatched_registry_fingerprint_is_rejected(trained_detector,
+                                                     feed, tmp_path):
+    registry = ScanRegistry(tmp_path / "wrong.db", fingerprint="deadbeef")
+    try:
+        with pytest.raises(ValueError, match="fingerprint"):
+            WatchDaemon(trained_detector, registry, feed)
+        with pytest.raises(ValueError, match="fingerprint"):
+            BatchScanner(trained_detector, registry=registry)
+    finally:
+        registry.close()
+
+
+# --------------------------------------------------------------------------- #
+# triage rules on the watch path
+
+
+def test_watch_runs_triage_rules_on_new_verdicts(trained_detector, feed,
+                                                 registry, tmp_path):
+    # threshold 0.05 flags essentially everything malicious, so the rule
+    # deterministically fires on this tiny corpus
+    spicy = ScamDetector(FAST, threshold=0.05, explain=False)
+    spicy.pipeline = trained_detector.pipeline
+    sink = tmp_path / "alerts.jsonl"
+    engine = RulesEngine(parse_rules("""
+[[rules]]
+name = "page-on-scam"
+[rules.match]
+verdict = "malicious"
+[rules.actions]
+tag = ["hot"]
+alert = true
+exit_nonzero = true
+"""), alert_path=sink)
+    daemon = WatchDaemon(spicy, registry, feed, rules=engine)
+    stats = daemon.poll_once()
+    assert stats.malicious > 0
+    assert stats.rules_matched == stats.malicious
+    assert stats.alerts == stats.malicious
+    assert stats.exit_nonzero and daemon.exit_nonzero
+    alerts = [json.loads(line) for line in sink.read_text().splitlines()]
+    assert len(alerts) == stats.malicious
+    assert all(alert["rule"] == "page-on-scam" for alert in alerts)
+    # tags landed on the registry rows
+    tagged = registry.query(tag="hot")
+    assert len(tagged) == stats.malicious
+
+
+# --------------------------------------------------------------------------- #
+# BatchScanner registry integration (hits distinct from cache hits)
+
+
+def test_batch_scanner_registry_hits_skip_inference(trained_detector,
+                                                    tiny_evm_corpus,
+                                                    registry):
+    codes = [sample.bytecode for sample in tiny_evm_corpus[:8]]
+    ids = [sample.sample_id for sample in tiny_evm_corpus[:8]]
+    scanner = BatchScanner(trained_detector, registry=registry)
+    cold = scanner.scan_codes(codes, sample_ids=ids)
+    assert cold.registry_hits == 0
+    assert sum(cold.batch_sizes.values()) >= 1
+
+    warm = scanner.scan_codes(codes, sample_ids=ids)
+    assert warm.registry_hits == len(codes)
+    assert warm.batch_sizes == {}  # zero inference calls
+    for fresh, cached in zip(cold.reports, warm.reports):
+        assert fresh.to_dict() == cached.to_dict()
+
+    stats = warm.stats_dict()
+    assert stats["registry"] == {"hits": len(codes), "misses": 0}
+    assert "registry" in warm.format()
+
+
+def test_registry_hits_are_distinct_from_cache_hits(trained_detector,
+                                                    tiny_evm_corpus,
+                                                    registry):
+    codes = [sample.bytecode for sample in tiny_evm_corpus[:6]]
+    cache = GraphCache.for_config(trained_detector.config)
+    scanner = BatchScanner(trained_detector, cache=cache)
+    try:
+        cache_only = scanner.scan_codes(codes)
+        cache_warm = scanner.scan_codes(codes)
+        # graph-cache hits still run inference ...
+        assert cache_warm.cache_stats.hit_rate == 1.0
+        assert sum(cache_warm.batch_sizes.values()) >= 1
+        assert cache_warm.registry_hits == 0
+
+        with_registry = BatchScanner(trained_detector, cache=cache,
+                                     registry=registry)
+        first = with_registry.scan_codes(codes)
+        second = with_registry.scan_codes(codes)
+        # ... while registry hits skip the model entirely
+        assert first.registry_hits == 0
+        assert second.registry_hits == len(codes)
+        assert second.batch_sizes == {}
+        for one, two in zip(cache_only.reports, second.reports):
+            assert one.to_dict() == two.to_dict()
+    finally:
+        trained_detector.pipeline.graph_cache = None
+
+
+def test_registry_threshold_change_relabels_hits(trained_detector,
+                                                 tiny_evm_corpus, registry):
+    codes = [sample.bytecode for sample in tiny_evm_corpus[:6]]
+    BatchScanner(trained_detector, registry=registry).scan_codes(codes)
+
+    spicy = ScamDetector(FAST, threshold=0.05, explain=False)
+    spicy.pipeline = trained_detector.pipeline
+    result = BatchScanner(spicy, registry=registry).scan_codes(codes)
+    # stored probabilities are reused, labels reflect the new threshold
+    assert result.registry_hits == len(codes)
+    for report in result.reports:
+        assert report.label == int(report.malicious_probability >= 0.05)
+
+
+def test_registry_ignores_rows_from_other_model_or_explain(
+        trained_detector, tiny_evm_corpus, registry):
+    codes = [sample.bytecode for sample in tiny_evm_corpus[:4]]
+    BatchScanner(trained_detector, registry=registry).scan_codes(codes)
+
+    # a retrain with IDENTICAL hyper-parameters produces different weights
+    # (different seed) but the same architecture label and the same graph
+    # fingerprint -- the registry must re-scan, never serve the old
+    # model's verdicts
+    retrained = ScamDetector(
+        ScamDetectConfig(epochs=3, num_layers=1, hidden_features=8,
+                         seed=99),
+        explain=False)
+    retrained.train(tiny_evm_corpus)
+    assert retrained.config.graph_fingerprint() == \
+        trained_detector.config.graph_fingerprint()
+    assert retrained.pipeline.model_fingerprint() != \
+        trained_detector.pipeline.model_fingerprint()
+    result = BatchScanner(retrained, registry=registry).scan_codes(codes)
+    assert result.registry_hits == 0
+    for report in result.reports:
+        direct = retrained.scan(codes[result.reports.index(report)])
+        assert report.malicious_probability == direct.malicious_probability
+
+    # same fingerprint, different explain setting: rows must not be reused
+    # (their notes would not match a fresh scan's)
+    explainer = ScamDetector(FAST, explain=True)
+    explainer.pipeline = trained_detector.pipeline
+    result = BatchScanner(explainer, registry=registry).scan_codes(codes)
+    assert result.registry_hits == 0
+    # the re-scan upserted explained rows; now both settings hit
+    again = BatchScanner(explainer, registry=registry).scan_codes(codes)
+    assert again.registry_hits == len(codes)
+    for report in again.reports:
+        direct = explainer.scan(codes[again.reports.index(report)])
+        assert report.malicious_probability == direct.malicious_probability
+
+
+def test_sharded_scan_records_and_serves_registry(trained_detector,
+                                                  tiny_evm_corpus,
+                                                  registry):
+    codes = [sample.bytecode for sample in tiny_evm_corpus[:8]]
+    ids = [sample.sample_id for sample in tiny_evm_corpus[:8]]
+    with BatchScanner(trained_detector, shards=2,
+                      registry=registry) as scanner:
+        cold = scanner.scan_codes(codes, sample_ids=ids)
+        warm = scanner.scan_codes(codes, sample_ids=ids)
+    assert cold.registry_hits == 0 and cold.shard_stats
+    # the warm pass never reaches the shard pool
+    assert warm.registry_hits == len(codes)
+    oracle = [trained_detector.scan(code, sample_id=sample_id)
+              for code, sample_id in zip(codes, ids)]
+    for single, cached in zip(oracle, warm.reports):
+        assert single.to_dict() == cached.to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# directory walking: recursion + glob filtering
+
+
+def test_scan_directory_recursive_flag_and_glob(trained_detector, feed,
+                                                tiny_evm_corpus):
+    nested = feed / "nested"
+    nested.mkdir()
+    write_contract(nested, "deep.bin", tiny_evm_corpus[0].bytecode)
+
+    everything = trained_detector.scan_directory(feed)
+    assert "nested/deep.bin" in \
+        [report.sample_id for report in everything.reports]
+
+    flat = trained_detector.scan_directory(feed, recursive=False)
+    assert len(flat.reports) == len(everything.reports) - 1
+    assert all("nested" not in report.sample_id for report in flat.reports)
+
+    only_nested = trained_detector.scan_directory(feed,
+                                                  pattern="nested/*.bin")
+    assert [report.sample_id for report in only_nested.reports] \
+        == ["nested/deep.bin"]
+
+
+def test_watch_respects_recursive_and_pattern(trained_detector, feed,
+                                              registry, tiny_evm_corpus):
+    nested = feed / "sub"
+    nested.mkdir()
+    write_contract(nested, "inner.bin", tiny_evm_corpus[0].bytecode)
+    top_level = len(list(feed.glob("*.bin")))
+
+    daemon = WatchDaemon(trained_detector, registry, feed, recursive=False)
+    stats = daemon.poll_once()
+    assert stats.files_seen == top_level
+
+    daemon = WatchDaemon(trained_detector, registry, feed,
+                         pattern="sub/*.bin")
+    stats = daemon.poll_once()
+    assert stats.files_seen == 1
+
+
+def test_watch_skips_registry_database_in_corpus_dir(trained_detector,
+                                                     feed):
+    # a registry living inside the watched directory must never be scanned
+    with ScanRegistry.for_config(feed / "verdicts.db",
+                                 trained_detector.config) as registry:
+        daemon = WatchDaemon(trained_detector, registry, feed)
+        stats = daemon.poll_once()
+        assert stats.files_seen == len(list(feed.glob("*.bin")))
+        assert all(not row.source_path.endswith(".db")
+                   for row in registry.query(limit=None))
