@@ -48,12 +48,15 @@ def is_throughput_key(key: str) -> bool:
 def is_fidelity_key(key: str) -> bool:
     """Lower-is-better exact counters gated at zero increase.
 
-    ``*mismatch*`` counts broken verdict parity; ``*inference_calls`` in a
-    summary counts model invocations on paths contractually required to be
-    inference-free (E11's warm watch polls) -- both are exact, so any rise
-    is a correctness regression, never noise.
+    ``*mismatch*`` counts broken verdict parity; ``*disagreement*`` counts
+    cascade short-circuits the GNN would have overruled (E12's equal-recall
+    contract); ``*inference_calls`` in a summary counts model invocations on
+    paths contractually required to be inference-free (E11's warm watch
+    polls, E12's short-circuited contracts) -- all are exact, so any rise is
+    a correctness regression, never noise.
     """
-    return "mismatch" in key or key.endswith("inference_calls")
+    return ("mismatch" in key or "disagreement" in key
+            or key.endswith("inference_calls"))
 
 
 def _metric_pairs(baseline: Dict, fresh: Dict

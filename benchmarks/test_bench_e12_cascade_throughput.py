@@ -1,0 +1,48 @@
+"""E12: two-stage cascade scoring -- faster at exactly equal recall.
+
+The cascade acceptance experiment: a 240-contract, 75%-benign corpus is
+cold-scanned twice by the same trained detector, once GNN-only and once
+with the tier-0 calibrated n-gram pre-filter in front.  The cascade run
+must be at least 3x faster, flag **exactly the same contracts** malicious
+(zero label disagreements between the two verdict streams), and GNN-score
+every escalated contract exactly once -- short-circuited contracts never
+touch the model.
+
+The speedup is a ratio of two scans on the same machine in the same
+process, so it is gated unconditionally; the fidelity counters are exact
+and must be zero everywhere.
+"""
+
+from benchmarks.conftest import record_json, record_result, run_once
+from repro.evaluation import E12Config, run_e12_cascade_throughput
+
+
+def test_bench_e12_cascade_throughput(benchmark):
+    config = E12Config(num_samples=240, malicious_fraction=0.25, epochs=6,
+                       seed=0)
+    result = run_once(benchmark, run_e12_cascade_throughput, config)
+    record_result(result)
+    record_json("E12", result)
+
+    # equal recall: the cascade changes when contracts are scored, never
+    # what they are scored -- label parity is exact
+    assert result.summary["cascade_disagreements"] == 0
+    # the runtime near-miss counter (escalated malicious contracts whose
+    # pre-filter score sat below the raw threshold) agrees: the margin did
+    # its job and nothing malicious came close to short-circuiting
+    assert result.summary["runtime_near_miss_disagreements"] == 0
+    # every escalated contract GNN-scored exactly once, nothing else
+    assert result.summary["excess_inference_calls"] == 0
+
+    # the corpus actually exercises both tiers, and the short-circuit band
+    # covers the benign majority the cascade exists for
+    gnn_row, cascade_row = result.rows
+    assert cascade_row["short_circuits"] + cascade_row["escalations"] == \
+        config.num_samples
+    assert cascade_row["short_circuits"] >= config.num_samples // 2
+    assert cascade_row["malicious"] == gnn_row["malicious"]
+
+    # acceptance: >= 3x cold throughput over GNN-only at equal recall
+    assert result.summary["cascade_speedup"] >= 3.0, (
+        f"cascade scan only {result.summary['cascade_speedup']:.2f}x faster "
+        f"than GNN-only (contract: >= 3x at equal recall)")

@@ -1,0 +1,32 @@
+"""Two-stage cascade scoring: a calibrated linear pre-filter (tier 0).
+
+The cascade puts a cheap, calibrated logistic head over TF-IDF opcode
+n-grams + opcode histograms in front of the GNN (tier 1).  Confident-benign
+contracts short-circuit before graph lowering -- the dominant per-contract
+cost -- while everything in the uncertain band pays the full pipeline
+price, so verdict fidelity is preserved by construction of the margin.
+"""
+
+from repro.cascade.calibration import (
+    apply_isotonic,
+    apply_platt,
+    fit_isotonic,
+    fit_platt,
+)
+from repro.cascade.head import (
+    CascadeConfig,
+    CascadeDecision,
+    CascadeError,
+    CascadeHead,
+)
+
+__all__ = [
+    "CascadeConfig",
+    "CascadeDecision",
+    "CascadeError",
+    "CascadeHead",
+    "apply_isotonic",
+    "apply_platt",
+    "fit_isotonic",
+    "fit_platt",
+]

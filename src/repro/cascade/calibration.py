@@ -1,0 +1,159 @@
+"""Probability calibration for the cascade pre-filter.
+
+Two classic post-hoc calibrators over a 1-D score:
+
+* **Platt scaling** -- fit ``sigmoid(a * score + b)`` by Newton's method on
+  the regularized log-loss, using Platt's smoothed targets
+  ``t+ = (n+ + 1) / (n+ + 2)`` and ``t- = 1 / (n- + 2)`` so the calibrated
+  probabilities never saturate at exactly 0/1.
+* **Isotonic regression** -- pool-adjacent-violators over the sorted
+  scores; monotone by construction, predictions interpolate linearly
+  between the fitted knots.
+
+Both fits are closed, deterministic numpy procedures (no RNG), which is
+what makes cascade training reproducible bit-for-bit under a fixed config.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # evaluate on the negative half-line only so exp never overflows
+    out = np.empty_like(z, dtype=np.float64)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exponent = np.exp(z[~positive])
+    out[~positive] = exponent / (1.0 + exponent)
+    return out
+
+
+def fit_platt(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    iterations: int = 50,
+    ridge: float = 1e-9,
+) -> Tuple[float, float]:
+    """Fit Platt's sigmoid ``p = sigmoid(a * score + b)``; returns (a, b).
+
+    Newton iterations on the log-loss with Platt's smoothed targets; the
+    tiny ``ridge`` keeps the 2x2 Hessian invertible when the scores are
+    (near-)constant.
+    """
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    labels = np.asarray(labels).ravel()
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must have the same length")
+    num_positive = float((labels == 1).sum())
+    num_negative = float(len(labels)) - num_positive
+    if num_positive == 0 or num_negative == 0:
+        raise ValueError("Platt scaling needs both classes present")
+    target_positive = (num_positive + 1.0) / (num_positive + 2.0)
+    target_negative = 1.0 / (num_negative + 2.0)
+    targets = np.where(labels == 1, target_positive, target_negative)
+
+    a, b = 1.0, 0.0
+    for _ in range(iterations):
+        z = a * scores + b
+        p = _sigmoid(z)
+        residual = p - targets
+        gradient = np.array(
+            [
+                float((residual * scores).sum()),
+                float(residual.sum()),
+            ]
+        )
+        weight = p * (1.0 - p)
+        hessian = np.array(
+            [
+                [
+                    float((weight * scores * scores).sum()),
+                    float((weight * scores).sum()),
+                ],
+                [float((weight * scores).sum()), float(weight.sum())],
+            ]
+        )
+        hessian[0, 0] += ridge
+        hessian[1, 1] += ridge
+        step = np.linalg.solve(hessian, gradient)
+        a -= float(step[0])
+        b -= float(step[1])
+        if float(np.abs(step).max()) < 1e-12:
+            break
+    return float(a), float(b)
+
+
+def apply_platt(scores: np.ndarray, a: float, b: float) -> np.ndarray:
+    """Calibrated probabilities under fitted Platt parameters."""
+    scores = np.asarray(scores, dtype=np.float64)
+    return _sigmoid(a * scores + b)
+
+
+def fit_isotonic(
+    scores: np.ndarray, labels: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Isotonic (PAV) fit of ``P(label=1 | score)``; returns knot arrays.
+
+    The returned ``(x, y)`` arrays are strictly increasing in ``x`` with
+    non-decreasing ``y``; predict with :func:`apply_isotonic`.
+    """
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must have the same length")
+    if len(scores) == 0:
+        raise ValueError("isotonic regression needs at least one sample")
+    # deterministic order: by score, ties broken by label
+    order = np.lexsort((labels, scores))
+    xs = scores[order]
+    ys = labels[order]
+
+    # pool adjacent violators: each block holds (value_sum, weight)
+    block_value: list = []
+    block_weight: list = []
+    block_start: list = []
+    for index in range(len(ys)):
+        block_value.append(float(ys[index]))
+        block_weight.append(1.0)
+        block_start.append(index)
+        while (
+            len(block_value) > 1
+            and block_value[-2] / block_weight[-2]
+            >= block_value[-1] / block_weight[-1]
+        ):
+            value = block_value.pop() + block_value[-1]
+            weight = block_weight.pop() + block_weight[-1]
+            block_start.pop()
+            block_value[-1] = value
+            block_weight[-1] = weight
+
+    fitted = np.empty(len(ys), dtype=np.float64)
+    boundaries = block_start + [len(ys)]
+    for block, start in enumerate(block_start):
+        fitted[start : boundaries[block + 1]] = (
+            block_value[block] / block_weight[block]
+        )
+
+    # collapse duplicate x so the knot axis is strictly increasing (keep
+    # the last fitted value per x: PAV already made it monotone)
+    knots_x: list = []
+    knots_y: list = []
+    for index in range(len(xs)):
+        if knots_x and xs[index] == knots_x[-1]:
+            knots_y[-1] = fitted[index]
+        else:
+            knots_x.append(float(xs[index]))
+            knots_y.append(float(fitted[index]))
+    return np.asarray(knots_x), np.asarray(knots_y)
+
+
+def apply_isotonic(
+    scores: np.ndarray, knots_x: np.ndarray, knots_y: np.ndarray
+) -> np.ndarray:
+    """Predict under a fitted isotonic model (linear between knots,
+    clamped to the end values outside the fitted range)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    return np.interp(scores, knots_x, knots_y)

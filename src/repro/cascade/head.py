@@ -1,0 +1,409 @@
+"""The calibrated linear pre-filter head (tier 0 of the cascade).
+
+:class:`CascadeHead` scores raw bytecode with TF-IDF-weighted opcode
+n-grams plus opcode histograms through a logistic head
+(:class:`~repro.ml.logistic_regression.LogisticRegression`), calibrates the
+score into a probability (Platt or isotonic, see
+:mod:`repro.cascade.calibration`), and picks **per-platform short-circuit
+thresholds at a configured target recall**: the threshold for platform *p*
+is the largest calibrated score that still keeps ``target_recall`` of the
+training malicious samples of *p* at or above it.  At scan time a contract
+short-circuits as confident-benign only when its calibrated score falls
+below ``threshold - margin``; everything else escalates to graph lowering
+and the GNN, so the margin is the knob trading throughput for fidelity
+headroom.
+
+Training is deterministic: feature extraction, the full-batch logistic fit
+and both calibrators are RNG-free, so one config + one corpus always
+produces the same head bit-for-bit (``config.seed`` exists purely as an
+identity salt folded into the fingerprint).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cascade.calibration import (
+    apply_isotonic,
+    apply_platt,
+    fit_isotonic,
+    fit_platt,
+)
+from repro.datasets.corpus import ContractSample, Corpus
+from repro.features.opcode_histogram import OpcodeHistogramExtractor
+from repro.features.tfidf import TfidfExtractor
+from repro.ml.logistic_regression import LogisticRegression
+
+#: Decimals the calibrated score is quantized to before any decision is
+#: taken or report written -- same batch-invariance argument as
+#: :meth:`repro.core.detector.ScamDetector.build_report`.
+SCORE_DECIMALS = 9
+
+
+class CascadeError(RuntimeError):
+    """A cascade-head problem the caller must deal with (untrained head,
+    unusable corpus, corrupt persisted state)."""
+
+
+@dataclass
+class CascadeConfig:
+    """Hyper-parameters of the pre-filter head.
+
+    Attributes:
+        ngram_order: n-gram order of the TF-IDF block.
+        top_k: Vocabulary size kept by the n-gram extractor.
+        vocabulary: Token vocabulary (``"mnemonic"`` or ``"category"``).
+        calibration: ``"platt"`` or ``"isotonic"``.
+        target_recall: Fraction of training malicious samples the
+            per-platform thresholds must keep above the short-circuit line.
+        margin: Default safety margin subtracted from each platform
+            threshold at decision time (overridable per scan via
+            ``--cascade-margin``); larger = fewer short-circuits.
+        learning_rate / epochs / l2: Logistic-head training knobs.
+        seed: Identity salt folded into :meth:`CascadeHead.fingerprint`
+            (training itself is deterministic and never consumes it).
+    """
+
+    ngram_order: int = 2
+    top_k: int = 128
+    vocabulary: str = "mnemonic"
+    calibration: str = "platt"
+    target_recall: float = 1.0
+    margin: float = 0.1
+    learning_rate: float = 0.5
+    epochs: int = 200
+    l2: float = 1e-3
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.ngram_order < 1:
+            raise ValueError("ngram_order must be >= 1")
+        if self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if self.calibration not in ("platt", "isotonic"):
+            raise ValueError(
+                f"unknown calibration {self.calibration!r}; "
+                f"use 'platt' or 'isotonic'"
+            )
+        if not 0.0 < self.target_recall <= 1.0:
+            raise ValueError("target_recall must be in (0, 1]")
+        if self.margin < 0.0:
+            raise ValueError("margin must be >= 0")
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CascadeConfig":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass
+class CascadeDecision:
+    """Tier-0 outcome for one contract.
+
+    Attributes:
+        probability: Calibrated malicious probability, quantized to
+            :data:`SCORE_DECIMALS` decimals.
+        short_circuit: True when the contract is confident-benign and may
+            skip lowering + GNN inference.
+        platform_threshold: The at-target-recall threshold of the
+            contract's platform (None when the platform had no malicious
+            training samples, in which case the head never short-circuits).
+    """
+
+    probability: float
+    short_circuit: bool
+    platform_threshold: Optional[float] = None
+
+    @property
+    def near_miss(self) -> bool:
+        """True when only the margin kept this contract out of the
+        short-circuit band (its score fell below the raw threshold)."""
+        return (
+            not self.short_circuit
+            and self.platform_threshold is not None
+            and self.probability < self.platform_threshold
+        )
+
+
+class CascadeHead:
+    """Trainable tier-0 pre-filter (see module docstring).
+
+    Args:
+        config: Hyper-parameters; defaults are tuned for the synthetic
+            corpora used throughout the experiments.
+    """
+
+    def __init__(self, config: Optional[CascadeConfig] = None) -> None:
+        self.config = config or CascadeConfig()
+        self.config.validate()
+        self._tfidf = TfidfExtractor(
+            n=self.config.ngram_order,
+            top_k=self.config.top_k,
+            vocabulary=self.config.vocabulary,
+        )
+        self._histogram = OpcodeHistogramExtractor(
+            vocabulary=self.config.vocabulary, platform="both"
+        )
+        self._classifier = LogisticRegression(
+            learning_rate=self.config.learning_rate,
+            epochs=self.config.epochs,
+            l2=self.config.l2,
+        )
+        self._calibration: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._thresholds: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # training
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._calibration is not None
+
+    @property
+    def thresholds(self) -> Dict[str, float]:
+        """Per-platform short-circuit thresholds (copy)."""
+        return dict(self._thresholds)
+
+    def fit(self, corpus: Corpus) -> "CascadeHead":
+        """Train head + calibration + per-platform thresholds on a
+        labelled corpus; returns self."""
+        labels = np.asarray(corpus.labels())
+        if len(set(labels.tolist())) < 2:
+            raise CascadeError(
+                "cascade training needs both benign and malicious samples"
+            )
+        features = np.hstack(
+            [
+                self._tfidf.fit_transform(corpus),
+                self._histogram.fit_transform(corpus),
+            ]
+        )
+        self._classifier.fit(features, labels)
+        raw_scores = self._classifier.predict_proba(features)[:, 1]
+        if self.config.calibration == "platt":
+            a, b = fit_platt(raw_scores, labels)
+            self._calibration = (np.asarray([a]), np.asarray([b]))
+        else:
+            self._calibration = fit_isotonic(raw_scores, labels)
+        # thresholds are picked from the same quantized scores decisions
+        # use, so a re-scored training positive can never fall below the
+        # threshold derived from itself
+        calibrated = np.round(self._calibrate(raw_scores), SCORE_DECIMALS)
+        self._thresholds = {}
+        for platform in sorted({sample.platform for sample in corpus}):
+            mask = np.asarray(
+                [
+                    sample.platform == platform and sample.label == 1
+                    for sample in corpus
+                ]
+            )
+            if not mask.any():
+                continue  # no positives: this platform never short-circuits
+            self._thresholds[platform] = threshold_at_recall(
+                calibrated[mask], self.config.target_recall
+            )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # scoring + decisions
+
+    def _calibrate(self, raw_scores: np.ndarray) -> np.ndarray:
+        if self._calibration is None:
+            raise CascadeError("CascadeHead used before fit")
+        first, second = self._calibration
+        if self.config.calibration == "platt":
+            return apply_platt(raw_scores, float(first[0]), float(second[0]))
+        return apply_isotonic(raw_scores, first, second)
+
+    def score_corpus(self, corpus: Corpus) -> np.ndarray:
+        """Calibrated malicious probability per sample, quantized to
+        :data:`SCORE_DECIMALS` decimals (batch-invariant)."""
+        if not self.is_fitted:
+            raise CascadeError("CascadeHead used before fit")
+        features = np.hstack(
+            [
+                self._tfidf.transform(corpus),
+                self._histogram.transform(corpus),
+            ]
+        )
+        raw_scores = self._classifier.predict_proba(features)[:, 1]
+        return np.round(self._calibrate(raw_scores), SCORE_DECIMALS)
+
+    def score_bytes(
+        self, raw_codes: Sequence[bytes], platforms: Sequence[str]
+    ) -> np.ndarray:
+        """Score raw bytecode (platforms must already be resolved)."""
+        corpus = Corpus(
+            (
+                ContractSample(
+                    sample_id=f"cascade-{index:04d}",
+                    platform=platform,
+                    bytecode=bytes(raw),
+                    label=0,
+                    family="unknown",
+                )
+                for index, (raw, platform) in enumerate(zip(raw_codes, platforms))
+            ),
+            name="cascade-scoring",
+        )
+
+        return self.score_corpus(corpus)
+
+    def effective_margin(self, margin: Optional[float] = None) -> float:
+        """The margin in force: an explicit override or the config's."""
+        value = self.config.margin if margin is None else float(margin)
+        if value < 0.0:
+            raise ValueError("cascade margin must be >= 0")
+        return value
+
+    def decide(
+        self,
+        raw_codes: Sequence[bytes],
+        platforms: Sequence[str],
+        margin: Optional[float] = None,
+        benign_ceiling: Optional[float] = None,
+    ) -> List[CascadeDecision]:
+        """Tier-0 decisions for a batch of contracts.
+
+        A contract short-circuits iff its platform has a fitted threshold
+        ``tau`` and its quantized calibrated score is below
+        ``max(0, tau - margin)`` *and* below ``benign_ceiling`` (the
+        detector's own verdict threshold -- guarantees a short-circuited
+        report is always labelled benign, whatever threshold the caller
+        scans with).
+        """
+        value = self.effective_margin(margin)
+        decisions: List[CascadeDecision] = []
+        scores = self.score_bytes(raw_codes, platforms)
+        for score, platform in zip(scores, platforms):
+            threshold = self._thresholds.get(platform)
+            cutoff = None if threshold is None else max(0.0, threshold - value)
+            short = (
+                cutoff is not None
+                and score < cutoff
+                and (benign_ceiling is None or score < benign_ceiling)
+            )
+            decisions.append(
+                CascadeDecision(
+                    probability=float(score),
+                    short_circuit=short,
+                    platform_threshold=threshold,
+                )
+            )
+        return decisions
+
+    # ------------------------------------------------------------------ #
+    # identity + persistence
+
+    def fingerprint(self) -> str:
+        """Content identity of the trained head: config plus a digest of
+        the learned vocabulary, weights, calibration and thresholds.
+
+        Folded into
+        :meth:`~repro.core.pipeline.ScamDetectPipeline.model_fingerprint`,
+        so registry rows and caches recorded under one cascade generation
+        are never served to another.
+        """
+        if not self.is_fitted:
+            raise CascadeError("cannot fingerprint an unfitted cascade head")
+        digest = hashlib.sha256(
+            json.dumps(self.metadata(), sort_keys=True).encode("utf-8")
+        )
+        for key, array in sorted(self.state_arrays().items()):
+            digest.update(key.encode("utf-8"))
+            digest.update(str(array.shape).encode("utf-8"))
+            digest.update(np.ascontiguousarray(array).tobytes())
+        return digest.hexdigest()[:16]
+
+    def metadata(self) -> Dict[str, object]:
+        """JSON-ready state (everything except the numeric arrays)."""
+        if not self.is_fitted:
+            raise CascadeError("cannot serialize an unfitted cascade head")
+        return {
+            "config": self.config.to_dict(),
+            "ngram_vocabulary": [
+                list(ngram) for ngram in self._tfidf.vocabulary_ngrams()
+            ],
+            "classes": [int(label) for label in self._classifier.classes_],
+            "thresholds": {
+                platform: float(threshold)
+                for platform, threshold in sorted(self._thresholds.items())
+            },
+        }
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """The numeric arrays, keyed for storage inside the bundle npz."""
+        if not self.is_fitted:
+            raise CascadeError("cannot serialize an unfitted cascade head")
+        first, second = self._calibration
+        return {
+            "weights": np.asarray(self._classifier.weights_),
+            "bias": np.asarray(self._classifier.bias_),
+            "idf": np.asarray(self._tfidf.idf),
+            "calibration_first": np.asarray(first),
+            "calibration_second": np.asarray(second),
+        }
+
+    @classmethod
+    def from_state(
+        cls, metadata: Dict[str, object], arrays: Dict[str, np.ndarray]
+    ) -> "CascadeHead":
+        """Rebuild a trained head from :meth:`metadata` +
+        :meth:`state_arrays` output."""
+        try:
+            config = CascadeConfig.from_dict(metadata["config"])
+            head = cls(config)
+            head._tfidf.restore(
+                [tuple(ngram) for ngram in metadata["ngram_vocabulary"]],
+                np.asarray(arrays["idf"], dtype=np.float64),
+            )
+            head._classifier.weights_ = np.asarray(arrays["weights"], dtype=np.float64)
+            head._classifier.bias_ = np.asarray(arrays["bias"], dtype=np.float64)
+            head._classifier.classes_ = np.asarray(metadata["classes"])
+            head._calibration = (
+                np.asarray(arrays["calibration_first"], dtype=np.float64),
+                np.asarray(arrays["calibration_second"], dtype=np.float64),
+            )
+            head._thresholds = {
+                str(platform): float(threshold)
+                for platform, threshold in metadata["thresholds"].items()
+            }
+        except (KeyError, TypeError, ValueError) as error:
+            raise CascadeError(f"corrupt cascade state in bundle: {error}") from error
+        return head
+
+    def describe(self) -> str:
+        state = "fitted" if self.is_fitted else "unfitted"
+        return (
+            f"cascade-{self.config.calibration}"
+            f"({self.config.ngram_order}gram+histogram, "
+            f"top_k={self.config.top_k}, {state})"
+        )
+
+    def __repr__(self) -> str:
+        return f"CascadeHead({self.describe()})"
+
+
+def threshold_at_recall(positive_scores: np.ndarray, target_recall: float) -> float:
+    """The largest threshold keeping ``target_recall`` of the positive
+    scores at or above it.
+
+    Flagging ``score >= threshold`` then reaches at least the target
+    recall on the fitting set; ``target_recall=1.0`` returns the minimum
+    positive score (no training positive may ever fall below the line).
+    """
+    if not 0.0 < target_recall <= 1.0:
+        raise ValueError("target_recall must be in (0, 1]")
+    ordered = np.sort(np.asarray(positive_scores, dtype=np.float64).ravel())
+    if len(ordered) == 0:
+        raise ValueError("threshold_at_recall needs at least one positive")
+    allowed_misses = int(np.floor((1.0 - target_recall) * len(ordered)))
+    return float(ordered[min(allowed_misses, len(ordered) - 1)])

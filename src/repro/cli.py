@@ -40,6 +40,19 @@ from repro.datasets.generator import CorpusGenerator, GeneratorConfig
 from repro.datasets.splits import stratified_split
 
 
+def _add_cascade_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cascade", action="store_true",
+                        help="enable the tier-0 calibrated n-gram pre-filter "
+                             "(the bundle must have been trained with "
+                             "'train --cascade'); confident-benign contracts "
+                             "short-circuit before CFG lowering")
+    parser.add_argument("--cascade-margin", type=float, default=None,
+                        help="safety margin subtracted from the pre-filter's "
+                             "at-target-recall threshold (default: the "
+                             "head's trained margin); larger = fewer "
+                             "short-circuits, more safety")
+
+
 def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--platform", choices=("evm", "wasm"), default="evm")
     parser.add_argument("--num-samples", type=int, default=200)
@@ -72,11 +85,14 @@ def _command_train(args: argparse.Namespace) -> int:
                                    seed=args.seed)
     config = ScamDetectConfig(architecture=args.architecture, epochs=args.epochs,
                               readout=args.readout, seed=args.seed)
-    detector = ScamDetector(config).train(train)
+    detector = ScamDetector(config).train(train, cascade=args.cascade)
     metrics = detector.evaluate(test)
     print("held-out metrics: "
           + ", ".join(f"{name}={value:.3f}" for name, value in metrics.items()))
     detector.save(args.model_path)
+    if args.cascade:
+        print("cascade pre-filter head trained and bundled "
+              f"({detector.pipeline.cascade.describe()})")
     print(f"model saved to {args.model_path}.json / {args.model_path}.npz")
     return 0
 
@@ -110,15 +126,22 @@ def _command_scan(args: argparse.Namespace) -> int:
 def _load_detector(command: str, args: argparse.Namespace,
                    explain: bool) -> ScamDetector:
     """Load the model bundle for a serving command; exits non-zero with a
-    clear message when the bundle is missing or unreadable."""
+    clear message when the bundle is missing or unreadable (or when
+    ``--cascade`` was requested but the bundle has no trained head)."""
     from repro.core.persistence import PersistenceError
 
     try:
-        return ScamDetector.load(args.model_path, threshold=args.threshold,
-                                 explain=explain)
+        detector = ScamDetector.load(
+            args.model_path, threshold=args.threshold, explain=explain,
+            cascade=getattr(args, "cascade", False),
+            cascade_margin=getattr(args, "cascade_margin", None))
+        detector.cascade_head()
+        return detector
     except (PersistenceError, OSError) as error:
         raise SystemExit(f"{command}: cannot load model bundle "
                          f"{args.model_path!r}: {error}")
+    except (RuntimeError, ValueError) as error:
+        raise SystemExit(f"{command}: {error}")
 
 
 def _command_scan_batch(args: argparse.Namespace) -> int:
@@ -385,6 +408,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         run_e9_gnn_throughput,
         run_e10_sharded_throughput,
         run_e11_watch_ingest,
+        run_e12_cascade_throughput,
     )
 
     runners = {
@@ -399,6 +423,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         "E9": run_e9_gnn_throughput,
         "E10": run_e10_sharded_throughput,
         "E11": run_e11_watch_ingest,
+        "E12": run_e12_cascade_throughput,
     }
     result = runners[args.id.upper()]()
     print(result.format())
@@ -424,6 +449,10 @@ def build_parser() -> argparse.ArgumentParser:
     train_parser.add_argument("--epochs", type=int, default=30)
     train_parser.add_argument("--test-fraction", type=float, default=0.3)
     train_parser.add_argument("--model-path", required=True)
+    train_parser.add_argument("--cascade", action="store_true",
+                              help="also train the tier-0 calibrated n-gram "
+                                   "pre-filter head and persist it in the "
+                                   "bundle (enables scan/serve --cascade)")
     train_parser.set_defaults(handler=_command_train)
 
     scan_parser = subparsers.add_parser("scan", help="scan a contract with a saved model")
@@ -433,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
     scan_parser.add_argument("--platform", choices=("evm", "wasm"), default=None)
     scan_parser.add_argument("--threshold", type=float, default=0.5)
     scan_parser.add_argument("--sample-id", default="contract")
+    _add_cascade_arguments(scan_parser)
     scan_parser.set_defaults(handler=_command_scan)
 
     batch_parser = subparsers.add_parser(
@@ -474,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument("--show-reports", action="store_true",
                               help="print every per-contract report after the "
                                    "summary")
+    _add_cascade_arguments(batch_parser)
     batch_parser.set_defaults(handler=_command_scan_batch)
 
     serve_parser = subparsers.add_parser(
@@ -511,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="persistent verdict registry (SQLite); "
                                    "enables GET /verdicts and records "
                                    "every served verdict")
+    _add_cascade_arguments(serve_parser)
     serve_parser.set_defaults(handler=_command_serve)
 
     watch_parser = subparsers.add_parser(
@@ -549,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
     watch_parser.add_argument("--explain", action="store_true",
                               help="attach indicator notes to recorded "
                                    "verdicts (matches scan-batch --explain)")
+    _add_cascade_arguments(watch_parser)
     watch_parser.set_defaults(handler=_command_watch)
 
     query_parser = subparsers.add_parser(
@@ -602,9 +635,9 @@ def build_parser() -> argparse.ArgumentParser:
     rules_check_parser.set_defaults(handler=_command_rules_check)
 
     experiment_parser = subparsers.add_parser("experiment",
-                                              help="run one E1-E11 experiment")
+                                              help="run one E1-E12 experiment")
     experiment_parser.add_argument("--id", required=True,
-                                   choices=[f"E{i}" for i in range(1, 12)])
+                                   choices=[f"E{i}" for i in range(1, 13)])
     experiment_parser.set_defaults(handler=_command_experiment)
     return parser
 

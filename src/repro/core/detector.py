@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Union, TYPE_CHECKING
 
 from repro.core.config import ScamDetectConfig
-from repro.core.frontends import get_frontend
+from repro.core.frontends import detect_platform, get_frontend
 from repro.core.indicators import extract_indicators, format_indicators
 from repro.core.pipeline import ScamDetectPipeline
 from repro.core.report import ScanSummary, VerdictReport
@@ -13,6 +13,7 @@ from repro.datasets.corpus import Corpus
 from repro.evm.contracts import is_minimal_proxy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.cascade.head import CascadeConfig, CascadeDecision, CascadeHead
     from repro.gnn.data import ContractGraph
     from repro.registry.store import ScanRegistry
     from repro.service.batch import BatchScanResult
@@ -69,15 +70,30 @@ class ScamDetector:
         explain: Attach human-readable indicator notes to every report
             (costs one extra CFG build per scan; batch deployments that only
             need verdicts can disable it).
+        cascade: Enable the tier-0 cascade pre-filter on every scan entry
+            point: confident-benign contracts short-circuit before graph
+            lowering (verdicts carry ``stage: "prefilter"``), the uncertain
+            band escalates to the GNN.  Requires a cascade head on the
+            pipeline (train with ``cascade=True`` or load a bundle saved
+            with one); scanning without one raises.
+        cascade_margin: Override the head's configured safety margin
+            (larger = fewer short-circuits); ``None`` keeps the trained
+            default.
     """
 
     def __init__(self, config: Optional[ScamDetectConfig] = None,
-                 threshold: float = 0.5, explain: bool = True) -> None:
+                 threshold: float = 0.5, explain: bool = True,
+                 cascade: bool = False,
+                 cascade_margin: Optional[float] = None) -> None:
         if not 0.0 < threshold < 1.0:
             raise ValueError("threshold must be in (0, 1)")
+        if cascade_margin is not None and cascade_margin < 0.0:
+            raise ValueError("cascade_margin must be >= 0")
         self.config = config or ScamDetectConfig()
         self.threshold = threshold
         self.explain = explain
+        self.cascade = bool(cascade)
+        self.cascade_margin = cascade_margin
         self.pipeline = ScamDetectPipeline(self.config)
 
     # ------------------------------------------------------------------ #
@@ -88,21 +104,122 @@ class ScamDetector:
         return self.pipeline.is_fitted
 
     def train(self, corpus: Corpus,
-              validation_corpus: Optional[Corpus] = None) -> "ScamDetector":
+              validation_corpus: Optional[Corpus] = None,
+              cascade: Union[bool, "CascadeConfig", None] = None
+              ) -> "ScamDetector":
         """Train the underlying pipeline on a labelled corpus; returns self.
 
         Args:
             corpus: Labelled training corpus (may mix EVM and WASM samples).
             validation_corpus: Optional held-out corpus enabling
                 early-stopping on validation accuracy.
+            cascade: ``True`` (or a
+                :class:`~repro.cascade.head.CascadeConfig`) additionally
+                trains the tier-0 pre-filter head on the same corpus and
+                attaches it to the pipeline; ``None``/``False`` trains the
+                GNN only.  Training the head changes
+                :meth:`~repro.core.pipeline.ScamDetectPipeline.
+                model_fingerprint`.
         """
         self.pipeline.fit(corpus, validation_corpus=validation_corpus)
+        if cascade:
+            self.pipeline.fit_cascade(
+                corpus, cascade if cascade is not True else None)
         return self
 
     def evaluate(self, corpus: Corpus) -> Dict[str, float]:
         """Headline metrics (accuracy, precision, recall, F1, ROC-AUC) on a
         labelled corpus."""
         return self.pipeline.evaluate(corpus)
+
+    # ------------------------------------------------------------------ #
+    # tier-0 cascade pre-filter
+
+    def cascade_head(self) -> Optional["CascadeHead"]:
+        """The *active* tier-0 head, or None when the cascade is off.
+
+        Raises RuntimeError when the cascade was requested but the
+        pipeline carries no trained head (the bundle was saved without
+        one) -- silently scanning GNN-only would misreport the served
+        configuration.
+        """
+        if not self.cascade:
+            return None
+        head = self.pipeline.cascade
+        if head is None or not head.is_fitted:
+            raise RuntimeError(
+                "cascade scanning requested but the pipeline has no trained "
+                "cascade head; train with cascade=True (CLI: train "
+                "--cascade) or load a bundle saved with one")
+        return head
+
+    def effective_cascade_margin(self) -> float:
+        """The margin in force for this detector's scans."""
+        head = self.cascade_head()
+        if head is None:
+            raise RuntimeError("cascade is not enabled on this detector")
+        return head.effective_margin(self.cascade_margin)
+
+    def cascade_decide(self, raw_codes: Sequence[bytes],
+                       platforms: Sequence[str]
+                       ) -> Optional[List["CascadeDecision"]]:
+        """Tier-0 decisions for resolved-platform raw bytecode, or None
+        when the cascade is off.
+
+        The detector's own verdict ``threshold`` caps the short-circuit
+        band, so a short-circuited report is always labelled benign no
+        matter how aggressive the scan threshold is.
+        """
+        head = self.cascade_head()
+        if head is None:
+            return None
+        return head.decide(raw_codes, platforms,
+                           margin=self.cascade_margin,
+                           benign_ceiling=self.threshold)
+
+    def build_prefilter_report(self, raw: bytes, sample_id: str,
+                               platform: str,
+                               probability: float) -> VerdictReport:
+        """Compose the report for a tier-0 short-circuited contract.
+
+        Mirrors :meth:`build_report` minus everything that needs lowering:
+        no CFG statistics, no indicator notes (they require a CFG build,
+        which is exactly the cost the short-circuit avoids).  The cheap
+        raw-bytes minimal-proxy check still runs so that warning is never
+        lost.  ``stage: "prefilter"`` marks the verdict's provenance.
+        """
+        probability = round(float(probability), 9)
+        notes: List[str] = []
+        if platform == "evm" and is_minimal_proxy(raw):
+            notes.append("ERC-1167 minimal proxy: verdict reflects the proxy stub, "
+                         "scan the implementation contract for a definitive answer")
+        return VerdictReport(
+            sample_id=sample_id,
+            platform=platform,
+            label=1 if probability >= self.threshold else 0,
+            malicious_probability=probability,
+            cfg_blocks=0,
+            cfg_edges=0,
+            num_instructions=len(raw),
+            model=self.pipeline.describe(),
+            notes=notes,
+            stage="prefilter")
+
+    def model_identity(self) -> str:
+        """The identity registry rows and caches are keyed on.
+
+        The pipeline's :meth:`~repro.core.pipeline.ScamDetectPipeline.
+        model_fingerprint` already folds in the fingerprint of an attached
+        cascade head; on top of that, scanning with the cascade *enabled*
+        (and the margin in force) is recorded in the identity, so verdict
+        rows written by a cascade scan are never served to a GNN-only scan
+        of the same bundle, or to a scan at a different margin.
+        """
+        identity = self.pipeline.model_fingerprint()
+        if self.cascade:
+            margin = self.effective_cascade_margin()
+            identity = f"{identity}+cascade-m{margin:.9g}"
+        return identity
 
     # ------------------------------------------------------------------ #
 
@@ -158,8 +275,13 @@ class ScamDetector:
         if not self.is_trained:
             raise RuntimeError("ScamDetector.scan called before train()")
         raw = coerce_bytecode(code)
+        resolved_platform = platform or detect_platform(raw)
+        decisions = self.cascade_decide([raw], [resolved_platform])
+        if decisions is not None and decisions[0].short_circuit:
+            return self.build_prefilter_report(
+                raw, sample_id, resolved_platform, decisions[0].probability)
         _, probability, graph, resolved_platform = self.pipeline.predict_bytecode(
-            raw, platform)
+            raw, resolved_platform)
         return self.build_report(raw, sample_id, resolved_platform,
                                  probability, graph)
 
@@ -273,18 +395,26 @@ class ScamDetector:
         save_pipeline(self.pipeline, path)
 
     @classmethod
-    def load(cls, path, threshold: float = 0.5, explain: bool = True) -> "ScamDetector":
+    def load(cls, path, threshold: float = 0.5, explain: bool = True,
+             cascade: bool = False,
+             cascade_margin: Optional[float] = None) -> "ScamDetector":
         """Load a detector previously written by :meth:`save`.
 
         Args:
             path: Base path of the ``.json``/``.npz`` bundle.
             threshold: Malicious-probability decision threshold.
             explain: Attach indicator notes to reports (see ``__init__``).
+            cascade: Enable the tier-0 pre-filter; the bundle must have
+                been saved with a trained cascade head (the first scan
+                raises otherwise).
+            cascade_margin: Override the head's configured margin (see
+                ``__init__``).
         """
         from repro.core.persistence import load_pipeline
 
         pipeline = load_pipeline(path)
-        detector = cls(pipeline.config, threshold=threshold, explain=explain)
+        detector = cls(pipeline.config, threshold=threshold, explain=explain,
+                       cascade=cascade, cascade_margin=cascade_margin)
         detector.pipeline = pipeline
         return detector
 

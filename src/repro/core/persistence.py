@@ -36,6 +36,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: Bumped whenever the on-disk layout changes.
 FORMAT_VERSION = 1
 
+#: npz key prefix reserved for the optional cascade pre-filter head; the
+#: GNN's ``load_state_dict`` never sees keys under this prefix.
+CASCADE_KEY_PREFIX = "cascade/"
+
 PathLike = Union[str, pathlib.Path]
 
 
@@ -61,10 +65,19 @@ def save_pipeline(pipeline: ScamDetectPipeline, path: PathLike) -> pathlib.Path:
         "description": pipeline.describe(),
         "graph_fingerprint": pipeline.config.graph_fingerprint(),
     }
+    arrays = dict(pipeline.model.state_dict())
+    if any(key.startswith(CASCADE_KEY_PREFIX) for key in arrays):
+        raise PersistenceError(
+            f"model state dict uses the reserved {CASCADE_KEY_PREFIX!r} "
+            f"key prefix")
+    if pipeline.cascade is not None:
+        metadata["cascade"] = pipeline.cascade.metadata()
+        for key, array in pipeline.cascade.state_arrays().items():
+            arrays[CASCADE_KEY_PREFIX + key] = array
     json_path.parent.mkdir(parents=True, exist_ok=True)
     with json_path.open("w") as handle:
         json.dump(metadata, handle, indent=2, sort_keys=True)
-    np.savez(npz_path, **pipeline.model.state_dict())
+    np.savez(npz_path, **arrays)
     return json_path
 
 
@@ -119,7 +132,26 @@ def load_pipeline(path: PathLike,
         dropout_rate=config.dropout,
         seed=config.seed)
     with np.load(npz_path) as arrays:
-        model.load_state_dict({key: arrays[key] for key in arrays.files})
+        model.load_state_dict({key: arrays[key] for key in arrays.files
+                               if not key.startswith(CASCADE_KEY_PREFIX)})
+        cascade_arrays = {
+            key[len(CASCADE_KEY_PREFIX):]: arrays[key]
+            for key in arrays.files if key.startswith(CASCADE_KEY_PREFIX)}
+
+    cascade_metadata = metadata.get("cascade")
+    if cascade_metadata is not None:
+        from repro.cascade.head import CascadeError, CascadeHead
+
+        try:
+            pipeline.cascade = CascadeHead.from_state(
+                cascade_metadata, cascade_arrays)
+        except CascadeError as error:
+            raise PersistenceError(str(error)) from error
+    elif cascade_arrays:
+        raise PersistenceError(
+            "bundle npz holds cascade arrays but the JSON metadata has no "
+            "'cascade' block; the bundle is corrupt or was partially "
+            "written -- retrain and re-save the model")
 
     pipeline._model = model
     pipeline._trainer = GNNTrainer(model, learning_rate=config.learning_rate,

@@ -18,6 +18,7 @@ from repro.ir.normalization import CATEGORY_VOCABULARY
 from repro.ml.metrics import classification_summary
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.cascade.head import CascadeConfig, CascadeHead
     from repro.service.cache import GraphCache
 
 
@@ -50,6 +51,9 @@ class ScamDetectPipeline:
         self._check_cache_fingerprint()
         self._trainer: Optional[GNNTrainer] = None
         self._model: Optional[GraphClassifier] = None
+        #: Optional tier-0 pre-filter head (see :mod:`repro.cascade`);
+        #: attached by :meth:`fit_cascade` or restored from a bundle.
+        self.cascade: Optional["CascadeHead"] = None
 
     def set_graph_cache(self, cache: Optional["GraphCache"]) -> "ScamDetectPipeline":
         """Attach (or detach, with None) a lowering cache; returns self.
@@ -151,6 +155,22 @@ class ScamDetectPipeline:
                           if validation_graphs is not None else None)
         return self
 
+    def fit_cascade(self, corpus: Corpus,
+                    cascade_config: Optional["CascadeConfig"] = None
+                    ) -> "ScamDetectPipeline":
+        """Train and attach the tier-0 cascade pre-filter on ``corpus``.
+
+        The head is persisted inside the bundle by
+        :func:`~repro.core.persistence.save_pipeline` and its fingerprint
+        is folded into :meth:`model_fingerprint`, so attaching (or
+        retraining) a cascade changes the model identity the registry and
+        caches key on.
+        """
+        from repro.cascade.head import CascadeHead
+
+        self.cascade = CascadeHead(cascade_config).fit(corpus)
+        return self
+
     def predict_proba(self, corpus: Corpus) -> np.ndarray:
         """Malicious-class probability matrix over ``corpus``."""
         if self._trainer is None:
@@ -231,4 +251,10 @@ class ScamDetectPipeline:
             array = np.ascontiguousarray(parameter.data)
             digest.update(str(array.shape).encode("utf-8"))
             digest.update(array.tobytes())
+        if self.cascade is not None:
+            # an attached tier-0 head changes what the bundle can decide,
+            # so its own fingerprint is part of the model identity --
+            # registry rows and caches never mix cascade generations
+            digest.update(b"cascade:")
+            digest.update(self.cascade.fingerprint().encode("utf-8"))
         return digest.hexdigest()[:16]

@@ -23,6 +23,9 @@ class VerdictReport:
         num_instructions: Number of decoded instructions.
         model: Description of the model that produced the verdict.
         notes: Free-form analyst notes (e.g. indicators that fired).
+        stage: Pipeline stage that decided the verdict: ``"gnn"`` (full
+            lowering + GNN inference) or ``"prefilter"`` (the cascade's
+            tier-0 confident-benign short-circuit).
     """
 
     sample_id: str
@@ -34,6 +37,7 @@ class VerdictReport:
     num_instructions: int = 0
     model: str = ""
     notes: List[str] = field(default_factory=list)
+    stage: str = "gnn"
 
     @property
     def verdict(self) -> str:
@@ -62,6 +66,8 @@ class VerdictReport:
             f"{self.num_instructions} instructions",
             f"  model:       {self.model}",
         ]
+        if self.stage != "gnn":
+            lines.append(f"  stage:       {self.stage}")
         for note in self.notes:
             lines.append(f"  note:        {note}")
         return "\n".join(lines)

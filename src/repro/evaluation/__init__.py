@@ -1,4 +1,4 @@
-"""Evaluation harness: cross-validation, the E1-E11 experiments and reporting.
+"""Evaluation harness: cross-validation, the E1-E12 experiments and reporting.
 
 Each experiment function reproduces one claim of the paper (see DESIGN.md's
 experiment index) and returns an :class:`~repro.evaluation.reporting.ExperimentResult`
@@ -25,6 +25,7 @@ from repro.evaluation.experiments import (
     E9Config,
     E10Config,
     E11Config,
+    E12Config,
     run_e1_phishinghook_zoo,
     run_e2_obfuscation_degradation,
     run_e3_gnn_vs_baseline,
@@ -36,6 +37,7 @@ from repro.evaluation.experiments import (
     run_e9_gnn_throughput,
     run_e10_sharded_throughput,
     run_e11_watch_ingest,
+    run_e12_cascade_throughput,
 )
 
 __all__ = [
@@ -54,6 +56,7 @@ __all__ = [
     "E9Config",
     "E10Config",
     "E11Config",
+    "E12Config",
     "run_e1_phishinghook_zoo",
     "run_e2_obfuscation_degradation",
     "run_e3_gnn_vs_baseline",
@@ -65,4 +68,5 @@ __all__ = [
     "run_e9_gnn_throughput",
     "run_e10_sharded_throughput",
     "run_e11_watch_ingest",
+    "run_e12_cascade_throughput",
 ]

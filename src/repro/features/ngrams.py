@@ -3,13 +3,20 @@
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.datasets.corpus import Corpus
 from repro.features.base import FeatureExtractor
 from repro.features.sequences import opcode_sequence
+
+#: Sentinel token padding sequences shorter than the n-gram order.  A
+#: 1-opcode contract under bigrams becomes the single padded bigram
+#: ``(opcode, "<PAD>")`` instead of contributing no n-grams at all --
+#: previously such contracts were invisible to fit and transformed to
+#: all-zero rows, indistinguishable from empty bytecode.
+PAD_TOKEN = "<PAD>"
 
 
 class NgramExtractor(FeatureExtractor):
@@ -34,8 +41,12 @@ class NgramExtractor(FeatureExtractor):
         self.name = f"{n}gram"
 
     def _ngrams(self, sequence: List[str]) -> List[Tuple[str, ...]]:
-        if len(sequence) < self.n:
+        if not sequence:
             return []
+        if len(sequence) < self.n:
+            # one right-padded n-gram so short contracts still produce a
+            # feature instead of an all-zero row (see PAD_TOKEN)
+            return [tuple(sequence) + (PAD_TOKEN,) * (self.n - len(sequence))]
         return [tuple(sequence[i:i + self.n]) for i in range(len(sequence) - self.n + 1)]
 
     def fit(self, corpus: Corpus) -> "NgramExtractor":
@@ -52,13 +63,28 @@ class NgramExtractor(FeatureExtractor):
         features = np.zeros((len(corpus), len(self._ngram_index)), dtype=np.float64)
         for row, sample in enumerate(corpus):
             ngrams = self._ngrams(opcode_sequence(sample, self.vocabulary))
-            for ngram in ngrams:
+            # count with Counter (C speed), then write only unique n-grams
+            for ngram, count in Counter(ngrams).items():
                 column = self._ngram_index.get(ngram)
                 if column is not None:
-                    features[row, column] += 1.0
+                    features[row, column] = float(count)
             if self.normalize and ngrams:
                 features[row] /= float(len(ngrams))
         return features
+
+    def vocabulary_ngrams(self) -> List[Tuple[str, ...]]:
+        """The fitted n-gram vocabulary in column order (for persistence)."""
+        if not self._ngram_index:
+            raise RuntimeError("NgramExtractor.vocabulary_ngrams before fit")
+        return sorted(self._ngram_index, key=self._ngram_index.get)
+
+    def set_vocabulary_ngrams(
+            self, ngrams: Sequence[Tuple[str, ...]]) -> "NgramExtractor":
+        """Install a previously fitted vocabulary (column order preserved);
+        returns self.  Used when loading a persisted model head."""
+        self._ngram_index = {tuple(ngram): index
+                             for index, ngram in enumerate(ngrams)}
+        return self
 
     @property
     def dimension(self) -> Optional[int]:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Optional
 
 import numpy as np
@@ -41,10 +42,13 @@ class OpcodeHistogramExtractor(FeatureExtractor):
         features = np.zeros((len(corpus), width), dtype=np.float64)
         for row, sample in enumerate(corpus):
             sequence = opcode_sequence(sample, vocabulary=self.vocabulary)
-            for token in sequence:
+            # Counter counts at C speed and the write loop then touches only
+            # *unique* tokens, not every opcode -- this path is hot in the
+            # cascade pre-filter where it runs on every scanned contract
+            for token, count in Counter(sequence).items():
                 column = self._index.get(token)
                 if column is not None:
-                    features[row, column] += 1.0
+                    features[row, column] = float(count)
             if self.normalize and sequence:
                 features[row, :len(self._tokens)] /= float(len(sequence))
             if self.include_length:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +42,29 @@ class TfidfExtractor(FeatureExtractor):
         norms = np.linalg.norm(weighted, axis=1, keepdims=True)
         norms[norms == 0] = 1.0
         return weighted / norms
+
+    @property
+    def idf(self) -> np.ndarray:
+        """The fitted inverse-document-frequency vector (for persistence)."""
+        if self._idf is None:
+            raise RuntimeError("TfidfExtractor.idf accessed before fit")
+        return self._idf
+
+    def vocabulary_ngrams(self) -> List[Tuple[str, ...]]:
+        """The fitted n-gram vocabulary in column order (for persistence)."""
+        return self._counts.vocabulary_ngrams()
+
+    def restore(self, ngrams: Sequence[Tuple[str, ...]],
+                idf: np.ndarray) -> "TfidfExtractor":
+        """Install a previously fitted vocabulary + idf vector; returns
+        self.  Used when loading a persisted model head."""
+        self._counts.set_vocabulary_ngrams(ngrams)
+        if len(idf) != len(ngrams):
+            raise ValueError(
+                f"idf length {len(idf)} does not match vocabulary size "
+                f"{len(ngrams)}")
+        self._idf = np.asarray(idf, dtype=np.float64)
+        return self
 
     @property
     def dimension(self) -> Optional[int]:

@@ -49,7 +49,7 @@ from repro.core.report import VerdictReport
 PathLike = Union[str, pathlib.Path]
 
 #: Schema version written by this code; see :data:`_MIGRATIONS`.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Ordered migrations; ``_MIGRATIONS[v]`` upgrades a version ``v-1`` registry
 #: to version ``v``.  Migrations only ever append (new tables, new columns
@@ -106,13 +106,19 @@ _MIGRATIONS: Dict[int, str] = {
         CREATE INDEX scan_history_key ON scan_history(sha256, fingerprint);
         ALTER TABLE verdicts ADD COLUMN tags TEXT NOT NULL DEFAULT '[]';
     """,
+    # which pipeline stage produced the verdict: 'gnn' (full scoring) or
+    # 'prefilter' (cascade tier-0 short-circuit); pre-cascade rows were all
+    # GNN-scored, so the backfill default is exact, not a guess
+    3: """
+        ALTER TABLE verdicts ADD COLUMN stage TEXT NOT NULL DEFAULT 'gnn';
+    """,
 }
 
 _VERDICT_COLUMNS = (
     "sha256, fingerprint, sample_id, source_path, platform, label, "
     "malicious_probability, cfg_blocks, cfg_edges, num_instructions, "
     "model, model_identity, notes, explained, first_seen_at, "
-    "last_scanned_at, scan_count, tags"
+    "last_scanned_at, scan_count, tags, stage"
 )
 
 
@@ -159,6 +165,7 @@ class VerdictRow:
     last_scanned_at: float
     scan_count: int
     tags: List[str] = field(default_factory=list)
+    stage: str = "gnn"
 
     @classmethod
     def _from_sql(cls, row: sqlite3.Row) -> "VerdictRow":
@@ -181,6 +188,7 @@ class VerdictRow:
             last_scanned_at=float(row["last_scanned_at"]),
             scan_count=int(row["scan_count"]),
             tags=json.loads(row["tags"]),
+            stage=row["stage"],
         )
 
     def to_report(self, sample_id: Optional[str] = None) -> VerdictReport:
@@ -200,6 +208,7 @@ class VerdictRow:
             num_instructions=self.num_instructions,
             model=self.model,
             notes=list(self.notes),
+            stage=self.stage,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -438,9 +447,9 @@ class ScanRegistry:
                     " label, malicious_probability, cfg_blocks, cfg_edges,"
                     " num_instructions, model, model_identity, notes,"
                     " explained, first_seen_at, last_scanned_at, scan_count,"
-                    " tags) "
+                    " tags, stage) "
                     "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,"
-                    " ?, 1, '[]') "
+                    " ?, 1, '[]', ?) "
                     "ON CONFLICT(sha256, fingerprint) DO UPDATE SET "
                     "sample_id = excluded.sample_id, "
                     "source_path = excluded.source_path, "
@@ -455,7 +464,8 @@ class ScanRegistry:
                     "notes = excluded.notes, "
                     "explained = excluded.explained, "
                     "last_scanned_at = excluded.last_scanned_at, "
-                    "scan_count = verdicts.scan_count + 1",
+                    "scan_count = verdicts.scan_count + 1, "
+                    "stage = excluded.stage",
                     (
                         sha256,
                         fingerprint,
@@ -473,6 +483,7 @@ class ScanRegistry:
                         int(explained),
                         now,
                         now,
+                        report.stage,
                     ),
                 )
                 self._conn.execute(

@@ -74,6 +74,8 @@ class PollStats:
     exit_nonzero: bool = False
     elapsed_seconds: float = 0.0
     reports: List[VerdictReport] = field(default_factory=list)
+    #: tier-0 cascade counters of this cycle's scan (None: cascade off)
+    cascade: Optional[dict] = None
 
     def format(self) -> str:
         parts = [
@@ -94,6 +96,11 @@ class PollStats:
             summary += (
                 f", {self.rules_matched} rule matches"
                 f" ({self.alerts} alerts)"
+            )
+        if self.cascade is not None:
+            summary += (
+                f", cascade {self.cascade['short_circuits']} short-circuited"
+                f"/{self.cascade['escalations']} escalated"
             )
         return f"{', '.join(parts)} -- {summary}"
 
@@ -255,6 +262,7 @@ class WatchDaemon:
             stats.scanned = result.num_scanned - result.registry_hits
             stats.malicious = result.num_malicious
             stats.inference_calls = sum(result.batch_sizes.values())
+            stats.cascade = result.cascade_stats
             self._triage(stats, raw_codes)
         # the file index is updated only after scanning succeeded, so a
         # crashed cycle re-discovers the same files next time

@@ -190,6 +190,15 @@ class BatchScanResult(ScanSummary):
             :class:`~repro.registry.store.ScanRegistry` -- distinct from
             graph-cache hits: a cache hit skips *lowering* but still runs
             inference, a registry hit skips the model entirely.
+        cascade_stats: Tier-0 cascade counters (None when the cascade is
+            off): ``short_circuits`` (confident-benign contracts that
+            skipped lowering + inference), ``escalations`` (contracts that
+            paid the full pipeline price), and ``disagreements``
+            (escalated contracts the GNN flagged malicious although the
+            pre-filter had scored them below the at-target-recall
+            threshold -- only the safety margin escalated them; any rise
+            means the pre-filter is drifting towards missing malicious
+            contracts).
     """
 
     elapsed_seconds: float = 0.0
@@ -199,6 +208,7 @@ class BatchScanResult(ScanSummary):
     skipped: List[str] = field(default_factory=list)
     shard_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
     registry_hits: int = 0
+    cascade_stats: Optional[Dict[str, int]] = None
 
     @property
     def contracts_per_second(self) -> float:
@@ -217,6 +227,8 @@ class BatchScanResult(ScanSummary):
             "hits": self.registry_hits,
             "misses": self.num_scanned - self.registry_hits,
         }
+        if self.cascade_stats is not None:
+            stats["cascade"] = dict(self.cascade_stats)
         if self.shard_stats:
             stats["shards"] = dict(self.shard_stats)
         return stats
@@ -232,6 +244,13 @@ class BatchScanResult(ScanSummary):
             lines.append(f"  registry: {self.registry_hits} hits / "
                          f"{self.num_scanned} contracts served without "
                          f"inference")
+        if self.cascade_stats is not None:
+            lines.append(f"  cascade: "
+                         f"{self.cascade_stats['short_circuits']} "
+                         f"short-circuits, "
+                         f"{self.cascade_stats['escalations']} escalations, "
+                         f"{self.cascade_stats['disagreements']} "
+                         f"disagreements")
         if self.cache_stats.lookups:
             lines.append(f"  {self.cache_stats.format()}")
         for name in sorted(self.shard_stats):
@@ -292,6 +311,9 @@ class BatchScanner:
                  registry=None) -> None:
         if not detector.is_trained:
             raise RuntimeError("BatchScanner requires a trained detector")
+        # fail fast when the cascade is enabled but the pipeline carries no
+        # trained head (raises RuntimeError), instead of on the first scan
+        detector.cascade_head()
         if inference_batch_size < 1:
             raise ValueError("inference_batch_size must be >= 1")
         if shards < 1:
@@ -423,8 +445,10 @@ class BatchScanner:
         shas = [content_sha256(raw) for raw in raw_codes]
         # weight-level identity, not the architecture label: a retrained
         # model with identical hyper-parameters must never be served the
-        # old model's verdicts
-        identity = self.detector.pipeline.model_fingerprint()
+        # old model's verdicts -- and the identity also carries the active
+        # cascade configuration, so tier-0 short-circuit verdicts are never
+        # served to a GNN-only scan of the same bundle (or vice versa)
+        identity = self.detector.model_identity()
         rows = self.registry.get_many(shas)
         hit_rows = {}
         miss: List[int] = []
@@ -453,7 +477,7 @@ class BatchScanner:
         result = BatchScanResult(
             num_workers=fresh.num_workers, batch_sizes=fresh.batch_sizes,
             cache_stats=fresh.cache_stats, shard_stats=fresh.shard_stats,
-            registry_hits=len(hit_rows))
+            registry_hits=len(hit_rows), cascade_stats=fresh.cascade_stats)
         fresh_reports = iter(fresh.reports)
         threshold = self.detector.threshold
         for index in range(len(raw_codes)):
@@ -481,22 +505,49 @@ class BatchScanner:
         stats_before = self._stats_snapshot()
         started = time.perf_counter()
 
+        def resolve(index: int) -> str:
+            if platforms is not None:
+                return platforms[index]
+            return platform or detect_platform(raw_codes[index])
+
+        # tier 0: the cascade pre-filter (when enabled on the detector)
+        # scores every contract from raw bytes and lets confident-benign
+        # ones skip lowering + inference entirely
+        decisions = None
+        resolved_platforms: List[str] = []
+        if raw_codes and self.detector.cascade:
+            resolved_platforms = [resolve(index)
+                                  for index in range(len(raw_codes))]
+            decisions = self.detector.cascade_decide(raw_codes,
+                                                     resolved_platforms)
+        if decisions is None:
+            escalated = list(range(len(raw_codes)))
+            cascade_stats = None
+        else:
+            escalated = [index for index, decision in enumerate(decisions)
+                         if not decision.short_circuit]
+            cascade_stats = {
+                "short_circuits": len(raw_codes) - len(escalated),
+                "escalations": len(escalated),
+                "disagreements": 0,
+            }
+
         def lower(index: int) -> Tuple[ContractGraph, str]:
-            resolved = (platforms[index] if platforms is not None
-                        else platform or detect_platform(raw_codes[index]))
+            resolved = (resolved_platforms[index] if decisions is not None
+                        else resolve(index))
             graph, resolved = pipeline.analyse_bytecode(
                 raw_codes[index], platform=resolved, sample_id=ids[index])
             return graph, resolved
 
-        if not raw_codes:
-            lowered, num_workers = [], 0
+        if not escalated:
+            lowered, num_workers = [], 0 if not raw_codes else 1
         elif self.max_workers is not None and self.max_workers <= 1:
-            lowered = [lower(index) for index in range(len(raw_codes))]
+            lowered = [lower(index) for index in escalated]
             num_workers = 1
         else:
             with concurrent.futures.ThreadPoolExecutor(
                     max_workers=self.max_workers) as executor:
-                lowered = list(executor.map(lower, range(len(raw_codes))))
+                lowered = list(executor.map(lower, escalated))
                 num_workers = getattr(executor, "_max_workers",
                                       self.max_workers or 1)
 
@@ -509,11 +560,25 @@ class BatchScanner:
             probabilities.extend(float(row[1]) for row in chunk)
 
         result = BatchScanResult(num_workers=num_workers,
-                                 batch_sizes=batch_sizes)
-        for index, ((graph, resolved), probability) in enumerate(
-                zip(lowered, probabilities)):
-            result.reports.append(self.detector.build_report(
-                raw_codes[index], ids[index], resolved, probability, graph))
+                                 batch_sizes=batch_sizes,
+                                 cascade_stats=cascade_stats)
+        scored: Dict[int, object] = {}
+        for position, index in enumerate(escalated):
+            graph, resolved = lowered[position]
+            report = self.detector.build_report(
+                raw_codes[index], ids[index], resolved,
+                probabilities[position], graph)
+            if (decisions is not None and report.label == 1
+                    and decisions[index].near_miss):
+                cascade_stats["disagreements"] += 1
+            scored[index] = report
+        for index in range(len(raw_codes)):
+            if index in scored:
+                result.reports.append(scored[index])
+            else:
+                result.reports.append(self.detector.build_prefilter_report(
+                    raw_codes[index], ids[index], resolved_platforms[index],
+                    decisions[index].probability))
         result.elapsed_seconds = time.perf_counter() - started
         result.cache_stats = self._stats_delta(stats_before)
         return result

@@ -46,6 +46,7 @@ from http.server import BaseHTTPRequestHandler, HTTPServer
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.detector import ScamDetector, coerce_bytecode
+from repro.core.frontends import detect_platform
 from repro.gnn.data import ContractGraph
 from repro.service.batch import throughput_stats
 from repro.service.cache import CacheStats, GraphCache
@@ -95,6 +96,9 @@ class ServerMetrics:
         self.batch_sizes: Dict[int, int] = {}
         self.registry_hits = 0
         self.registry_misses = 0
+        self.cascade_short_circuits = 0
+        self.cascade_escalations = 0
+        self.cascade_disagreements = 0
         self._latencies: Dict[str, deque] = {}
 
     def record_request(self, endpoint: str) -> None:
@@ -129,13 +133,28 @@ class ServerMetrics:
             else:
                 self.registry_misses += 1
 
+    def record_cascade(self, short_circuits: int, escalations: int,
+                       disagreements: int) -> None:
+        """Record tier-0 pre-filter outcomes for one scored request.
+
+        ``disagreements`` counts escalated contracts the GNN flagged as
+        malicious whose pre-filter score sat below the raw at-target-recall
+        threshold -- only the safety margin escalated them.  A rising count
+        means the pre-filter is drifting toward benign-labelling malicious
+        contracts; in healthy operation it stays at zero.
+        """
+        with self._lock:
+            self.cascade_short_circuits += short_circuits
+            self.cascade_escalations += escalations
+            self.cascade_disagreements += disagreements
+
     @property
     def uptime_seconds(self) -> float:
         return time.monotonic() - self._started_monotonic
 
     def snapshot(self, cache_stats: CacheStats,
-                 shard_stats: Optional[Dict[str, Dict[str, object]]] = None
-                 ) -> Dict[str, object]:
+                 shard_stats: Optional[Dict[str, Dict[str, object]]] = None,
+                 cascade_enabled: bool = False) -> Dict[str, object]:
         """The ``GET /metrics`` payload.
 
         The ``scans`` section uses the exact schema of
@@ -153,6 +172,9 @@ class ServerMetrics:
             batch_sizes = dict(self.batch_sizes)
             registry_hits = self.registry_hits
             registry_misses = self.registry_misses
+            cascade = {"short_circuits": self.cascade_short_circuits,
+                       "escalations": self.cascade_escalations,
+                       "disagreements": self.cascade_disagreements}
             latencies = {endpoint: list(window)
                          for endpoint, window in self._latencies.items()}
         latency_ms = {}
@@ -169,6 +191,9 @@ class ServerMetrics:
         # and online paths keep one dashboard schema
         scans["registry"] = {"hits": registry_hits,
                              "misses": registry_misses}
+        if cascade_enabled:
+            # same key as BatchScanResult.stats_dict's cascade section
+            scans["cascade"] = cascade
         payload = {
             "uptime_seconds": self.uptime_seconds,
             "requests": {"total": sum(requests.values()), **requests},
@@ -468,7 +493,8 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
         elif parsed.path == "/metrics":
             server.metrics.record_request("metrics")
             self._send_json(200, server.metrics.snapshot(
-                server.cache_stats, server.shard_stats()))
+                server.cache_stats, server.shard_stats(),
+                cascade_enabled=server.detector.cascade))
         elif parsed.path == "/verdicts" or \
                 parsed.path.startswith("/verdicts/"):
             server.metrics.record_request("verdicts")
@@ -659,6 +685,9 @@ class ScanServer:
                  shards: int = 1, registry=None) -> None:
         if not detector.is_trained:
             raise RuntimeError("ScanServer requires a trained detector")
+        # a cascade-enabled detector without a trained head must fail at
+        # construction, not on the first served request
+        detector.cascade_head()
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if shards < 1:
@@ -730,6 +759,9 @@ class ScanServer:
             "max_wait_ms": self.coalescer.max_wait_ms,
             "queue_depth": self.coalescer.queue_depth,
         }
+        if self.detector.cascade:
+            payload["cascade"] = {
+                "margin": self.detector.effective_cascade_margin()}
         if self.registry is not None:
             payload["registry"] = self.registry.counts()
         return payload
@@ -745,50 +777,96 @@ class ScanServer:
 
     def scan_one(self, raw: bytes, platform: Optional[str],
                  sample_id: str):
-        """Report one contract: registry lookup, else coalesce-score."""
+        """Report one contract: registry lookup, tier-0 pre-filter (when
+        the cascade is enabled), else coalesce-score."""
         cached = self._registry_lookup(raw, sample_id)
         if cached is not None:
             self.metrics.record_verdicts(1, int(cached.is_malicious))
             return cached
+        resolved = platform or detect_platform(raw)
+        decisions = self.detector.cascade_decide([raw], [resolved])
+        if decisions is not None and decisions[0].short_circuit:
+            report = self.detector.build_prefilter_report(
+                raw, sample_id, resolved, decisions[0].probability)
+            self._registry_record([(raw, report)])
+            self.metrics.record_verdicts(1, int(report.is_malicious))
+            self.metrics.record_cascade(1, 0, 0)
+            return report
         graph, resolved = self.detector.pipeline.analyse_bytecode(
-            raw, platform=platform, sample_id=sample_id)
+            raw, platform=resolved, sample_id=sample_id)
         probability = self.coalescer.submit([graph])[0]
         report = self.detector.build_report(raw, sample_id, resolved,
                                             probability, graph)
         self._registry_record([(raw, report)])
         self.metrics.record_verdicts(1, int(report.is_malicious))
+        if decisions is not None:
+            self.metrics.record_cascade(
+                0, 1, int(report.label == 1 and decisions[0].near_miss))
         return report
 
     def scan_group(self, contracts: Sequence[Tuple[bytes, Optional[str],
                                                    str]]):
         """Score one ``/scan-batch`` request as a single group.
 
-        Contracts the registry already knows are answered directly; only
-        the rest are lowered and submitted to the coalescer.
+        Contracts the registry already knows are answered directly; with
+        the cascade enabled, confident-benign remainders short-circuit as
+        ``stage: "prefilter"`` verdicts, and only the escalated rest is
+        lowered and submitted to the coalescer.
         """
         cached_reports = self._registry_lookup_many(
             [raw for raw, _, _ in contracts],
             [sample_id for _, _, sample_id in contracts])
         reports: List = list(cached_reports)
-        lowered = []
-        for index, (raw, platform, sample_id) in enumerate(contracts):
-            if reports[index] is not None:
-                continue
-            graph, resolved = self.detector.pipeline.analyse_bytecode(
-                raw, platform=platform, sample_id=sample_id)
-            lowered.append((index, raw, sample_id, resolved, graph))
-        probabilities = self.coalescer.submit(
-            [graph for _, _, _, _, graph in lowered])
+        misses = [index for index, report in enumerate(reports)
+                  if report is None]
+        resolved_platforms = {
+            index: (contracts[index][1]
+                    or detect_platform(contracts[index][0]))
+            for index in misses}
+        decisions = self.detector.cascade_decide(
+            [contracts[index][0] for index in misses],
+            [resolved_platforms[index] for index in misses])
         recorded = []
-        for (index, raw, sample_id, resolved, graph), probability \
+        escalated = []
+        short_circuits = 0
+        for position, index in enumerate(misses):
+            raw, _, sample_id = contracts[index]
+            if decisions is not None and decisions[position].short_circuit:
+                report = self.detector.build_prefilter_report(
+                    raw, sample_id, resolved_platforms[index],
+                    decisions[position].probability)
+                reports[index] = report
+                recorded.append((raw, report))
+                short_circuits += 1
+            else:
+                escalated.append(position)
+        lowered = []
+        for position in escalated:
+            index = misses[position]
+            raw, _, sample_id = contracts[index]
+            graph, resolved = self.detector.pipeline.analyse_bytecode(
+                raw, platform=resolved_platforms[index],
+                sample_id=sample_id)
+            lowered.append((index, raw, sample_id, resolved, graph,
+                            position))
+        probabilities = self.coalescer.submit(
+            [graph for _, _, _, _, graph, _ in lowered])
+        disagreements = 0
+        for (index, raw, sample_id, resolved, graph, position), probability \
                 in zip(lowered, probabilities):
             report = self.detector.build_report(raw, sample_id, resolved,
                                                 probability, graph)
+            if (decisions is not None and report.label == 1
+                    and decisions[position].near_miss):
+                disagreements += 1
             reports[index] = report
             recorded.append((raw, report))
         self._registry_record(recorded)
         self.metrics.record_verdicts(
             len(reports), sum(1 for report in reports if report.is_malicious))
+        if decisions is not None:
+            self.metrics.record_cascade(short_circuits, len(escalated),
+                                        disagreements)
         return reports
 
     # -------------------------------------------------------------- #
@@ -808,9 +886,10 @@ class ScanServer:
         from repro.registry.store import content_sha256
 
         shas = [content_sha256(raw) for raw in raws]
-        # weight-level identity: a retrained model with the same
-        # architecture must never be served the old model's verdicts
-        identity = self.detector.pipeline.model_fingerprint()
+        # weight-level identity (plus the cascade mode/margin suffix): a
+        # retrained model -- or the same bundle scanned with the cascade
+        # toggled or re-margined -- must never be served old verdicts
+        identity = self.detector.model_identity()
         rows = self.registry.get_many(shas)
         reports: List = []
         for sha, sample_id in zip(shas, sample_ids):
@@ -836,7 +915,7 @@ class ScanServer:
             [(content_sha256(raw), report, report.sample_id)
              for raw, report in entries],
             explained=self.detector.explain,
-            model_identity=self.detector.pipeline.model_fingerprint())
+            model_identity=self.detector.model_identity())
 
     def verdicts_index(self, params: Dict[str, List[str]]
                        ) -> Dict[str, object]:

@@ -56,6 +56,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.detector import BytecodeLike, ScamDetector, coerce_bytecode
+from repro.core.frontends import detect_platform
 from repro.gnn.data import ContractGraph
 from repro.service.batch import (
     BatchScanResult,
@@ -104,14 +105,38 @@ def _payload_graph(payload: Tuple) -> ContractGraph:
 
 def _scan_chunk(detector: ScamDetector, cache: GraphCache,
                 items: Sequence[Tuple], inference_batch_size: int):
-    """Lower + score one chunk of ``(index, raw, platform, sample_id)``."""
+    """Lower + score one chunk of ``(index, raw, platform, sample_id)``.
+
+    When the replica's cascade is enabled, the worker runs the tier-0
+    pre-filter locally: confident-benign contracts of the chunk skip
+    lowering + inference and come back as ``stage: "prefilter"`` reports;
+    the decision logic is the very same
+    :meth:`~repro.core.detector.ScamDetector.cascade_decide` every other
+    path uses, so sharded cascade verdicts match single-process ones.
+    """
     started = time.perf_counter()
     before = cache.stats.copy()
+    resolved_platforms = [platform or detect_platform(raw)
+                          for _, raw, platform, _ in items]
+    decisions = detector.cascade_decide(
+        [raw for _, raw, _, _ in items], resolved_platforms)
+    if decisions is None:
+        escalated = list(range(len(items)))
+        cascade_stats = None
+    else:
+        escalated = [position for position, decision in enumerate(decisions)
+                     if not decision.short_circuit]
+        cascade_stats = {
+            "short_circuits": len(items) - len(escalated),
+            "escalations": len(escalated),
+            "disagreements": 0,
+        }
     lowered = []
-    for index, raw, platform, sample_id in items:
+    for position in escalated:
+        index, raw, _, sample_id = items[position]
         graph, resolved = detector.pipeline.analyse_bytecode(
-            raw, platform=platform, sample_id=sample_id)
-        lowered.append((index, raw, resolved, sample_id, graph))
+            raw, platform=resolved_platforms[position], sample_id=sample_id)
+        lowered.append((position, index, raw, resolved, sample_id, graph))
     graphs = [graph for *_, graph in lowered]
     probabilities: List[float] = []
     batch_sizes: Dict[int, int] = {}
@@ -119,17 +144,30 @@ def _scan_chunk(detector: ScamDetector, cache: GraphCache,
             graphs, batch_size=inference_batch_size):
         batch_sizes[len(chunk)] = batch_sizes.get(len(chunk), 0) + 1
         probabilities.extend(float(row[1]) for row in chunk)
+    scored: Dict[int, object] = {}
+    for (position, index, raw, resolved, sample_id, graph), probability \
+            in zip(lowered, probabilities):
+        report = detector.build_report(raw, sample_id, resolved,
+                                       probability, graph)
+        if (decisions is not None and report.label == 1
+                and decisions[position].near_miss):
+            cascade_stats["disagreements"] += 1
+        scored[position] = report
     reports = []
-    for (index, raw, resolved, sample_id, graph), probability in zip(
-            lowered, probabilities):
-        reports.append((index, detector.build_report(
-            raw, sample_id, resolved, probability, graph)))
+    for position, (index, raw, _, sample_id) in enumerate(items):
+        if position in scored:
+            reports.append((index, scored[position]))
+        else:
+            reports.append((index, detector.build_prefilter_report(
+                raw, sample_id, resolved_platforms[position],
+                decisions[position].probability)))
     stats = {
         "contracts": len(reports),
         "malicious": sum(1 for _, report in reports if report.is_malicious),
         "elapsed_seconds": time.perf_counter() - started,
         "cache": cache.stats.delta(before),
         "batch_sizes": batch_sizes,
+        "cascade": cascade_stats,
     }
     return reports, stats
 
@@ -141,9 +179,15 @@ def _shard_worker(shard_id: int, options: Dict, task_queue, result_queue) -> Non
     tuples; ``kind`` is ``ready``/``scan``/``infer``/``error``/``fatal``.
     """
     try:
-        detector = ScamDetector.load(options["bundle_path"],
-                                     threshold=options["threshold"],
-                                     explain=options["explain"])
+        detector = ScamDetector.load(
+            options["bundle_path"],
+            threshold=options["threshold"],
+            explain=options["explain"],
+            cascade=options.get("cascade", False),
+            cascade_margin=options.get("cascade_margin"))
+        # A cascade-enabled replica without a trained head is fatal at pool
+        # start, not a per-chunk error storm.
+        detector.cascade_head()
         cache = GraphCache.for_config(detector.config,
                                       capacity=options["cache_capacity"],
                                       disk_dir=options["cache_dir"])
@@ -303,6 +347,12 @@ class ShardedScanner:
         crash_file: Fault-injection hook for tests -- when this file exists,
             the first worker to dequeue a scan chunk unlinks it and dies
             hard (``os._exit``), exercising the requeue path.
+        cascade: Enable the tier-0 pre-filter in bundle-loaded replicas
+            (the bundle must carry a trained cascade head).  Ignored when a
+            live ``detector`` is given: its ``cascade``/``cascade_margin``
+            settings are replicated instead, like ``threshold``/``explain``.
+        cascade_margin: Safety margin override for bundle-loaded replicas;
+            ``None`` keeps each head's trained margin.
 
     Use as a context manager (or call :meth:`close`) to release the pool;
     the pool starts lazily on first use and survives across scans, so the
@@ -317,7 +367,9 @@ class ShardedScanner:
                  inference_batch_size: int = 256, chunk_size: int = 16,
                  start_method: Optional[str] = None,
                  max_restarts: int = 3,
-                 crash_file: Optional[PathLike] = None) -> None:
+                 crash_file: Optional[PathLike] = None,
+                 cascade: bool = False,
+                 cascade_margin: Optional[float] = None) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if chunk_size < 1:
@@ -329,12 +381,17 @@ class ShardedScanner:
             if not detector.is_trained:
                 raise RuntimeError("ShardedScanner requires a trained "
                                    "detector")
+            # Fail fast in the parent: a cascade-enabled detector without a
+            # trained head would otherwise only surface from worker load.
+            detector.cascade_head()
             self._tempdir = tempfile.TemporaryDirectory(
                 prefix="scamdetect-shards-")
             bundle_path = pathlib.Path(self._tempdir.name) / "replica"
             detector.save(bundle_path)
             threshold = detector.threshold
             explain = detector.explain
+            cascade = detector.cascade
+            cascade_margin = detector.cascade_margin
         self.shards = shards
         self.chunk_size = chunk_size
         self.inference_batch_size = inference_batch_size
@@ -343,6 +400,8 @@ class ShardedScanner:
             "bundle_path": str(bundle_path),
             "threshold": threshold,
             "explain": explain,
+            "cascade": bool(cascade),
+            "cascade_margin": cascade_margin,
             "cache_dir": str(cache_dir) if cache_dir is not None else None,
             "cache_capacity": cache_capacity,
             "inference_batch_size": inference_batch_size,
@@ -526,12 +585,20 @@ class ShardedScanner:
         reports: List = [None] * len(raw_codes)
         merged_cache = CacheStats()
         batch_sizes: Dict[int, int] = {}
+        cascade_stats: Optional[Dict[str, int]] = None
         for (shard_id, chunk_reports, stats) in outputs:
             for index, report in chunk_reports:
                 reports[index] = report
             merged_cache = merged_cache.merge(stats["cache"])
             for size, count in stats["batch_sizes"].items():
                 batch_sizes[size] = batch_sizes.get(size, 0) + count
+            chunk_cascade = stats.get("cascade")
+            if chunk_cascade is not None:
+                if cascade_stats is None:
+                    cascade_stats = {"short_circuits": 0, "escalations": 0,
+                                     "disagreements": 0}
+                for key, value in chunk_cascade.items():
+                    cascade_stats[key] = cascade_stats.get(key, 0) + value
             self._windows[shard_id].absorb_scan(stats)
         missing = [ids[i] for i, report in enumerate(reports)
                    if report is None]
@@ -540,7 +607,8 @@ class ShardedScanner:
                              f"contracts: {missing[:5]}")
 
         result = BatchScanResult(num_workers=self.shards,
-                                 batch_sizes=batch_sizes)
+                                 batch_sizes=batch_sizes,
+                                 cascade_stats=cascade_stats)
         result.reports = reports
         result.cache_stats = merged_cache
         result.elapsed_seconds = time.perf_counter() - started

@@ -1,0 +1,454 @@
+"""Unit tests of the tier-0 cascade pre-filter head.
+
+Covers the head in isolation (calibration, threshold selection, decision
+semantics, deterministic training) and its integration with the identity
+machinery the rest of the repo keys on: an attached or retrained head must
+change ``model_fingerprint()`` and therefore force registry misses, and a
+persisted head must round-trip bit-for-bit through the bundle.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cascade.calibration import (
+    apply_isotonic,
+    apply_platt,
+    fit_isotonic,
+    fit_platt,
+)
+from repro.cascade.head import (
+    CascadeConfig,
+    CascadeDecision,
+    CascadeError,
+    CascadeHead,
+    threshold_at_recall,
+)
+from repro.core.config import ScamDetectConfig
+from repro.core.detector import ScamDetector
+from repro.core.persistence import PersistenceError
+from repro.datasets.corpus import ContractSample, Corpus
+from repro.datasets.generator import CorpusGenerator, GeneratorConfig
+from repro.features.ngrams import NgramExtractor
+
+FAST = ScamDetectConfig(epochs=3, num_layers=1, hidden_features=8)
+
+
+@pytest.fixture(scope="module")
+def mixed_corpus(tiny_evm_corpus):
+    """EVM + WASM training samples, both platforms with positives."""
+    wasm = CorpusGenerator(GeneratorConfig(
+        platform="wasm", num_samples=16, label_noise=0.0,
+        seed=29)).generate("tiny-wasm")
+    return Corpus(list(tiny_evm_corpus) + list(wasm), name="mixed")
+
+
+@pytest.fixture(scope="module")
+def fitted_head(mixed_corpus):
+    return CascadeHead().fit(mixed_corpus)
+
+
+# --------------------------------------------------------------------------- #
+# calibration
+
+
+def _synthetic_scores(num: int = 80):
+    rng = np.random.default_rng(7)
+    labels = np.asarray([0, 1] * (num // 2))
+    # positives score higher on average but the classes overlap, so the
+    # calibrators actually have something to smooth
+    scores = rng.normal(loc=labels * 1.5, scale=0.8)
+    return scores, labels
+
+
+def test_platt_calibration_is_strictly_monotone():
+    scores, labels = _synthetic_scores()
+    a, b = fit_platt(scores, labels)
+    assert a > 0  # higher raw score => higher calibrated probability
+    grid = np.linspace(scores.min() - 1, scores.max() + 1, 200)
+    calibrated = apply_platt(grid, a, b)
+    assert np.all(np.diff(calibrated) > 0)
+    assert np.all((calibrated > 0.0) & (calibrated < 1.0))
+
+
+def test_platt_smoothed_targets_never_saturate():
+    # perfectly separable scores: Platt's smoothed targets keep the fitted
+    # probabilities strictly inside (0, 1)
+    scores = np.asarray([-2.0, -1.0, 1.0, 2.0])
+    labels = np.asarray([0, 0, 1, 1])
+    a, b = fit_platt(scores, labels)
+    calibrated = apply_platt(scores, a, b)
+    assert np.all(calibrated > 0.0) and np.all(calibrated < 1.0)
+
+
+def test_isotonic_calibration_is_nondecreasing():
+    scores, labels = _synthetic_scores()
+    knots_x, knots_y = fit_isotonic(scores, labels)
+    assert np.all(np.diff(knots_x) > 0)  # strictly increasing knot axis
+    assert np.all(np.diff(knots_y) >= 0)  # monotone fit by construction
+    grid = np.linspace(scores.min() - 1, scores.max() + 1, 200)
+    calibrated = apply_isotonic(grid, knots_x, knots_y)
+    assert np.all(np.diff(calibrated) >= 0)
+    assert np.all((calibrated >= 0.0) & (calibrated <= 1.0))
+
+
+def test_calibration_input_validation():
+    with pytest.raises(ValueError, match="both classes"):
+        fit_platt(np.asarray([0.1, 0.2]), np.asarray([1, 1]))
+    with pytest.raises(ValueError, match="same length"):
+        fit_platt(np.asarray([0.1]), np.asarray([1, 0]))
+    with pytest.raises(ValueError, match="same length"):
+        fit_isotonic(np.asarray([0.1]), np.asarray([1, 0]))
+    with pytest.raises(ValueError, match="at least one"):
+        fit_isotonic(np.asarray([]), np.asarray([]))
+
+
+# --------------------------------------------------------------------------- #
+# threshold selection
+
+
+def test_threshold_at_recall_full_recall_is_min_positive():
+    scores = np.asarray([0.9, 0.2, 0.7, 0.4])
+    assert threshold_at_recall(scores, 1.0) == pytest.approx(0.2)
+
+
+def test_threshold_at_recall_allows_floor_of_misses():
+    scores = np.linspace(0.1, 0.8, 8)  # 0.1, 0.2, ..., 0.8
+    # 87.5% of 8 positives must stay at/above the line: one miss allowed
+    assert threshold_at_recall(scores, 0.875) == pytest.approx(0.2)
+    # 75% of 8 -> 2 misses allowed
+    assert threshold_at_recall(scores, 0.75) == pytest.approx(0.3)
+    # recall so low every miss would be allowed: still returns a real score
+    assert threshold_at_recall(scores, 0.05) == pytest.approx(0.8)
+
+
+def test_threshold_at_recall_validation():
+    with pytest.raises(ValueError, match="target_recall"):
+        threshold_at_recall(np.asarray([0.5]), 0.0)
+    with pytest.raises(ValueError, match="target_recall"):
+        threshold_at_recall(np.asarray([0.5]), 1.5)
+    with pytest.raises(ValueError, match="at least one positive"):
+        threshold_at_recall(np.asarray([]), 1.0)
+
+
+def test_fitted_thresholds_keep_every_training_positive(fitted_head,
+                                                        mixed_corpus):
+    """target_recall=1.0: no training positive may fall below its
+    platform's threshold (the zero-miss guarantee the margin sits on)."""
+    thresholds = fitted_head.thresholds
+    assert set(thresholds) == {"evm", "wasm"}  # per-platform, not global
+    scores = fitted_head.score_corpus(mixed_corpus)
+    for platform in thresholds:
+        positive = np.asarray([
+            score for score, sample in zip(scores, mixed_corpus)
+            if sample.platform == platform and sample.label == 1])
+        assert positive.min() >= thresholds[platform]
+        # and the threshold IS the minimum positive score, not lower
+        assert thresholds[platform] == pytest.approx(positive.min())
+
+
+def test_platform_without_positives_never_short_circuits(tiny_evm_corpus):
+    """A platform absent from training gets no threshold; its contracts
+    always escalate to the GNN no matter how benign they score."""
+    head = CascadeHead().fit(tiny_evm_corpus)  # EVM-only corpus
+    assert "wasm" not in head.thresholds
+    wasm_module = b"\x00asm\x01\x00\x00\x00"
+    decisions = head.decide([wasm_module], ["wasm"], margin=0.0)
+    assert decisions[0].platform_threshold is None
+    assert not decisions[0].short_circuit
+
+    # same outcome when the platform is *present* in training but has no
+    # malicious samples: it is skipped during threshold fitting entirely
+    benign_wasm = [
+        ContractSample(sample_id=f"benign-wasm-{i}", platform="wasm",
+                       bytecode=wasm_module, label=0, family="benign")
+        for i in range(4)
+    ]
+    mixed = Corpus(list(tiny_evm_corpus) + benign_wasm, name="no-wasm-pos")
+    head = CascadeHead().fit(mixed)
+    assert "wasm" not in head.thresholds and "evm" in head.thresholds
+    decisions = head.decide([wasm_module], ["wasm"], margin=0.0)
+    assert not decisions[0].short_circuit
+
+
+# --------------------------------------------------------------------------- #
+# decision semantics
+
+
+def test_margin_only_shrinks_the_short_circuit_set(fitted_head,
+                                                   mixed_corpus):
+    codes = [sample.bytecode for sample in mixed_corpus]
+    platforms = [sample.platform for sample in mixed_corpus]
+    tight = fitted_head.decide(codes, platforms, margin=0.0)
+    loose = fitted_head.decide(codes, platforms, margin=0.05)
+    assert any(decision.short_circuit for decision in tight)
+    for narrow, wide in zip(loose, tight):
+        if narrow.short_circuit:  # larger margin is strictly more cautious
+            assert wide.short_circuit
+    # a margin past every threshold drives the cutoff to max(0, ...) = 0
+    huge = fitted_head.decide(codes, platforms, margin=1.0)
+    assert not any(decision.short_circuit for decision in huge)
+
+
+def test_benign_ceiling_caps_the_short_circuit_band(fitted_head,
+                                                    mixed_corpus):
+    """No score can sit below a zero ceiling, so nothing short-circuits:
+    a short-circuited report can never be labelled malicious."""
+    codes = [sample.bytecode for sample in mixed_corpus]
+    platforms = [sample.platform for sample in mixed_corpus]
+    decisions = fitted_head.decide(codes, platforms, margin=0.0,
+                                   benign_ceiling=0.0)
+    assert not any(decision.short_circuit for decision in decisions)
+
+
+def test_near_miss_is_the_margin_band():
+    below_threshold = CascadeDecision(
+        probability=0.3, short_circuit=False, platform_threshold=0.4)
+    assert below_threshold.near_miss  # only the margin kept it escalated
+    above_threshold = CascadeDecision(
+        probability=0.5, short_circuit=False, platform_threshold=0.4)
+    assert not above_threshold.near_miss
+    short_circuited = CascadeDecision(
+        probability=0.1, short_circuit=True, platform_threshold=0.4)
+    assert not short_circuited.near_miss
+    no_threshold = CascadeDecision(
+        probability=0.0, short_circuit=False, platform_threshold=None)
+    assert not no_threshold.near_miss
+
+
+def test_effective_margin_override_and_validation(fitted_head):
+    assert fitted_head.effective_margin() == \
+        fitted_head.config.margin
+    assert fitted_head.effective_margin(0.25) == 0.25
+    with pytest.raises(ValueError, match=">= 0"):
+        fitted_head.effective_margin(-0.1)
+
+
+def test_scores_are_batch_invariant(fitted_head, mixed_corpus):
+    """Scoring a batch and scoring one-by-one must agree exactly -- the
+    quantized scores are what thresholds and parity suites compare."""
+    codes = [sample.bytecode for sample in mixed_corpus[:10]]
+    platforms = [sample.platform for sample in mixed_corpus[:10]]
+    batched = fitted_head.score_bytes(codes, platforms)
+    singles = [float(fitted_head.score_bytes([code], [platform])[0])
+               for code, platform in zip(codes, platforms)]
+    assert batched.tolist() == singles
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="calibration"):
+        CascadeConfig(calibration="beta").validate()
+    with pytest.raises(ValueError, match="target_recall"):
+        CascadeConfig(target_recall=0.0).validate()
+    with pytest.raises(ValueError, match="margin"):
+        CascadeConfig(margin=-1.0).validate()
+    with pytest.raises(ValueError, match="ngram_order"):
+        CascadeConfig(ngram_order=0).validate()
+    with pytest.raises(ValueError, match="top_k"):
+        CascadeConfig(top_k=0).validate()
+
+
+def test_unfitted_head_refuses_to_score_or_serialize():
+    head = CascadeHead()
+    assert not head.is_fitted
+    with pytest.raises(CascadeError, match="before fit"):
+        head.score_bytes([b"\x60\x00"], ["evm"])
+    with pytest.raises(CascadeError, match="unfitted"):
+        head.fingerprint()
+    with pytest.raises(CascadeError, match="unfitted"):
+        head.metadata()
+    single_class = Corpus([ContractSample(
+        sample_id="only-benign", platform="evm", bytecode=b"\x60\x00\x00",
+        label=0, family="benign")], name="single-class")
+    with pytest.raises(CascadeError, match="both benign and malicious"):
+        CascadeHead().fit(single_class)
+    with pytest.raises(CascadeError, match="unfitted"):
+        head.state_arrays()
+    with pytest.raises(CascadeError, match="before fit"):
+        head._calibrate(np.asarray([0.5]))
+    assert "unfitted" in head.describe()
+
+
+def test_describe_and_repr_summarize_the_fitted_head(fitted_head):
+    description = fitted_head.describe()
+    assert "fitted" in description and "2gram" in description
+    assert repr(fitted_head) == f"CascadeHead({description})"
+
+
+# --------------------------------------------------------------------------- #
+# deterministic training + fingerprint identity
+
+
+def test_training_is_deterministic(mixed_corpus, fitted_head):
+    """Same config + same corpus => bit-identical head (the property the
+    whole fingerprint scheme rests on)."""
+    retrained = CascadeHead().fit(mixed_corpus)
+    assert retrained.fingerprint() == fitted_head.fingerprint()
+    assert retrained.thresholds == fitted_head.thresholds
+    assert retrained.score_corpus(mixed_corpus).tolist() == \
+        fitted_head.score_corpus(mixed_corpus).tolist()
+
+
+def test_isotonic_head_trains_and_differs(mixed_corpus, fitted_head):
+    isotonic = CascadeHead(CascadeConfig(calibration="isotonic"))
+    isotonic.fit(mixed_corpus)
+    assert isotonic.fingerprint() != fitted_head.fingerprint()
+    decisions = isotonic.decide(
+        [sample.bytecode for sample in mixed_corpus],
+        [sample.platform for sample in mixed_corpus])
+    assert len(decisions) == len(mixed_corpus)
+
+
+def test_config_seed_salts_the_fingerprint(mixed_corpus, fitted_head):
+    salted = CascadeHead(CascadeConfig(seed=1)).fit(mixed_corpus)
+    assert salted.fingerprint() != fitted_head.fingerprint()
+    # the salt is identity-only: the learned decisions are unchanged
+    assert salted.thresholds == fitted_head.thresholds
+
+
+def test_attaching_a_head_changes_the_model_fingerprint(tiny_evm_corpus):
+    detector = ScamDetector(FAST, explain=False).train(tiny_evm_corpus)
+    without_head = detector.pipeline.model_fingerprint()
+    detector.pipeline.fit_cascade(tiny_evm_corpus)
+    with_head = detector.pipeline.model_fingerprint()
+    assert with_head != without_head
+    # retraining under a different cascade config moves it again
+    detector.pipeline.fit_cascade(tiny_evm_corpus, CascadeConfig(seed=1))
+    assert detector.pipeline.model_fingerprint() not in (without_head,
+                                                         with_head)
+
+
+def test_model_identity_records_cascade_mode_and_margin(tiny_evm_corpus):
+    detector = ScamDetector(FAST, explain=False)
+    detector.train(tiny_evm_corpus, cascade=True)
+    fingerprint = detector.pipeline.model_fingerprint()
+    detector.cascade = False
+    assert detector.model_identity() == fingerprint
+    detector.cascade = True
+    enabled = detector.model_identity()
+    assert enabled.startswith(fingerprint) and "+cascade-m" in enabled
+    detector.cascade_margin = 0.05
+    assert detector.model_identity() != enabled  # margin is part of the key
+
+
+def test_fingerprint_change_forces_registry_misses(tiny_evm_corpus,
+                                                   tmp_path):
+    """The acceptance invariant: rows recorded under one cascade generation
+    (or mode) are never served to another -- a retrained head or a toggled
+    cascade re-scans instead of replaying stale verdicts."""
+    from repro.registry import ScanRegistry
+
+    detector = ScamDetector(FAST, explain=False, cascade=True)
+    detector.train(tiny_evm_corpus, cascade=True)
+    codes = [sample.bytecode for sample in tiny_evm_corpus[:8]]
+    with ScanRegistry.for_config(tmp_path / "verdicts.db",
+                                 detector.config) as registry:
+        cold = detector.scan_many(codes, registry=registry)
+        assert cold.registry_hits == 0
+        warm = detector.scan_many(codes, registry=registry)
+        assert warm.registry_hits == len(codes)  # same identity: all hits
+
+        # GNN-only scans must not consume cascade-mode rows...
+        detector.cascade = False
+        gnn_only = detector.scan_many(codes, registry=registry)
+        assert gnn_only.registry_hits == 0
+
+        # ...and a retrained head invalidates the cascade-mode rows too
+        detector.cascade = True
+        detector.pipeline.fit_cascade(tiny_evm_corpus, CascadeConfig(seed=1))
+        retrained = detector.scan_many(codes, registry=registry)
+        assert retrained.registry_hits == 0
+        rescan = detector.scan_many(codes, registry=registry)
+        assert rescan.registry_hits == len(codes)
+
+
+# --------------------------------------------------------------------------- #
+# persistence
+
+
+def test_bundle_roundtrip_preserves_head_and_decisions(tiny_evm_corpus,
+                                                       tmp_path):
+    detector = ScamDetector(FAST, explain=False, cascade=True)
+    detector.train(tiny_evm_corpus, cascade=True)
+    detector.save(tmp_path / "model")
+    loaded = ScamDetector.load(tmp_path / "model", explain=False,
+                               cascade=True)
+    assert loaded.pipeline.cascade is not None
+    assert loaded.pipeline.cascade.fingerprint() == \
+        detector.pipeline.cascade.fingerprint()
+    assert loaded.pipeline.model_fingerprint() == \
+        detector.pipeline.model_fingerprint()
+    codes = [sample.bytecode for sample in tiny_evm_corpus]
+    platforms = [sample.platform for sample in tiny_evm_corpus]
+    assert loaded.cascade_decide(codes, platforms) == \
+        detector.cascade_decide(codes, platforms)
+
+
+def test_bundle_without_head_loads_but_refuses_cascade_scans(
+        tiny_evm_corpus, tmp_path):
+    detector = ScamDetector(FAST, explain=False).train(tiny_evm_corpus)
+    detector.save(tmp_path / "plain")
+    loaded = ScamDetector.load(tmp_path / "plain", explain=False,
+                               cascade=True)
+    with pytest.raises(RuntimeError, match="no trained cascade head"):
+        loaded.scan(tiny_evm_corpus[0].bytecode)
+    # the same bundle is fine GNN-only
+    loaded.cascade = False
+    loaded.scan(tiny_evm_corpus[0].bytecode)
+
+
+def test_bundle_with_orphan_cascade_arrays_is_rejected(tiny_evm_corpus,
+                                                       tmp_path):
+    """Cascade arrays in the npz without the JSON 'cascade' block mean a
+    corrupt or partially-written bundle: loading must fail loudly."""
+    detector = ScamDetector(FAST, explain=False)
+    detector.train(tiny_evm_corpus, cascade=True)
+    detector.save(tmp_path / "model")
+    json_path = tmp_path / "model.json"
+    metadata = json.loads(json_path.read_text())
+    del metadata["cascade"]
+    json_path.write_text(json.dumps(metadata))
+    with pytest.raises(PersistenceError, match="no 'cascade' block"):
+        ScamDetector.load(tmp_path / "model")
+
+
+def test_from_state_rejects_corrupt_metadata(fitted_head):
+    metadata = fitted_head.metadata()
+    arrays = fitted_head.state_arrays()
+    del metadata["classes"]
+    with pytest.raises(CascadeError, match="corrupt cascade state"):
+        CascadeHead.from_state(metadata, arrays)
+    with pytest.raises(CascadeError, match="corrupt cascade state"):
+        CascadeHead.from_state(fitted_head.metadata(),
+                               {"idf": arrays["idf"]})
+
+
+# --------------------------------------------------------------------------- #
+# n-gram short-sequence regression (the pre-filter's feature floor)
+
+
+def test_ngram_short_sequences_produce_padded_features():
+    """Regression: a contract shorter than the n-gram order used to
+    transform to an all-zero row, indistinguishable from empty bytecode.
+    Under PAD_TOKEN it contributes one right-padded n-gram instead."""
+    single_opcode = ContractSample(
+        sample_id="one-op", platform="evm", bytecode=b"\x00",  # STOP
+        label=0, family="benign")
+    longer = ContractSample(
+        sample_id="longer", platform="evm",
+        bytecode=b"\x60\x01\x60\x02\x01\x00", label=1, family="scam")
+    corpus = Corpus([single_opcode, longer], name="short-seq")
+    extractor = NgramExtractor(n=2, top_k=16)
+    features = extractor.fit_transform(corpus)
+    assert features.shape == (2, extractor.dimension)
+    # the 1-opcode contract is visible: its padded bigram made the
+    # vocabulary during fit and its row is non-zero
+    assert features[0].sum() > 0
+    # and a fit that never saw the short contract still transforms it
+    # without crashing (the padded bigram just misses the vocabulary)
+    refit = NgramExtractor(n=3, top_k=16).fit(Corpus([longer], name="l"))
+    out = refit.transform(Corpus([single_opcode], name="s"))
+    assert out.shape == (1, refit.dimension)

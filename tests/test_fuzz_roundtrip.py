@@ -25,9 +25,14 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import pytest
 
+import numpy as np
+
+from repro.datasets.corpus import ContractSample, Corpus
 from repro.evm.assembler import AssemblyError, assemble
 from repro.evm.disassembler import disassemble
 from repro.evm.opcodes import OPCODES_BY_NAME
+from repro.features.ngrams import NgramExtractor
+from repro.features.opcode_histogram import OpcodeHistogramExtractor
 from repro.wasm.encoder import encode_module
 from repro.wasm.leb128 import (
     LEB128Error,
@@ -335,3 +340,104 @@ def test_fuzz_evm_disassembler_total():
         if covered != len(raw):
             fail_with_repro("evmraw", index, raw.hex(),
                             f"{covered} of {len(raw)} bytes covered")
+
+
+# --------------------------------------------------------------------------- #
+# feature extractors (the cascade pre-filter's input layer)
+
+#: Degenerate contracts every fuzz corpus must contain: empty bytecode, a
+#: single opcode (shorter than any n-gram order), an undefined opcode and
+#: a truncated PUSH immediate.
+_EDGE_BYTECODES = (b"", b"\x00", b"\xfe", b"\x7f\x01")
+
+
+def _fuzz_contract(rng: random.Random, index: int,
+                   case: int) -> ContractSample:
+    """A random contract: arbitrary EVM bytes (always decodable, possibly
+    full of UNKNOWN mnemonics) or a structurally valid WASM module."""
+    if rng.random() < 0.3:
+        platform, raw = "wasm", encode_module(_wasm_module(rng))
+    else:
+        platform, raw = "evm", rng.randbytes(rng.randint(0, 48))
+    return ContractSample(sample_id=f"fuzz-{case}-{index}",
+                          platform=platform, bytecode=raw,
+                          label=rng.randint(0, 1), family="fuzz")
+
+
+def _fuzz_corpus(rng: random.Random, case: int) -> Corpus:
+    samples = [ContractSample(sample_id=f"edge-{case}-{i}", platform="evm",
+                              bytecode=raw, label=0, family="edge")
+               for i, raw in enumerate(_EDGE_BYTECODES)]
+    samples += [_fuzz_contract(rng, i, case) for i in range(rng.randint(1, 4))]
+    rng.shuffle(samples)
+    return Corpus(samples, name=f"fuzz-{case}")
+
+
+def _features_invalid(features: np.ndarray, corpus: Corpus,
+                      dimension: int) -> Optional[str]:
+    """None when the matrix is structurally sound, else why not."""
+    if features.shape != (len(corpus), dimension):
+        return (f"shape {features.shape} != ({len(corpus)}, {dimension})")
+    if not np.isfinite(features).all():
+        return "non-finite feature values"
+    if (features < 0).any():
+        return "negative feature values"
+    return None
+
+
+def test_fuzz_ngram_extractor_total():
+    """fit + transform must survive any decodable contract -- empty,
+    single-opcode (shorter than the n-gram order, exercising PAD_TOKEN),
+    unknown-mnemonic -- and always emit exactly ``dimension`` columns."""
+    for index in range(NUM_CASES):
+        rng = case_rng("ngram", index)
+        extractor = NgramExtractor(
+            n=rng.randint(1, 4), top_k=rng.randint(1, 32),
+            vocabulary=rng.choice(("mnemonic", "category")),
+            normalize=rng.random() < 0.5)
+        corpus = _fuzz_corpus(rng, index)
+        try:
+            features = extractor.fit_transform(corpus)
+            # transform of a corpus the fit never saw (vocabulary misses)
+            other = extractor.transform(_fuzz_corpus(rng, index + NUM_CASES))
+        except Exception as error:  # noqa: BLE001 - the property is totality
+            fail_with_repro(
+                "ngram", index,
+                [sample.bytecode.hex() for sample in corpus],
+                f"{type(error).__name__}: {error}")
+        detail = _features_invalid(features, corpus, extractor.dimension)
+        if detail is None and other.shape[1] != extractor.dimension:
+            detail = f"transform width {other.shape[1]} drifted from fit"
+        if detail is not None:
+            fail_with_repro(
+                "ngram", index,
+                [sample.bytecode.hex() for sample in corpus], detail)
+
+
+def test_fuzz_histogram_extractor_total():
+    """The histogram's vocabulary is fixed up front, so its width must be
+    the declared dimension for *any* input -- including tokens outside the
+    vocabulary, which are dropped, never crashed on."""
+    for index in range(NUM_CASES):
+        rng = case_rng("histogram", index)
+        extractor = OpcodeHistogramExtractor(
+            vocabulary=rng.choice(("mnemonic", "category")),
+            platform=rng.choice(("evm", "wasm", "both")),
+            normalize=rng.random() < 0.5,
+            include_length=rng.random() < 0.5)
+        corpus = _fuzz_corpus(rng, index)
+        try:
+            features = extractor.fit(corpus).transform(corpus)
+        except Exception as error:  # noqa: BLE001 - the property is totality
+            fail_with_repro(
+                "histogram", index,
+                [sample.bytecode.hex() for sample in corpus],
+                f"{type(error).__name__}: {error}")
+        detail = _features_invalid(features, corpus, extractor.dimension)
+        if detail is None and not np.array_equal(
+                features, extractor.transform(corpus)):
+            detail = "transform is not deterministic"
+        if detail is not None:
+            fail_with_repro(
+                "histogram", index,
+                [sample.bytecode.hex() for sample in corpus], detail)

@@ -132,8 +132,10 @@ def test_cli_parser_subcommands():
     assert args.id == "E10"
     args = parser.parse_args(["experiment", "--id", "E11"])
     assert args.id == "E11"
+    args = parser.parse_args(["experiment", "--id", "E12"])
+    assert args.id == "E12"
     with pytest.raises(SystemExit):
-        parser.parse_args(["experiment", "--id", "E12"])
+        parser.parse_args(["experiment", "--id", "E13"])
     args = parser.parse_args(["scan-batch", "--model-path", "m",
                               "--input-dir", "d", "--shards", "4"])
     assert args.shards == 4
