@@ -41,8 +41,14 @@ BASELINE_DIR = BENCH_DIR / "baselines"
 
 
 def is_throughput_key(key: str) -> bool:
-    """Higher-is-better rate metrics gated by the relative tolerance."""
-    return key.endswith("_per_second") or "speedup" in key
+    """Higher-is-better metrics gated by the relative tolerance.
+
+    ``*availability*`` (E13's answered-requests fraction under injected
+    faults) rides the same floor gate: a fault class that starts dropping
+    work shows up as an availability drop, not as noise.
+    """
+    return (key.endswith("_per_second") or "speedup" in key
+            or "availability" in key)
 
 
 def is_fidelity_key(key: str) -> bool:

@@ -147,6 +147,7 @@ def _load_detector(command: str, args: argparse.Namespace,
 def _command_scan_batch(args: argparse.Namespace) -> int:
     from repro.service import BatchScanner, GraphCache, ShardError
 
+    _arm_fault_plan("scan-batch", args.fault_plan)
     detector = _load_detector("scan-batch", args, explain=args.explain)
     cache = None
     if args.cache_dir is not None or args.cache_capacity is not None:
@@ -181,6 +182,25 @@ def _command_scan_batch(args: argparse.Namespace) -> int:
     return 2 if result.num_malicious else 0
 
 
+def _arm_fault_plan(command: str, path: Optional[str]) -> None:
+    """Activate ``--fault-plan`` (a JSON fault schedule) process-wide.
+
+    Sharded workers spawned afterwards re-arm the same plan, so one flag
+    chaos-tests a whole stack.  No-op when the flag was not given.
+    """
+    if path is None:
+        return
+    from repro.resilience import FaultPlan, activate
+
+    try:
+        plan = FaultPlan.load(path)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"{command}: cannot load fault plan: {error}")
+    activate(plan)
+    print(f"{command}: fault injection armed from {path} "
+          f"({len(plan.specs)} spec(s), seed {plan.seed})", file=sys.stderr)
+
+
 def _open_registry(command: str, path: Optional[str], detector):
     """Open ``--registry`` scoped to the loaded detector's fingerprint
     (None when the flag was not given); exits non-zero on registry errors."""
@@ -201,13 +221,15 @@ def _command_watch(args: argparse.Namespace) -> int:
         WatchDaemon, load_rules
     from repro.service import GraphCache, ShardError
 
+    _arm_fault_plan("watch", args.fault_plan)
     detector = _load_detector("watch", args, explain=args.explain)
     registry = _open_registry("watch", args.registry, detector)
     rules_engine = None
     if args.rules is not None:
         try:
-            rules_engine = RulesEngine(load_rules(args.rules),
-                                       alert_path=args.alert_file)
+            rules_engine = RulesEngine(
+                load_rules(args.rules), alert_path=args.alert_file,
+                dead_letter_path=args.dead_letter_file)
         except RuleParseError as error:
             raise SystemExit(f"watch: {error}")
     cache = None
@@ -352,6 +374,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.service import GraphCache, ShardError
     from repro.service.server import ScanServer
 
+    _arm_fault_plan("serve", args.fault_plan)
     detector = _load_detector("serve", args, explain=not args.no_explain)
     registry = _open_registry("serve", args.registry, detector)
     try:
@@ -409,6 +432,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         run_e10_sharded_throughput,
         run_e11_watch_ingest,
         run_e12_cascade_throughput,
+        run_e13_chaos_resilience,
     )
 
     runners = {
@@ -424,6 +448,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         "E10": run_e10_sharded_throughput,
         "E11": run_e11_watch_ingest,
         "E12": run_e12_cascade_throughput,
+        "E13": run_e13_chaos_resilience,
     }
     result = runners[args.id.upper()]()
     print(result.format())
@@ -501,6 +526,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument("--explain", action="store_true",
                               help="attach indicator notes to every report "
                                    "(slower; off by default in batch mode)")
+    batch_parser.add_argument("--fault-plan", default=None,
+                              help="JSON fault-injection plan to arm for "
+                                   "this run (chaos testing; see "
+                                   "repro.resilience)")
     batch_parser.add_argument("--show-reports", action="store_true",
                               help="print every per-contract report after the "
                                    "summary")
@@ -538,6 +567,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--no-explain", action="store_true",
                               help="skip indicator notes in verdicts "
                                    "(faster; default keeps scan parity)")
+    serve_parser.add_argument("--fault-plan", default=None,
+                              help="JSON fault-injection plan to arm in the "
+                                   "server (and its shard workers)")
     serve_parser.add_argument("--registry", default=None,
                               help="persistent verdict registry (SQLite); "
                                    "enables GET /verdicts and records "
@@ -559,6 +591,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="TOML triage rules evaluated on every "
                                    "new verdict (see 'scamdetect rules "
                                    "check')")
+    watch_parser.add_argument("--dead-letter-file", default=None,
+                              help="JSONL sink for webhook deliveries that "
+                                   "exhausted their retries")
+    watch_parser.add_argument("--fault-plan", default=None,
+                              help="JSON fault-injection plan to arm in the "
+                                   "daemon (chaos testing)")
     watch_parser.add_argument("--alert-file", default=None,
                               help="JSONL sink for rule 'alert' actions")
     watch_parser.add_argument("--interval", type=float, default=2.0,
@@ -635,9 +673,9 @@ def build_parser() -> argparse.ArgumentParser:
     rules_check_parser.set_defaults(handler=_command_rules_check)
 
     experiment_parser = subparsers.add_parser("experiment",
-                                              help="run one E1-E12 experiment")
+                                              help="run one E1-E13 experiment")
     experiment_parser.add_argument("--id", required=True,
-                                   choices=[f"E{i}" for i in range(1, 13)])
+                                   choices=[f"E{i}" for i in range(1, 14)])
     experiment_parser.set_defaults(handler=_command_experiment)
     return parser
 

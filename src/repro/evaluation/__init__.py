@@ -1,4 +1,4 @@
-"""Evaluation harness: cross-validation, the E1-E12 experiments and reporting.
+"""Evaluation harness: cross-validation, the E1-E13 experiments and reporting.
 
 Each experiment function reproduces one claim of the paper (see DESIGN.md's
 experiment index) and returns an :class:`~repro.evaluation.reporting.ExperimentResult`
@@ -26,6 +26,7 @@ from repro.evaluation.experiments import (
     E10Config,
     E11Config,
     E12Config,
+    E13Config,
     run_e1_phishinghook_zoo,
     run_e2_obfuscation_degradation,
     run_e3_gnn_vs_baseline,
@@ -38,6 +39,7 @@ from repro.evaluation.experiments import (
     run_e10_sharded_throughput,
     run_e11_watch_ingest,
     run_e12_cascade_throughput,
+    run_e13_chaos_resilience,
 )
 
 __all__ = [
@@ -57,6 +59,7 @@ __all__ = [
     "E10Config",
     "E11Config",
     "E12Config",
+    "E13Config",
     "run_e1_phishinghook_zoo",
     "run_e2_obfuscation_degradation",
     "run_e3_gnn_vs_baseline",
@@ -69,4 +72,5 @@ __all__ = [
     "run_e10_sharded_throughput",
     "run_e11_watch_ingest",
     "run_e12_cascade_throughput",
+    "run_e13_chaos_resilience",
 ]

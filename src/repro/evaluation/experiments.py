@@ -1175,3 +1175,325 @@ def run_e12_cascade_throughput(config: Optional[E12Config] = None) -> Experiment
         "every escalated contract is GNN-scored exactly once (and "
         "short-circuited ones never)")
     return result
+
+
+# --------------------------------------------------------------------------- #
+# E13: chaos campaign -- correctness and availability under injected faults
+
+
+@dataclass
+class E13Config:
+    """Workload of the E13 chaos-resilience experiment.
+
+    One 240-contract corpus is scanned under six fault classes, each armed
+    through the deterministic :mod:`repro.resilience` injector: worker
+    crashes mid-batch, repeated crashes that quarantine a shard, corrupted
+    disk-cache entries, SQLITE_BUSY registry writes, a dead webhook
+    endpoint, and a slow/transiently-failing scan server.  Every scenario's
+    verdicts are compared field-by-field against a fault-free
+    single-process oracle.
+    """
+
+    # same 240-contract scale as E10/E11, so the service benches compare
+    num_samples: int = 240
+    epochs: int = 6
+    num_layers: int = 1
+    hidden_features: int = 16
+    shards: int = 2
+    chunk_size: int = 8
+    # single-contract server requests under the slow-server fault class
+    server_requests: int = 48
+    seed: int = 0
+    #: seed of every FaultPlan (CI sweeps it weekly); the zero-wrong-verdict
+    #: and availability claims must hold for EVERY value
+    chaos_seed: int = 0
+
+
+def run_e13_chaos_resilience(
+        config: Optional[E13Config] = None) -> ExperimentResult:
+    """E13: zero wrong/lost verdicts + bounded availability under chaos.
+
+    The acceptance claims, per fault class: (1) **zero** verdict
+    mismatches against the fault-free oracle -- retries, requeues and
+    cache-recovery may cost time but never correctness; (2) **zero** lost
+    or silently-dropped verdicts/alerts (a webhook that stays dead is
+    dead-lettered, never discarded); (3) availability stays 1.0 -- every
+    scan request is eventually answered, including during shard quarantine
+    (degraded mode) and injected 503 bursts (client retry honoring
+    ``Retry-After``).  All claims must hold for every ``chaos_seed``.
+    """
+    import json
+    import pathlib
+    import tempfile
+    import time
+    import warnings as _warnings
+
+    from repro.core.detector import ScamDetector
+    from repro.registry import ScanRegistry
+    from repro.registry.rules import RulesEngine, TriageRule
+    from repro.registry.store import content_sha256
+    from repro.resilience import (
+        FaultPlan,
+        FaultSpec,
+        active_injector,
+        fault_plan,
+    )
+    from repro.service import (
+        BatchScanner,
+        GraphCache,
+        ScanServer,
+        ServerClient,
+        ServerClientError,
+        ShardedScanner,
+    )
+
+    config = config or E13Config()
+    corpus = CorpusGenerator(GeneratorConfig(
+        platform="evm", num_samples=config.num_samples,
+        label_noise=0.0, seed=config.seed)).generate("e13-corpus")
+    detector = ScamDetector(
+        ScamDetectConfig(epochs=config.epochs, num_layers=config.num_layers,
+                         hidden_features=config.hidden_features,
+                         seed=config.seed),
+        explain=False)
+    detector.train(corpus)
+    codes = [sample.bytecode for sample in corpus]
+    ids = [sample.sample_id for sample in corpus]
+
+    # fault-free oracle: the verdicts every chaos scenario must reproduce
+    oracle = BatchScanner(detector, max_workers=1).scan_codes(
+        codes, sample_ids=ids)
+    oracle_dicts = [report.to_dict() for report in oracle.reports]
+
+    def mismatches(reports) -> int:
+        """Field-by-field disagreements (a missing report is a mismatch)."""
+        wrong = sum(
+            1 for want, got in zip(oracle_dicts, reports)
+            if want != (got.to_dict() if hasattr(got, "to_dict") else got))
+        return wrong + abs(len(oracle_dicts) - len(reports))
+
+    rows = []
+    telemetry: Dict[str, float] = {
+        "faults_injected": 0.0, "worker_restarts": 0.0,
+        "quarantined_shards": 0.0, "registry_write_retries": 0.0,
+        "webhook_dead_lettered": 0.0, "client_retries": 0.0,
+        "degraded_mode_mismatches": 0.0, "lost_verdict_mismatches": 0.0,
+        "lost_alert_mismatches": 0.0,
+    }
+
+    def record(mode: str, contracts: int, seconds: float,
+               availability: float, wrong: int) -> None:
+        rows.append({
+            "mode": mode, "contracts": contracts, "seconds": seconds,
+            "contracts_per_second": (contracts / seconds if seconds
+                                     else 0.0),
+            "availability": availability,
+            "verdict_mismatches": float(wrong),
+        })
+
+    def finish(mode: str, started: float, availability: float,
+               wrong: int, contracts: Optional[int] = None) -> None:
+        telemetry["faults_injected"] += float(
+            active_injector().fired_total())
+        record(mode, len(codes) if contracts is None else contracts,
+               time.perf_counter() - started, availability, wrong)
+
+    # -- worker-crash: two mid-batch deaths; respawn + requeue, no loss --
+    with fault_plan(FaultPlan(specs=(
+            FaultSpec(site="shard.worker.*", kind="crash",
+                      after=2, max_fires=2),),
+            seed=config.chaos_seed)), \
+            _warnings.catch_warnings():
+        _warnings.simplefilter("ignore")
+        started = time.perf_counter()
+        with ShardedScanner(detector, shards=config.shards,
+                            chunk_size=config.chunk_size) as scanner:
+            scanner.start()
+            result = scanner.scan_codes(codes, sample_ids=ids)
+            telemetry["worker_restarts"] += float(scanner.restarts)
+        finish("worker-crash", started,
+               len(result.reports) / len(codes), mismatches(result.reports))
+
+    # -- shard-quarantine: shard 0 dies past max_restarts; its hash space
+    # rebalances onto healthy shards and the batch completes degraded --
+    with fault_plan(FaultPlan(specs=(
+            FaultSpec(site="shard.worker.0", kind="crash", max_fires=2),),
+            seed=config.chaos_seed)), \
+            _warnings.catch_warnings():
+        _warnings.simplefilter("ignore")
+        started = time.perf_counter()
+        with ShardedScanner(detector, shards=config.shards,
+                            chunk_size=config.chunk_size,
+                            max_restarts=1,
+                            restart_backoff_s=0.02) as scanner:
+            scanner.start()
+            result = scanner.scan_codes(codes, sample_ids=ids)
+            telemetry["worker_restarts"] += float(scanner.restarts)
+            telemetry["quarantined_shards"] += float(
+                len(scanner.quarantined_shards))
+            if not (scanner.degraded
+                    and scanner.quarantined_shards == [0]):
+                telemetry["degraded_mode_mismatches"] += 1.0
+        finish("shard-quarantine", started,
+               len(result.reports) / len(codes), mismatches(result.reports))
+
+    # -- cache-corrupt: scribbled .npz disk entries are detected, dropped
+    # and re-lowered; corruption can never flip a verdict --
+    with tempfile.TemporaryDirectory(prefix="e13-cache-") as cache_dir:
+        cache = GraphCache(detector.config.graph_fingerprint(),
+                           disk_dir=cache_dir)
+        BatchScanner(detector, cache=cache,
+                     max_workers=1).scan_codes(codes, sample_ids=ids)
+        with fault_plan(FaultPlan(specs=(
+                FaultSpec(site="cache.disk_read", kind="corrupt",
+                          probability=0.4),),
+                seed=config.chaos_seed)), \
+                _warnings.catch_warnings():
+            _warnings.simplefilter("ignore")
+            started = time.perf_counter()
+            # fresh memory tier: every lookup goes through the disk tier
+            cold = GraphCache(detector.config.graph_fingerprint(),
+                              disk_dir=cache_dir)
+            result = BatchScanner(detector, cache=cold,
+                                  max_workers=1).scan_codes(
+                codes, sample_ids=ids)
+            finish("cache-corrupt", started,
+                   len(result.reports) / len(codes),
+                   mismatches(result.reports))
+
+    # -- registry-busy: SQLITE_BUSY on the write path is retried under
+    # backoff; every verdict still lands durably --
+    with tempfile.TemporaryDirectory(prefix="e13-registry-") as tmp:
+        registry = ScanRegistry.for_config(
+            pathlib.Path(tmp) / "verdicts.sqlite", detector.config)
+        with fault_plan(FaultPlan(specs=(
+                FaultSpec(site="registry.write", kind="exception",
+                          exception="sqlite_busy", max_fires=3),),
+                seed=config.chaos_seed)), \
+                _warnings.catch_warnings():
+            _warnings.simplefilter("ignore")
+            started = time.perf_counter()
+            result = BatchScanner(detector, max_workers=1,
+                                  registry=registry).scan_codes(
+                codes, sample_ids=ids)
+            telemetry["registry_write_retries"] += float(
+                active_injector().fired_total())
+            recorded = registry.counts()["verdicts"]
+            unique = len({content_sha256(raw) for raw in codes})
+            telemetry["lost_verdict_mismatches"] += float(
+                max(0, unique - recorded))
+            finish("registry-busy", started,
+                   len(result.reports) / len(codes),
+                   mismatches(result.reports))
+        registry.close()
+
+    # -- webhook-down: every POST fails; exhausted deliveries land in the
+    # dead-letter JSONL instead of vanishing --
+    with tempfile.TemporaryDirectory(prefix="e13-webhook-") as tmp:
+        dead_letter = pathlib.Path(tmp) / "dead-letter.jsonl"
+        rule = TriageRule(name="page-on-malicious", verdict="malicious",
+                          alert=True,
+                          webhook="http://127.0.0.1:9/chaos-hook")
+        from repro.resilience import RetryPolicy
+
+        # the production backoff schedule, compressed so the experiment's
+        # ~120 exhausted deliveries don't sleep for half a minute
+        engine = RulesEngine([rule],
+                             alert_path=pathlib.Path(tmp) / "alerts.jsonl",
+                             dead_letter_path=dead_letter,
+                             retry=RetryPolicy(max_attempts=3,
+                                               base_delay_s=0.005,
+                                               max_delay_s=0.02,
+                                               deadline_s=5.0))
+        flagged = [report for report in oracle.reports
+                   if report.verdict == "malicious"]
+        with fault_plan(FaultPlan(specs=(
+                FaultSpec(site="rules.webhook", kind="exception",
+                          exception="urlerror",
+                          message="connection refused"),),
+                seed=config.chaos_seed)), \
+                _warnings.catch_warnings():
+            _warnings.simplefilter("ignore")
+            started = time.perf_counter()
+            for report in flagged:
+                engine.evaluate(report, content_sha256(b"e13"),
+                                source_path=report.sample_id)
+            dead = (sum(1 for line in
+                        dead_letter.read_text().splitlines() if line)
+                    if dead_letter.exists() else 0)
+            telemetry["webhook_dead_lettered"] += float(dead)
+            telemetry["lost_alert_mismatches"] += float(
+                max(0, engine.webhook_failures - dead))
+            for line in dead_letter.read_text().splitlines():
+                json.loads(line)  # the sink must stay machine-readable
+            finish("webhook-down", started,
+                   dead / len(flagged) if flagged else 1.0,
+                   0, contracts=len(flagged))
+
+    # -- slow-server: injected handler delays plus isolated 503 bursts;
+    # the client's retry policy (Retry-After honored) hides all of it --
+    exception_bursts = (
+        FaultSpec(site="server.handler", kind="exception", after=3,
+                  max_fires=1),
+        FaultSpec(site="server.handler", kind="exception", after=9,
+                  max_fires=1),
+        FaultSpec(site="server.handler", kind="exception", after=17,
+                  max_fires=1),
+    )
+    with fault_plan(FaultPlan(specs=exception_bursts + (
+            FaultSpec(site="server.handler", kind="delay", delay_s=0.005,
+                      probability=0.4),),
+            seed=config.chaos_seed)), \
+            _warnings.catch_warnings():
+        _warnings.simplefilter("ignore")
+        server = ScanServer(detector, port=0, workers=4).start()
+        try:
+            client = ServerClient(port=server.port, timeout=30.0)
+            client.wait_until_ready()
+            total = min(config.server_requests, len(codes))
+            answered = 0
+            wrong = 0
+            started = time.perf_counter()
+            for index in range(total):
+                try:
+                    response = client.scan(codes[index],
+                                           sample_id=ids[index])
+                except ServerClientError:
+                    continue
+                answered += 1
+                want = oracle_dicts[index]
+                if any(response.get(key) != value
+                       for key, value in want.items()):
+                    wrong += 1
+            telemetry["client_retries"] += float(client.retries)
+            finish("slow-server", started, answered / total, wrong,
+                   contracts=total)
+        finally:
+            server.shutdown()
+
+    total_mismatches = sum(row["verdict_mismatches"] for row in rows)
+    result = ExperimentResult(
+        experiment_id="E13",
+        title=f"Chaos resilience: {len(rows)} fault classes over "
+              f"{config.num_samples} contracts (chaos seed "
+              f"{config.chaos_seed})")
+    result.rows = rows
+    result.summary = {
+        "verdict_mismatches": float(total_mismatches),
+        "min_availability": min(row["availability"] for row in rows),
+        "chaos_seed": float(config.chaos_seed),
+        **telemetry,
+    }
+    result.notes.append(
+        "every scenario's verdicts are compared field-by-field against a "
+        "fault-free single-process oracle; mismatches must be zero for "
+        "every chaos seed")
+    result.notes.append(
+        "availability counts requests eventually answered (after retries "
+        "/ requeues / rebalancing); the floor is gated, so a fault class "
+        "that starts dropping work fails the bench")
+    result.notes.append(
+        "degraded_mode_mismatches asserts the quarantine scenario "
+        "actually opened shard 0's circuit and finished degraded rather "
+        "than failing the batch")
+    return result

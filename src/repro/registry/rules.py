@@ -30,7 +30,10 @@ silently disable paging.
 :class:`RulesEngine` is deliberately I/O-light: tag application is returned
 to the caller (the daemon owns the registry transaction), the JSONL sink is
 an append, and webhook failures warn instead of raising -- a dead HTTP
-endpoint must never stall the scan loop.
+endpoint must never stall the scan loop.  Webhook deliveries are retried
+under a shared :class:`~repro.resilience.retry.RetryPolicy`; a delivery
+that exhausts its retries is appended to the dead-letter JSONL sink (when
+configured) so a flapping endpoint loses no alerts, only freshness.
 """
 
 from __future__ import annotations
@@ -52,6 +55,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.report import VerdictReport
+from repro.resilience.faults import InjectedFault, fault_point
+from repro.resilience.retry import RetryPolicy
 
 PathLike = Union[str, pathlib.Path]
 
@@ -63,6 +68,11 @@ _ACTION_KEYS = frozenset(("tag", "alert", "webhook", "exit_nonzero"))
 
 #: How long a webhook POST may take before it is abandoned with a warning.
 WEBHOOK_TIMEOUT_SECONDS = 5.0
+
+#: Default delivery retry: three tries under a short budget, so a flapping
+#: endpoint gets its alert while a dead one dead-letters quickly.
+WEBHOOK_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.1,
+                            max_delay_s=2.0, deadline_s=10.0)
 
 
 class RuleParseError(ValueError):
@@ -327,6 +337,10 @@ class RulesEngine:
             first time a rule wants one.
         opener: Replacement for :func:`urllib.request.urlopen` (tests
             inject a recorder; production uses the default).
+        dead_letter_path: JSONL sink for webhook deliveries that exhausted
+            their retries (one object per line: url, payload, last error,
+            attempts); None keeps the historical drop-with-warning behavior.
+        retry: Delivery retry policy (default :data:`WEBHOOK_RETRY`).
 
     The engine is stateless apart from counters, so one instance can serve
     every poll cycle of a daemon.
@@ -337,15 +351,25 @@ class RulesEngine:
         rules: Sequence[TriageRule],
         alert_path: Optional[PathLike] = None,
         opener=urllib.request.urlopen,
+        dead_letter_path: Optional[PathLike] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.rules = list(rules)
         self.alert_path = (
             pathlib.Path(alert_path) if alert_path is not None else None
         )
+        self.dead_letter_path = (
+            pathlib.Path(dead_letter_path)
+            if dead_letter_path is not None
+            else None
+        )
+        self.retry = retry if retry is not None else WEBHOOK_RETRY
         self._opener = opener
         self._warned_no_sink = False
         self.alerts_emitted = 0
         self.webhook_failures = 0
+        self.webhook_retries = 0
+        self.dead_lettered = 0
 
     def evaluate(
         self,
@@ -427,16 +451,61 @@ class RulesEngine:
             headers={"Content-Type": "application/json"},
             method="POST",
         )
-        try:
+
+        def deliver() -> None:
+            fault_point("rules.webhook")
             with self._opener(
                 request, timeout=WEBHOOK_TIMEOUT_SECONDS
             ) as response:
                 response.read()
-        except (urllib.error.URLError, OSError, ValueError) as error:
-            # a dead endpoint must never stall or kill the scan loop
+
+        def count_retry(attempt, error, delay) -> None:
+            self.webhook_retries += 1
+
+        try:
+            self.retry.call(
+                deliver,
+                retry_on=(
+                    urllib.error.URLError,
+                    OSError,
+                    ValueError,
+                    InjectedFault,
+                ),
+                on_retry=count_retry,
+            )
+        except (
+            urllib.error.URLError,
+            OSError,
+            ValueError,
+            InjectedFault,
+        ) as error:
+            # a dead endpoint must never stall or kill the scan loop: after
+            # the retries are spent the alert goes to the dead-letter sink
             self.webhook_failures += 1
+            self._dead_letter(url, payload, error)
             warnings.warn(
                 f"triage webhook POST to {url} failed ({error}); "
                 f"continuing",
                 stacklevel=3,
             )
+
+    def _dead_letter(
+        self, url: str, payload: Dict[str, object], error: BaseException
+    ) -> None:
+        """Append an exhausted delivery to the dead-letter JSONL sink."""
+        if self.dead_letter_path is None:
+            return
+        line = json.dumps(
+            {
+                "url": url,
+                "payload": payload,
+                "error": str(error),
+                "attempts": self.retry.max_attempts,
+                "failed_at": time.time(),
+            },
+            sort_keys=True,
+        )
+        self.dead_letter_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.dead_letter_path.open("a") as handle:
+            handle.write(line + "\n")
+        self.dead_lettered += 1

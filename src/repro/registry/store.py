@@ -45,6 +45,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.report import VerdictReport
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy
 
 PathLike = Union[str, pathlib.Path]
 
@@ -270,9 +272,19 @@ class ScanRegistry:
     #: How long a writer waits on a locked database before giving up.
     BUSY_TIMEOUT_SECONDS = 15.0
 
-    def __init__(self, path: PathLike, fingerprint: str = "") -> None:
+    #: Application-level retry over SQLite's own busy wait: a write that
+    #: still came back ``SQLITE_BUSY``/``SQLITE_LOCKED`` after the
+    #: connection timeout (WAL writer pile-up across a fleet of daemons)
+    #: is retried with backoff instead of failing the scan cycle.
+    WRITE_RETRY = RetryPolicy(max_attempts=5, base_delay_s=0.05,
+                              max_delay_s=1.0, deadline_s=15.0)
+
+    def __init__(self, path: PathLike, fingerprint: str = "",
+                 write_retry: Optional[RetryPolicy] = None) -> None:
         self.path = pathlib.Path(path) if path != ":memory:" else path
         self.fingerprint = fingerprint
+        self.write_retry = (self.WRITE_RETRY if write_retry is None
+                            else write_retry)
         self._lock = threading.Lock()
         self._conn = self._open()
 
@@ -420,6 +432,31 @@ class ScanRegistry:
             scanned_at=scanned_at,
         )[0]
 
+    @staticmethod
+    def _is_busy(error: BaseException) -> bool:
+        """True for SQLITE_BUSY/SQLITE_LOCKED; other operational errors
+        (malformed statements, missing tables) must not be retried."""
+        text = str(error).lower()
+        return "locked" in text or "busy" in text
+
+    def _write_txn(self, fn):
+        """Run one write transaction under the busy-retry policy.
+
+        The transaction body holds the instance lock, so retries re-enter
+        it from scratch; the ``registry.write`` fault site lets tests and
+        the E13 chaos campaign inject ``SQLITE_BUSY`` deterministically.
+        """
+
+        def attempt():
+            fault_point("registry.write")
+            return fn()
+
+        return self.write_retry.call(
+            attempt,
+            retry_on=(sqlite3.OperationalError,),
+            should_retry=self._is_busy,
+        )
+
     def record_many(
         self,
         entries: Sequence[Tuple[str, VerdictReport, Optional[str]]],
@@ -432,6 +469,20 @@ class ScanRegistry:
         transaction; returns per-entry "was new" flags."""
         fingerprint = self._scope(fingerprint)
         now = time.time() if scanned_at is None else scanned_at
+        return self._write_txn(
+            lambda: self._record_many_txn(
+                entries, fingerprint, explained, model_identity, now
+            )
+        )
+
+    def _record_many_txn(
+        self,
+        entries: Sequence[Tuple[str, VerdictReport, Optional[str]]],
+        fingerprint: str,
+        explained: bool,
+        model_identity: str,
+        now: float,
+    ) -> List[bool]:
         fresh: List[bool] = []
         with self._lock, self._conn:
             for sha256, report, source_path in entries:
@@ -509,24 +560,28 @@ class ScanRegistry:
     ) -> List[str]:
         """Merge ``tags`` into the row's tag set; returns the merged list."""
         fingerprint = self._scope(fingerprint)
-        with self._lock, self._conn:
-            row = self._conn.execute(
-                "SELECT tags FROM verdicts "
-                "WHERE sha256 = ? AND fingerprint = ?",
-                (sha256, fingerprint),
-            ).fetchone()
-            if row is None:
-                raise RegistryError(
-                    f"cannot tag unknown verdict {sha256[:12]} "
-                    f"(fingerprint {fingerprint!r})"
+
+        def txn() -> List[str]:
+            with self._lock, self._conn:
+                row = self._conn.execute(
+                    "SELECT tags FROM verdicts "
+                    "WHERE sha256 = ? AND fingerprint = ?",
+                    (sha256, fingerprint),
+                ).fetchone()
+                if row is None:
+                    raise RegistryError(
+                        f"cannot tag unknown verdict {sha256[:12]} "
+                        f"(fingerprint {fingerprint!r})"
+                    )
+                merged = sorted(set(json.loads(row["tags"])) | set(tags))
+                self._conn.execute(
+                    "UPDATE verdicts SET tags = ? "
+                    "WHERE sha256 = ? AND fingerprint = ?",
+                    (json.dumps(merged), sha256, fingerprint),
                 )
-            merged = sorted(set(json.loads(row["tags"])) | set(tags))
-            self._conn.execute(
-                "UPDATE verdicts SET tags = ? "
-                "WHERE sha256 = ? AND fingerprint = ?",
-                (json.dumps(merged), sha256, fingerprint),
-            )
-        return merged
+            return merged
+
+        return self._write_txn(txn)
 
     # ------------------------------------------------------------------ #
     # lookups
@@ -732,17 +787,23 @@ class ScanRegistry:
         the old config is truly retired.  Returns deleted verdict rows.
         """
         keep = self._scope(keep_fingerprint)
-        with self._lock, self._conn:
-            removed = self._conn.execute(
-                "DELETE FROM verdicts WHERE fingerprint != ?", (keep,)
-            ).rowcount
-            self._conn.execute(
-                "DELETE FROM scan_history WHERE fingerprint != ?", (keep,)
-            )
-            self._conn.execute(
-                "DELETE FROM watched_files WHERE fingerprint != ?", (keep,)
-            )
-        return int(removed)
+
+        def txn() -> int:
+            with self._lock, self._conn:
+                removed = self._conn.execute(
+                    "DELETE FROM verdicts WHERE fingerprint != ?", (keep,)
+                ).rowcount
+                self._conn.execute(
+                    "DELETE FROM scan_history WHERE fingerprint != ?",
+                    (keep,),
+                )
+                self._conn.execute(
+                    "DELETE FROM watched_files WHERE fingerprint != ?",
+                    (keep,),
+                )
+            return int(removed)
+
+        return self._write_txn(txn)
 
     # ------------------------------------------------------------------ #
     # watched-files index (used by repro.registry.watch)
@@ -788,20 +849,26 @@ class ScanRegistry:
         transaction (un-deleting paths that reappeared)."""
         fingerprint = self._scope(fingerprint)
         now = time.time() if seen_at is None else seen_at
-        with self._lock, self._conn:
-            self._conn.executemany(
-                "INSERT INTO watched_files (path, fingerprint, sha256,"
-                " size, mtime_ns, first_seen_at, last_seen_at, deleted_at) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, NULL) "
-                "ON CONFLICT(path, fingerprint) DO UPDATE SET "
-                "sha256 = excluded.sha256, size = excluded.size, "
-                "mtime_ns = excluded.mtime_ns, "
-                "last_seen_at = excluded.last_seen_at, deleted_at = NULL",
-                [
-                    (path, fingerprint, sha256, size, mtime_ns, now, now)
-                    for path, sha256, size, mtime_ns in entries
-                ],
-            )
+
+        def txn() -> None:
+            with self._lock, self._conn:
+                self._conn.executemany(
+                    "INSERT INTO watched_files (path, fingerprint, sha256,"
+                    " size, mtime_ns, first_seen_at, last_seen_at,"
+                    " deleted_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, NULL) "
+                    "ON CONFLICT(path, fingerprint) DO UPDATE SET "
+                    "sha256 = excluded.sha256, size = excluded.size, "
+                    "mtime_ns = excluded.mtime_ns, "
+                    "last_seen_at = excluded.last_seen_at, "
+                    "deleted_at = NULL",
+                    [
+                        (path, fingerprint, sha256, size, mtime_ns, now, now)
+                        for path, sha256, size, mtime_ns in entries
+                    ],
+                )
+
+        self._write_txn(txn)
 
     def mark_deleted(
         self,
@@ -818,12 +885,16 @@ class ScanRegistry:
             return
         fingerprint = self._scope(fingerprint)
         now = time.time() if deleted_at is None else deleted_at
-        with self._lock, self._conn:
-            self._conn.executemany(
-                "UPDATE watched_files SET deleted_at = ? "
-                "WHERE path = ? AND fingerprint = ?",
-                [(now, path, fingerprint) for path in paths],
-            )
+
+        def txn() -> None:
+            with self._lock, self._conn:
+                self._conn.executemany(
+                    "UPDATE watched_files SET deleted_at = ? "
+                    "WHERE path = ? AND fingerprint = ?",
+                    [(now, path, fingerprint) for path in paths],
+                )
+
+        self._write_txn(txn)
 
     # ------------------------------------------------------------------ #
 

@@ -40,6 +40,7 @@ from typing import List, Optional, Tuple, Union
 from repro.core.detector import ScamDetector
 from repro.core.report import VerdictReport
 from repro.registry.rules import RulesEngine
+from repro.resilience.faults import InjectedFault, fault_point
 from repro.registry.store import ScanRegistry, content_sha256
 from repro.service.batch import (
     BatchScanner,
@@ -173,6 +174,8 @@ class WatchDaemon:
             registry=registry,
         )
         self.polls = 0
+        #: cycles aborted by an injected transient fault (chaos telemetry)
+        self.faulted_polls = 0
         self.exit_nonzero = False
         self._stop = threading.Event()
 
@@ -196,6 +199,9 @@ class WatchDaemon:
 
     def poll_once(self) -> PollStats:
         """One full cycle: discover, dedupe, scan, record, triage."""
+        # chaos site: delay = slow poll (drain tests SIGTERM mid-cycle);
+        # exception-kind faults abort only this cycle (see run())
+        fault_point("watch.poll")
         started = time.perf_counter()
         stats = PollStats()
         index = self.registry.watched_files()
@@ -291,7 +297,20 @@ class WatchDaemon:
         """
         completed = 0
         while not self._stop.is_set():
-            stats = self.poll_once()
+            try:
+                stats = self.poll_once()
+            except InjectedFault as error:
+                # a transiently-faulted cycle is skipped, not fatal: the
+                # next poll re-discovers everything this one missed (the
+                # registry dedupe makes re-polling idempotent)
+                self.faulted_polls += 1
+                warnings.warn(
+                    f"watch poll cycle failed with a transient fault "
+                    f"({error}); retrying next cycle",
+                    stacklevel=2,
+                )
+                self._stop.wait(self.interval)
+                continue
             completed += 1
             if on_poll is not None:
                 on_poll(completed, stats)

@@ -1,0 +1,67 @@
+"""Deterministic fault injection + retry/backoff/degradation primitives.
+
+A DSN-grade reproduction should demonstrate dependability under injected
+faults, not just throughput.  This package provides the three mechanisms the
+scan stack uses to do that, all stdlib-only and deliberately tiny:
+
+* :mod:`repro.resilience.faults` -- a **seeded, deterministic fault
+  injector**.  A :class:`FaultPlan` names *injection sites* (dotted strings
+  like ``cache.disk_read`` or ``shard.worker.0``, glob-matchable) and the
+  fault each site should produce: an added ``delay``, a raised
+  ``exception`` (plain, SQLite-busy, URL error, or OS error), a hard worker
+  ``crash``, ``corrupt`` bytes scribbled into a file before it is read, or
+  a ``disk_full`` write failure.  Sites are threaded through the whole
+  stack (graph cache disk I/O, registry writes, shard workers, server
+  handlers, webhook POSTs, watch polls) as single
+  :func:`~repro.resilience.faults.fault_point` calls that reduce to one
+  module-global ``None`` check when no plan is active -- the same shape as
+  ros2probe's selectively-enabled probes: zero cost unless armed.
+* :mod:`repro.resilience.retry` -- a shared :class:`RetryPolicy`
+  (exponential backoff, deterministic seeded jitter, optional deadline
+  budget, server-mandated ``Retry-After`` override) adopted by the server
+  client, the rules-engine webhooks and the registry's busy-write path.
+* :mod:`repro.resilience.breaker` -- a :class:`CircuitBreaker` counting
+  consecutive failures per key; the sharded scanner uses it to quarantine a
+  crash-looping shard and rebalance its hash-space onto healthy shards
+  instead of failing the batch.
+
+Everything here is importable with no side effects and no third-party
+dependencies; activating a plan is always explicit (``--fault-plan`` on the
+CLI, :func:`~repro.resilience.faults.fault_plan` in tests).
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import (
+    FAULT_CRASH_EXIT_CODE,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    activate,
+    active_injector,
+    active_plan_dict,
+    deactivate,
+    evaluate_fault,
+    fault_plan,
+    fault_point,
+)
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "FAULT_CRASH_EXIT_CODE",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
+    "activate",
+    "active_injector",
+    "active_plan_dict",
+    "deactivate",
+    "evaluate_fault",
+    "fault_plan",
+    "fault_point",
+]

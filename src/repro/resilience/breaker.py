@@ -1,0 +1,65 @@
+"""Circuit breaker: stop hammering a dependency that keeps failing.
+
+The breaker counts *consecutive* failures per key; at ``failure_threshold``
+the key's circuit opens and stays open until :meth:`CircuitBreaker.reset`
+(or a recorded success while still closed clears the count).  The sharded
+scanner keys circuits by shard id: an open circuit means the shard is
+quarantined and its hash-space is rebalanced onto healthy shards --
+degraded-but-correct scanning instead of a crash-loop or a failed batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+
+class CircuitBreaker:
+    """Per-key consecutive-failure counter with an open/closed state.
+
+    Thread-safe.  Keys are any hashable (shard ids, endpoint URLs).
+    """
+
+    def __init__(self, failure_threshold: int = 3) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self._lock = threading.Lock()
+        self._failures: Dict[object, int] = {}
+        self._open: Dict[object, bool] = {}
+
+    def record_failure(self, key: object) -> bool:
+        """Count one failure; returns True when this call opened the
+        circuit (exactly once per open, so callers can act on the edge)."""
+        with self._lock:
+            if self._open.get(key, False):
+                return False
+            count = self._failures.get(key, 0) + 1
+            self._failures[key] = count
+            if count >= self.failure_threshold:
+                self._open[key] = True
+                return True
+            return False
+
+    def record_success(self, key: object) -> None:
+        """A success on a *closed* circuit clears its failure streak."""
+        with self._lock:
+            if not self._open.get(key, False):
+                self._failures.pop(key, None)
+
+    def is_open(self, key: object) -> bool:
+        with self._lock:
+            return self._open.get(key, False)
+
+    def open_keys(self) -> List[object]:
+        with self._lock:
+            return sorted(
+                (key for key, is_open in self._open.items() if is_open),
+                key=repr,
+            )
+
+    def reset(self, key: object) -> None:
+        """Close ``key``'s circuit and clear its failure streak."""
+        with self._lock:
+            self._open.pop(key, None)
+            self._failures.pop(key, None)

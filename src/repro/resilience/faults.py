@@ -1,0 +1,363 @@
+"""Seeded, deterministic fault injection behind named sites.
+
+The injector is *off by default*: :func:`fault_point` reads one module
+global and returns immediately when no plan is active, so instrumented hot
+paths pay a single ``None`` check -- cheap enough to leave compiled into
+production code (the E8-E12 benchmark regression gates run with injection
+disabled and must stay green).
+
+A :class:`FaultPlan` is plain data (JSON-serializable, picklable), so the
+parent process can ship it to :class:`~repro.service.sharded.ShardedScanner`
+workers, and a CLI ``--fault-plan plan.json`` can arm a whole stack.  Each
+:class:`FaultSpec` carries its own deterministic schedule: an fnmatch
+pattern over site names, how many evaluations to skip (``after``), how many
+times it may fire (``max_fires``) and a firing ``probability`` drawn from a
+``random.Random`` seeded by ``(plan seed, spec index)`` -- two runs with the
+same plan over the same call sequence inject exactly the same faults.
+
+Fault kinds:
+
+``delay``
+    Sleep ``delay_s`` at the site, then continue (slow peer / slow disk).
+``exception``
+    Raise at the site.  ``exception`` selects the type: ``"runtime"``
+    (:class:`InjectedFault`), ``"sqlite_busy"`` (an
+    ``sqlite3.OperationalError("database is locked")`` -- exercises the
+    registry's busy-write retry), ``"urlerror"`` (dead webhook endpoint),
+    ``"oserror"``.
+``crash``
+    Kill the *process* with ``os._exit(FAULT_CRASH_EXIT_CODE)`` -- the
+    sharded scanner's dispatch loop evaluates this kind parent-side and
+    marks the dispatched chunk instead, so a plan-global ``max_fires``
+    bounds crashes across respawned workers.
+``corrupt``
+    Scribble garbage over the start of the file passed as ``path`` (then
+    continue), so the *real* torn-entry recovery path runs against really
+    corrupt bytes.
+``disk_full``
+    Raise ``OSError(ENOSPC)`` at the site (write paths treat it like a
+    full disk).
+"""
+
+from __future__ import annotations
+
+import errno
+import fnmatch
+import json
+import os
+import pathlib
+import random
+import sqlite3
+import threading
+import time
+import urllib.error
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+PathLike = Union[str, pathlib.Path]
+
+#: Exit code of an injected worker crash (``os._exit``); the sharded
+#: scanner's heal loop reports it in its respawn warnings.
+FAULT_CRASH_EXIT_CODE = 3
+
+FAULT_KINDS = ("delay", "exception", "crash", "corrupt", "disk_full")
+
+#: ``exception``-kind faults pick the raised type by name so one generic
+#: plan format can exercise type-specific retry paths.
+EXCEPTION_KINDS = ("runtime", "sqlite_busy", "urlerror", "oserror")
+
+_CORRUPT_SCRIBBLE = b"\xde\xad\xbe\xef injected corruption \xde\xad\xbe\xef"
+
+
+class InjectedFault(RuntimeError):
+    """The default exception raised by an ``exception``-kind fault."""
+
+    def __init__(self, site: str, message: str = "") -> None:
+        super().__init__(message or f"injected fault at {site}")
+        self.site = site
+
+
+def _raise_for(spec: "FaultSpec", site: str) -> None:
+    message = spec.message or f"injected {spec.exception} fault at {site}"
+    if spec.exception == "sqlite_busy":
+        raise sqlite3.OperationalError("database is locked")
+    if spec.exception == "urlerror":
+        raise urllib.error.URLError(message)
+    if spec.exception == "oserror":
+        raise OSError(message)
+    raise InjectedFault(site, spec.message)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: where it fires, what it does, and how often.
+
+    Args:
+        site: fnmatch pattern over injection-site names
+            (``"cache.disk_read"``, ``"shard.worker.*"``).
+        kind: One of :data:`FAULT_KINDS`.
+        probability: Chance of firing per eligible evaluation, drawn from
+            the spec's seeded RNG (1.0 = always).
+        delay_s: Sleep duration for ``delay`` faults.
+        after: Skip the first N evaluations of this spec (lets a plan warm
+            a path up before faulting it).
+        max_fires: Total fires allowed (None = unlimited).
+        exception: Raised type for ``exception`` faults (see
+            :data:`EXCEPTION_KINDS`).
+        message: Optional message override for raised faults.
+    """
+
+    site: str
+    kind: str
+    probability: float = 1.0
+    delay_s: float = 0.01
+    after: int = 0
+    max_fires: Optional[int] = None
+    exception: str = "runtime"
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ValueError("fault spec needs a non-empty site pattern")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (known: {FAULT_KINDS})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ValueError("max_fires must be >= 1 (or None)")
+        if self.exception not in EXCEPTION_KINDS:
+            raise ValueError(
+                f"unknown exception type {self.exception!r} "
+                f"(known: {EXCEPTION_KINDS})"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"site": self.site, "kind": self.kind}
+        if self.probability != 1.0:
+            payload["probability"] = self.probability
+        if self.kind == "delay":
+            payload["delay_s"] = self.delay_s
+        if self.after:
+            payload["after"] = self.after
+        if self.max_fires is not None:
+            payload["max_fires"] = self.max_fires
+        if self.exception != "runtime":
+            payload["exception"] = self.exception
+        if self.message:
+            payload["message"] = self.message
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultSpec":
+        if not isinstance(payload, dict):
+            raise ValueError("each fault must be a JSON object")
+        unknown = set(payload) - {
+            "site", "kind", "probability", "delay_s", "after", "max_fires",
+            "exception", "message",
+        }
+        if unknown:
+            raise ValueError(f"unknown fault keys {sorted(unknown)}")
+        return cls(**payload)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered list of :class:`FaultSpec` schedules."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ValueError("fault plan must be a JSON object")
+        unknown = set(payload) - {"seed", "faults"}
+        if unknown:
+            raise ValueError(f"unknown fault plan keys {sorted(unknown)}")
+        faults = payload.get("faults", [])
+        if not isinstance(faults, list):
+            raise ValueError("'faults' must be a list of fault objects")
+        return cls(
+            specs=tuple(FaultSpec.from_dict(entry) for entry in faults),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    @classmethod
+    def load(cls, path: PathLike) -> "FaultPlan":
+        """Parse a plan from a JSON file (the CLI ``--fault-plan`` format)."""
+        text = pathlib.Path(path).read_text()
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise ValueError(
+                f"fault plan {path} is not valid JSON: {error}"
+            ) from error
+        return cls.from_dict(payload)
+
+
+@dataclass
+class _SpecState:
+    """Mutable per-spec schedule state (evaluations seen, fires spent)."""
+
+    rng: random.Random
+    evaluations: int = 0
+    fires: int = 0
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at named sites, deterministically.
+
+    Thread-safe; one injector serves a whole process.  Worker processes of
+    the sharded scanner build their own injector from the shipped plan dict,
+    so schedules restart per process -- which is why ``crash`` faults are
+    evaluated parent-side (see :mod:`repro.service.sharded`).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._states = [
+            _SpecState(rng=random.Random(f"{plan.seed}:{index}:{spec.site}"))
+            for index, spec in enumerate(plan.specs)
+        ]
+        self.fired: Dict[str, int] = {}
+
+    def evaluate(self, site: str) -> Optional[FaultSpec]:
+        """The spec that fires at ``site`` for this evaluation, or None.
+
+        Consumes one evaluation (and possibly one fire) of every spec whose
+        pattern matches ``site``; the first firing spec wins.
+        """
+        winner: Optional[FaultSpec] = None
+        with self._lock:
+            for spec, state in zip(self.plan.specs, self._states):
+                if not fnmatch.fnmatchcase(site, spec.site):
+                    continue
+                state.evaluations += 1
+                if winner is not None:
+                    continue
+                if state.evaluations <= spec.after:
+                    continue
+                if spec.max_fires is not None and state.fires >= spec.max_fires:
+                    continue
+                if spec.probability < 1.0 and state.rng.random() >= spec.probability:
+                    continue
+                state.fires += 1
+                key = f"{site}:{spec.kind}"
+                self.fired[key] = self.fired.get(key, 0) + 1
+                winner = spec
+        return winner
+
+    def trigger(self, site: str, path: Optional[PathLike] = None) -> None:
+        """Evaluate ``site`` and materialize the fault that fires, if any."""
+        spec = self.evaluate(site)
+        if spec is None:
+            return
+        if spec.kind == "delay":
+            time.sleep(spec.delay_s)
+        elif spec.kind == "crash":
+            os._exit(FAULT_CRASH_EXIT_CODE)
+        elif spec.kind == "corrupt":
+            if path is not None:
+                _scribble(pathlib.Path(path))
+        elif spec.kind == "disk_full":
+            raise OSError(
+                errno.ENOSPC,
+                spec.message or f"no space left on device (injected at {site})",
+            )
+        else:  # exception
+            _raise_for(spec, site)
+
+    def fired_total(self) -> int:
+        with self._lock:
+            return sum(self.fired.values())
+
+
+def _scribble(path: pathlib.Path) -> None:
+    """Overwrite the head of ``path`` with garbage (best effort)."""
+    try:
+        with path.open("r+b") as handle:
+            handle.write(_CORRUPT_SCRIBBLE)
+    except OSError:
+        pass
+
+
+# --------------------------------------------------------------------------- #
+# process-global activation
+
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def activate(plan: FaultPlan) -> FaultInjector:
+    """Arm ``plan`` process-wide; returns the injector (for telemetry)."""
+    global _ACTIVE
+    injector = FaultInjector(plan)
+    _ACTIVE = injector
+    return injector
+
+
+def deactivate() -> None:
+    """Disarm fault injection; :func:`fault_point` becomes a no-op again."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_injector() -> Optional[FaultInjector]:
+    return _ACTIVE
+
+
+def active_plan_dict() -> Optional[Dict[str, object]]:
+    """The active plan as plain data (for shipping to worker processes)."""
+    injector = _ACTIVE
+    return injector.plan.to_dict() if injector is not None else None
+
+
+@contextmanager
+def fault_plan(plan: FaultPlan) -> Iterator[FaultInjector]:
+    """Context manager: arm ``plan`` inside the block, disarm after."""
+    injector = activate(plan)
+    try:
+        yield injector
+    finally:
+        deactivate()
+
+
+def fault_point(site: str, path: Optional[PathLike] = None) -> None:
+    """Injection site: a no-op unless a plan is active and a spec fires.
+
+    This is the only call instrumented code makes; with no active plan it
+    costs one global read and a ``None`` check.
+    """
+    injector = _ACTIVE
+    if injector is None:
+        return
+    injector.trigger(site, path=path)
+
+
+def evaluate_fault(site: str) -> Optional[FaultSpec]:
+    """Non-materializing probe: which spec (if any) fires at ``site``.
+
+    Used where the *caller* must act on the fault instead of the site
+    itself -- e.g. the sharded dispatch loop marking a chunk to crash its
+    worker after dequeue.
+    """
+    injector = _ACTIVE
+    if injector is None:
+        return None
+    return injector.evaluate(site)

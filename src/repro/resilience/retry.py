@@ -1,0 +1,130 @@
+"""Shared retry policy: exponential backoff, deterministic jitter, deadline.
+
+One policy class serves every transient-failure path in the stack -- the
+server client's connection/503 retries, the rules engine's webhook
+deliveries (before dead-lettering) and the registry's ``SQLITE_BUSY``
+writes -- so backoff behavior is tuned in one place and tests can reason
+about exact schedules: jitter comes from a ``random.Random`` seeded by the
+policy's ``seed``, making every delay sequence reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple, Type, Union
+
+RetryOn = Union[
+    Type[BaseException],
+    Tuple[Type[BaseException], ...],
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    Args:
+        max_attempts: Total tries, including the first (>= 1).
+        base_delay_s: Sleep before the first retry.
+        max_delay_s: Backoff ceiling.
+        multiplier: Exponential growth factor between retries.
+        jitter: Fractional jitter: each delay is scaled by a factor drawn
+            uniformly from ``[1 - jitter, 1 + jitter]`` (seeded, so the
+            schedule is deterministic per :meth:`call`).
+        deadline_s: Total time budget across all attempts; once the elapsed
+            time plus the next sleep would exceed it, the last error is
+            raised instead of sleeping (None = attempts bound only).
+        seed: Jitter RNG seed.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    deadline_s: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0 (or None)")
+
+    def delays(self) -> Iterator[float]:
+        """The deterministic backoff schedule (one delay per retry)."""
+        rng = random.Random(self.seed)
+        delay = self.base_delay_s
+        for _ in range(self.max_attempts - 1):
+            scale = 1.0
+            if self.jitter:
+                scale = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            yield min(delay, self.max_delay_s) * scale
+            delay *= self.multiplier
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        *,
+        retry_on: RetryOn = (Exception,),
+        should_retry: Optional[Callable[[BaseException], bool]] = None,
+        retry_after: Optional[
+            Callable[[BaseException], Optional[float]]
+        ] = None,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> object:
+        """Invoke ``fn`` under this policy; returns its result.
+
+        Only exceptions matching ``retry_on`` (and, when given, for which
+        ``should_retry(error)`` is true) are retried; anything else
+        propagates immediately.  When attempts or the deadline run out the
+        *last underlying error* is re-raised, so callers keep their
+        existing exception contracts.
+
+        Args:
+            fn: Zero-argument callable to run.
+            retry_on: Exception type(s) eligible for retry.
+            should_retry: Extra predicate over eligible errors (e.g. "only
+                SQLITE_BUSY, not all OperationalErrors").
+            retry_after: Maps an error to a server-mandated wait in seconds
+                (e.g. a 503's ``Retry-After`` header); when it returns a
+                value it replaces the computed backoff for that retry.
+            on_retry: Observer ``(attempt_number, error, delay_s)`` called
+                before each sleep -- for counters and logs.
+            sleep: Replacement sleeper for tests.
+        """
+        started = time.monotonic()
+        schedule = self.delays()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except retry_on as error:  # type: ignore[misc]
+                if should_retry is not None and not should_retry(error):
+                    raise
+                try:
+                    delay = next(schedule)
+                except StopIteration:
+                    raise error from None
+                if retry_after is not None:
+                    mandated = retry_after(error)
+                    if mandated is not None:
+                        delay = max(0.0, float(mandated))
+                if self.deadline_s is not None:
+                    elapsed = time.monotonic() - started
+                    if elapsed + delay > self.deadline_s:
+                        raise error from None
+                if on_retry is not None:
+                    on_retry(attempt, error, delay)
+                if delay > 0:
+                    sleep(delay)

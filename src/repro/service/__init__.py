@@ -27,7 +27,6 @@ benefit from warm caches without any API change.
 """
 
 import json as _json
-import time as _time
 import urllib.error as _urllib_error
 import urllib.parse as _urllib_parse
 import urllib.request as _urllib_request
@@ -35,6 +34,7 @@ from base64 import b64encode as _b64encode
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.detector import coerce_bytecode as _coerce_bytecode
+from repro.resilience.retry import RetryPolicy as _RetryPolicy
 from repro.service.cache import CacheStats, GraphCache
 from repro.service.batch import BatchScanner, BatchScanResult, throughput_stats
 from repro.service.server import (
@@ -42,6 +42,7 @@ from repro.service.server import (
     RequestCoalescer,
     ScanServer,
     ServerMetrics,
+    ServerOverloaded,
     ServerShuttingDown,
 )
 from repro.service.sharded import ShardedScanner, ShardError, shard_for_bytecode
@@ -55,6 +56,7 @@ __all__ = [
     "ScanServer",
     "RequestCoalescer",
     "ServerMetrics",
+    "ServerOverloaded",
     "ServerShuttingDown",
     "ServerClient",
     "ServerClientError",
@@ -64,17 +66,27 @@ __all__ = [
     "DEFAULT_PORT",
 ]
 
+#: Default client-side retry: connection errors and 503s are retried a
+#: couple of times under a short deadline, so one transient server fault
+#: (an injected one included) never surfaces to the caller.
+DEFAULT_CLIENT_RETRY = _RetryPolicy(max_attempts=3, base_delay_s=0.05,
+                                    max_delay_s=1.0, deadline_s=5.0)
+
 
 class ServerClientError(RuntimeError):
     """An HTTP-level error returned by the scan server.
 
     Attributes:
         status: HTTP status code (0 when the server was unreachable).
+        retry_after: Parsed ``Retry-After`` header of a 503, in seconds
+            (None when absent) -- the client's retry loop honors it.
     """
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 class ServerClient:
@@ -88,17 +100,50 @@ class ServerClient:
         host: Server host.
         port: Server port (``ScanServer.port`` tells the bound one).
         timeout: Per-request socket timeout in seconds.
+        retry: Retry policy for transient failures -- connection errors
+            (status 0) and 503s, the two shapes a briefly-unavailable or
+            overloaded server produces.  A 503's ``Retry-After`` header
+            overrides the policy's computed backoff.  Pass
+            ``RetryPolicy(max_attempts=1)`` to disable retries.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0,
+                 retry: Optional[_RetryPolicy] = None) -> None:
         self.base_url = f"http://{host}:{port}"
         self.timeout = timeout
+        self.retry = retry if retry is not None else DEFAULT_CLIENT_RETRY
+        #: transient failures retried away over this client's lifetime
+        self.retries = 0
 
     # -------------------------------------------------------------- #
 
+    @staticmethod
+    def _is_transient(error: BaseException) -> bool:
+        return isinstance(error, ServerClientError) \
+            and error.status in (0, 503)
+
+    @staticmethod
+    def _mandated_wait(error: BaseException) -> Optional[float]:
+        if isinstance(error, ServerClientError):
+            return error.retry_after
+        return None
+
+    def _count_retry(self, attempt: int, error: BaseException,
+                     delay: float) -> None:
+        self.retries += 1
+
     def _request(self, method: str, path: str,
                  payload: Optional[dict] = None) -> dict:
+        return self.retry.call(
+            lambda: self._request_once(method, path, payload),
+            retry_on=(ServerClientError,),
+            should_retry=self._is_transient,
+            retry_after=self._mandated_wait,
+            on_retry=self._count_retry)
+
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[dict] = None) -> dict:
         data = (_json.dumps(payload).encode("utf-8")
                 if payload is not None else None)
         request = _urllib_request.Request(
@@ -114,7 +159,13 @@ class ServerClient:
                 message = _json.loads(body).get("error", body)
             except ValueError:
                 message = body
-            raise ServerClientError(error.code, message) from error
+            header = error.headers.get("Retry-After")
+            try:
+                retry_after = float(header) if header is not None else None
+            except ValueError:
+                retry_after = None
+            raise ServerClientError(error.code, message,
+                                    retry_after=retry_after) from error
         except _urllib_error.URLError as error:
             raise ServerClientError(
                 0, f"scan server unreachable at {self.base_url}: "
@@ -205,15 +256,20 @@ class ServerClient:
         """Poll ``/healthz`` until the server answers or ``timeout`` runs out.
 
         Returns the first health payload; raises :class:`ServerClientError`
-        with the last failure if the server never came up.
+        with the last failure if the server never came up.  The poll loop is
+        the shared :class:`~repro.resilience.retry.RetryPolicy` with a flat
+        schedule (no backoff growth, no jitter) bounded by ``timeout``.
         """
-        deadline = _time.monotonic() + timeout
-        while True:
-            try:
-                return self.healthz()
-            except ServerClientError as error:
-                if _time.monotonic() >= deadline:
-                    raise ServerClientError(
-                        error.status, f"scan server not ready after "
-                                      f"{timeout:.1f}s: {error}") from error
-            _time.sleep(interval)
+        step = max(interval, 1e-3)
+        policy = _RetryPolicy(
+            max_attempts=max(2, min(10_000, int(timeout / step) + 2)),
+            base_delay_s=interval, max_delay_s=step,
+            multiplier=1.0, jitter=0.0, deadline_s=max(timeout, 1e-3))
+        try:
+            return policy.call(
+                lambda: self._request_once("GET", "/healthz"),
+                retry_on=(ServerClientError,))
+        except ServerClientError as error:
+            raise ServerClientError(
+                error.status, f"scan server not ready after "
+                              f"{timeout:.1f}s: {error}") from error

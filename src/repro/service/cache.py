@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.core.config import ScamDetectConfig
 from repro.gnn.data import ContractGraph
+from repro.resilience.faults import fault_point
 
 PathLike = Union[str, pathlib.Path]
 
@@ -326,6 +327,11 @@ class GraphCache:
         if path is None or not path.exists():
             return None
         try:
+            # fault site cache.disk_read: "corrupt" scribbles over the entry
+            # before np.load sees it, "disk_full"/"oserror" raise an OSError
+            # here -- both are swallowed by the recovery path below, exactly
+            # like real bit rot
+            fault_point("cache.disk_read", path=path)
             with np.load(path, allow_pickle=False) as arrays:
                 return ContractGraph(
                     node_features=arrays["node_features"],
@@ -360,6 +366,9 @@ class GraphCache:
         # interleave, and the last atomic os.replace simply wins
         tmp_path = self._temp_path_for(path)
         try:
+            # fault site cache.disk_write: a "disk_full" OSError lands in
+            # the handler below -- the scan continues without the entry
+            fault_point("cache.disk_write", path=tmp_path)
             np.savez(tmp_path,
                      node_features=graph.node_features,
                      adjacency=graph.adjacency,

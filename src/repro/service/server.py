@@ -50,6 +50,7 @@ from repro.core.frontends import detect_platform
 from repro.gnn.data import ContractGraph
 from repro.service.batch import throughput_stats
 from repro.service.cache import CacheStats, GraphCache
+from repro.resilience.faults import InjectedFault, fault_point
 
 #: Default TCP port of the scan server (spells "scan" on a phone pad, almost).
 DEFAULT_PORT = 8742
@@ -65,6 +66,16 @@ class ServerShuttingDown(RuntimeError):
 
     A ``RuntimeError`` subclass so callers may catch either; the HTTP layer
     maps exactly this type to 503 (anything else is a real 500).
+    """
+
+
+class ServerOverloaded(RuntimeError):
+    """Raised by :meth:`RequestCoalescer.submit` when the inference queue is
+    over its ``max_queue`` bound.
+
+    The HTTP layer maps this to 503 with a ``Retry-After`` header --
+    explicit backpressure instead of unbounded queueing under overload --
+    and :class:`~repro.service.ServerClient` honors the header.
     """
 
 
@@ -247,15 +258,21 @@ class RequestCoalescer:
             passes :meth:`~repro.service.sharded.ShardedScanner.infer` here,
             so coalesced micro-batches fan out round-robin across the worker
             processes instead of scoring on the parent's model.
+        max_queue: Bound on queued (not yet scored) submissions; a submit
+            over the bound raises :class:`ServerOverloaded` (-> 503 +
+            ``Retry-After``) instead of growing the queue without limit.
+            None (the default) keeps the historical unbounded behavior.
     """
 
     def __init__(self, trainer, metrics: ServerMetrics,
                  max_batch: int = 32, max_wait_ms: float = 5.0,
-                 scorer=None) -> None:
+                 scorer=None, max_queue: Optional[int] = None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (or None)")
         if trainer is None and scorer is None:
             raise ValueError("RequestCoalescer needs a trainer or a scorer")
         self._score_graphs = (scorer if scorer is not None
@@ -263,6 +280,7 @@ class RequestCoalescer:
         self._metrics = metrics
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        self.max_queue = max_queue
         self._queue: queue.Queue = queue.Queue()
         self._lock = threading.Lock()
         self._closed = False
@@ -286,6 +304,8 @@ class RequestCoalescer:
 
         Raises:
             ServerShuttingDown: If the coalescer is shutting down.
+            ServerOverloaded: If ``max_queue`` submissions are already
+                waiting (bounded-queue backpressure).
         """
         if not graphs:
             return []
@@ -293,6 +313,11 @@ class RequestCoalescer:
         with self._lock:
             if self._closed:
                 raise ServerShuttingDown("scan server is shutting down")
+            if self.max_queue is not None \
+                    and self._queue.qsize() >= self.max_queue:
+                raise ServerOverloaded(
+                    f"inference queue is full ({self.max_queue} waiting); "
+                    f"retry later")
             self._queue.put(pending)
         pending.ready.wait()
         if pending.error is not None:
@@ -452,13 +477,20 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # access logging would swamp the smoke tests; metrics cover it
 
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+    def _send_json(self, status: int, payload: Dict[str, object],
+                   headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _retry_after_headers(self) -> Dict[str, str]:
+        seconds = self.scan_server.retry_after_s
+        return {"Retry-After": str(max(1, int(round(seconds))))}
 
     def _read_json(self) -> object:
         length_header = self.headers.get("Content-Length")
@@ -525,6 +557,9 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
         server.metrics.record_request(endpoint)
         started = time.perf_counter()
         try:
+            # chaos site: delay = slow handler; exception-kind faults land
+            # in the InjectedFault arm below as a retryable 503
+            fault_point("server.handler")
             status, payload = handler()
         except _RequestError as error:
             server.metrics.record_error()
@@ -533,6 +568,18 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
         except ServerShuttingDown as error:
             server.metrics.record_error()
             self._send_json(503, {"error": str(error)})
+            return
+        except ServerOverloaded as error:
+            server.metrics.record_error()
+            self._send_json(503, {"error": str(error)},
+                            headers=self._retry_after_headers())
+            return
+        except InjectedFault as error:
+            # an injected transient server fault is answered like overload:
+            # 503 + Retry-After, so well-behaved clients retry
+            server.metrics.record_error()
+            self._send_json(503, {"error": f"transient fault: {error}"},
+                            headers=self._retry_after_headers())
             return
         except ValueError as error:
             # bytecode that decoded but failed to parse/lower is a client
@@ -656,6 +703,11 @@ class ScanServer:
         workers: Handler threads -- the lowering (CFG recovery) concurrency.
         max_batch: Coalescer graph budget per inference call.
         max_wait_ms: Coalescer hold time for batch formation.
+        max_queue: Bound on queued inference submissions; requests over the
+            bound get 503 + ``Retry-After`` (backpressure) instead of
+            queueing without limit.  None = unbounded (the default).
+        retry_after_s: The ``Retry-After`` value sent with overload and
+            injected-transient-fault 503s.
         cache: Optional :class:`GraphCache`; one scoped to the detector's
             config is created when omitted, so repeated bytecode is lowered
             once across all clients.
@@ -682,7 +734,9 @@ class ScanServer:
                  port: int = DEFAULT_PORT, workers: int = 8,
                  max_batch: int = 32, max_wait_ms: float = 5.0,
                  cache: Optional[GraphCache] = None,
-                 shards: int = 1, registry=None) -> None:
+                 shards: int = 1, registry=None,
+                 max_queue: Optional[int] = None,
+                 retry_after_s: float = 1.0) -> None:
         if not detector.is_trained:
             raise RuntimeError("ScanServer requires a trained detector")
         # a cascade-enabled detector without a trained head must fail at
@@ -718,10 +772,12 @@ class ScanServer:
             self.sharded = ShardedScanner(detector, shards=shards,
                                           inference_batch_size=max_batch)
             scorer = self.sharded.infer
+        self.retry_after_s = retry_after_s
         self.metrics = ServerMetrics()
         self.coalescer = RequestCoalescer(
             detector.pipeline._trainer, self.metrics,
-            max_batch=max_batch, max_wait_ms=max_wait_ms, scorer=scorer)
+            max_batch=max_batch, max_wait_ms=max_wait_ms, scorer=scorer,
+            max_queue=max_queue)
         self._httpd = _ThreadPoolHTTPServer(
             (host, port), _ScanHTTPRequestHandler, self, workers)
         self._accept_thread: Optional[threading.Thread] = None
@@ -749,8 +805,9 @@ class ScanServer:
         return self.cache.stats if self.cache is not None else CacheStats()
 
     def health(self) -> Dict[str, object]:
+        degraded = self.sharded is not None and self.sharded.degraded
         payload = {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
             "model": self.detector.pipeline.describe(),
             "uptime_seconds": self.metrics.uptime_seconds,
             "workers": self.workers,
@@ -759,6 +816,8 @@ class ScanServer:
             "max_wait_ms": self.coalescer.max_wait_ms,
             "queue_depth": self.coalescer.queue_depth,
         }
+        if degraded:
+            payload["quarantined_shards"] = self.sharded.quarantined_shards
         if self.detector.cascade:
             payload["cascade"] = {
                 "margin": self.detector.effective_cascade_margin()}

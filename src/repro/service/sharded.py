@@ -26,9 +26,17 @@ Design points:
 * **Crash recovery.**  Chunks are executed *at least once* and merged
   *exactly once*: if a worker dies mid-batch its unacknowledged chunks are
   requeued onto a respawned replica (duplicated results are dropped by chunk
-  id), so a killed worker loses time, never verdicts.  A shard that keeps
-  dying (a genuinely poisonous input) stops the scan with an error after
-  ``max_restarts`` respawns instead of looping forever.
+  id), so a killed worker loses time, never verdicts.  Respawns back off
+  exponentially (``restart_backoff_s`` doubling per death) instead of
+  burning CPU in a tight crash loop.
+* **Quarantine over failure.**  A shard that keeps dying (a genuinely
+  poisonous input, a broken replica) trips a per-shard
+  :class:`~repro.resilience.breaker.CircuitBreaker` after ``max_restarts``
+  respawns: the shard is quarantined and its hash-space rebalanced onto the
+  healthy shards, so the batch completes degraded-but-correct.  Only when
+  *no* healthy shard remains does the scan stop with a :class:`ShardError`.
+  The scan server surfaces quarantines as ``status: "degraded"`` in
+  ``/healthz``.
 * **Non-intrusive observability.**  Workers ship a tiny stats delta with
   every completed chunk (wall-clock, cache counters, batch histogram); the
   parent aggregates them into per-shard ``throughput_stats`` without ever
@@ -64,11 +72,21 @@ from repro.service.batch import (
     throughput_stats,
 )
 from repro.service.cache import CacheStats, GraphCache
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import (
+    FAULT_CRASH_EXIT_CODE,
+    FaultPlan,
+    activate as _activate_faults,
+    active_plan_dict,
+    evaluate_fault,
+    fault_point,
+)
 
 PathLike = Union[str, pathlib.Path]
 
-#: Exit code used by the fault-injection hook (see ``crash_file``).
-_CRASH_EXIT_CODE = 3
+#: Exit code used by the fault-injection hooks (``crash_file`` and
+#: ``crash``-kind :class:`~repro.resilience.faults.FaultSpec` entries).
+_CRASH_EXIT_CODE = FAULT_CRASH_EXIT_CODE
 
 
 class ShardError(RuntimeError):
@@ -172,13 +190,39 @@ def _scan_chunk(detector: ScamDetector, cache: GraphCache,
     return reports, stats
 
 
+def _crash(result_queue) -> None:
+    """Die like a crashed worker, without deadlocking the parent.
+
+    ``os._exit`` alone can kill the queue's feeder thread mid-write,
+    leaving a torn message in the result pipe; the parent's ``poll()``
+    then sees readable data and its ``recv`` blocks forever.  Flushing
+    the queue first keeps the injected crash deterministic *and*
+    recoverable -- the already-completed results it flushes are exactly
+    the ones the parent must ack before requeueing the rest.
+    """
+    result_queue.close()
+    result_queue.join_thread()
+    os._exit(_CRASH_EXIT_CODE)
+
+
 def _shard_worker(shard_id: int, options: Dict, task_queue, result_queue) -> None:
     """Worker main loop: load a pipeline replica once, then serve tasks.
 
     Messages back to the parent are ``(kind, shard_id, chunk_id, payload)``
     tuples; ``kind`` is ``ready``/``scan``/``infer``/``error``/``fatal``.
+
+    When the parent had a fault plan active at spawn time the worker re-arms
+    it locally (sites like ``cache.disk_*`` and ``shard.task`` then fire in
+    this process too).  ``crash``-kind faults are *not* evaluated here: the
+    parent's dispatch loop evaluates ``shard.worker.<id>`` and marks the
+    dispatched task instead, so a plan-global ``max_fires`` bounds crashes
+    across respawned replicas (a per-process schedule would re-arm on every
+    respawn and crash-loop past ``max_restarts``).
     """
     try:
+        plan_dict = options.get("fault_plan")
+        if plan_dict:
+            _activate_faults(FaultPlan.from_dict(plan_dict))
         detector = ScamDetector.load(
             options["bundle_path"],
             threshold=options["threshold"],
@@ -201,7 +245,12 @@ def _shard_worker(shard_id: int, options: Dict, task_queue, result_queue) -> Non
         task = task_queue.get()
         if task is None:
             return
-        kind, chunk_id, payload = task
+        kind, chunk_id, payload, crash = task
+        if crash:
+            # parent-side dispatch marked this task via an injected
+            # ``shard.worker.<id>`` crash fault: die *after* dequeue,
+            # exactly the window where work would be lost without requeueing
+            _crash(result_queue)
         if crash_file is not None and kind == "scan":
             # fault injection for the crash-recovery tests: the first worker
             # to consume the marker file dies *after* dequeuing its chunk,
@@ -211,8 +260,9 @@ def _shard_worker(shard_id: int, options: Dict, task_queue, result_queue) -> Non
             except OSError:
                 pass
             else:
-                os._exit(_CRASH_EXIT_CODE)
+                _crash(result_queue)
         try:
+            fault_point("shard.task")
             if kind == "scan":
                 result_queue.put(("scan", shard_id, chunk_id, _scan_chunk(
                     detector, cache, payload,
@@ -246,6 +296,12 @@ class _ShardHandle:
     #: chunk_id -> task tuple, for requeueing if the worker dies
     tasks: Dict[int, Tuple] = field(default_factory=dict)
     restarts: int = 0
+    #: monotonic deadline before which a dead worker is *not* respawned
+    #: (exponential backoff); None = not currently scheduled for respawn
+    respawn_after: Optional[float] = None
+    #: True once the breaker opened for this shard; it stays down and its
+    #: hash-space is served by the healthy shards
+    quarantined: bool = False
 
 
 @dataclass
@@ -261,6 +317,8 @@ class _ShardWindow:
     infer_graphs: int = 0
     infer_seconds: float = 0.0
     restarts: int = 0
+    restart_backoff_s: float = 0.0
+    quarantined: bool = False
 
     def absorb_scan(self, stats: Dict) -> None:
         self.contracts += stats["contracts"]
@@ -282,7 +340,9 @@ class _ShardWindow:
             elapsed_seconds=self.elapsed_seconds, cache=self.cache.copy(),
             batch_sizes=dict(self.batch_sizes),
             infer_calls=self.infer_calls, infer_graphs=self.infer_graphs,
-            infer_seconds=self.infer_seconds, restarts=self.restarts)
+            infer_seconds=self.infer_seconds, restarts=self.restarts,
+            restart_backoff_s=self.restart_backoff_s,
+            quarantined=self.quarantined)
 
     def delta_stats(self, before: "_ShardWindow") -> Dict[str, object]:
         """One scan's per-shard entry: this window minus a snapshot, in the
@@ -295,6 +355,9 @@ class _ShardWindow:
                                  self.elapsed_seconds - before.elapsed_seconds,
                                  self.cache.delta(before.cache), sizes)
         entry["restarts"] = self.restarts - before.restarts
+        entry["restart_backoff_s"] = (self.restart_backoff_s
+                                      - before.restart_backoff_s)
+        entry["quarantined"] = self.quarantined
         return entry
 
     def to_dict(self) -> Dict[str, object]:
@@ -311,6 +374,8 @@ class _ShardWindow:
                                 if self.infer_calls else 0.0),
         }
         stats["restarts"] = self.restarts
+        stats["restart_backoff_s"] = self.restart_backoff_s
+        stats["quarantined"] = self.quarantined
         return stats
 
 
@@ -343,7 +408,13 @@ class ShardedScanner:
             after a crash; larger chunks amortise IPC.
         start_method: ``multiprocessing`` start method (default: ``fork``
             where available, else the platform default).
-        max_restarts: Respawns allowed per shard before the scan fails.
+        max_restarts: Respawns allowed per shard before its circuit opens
+            and the shard is quarantined (its hash-space is rebalanced onto
+            the healthy shards); the scan only fails when no healthy shard
+            remains.
+        restart_backoff_s: Base respawn backoff; each further death of the
+            same shard doubles it.  Non-blocking: the dispatch loop keeps
+            draining results from the other shards while a respawn waits.
         crash_file: Fault-injection hook for tests -- when this file exists,
             the first worker to dequeue a scan chunk unlinks it and dies
             hard (``os._exit``), exercising the requeue path.
@@ -367,6 +438,7 @@ class ShardedScanner:
                  inference_batch_size: int = 256, chunk_size: int = 16,
                  start_method: Optional[str] = None,
                  max_restarts: int = 3,
+                 restart_backoff_s: float = 0.1,
                  crash_file: Optional[PathLike] = None,
                  cascade: bool = False,
                  cascade_margin: Optional[float] = None) -> None:
@@ -396,6 +468,7 @@ class ShardedScanner:
         self.chunk_size = chunk_size
         self.inference_batch_size = inference_batch_size
         self.max_restarts = max_restarts
+        self.restart_backoff_s = restart_backoff_s
         self._options = {
             "bundle_path": str(bundle_path),
             "threshold": threshold,
@@ -415,7 +488,9 @@ class ShardedScanner:
         self._handles: List[_ShardHandle] = []
         self._windows = [_ShardWindow() for _ in range(shards)]
         self._chunk_counter = itertools.count()
-        self._round_robin = itertools.cycle(range(shards))
+        self._rr_counter = itertools.count()
+        self._breaker = CircuitBreaker(failure_threshold=max_restarts + 1)
+        self._quarantined: set = set()
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -429,6 +504,28 @@ class ShardedScanner:
     def restarts(self) -> int:
         """Total worker respawns over the pool's lifetime."""
         return sum(window.restarts for window in self._windows)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one shard is quarantined (serving continues
+        on the healthy shards; ``/healthz`` reports ``"degraded"``)."""
+        return bool(self._quarantined)
+
+    @property
+    def quarantined_shards(self) -> List[int]:
+        return sorted(self._quarantined)
+
+    def _active_shards(self) -> List[int]:
+        return [shard_id for shard_id in range(self.shards)
+                if shard_id not in self._quarantined]
+
+    def _route(self, shard_id: int) -> int:
+        """Remap a quarantined shard's hash-space onto a healthy shard,
+        deterministically (same quarantine set -> same routing)."""
+        if shard_id not in self._quarantined:
+            return shard_id
+        active = self._active_shards()
+        return active[shard_id % len(active)]
 
     def start(self) -> "ShardedScanner":
         """Spawn the worker pool and wait until every replica is loaded.
@@ -478,9 +575,14 @@ class ShardedScanner:
 
     def _spawn(self, shard_id: int) -> _ShardHandle:
         task_queue = self._context.Queue()
+        # captured per spawn, not per pool: a fault plan armed after
+        # construction (e.g. via the CLI's --fault-plan) still reaches the
+        # workers, and respawned replicas re-arm the same plan
+        options = dict(self._options)
+        options["fault_plan"] = active_plan_dict()
         process = self._context.Process(
             target=_shard_worker,
-            args=(shard_id, self._options, task_queue, self._result_queue),
+            args=(shard_id, options, task_queue, self._result_queue),
             name=f"scamdetect-shard-{shard_id}", daemon=True)
         process.start()
         return _ShardHandle(shard_id=shard_id, process=process,
@@ -637,7 +739,8 @@ class ShardedScanner:
         spans = []
         for start in range(0, len(graphs), size):
             chunk = graphs[start:start + size]
-            shard_id = next(self._round_robin)
+            active = self._active_shards()
+            shard_id = active[next(self._rr_counter) % len(active)]
             assignments.append((shard_id, "infer",
                                 [_graph_payload(graph) for graph in chunk]))
             spans.append((start, len(chunk)))
@@ -666,8 +769,14 @@ class ShardedScanner:
         pending: Dict[int, int] = {}
         results: Dict[int, Tuple] = {}
         for shard_id, kind, payload in assignments:
+            shard_id = self._route(shard_id)
             chunk_id = next(self._chunk_counter)
-            task = (kind, chunk_id, payload)
+            # crash faults are evaluated here, parent-side, so the plan's
+            # schedule (after / max_fires) is global across worker respawns;
+            # the marked task kills its worker right after dequeue
+            spec = evaluate_fault(f"shard.worker.{shard_id}")
+            crash = spec is not None and spec.kind == "crash"
+            task = (kind, chunk_id, payload, crash)
             handle = self._handles[shard_id]
             handle.tasks[chunk_id] = task
             pending[chunk_id] = shard_id
@@ -714,32 +823,91 @@ class ShardedScanner:
         pending.clear()
 
     def _heal_workers(self) -> None:
-        """Respawn dead workers and redispatch their unacknowledged work."""
+        """Notice dead workers; quarantine repeat offenders, respawn the
+        rest after an exponential backoff.
+
+        Called from the result loop's poll timeout, so backoff never
+        blocks: while one shard waits out its backoff the loop keeps
+        draining results from the others.  Each death is recorded once on
+        the shard's circuit; the death that opens the circuit quarantines
+        the shard instead of respawning it (see :meth:`_quarantine`).
+        """
+        now = time.monotonic()
         for index, handle in enumerate(self._handles):
-            if handle.process.is_alive():
+            if handle.quarantined or handle.process.is_alive():
                 continue
-            restarts = handle.restarts + 1
-            if restarts > self.max_restarts:
-                raise ShardError(
-                    f"shard {handle.shard_id} died {restarts} times "
-                    f"(exit code {handle.process.exitcode}); giving up -- "
-                    f"a task in this shard is likely crashing the worker")
-            warnings.warn(
-                f"shard {handle.shard_id} worker died (exit code "
-                f"{handle.process.exitcode}); respawning and requeueing "
-                f"{len(handle.tasks)} chunk(s)", stacklevel=3)
+            if handle.respawn_after is None:
+                # first notice of this death: count it, then either
+                # quarantine (circuit opened) or schedule the respawn
+                if self._breaker.record_failure(handle.shard_id):
+                    self._quarantine(index)
+                    continue
+                backoff = self.restart_backoff_s * (2 ** handle.restarts)
+                handle.respawn_after = now + backoff
+                self._windows[handle.shard_id].restart_backoff_s += backoff
+                warnings.warn(
+                    f"shard {handle.shard_id} worker died (exit code "
+                    f"{handle.process.exitcode}); respawning and requeueing "
+                    f"{len(handle.tasks)} chunk(s) after {backoff:.2f}s "
+                    f"backoff", stacklevel=3)
+                continue
+            if now < handle.respawn_after:
+                continue
             # a fresh queue avoids ever reading a byte stream the dead
             # worker may have been mid-way through consuming
             old_queue = handle.task_queue
             replacement = self._spawn(handle.shard_id)
-            replacement.restarts = restarts
-            replacement.tasks = handle.tasks
+            replacement.restarts = handle.restarts + 1
+            # workers consume their queue in chunk-id order and die at the
+            # first crash-marked task, so that mark (already spent from the
+            # plan's max_fires budget) is stripped on requeue; later marks
+            # stay, keeping multi-crash schedules deterministic
+            tasks = dict(handle.tasks)
+            for chunk_id in sorted(tasks):
+                kind, chunk_id_, payload, crash = tasks[chunk_id]
+                if crash:
+                    tasks[chunk_id] = (kind, chunk_id_, payload, False)
+                    break
+            replacement.tasks = tasks
             for chunk_id in sorted(replacement.tasks):
                 replacement.task_queue.put(replacement.tasks[chunk_id])
             self._handles[index] = replacement
             self._windows[handle.shard_id].restarts += 1
             old_queue.close()
             old_queue.cancel_join_thread()
+
+    def _quarantine(self, index: int) -> None:
+        """Take a repeatedly-dying shard out of service and rebalance its
+        unacknowledged chunks onto the healthy shards.
+
+        Raises :class:`ShardError` only when no healthy shard remains to
+        absorb the work -- otherwise the scan degrades instead of failing,
+        and ``/healthz`` flips to ``"degraded"``.
+        """
+        handle = self._handles[index]
+        shard_id = handle.shard_id
+        deaths = handle.restarts + 1
+        healthy = [peer for peer in self._handles
+                   if peer.shard_id != shard_id and not peer.quarantined]
+        if not healthy:
+            raise ShardError(
+                f"shard {shard_id} died {deaths} times (exit code "
+                f"{handle.process.exitcode}); giving up -- no healthy "
+                f"shard left to absorb its work")
+        handle.quarantined = True
+        self._quarantined.add(shard_id)
+        self._windows[shard_id].quarantined = True
+        warnings.warn(
+            f"shard {shard_id} died {deaths} times (exit code "
+            f"{handle.process.exitcode}); quarantining it and rebalancing "
+            f"{len(handle.tasks)} chunk(s) onto {len(healthy)} healthy "
+            f"shard(s) -- serving degraded", stacklevel=4)
+        for chunk_id in sorted(handle.tasks):
+            kind, _, payload, _ = handle.tasks.pop(chunk_id)
+            target = healthy[chunk_id % len(healthy)]
+            task = (kind, chunk_id, payload, False)
+            target.tasks[chunk_id] = task
+            target.task_queue.put(task)
 
     # ------------------------------------------------------------------ #
     # telemetry

@@ -134,8 +134,10 @@ def test_cli_parser_subcommands():
     assert args.id == "E11"
     args = parser.parse_args(["experiment", "--id", "E12"])
     assert args.id == "E12"
+    args = parser.parse_args(["experiment", "--id", "E13"])
+    assert args.id == "E13"
     with pytest.raises(SystemExit):
-        parser.parse_args(["experiment", "--id", "E13"])
+        parser.parse_args(["experiment", "--id", "E14"])
     args = parser.parse_args(["scan-batch", "--model-path", "m",
                               "--input-dir", "d", "--shards", "4"])
     assert args.shards == 4

@@ -7,6 +7,7 @@ run in parallel with anything else on the host.
 import concurrent.futures
 import threading
 import time
+import warnings
 
 import pytest
 
@@ -472,3 +473,63 @@ def test_verdicts_without_registry_is_503(client):
         client.verdicts()
     assert excinfo.value.status == 503
     assert "no verdict registry" in str(excinfo.value)
+
+
+# --------------------------------------------------------------------------- #
+# drain + recovery under injected faults
+
+
+def test_shutdown_drains_requests_slowed_by_injected_faults(
+        trained_detector, tiny_evm_corpus):
+    from repro.resilience import FaultPlan, FaultSpec, fault_plan
+
+    server = ScanServer(trained_detector, port=0, workers=8).start()
+    try:
+        client = ServerClient(port=server.port)
+        client.wait_until_ready()
+        codes = [sample.bytecode for sample in tiny_evm_corpus[:6]]
+        # every handler sleeps mid-request, so shutdown starts while all
+        # six requests are still unanswered inside their handler threads
+        with fault_plan(FaultPlan(specs=(
+                FaultSpec(site="server.handler", kind="delay",
+                          delay_s=0.3),))):
+            with concurrent.futures.ThreadPoolExecutor(max_workers=6) as pool:
+                futures = [pool.submit(client.scan, code) for code in codes]
+                deadline = time.monotonic() + 10.0
+                while server.metrics.requests.get("scan", 0) < len(codes):
+                    assert time.monotonic() < deadline, \
+                        "requests never accepted"
+                    time.sleep(0.01)
+                server.shutdown()         # must drain, not drop
+                served = [future.result(timeout=10.0) for future in futures]
+    finally:
+        server.shutdown()
+    direct = [trained_detector.scan(code).to_dict() for code in codes]
+    assert served == direct
+
+
+def test_scan_batch_survives_midbatch_worker_crash(trained_detector,
+                                                   tiny_evm_corpus):
+    from repro.resilience import FaultPlan, FaultSpec, fault_plan
+
+    codes = [sample.bytecode for sample in tiny_evm_corpus[:10]]
+    ids = [f"c{index}" for index in range(len(codes))]
+    direct = [trained_detector.scan(code, sample_id=sample_id).to_dict()
+              for code, sample_id in zip(codes, ids)]
+    # the coalescer dispatches the whole batch as one infer task, so the
+    # crash must fire on the first shard.worker.* dispatch
+    plan = FaultPlan(specs=(
+        FaultSpec(site="shard.worker.*", kind="crash", max_fires=1),))
+    with fault_plan(plan), warnings.catch_warnings():
+        warnings.simplefilter("ignore")   # the heal loop's respawn warning
+        server = ScanServer(trained_detector, port=0, workers=4,
+                            shards=2).start()
+        try:
+            client = ServerClient(port=server.port)
+            client.wait_until_ready()
+            batch = client.scan_batch(codes, sample_ids=ids)
+            assert batch["reports"] == direct
+            # the crash really happened and was healed, not skipped
+            assert server.sharded.restarts == 1
+        finally:
+            server.shutdown()
