@@ -1,0 +1,238 @@
+#!/usr/bin/env python
+"""CI smoke test for retro-triage (run against real subprocesses).
+
+Drives the registry-v2 triage loop the way an operator would:
+
+1. generate a small corpus and seed a registry via ``scamdetect
+   scan-batch --registry``,
+2. ``scamdetect triage --dry-run --explain --json`` and assert the
+   compiled plans are printed, matches are found, and *nothing* is
+   written (no tags visible, exit code 0 even though an
+   ``exit_nonzero`` rule matched),
+3. apply the same rules file and assert the per-rule match counts are
+   identical to the dry run, the tags are now visible through
+   ``scamdetect query --tag``, and the ``exit_nonzero`` rule turns
+   into exit code 2,
+4. re-apply and assert idempotence (same matches, zero new tags),
+5. run a webhook rule against a dead endpoint with
+   ``--dead-letter-file`` and assert every failed delivery landed in
+   the JSONL dead-letter sink as machine-readable lines.
+
+Usage::
+
+    python scripts/ci_triage_smoke.py --model-path /tmp/ci-model
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+RULES = """
+[[rules]]
+name = "ci-retro-hot"
+
+[rules.match]
+verdict = "malicious"
+
+[rules.actions]
+tag = ["ci-retro-hot"]
+alert = true
+exit_nonzero = true
+
+[[rules]]
+name = "ci-retro-clean"
+
+[rules.match]
+verdict = "benign"
+max_score = 0.4
+
+[rules.actions]
+tag = ["ci-retro-clean"]
+"""
+
+# a dead endpoint: port 9 (discard) is unbound on CI hosts, so every
+# delivery fails fast and must be dead-lettered, not dropped
+DEAD_WEBHOOK_RULES = """
+[[rules]]
+name = "ci-retro-webhook"
+
+[rules.match]
+verdict = "malicious"
+
+[rules.actions]
+webhook = "http://127.0.0.1:9/triage-smoke"
+"""
+
+
+def run_cli(*argv: str, expect: tuple = (0,)) -> subprocess.CompletedProcess:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode not in expect:
+        raise SystemExit(
+            f"triage smoke: {argv[0]} exited {result.returncode} "
+            f"(expected one of {expect})\nstdout:\n{result.stdout}\n"
+            f"stderr:\n{result.stderr}"
+        )
+    return result
+
+
+def triage(
+    rules: pathlib.Path,
+    registry: pathlib.Path,
+    model: str,
+    *extra: str,
+    expect: tuple = (0,),
+) -> dict:
+    result = run_cli(
+        "triage",
+        str(rules),
+        "--registry",
+        str(registry),
+        "--model-path",
+        model,
+        "--json",
+        *extra,
+        expect=expect,
+    )
+    payload = json.loads(result.stdout)
+    payload["_stderr"] = result.stderr
+    payload["_returncode"] = result.returncode
+    return payload
+
+
+def query_tagged(registry: pathlib.Path, tag: str) -> list:
+    result = run_cli(
+        "query",
+        "--registry",
+        str(registry),
+        "--tag",
+        tag,
+        "--all",
+        "--json",
+    )
+    return json.loads(result.stdout)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model-path", required=True)
+    parser.add_argument("--num-contracts", type=int, default=16)
+    args = parser.parse_args()
+
+    from repro.datasets.generator import CorpusGenerator, GeneratorConfig
+
+    corpus = CorpusGenerator(
+        GeneratorConfig(
+            platform="evm",
+            num_samples=args.num_contracts,
+            label_noise=0.0,
+            seed=11,
+        )
+    ).generate("triage-smoke")
+
+    with tempfile.TemporaryDirectory(prefix="triage-smoke-") as tmp:
+        root = pathlib.Path(tmp)
+        feed = root / "feed"
+        feed.mkdir()
+        for sample in corpus:
+            (feed / f"{sample.sample_id}.bin").write_bytes(sample.bytecode)
+        registry = root / "verdicts.db"
+        rules = root / "rules.toml"
+        rules.write_text(RULES)
+
+        # exit 2 = malicious contracts found, which the corpus guarantees
+        run_cli(
+            "scan-batch",
+            "--model-path",
+            args.model_path,
+            "--input-dir",
+            str(feed),
+            "--registry",
+            str(registry),
+            expect=(0, 2),
+        )
+        print(f"triage smoke: registry seeded from {args.num_contracts} contracts")
+
+        dry = triage(rules, registry, args.model_path, "--dry-run", "--explain")
+        if not dry["dry_run"] or dry["rows_matched"] <= 0:
+            raise SystemExit(f"triage smoke: dry run found no matches: {dry}")
+        if dry["tags_applied"] != 0:
+            raise SystemExit("triage smoke: dry run applied tags")
+        if "plan:" not in dry["_stderr"]:
+            raise SystemExit("triage smoke: --explain printed no plan lines")
+        if query_tagged(registry, "ci-retro-hot"):
+            raise SystemExit("triage smoke: dry run leaked tags into the registry")
+        print(
+            f"triage smoke: dry run matched {dry['rows_matched']} rows, "
+            f"wrote nothing (exit 0)"
+        )
+
+        applied = triage(rules, registry, args.model_path, expect=(2,))
+        if applied["rule_matches"] != dry["rule_matches"]:
+            raise SystemExit(
+                f"triage smoke: apply/dry-run parity broken: "
+                f"{applied['rule_matches']} != {dry['rule_matches']}"
+            )
+        if applied["tags_applied"] <= 0:
+            raise SystemExit("triage smoke: apply run tagged nothing")
+        hot = query_tagged(registry, "ci-retro-hot")
+        if len(hot) != applied["rule_matches"]["ci-retro-hot"]:
+            raise SystemExit(
+                f"triage smoke: {len(hot)} ci-retro-hot tags visible, "
+                f"expected {applied['rule_matches']['ci-retro-hot']}"
+            )
+        print(
+            f"triage smoke: apply matched the dry run rule-for-rule, "
+            f"tagged {applied['tags_applied']} rows, exited 2 on the "
+            f"exit_nonzero rule"
+        )
+
+        again = triage(rules, registry, args.model_path, "--no-resume", expect=(2,))
+        if again["rule_matches"] != applied["rule_matches"]:
+            raise SystemExit("triage smoke: re-apply match counts drifted")
+        if again["tags_applied"] != 0:
+            raise SystemExit(
+                f"triage smoke: re-apply was not idempotent "
+                f"({again['tags_applied']} new tags)"
+            )
+        print("triage smoke: re-apply is idempotent (0 new tags)")
+
+        webhook_rules = root / "webhook-rules.toml"
+        webhook_rules.write_text(DEAD_WEBHOOK_RULES)
+        dead_letter = root / "dead-letter.jsonl"
+        hooked = triage(
+            webhook_rules,
+            registry,
+            args.model_path,
+            "--dead-letter-file",
+            str(dead_letter),
+        )
+        if hooked["rows_matched"] <= 0:
+            raise SystemExit("triage smoke: webhook rule matched nothing")
+        if "dead-lettered" not in hooked["_stderr"]:
+            raise SystemExit("triage smoke: dead-letter count missing from stderr")
+        if not dead_letter.exists():
+            raise SystemExit("triage smoke: dead-letter sink was not created")
+        entries = [json.loads(line) for line in dead_letter.read_text().splitlines()]
+        if len(entries) != hooked["rows_matched"]:
+            raise SystemExit(
+                f"triage smoke: {len(entries)} dead-letter entries for "
+                f"{hooked['rows_matched']} failed deliveries"
+            )
+        print(
+            f"triage smoke: {len(entries)} dead webhook deliveries "
+            f"captured in the JSONL sink -- ok"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,8 @@ Usage (after ``pip install -e .`` the ``scamdetect`` entry point is on PATH;
     scamdetect query      --registry /tmp/verdicts.db --verdict malicious \
                           --min-score 0.9 --json
     scamdetect rules check triage.toml
+    scamdetect triage triage.toml --registry /tmp/verdicts.db \
+                          --fingerprint FP --dry-run
     scamdetect experiment --id E2
 
 The CLI is intentionally thin: every command maps onto one public-API call so
@@ -23,8 +25,8 @@ scripts and notebooks can do the same thing programmatically.
 Exit codes are verdict-coded so shell pipelines can branch on them:
 ``scan`` and ``scan-batch`` exit 0 when everything was benign, 2 when
 anything was flagged malicious, and 1 on errors (bad model path, unreadable
-input, ...); ``watch`` exits 2 when a triage rule with the
-``exit_nonzero`` action fired.
+input, ...); ``watch`` and ``triage`` exit 2 when a triage rule with the
+``exit_nonzero`` action fired (``triage --dry-run`` always exits 0).
 """
 
 from __future__ import annotations
@@ -310,7 +312,7 @@ def _command_query(args: argparse.Namespace) -> int:
         raise SystemExit(f"query: cannot open registry "
                          f"{args.registry!r}: {error}")
     try:
-        rows = registry.query(
+        filters = dict(
             verdict=args.verdict,
             min_score=args.min_score,
             max_score=args.max_score,
@@ -320,8 +322,17 @@ def _command_query(args: argparse.Namespace) -> int:
             path_glob=args.path_glob,
             tag=args.tag,
             sha256_prefix=args.sha256,
-            all_fingerprints=fingerprint is None,
-            limit=None if args.all else args.limit)
+            all_fingerprints=fingerprint is None)
+        next_cursor = None
+        paginated = args.cursor is not None or args.page_size is not None
+        if paginated:
+            rows, next_cursor = registry.query_page(
+                cursor=args.cursor,
+                page_size=args.page_size or 50,
+                **filters)
+        else:
+            rows = registry.query(
+                limit=None if args.all else args.limit, **filters)
         if args.json:
             payload = []
             for row in rows:
@@ -330,7 +341,12 @@ def _command_query(args: argparse.Namespace) -> int:
                     entry["history"] = registry.history(
                         row.sha256, fingerprint=row.fingerprint)
                 payload.append(entry)
-            print(json.dumps(payload, indent=2, sort_keys=True))
+            if paginated:
+                print(json.dumps({"verdicts": payload,
+                                  "next_cursor": next_cursor},
+                                 indent=2, sort_keys=True))
+            else:
+                print(json.dumps(payload, indent=2, sort_keys=True))
         else:
             for row in rows:
                 print(row.format())
@@ -343,6 +359,8 @@ def _command_query(args: argparse.Namespace) -> int:
             print(f"{len(rows)} verdict{'s' if len(rows) != 1 else ''} "
                   f"({'all fingerprints' if fingerprint is None else 'fingerprint ' + fingerprint})",
                   file=sys.stderr)
+            if next_cursor is not None:
+                print(f"next page: --cursor {next_cursor}", file=sys.stderr)
     except RegistryError as error:
         raise SystemExit(f"query: {error}")
     except sqlite3.Error as error:
@@ -366,6 +384,62 @@ def _command_rules_check(args: argparse.Namespace) -> int:
         print(rule.describe())
     print(f"{len(rules)} rule{'s' if len(rules) != 1 else ''} ok")
     return 0
+
+
+def _command_triage(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.registry import (CompileError, PartitionedScanRegistry,
+                                RegistryError, RetroTriage, RuleParseError,
+                                RulesEngine, ScanRegistry, parse_rules)
+
+    fingerprint = args.fingerprint
+    if args.model_path is not None:
+        fingerprint = _load_detector("triage", args,
+                                     explain=False).config.graph_fingerprint()
+    if not fingerprint:
+        raise SystemExit("triage: a fingerprint scope is required; pass "
+                         "--model-path or --fingerprint")
+    try:
+        rules_text = pathlib.Path(args.rules_file).read_text()
+    except OSError as error:
+        raise SystemExit(f"triage: cannot read rules file "
+                         f"{args.rules_file!r}: {error}")
+    try:
+        rules = parse_rules(rules_text, origin=args.rules_file)
+    except RuleParseError as error:
+        raise SystemExit(f"triage: {error}")
+    registry_cls = (PartitionedScanRegistry if args.partitioned
+                    else ScanRegistry)
+    try:
+        registry = registry_cls(args.registry, fingerprint=fingerprint)
+    except (RegistryError, OSError) as error:
+        raise SystemExit(f"triage: cannot open registry "
+                         f"{args.registry!r}: {error}")
+    engine = RulesEngine(rules, alert_path=args.alert_file,
+                         dead_letter_path=args.dead_letter_file)
+    try:
+        triage = RetroTriage(registry, rules, rules_text, engine=engine,
+                             dry_run=args.dry_run,
+                             batch_size=args.batch_size,
+                             resume=not args.no_resume)
+        result = triage.run()
+    except (CompileError, RegistryError) as error:
+        raise SystemExit(f"triage: {error}")
+    finally:
+        registry.close()
+    if args.explain:
+        for line in result.plan_lines:
+            print(f"plan: {line}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.format())
+    if engine.dead_lettered:
+        print(f"triage: {engine.dead_lettered} webhook deliveries "
+              f"dead-lettered", file=sys.stderr)
+    return 2 if (result.exit_nonzero and not result.dry_run) else 0
 
 
 def _command_serve(args: argparse.Namespace) -> int:
@@ -433,6 +507,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         run_e11_watch_ingest,
         run_e12_cascade_throughput,
         run_e13_chaos_resilience,
+        run_e14_registry_triage,
     )
 
     runners = {
@@ -449,6 +524,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         "E11": run_e11_watch_ingest,
         "E12": run_e12_cascade_throughput,
         "E13": run_e13_chaos_resilience,
+        "E14": run_e14_registry_triage,
     }
     result = runners[args.id.upper()]()
     print(result.format())
@@ -654,6 +730,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="newest-first row cap (default 50)")
     query_parser.add_argument("--all", action="store_true",
                               help="no row cap (overrides --limit)")
+    query_parser.add_argument("--cursor", default=None,
+                              help="resume a paginated listing from this "
+                                   "opaque cursor (from a previous page)")
+    query_parser.add_argument("--page-size", type=int, default=None,
+                              help="keyset-paginated mode: rows per page "
+                                   "(prints the next cursor)")
     query_parser.add_argument("--history", action="store_true",
                               help="include the per-contract rescan history")
     query_parser.add_argument("--json", action="store_true",
@@ -672,10 +754,47 @@ def build_parser() -> argparse.ArgumentParser:
                                     help="TOML rules file to validate")
     rules_check_parser.set_defaults(handler=_command_rules_check)
 
+    triage_parser = subparsers.add_parser(
+        "triage",
+        help="retro-apply a TOML rules file across the registry's "
+             "historical rows (compiled to index-backed SQL, resumable)")
+    triage_parser.add_argument("rules_file",
+                               help="TOML rules file to apply")
+    triage_parser.add_argument("--registry", required=True,
+                               help="SQLite verdict registry (or the "
+                                    "partitioned base path)")
+    triage_parser.add_argument("--model-path", default=None,
+                               help="scope to this model bundle's graph "
+                                    "fingerprint")
+    triage_parser.add_argument("--fingerprint", default=None,
+                               help="scope to an explicit graph fingerprint")
+    triage_parser.add_argument("--dry-run", action="store_true",
+                               help="compute and print the would-be actions "
+                                    "without tagging/alerting/posting")
+    triage_parser.add_argument("--batch-size", type=int, default=1000,
+                               help="rows per fetch/act/commit cycle")
+    triage_parser.add_argument("--no-resume", action="store_true",
+                               help="start over instead of resuming an "
+                                    "unfinished run of the same rules file")
+    triage_parser.add_argument("--partitioned", action="store_true",
+                               help="open REGISTRY as a per-platform "
+                                    "partitioned layout")
+    triage_parser.add_argument("--alert-file", default=None,
+                               help="JSONL sink for rule 'alert' actions")
+    triage_parser.add_argument("--dead-letter-file", default=None,
+                               help="JSONL sink for webhook deliveries that "
+                                    "exhausted their retries")
+    triage_parser.add_argument("--explain", action="store_true",
+                               help="print the EXPLAIN QUERY PLAN lines of "
+                                    "every compiled rule")
+    triage_parser.add_argument("--json", action="store_true",
+                               help="machine-readable result")
+    triage_parser.set_defaults(handler=_command_triage, threshold=0.5)
+
     experiment_parser = subparsers.add_parser("experiment",
-                                              help="run one E1-E13 experiment")
+                                              help="run one E1-E14 experiment")
     experiment_parser.add_argument("--id", required=True,
-                                   choices=[f"E{i}" for i in range(1, 14)])
+                                   choices=[f"E{i}" for i in range(1, 15)])
     experiment_parser.set_defaults(handler=_command_experiment)
     return parser
 

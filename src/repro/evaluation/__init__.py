@@ -1,4 +1,4 @@
-"""Evaluation harness: cross-validation, the E1-E13 experiments and reporting.
+"""Evaluation harness: cross-validation, the E1-E14 experiments and reporting.
 
 Each experiment function reproduces one claim of the paper (see DESIGN.md's
 experiment index) and returns an :class:`~repro.evaluation.reporting.ExperimentResult`
@@ -27,6 +27,7 @@ from repro.evaluation.experiments import (
     E11Config,
     E12Config,
     E13Config,
+    E14Config,
     run_e1_phishinghook_zoo,
     run_e2_obfuscation_degradation,
     run_e3_gnn_vs_baseline,
@@ -40,6 +41,7 @@ from repro.evaluation.experiments import (
     run_e11_watch_ingest,
     run_e12_cascade_throughput,
     run_e13_chaos_resilience,
+    run_e14_registry_triage,
 )
 
 __all__ = [
@@ -60,6 +62,7 @@ __all__ = [
     "E11Config",
     "E12Config",
     "E13Config",
+    "E14Config",
     "run_e1_phishinghook_zoo",
     "run_e2_obfuscation_degradation",
     "run_e3_gnn_vs_baseline",
@@ -73,4 +76,5 @@ __all__ = [
     "run_e11_watch_ingest",
     "run_e12_cascade_throughput",
     "run_e13_chaos_resilience",
+    "run_e14_registry_triage",
 ]

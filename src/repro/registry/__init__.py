@@ -4,18 +4,34 @@ This package is the stateful layer over the scanning service stack:
 
 * :mod:`repro.registry.store` -- :class:`ScanRegistry`, a SQLite-backed,
   content-addressed verdict store keyed by ``(sha256, graph fingerprint)``
-  with WAL concurrency, schema migrations, rescan history and a query API.
+  with WAL concurrency, schema migrations, rescan history, a query API,
+  and keyset-cursor pagination.
+* :mod:`repro.registry.partition` -- :class:`PartitionedScanRegistry`,
+  the fleet-scale layout: one database per platform behind the same API.
 * :mod:`repro.registry.watch` -- :class:`WatchDaemon`, the continuous
   ingestion path: poll a directory, scan only unseen bytecode, record
   verdicts durably (``scamdetect watch DIR``).
 * :mod:`repro.registry.rules` -- the declarative TOML triage rules engine
   (tag / JSONL alert / webhook / exit-nonzero) evaluated on new verdicts.
+* :mod:`repro.registry.compile` -- the rule-to-SQL compiler turning those
+  matchers into index-backed registry queries.
+* :mod:`repro.registry.triage` -- :class:`RetroTriage`, resumable
+  batched retro-application of a rules file over historical rows
+  (``scamdetect triage RULES``).
 
 ``BatchScanner(registry=...)`` and ``ScanServer(registry=...)`` plug the
 store into the offline and online scan paths; ``scamdetect query`` and
-``GET /verdicts`` read it back.
+``GET /v1/verdicts`` read it back.
 """
 
+from repro.registry.compile import (
+    CompiledRule,
+    CompileError,
+    check_index_backed,
+    compile_rule,
+    compile_rules,
+)
+from repro.registry.partition import PartitionedScanRegistry
 from repro.registry.rules import (
     RuleParseError,
     RulesEngine,
@@ -28,19 +44,35 @@ from repro.registry.store import (
     SCHEMA_VERSION,
     RegistryError,
     ScanRegistry,
+    TriageRun,
     VerdictRow,
     WatchedFile,
     content_sha256,
+    decode_cursor,
+    encode_cursor,
 )
+from repro.registry.triage import RetroTriage, RetroTriageResult, rules_digest
 from repro.registry.watch import PollStats, WatchDaemon
 
 __all__ = [
     "SCHEMA_VERSION",
     "RegistryError",
     "ScanRegistry",
+    "TriageRun",
     "VerdictRow",
     "WatchedFile",
     "content_sha256",
+    "decode_cursor",
+    "encode_cursor",
+    "PartitionedScanRegistry",
+    "CompileError",
+    "CompiledRule",
+    "check_index_backed",
+    "compile_rule",
+    "compile_rules",
+    "RetroTriage",
+    "RetroTriageResult",
+    "rules_digest",
     "RuleParseError",
     "RulesEngine",
     "TriageOutcome",

@@ -15,6 +15,11 @@ validation errors).  A rules file looks like::
     platform = "evm"             # restrict to one frontend
     indicators = ["DELEGATECALL"]  # substrings that must appear in notes
     path_glob = "inbox/*"        # shell glob on the source path
+    tag = "hot"                  # row already carries this triage tag
+    model_identity = "sha256:.." # scored by this exact model fingerprint
+    since = 1700000000           # scanned-at window (epoch / ISO / TOML
+    until = "2026-01-01T00:00"   # datetime), inclusive on both ends
+    sha256 = "ab12"              # content-hash hex prefix
 
     [rules.actions]
     tag = ["hot", "escalate"]    # merged into the registry row's tag set
@@ -38,6 +43,7 @@ configured) so a flapping endpoint loses no alerts, only freshness.
 
 from __future__ import annotations
 
+import datetime
 import fnmatch
 import json
 import pathlib
@@ -62,7 +68,7 @@ PathLike = Union[str, pathlib.Path]
 
 _MATCH_KEYS = frozenset(
     ("verdict", "min_score", "max_score", "platform", "indicators",
-     "path_glob")
+     "path_glob", "tag", "model_identity", "since", "until", "sha256")
 )
 _ACTION_KEYS = frozenset(("tag", "alert", "webhook", "exit_nonzero"))
 
@@ -90,15 +96,39 @@ class TriageRule:
     platform: Optional[str] = None
     indicators: tuple = ()
     path_glob: Optional[str] = None
+    # registry-level matchers (v2): these constrain *stored* facts about a
+    # verdict -- its tag set, the scoring model's weight fingerprint, the
+    # scan-time window, and the content-hash prefix -- so rules can slice
+    # history ("everything model X tagged hot last week"), not just the
+    # report fields a fresh scan carries.  TOML keys `tag` / `sha256` map
+    # to `has_tag` / `sha256_prefix` (the action field `tag` and the full
+    # content hash already own the plain names).
+    has_tag: Optional[str] = None
+    model_identity: Optional[str] = None
+    since: Optional[float] = None
+    until: Optional[float] = None
+    sha256_prefix: Optional[str] = None
     tag: tuple = ()
     alert: bool = False
     webhook: Optional[str] = None
     exit_nonzero: bool = False
 
     def matches(
-        self, report: VerdictReport, source_path: Optional[str]
+        self,
+        report: VerdictReport,
+        source_path: Optional[str],
+        sha256: Optional[str] = None,
+        model_identity: Optional[str] = None,
+        tags: Sequence[str] = (),
+        scanned_at: Optional[float] = None,
     ) -> bool:
-        """True when every configured condition holds for ``report``."""
+        """True when every configured condition holds for ``report``.
+
+        The keyword context carries the registry-level facts the report
+        itself does not: a rule constraining one of them can only match
+        when the caller supplies it (a missing fact fails the condition --
+        conservative, never a silent wildcard).
+        """
         if self.verdict is not None and report.verdict != self.verdict:
             return False
         score = report.malicious_probability
@@ -115,7 +145,42 @@ class TriageRule:
             candidate = source_path or report.sample_id
             if not fnmatch.fnmatchcase(candidate, self.path_glob):
                 return False
+        if self.has_tag is not None and self.has_tag not in tags:
+            return False
+        if (
+            self.model_identity is not None
+            and model_identity != self.model_identity
+        ):
+            return False
+        if self.since is not None and (
+            scanned_at is None or scanned_at < self.since
+        ):
+            return False
+        if self.until is not None and (
+            scanned_at is None or scanned_at > self.until
+        ):
+            return False
+        if self.sha256_prefix is not None and (
+            sha256 is None or not sha256.startswith(self.sha256_prefix)
+        ):
+            return False
         return True
+
+    def matches_row(self, row) -> bool:
+        """:meth:`matches` over a stored registry row
+        (:class:`~repro.registry.store.VerdictRow`) with its full context.
+
+        This is the row-at-a-time oracle the compiled-SQL triage path is
+        verified against (E14's byte-identical parity check).
+        """
+        return self.matches(
+            row.to_report(),
+            row.source_path,
+            sha256=row.sha256,
+            model_identity=row.model_identity,
+            tags=row.tags,
+            scanned_at=row.last_scanned_at,
+        )
 
     def describe(self) -> str:
         conditions = []
@@ -131,6 +196,16 @@ class TriageRule:
             conditions.append(f"indicators={list(self.indicators)}")
         if self.path_glob is not None:
             conditions.append(f"path={self.path_glob}")
+        if self.has_tag is not None:
+            conditions.append(f"tag={self.has_tag}")
+        if self.model_identity is not None:
+            conditions.append(f"model_identity={self.model_identity}")
+        if self.since is not None:
+            conditions.append(f"since={self.since}")
+        if self.until is not None:
+            conditions.append(f"until={self.until}")
+        if self.sha256_prefix is not None:
+            conditions.append(f"sha256={self.sha256_prefix}*")
         actions = []
         if self.tag:
             actions.append(f"tag={list(self.tag)}")
@@ -149,6 +224,24 @@ class TriageRule:
 def _require(condition: bool, rule_name: str, message: str) -> None:
     if not condition:
         raise RuleParseError(f"rule {rule_name!r}: {message}")
+
+
+def _parse_when(value, rule_name: str, key: str) -> float:
+    """``since``/``until`` accept epoch seconds, a TOML datetime, or an
+    ISO-8601 string -- the same forms `scamdetect query --since` takes."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    if isinstance(value, datetime.datetime):
+        return value.timestamp()
+    if isinstance(value, str):
+        try:
+            return datetime.datetime.fromisoformat(value).timestamp()
+        except ValueError:
+            pass
+    raise RuleParseError(
+        f"rule {rule_name!r}: {key} must be epoch seconds, a TOML "
+        f"datetime, or an ISO-8601 string, not {value!r}"
+    )
 
 
 def parse_rules(text: str, origin: str = "<rules>") -> List[TriageRule]:
@@ -256,6 +349,43 @@ def parse_rules(text: str, origin: str = "<rules>") -> List[TriageRule]:
                 name,
                 "path_glob must be a non-empty string",
             )
+        has_tag = match.get("tag")
+        if has_tag is not None:
+            _require(
+                isinstance(has_tag, str) and bool(has_tag),
+                name,
+                "match.tag must be a non-empty string",
+            )
+        model_identity = match.get("model_identity")
+        if model_identity is not None:
+            _require(
+                isinstance(model_identity, str) and bool(model_identity),
+                name,
+                "model_identity must be a non-empty string",
+            )
+        since = match.get("since")
+        if since is not None:
+            since = _parse_when(since, name, "since")
+        until = match.get("until")
+        if until is not None:
+            until = _parse_when(until, name, "until")
+        if since is not None and until is not None:
+            _require(
+                since <= until, name, "since must not be after until"
+            )
+        sha256_prefix = match.get("sha256")
+        if sha256_prefix is not None:
+            _require(
+                isinstance(sha256_prefix, str)
+                and 0 < len(sha256_prefix) <= 64
+                and all(
+                    char in "0123456789abcdefABCDEF"
+                    for char in sha256_prefix
+                ),
+                name,
+                "match.sha256 must be a hex prefix (1-64 chars)",
+            )
+            sha256_prefix = sha256_prefix.lower()
 
         tags = actions.get("tag", [])
         _require(
@@ -296,6 +426,11 @@ def parse_rules(text: str, origin: str = "<rules>") -> List[TriageRule]:
                 platform=platform,
                 indicators=tuple(indicators),
                 path_glob=path_glob,
+                has_tag=has_tag,
+                model_identity=model_identity,
+                since=since,
+                until=until,
+                sha256_prefix=sha256_prefix,
                 tag=tuple(tags),
                 alert=alert,
                 webhook=webhook,
@@ -377,20 +512,32 @@ class RulesEngine:
         sha256: str,
         source_path: Optional[str] = None,
         fired_at: Optional[float] = None,
+        model_identity: Optional[str] = None,
+        tags: Sequence[str] = (),
+        scanned_at: Optional[float] = None,
     ) -> TriageOutcome:
         """Run every matching rule's actions for one new verdict.
 
         Returns the outcome; the caller applies ``outcome.tags`` to the
         registry (the engine does not hold a registry handle, so rules stay
-        usable on ad-hoc reports too).
+        usable on ad-hoc reports too).  ``model_identity`` / ``tags`` /
+        ``scanned_at`` feed the registry-level matchers; callers that do
+        not supply them simply never match rules constraining them.
         """
         outcome = TriageOutcome()
-        tags: List[str] = []
+        fired_tags: List[str] = []
         for rule in self.rules:
-            if not rule.matches(report, source_path):
+            if not rule.matches(
+                report,
+                source_path,
+                sha256=sha256,
+                model_identity=model_identity,
+                tags=tags,
+                scanned_at=scanned_at,
+            ):
                 continue
             outcome.matched.append(rule.name)
-            tags.extend(rule.tag)
+            fired_tags.extend(rule.tag)
             if rule.alert or rule.webhook:
                 payload = self._alert_payload(
                     rule, report, sha256, source_path, fired_at
@@ -402,7 +549,7 @@ class RulesEngine:
                     self._post_webhook(rule.webhook, payload)
             if rule.exit_nonzero:
                 outcome.exit_nonzero = True
-        outcome.tags = sorted(set(tags))
+        outcome.tags = sorted(set(fired_tags))
         return outcome
 
     # ------------------------------------------------------------------ #

@@ -34,6 +34,8 @@ what makes ``watch``-then-``query`` verdicts byte-identical to a direct
 
 from __future__ import annotations
 
+import base64
+import binascii
 import hashlib
 import json
 import pathlib
@@ -51,7 +53,7 @@ from repro.resilience.retry import RetryPolicy
 PathLike = Union[str, pathlib.Path]
 
 #: Schema version written by this code; see :data:`_MIGRATIONS`.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Ordered migrations; ``_MIGRATIONS[v]`` upgrades a version ``v-1`` registry
 #: to version ``v``.  Migrations only ever append (new tables, new columns
@@ -114,6 +116,32 @@ _MIGRATIONS: Dict[int, str] = {
     3: """
         ALTER TABLE verdicts ADD COLUMN stage TEXT NOT NULL DEFAULT 'gnn';
     """,
+    # registry v2 (compiled triage + cursor pagination): indexes backing the
+    # rule-to-SQL compiler's platform / model-identity matchers and the
+    # keyset-paginated listing order, plus the resumable retro-triage
+    # progress table (one row per `scamdetect triage` run)
+    4: """
+        CREATE INDEX verdicts_platform ON verdicts(fingerprint, platform);
+        CREATE INDEX verdicts_model_identity
+            ON verdicts(fingerprint, model_identity);
+        CREATE INDEX verdicts_page
+            ON verdicts(fingerprint, last_scanned_at DESC, sha256);
+        CREATE TABLE triage_runs (
+            id INTEGER PRIMARY KEY AUTOINCREMENT,
+            rules_digest TEXT NOT NULL,
+            fingerprint TEXT NOT NULL,
+            dry_run INTEGER NOT NULL DEFAULT 0,
+            rule_index INTEGER NOT NULL DEFAULT 0,
+            cursor_sha256 TEXT NOT NULL DEFAULT '',
+            rows_scanned INTEGER NOT NULL DEFAULT 0,
+            rows_matched INTEGER NOT NULL DEFAULT 0,
+            started_at REAL NOT NULL,
+            updated_at REAL NOT NULL,
+            finished_at REAL
+        );
+        CREATE INDEX triage_runs_key
+            ON triage_runs(rules_digest, fingerprint, dry_run);
+    """,
 }
 
 _VERDICT_COLUMNS = (
@@ -127,6 +155,35 @@ _VERDICT_COLUMNS = (
 class RegistryError(RuntimeError):
     """A registry problem the caller must deal with (bad path, future
     schema, invalid query)."""
+
+
+def encode_cursor(last_scanned_at: float, sha256: str) -> str:
+    """Encode one keyset-pagination position as an opaque cursor token.
+
+    The position is the ``(last_scanned_at, sha256)`` sort key of the last
+    row already returned; ``float.hex()`` keeps the timestamp bit-exact
+    through the round trip (SQLite REAL is the same 8-byte IEEE double), so
+    resuming never skips or repeats a row on timestamp ties.
+    """
+    payload = json.dumps([float(last_scanned_at).hex(), sha256])
+    return base64.urlsafe_b64encode(payload.encode("ascii")).decode("ascii")
+
+
+def decode_cursor(cursor: str) -> Tuple[float, str]:
+    """Decode an :func:`encode_cursor` token; raises :class:`RegistryError`
+    on anything that was not produced by this build (clients must treat
+    cursors as opaque)."""
+    try:
+        payload = json.loads(
+            base64.urlsafe_b64decode(cursor.encode("ascii")).decode("ascii")
+        )
+        timestamp_hex, sha256 = payload
+        timestamp = float.fromhex(timestamp_hex)
+        if not isinstance(sha256, str):
+            raise ValueError("sha256 position must be a string")
+    except (ValueError, TypeError, binascii.Error) as error:
+        raise RegistryError(f"invalid cursor {cursor!r}: {error}") from error
+    return timestamp, sha256
 
 
 def content_sha256(raw: bytes) -> str:
@@ -239,6 +296,49 @@ class VerdictRow:
 
 
 @dataclass
+class TriageRun:
+    """One row of ``triage_runs``: resumable progress of a retro-triage.
+
+    A run is keyed by ``(rules_digest, fingerprint, dry_run)`` -- the
+    SHA-256 of the rules file text plus the verdict scope -- so resuming
+    with an *edited* rules file starts a fresh run instead of continuing a
+    cursor whose rule indexes no longer line up.
+    """
+
+    id: int
+    rules_digest: str
+    fingerprint: str
+    dry_run: bool
+    rule_index: int
+    cursor_sha256: str
+    rows_scanned: int
+    rows_matched: int
+    started_at: float
+    updated_at: float
+    finished_at: Optional[float] = None
+
+    @classmethod
+    def _from_sql(cls, row: sqlite3.Row) -> "TriageRun":
+        return cls(
+            id=int(row["id"]),
+            rules_digest=row["rules_digest"],
+            fingerprint=row["fingerprint"],
+            dry_run=bool(row["dry_run"]),
+            rule_index=int(row["rule_index"]),
+            cursor_sha256=row["cursor_sha256"],
+            rows_scanned=int(row["rows_scanned"]),
+            rows_matched=int(row["rows_matched"]),
+            started_at=float(row["started_at"]),
+            updated_at=float(row["updated_at"]),
+            finished_at=(
+                None
+                if row["finished_at"] is None
+                else float(row["finished_at"])
+            ),
+        )
+
+
+@dataclass
 class WatchedFile:
     """One row of the ``watched_files`` table (the watch daemon's index)."""
 
@@ -285,6 +385,9 @@ class ScanRegistry:
         self.fingerprint = fingerprint
         self.write_retry = (self.WRITE_RETRY if write_retry is None
                             else write_retry)
+        #: write transactions retried after SQLITE_BUSY/SQLITE_LOCKED over
+        #: this handle's lifetime (fleet-contention telemetry)
+        self.busy_retries = 0
         self._lock = threading.Lock()
         self._conn = self._open()
 
@@ -451,10 +554,14 @@ class ScanRegistry:
             fault_point("registry.write")
             return fn()
 
+        def count_retry(attempt_number, error, delay) -> None:
+            self.busy_retries += 1
+
         return self.write_retry.call(
             attempt,
             retry_on=(sqlite3.OperationalError,),
             should_retry=self._is_busy,
+            on_retry=count_retry,
         )
 
     def record_many(
@@ -583,6 +690,51 @@ class ScanRegistry:
 
         return self._write_txn(txn)
 
+    def add_tags_many(
+        self,
+        entries: Sequence[Tuple[str, Iterable[str]]],
+        fingerprint: Optional[str] = None,
+        missing_ok: bool = False,
+    ) -> Dict[str, List[str]]:
+        """Bulk :meth:`add_tags`: merge many ``(sha256, tags)`` pairs in one
+        write transaction (the retro-triage bulk-action path).
+
+        Returns ``{sha256: merged tag list}`` for the rows that exist.  A
+        sha256 the registry does not know raises :class:`RegistryError`
+        unless ``missing_ok`` (a concurrent ``purge_stale`` between a triage
+        SELECT and its tag batch must not kill the whole run).
+        """
+        fingerprint = self._scope(fingerprint)
+
+        def txn() -> Dict[str, List[str]]:
+            merged: Dict[str, List[str]] = {}
+            with self._lock, self._conn:
+                for sha256, tags in entries:
+                    row = self._conn.execute(
+                        "SELECT tags FROM verdicts "
+                        "WHERE sha256 = ? AND fingerprint = ?",
+                        (sha256, fingerprint),
+                    ).fetchone()
+                    if row is None:
+                        if missing_ok:
+                            continue
+                        raise RegistryError(
+                            f"cannot tag unknown verdict {sha256[:12]} "
+                            f"(fingerprint {fingerprint!r})"
+                        )
+                    combined = sorted(
+                        set(json.loads(row["tags"])) | set(tags)
+                    )
+                    self._conn.execute(
+                        "UPDATE verdicts SET tags = ? "
+                        "WHERE sha256 = ? AND fingerprint = ?",
+                        (json.dumps(combined), sha256, fingerprint),
+                    )
+                    merged[sha256] = combined
+            return merged
+
+        return self._write_txn(txn)
+
     # ------------------------------------------------------------------ #
     # lookups
 
@@ -663,6 +815,98 @@ class ScanRegistry:
         Rows come back ordered by ``last_scanned_at`` descending, then
         sha256 for a stable tiebreak.
         """
+        clauses, params = self._filter_clauses(
+            verdict=verdict,
+            min_score=min_score,
+            max_score=max_score,
+            platform=platform,
+            since=since,
+            until=until,
+            path_glob=path_glob,
+            tag=tag,
+            sha256_prefix=sha256_prefix,
+            fingerprint=fingerprint,
+            all_fingerprints=all_fingerprints,
+        )
+        sql = f"SELECT {_VERDICT_COLUMNS} FROM verdicts"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY last_scanned_at DESC, sha256"
+        if limit is not None:
+            if limit < 1:
+                raise RegistryError("query limit must be >= 1")
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        with self._lock:
+            return [
+                VerdictRow._from_sql(row)
+                for row in self._conn.execute(sql, params)
+            ]
+
+    def query_page(
+        self,
+        cursor: Optional[str] = None,
+        page_size: int = 100,
+        **filters,
+    ) -> Tuple[List[VerdictRow], Optional[str]]:
+        """Keyset-paginated :meth:`query`: returns ``(rows, next_cursor)``.
+
+        Ordering is the listing order (``last_scanned_at DESC, sha256``)
+        and the page boundary is a keyset predicate over that sort key, so
+        pagination stays stable under concurrent writers: a row inserted or
+        re-scanned mid-pagination can move *itself* across the boundary,
+        but can never shift, duplicate, or hide any other row -- the
+        failure mode OFFSET pagination has on a live fleet.
+
+        ``next_cursor`` is ``None`` on the final page; any ``cursor`` not
+        produced by :func:`encode_cursor` raises :class:`RegistryError`.
+        """
+        if page_size < 1:
+            raise RegistryError("page_size must be >= 1")
+        clauses, params = self._filter_clauses(**filters)
+        if cursor is not None:
+            after_scanned_at, after_sha256 = decode_cursor(cursor)
+            clauses.append(
+                "(last_scanned_at < ? OR "
+                "(last_scanned_at = ? AND sha256 > ?))"
+            )
+            params.extend([after_scanned_at, after_scanned_at, after_sha256])
+        sql = f"SELECT {_VERDICT_COLUMNS} FROM verdicts"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        # fetch one row beyond the page: its existence is the "there is a
+        # next page" signal, without a second COUNT query
+        sql += " ORDER BY last_scanned_at DESC, sha256 LIMIT ?"
+        params.append(int(page_size) + 1)
+        with self._lock:
+            rows = [
+                VerdictRow._from_sql(row)
+                for row in self._conn.execute(sql, params)
+            ]
+        next_cursor: Optional[str] = None
+        if len(rows) > page_size:
+            rows = rows[:page_size]
+            next_cursor = encode_cursor(
+                rows[-1].last_scanned_at, rows[-1].sha256
+            )
+        return rows, next_cursor
+
+    def _filter_clauses(
+        self,
+        verdict: Optional[str] = None,
+        min_score: Optional[float] = None,
+        max_score: Optional[float] = None,
+        platform: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        path_glob: Optional[str] = None,
+        tag: Optional[str] = None,
+        sha256_prefix: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        all_fingerprints: bool = False,
+    ) -> Tuple[List[str], List[object]]:
+        """The shared WHERE builder behind :meth:`query` / :meth:`query_page`
+        (and, via the same predicate forms, :mod:`repro.registry.compile`)."""
         clauses: List[str] = []
         params: List[object] = []
         if not all_fingerprints:
@@ -709,19 +953,61 @@ class ScanRegistry:
                 )
             clauses.append("sha256 LIKE ?")
             params.append(lowered + "%")
-        sql = f"SELECT {_VERDICT_COLUMNS} FROM verdicts"
-        if clauses:
-            sql += " WHERE " + " AND ".join(clauses)
-        sql += " ORDER BY last_scanned_at DESC, sha256"
+        return clauses, params
+
+    def select_where(
+        self,
+        where: str,
+        params: Sequence[object],
+        after_sha256: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[VerdictRow]:
+        """Run a compiled WHERE clause (see :mod:`repro.registry.compile`)
+        in keyset batches ordered by sha256.
+
+        ``after_sha256`` resumes past the last row of the previous batch --
+        the retro-triage scan order is the primary key itself, so batch
+        boundaries cost an index seek, not an OFFSET walk.
+        """
+        sql = f"SELECT {_VERDICT_COLUMNS} FROM verdicts WHERE ({where})"
+        bound = list(params)
+        if after_sha256 is not None:
+            sql += " AND sha256 > ?"
+            bound.append(after_sha256)
+        sql += " ORDER BY sha256"
         if limit is not None:
-            if limit < 1:
-                raise RegistryError("query limit must be >= 1")
             sql += " LIMIT ?"
-            params.append(int(limit))
+            bound.append(int(limit))
         with self._lock:
             return [
                 VerdictRow._from_sql(row)
-                for row in self._conn.execute(sql, params)
+                for row in self._conn.execute(sql, bound)
+            ]
+
+    def explain_where(
+        self,
+        where: str,
+        params: Sequence[object],
+        after_sha256: Optional[str] = None,
+    ) -> List[str]:
+        """EXPLAIN QUERY PLAN detail lines for a compiled WHERE clause.
+
+        The compiler's index check asserts none of these is a full-table
+        ``SCAN verdicts`` -- every compiled matcher must reach the rows
+        through the primary key or one of the ``verdicts_*`` indexes.
+        """
+        sql = f"SELECT {_VERDICT_COLUMNS} FROM verdicts WHERE ({where})"
+        bound = list(params)
+        if after_sha256 is not None:
+            sql += " AND sha256 > ?"
+            bound.append(after_sha256)
+        sql += " ORDER BY sha256"
+        with self._lock:
+            return [
+                str(row["detail"])
+                for row in self._conn.execute(
+                    "EXPLAIN QUERY PLAN " + sql, bound
+                )
             ]
 
     def history(
@@ -804,6 +1090,114 @@ class ScanRegistry:
             return int(removed)
 
         return self._write_txn(txn)
+
+    # ------------------------------------------------------------------ #
+    # triage-run progress (used by repro.registry.triage)
+
+    def find_triage_run(
+        self,
+        rules_digest: str,
+        fingerprint: Optional[str] = None,
+        dry_run: bool = False,
+    ) -> Optional[TriageRun]:
+        """The unfinished run for this exact (rules file, scope, mode), if
+        one exists -- the resume point `scamdetect triage` picks up."""
+        fingerprint = self._scope(fingerprint)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM triage_runs "
+                "WHERE rules_digest = ? AND fingerprint = ? AND dry_run = ?"
+                " AND finished_at IS NULL ORDER BY id DESC LIMIT 1",
+                (rules_digest, fingerprint, int(dry_run)),
+            ).fetchone()
+        return None if row is None else TriageRun._from_sql(row)
+
+    def start_triage_run(
+        self,
+        rules_digest: str,
+        fingerprint: Optional[str] = None,
+        dry_run: bool = False,
+        started_at: Optional[float] = None,
+    ) -> TriageRun:
+        """Open a fresh progress row (rule 0, empty cursor)."""
+        fingerprint = self._scope(fingerprint)
+        now = time.time() if started_at is None else started_at
+
+        def txn() -> TriageRun:
+            with self._lock, self._conn:
+                run_id = self._conn.execute(
+                    "INSERT INTO triage_runs (rules_digest, fingerprint,"
+                    " dry_run, started_at, updated_at) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (rules_digest, fingerprint, int(dry_run), now, now),
+                ).lastrowid
+            return TriageRun(
+                id=int(run_id),
+                rules_digest=rules_digest,
+                fingerprint=fingerprint,
+                dry_run=dry_run,
+                rule_index=0,
+                cursor_sha256="",
+                rows_scanned=0,
+                rows_matched=0,
+                started_at=now,
+                updated_at=now,
+                finished_at=None,
+            )
+
+        return self._write_txn(txn)
+
+    def advance_triage_run(
+        self,
+        run_id: int,
+        rule_index: int,
+        cursor_sha256: str,
+        rows_scanned: int,
+        rows_matched: int,
+        updated_at: Optional[float] = None,
+    ) -> None:
+        """Persist one batch boundary: position plus cumulative counters.
+
+        This commits *after* the batch's actions were applied, so a killed
+        triage resumes from the last durable boundary -- re-applying at
+        most one batch of idempotent tag merges, never skipping rows.
+        """
+        now = time.time() if updated_at is None else updated_at
+
+        def txn() -> None:
+            with self._lock, self._conn:
+                self._conn.execute(
+                    "UPDATE triage_runs SET rule_index = ?,"
+                    " cursor_sha256 = ?, rows_scanned = ?,"
+                    " rows_matched = ?, updated_at = ? WHERE id = ?",
+                    (
+                        int(rule_index),
+                        cursor_sha256,
+                        int(rows_scanned),
+                        int(rows_matched),
+                        now,
+                        int(run_id),
+                    ),
+                )
+
+        self._write_txn(txn)
+
+    def finish_triage_run(
+        self, run_id: int, finished_at: Optional[float] = None
+    ) -> None:
+        """Mark a run complete; a later triage of the same rules starts
+        over instead of resuming."""
+        now = time.time() if finished_at is None else finished_at
+
+        def txn() -> None:
+            with self._lock, self._conn:
+                self._conn.execute(
+                    "UPDATE triage_runs SET finished_at = ?,"
+                    " updated_at = ? WHERE id = ?",
+                    (now, now, int(run_id)),
+                )
+
+        self._write_txn(txn)
 
     # ------------------------------------------------------------------ #
     # watched-files index (used by repro.registry.watch)

@@ -1,0 +1,299 @@
+"""Retro-triage: apply a rules file across the registry's history.
+
+The live rules engine fires only on freshly scanned contracts; a new rule
+(or a newly known scam indicator) says nothing about the millions of rows
+already recorded.  :class:`RetroTriage` closes that gap: it compiles every
+rule to index-backed SQL (:mod:`repro.registry.compile`), streams the
+matching rows in keyset batches ordered by primary key, and applies the
+rule's actions in bulk -- tags in one write transaction per batch, alerts
+and webhooks through the same retry + dead-letter machinery the watch
+daemon uses.
+
+Fleet-scale behaviors:
+
+* **Resumable**: progress (rule index + last sha256 + counters) is
+  persisted to the ``triage_runs`` table after each batch's actions are
+  durable, keyed by the SHA-256 of the rules text.  A killed run resumes
+  from the last committed batch boundary; tag application is an idempotent
+  set-merge, so the at-most-one-batch replay is harmless.  Editing the
+  rules file changes the digest and starts a fresh run (a resumed cursor
+  over reordered rules would be garbage).
+* **Deterministic order**: rules run in file order, rows in ascending
+  sha256 within each rule -- the exact order of the row-at-a-time Python
+  oracle E14 compares against, so "byte-identical action outcomes" is a
+  meaningful equality over sequences, not just sets.
+* **Dry-run diffing**: ``dry_run=True`` computes the full match/action
+  outcome (and the preview lines the CLI prints) without writing tags,
+  emitting alerts, or posting webhooks -- and records its progress under a
+  separate resume key so a dry-run never steals a real run's cursor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.registry.compile import (
+    CompiledRule,
+    check_index_backed,
+    compile_rules,
+)
+from repro.registry.rules import RulesEngine, TriageRule
+from repro.registry.store import ScanRegistry, VerdictRow
+
+#: Rows fetched (and tagged) per batch; one progress commit per batch.
+DEFAULT_BATCH_SIZE = 1000
+
+#: Dry-run preview lines kept verbatim before collapsing to a counter.
+PREVIEW_LIMIT = 50
+
+
+def rules_digest(text: str) -> str:
+    """The resume key of a rules file: SHA-256 over its exact text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RetroTriageResult:
+    """What one retro-triage run did (or, dry-run, would do)."""
+
+    run_id: int
+    dry_run: bool
+    resumed: bool
+    rows_scanned: int = 0
+    rows_matched: int = 0
+    tags_applied: int = 0
+    alerts: int = 0
+    webhooks: int = 0
+    exit_nonzero: bool = False
+    rule_matches: Dict[str, int] = field(default_factory=dict)
+    preview: List[str] = field(default_factory=list)
+    preview_truncated: int = 0
+    plan_lines: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "run_id": self.run_id,
+            "dry_run": self.dry_run,
+            "resumed": self.resumed,
+            "rows_scanned": self.rows_scanned,
+            "rows_matched": self.rows_matched,
+            "tags_applied": self.tags_applied,
+            "alerts": self.alerts,
+            "webhooks": self.webhooks,
+            "exit_nonzero": self.exit_nonzero,
+            "rule_matches": dict(self.rule_matches),
+            "preview": list(self.preview),
+            "preview_truncated": self.preview_truncated,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def format(self) -> str:
+        mode = "dry-run" if self.dry_run else "applied"
+        parts = [
+            f"triage {mode}: {self.rows_matched} matches over "
+            f"{self.rows_scanned} row-visits"
+        ]
+        if self.resumed:
+            parts.append("(resumed)")
+        if not self.dry_run:
+            parts.append(
+                f"-- {self.tags_applied} rows tagged, "
+                f"{self.alerts} alerts, {self.webhooks} webhooks"
+            )
+        lines = [" ".join(parts)]
+        for name, count in self.rule_matches.items():
+            lines.append(f"  {name}: {count} matched")
+        lines.extend(self.preview)
+        if self.preview_truncated:
+            lines.append(
+                f"  ... and {self.preview_truncated} more matches "
+                f"(preview capped at {PREVIEW_LIMIT})"
+            )
+        return "\n".join(lines)
+
+
+class RetroTriage:
+    """Compile, stream, and act (see module docstring).
+
+    Args:
+        registry: The verdict store; its fingerprint (or ``fingerprint=``)
+            scopes which rows are triaged.
+        rules: Parsed rules, in file order.
+        rules_text: The exact rules file text (digested into the resume
+            key).
+        engine: Action runner for alerts/webhooks (carries the sinks and
+            retry policy); a dry run never calls it.
+        dry_run: Compute outcomes without acting.
+        batch_size: Rows per fetch/tag/commit cycle.
+        resume: Continue an unfinished run of the same digest (default);
+            ``False`` always starts over.
+        on_match: Optional hook ``(rule, row)`` called for every match in
+            deterministic order -- the E14 parity harness records these.
+    """
+
+    def __init__(
+        self,
+        registry: ScanRegistry,
+        rules: List[TriageRule],
+        rules_text: str,
+        engine: Optional[RulesEngine] = None,
+        fingerprint: Optional[str] = None,
+        dry_run: bool = False,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        resume: bool = True,
+        on_match: Optional[
+            Callable[[TriageRule, VerdictRow], None]
+        ] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.registry = registry
+        self.rules = list(rules)
+        self.digest = rules_digest(rules_text)
+        self.engine = engine if engine is not None else RulesEngine(rules)
+        self.fingerprint = registry._scope(fingerprint)
+        self.dry_run = dry_run
+        self.batch_size = batch_size
+        self.resume = resume
+        self.on_match = on_match
+
+    def run(self) -> RetroTriageResult:
+        started = time.perf_counter()
+        compiled = compile_rules(self.rules, self.fingerprint)
+        plan_lines = check_index_backed(self.registry, compiled)
+
+        state = None
+        if self.resume:
+            state = self.registry.find_triage_run(
+                self.digest, self.fingerprint, dry_run=self.dry_run
+            )
+        resumed = state is not None
+        if state is None:
+            state = self.registry.start_triage_run(
+                self.digest, self.fingerprint, dry_run=self.dry_run
+            )
+
+        result = RetroTriageResult(
+            run_id=state.id,
+            dry_run=self.dry_run,
+            resumed=resumed,
+            rows_scanned=state.rows_scanned,
+            rows_matched=state.rows_matched,
+            plan_lines=plan_lines,
+        )
+        for index, entry in enumerate(compiled):
+            if index < state.rule_index:
+                continue
+            cursor = (
+                state.cursor_sha256 if index == state.rule_index else ""
+            )
+            self._run_rule(index, entry, cursor or None, result)
+        self.registry.finish_triage_run(result.run_id)
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _run_rule(
+        self,
+        index: int,
+        entry: CompiledRule,
+        cursor: Optional[str],
+        result: RetroTriageResult,
+    ) -> None:
+        rule = entry.rule
+        result.rule_matches.setdefault(rule.name, 0)
+        while True:
+            rows = self.registry.select_where(
+                entry.where,
+                entry.params,
+                after_sha256=cursor,
+                limit=self.batch_size,
+            )
+            if not rows:
+                break
+            self._apply_batch(rule, rows, result)
+            cursor = rows[-1].sha256
+            # progress commits only after the batch's actions are durable
+            self.registry.advance_triage_run(
+                result.run_id,
+                rule_index=index,
+                cursor_sha256=cursor,
+                rows_scanned=result.rows_scanned,
+                rows_matched=result.rows_matched,
+            )
+            if len(rows) < self.batch_size:
+                break
+
+    def _apply_batch(
+        self,
+        rule: TriageRule,
+        rows: List[VerdictRow],
+        result: RetroTriageResult,
+    ) -> None:
+        fired_at = time.time()
+        tag_batch: List = []
+        for row in rows:
+            result.rows_scanned += 1
+            result.rows_matched += 1
+            result.rule_matches[rule.name] += 1
+            if self.on_match is not None:
+                self.on_match(rule, row)
+            self._preview(rule, row, result)
+            if rule.tag:
+                new_tags = sorted(set(rule.tag) - set(row.tags))
+                if new_tags:
+                    tag_batch.append((row.sha256, new_tags))
+            if rule.exit_nonzero:
+                result.exit_nonzero = True
+            if self.dry_run:
+                continue
+            if rule.alert or rule.webhook:
+                payload = self.engine._alert_payload(
+                    rule,
+                    row.to_report(),
+                    row.sha256,
+                    row.source_path,
+                    fired_at,
+                )
+                if rule.alert:
+                    self.engine._emit_alert(payload)
+                    result.alerts += 1
+                if rule.webhook:
+                    self.engine._post_webhook(rule.webhook, payload)
+                    result.webhooks += 1
+        if tag_batch and not self.dry_run:
+            # missing_ok: a row purged between SELECT and tagging must not
+            # kill a fleet-sized run
+            self.registry.add_tags_many(
+                tag_batch, self.fingerprint, missing_ok=True
+            )
+            result.tags_applied += len(tag_batch)
+
+    def _preview(
+        self, rule: TriageRule, row: VerdictRow, result: RetroTriageResult
+    ) -> None:
+        if len(result.preview) >= PREVIEW_LIMIT:
+            result.preview_truncated += 1
+            return
+        actions = []
+        missing = sorted(set(rule.tag) - set(row.tags))
+        if missing:
+            actions.append(f"+tags={','.join(missing)}")
+        elif rule.tag:
+            actions.append("tags=already-set")
+        if rule.alert:
+            actions.append("alert")
+        if rule.webhook:
+            actions.append("webhook")
+        if rule.exit_nonzero:
+            actions.append("exit_nonzero")
+        result.preview.append(
+            f"  {rule.name}: {row.sha256[:12]} "
+            f"p={row.malicious_probability:.3f} [{row.platform}] "
+            f"{' '.join(actions) or 'match-only'}"
+        )

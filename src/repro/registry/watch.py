@@ -324,10 +324,19 @@ class WatchDaemon:
     def _triage(self, stats: PollStats, raw_codes: List[bytes]) -> None:
         if self.rules is None:
             return
+        # registry-level matcher context for the live path: fresh verdicts
+        # carry no tags yet, were scanned "now", and were scored by this
+        # daemon's model identity
+        identity = self.detector.model_identity()
+        now = time.time()
         for raw, report in zip(raw_codes, stats.reports):
             sha256 = content_sha256(raw)
             outcome = self.rules.evaluate(
-                report, sha256, source_path=report.sample_id
+                report,
+                sha256,
+                source_path=report.sample_id,
+                model_identity=identity,
+                scanned_at=now,
             )
             if not outcome.matched:
                 continue

@@ -13,7 +13,9 @@ into a service that can sustain repeated, high-volume scanning workloads:
   daemon whose :class:`~repro.service.server.RequestCoalescer` micro-batches
   concurrent scan requests into single block-diagonal inference calls, and
   :class:`ServerClient` (defined here), the stdlib client used by the tests,
-  the examples and the CI smoke test.
+  the examples and the CI smoke test.  The HTTP API is versioned under
+  ``/v1/``; the client targets the versioned paths and surfaces the
+  server's error envelope as typed :class:`ServerClientError` values.
 * :mod:`repro.service.sharded` -- :class:`ShardedScanner`, a multi-process
   engine that partitions scans by content hash across pipeline replicas
   (one per worker process), shares the warm disk cache tier between shards
@@ -35,9 +37,10 @@ from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.detector import coerce_bytecode as _coerce_bytecode
 from repro.resilience.retry import RetryPolicy as _RetryPolicy
-from repro.service.cache import CacheStats, GraphCache
 from repro.service.batch import BatchScanner, BatchScanResult, throughput_stats
+from repro.service.cache import CacheStats, GraphCache
 from repro.service.server import (
+    API_PREFIX,
     DEFAULT_PORT,
     RequestCoalescer,
     ScanServer,
@@ -63,14 +66,19 @@ __all__ = [
     "ShardedScanner",
     "ShardError",
     "shard_for_bytecode",
+    "API_PREFIX",
     "DEFAULT_PORT",
 ]
 
 #: Default client-side retry: connection errors and 503s are retried a
 #: couple of times under a short deadline, so one transient server fault
 #: (an injected one included) never surfaces to the caller.
-DEFAULT_CLIENT_RETRY = _RetryPolicy(max_attempts=3, base_delay_s=0.05,
-                                    max_delay_s=1.0, deadline_s=5.0)
+DEFAULT_CLIENT_RETRY = _RetryPolicy(
+    max_attempts=3,
+    base_delay_s=0.05,
+    max_delay_s=1.0,
+    deadline_s=5.0,
+)
 
 
 class ServerClientError(RuntimeError):
@@ -78,14 +86,25 @@ class ServerClientError(RuntimeError):
 
     Attributes:
         status: HTTP status code (0 when the server was unreachable).
-        retry_after: Parsed ``Retry-After`` header of a 503, in seconds
+        code: The machine-readable slug from the server's error envelope
+            (``"overloaded"``, ``"no_registry"``, ...); ``"unreachable"``
+            for connection failures, ``"error"`` when the server sent no
+            recognizable envelope.
+        retry_after: The backoff hint of a 503 in seconds, parsed from the
+            ``Retry-After`` header or the envelope's ``retry_after`` field
             (None when absent) -- the client's retry loop honors it.
     """
 
-    def __init__(self, status: int, message: str,
-                 retry_after: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+        code: str = "error",
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.code = code
         self.retry_after = retry_after
 
 
@@ -95,6 +114,7 @@ class ServerClient:
     Used by the test suite, ``examples/scan_server_client.py`` and the CI
     smoke test; application code can use it too, or speak the (plain JSON
     over HTTP) protocol directly -- see the curl examples in the README.
+    All requests target the versioned ``/v1/`` paths.
 
     Args:
         host: Server host.
@@ -107,9 +127,13 @@ class ServerClient:
             ``RetryPolicy(max_attempts=1)`` to disable retries.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-                 timeout: float = 30.0,
-                 retry: Optional[_RetryPolicy] = None) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 30.0,
+        retry: Optional[_RetryPolicy] = None,
+    ) -> None:
         self.base_url = f"http://{host}:{port}"
         self.timeout = timeout
         self.retry = retry if retry is not None else DEFAULT_CLIENT_RETRY
@@ -120,8 +144,10 @@ class ServerClient:
 
     @staticmethod
     def _is_transient(error: BaseException) -> bool:
-        return isinstance(error, ServerClientError) \
-            and error.status in (0, 503)
+        return isinstance(error, ServerClientError) and error.status in (
+            0,
+            503,
+        )
 
     @staticmethod
     def _mandated_wait(error: BaseException) -> Optional[float]:
@@ -129,51 +155,90 @@ class ServerClient:
             return error.retry_after
         return None
 
-    def _count_retry(self, attempt: int, error: BaseException,
-                     delay: float) -> None:
+    def _count_retry(
+        self, attempt: int, error: BaseException, delay: float
+    ) -> None:
         self.retries += 1
 
-    def _request(self, method: str, path: str,
-                 payload: Optional[dict] = None) -> dict:
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict:
         return self.retry.call(
             lambda: self._request_once(method, path, payload),
             retry_on=(ServerClientError,),
             should_retry=self._is_transient,
             retry_after=self._mandated_wait,
-            on_retry=self._count_retry)
+            on_retry=self._count_retry,
+        )
 
-    def _request_once(self, method: str, path: str,
-                      payload: Optional[dict] = None) -> dict:
-        data = (_json.dumps(payload).encode("utf-8")
-                if payload is not None else None)
+    def _request_once(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict:
+        data = (
+            _json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
+        )
         request = _urllib_request.Request(
-            self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"})
+            self.base_url + API_PREFIX + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
         try:
-            with _urllib_request.urlopen(request,
-                                         timeout=self.timeout) as response:
+            with _urllib_request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
                 return _json.loads(response.read().decode("utf-8"))
         except _urllib_error.HTTPError as error:
             body = error.read().decode("utf-8", errors="replace")
-            try:
-                message = _json.loads(body).get("error", body)
-            except ValueError:
-                message = body
+            message, code, envelope_wait = self._parse_error(body)
             header = error.headers.get("Retry-After")
             try:
                 retry_after = float(header) if header is not None else None
             except ValueError:
                 retry_after = None
-            raise ServerClientError(error.code, message,
-                                    retry_after=retry_after) from error
+            if retry_after is None:
+                retry_after = envelope_wait
+            raise ServerClientError(
+                error.code,
+                message,
+                retry_after=retry_after,
+                code=code,
+            ) from error
         except _urllib_error.URLError as error:
             raise ServerClientError(
-                0, f"scan server unreachable at {self.base_url}: "
-                   f"{error.reason}") from error
+                0,
+                f"scan server unreachable at {self.base_url}: "
+                f"{error.reason}",
+                code="unreachable",
+            ) from error
 
     @staticmethod
-    def _encode(code: Union[bytes, bytearray, str],
-                encoding: str) -> str:
+    def _parse_error(body: str):
+        """Decode the ``{"error": {code, message, retry_after}}`` envelope.
+
+        Returns ``(message, code, retry_after)``; a legacy flat
+        ``{"error": "..."}`` body or plain text degrades to the raw string
+        with code ``"error"``.
+        """
+        try:
+            envelope = _json.loads(body).get("error", body)
+        except (ValueError, AttributeError):
+            return body, "error", None
+        if isinstance(envelope, dict):
+            message = str(envelope.get("message", body))
+            code = str(envelope.get("code", "error"))
+            wait = envelope.get("retry_after")
+            try:
+                retry_after = float(wait) if wait is not None else None
+            except (TypeError, ValueError):
+                retry_after = None
+            return message, code, retry_after
+        return str(envelope), "error", None
+
+    @staticmethod
+    def _encode(code: Union[bytes, bytearray, str], encoding: str) -> str:
         """Encode ``code`` for transport under ``encoding``.
 
         A ``str`` input always means *hex bytecode text* (``0x`` prefix and
@@ -189,60 +254,103 @@ class ServerClient:
     # -------------------------------------------------------------- #
 
     def healthz(self) -> dict:
-        """``GET /healthz`` -- raises :class:`ServerClientError` if down."""
+        """``GET /v1/healthz`` -- raises :class:`ServerClientError` if
+        down."""
         return self._request("GET", "/healthz")
 
     def metrics(self) -> dict:
-        """``GET /metrics`` -- the server's live counters."""
+        """``GET /v1/metrics`` -- the server's live counters."""
         return self._request("GET", "/metrics")
 
-    def verdicts(self, **filters) -> dict:
-        """``GET /verdicts`` over the server's persistent registry.
+    def verdicts(
+        self,
+        cursor: Optional[str] = None,
+        page_size: Optional[int] = None,
+        **filters,
+    ) -> dict:
+        """``GET /v1/verdicts`` over the server's persistent registry.
 
         Keyword filters mirror
         :meth:`repro.registry.store.ScanRegistry.query`: ``verdict``,
         ``min_score``, ``max_score``, ``platform``, ``since``, ``until``,
-        ``path_glob``, ``tag``, ``limit``.  Raises
-        :class:`ServerClientError` (503) when no registry is attached.
+        ``path_glob``, ``tag``, ``sha256_prefix``.  Pagination is
+        keyset-based: the response's ``next_cursor`` (null on the last
+        page) feeds the next call's ``cursor=``.  Raises
+        :class:`ServerClientError` (503, code ``no_registry``) when no
+        registry is attached.
         """
-        query = {key: str(value) for key, value in filters.items()
-                 if value is not None}
+        query = {
+            key: str(value)
+            for key, value in filters.items()
+            if value is not None
+        }
+        if cursor is not None:
+            query["cursor"] = cursor
+        if page_size is not None:
+            query["page_size"] = str(page_size)
         path = "/verdicts"
         if query:
             path += "?" + _urllib_parse.urlencode(query)
         return self._request("GET", path)
 
+    def verdicts_all(self, page_size: int = 200, **filters) -> list:
+        """Every matching verdict row, walking ``next_cursor`` to the end."""
+        rows: list = []
+        cursor: Optional[str] = None
+        while True:
+            page = self.verdicts(
+                cursor=cursor, page_size=page_size, **filters
+            )
+            rows.extend(page["verdicts"])
+            cursor = page.get("next_cursor")
+            if not cursor:
+                return rows
+
     def verdict(self, sha256: str) -> dict:
-        """``GET /verdicts/<sha256>`` -- one stored verdict + history."""
+        """``GET /v1/verdicts/<sha256>`` -- one stored verdict + history."""
         return self._request("GET", f"/verdicts/{sha256}")
 
-    def scan(self, code: Union[bytes, bytearray, str],
-             platform: Optional[str] = None, sample_id: str = "contract",
-             encoding: str = "hex") -> dict:
-        """``POST /scan`` one contract; returns the verdict report dict.
+    def scan(
+        self,
+        code: Union[bytes, bytearray, str],
+        platform: Optional[str] = None,
+        sample_id: str = "contract",
+        encoding: str = "hex",
+    ) -> dict:
+        """``POST /v1/scan`` one contract; returns the verdict report dict.
 
         ``code`` may be raw bytes (encoded for transport per ``encoding``)
         or an already-hex string.
         """
-        payload = {"bytecode": self._encode(code, encoding),
-                   "encoding": encoding, "sample_id": sample_id}
+        payload = {
+            "bytecode": self._encode(code, encoding),
+            "encoding": encoding,
+            "sample_id": sample_id,
+        }
         if platform is not None:
             payload["platform"] = platform
         return self._request("POST", "/scan", payload)
 
-    def scan_batch(self, codes: Iterable[Union[bytes, bytearray, str]],
-                   platform: Optional[str] = None,
-                   sample_ids: Optional[Sequence[str]] = None,
-                   encoding: str = "hex") -> dict:
-        """``POST /scan-batch`` many contracts in one request."""
+    def scan_batch(
+        self,
+        codes: Iterable[Union[bytes, bytearray, str]],
+        platform: Optional[str] = None,
+        sample_ids: Optional[Sequence[str]] = None,
+        encoding: str = "hex",
+    ) -> dict:
+        """``POST /v1/scan-batch`` many contracts in one request."""
         codes = list(codes)
         if sample_ids is not None and len(sample_ids) != len(codes):
-            raise ValueError(f"sample_ids length ({len(sample_ids)}) must "
-                             f"match codes length ({len(codes)})")
+            raise ValueError(
+                f"sample_ids length ({len(sample_ids)}) must "
+                f"match codes length ({len(codes)})"
+            )
         contracts = []
         for index, code in enumerate(codes):
-            entry = {"bytecode": self._encode(code, encoding),
-                     "encoding": encoding}
+            entry = {
+                "bytecode": self._encode(code, encoding),
+                "encoding": encoding,
+            }
             if sample_ids is not None:
                 entry["sample_id"] = sample_ids[index]
             contracts.append(entry)
@@ -251,9 +359,11 @@ class ServerClient:
             payload["platform"] = platform
         return self._request("POST", "/scan-batch", payload)
 
-    def wait_until_ready(self, timeout: float = 10.0,
-                         interval: float = 0.05) -> dict:
-        """Poll ``/healthz`` until the server answers or ``timeout`` runs out.
+    def wait_until_ready(
+        self, timeout: float = 10.0, interval: float = 0.05
+    ) -> dict:
+        """Poll ``/v1/healthz`` until the server answers or ``timeout``
+        runs out.
 
         Returns the first health payload; raises :class:`ServerClientError`
         with the last failure if the server never came up.  The poll loop is
@@ -263,13 +373,20 @@ class ServerClient:
         step = max(interval, 1e-3)
         policy = _RetryPolicy(
             max_attempts=max(2, min(10_000, int(timeout / step) + 2)),
-            base_delay_s=interval, max_delay_s=step,
-            multiplier=1.0, jitter=0.0, deadline_s=max(timeout, 1e-3))
+            base_delay_s=interval,
+            max_delay_s=step,
+            multiplier=1.0,
+            jitter=0.0,
+            deadline_s=max(timeout, 1e-3),
+        )
         try:
             return policy.call(
                 lambda: self._request_once("GET", "/healthz"),
-                retry_on=(ServerClientError,))
+                retry_on=(ServerClientError,),
+            )
         except ServerClientError as error:
             raise ServerClientError(
-                error.status, f"scan server not ready after "
-                              f"{timeout:.1f}s: {error}") from error
+                error.status,
+                f"scan server not ready after {timeout:.1f}s: {error}",
+                code=error.code,
+            ) from error

@@ -39,11 +39,13 @@ PathLike = Union[str, pathlib.Path]
 #: entries and SQLite registries (plus their WAL sidecars) may legitimately
 #: live next to a watched corpus.
 _NON_CONTRACT_SUFFIXES = frozenset(
-    (".npz", ".db", ".db-wal", ".db-shm", ".sqlite", ".sqlite3"))
+    (".npz", ".db", ".db-wal", ".db-shm", ".sqlite", ".sqlite3")
+)
 
 
-def iter_contract_files(directory: PathLike, pattern: str = "*",
-                        recursive: bool = True):
+def iter_contract_files(
+    directory: PathLike, pattern: str = "*", recursive: bool = True
+):
     """Yield the contract files a directory scan covers, sorted by path.
 
     The single source of truth for what counts as a scannable file --
@@ -67,9 +69,12 @@ def iter_contract_files(directory: PathLike, pattern: str = "*",
         raise FileNotFoundError(f"scan directory not found: {root}")
     walker = root.rglob(pattern) if recursive else root.glob(pattern)
     for path in sorted(walker):
-        if (not path.is_file() or path.name.startswith(".")
-                or path.name == DISK_META_FILENAME
-                or path.suffix in _NON_CONTRACT_SUFFIXES):
+        if (
+            not path.is_file()
+            or path.name.startswith(".")
+            or path.name == DISK_META_FILENAME
+            or path.suffix in _NON_CONTRACT_SUFFIXES
+        ):
             continue
         yield path
 
@@ -83,16 +88,19 @@ def read_contract_file(path: PathLike) -> bytes:
         OSError: On an unreadable file.
     """
     path = pathlib.Path(path)
-    raw = (coerce_bytecode(path.read_text())
-           if path.suffix == ".hex" else path.read_bytes())
+    raw = (
+        coerce_bytecode(path.read_text())
+        if path.suffix == ".hex"
+        else path.read_bytes()
+    )
     if not raw:
         raise ValueError("empty file")
     return raw
 
 
-def collect_directory_inputs(directory: PathLike, pattern: str = "*",
-                             recursive: bool = True
-                             ) -> Tuple[List[bytes], List[str], List[str]]:
+def collect_directory_inputs(
+    directory: PathLike, pattern: str = "*", recursive: bool = True
+) -> Tuple[List[bytes], List[str], List[str]]:
     """Gather ``(raw_codes, sample_ids, skipped)`` for a directory scan.
 
     Shared by :meth:`BatchScanner.scan_directory` and
@@ -113,15 +121,19 @@ def collect_directory_inputs(directory: PathLike, pattern: str = "*",
     def skip(path: pathlib.Path, reason: str) -> None:
         entry = f"{path.relative_to(root)}: {reason}"
         skipped.append(entry)
-        warnings.warn(f"scan_directory skipping {path}: {reason}",
-                      stacklevel=2)
+        warnings.warn(
+            f"scan_directory skipping {path}: {reason}", stacklevel=2
+        )
 
     for path in iter_contract_files(root, pattern, recursive=recursive):
         try:
             raw = read_contract_file(path)
         except ValueError as error:
-            reason = ("empty file" if "empty file" in str(error)
-                      else f"not valid hex bytecode ({error})")
+            reason = (
+                "empty file"
+                if "empty file" in str(error)
+                else f"not valid hex bytecode ({error})"
+            )
             skip(path, reason)
             continue
         except OSError as error:
@@ -132,14 +144,18 @@ def collect_directory_inputs(directory: PathLike, pattern: str = "*",
     return raw_codes, ids, skipped
 
 
-def throughput_stats(contracts: int, malicious: int, elapsed_seconds: float,
-                     cache_stats: CacheStats,
-                     batch_sizes: Dict[int, int]) -> Dict[str, object]:
+def throughput_stats(
+    contracts: int,
+    malicious: int,
+    elapsed_seconds: float,
+    cache_stats: CacheStats,
+    batch_sizes: Dict[int, int],
+) -> Dict[str, object]:
     """The shared stats schema reported by offline and online scan paths.
 
     ``BatchScanResult.stats_dict`` (offline batch scans) and the scan
-    server's ``GET /metrics`` (online serving) both emit exactly this shape,
-    so one dashboard/alerting parser covers both deployment modes.
+    server's ``GET /v1/metrics`` (online serving) both emit exactly this
+    shape, so one dashboard/alerting parser covers both deployment modes.
 
     Args:
         contracts: Contracts scored.
@@ -155,16 +171,19 @@ def throughput_stats(contracts: int, malicious: int, elapsed_seconds: float,
         "malicious": malicious,
         "benign": contracts - malicious,
         "elapsed_seconds": elapsed_seconds,
-        "contracts_per_second": (contracts / elapsed_seconds
-                                 if elapsed_seconds > 0.0 else 0.0),
+        "contracts_per_second": (
+            contracts / elapsed_seconds if elapsed_seconds > 0.0 else 0.0
+        ),
         "cache": cache_stats.to_dict(),
         "batches": {
             "count": total_batches,
             "max_size": max(batch_sizes) if batch_sizes else 0,
-            "coalesced": sum(count for size, count in batch_sizes.items()
-                             if size > 1),
-            "histogram": {str(size): batch_sizes[size]
-                          for size in sorted(batch_sizes)},
+            "coalesced": sum(
+                count for size, count in batch_sizes.items() if size > 1
+            ),
+            "histogram": {
+                str(size): batch_sizes[size] for size in sorted(batch_sizes)
+            },
         },
     }
 
@@ -220,9 +239,13 @@ class BatchScanResult(ScanSummary):
     def stats_dict(self) -> Dict[str, object]:
         """This scan's telemetry in the shared offline/online stats schema
         (see :func:`throughput_stats`)."""
-        stats = throughput_stats(self.num_scanned, self.num_malicious,
-                                 self.elapsed_seconds, self.cache_stats,
-                                 self.batch_sizes)
+        stats = throughput_stats(
+            self.num_scanned,
+            self.num_malicious,
+            self.elapsed_seconds,
+            self.cache_stats,
+            self.batch_sizes,
+        )
         stats["registry"] = {
             "hits": self.registry_hits,
             "misses": self.num_scanned - self.registry_hits,
@@ -234,34 +257,44 @@ class BatchScanResult(ScanSummary):
         return stats
 
     def format(self) -> str:
-        lines = [super().format(),
-                 f"  throughput: {self.num_scanned} contracts in "
-                 f"{self.elapsed_seconds:.3f}s "
-                 f"({self.contracts_per_second:.1f}/s, "
-                 f"{'shards' if self.shard_stats else 'workers'}="
-                 f"{self.num_workers})"]
+        lines = [
+            super().format(),
+            f"  throughput: {self.num_scanned} contracts in "
+            f"{self.elapsed_seconds:.3f}s "
+            f"({self.contracts_per_second:.1f}/s, "
+            f"{'shards' if self.shard_stats else 'workers'}="
+            f"{self.num_workers})",
+        ]
         if self.registry_hits:
-            lines.append(f"  registry: {self.registry_hits} hits / "
-                         f"{self.num_scanned} contracts served without "
-                         f"inference")
+            lines.append(
+                f"  registry: {self.registry_hits} hits / "
+                f"{self.num_scanned} contracts served without "
+                f"inference"
+            )
         if self.cascade_stats is not None:
-            lines.append(f"  cascade: "
-                         f"{self.cascade_stats['short_circuits']} "
-                         f"short-circuits, "
-                         f"{self.cascade_stats['escalations']} escalations, "
-                         f"{self.cascade_stats['disagreements']} "
-                         f"disagreements")
+            lines.append(
+                f"  cascade: "
+                f"{self.cascade_stats['short_circuits']} "
+                f"short-circuits, "
+                f"{self.cascade_stats['escalations']} escalations, "
+                f"{self.cascade_stats['disagreements']} "
+                f"disagreements"
+            )
         if self.cache_stats.lookups:
             lines.append(f"  {self.cache_stats.format()}")
         for name in sorted(self.shard_stats):
             shard = self.shard_stats[name]
-            lines.append(f"  {name}: {shard['contracts']} contracts "
-                         f"({shard['contracts_per_second']:.1f}/s, "
-                         f"cache hit_rate="
-                         f"{shard['cache']['hit_rate']:.1%})")
+            lines.append(
+                f"  {name}: {shard['contracts']} contracts "
+                f"({shard['contracts_per_second']:.1f}/s, "
+                f"cache hit_rate="
+                f"{shard['cache']['hit_rate']:.1%})"
+            )
         if self.skipped:
-            lines.append(f"  skipped {len(self.skipped)} unreadable input"
-                         f"{'s' if len(self.skipped) != 1 else ''}")
+            lines.append(
+                f"  skipped {len(self.skipped)} unreadable input"
+                f"{'s' if len(self.skipped) != 1 else ''}"
+            )
         return "\n".join(lines)
 
 
@@ -303,12 +336,15 @@ class BatchScanner:
             must be scoped to this detector's graph fingerprint.
     """
 
-    def __init__(self, detector: ScamDetector,
-                 cache: Optional[GraphCache] = None,
-                 max_workers: Optional[int] = None,
-                 inference_batch_size: int = 256,
-                 shards: int = 1,
-                 registry=None) -> None:
+    def __init__(
+        self,
+        detector: ScamDetector,
+        cache: Optional[GraphCache] = None,
+        max_workers: Optional[int] = None,
+        inference_batch_size: int = 256,
+        shards: int = 1,
+        registry=None,
+    ) -> None:
         if not detector.is_trained:
             raise RuntimeError("BatchScanner requires a trained detector")
         # fail fast when the cascade is enabled but the pipeline carries no
@@ -332,7 +368,8 @@ class BatchScanner:
                 raise ValueError(
                     f"registry fingerprint {registry.fingerprint!r} does "
                     f"not match this detector config's {fingerprint!r}; a "
-                    f"fingerprint change must never serve stale verdicts")
+                    f"fingerprint change must never serve stale verdicts"
+                )
             registry.fingerprint = fingerprint
         self.registry = registry
 
@@ -359,14 +396,19 @@ class BatchScanner:
                     # memory-only cache (warm or not) is invisible to the
                     # workers, which would silently re-lower everything
                     warnings.warn(
-                        "BatchScanner(shards>1): the attached GraphCache has "
-                        "no disk tier, so shard workers cannot share it; "
-                        "build the cache with disk_dir=... to reuse warm "
-                        "entries across shards", stacklevel=3)
+                        "BatchScanner(shards>1): the attached GraphCache "
+                        "has no disk tier, so shard workers cannot share "
+                        "it; build the cache with disk_dir=... to reuse "
+                        "warm entries across shards",
+                        stacklevel=3,
+                    )
             self._sharded = ShardedScanner(
-                self.detector, shards=self.shards, cache_dir=cache_dir,
+                self.detector,
+                shards=self.shards,
+                cache_dir=cache_dir,
                 cache_capacity=capacity,
-                inference_batch_size=self.inference_batch_size)
+                inference_batch_size=self.inference_batch_size,
+            )
         return self._sharded
 
     def close(self) -> None:
@@ -383,28 +425,42 @@ class BatchScanner:
 
     # ------------------------------------------------------------------ #
 
-    def scan_codes(self, codes: Iterable[BytecodeLike],
-                   platform: Optional[str] = None,
-                   sample_ids: Optional[Sequence[str]] = None) -> BatchScanResult:
+    def scan_codes(
+        self,
+        codes: Iterable[BytecodeLike],
+        platform: Optional[str] = None,
+        sample_ids: Optional[Sequence[str]] = None,
+    ) -> BatchScanResult:
         """Scan an iterable of bytecode inputs; reports keep input order."""
         raw_codes = [coerce_bytecode(code) for code in codes]
         if sample_ids is not None and len(sample_ids) != len(raw_codes):
             raise ValueError("sample_ids length must match codes")
-        ids = (list(sample_ids) if sample_ids is not None
-               else [f"contract-{index:04d}" for index in range(len(raw_codes))])
+        ids = (
+            list(sample_ids)
+            if sample_ids is not None
+            else [
+                f"contract-{index:04d}" for index in range(len(raw_codes))
+            ]
+        )
         return self._scan_raw(raw_codes, ids, platform)
 
     def scan_corpus(self, corpus) -> BatchScanResult:
         """Scan every sample of a corpus (corpus labels are ignored)."""
         samples = list(corpus)
-        return self._scan_raw([sample.bytecode for sample in samples],
-                              [sample.sample_id for sample in samples],
-                              platform=None,
-                              platforms=[sample.platform for sample in samples])
+        return self._scan_raw(
+            [sample.bytecode for sample in samples],
+            [sample.sample_id for sample in samples],
+            platform=None,
+            platforms=[sample.platform for sample in samples],
+        )
 
-    def scan_directory(self, directory: PathLike, pattern: str = "*",
-                       platform: Optional[str] = None,
-                       recursive: bool = True) -> BatchScanResult:
+    def scan_directory(
+        self,
+        directory: PathLike,
+        pattern: str = "*",
+        platform: Optional[str] = None,
+        recursive: bool = True,
+    ) -> BatchScanResult:
         """Scan every bytecode file under ``directory`` matching ``pattern``.
 
         ``.hex`` files are parsed as hex text (``0x`` prefix and line wraps
@@ -425,16 +481,21 @@ class BatchScanner:
             FileNotFoundError: If ``directory`` does not exist.
         """
         raw_codes, ids, skipped = collect_directory_inputs(
-            directory, pattern, recursive=recursive)
+            directory, pattern, recursive=recursive
+        )
         result = self._scan_raw(raw_codes, ids, platform)
         result.skipped = skipped
         return result
 
     # ------------------------------------------------------------------ #
 
-    def _scan_raw(self, raw_codes: List[bytes], ids: List[str],
-                  platform: Optional[str],
-                  platforms: Optional[List[str]] = None) -> BatchScanResult:
+    def _scan_raw(
+        self,
+        raw_codes: List[bytes],
+        ids: List[str],
+        platform: Optional[str],
+        platforms: Optional[List[str]] = None,
+    ) -> BatchScanResult:
         if self.registry is None:
             return self._scan_fresh(raw_codes, ids, platform, platforms)
         # deferred import: repro.registry.watch imports this module, so a
@@ -457,8 +518,11 @@ class BatchScanner:
             # a row is only reusable when it was produced by the very same
             # weights under the same explain setting -- anything else could
             # serve a stale score or mismatched notes
-            if (row is not None and row.model_identity == identity
-                    and row.explained == self.detector.explain):
+            if (
+                row is not None
+                and row.model_identity == identity
+                and row.explained == self.detector.explain
+            ):
                 hit_rows[index] = row
             else:
                 miss.append(index)
@@ -466,18 +530,29 @@ class BatchScanner:
             [raw_codes[index] for index in miss],
             [ids[index] for index in miss],
             platform,
-            ([platforms[index] for index in miss]
-             if platforms is not None else None))
+            (
+                [platforms[index] for index in miss]
+                if platforms is not None
+                else None
+            ),
+        )
         if miss:
             self.registry.record_many(
-                [(shas[index], report, ids[index])
-                 for index, report in zip(miss, fresh.reports)],
+                [
+                    (shas[index], report, ids[index])
+                    for index, report in zip(miss, fresh.reports)
+                ],
                 explained=self.detector.explain,
-                model_identity=identity)
+                model_identity=identity,
+            )
         result = BatchScanResult(
-            num_workers=fresh.num_workers, batch_sizes=fresh.batch_sizes,
-            cache_stats=fresh.cache_stats, shard_stats=fresh.shard_stats,
-            registry_hits=len(hit_rows), cascade_stats=fresh.cascade_stats)
+            num_workers=fresh.num_workers,
+            batch_sizes=fresh.batch_sizes,
+            cache_stats=fresh.cache_stats,
+            shard_stats=fresh.shard_stats,
+            registry_hits=len(hit_rows),
+            cascade_stats=fresh.cascade_stats,
+        )
         fresh_reports = iter(fresh.reports)
         threshold = self.detector.threshold
         for index in range(len(raw_codes)):
@@ -494,13 +569,17 @@ class BatchScanner:
         result.elapsed_seconds = time.perf_counter() - started
         return result
 
-    def _scan_fresh(self, raw_codes: List[bytes], ids: List[str],
-                    platform: Optional[str],
-                    platforms: Optional[List[str]] = None
-                    ) -> BatchScanResult:
+    def _scan_fresh(
+        self,
+        raw_codes: List[bytes],
+        ids: List[str],
+        platform: Optional[str],
+        platforms: Optional[List[str]] = None,
+    ) -> BatchScanResult:
         if self.shards > 1 and raw_codes:
-            return self._sharded_scanner()._scan_raw(raw_codes, ids, platform,
-                                                     platforms=platforms)
+            return self._sharded_scanner()._scan_raw(
+                raw_codes, ids, platform, platforms=platforms
+            )
         pipeline = self.detector.pipeline
         stats_before = self._stats_snapshot()
         started = time.perf_counter()
@@ -516,16 +595,21 @@ class BatchScanner:
         decisions = None
         resolved_platforms: List[str] = []
         if raw_codes and self.detector.cascade:
-            resolved_platforms = [resolve(index)
-                                  for index in range(len(raw_codes))]
-            decisions = self.detector.cascade_decide(raw_codes,
-                                                     resolved_platforms)
+            resolved_platforms = [
+                resolve(index) for index in range(len(raw_codes))
+            ]
+            decisions = self.detector.cascade_decide(
+                raw_codes, resolved_platforms
+            )
         if decisions is None:
             escalated = list(range(len(raw_codes)))
             cascade_stats = None
         else:
-            escalated = [index for index, decision in enumerate(decisions)
-                         if not decision.short_circuit]
+            escalated = [
+                index
+                for index, decision in enumerate(decisions)
+                if not decision.short_circuit
+            ]
             cascade_stats = {
                 "short_circuits": len(raw_codes) - len(escalated),
                 "escalations": len(escalated),
@@ -533,10 +617,14 @@ class BatchScanner:
             }
 
         def lower(index: int) -> Tuple[ContractGraph, str]:
-            resolved = (resolved_platforms[index] if decisions is not None
-                        else resolve(index))
+            resolved = (
+                resolved_platforms[index]
+                if decisions is not None
+                else resolve(index)
+            )
             graph, resolved = pipeline.analyse_bytecode(
-                raw_codes[index], platform=resolved, sample_id=ids[index])
+                raw_codes[index], platform=resolved, sample_id=ids[index]
+            )
             return graph, resolved
 
         if not escalated:
@@ -546,39 +634,56 @@ class BatchScanner:
             num_workers = 1
         else:
             with concurrent.futures.ThreadPoolExecutor(
-                    max_workers=self.max_workers) as executor:
+                max_workers=self.max_workers
+            ) as executor:
                 lowered = list(executor.map(lower, escalated))
-                num_workers = getattr(executor, "_max_workers",
-                                      self.max_workers or 1)
+                num_workers = getattr(
+                    executor, "_max_workers", self.max_workers or 1
+                )
 
         graphs = [graph for graph, _ in lowered]
         probabilities: List[float] = []
         batch_sizes: Dict[int, int] = {}
         for chunk in pipeline._trainer.iter_predict_proba(
-                graphs, batch_size=self.inference_batch_size):
+            graphs, batch_size=self.inference_batch_size
+        ):
             batch_sizes[len(chunk)] = batch_sizes.get(len(chunk), 0) + 1
             probabilities.extend(float(row[1]) for row in chunk)
 
-        result = BatchScanResult(num_workers=num_workers,
-                                 batch_sizes=batch_sizes,
-                                 cascade_stats=cascade_stats)
+        result = BatchScanResult(
+            num_workers=num_workers,
+            batch_sizes=batch_sizes,
+            cascade_stats=cascade_stats,
+        )
         scored: Dict[int, object] = {}
         for position, index in enumerate(escalated):
             graph, resolved = lowered[position]
             report = self.detector.build_report(
-                raw_codes[index], ids[index], resolved,
-                probabilities[position], graph)
-            if (decisions is not None and report.label == 1
-                    and decisions[index].near_miss):
+                raw_codes[index],
+                ids[index],
+                resolved,
+                probabilities[position],
+                graph,
+            )
+            if (
+                decisions is not None
+                and report.label == 1
+                and decisions[index].near_miss
+            ):
                 cascade_stats["disagreements"] += 1
             scored[index] = report
         for index in range(len(raw_codes)):
             if index in scored:
                 result.reports.append(scored[index])
             else:
-                result.reports.append(self.detector.build_prefilter_report(
-                    raw_codes[index], ids[index], resolved_platforms[index],
-                    decisions[index].probability))
+                result.reports.append(
+                    self.detector.build_prefilter_report(
+                        raw_codes[index],
+                        ids[index],
+                        resolved_platforms[index],
+                        decisions[index].probability,
+                    )
+                )
         result.elapsed_seconds = time.perf_counter() - started
         result.cache_stats = self._stats_delta(stats_before)
         return result

@@ -116,20 +116,30 @@ class CacheStats:
 
     def delta(self, before: "CacheStats") -> "CacheStats":
         """Counter-wise difference ``self - before`` (for window stats)."""
-        return CacheStats(**{field.name: getattr(self, field.name)
-                             - getattr(before, field.name)
-                             for field in fields(self)})
+        return CacheStats(
+            **{
+                field.name: getattr(self, field.name)
+                - getattr(before, field.name)
+                for field in fields(self)
+            }
+        )
 
     def merge(self, other: "CacheStats") -> "CacheStats":
         """Counter-wise sum (for aggregating per-shard windows)."""
-        return CacheStats(**{field.name: getattr(self, field.name)
-                             + getattr(other, field.name)
-                             for field in fields(self)})
+        return CacheStats(
+            **{
+                field.name: getattr(self, field.name)
+                + getattr(other, field.name)
+                for field in fields(self)
+            }
+        )
 
     def format(self) -> str:
-        return (f"cache: {self.hits} hits / {self.lookups} lookups "
-                f"(hit_rate={self.hit_rate:.1%}, evictions={self.evictions}, "
-                f"disk_hits={self.disk_hits})")
+        return (
+            f"cache: {self.hits} hits / {self.lookups} lookups "
+            f"(hit_rate={self.hit_rate:.1%}, evictions={self.evictions}, "
+            f"disk_hits={self.disk_hits})"
+        )
 
 
 class GraphCache:
@@ -150,8 +160,12 @@ class GraphCache:
     lowers contracts from many worker threads against one shared cache.
     """
 
-    def __init__(self, fingerprint: str, capacity: int = 1024,
-                 disk_dir: Optional[PathLike] = None) -> None:
+    def __init__(
+        self,
+        fingerprint: str,
+        capacity: int = 1024,
+        disk_dir: Optional[PathLike] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.fingerprint = fingerprint
@@ -168,11 +182,16 @@ class GraphCache:
             self._prepare_disk_tier()
 
     @classmethod
-    def for_config(cls, config: ScamDetectConfig, capacity: int = 1024,
-                   disk_dir: Optional[PathLike] = None) -> "GraphCache":
+    def for_config(
+        cls,
+        config: ScamDetectConfig,
+        capacity: int = 1024,
+        disk_dir: Optional[PathLike] = None,
+    ) -> "GraphCache":
         """Build a cache scoped to ``config``'s graph fingerprint."""
-        return cls(config.graph_fingerprint(), capacity=capacity,
-                   disk_dir=disk_dir)
+        return cls(
+            config.graph_fingerprint(), capacity=capacity, disk_dir=disk_dir
+        )
 
     # ------------------------------------------------------------------ #
     # public API
@@ -193,8 +212,13 @@ class GraphCache:
             return None
         return self._tier_dir.parent
 
-    def get(self, code: bytes, platform: str, label: int = 0,
-            sample_id: str = "") -> Optional[ContractGraph]:
+    def get(
+        self,
+        code: bytes,
+        platform: str,
+        label: int = 0,
+        sample_id: str = "",
+    ) -> Optional[ContractGraph]:
         """Return the cached graph for ``code`` or None on a miss.
 
         ``label`` and ``sample_id`` are per-request metadata, not part of the
@@ -244,12 +268,17 @@ class GraphCache:
             self.stats.evictions += 1
 
     @staticmethod
-    def _rebind(graph: ContractGraph, label: int, sample_id: str) -> ContractGraph:
-        return ContractGraph(node_features=graph.node_features,
-                             adjacency=graph.adjacency,
-                             normalized_adjacency=graph.normalized_adjacency,
-                             label=label, sample_id=sample_id,
-                             platform=graph.platform)
+    def _rebind(
+        graph: ContractGraph, label: int, sample_id: str
+    ) -> ContractGraph:
+        return ContractGraph(
+            node_features=graph.node_features,
+            adjacency=graph.adjacency,
+            normalized_adjacency=graph.normalized_adjacency,
+            label=label,
+            sample_id=sample_id,
+            platform=graph.platform,
+        )
 
     # ------------------------------------------------------------------ #
     # disk tier
@@ -292,8 +321,10 @@ class GraphCache:
         # that would trigger a spurious purge of shared entries
         self._atomic_write_bytes(
             meta_path,
-            json.dumps({"fingerprint": self.fingerprint},
-                       indent=2, sort_keys=True).encode("utf-8"))
+            json.dumps(
+                {"fingerprint": self.fingerprint}, indent=2, sort_keys=True
+            ).encode("utf-8"),
+        )
 
     def _atomic_write_bytes(self, path: pathlib.Path, payload: bytes) -> None:
         tmp_path = self._temp_path_for(path)
@@ -337,8 +368,10 @@ class GraphCache:
                     node_features=arrays["node_features"],
                     adjacency=arrays["adjacency"],
                     normalized_adjacency=arrays["normalized_adjacency"],
-                    label=0, sample_id="",
-                    platform=str(arrays["platform"]))
+                    label=0,
+                    sample_id="",
+                    platform=str(arrays["platform"]),
+                )
         except (OSError, ValueError, KeyError, zipfile.BadZipFile):
             # Writes are atomic (temp file + os.replace), so an unreadable
             # entry means bit rot or a torn write from a pre-atomic version
@@ -346,9 +379,11 @@ class GraphCache:
             # next put rewrites a clean copy.
             with self._lock:
                 self.stats.disk_corrupt += 1
-            warnings.warn(f"graph cache entry {path} is unreadable; "
-                          f"treating it as a miss and removing it",
-                          stacklevel=2)
+            warnings.warn(
+                f"graph cache entry {path} is unreadable; "
+                f"treating it as a miss and removing it",
+                stacklevel=2,
+            )
             try:
                 path.unlink(missing_ok=True)
             except OSError:
@@ -369,22 +404,31 @@ class GraphCache:
             # fault site cache.disk_write: a "disk_full" OSError lands in
             # the handler below -- the scan continues without the entry
             fault_point("cache.disk_write", path=tmp_path)
-            np.savez(tmp_path,
-                     node_features=graph.node_features,
-                     adjacency=graph.adjacency,
-                     normalized_adjacency=graph.normalized_adjacency,
-                     platform=np.asarray(graph.platform))
+            np.savez(
+                tmp_path,
+                node_features=graph.node_features,
+                adjacency=graph.adjacency,
+                normalized_adjacency=graph.normalized_adjacency,
+                platform=np.asarray(graph.platform),
+            )
             os.replace(tmp_path, path)
         except OSError as error:
             # a full or vanished cache directory must never fail a scan --
             # the disk tier is an optimisation, not a requirement
             tmp_path.unlink(missing_ok=True)
-            warnings.warn(f"graph cache write to {path} failed ({error}); "
-                          f"continuing without the disk entry", stacklevel=2)
+            warnings.warn(
+                f"graph cache write to {path} failed ({error}); "
+                f"continuing without the disk entry",
+                stacklevel=2,
+            )
             return
         self.stats.disk_writes += 1
 
     def __repr__(self) -> str:
-        tier = f", disk={self._tier_dir}" if self._tier_dir is not None else ""
-        return (f"GraphCache(fingerprint={self.fingerprint!r}, "
-                f"entries={len(self._entries)}/{self.capacity}{tier})")
+        tier = (
+            f", disk={self._tier_dir}" if self._tier_dir is not None else ""
+        )
+        return (
+            f"GraphCache(fingerprint={self.fingerprint!r}, "
+            f"entries={len(self._entries)}/{self.capacity}{tier})"
+        )

@@ -1,18 +1,30 @@
-"""Long-running scan server: HTTP endpoints + request coalescing.
+"""Long-running scan server: versioned HTTP endpoints + request coalescing.
 
 This module turns a trained :class:`~repro.core.detector.ScamDetector` into a
 stdlib-only daemon (``http.server`` + ``threading`` + ``queue``) that serves
-live scan traffic:
+live scan traffic.  The API is versioned under ``/v1/``:
 
-* ``POST /scan`` -- one contract (hex or base64 bytecode) -> verdict JSON,
-* ``POST /scan-batch`` -- many contracts in one request,
-* ``GET /healthz`` -- liveness probe (model description, uptime, queue depth),
-* ``GET /metrics`` -- request counts, latency percentiles, cache hit rate and
-  the inference batch-size histogram, in the same stats schema the offline
-  :class:`~repro.service.batch.BatchScanResult` reports,
-* ``GET /verdicts`` / ``GET /verdicts/<sha256>`` -- filtered reads over the
-  attached persistent :class:`~repro.registry.store.ScanRegistry` (scan
-  traffic is recorded into it, and registry hits skip inference entirely).
+* ``POST /v1/scan`` -- one contract (hex or base64 bytecode) -> verdict JSON,
+* ``POST /v1/scan-batch`` -- many contracts in one request,
+* ``GET /v1/healthz`` -- liveness probe (model description, uptime, queue
+  depth),
+* ``GET /v1/metrics`` -- request counts, latency percentiles, cache hit rate
+  and the inference batch-size histogram, in the same stats schema the
+  offline :class:`~repro.service.batch.BatchScanResult` reports,
+* ``GET /v1/verdicts`` / ``GET /v1/verdicts/<sha256>`` -- keyset-paginated
+  reads over the attached persistent
+  :class:`~repro.registry.store.ScanRegistry` (scan traffic is recorded into
+  it, and registry hits skip inference entirely).
+
+The unversioned paths (``/scan``, ``/healthz``, ...) remain as deprecated
+aliases: they behave identically but answer with a ``Deprecation: true``
+header and a ``Link: </v1/...>; rel="successor-version"`` pointer.  Errors
+are a uniform JSON envelope either way::
+
+    {"error": {"code": "overloaded", "message": "...", "retry_after": 1}}
+
+``code`` is a stable machine-readable slug, ``retry_after`` is the backoff
+hint in seconds (null unless the server sent ``Retry-After``).
 
 The core of the serving path is the :class:`RequestCoalescer`: handler
 threads lower bytecode to graphs (through the shared
@@ -48,9 +60,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.detector import ScamDetector, coerce_bytecode
 from repro.core.frontends import detect_platform
 from repro.gnn.data import ContractGraph
+from repro.resilience.faults import InjectedFault, fault_point
 from repro.service.batch import throughput_stats
 from repro.service.cache import CacheStats, GraphCache
-from repro.resilience.faults import InjectedFault, fault_point
 
 #: Default TCP port of the scan server (spells "scan" on a phone pad, almost).
 DEFAULT_PORT = 8742
@@ -58,7 +70,25 @@ DEFAULT_PORT = 8742
 #: Largest accepted request body; anything bigger is rejected with 413.
 MAX_BODY_BYTES = 32 * 1024 * 1024
 
+#: Current API version prefix; unversioned paths are deprecated aliases.
+API_PREFIX = "/v1"
+
+#: Default (and maximum) page size of ``GET /v1/verdicts``.
+VERDICTS_PAGE_SIZE = 100
+VERDICTS_MAX_PAGE_SIZE = 1000
+
 _LATENCY_WINDOW = 4096
+
+#: Fallback machine-readable error codes per HTTP status (a handler may
+#: always pass a more specific code explicitly).
+_STATUS_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    411: "length_required",
+    413: "payload_too_large",
+    500: "internal",
+    503: "unavailable",
+}
 
 
 class ServerShuttingDown(RuntimeError):
@@ -84,13 +114,15 @@ def _percentile(values: Sequence[float], fraction: float) -> float:
     if not values:
         return 0.0
     ordered = sorted(values)
-    rank = max(0, min(len(ordered) - 1,
-                      int(round(fraction * (len(ordered) - 1)))))
+    rank = max(
+        0,
+        min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))),
+    )
     return ordered[rank]
 
 
 class ServerMetrics:
-    """Thread-safe counters behind ``GET /metrics``.
+    """Thread-safe counters behind ``GET /v1/metrics``.
 
     Latencies are kept in bounded per-endpoint windows (the last
     ``_LATENCY_WINDOW`` requests) so percentiles reflect recent traffic and
@@ -107,14 +139,17 @@ class ServerMetrics:
         self.batch_sizes: Dict[int, int] = {}
         self.registry_hits = 0
         self.registry_misses = 0
+        self.deprecated_requests = 0
         self.cascade_short_circuits = 0
         self.cascade_escalations = 0
         self.cascade_disagreements = 0
         self._latencies: Dict[str, deque] = {}
 
-    def record_request(self, endpoint: str) -> None:
+    def record_request(self, endpoint: str, deprecated: bool = False) -> None:
         with self._lock:
             self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+            if deprecated:
+                self.deprecated_requests += 1
 
     def record_error(self) -> None:
         with self._lock:
@@ -123,7 +158,8 @@ class ServerMetrics:
     def record_latency(self, endpoint: str, seconds: float) -> None:
         with self._lock:
             window = self._latencies.setdefault(
-                endpoint, deque(maxlen=_LATENCY_WINDOW))
+                endpoint, deque(maxlen=_LATENCY_WINDOW)
+            )
             window.append(seconds)
 
     def record_batch(self, size: int) -> None:
@@ -144,8 +180,9 @@ class ServerMetrics:
             else:
                 self.registry_misses += 1
 
-    def record_cascade(self, short_circuits: int, escalations: int,
-                       disagreements: int) -> None:
+    def record_cascade(
+        self, short_circuits: int, escalations: int, disagreements: int
+    ) -> None:
         """Record tier-0 pre-filter outcomes for one scored request.
 
         ``disagreements`` counts escalated contracts the GNN flagged as
@@ -163,10 +200,14 @@ class ServerMetrics:
     def uptime_seconds(self) -> float:
         return time.monotonic() - self._started_monotonic
 
-    def snapshot(self, cache_stats: CacheStats,
-                 shard_stats: Optional[Dict[str, Dict[str, object]]] = None,
-                 cascade_enabled: bool = False) -> Dict[str, object]:
-        """The ``GET /metrics`` payload.
+    def snapshot(
+        self,
+        cache_stats: CacheStats,
+        shard_stats: Optional[Dict[str, Dict[str, object]]] = None,
+        cascade_enabled: bool = False,
+        registry_busy_retries: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """The ``GET /v1/metrics`` payload.
 
         The ``scans`` section uses the exact schema of
         :meth:`~repro.service.batch.BatchScanResult.stats_dict`, so offline
@@ -183,11 +224,16 @@ class ServerMetrics:
             batch_sizes = dict(self.batch_sizes)
             registry_hits = self.registry_hits
             registry_misses = self.registry_misses
-            cascade = {"short_circuits": self.cascade_short_circuits,
-                       "escalations": self.cascade_escalations,
-                       "disagreements": self.cascade_disagreements}
-            latencies = {endpoint: list(window)
-                         for endpoint, window in self._latencies.items()}
+            deprecated = self.deprecated_requests
+            cascade = {
+                "short_circuits": self.cascade_short_circuits,
+                "escalations": self.cascade_escalations,
+                "disagreements": self.cascade_disagreements,
+            }
+            latencies = {
+                endpoint: list(window)
+                for endpoint, window in self._latencies.items()
+            }
         latency_ms = {}
         for endpoint, window in sorted(latencies.items()):
             latency_ms[endpoint] = {
@@ -196,18 +242,27 @@ class ServerMetrics:
                 "p90_ms": _percentile(window, 0.90) * 1e3,
                 "p99_ms": _percentile(window, 0.99) * 1e3,
             }
-        scans = throughput_stats(contracts, malicious, self.uptime_seconds,
-                                 cache_stats, batch_sizes)
+        scans = throughput_stats(
+            contracts, malicious, self.uptime_seconds, cache_stats, batch_sizes
+        )
         # mirror BatchScanResult.stats_dict's registry section so offline
         # and online paths keep one dashboard schema
-        scans["registry"] = {"hits": registry_hits,
-                             "misses": registry_misses}
+        scans["registry"] = {"hits": registry_hits, "misses": registry_misses}
+        if registry_busy_retries is not None:
+            # WAL write contention over this server's registry handle(s):
+            # a climbing counter on a healthy fleet means the partitioning
+            # layout (or the write batch sizes) needs another look
+            scans["registry"]["busy_retries"] = registry_busy_retries
         if cascade_enabled:
             # same key as BatchScanResult.stats_dict's cascade section
             scans["cascade"] = cascade
         payload = {
             "uptime_seconds": self.uptime_seconds,
-            "requests": {"total": sum(requests.values()), **requests},
+            "requests": {
+                "total": sum(requests.values()),
+                "deprecated": deprecated,
+                **requests,
+            },
             "errors": errors,
             "latency": latency_ms,
             "scans": scans,
@@ -248,7 +303,7 @@ class RequestCoalescer:
             scoring (one batched model call per micro-batch).
         metrics: Sink for the batch-size histogram.
         max_batch: Graph budget per inference call.  A single oversized
-            submission (a big ``/scan-batch`` request) is still honoured;
+            submission (a big ``/v1/scan-batch`` request) is still honoured;
             it is chunked internally at this size.
         max_wait_ms: How long to hold the first request of a batch while
             waiting for companions.  0 disables coalescing (every request is
@@ -264,9 +319,15 @@ class RequestCoalescer:
             None (the default) keeps the historical unbounded behavior.
     """
 
-    def __init__(self, trainer, metrics: ServerMetrics,
-                 max_batch: int = 32, max_wait_ms: float = 5.0,
-                 scorer=None, max_queue: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        trainer,
+        metrics: ServerMetrics,
+        max_batch: int = 32,
+        max_wait_ms: float = 5.0,
+        scorer=None,
+        max_queue: Optional[int] = None,
+    ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_ms < 0:
@@ -275,8 +336,9 @@ class RequestCoalescer:
             raise ValueError("max_queue must be >= 1 (or None)")
         if trainer is None and scorer is None:
             raise ValueError("RequestCoalescer needs a trainer or a scorer")
-        self._score_graphs = (scorer if scorer is not None
-                              else trainer.predict_proba)
+        self._score_graphs = (
+            scorer if scorer is not None else trainer.predict_proba
+        )
         self._metrics = metrics
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
@@ -290,9 +352,11 @@ class RequestCoalescer:
         #: sentinel sits behind every accepted submission, so the drain
         #: thread cannot exit with work still queued
         self._shutdown_sentinel = object()
-        self._thread = threading.Thread(target=self._drain_loop,
-                                        name="scamdetect-coalescer",
-                                        daemon=True)
+        self._thread = threading.Thread(
+            target=self._drain_loop,
+            name="scamdetect-coalescer",
+            daemon=True,
+        )
 
     def start(self) -> None:
         self._thread.start()
@@ -313,11 +377,14 @@ class RequestCoalescer:
         with self._lock:
             if self._closed:
                 raise ServerShuttingDown("scan server is shutting down")
-            if self.max_queue is not None \
-                    and self._queue.qsize() >= self.max_queue:
+            if (
+                self.max_queue is not None
+                and self._queue.qsize() >= self.max_queue
+            ):
                 raise ServerOverloaded(
                     f"inference queue is full ({self.max_queue} waiting); "
-                    f"retry later")
+                    f"retry later"
+                )
             self._queue.put(pending)
         pending.ready.wait()
         if pending.error is not None:
@@ -327,7 +394,7 @@ class RequestCoalescer:
 
     def close(self) -> None:
         """Stop accepting work, drain the queue, then stop the thread."""
-        self._stopping.set()      # skip hold windows from here on
+        self._stopping.set()  # skip hold windows from here on
         with self._lock:
             if self._closed:
                 return
@@ -384,7 +451,8 @@ class RequestCoalescer:
         graphs = [graph for pending in batch for graph in pending.graphs]
         try:
             probabilities = self._score_graphs(
-                graphs, batch_size=self.max_batch)
+                graphs, batch_size=self.max_batch
+            )
         except BaseException as error:  # propagate to every blocked submitter
             for pending in batch:
                 pending.error = error
@@ -399,7 +467,7 @@ class RequestCoalescer:
             self._metrics.record_batch(remainder)
         offset = 0
         for pending in batch:
-            rows = probabilities[offset:offset + len(pending.graphs)]
+            rows = probabilities[offset : offset + len(pending.graphs)]
             pending.probabilities = [float(row[1]) for row in rows]
             offset += len(pending.graphs)
             pending.ready.set()
@@ -410,16 +478,43 @@ class RequestCoalescer:
 
 
 class _RequestError(Exception):
-    """A client error carrying its HTTP status code."""
+    """A client error carrying its HTTP status and machine-readable code."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self, status: int, message: str, code: Optional[str] = None
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.code = (
+            code
+            if code is not None
+            else _STATUS_CODES.get(status, "error")
+        )
 
 
-def _parse_contract(entry: object, index: Optional[int] = None,
-                    default_platform: Optional[str] = None
-                    ) -> Tuple[bytes, Optional[str], str]:
+def _error_envelope(
+    code: str, message: str, retry_after: Optional[int] = None
+) -> Dict[str, object]:
+    """The uniform error body: ``{"error": {code, message, retry_after}}``.
+
+    ``retry_after`` mirrors the ``Retry-After`` header (seconds) so clients
+    that only look at the body still back off correctly; it is null for
+    non-retryable errors.
+    """
+    return {
+        "error": {
+            "code": code,
+            "message": message,
+            "retry_after": retry_after,
+        }
+    }
+
+
+def _parse_contract(
+    entry: object,
+    index: Optional[int] = None,
+    default_platform: Optional[str] = None,
+) -> Tuple[bytes, Optional[str], str]:
     """Decode one contract object from a request payload.
 
     Accepted shape: ``{"bytecode": "...", "encoding": "hex"|"base64",
@@ -431,20 +526,27 @@ def _parse_contract(entry: object, index: Optional[int] = None,
         raise _RequestError(400, f"{where} must be a JSON object")
     bytecode = entry.get("bytecode")
     if not isinstance(bytecode, str) or not bytecode:
-        raise _RequestError(400, f"{where}: 'bytecode' must be a non-empty "
-                                 f"hex or base64 string")
+        raise _RequestError(
+            400,
+            f"{where}: 'bytecode' must be a non-empty hex or base64 string",
+        )
     encoding = entry.get("encoding", "hex")
     if encoding not in ("hex", "base64"):
-        raise _RequestError(400, f"{where}: unsupported encoding "
-                                 f"{encoding!r} (use 'hex' or 'base64')")
+        raise _RequestError(
+            400,
+            f"{where}: unsupported encoding {encoding!r} "
+            f"(use 'hex' or 'base64')",
+        )
     try:
         if encoding == "base64":
             raw = b64decode(bytecode, validate=True)
         else:
             raw = coerce_bytecode(bytecode)
     except (ValueError, TypeError) as error:
-        raise _RequestError(400, f"{where}: bytecode does not decode as "
-                                 f"{encoding} ({error})") from error
+        raise _RequestError(
+            400,
+            f"{where}: bytecode does not decode as {encoding} ({error})",
+        ) from error
     if not raw:
         raise _RequestError(400, f"{where}: bytecode decodes to zero bytes")
     platform = entry.get("platform", default_platform)
@@ -452,7 +554,7 @@ def _parse_contract(entry: object, index: Optional[int] = None,
         raise _RequestError(400, f"{where}: unknown platform {platform!r}")
     sample_id = entry.get("sample_id")
     if sample_id is None:
-        sample_id = ("contract" if index is None else f"contract-{index:04d}")
+        sample_id = "contract" if index is None else f"contract-{index:04d}"
     elif not isinstance(sample_id, str):
         raise _RequestError(400, f"{where}: 'sample_id' must be a string")
     return raw, platform, sample_id
@@ -477,8 +579,31 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # access logging would swamp the smoke tests; metrics cover it
 
-    def _send_json(self, status: int, payload: Dict[str, object],
-                   headers: Optional[Dict[str, str]] = None) -> None:
+    def _route(self, path: str) -> Tuple[str, bool]:
+        """Strip the version prefix; returns ``(bare path, deprecated)``.
+
+        ``/v1/scan`` -> ``("/scan", False)``; the unversioned alias
+        ``/scan`` -> ``("/scan", True)`` and every response to it carries
+        the deprecation headers.
+        """
+        if path == API_PREFIX or path.startswith(API_PREFIX + "/"):
+            return path[len(API_PREFIX):] or "/", False
+        return path, True
+
+    def _deprecation_headers(self, bare_path: str) -> Dict[str, str]:
+        return {
+            "Deprecation": "true",
+            "Link": (
+                f"<{API_PREFIX}{bare_path}>; rel=\"successor-version\""
+            ),
+        }
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -488,9 +613,29 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _retry_after_headers(self) -> Dict[str, str]:
-        seconds = self.scan_server.retry_after_s
-        return {"Retry-After": str(max(1, int(round(seconds))))}
+    def _send_error_json(
+        self,
+        status: int,
+        message: str,
+        code: Optional[str] = None,
+        retry_after: Optional[int] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        headers = dict(extra_headers or {})
+        if retry_after is not None:
+            headers["Retry-After"] = str(retry_after)
+        self._send_json(
+            status,
+            _error_envelope(
+                code or _STATUS_CODES.get(status, "error"),
+                message,
+                retry_after,
+            ),
+            headers=headers,
+        )
+
+    def _retry_after_seconds(self) -> int:
+        return max(1, int(round(self.scan_server.retry_after_s)))
 
     def _read_json(self) -> object:
         length_header = self.headers.get("Content-Length")
@@ -505,56 +650,81 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
             # pinning a pool worker until the peer hangs up
             raise _RequestError(400, "invalid Content-Length")
         if length > MAX_BODY_BYTES:
-            raise _RequestError(413, f"request body exceeds "
-                                     f"{MAX_BODY_BYTES} bytes")
+            raise _RequestError(
+                413, f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
         body = self.rfile.read(length)
         try:
             return json.loads(body)
         except ValueError as error:
-            raise _RequestError(400, f"request body is not valid JSON "
-                                     f"({error})") from error
+            raise _RequestError(
+                400, f"request body is not valid JSON ({error})"
+            ) from error
 
     # -------------------------------------------------------------- #
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
         server = self.scan_server
         parsed = urllib.parse.urlsplit(self.path)
-        if parsed.path == "/healthz":
-            server.metrics.record_request("healthz")
-            self._send_json(200, server.health())
-        elif parsed.path == "/metrics":
-            server.metrics.record_request("metrics")
-            self._send_json(200, server.metrics.snapshot(
-                server.cache_stats, server.shard_stats(),
-                cascade_enabled=server.detector.cascade))
-        elif parsed.path == "/verdicts" or \
-                parsed.path.startswith("/verdicts/"):
-            server.metrics.record_request("verdicts")
+        path, deprecated = self._route(parsed.path)
+        headers = self._deprecation_headers(path) if deprecated else None
+        if path == "/healthz":
+            server.metrics.record_request("healthz", deprecated)
+            self._send_json(200, server.health(), headers=headers)
+        elif path == "/metrics":
+            server.metrics.record_request("metrics", deprecated)
+            self._send_json(
+                200,
+                server.metrics.snapshot(
+                    server.cache_stats,
+                    server.shard_stats(),
+                    cascade_enabled=server.detector.cascade,
+                    registry_busy_retries=server.registry_busy_retries(),
+                ),
+                headers=headers,
+            )
+        elif path == "/verdicts" or path.startswith("/verdicts/"):
+            server.metrics.record_request("verdicts", deprecated)
             try:
-                if parsed.path == "/verdicts":
+                if path == "/verdicts":
                     payload = server.verdicts_index(
-                        urllib.parse.parse_qs(parsed.query))
+                        urllib.parse.parse_qs(parsed.query)
+                    )
                 else:
                     payload = server.verdicts_detail(
-                        parsed.path[len("/verdicts/"):])
-                self._send_json(200, payload)
+                        path[len("/verdicts/"):]
+                    )
+                self._send_json(200, payload, headers=headers)
             except _RequestError as error:
                 server.metrics.record_error()
-                self._send_json(error.status, {"error": str(error)})
+                self._send_error_json(
+                    error.status,
+                    str(error),
+                    code=error.code,
+                    extra_headers=headers,
+                )
         else:
             server.metrics.record_error()
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            self._send_error_json(
+                404, f"unknown path {self.path!r}", code="not_found"
+            )
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
         server = self.scan_server
-        routes = {"/scan": ("scan", self._handle_scan),
-                  "/scan-batch": ("scan_batch", self._handle_scan_batch)}
-        if self.path not in routes:
+        path, deprecated = self._route(self.path)
+        headers = self._deprecation_headers(path) if deprecated else None
+        routes = {
+            "/scan": ("scan", self._handle_scan),
+            "/scan-batch": ("scan_batch", self._handle_scan_batch),
+        }
+        if path not in routes:
             server.metrics.record_error()
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            self._send_error_json(
+                404, f"unknown path {self.path!r}", code="not_found"
+            )
             return
-        endpoint, handler = routes[self.path]
-        server.metrics.record_request(endpoint)
+        endpoint, handler = routes[path]
+        server.metrics.record_request(endpoint, deprecated)
         started = time.perf_counter()
         try:
             # chaos site: delay = slow handler; exception-kind faults land
@@ -563,37 +733,63 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
             status, payload = handler()
         except _RequestError as error:
             server.metrics.record_error()
-            self._send_json(error.status, {"error": str(error)})
+            self._send_error_json(
+                error.status,
+                str(error),
+                code=error.code,
+                extra_headers=headers,
+            )
             return
         except ServerShuttingDown as error:
             server.metrics.record_error()
-            self._send_json(503, {"error": str(error)})
+            self._send_error_json(
+                503, str(error), code="shutting_down", extra_headers=headers
+            )
             return
         except ServerOverloaded as error:
             server.metrics.record_error()
-            self._send_json(503, {"error": str(error)},
-                            headers=self._retry_after_headers())
+            self._send_error_json(
+                503,
+                str(error),
+                code="overloaded",
+                retry_after=self._retry_after_seconds(),
+                extra_headers=headers,
+            )
             return
         except InjectedFault as error:
             # an injected transient server fault is answered like overload:
             # 503 + Retry-After, so well-behaved clients retry
             server.metrics.record_error()
-            self._send_json(503, {"error": f"transient fault: {error}"},
-                            headers=self._retry_after_headers())
+            self._send_error_json(
+                503,
+                f"transient fault: {error}",
+                code="transient_fault",
+                retry_after=self._retry_after_seconds(),
+                extra_headers=headers,
+            )
             return
         except ValueError as error:
             # bytecode that decoded but failed to parse/lower is a client
             # problem, not a server fault
             server.metrics.record_error()
-            self._send_json(400, {"error": f"bytecode rejected: {error}"})
+            self._send_error_json(
+                400,
+                f"bytecode rejected: {error}",
+                code="bad_request",
+                extra_headers=headers,
+            )
             return
         except Exception as error:  # noqa: BLE001 - last-resort 500
             server.metrics.record_error()
-            self._send_json(500, {"error": f"internal error: {error}"})
+            self._send_error_json(
+                500,
+                f"internal error: {error}",
+                code="internal",
+                extra_headers=headers,
+            )
             return
-        server.metrics.record_latency(endpoint,
-                                      time.perf_counter() - started)
-        self._send_json(status, payload)
+        server.metrics.record_latency(endpoint, time.perf_counter() - started)
+        self._send_json(status, payload, headers=headers)
 
     # -------------------------------------------------------------- #
 
@@ -606,18 +802,25 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
     def _handle_scan_batch(self) -> Tuple[int, Dict[str, object]]:
         server = self.scan_server
         payload = self._read_json()
-        if not isinstance(payload, dict) or \
-                not isinstance(payload.get("contracts"), list):
-            raise _RequestError(400, "request body must be a JSON object "
-                                     "with a 'contracts' array")
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("contracts"), list
+        ):
+            raise _RequestError(
+                400,
+                "request body must be a JSON object with a 'contracts' array",
+            )
         default_platform = payload.get("platform")
-        if default_platform is not None and \
-                default_platform not in ("evm", "wasm"):
+        if default_platform is not None and default_platform not in (
+            "evm",
+            "wasm",
+        ):
             raise _RequestError(400, f"unknown platform {default_platform!r}")
         contracts = [
-            _parse_contract(entry, index=index,
-                            default_platform=default_platform)
-            for index, entry in enumerate(payload["contracts"])]
+            _parse_contract(
+                entry, index=index, default_platform=default_platform
+            )
+            for index, entry in enumerate(payload["contracts"])
+        ]
         started = time.perf_counter()
         reports = server.scan_group(contracts)
         elapsed = time.perf_counter() - started
@@ -648,15 +851,20 @@ class _ThreadPoolHTTPServer(HTTPServer):
     # acceptance scenario); size it like a daemon, not a toy
     request_queue_size = 128
 
-    def __init__(self, address, handler, scan_server: "ScanServer",
-                 workers: int) -> None:
+    def __init__(
+        self, address, handler, scan_server: "ScanServer", workers: int
+    ) -> None:
         super().__init__(address, handler)
         self.scan_server = scan_server
         self._tasks: queue.Queue = queue.Queue()
         self._workers = [
-            threading.Thread(target=self._work,
-                             name=f"scamdetect-http-{index}", daemon=True)
-            for index in range(workers)]
+            threading.Thread(
+                target=self._work,
+                name=f"scamdetect-http-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
 
     def start_workers(self) -> None:
         for worker in self._workers:
@@ -716,13 +924,15 @@ class ScanServer:
             spawns a :class:`~repro.service.sharded.ShardedScanner` pool
             and the coalescer dispatches its micro-batches round-robin to
             the shard replicas, with per-shard latency/cache/restart
-            counters surfaced under ``GET /metrics``.
+            counters surfaced under ``GET /v1/metrics``.
         registry: Optional persistent
-            :class:`~repro.registry.store.ScanRegistry`.  When attached,
-            every served verdict is recorded durably, contracts the
-            registry already knows are answered without lowering or
-            inference, and ``GET /verdicts`` (+ ``/verdicts/<sha256>``)
-            serve filtered reads over the store.  Must be scoped to the
+            :class:`~repro.registry.store.ScanRegistry` (or a
+            :class:`~repro.registry.partition.PartitionedScanRegistry` --
+            the server only uses the shared surface).  When attached, every
+            served verdict is recorded durably, contracts the registry
+            already knows are answered without lowering or inference, and
+            ``GET /v1/verdicts`` (+ ``/v1/verdicts/<sha256>``) serve
+            keyset-paginated reads over the store.  Must be scoped to the
             detector config's graph fingerprint.
 
     Raises:
@@ -730,13 +940,20 @@ class ScanServer:
         RuntimeError: If the detector is not trained.
     """
 
-    def __init__(self, detector: ScamDetector, host: str = "127.0.0.1",
-                 port: int = DEFAULT_PORT, workers: int = 8,
-                 max_batch: int = 32, max_wait_ms: float = 5.0,
-                 cache: Optional[GraphCache] = None,
-                 shards: int = 1, registry=None,
-                 max_queue: Optional[int] = None,
-                 retry_after_s: float = 1.0) -> None:
+    def __init__(
+        self,
+        detector: ScamDetector,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        workers: int = 8,
+        max_batch: int = 32,
+        max_wait_ms: float = 5.0,
+        cache: Optional[GraphCache] = None,
+        shards: int = 1,
+        registry=None,
+        max_queue: Optional[int] = None,
+        retry_after_s: float = 1.0,
+    ) -> None:
         if not detector.is_trained:
             raise RuntimeError("ScanServer requires a trained detector")
         # a cascade-enabled detector without a trained head must fail at
@@ -751,7 +968,8 @@ class ScanServer:
             if registry.fingerprint and registry.fingerprint != fingerprint:
                 raise ValueError(
                     f"registry fingerprint {registry.fingerprint!r} does "
-                    f"not match this detector config's {fingerprint!r}")
+                    f"not match this detector config's {fingerprint!r}"
+                )
             registry.fingerprint = fingerprint
         self.registry = registry
         self.detector = detector
@@ -769,17 +987,23 @@ class ScanServer:
         if shards > 1:
             from repro.service.sharded import ShardedScanner
 
-            self.sharded = ShardedScanner(detector, shards=shards,
-                                          inference_batch_size=max_batch)
+            self.sharded = ShardedScanner(
+                detector, shards=shards, inference_batch_size=max_batch
+            )
             scorer = self.sharded.infer
         self.retry_after_s = retry_after_s
         self.metrics = ServerMetrics()
         self.coalescer = RequestCoalescer(
-            detector.pipeline._trainer, self.metrics,
-            max_batch=max_batch, max_wait_ms=max_wait_ms, scorer=scorer,
-            max_queue=max_queue)
+            detector.pipeline._trainer,
+            self.metrics,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            scorer=scorer,
+            max_queue=max_queue,
+        )
         self._httpd = _ThreadPoolHTTPServer(
-            (host, port), _ScanHTTPRequestHandler, self, workers)
+            (host, port), _ScanHTTPRequestHandler, self, workers
+        )
         self._accept_thread: Optional[threading.Thread] = None
         self._stop_requested = threading.Event()
         self._started = False
@@ -804,10 +1028,18 @@ class ScanServer:
     def cache_stats(self) -> CacheStats:
         return self.cache.stats if self.cache is not None else CacheStats()
 
+    def registry_busy_retries(self) -> Optional[int]:
+        """WAL busy-retry count of the attached registry (None without
+        one) -- fleet write-contention telemetry for ``/v1/metrics``."""
+        if self.registry is None:
+            return None
+        return int(self.registry.busy_retries)
+
     def health(self) -> Dict[str, object]:
         degraded = self.sharded is not None and self.sharded.degraded
         payload = {
             "status": "degraded" if degraded else "ok",
+            "api_version": API_PREFIX.lstrip("/"),
             "model": self.detector.pipeline.describe(),
             "uptime_seconds": self.metrics.uptime_seconds,
             "workers": self.workers,
@@ -820,13 +1052,14 @@ class ScanServer:
             payload["quarantined_shards"] = self.sharded.quarantined_shards
         if self.detector.cascade:
             payload["cascade"] = {
-                "margin": self.detector.effective_cascade_margin()}
+                "margin": self.detector.effective_cascade_margin()
+            }
         if self.registry is not None:
             payload["registry"] = self.registry.counts()
         return payload
 
     def shard_stats(self) -> Optional[Dict[str, Dict[str, object]]]:
-        """Per-shard telemetry for ``/metrics`` (None when unsharded)."""
+        """Per-shard telemetry for ``/v1/metrics`` (None when unsharded)."""
         if self.sharded is None:
             return None
         return self.sharded.shard_stats_dict()
@@ -834,8 +1067,7 @@ class ScanServer:
     # -------------------------------------------------------------- #
     # scoring entry points used by the HTTP handlers (and tests)
 
-    def scan_one(self, raw: bytes, platform: Optional[str],
-                 sample_id: str):
+    def scan_one(self, raw: bytes, platform: Optional[str], sample_id: str):
         """Report one contract: registry lookup, tier-0 pre-filter (when
         the cascade is enabled), else coalesce-score."""
         cached = self._registry_lookup(raw, sample_id)
@@ -846,26 +1078,31 @@ class ScanServer:
         decisions = self.detector.cascade_decide([raw], [resolved])
         if decisions is not None and decisions[0].short_circuit:
             report = self.detector.build_prefilter_report(
-                raw, sample_id, resolved, decisions[0].probability)
+                raw, sample_id, resolved, decisions[0].probability
+            )
             self._registry_record([(raw, report)])
             self.metrics.record_verdicts(1, int(report.is_malicious))
             self.metrics.record_cascade(1, 0, 0)
             return report
         graph, resolved = self.detector.pipeline.analyse_bytecode(
-            raw, platform=resolved, sample_id=sample_id)
+            raw, platform=resolved, sample_id=sample_id
+        )
         probability = self.coalescer.submit([graph])[0]
-        report = self.detector.build_report(raw, sample_id, resolved,
-                                            probability, graph)
+        report = self.detector.build_report(
+            raw, sample_id, resolved, probability, graph
+        )
         self._registry_record([(raw, report)])
         self.metrics.record_verdicts(1, int(report.is_malicious))
         if decisions is not None:
             self.metrics.record_cascade(
-                0, 1, int(report.label == 1 and decisions[0].near_miss))
+                0, 1, int(report.label == 1 and decisions[0].near_miss)
+            )
         return report
 
-    def scan_group(self, contracts: Sequence[Tuple[bytes, Optional[str],
-                                                   str]]):
-        """Score one ``/scan-batch`` request as a single group.
+    def scan_group(
+        self, contracts: Sequence[Tuple[bytes, Optional[str], str]]
+    ):
+        """Score one ``/v1/scan-batch`` request as a single group.
 
         Contracts the registry already knows are answered directly; with
         the cascade enabled, confident-benign remainders short-circuit as
@@ -874,17 +1111,22 @@ class ScanServer:
         """
         cached_reports = self._registry_lookup_many(
             [raw for raw, _, _ in contracts],
-            [sample_id for _, _, sample_id in contracts])
+            [sample_id for _, _, sample_id in contracts],
+        )
         reports: List = list(cached_reports)
-        misses = [index for index, report in enumerate(reports)
-                  if report is None]
+        misses = [
+            index for index, report in enumerate(reports) if report is None
+        ]
         resolved_platforms = {
-            index: (contracts[index][1]
-                    or detect_platform(contracts[index][0]))
-            for index in misses}
+            index: (
+                contracts[index][1] or detect_platform(contracts[index][0])
+            )
+            for index in misses
+        }
         decisions = self.detector.cascade_decide(
             [contracts[index][0] for index in misses],
-            [resolved_platforms[index] for index in misses])
+            [resolved_platforms[index] for index in misses],
+        )
         recorded = []
         escalated = []
         short_circuits = 0
@@ -892,8 +1134,11 @@ class ScanServer:
             raw, _, sample_id = contracts[index]
             if decisions is not None and decisions[position].short_circuit:
                 report = self.detector.build_prefilter_report(
-                    raw, sample_id, resolved_platforms[index],
-                    decisions[position].probability)
+                    raw,
+                    sample_id,
+                    resolved_platforms[index],
+                    decisions[position].probability,
+                )
                 reports[index] = report
                 recorded.append((raw, report))
                 short_circuits += 1
@@ -904,28 +1149,43 @@ class ScanServer:
             index = misses[position]
             raw, _, sample_id = contracts[index]
             graph, resolved = self.detector.pipeline.analyse_bytecode(
-                raw, platform=resolved_platforms[index],
-                sample_id=sample_id)
-            lowered.append((index, raw, sample_id, resolved, graph,
-                            position))
+                raw, platform=resolved_platforms[index], sample_id=sample_id
+            )
+            lowered.append(
+                (index, raw, sample_id, resolved, graph, position)
+            )
         probabilities = self.coalescer.submit(
-            [graph for _, _, _, _, graph, _ in lowered])
+            [graph for _, _, _, _, graph, _ in lowered]
+        )
         disagreements = 0
-        for (index, raw, sample_id, resolved, graph, position), probability \
-                in zip(lowered, probabilities):
-            report = self.detector.build_report(raw, sample_id, resolved,
-                                                probability, graph)
-            if (decisions is not None and report.label == 1
-                    and decisions[position].near_miss):
+        for (
+            index,
+            raw,
+            sample_id,
+            resolved,
+            graph,
+            position,
+        ), probability in zip(lowered, probabilities):
+            report = self.detector.build_report(
+                raw, sample_id, resolved, probability, graph
+            )
+            if (
+                decisions is not None
+                and report.label == 1
+                and decisions[position].near_miss
+            ):
                 disagreements += 1
             reports[index] = report
             recorded.append((raw, report))
         self._registry_record(recorded)
         self.metrics.record_verdicts(
-            len(reports), sum(1 for report in reports if report.is_malicious))
+            len(reports),
+            sum(1 for report in reports if report.is_malicious),
+        )
         if decisions is not None:
-            self.metrics.record_cascade(short_circuits, len(escalated),
-                                        disagreements)
+            self.metrics.record_cascade(
+                short_circuits, len(escalated), disagreements
+            )
         return reports
 
     # -------------------------------------------------------------- #
@@ -936,8 +1196,9 @@ class ScanServer:
         recorded under different weights or another explain setting)."""
         return self._registry_lookup_many([raw], [sample_id])[0]
 
-    def _registry_lookup_many(self, raws: Sequence[bytes],
-                              sample_ids: Sequence[str]) -> List:
+    def _registry_lookup_many(
+        self, raws: Sequence[bytes], sample_ids: Sequence[str]
+    ) -> List:
         """Stored verdicts for ``raws`` in one bulk registry query (None
         per miss) -- one locked SELECT per request, not per contract."""
         if self.registry is None:
@@ -953,15 +1214,19 @@ class ScanServer:
         reports: List = []
         for sha, sample_id in zip(shas, sample_ids):
             row = rows.get(sha)
-            if row is None or row.model_identity != identity \
-                    or row.explained != self.detector.explain:
+            if (
+                row is None
+                or row.model_identity != identity
+                or row.explained != self.detector.explain
+            ):
                 self.metrics.record_registry(hit=False)
                 reports.append(None)
                 continue
             self.metrics.record_registry(hit=True)
             report = row.to_report(sample_id=sample_id)
-            report.label = int(report.malicious_probability
-                               >= self.detector.threshold)
+            report.label = int(
+                report.malicious_probability >= self.detector.threshold
+            )
             reports.append(report)
         return reports
 
@@ -971,14 +1236,25 @@ class ScanServer:
         from repro.registry.store import content_sha256
 
         self.registry.record_many(
-            [(content_sha256(raw), report, report.sample_id)
-             for raw, report in entries],
+            [
+                (content_sha256(raw), report, report.sample_id)
+                for raw, report in entries
+            ],
             explained=self.detector.explain,
-            model_identity=self.detector.model_identity())
+            model_identity=self.detector.model_identity(),
+        )
 
-    def verdicts_index(self, params: Dict[str, List[str]]
-                       ) -> Dict[str, object]:
-        """``GET /verdicts`` -- filtered registry rows, newest first."""
+    def verdicts_index(
+        self, params: Dict[str, List[str]]
+    ) -> Dict[str, object]:
+        """``GET /v1/verdicts`` -- keyset-paginated registry rows.
+
+        Ordering is newest-first (``last_scanned_at DESC, sha256``); the
+        response envelope carries ``next_cursor`` (null on the final page),
+        and passing it back as ``cursor=`` resumes exactly after the last
+        returned row -- stable under concurrent writers, unlike an OFFSET.
+        ``limit`` is accepted as a legacy alias for ``page_size``.
+        """
         registry = self._require_registry()
         from repro.registry.store import RegistryError
 
@@ -1006,31 +1282,57 @@ class ScanServer:
             "platform": single("platform"),
             "path_glob": single("path_glob"),
             "tag": single("tag"),
+            "sha256_prefix": single("sha256_prefix"),
             "min_score": number("min_score"),
             "max_score": number("max_score"),
             "since": number("since"),
             "until": number("until"),
         }
-        limit = number("limit")
-        query["limit"] = int(limit) if limit is not None else 100
+        cursor = single("cursor")
+        page_size = number("page_size")
+        if page_size is None:
+            # legacy alias from the offset-era listing; same meaning now
+            page_size = number("limit")
+        page_size = (
+            VERDICTS_PAGE_SIZE if page_size is None else int(page_size)
+        )
+        if not 1 <= page_size <= VERDICTS_MAX_PAGE_SIZE:
+            raise _RequestError(
+                400,
+                f"page_size must be in [1, {VERDICTS_MAX_PAGE_SIZE}], "
+                f"not {page_size}",
+            )
         if params:
             raise _RequestError(
-                400, f"unknown query parameters {sorted(params)}")
+                400, f"unknown query parameters {sorted(params)}"
+            )
         try:
-            rows = registry.query(**query)
+            rows, next_cursor = registry.query_page(
+                cursor=cursor, page_size=page_size, **query
+            )
         except RegistryError as error:
-            raise _RequestError(400, str(error)) from error
-        return {"count": len(rows),
-                "verdicts": [row.to_dict() for row in rows]}
+            code = (
+                "invalid_cursor"
+                if "cursor" in str(error)
+                else "bad_request"
+            )
+            raise _RequestError(400, str(error), code=code) from error
+        return {
+            "count": len(rows),
+            "verdicts": [row.to_dict() for row in rows],
+            "next_cursor": next_cursor,
+        }
 
     def verdicts_detail(self, sha256: str) -> Dict[str, object]:
-        """``GET /verdicts/<sha256>`` -- one row plus its scan history."""
+        """``GET /v1/verdicts/<sha256>`` -- one row plus its scan history."""
         registry = self._require_registry()
         row = registry.get(sha256)
         if row is None:
             raise _RequestError(
-                404, f"no verdict recorded for {sha256!r} under the "
-                     f"current graph fingerprint")
+                404,
+                f"no verdict recorded for {sha256!r} under the current "
+                f"graph fingerprint",
+            )
         payload = row.to_dict()
         payload["history"] = registry.history(sha256)
         return payload
@@ -1038,8 +1340,11 @@ class ScanServer:
     def _require_registry(self):
         if self.registry is None:
             raise _RequestError(
-                503, "no verdict registry attached; start the server with "
-                     "registry=... (CLI: scamdetect serve --registry PATH)")
+                503,
+                "no verdict registry attached; start the server with "
+                "registry=... (CLI: scamdetect serve --registry PATH)",
+                code="no_registry",
+            )
         return self.registry
 
     # -------------------------------------------------------------- #
@@ -1065,8 +1370,11 @@ class ScanServer:
         self.coalescer.start()
         self._httpd.start_workers()
         self._accept_thread = threading.Thread(
-            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
-            name="scamdetect-accept", daemon=True)
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="scamdetect-accept",
+            daemon=True,
+        )
         self._accept_thread.start()
         return self
 
@@ -1091,13 +1399,13 @@ class ScanServer:
             return
         self._stopped = True
         self._stop_requested.set()
-        self._httpd.shutdown()            # stops the accept loop
+        self._httpd.shutdown()  # stops the accept loop
         if self._accept_thread is not None:
             self._accept_thread.join()
-        self._httpd.stop_workers()        # drains accepted connections
-        self.coalescer.close()            # drains queued inference work
+        self._httpd.stop_workers()  # drains accepted connections
+        self.coalescer.close()  # drains queued inference work
         if self.sharded is not None:
-            self.sharded.close()          # after the coalescer: no new work
+            self.sharded.close()  # after the coalescer: no new work
         self._httpd.server_close()
         self._restore_cache()
 

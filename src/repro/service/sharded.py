@@ -36,7 +36,7 @@ Design points:
   healthy shards, so the batch completes degraded-but-correct.  Only when
   *no* healthy shard remains does the scan stop with a :class:`ShardError`.
   The scan server surfaces quarantines as ``status: "degraded"`` in
-  ``/healthz``.
+  ``/v1/healthz``.
 * **Non-intrusive observability.**  Workers ship a tiny stats delta with
   every completed chunk (wall-clock, cache counters, batch histogram); the
   parent aggregates them into per-shard ``throughput_stats`` without ever
@@ -66,12 +66,6 @@ import numpy as np
 from repro.core.detector import BytecodeLike, ScamDetector, coerce_bytecode
 from repro.core.frontends import detect_platform
 from repro.gnn.data import ContractGraph
-from repro.service.batch import (
-    BatchScanResult,
-    collect_directory_inputs,
-    throughput_stats,
-)
-from repro.service.cache import CacheStats, GraphCache
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.faults import (
     FAULT_CRASH_EXIT_CODE,
@@ -81,6 +75,12 @@ from repro.resilience.faults import (
     evaluate_fault,
     fault_point,
 )
+from repro.service.batch import (
+    BatchScanResult,
+    collect_directory_inputs,
+    throughput_stats,
+)
+from repro.service.cache import CacheStats, GraphCache
 
 PathLike = Union[str, pathlib.Path]
 
@@ -94,7 +94,8 @@ class ShardError(RuntimeError):
 
 
 def shard_for_bytecode(raw: bytes, shards: int) -> int:
-    """Deterministic shard index of ``raw``: SHA-256 prefix modulo ``shards``.
+    """Deterministic shard index of ``raw``: SHA-256 prefix modulo
+    ``shards``.
 
     Content addressing (rather than round-robin) keeps identical bytecode on
     one shard, so factory clones and re-submissions always hit that worker's
@@ -104,25 +105,38 @@ def shard_for_bytecode(raw: bytes, shards: int) -> int:
     return int.from_bytes(digest[:8], "big") % shards
 
 
-# --------------------------------------------------------------------------- #
+# ------------------------------------------------------------------------- #
 # worker process
 
 
 def _graph_payload(graph: ContractGraph) -> Tuple:
-    """Strip a graph to the picklable arrays a worker needs to re-score it."""
-    return (np.asarray(graph.node_features), np.asarray(graph.adjacency),
-            np.asarray(graph.normalized_adjacency), graph.platform)
+    """Strip a graph to the picklable arrays a worker needs to re-score
+    it."""
+    return (
+        np.asarray(graph.node_features),
+        np.asarray(graph.adjacency),
+        np.asarray(graph.normalized_adjacency),
+        graph.platform,
+    )
 
 
 def _payload_graph(payload: Tuple) -> ContractGraph:
     node_features, adjacency, normalized, platform = payload
-    return ContractGraph(node_features=node_features, adjacency=adjacency,
-                         normalized_adjacency=normalized, label=0,
-                         platform=platform)
+    return ContractGraph(
+        node_features=node_features,
+        adjacency=adjacency,
+        normalized_adjacency=normalized,
+        label=0,
+        platform=platform,
+    )
 
 
-def _scan_chunk(detector: ScamDetector, cache: GraphCache,
-                items: Sequence[Tuple], inference_batch_size: int):
+def _scan_chunk(
+    detector: ScamDetector,
+    cache: GraphCache,
+    items: Sequence[Tuple],
+    inference_batch_size: int,
+):
     """Lower + score one chunk of ``(index, raw, platform, sample_id)``.
 
     When the replica's cascade is enabled, the worker runs the tier-0
@@ -134,16 +148,21 @@ def _scan_chunk(detector: ScamDetector, cache: GraphCache,
     """
     started = time.perf_counter()
     before = cache.stats.copy()
-    resolved_platforms = [platform or detect_platform(raw)
-                          for _, raw, platform, _ in items]
+    resolved_platforms = [
+        platform or detect_platform(raw) for _, raw, platform, _ in items
+    ]
     decisions = detector.cascade_decide(
-        [raw for _, raw, _, _ in items], resolved_platforms)
+        [raw for _, raw, _, _ in items], resolved_platforms
+    )
     if decisions is None:
         escalated = list(range(len(items)))
         cascade_stats = None
     else:
-        escalated = [position for position, decision in enumerate(decisions)
-                     if not decision.short_circuit]
+        escalated = [
+            position
+            for position, decision in enumerate(decisions)
+            if not decision.short_circuit
+        ]
         cascade_stats = {
             "short_circuits": len(items) - len(escalated),
             "escalations": len(escalated),
@@ -153,22 +172,34 @@ def _scan_chunk(detector: ScamDetector, cache: GraphCache,
     for position in escalated:
         index, raw, _, sample_id = items[position]
         graph, resolved = detector.pipeline.analyse_bytecode(
-            raw, platform=resolved_platforms[position], sample_id=sample_id)
+            raw, platform=resolved_platforms[position], sample_id=sample_id
+        )
         lowered.append((position, index, raw, resolved, sample_id, graph))
     graphs = [graph for *_, graph in lowered]
     probabilities: List[float] = []
     batch_sizes: Dict[int, int] = {}
     for chunk in detector.pipeline._trainer.iter_predict_proba(
-            graphs, batch_size=inference_batch_size):
+        graphs, batch_size=inference_batch_size
+    ):
         batch_sizes[len(chunk)] = batch_sizes.get(len(chunk), 0) + 1
         probabilities.extend(float(row[1]) for row in chunk)
     scored: Dict[int, object] = {}
-    for (position, index, raw, resolved, sample_id, graph), probability \
-            in zip(lowered, probabilities):
-        report = detector.build_report(raw, sample_id, resolved,
-                                       probability, graph)
-        if (decisions is not None and report.label == 1
-                and decisions[position].near_miss):
+    for (
+        position,
+        index,
+        raw,
+        resolved,
+        sample_id,
+        graph,
+    ), probability in zip(lowered, probabilities):
+        report = detector.build_report(
+            raw, sample_id, resolved, probability, graph
+        )
+        if (
+            decisions is not None
+            and report.label == 1
+            and decisions[position].near_miss
+        ):
             cascade_stats["disagreements"] += 1
         scored[position] = report
     reports = []
@@ -176,9 +207,17 @@ def _scan_chunk(detector: ScamDetector, cache: GraphCache,
         if position in scored:
             reports.append((index, scored[position]))
         else:
-            reports.append((index, detector.build_prefilter_report(
-                raw, sample_id, resolved_platforms[position],
-                decisions[position].probability)))
+            reports.append(
+                (
+                    index,
+                    detector.build_prefilter_report(
+                        raw,
+                        sample_id,
+                        resolved_platforms[position],
+                        decisions[position].probability,
+                    ),
+                )
+            )
     stats = {
         "contracts": len(reports),
         "malicious": sum(1 for _, report in reports if report.is_malicious),
@@ -205,7 +244,9 @@ def _crash(result_queue) -> None:
     os._exit(_CRASH_EXIT_CODE)
 
 
-def _shard_worker(shard_id: int, options: Dict, task_queue, result_queue) -> None:
+def _shard_worker(
+    shard_id: int, options: Dict, task_queue, result_queue
+) -> None:
     """Worker main loop: load a pipeline replica once, then serve tasks.
 
     Messages back to the parent are ``(kind, shard_id, chunk_id, payload)``
@@ -228,13 +269,16 @@ def _shard_worker(shard_id: int, options: Dict, task_queue, result_queue) -> Non
             threshold=options["threshold"],
             explain=options["explain"],
             cascade=options.get("cascade", False),
-            cascade_margin=options.get("cascade_margin"))
+            cascade_margin=options.get("cascade_margin"),
+        )
         # A cascade-enabled replica without a trained head is fatal at pool
         # start, not a per-chunk error storm.
         detector.cascade_head()
-        cache = GraphCache.for_config(detector.config,
-                                      capacity=options["cache_capacity"],
-                                      disk_dir=options["cache_dir"])
+        cache = GraphCache.for_config(
+            detector.config,
+            capacity=options["cache_capacity"],
+            disk_dir=options["cache_dir"],
+        )
         detector.pipeline.set_graph_cache(cache)
     except BaseException:
         result_queue.put(("fatal", shard_id, None, traceback.format_exc()))
@@ -249,12 +293,14 @@ def _shard_worker(shard_id: int, options: Dict, task_queue, result_queue) -> Non
         if crash:
             # parent-side dispatch marked this task via an injected
             # ``shard.worker.<id>`` crash fault: die *after* dequeue,
-            # exactly the window where work would be lost without requeueing
+            # exactly the window where work would be lost without
+            # requeueing
             _crash(result_queue)
         if crash_file is not None and kind == "scan":
-            # fault injection for the crash-recovery tests: the first worker
-            # to consume the marker file dies *after* dequeuing its chunk,
-            # exactly the window where work would be lost without requeueing
+            # fault injection for the crash-recovery tests: the first
+            # worker to consume the marker file dies *after* dequeuing its
+            # chunk, exactly the window where work would be lost without
+            # requeueing
             try:
                 os.unlink(crash_file)
             except OSError:
@@ -264,25 +310,45 @@ def _shard_worker(shard_id: int, options: Dict, task_queue, result_queue) -> Non
         try:
             fault_point("shard.task")
             if kind == "scan":
-                result_queue.put(("scan", shard_id, chunk_id, _scan_chunk(
-                    detector, cache, payload,
-                    options["inference_batch_size"])))
+                result_queue.put(
+                    (
+                        "scan",
+                        shard_id,
+                        chunk_id,
+                        _scan_chunk(
+                            detector,
+                            cache,
+                            payload,
+                            options["inference_batch_size"],
+                        ),
+                    )
+                )
             elif kind == "infer":
                 started = time.perf_counter()
                 graphs = [_payload_graph(entry) for entry in payload]
                 rows = detector.pipeline._trainer.predict_proba(
-                    graphs, batch_size=max(1, len(graphs)))
-                result_queue.put(("infer", shard_id, chunk_id,
-                                  (np.asarray(rows, dtype=np.float64),
-                                   time.perf_counter() - started)))
+                    graphs, batch_size=max(1, len(graphs))
+                )
+                result_queue.put(
+                    (
+                        "infer",
+                        shard_id,
+                        chunk_id,
+                        (
+                            np.asarray(rows, dtype=np.float64),
+                            time.perf_counter() - started,
+                        ),
+                    )
+                )
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown task kind {kind!r}")
         except BaseException:
-            result_queue.put(("error", shard_id, chunk_id,
-                              traceback.format_exc()))
+            result_queue.put(
+                ("error", shard_id, chunk_id, traceback.format_exc())
+            )
 
 
-# --------------------------------------------------------------------------- #
+# ------------------------------------------------------------------------- #
 # parent-side pool
 
 
@@ -336,42 +402,60 @@ class _ShardWindow:
     def copy(self) -> "_ShardWindow":
         """Independent snapshot, for per-scan window deltas."""
         return _ShardWindow(
-            contracts=self.contracts, malicious=self.malicious,
-            elapsed_seconds=self.elapsed_seconds, cache=self.cache.copy(),
+            contracts=self.contracts,
+            malicious=self.malicious,
+            elapsed_seconds=self.elapsed_seconds,
+            cache=self.cache.copy(),
             batch_sizes=dict(self.batch_sizes),
-            infer_calls=self.infer_calls, infer_graphs=self.infer_graphs,
-            infer_seconds=self.infer_seconds, restarts=self.restarts,
+            infer_calls=self.infer_calls,
+            infer_graphs=self.infer_graphs,
+            infer_seconds=self.infer_seconds,
+            restarts=self.restarts,
             restart_backoff_s=self.restart_backoff_s,
-            quarantined=self.quarantined)
+            quarantined=self.quarantined,
+        )
 
     def delta_stats(self, before: "_ShardWindow") -> Dict[str, object]:
         """One scan's per-shard entry: this window minus a snapshot, in the
         shared ``throughput_stats`` schema plus the restart counter."""
-        sizes = {size: count - before.batch_sizes.get(size, 0)
-                 for size, count in self.batch_sizes.items()
-                 if count - before.batch_sizes.get(size, 0) > 0}
-        entry = throughput_stats(self.contracts - before.contracts,
-                                 self.malicious - before.malicious,
-                                 self.elapsed_seconds - before.elapsed_seconds,
-                                 self.cache.delta(before.cache), sizes)
+        sizes = {
+            size: count - before.batch_sizes.get(size, 0)
+            for size, count in self.batch_sizes.items()
+            if count - before.batch_sizes.get(size, 0) > 0
+        }
+        entry = throughput_stats(
+            self.contracts - before.contracts,
+            self.malicious - before.malicious,
+            self.elapsed_seconds - before.elapsed_seconds,
+            self.cache.delta(before.cache),
+            sizes,
+        )
         entry["restarts"] = self.restarts - before.restarts
-        entry["restart_backoff_s"] = (self.restart_backoff_s
-                                      - before.restart_backoff_s)
+        entry["restart_backoff_s"] = (
+            self.restart_backoff_s - before.restart_backoff_s
+        )
         entry["quarantined"] = self.quarantined
         return entry
 
     def to_dict(self) -> Dict[str, object]:
         """Per-shard stats in the shared offline/online schema, plus the
         shard-only inference and restart counters."""
-        stats = throughput_stats(self.contracts, self.malicious,
-                                 self.elapsed_seconds, self.cache,
-                                 self.batch_sizes)
+        stats = throughput_stats(
+            self.contracts,
+            self.malicious,
+            self.elapsed_seconds,
+            self.cache,
+            self.batch_sizes,
+        )
         stats["inference"] = {
             "calls": self.infer_calls,
             "graphs": self.infer_graphs,
             "seconds": self.infer_seconds,
-            "mean_latency_ms": (self.infer_seconds / self.infer_calls * 1e3
-                                if self.infer_calls else 0.0),
+            "mean_latency_ms": (
+                self.infer_seconds / self.infer_calls * 1e3
+                if self.infer_calls
+                else 0.0
+            ),
         }
         stats["restarts"] = self.restarts
         stats["restart_backoff_s"] = self.restart_backoff_s
@@ -430,18 +514,25 @@ class ShardedScanner:
     bundle-load cost is paid once, not per call.
     """
 
-    def __init__(self, detector: Optional[ScamDetector] = None, *,
-                 bundle_path: Optional[PathLike] = None, shards: int = 2,
-                 threshold: float = 0.5, explain: bool = False,
-                 cache_dir: Optional[PathLike] = None,
-                 cache_capacity: int = 1024,
-                 inference_batch_size: int = 256, chunk_size: int = 16,
-                 start_method: Optional[str] = None,
-                 max_restarts: int = 3,
-                 restart_backoff_s: float = 0.1,
-                 crash_file: Optional[PathLike] = None,
-                 cascade: bool = False,
-                 cascade_margin: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        detector: Optional[ScamDetector] = None,
+        *,
+        bundle_path: Optional[PathLike] = None,
+        shards: int = 2,
+        threshold: float = 0.5,
+        explain: bool = False,
+        cache_dir: Optional[PathLike] = None,
+        cache_capacity: int = 1024,
+        inference_batch_size: int = 256,
+        chunk_size: int = 16,
+        start_method: Optional[str] = None,
+        max_restarts: int = 3,
+        restart_backoff_s: float = 0.1,
+        crash_file: Optional[PathLike] = None,
+        cascade: bool = False,
+        cascade_margin: Optional[float] = None,
+    ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if chunk_size < 1:
@@ -451,13 +542,15 @@ class ShardedScanner:
         self._tempdir: Optional[tempfile.TemporaryDirectory] = None
         if detector is not None:
             if not detector.is_trained:
-                raise RuntimeError("ShardedScanner requires a trained "
-                                   "detector")
+                raise RuntimeError(
+                    "ShardedScanner requires a trained detector"
+                )
             # Fail fast in the parent: a cascade-enabled detector without a
             # trained head would otherwise only surface from worker load.
             detector.cascade_head()
             self._tempdir = tempfile.TemporaryDirectory(
-                prefix="scamdetect-shards-")
+                prefix="scamdetect-shards-"
+            )
             bundle_path = pathlib.Path(self._tempdir.name) / "replica"
             detector.save(bundle_path)
             threshold = detector.threshold
@@ -478,7 +571,9 @@ class ShardedScanner:
             "cache_dir": str(cache_dir) if cache_dir is not None else None,
             "cache_capacity": cache_capacity,
             "inference_batch_size": inference_batch_size,
-            "crash_file": str(crash_file) if crash_file is not None else None,
+            "crash_file": (
+                str(crash_file) if crash_file is not None else None
+            ),
         }
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
@@ -508,7 +603,7 @@ class ShardedScanner:
     @property
     def degraded(self) -> bool:
         """True when at least one shard is quarantined (serving continues
-        on the healthy shards; ``/healthz`` reports ``"degraded"``)."""
+        on the healthy shards; ``/v1/healthz`` reports ``"degraded"``)."""
         return bool(self._quarantined)
 
     @property
@@ -516,8 +611,11 @@ class ShardedScanner:
         return sorted(self._quarantined)
 
     def _active_shards(self) -> List[int]:
-        return [shard_id for shard_id in range(self.shards)
-                if shard_id not in self._quarantined]
+        return [
+            shard_id
+            for shard_id in range(self.shards)
+            if shard_id not in self._quarantined
+        ]
 
     def _route(self, shard_id: int) -> int:
         """Remap a quarantined shard's hash-space onto a healthy shard,
@@ -539,36 +637,44 @@ class ShardedScanner:
         if self._handles:
             return self
         self._result_queue = self._context.Queue()
-        self._handles = [self._spawn(shard_id)
-                         for shard_id in range(self.shards)]
+        self._handles = [
+            self._spawn(shard_id) for shard_id in range(self.shards)
+        ]
         ready = set()
         deadline = time.monotonic() + 120.0
         while len(ready) < self.shards:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 self.close()
-                raise ShardError("timed out waiting for shard workers to "
-                                 "load their pipeline replicas")
+                raise ShardError(
+                    "timed out waiting for shard workers to "
+                    "load their pipeline replicas"
+                )
             try:
                 kind, shard_id, _, payload = self._result_queue.get(
-                    timeout=min(remaining, 0.5))
+                    timeout=min(remaining, 0.5)
+                )
             except queue_module.Empty:
                 for handle in self._handles:
                     # a replica that died without managing a 'fatal'
                     # message (OOM-kill, SIGKILL mid-load) would otherwise
                     # stall start() for the whole deadline
-                    if handle.shard_id not in ready \
-                            and not handle.process.is_alive():
+                    if (
+                        handle.shard_id not in ready
+                        and not handle.process.is_alive()
+                    ):
                         exitcode = handle.process.exitcode
                         self.close()
                         raise ShardError(
                             f"shard {handle.shard_id} worker died during "
-                            f"replica load (exit code {exitcode})")
+                            f"replica load (exit code {exitcode})"
+                        )
                 continue
             if kind == "fatal":
                 self.close()
-                raise ShardError(f"shard {shard_id} failed to initialise:\n"
-                                 f"{payload}")
+                raise ShardError(
+                    f"shard {shard_id} failed to initialise:\n{payload}"
+                )
             if kind == "ready":
                 ready.add(shard_id)
         return self
@@ -583,10 +689,13 @@ class ShardedScanner:
         process = self._context.Process(
             target=_shard_worker,
             args=(shard_id, options, task_queue, self._result_queue),
-            name=f"scamdetect-shard-{shard_id}", daemon=True)
+            name=f"scamdetect-shard-{shard_id}",
+            daemon=True,
+        )
         process.start()
-        return _ShardHandle(shard_id=shard_id, process=process,
-                            task_queue=task_queue)
+        return _ShardHandle(
+            shard_id=shard_id, process=process, task_queue=task_queue
+        )
 
     def close(self) -> None:
         """Stop the workers and release queues/bundle; idempotent."""
@@ -619,7 +728,7 @@ class ShardedScanner:
     def __exit__(self, exc_type, exc_value, traceback_) -> None:
         self.close()
 
-    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+    def __del__(self):  # pragma: no cover - interpreter-shutdown effort
         try:
             if self._handles:
                 self.close()
@@ -629,58 +738,81 @@ class ShardedScanner:
     # ------------------------------------------------------------------ #
     # scanning entry points (mirror BatchScanner)
 
-    def scan_codes(self, codes: Iterable[BytecodeLike],
-                   platform: Optional[str] = None,
-                   sample_ids: Optional[Sequence[str]] = None
-                   ) -> BatchScanResult:
+    def scan_codes(
+        self,
+        codes: Iterable[BytecodeLike],
+        platform: Optional[str] = None,
+        sample_ids: Optional[Sequence[str]] = None,
+    ) -> BatchScanResult:
         """Scan an iterable of bytecode inputs; reports keep input order."""
         raw_codes = [coerce_bytecode(code) for code in codes]
         if sample_ids is not None and len(sample_ids) != len(raw_codes):
             raise ValueError("sample_ids length must match codes")
-        ids = (list(sample_ids) if sample_ids is not None
-               else [f"contract-{index:04d}"
-                     for index in range(len(raw_codes))])
+        ids = (
+            list(sample_ids)
+            if sample_ids is not None
+            else [
+                f"contract-{index:04d}" for index in range(len(raw_codes))
+            ]
+        )
         return self._scan_raw(raw_codes, ids, platform)
 
     def scan_corpus(self, corpus) -> BatchScanResult:
         """Scan every sample of a corpus (corpus labels are ignored)."""
         samples = list(corpus)
-        return self._scan_raw([sample.bytecode for sample in samples],
-                              [sample.sample_id for sample in samples],
-                              platform=None,
-                              platforms=[sample.platform
-                                         for sample in samples])
+        return self._scan_raw(
+            [sample.bytecode for sample in samples],
+            [sample.sample_id for sample in samples],
+            platform=None,
+            platforms=[sample.platform for sample in samples],
+        )
 
-    def scan_directory(self, directory: PathLike, pattern: str = "*",
-                       platform: Optional[str] = None,
-                       recursive: bool = True) -> BatchScanResult:
+    def scan_directory(
+        self,
+        directory: PathLike,
+        pattern: str = "*",
+        platform: Optional[str] = None,
+        recursive: bool = True,
+    ) -> BatchScanResult:
         """Scan a directory tree (same file rules as ``BatchScanner``)."""
         raw_codes, ids, skipped = collect_directory_inputs(
-            directory, pattern, recursive=recursive)
+            directory, pattern, recursive=recursive
+        )
         result = self._scan_raw(raw_codes, ids, platform)
         result.skipped = skipped
         return result
 
     # ------------------------------------------------------------------ #
 
-    def _scan_raw(self, raw_codes: List[bytes], ids: List[str],
-                  platform: Optional[str],
-                  platforms: Optional[List[str]] = None) -> BatchScanResult:
+    def _scan_raw(
+        self,
+        raw_codes: List[bytes],
+        ids: List[str],
+        platform: Optional[str],
+        platforms: Optional[List[str]] = None,
+    ) -> BatchScanResult:
         started = time.perf_counter()
         if not raw_codes:
             return BatchScanResult(num_workers=self.shards)
         self.start()
         per_shard: List[List[Tuple]] = [[] for _ in range(self.shards)]
         for index, raw in enumerate(raw_codes):
-            resolved = (platforms[index] if platforms is not None
-                        else platform)
+            resolved = (
+                platforms[index] if platforms is not None else platform
+            )
             per_shard[shard_for_bytecode(raw, self.shards)].append(
-                (index, raw, resolved, ids[index]))
+                (index, raw, resolved, ids[index])
+            )
         assignments = []
         for shard_id, items in enumerate(per_shard):
             for start in range(0, len(items), self.chunk_size):
-                assignments.append((shard_id, "scan",
-                                    items[start:start + self.chunk_size]))
+                assignments.append(
+                    (
+                        shard_id,
+                        "scan",
+                        items[start : start + self.chunk_size],
+                    )
+                )
         windows_before = [window.copy() for window in self._windows]
         outputs = self._run_tasks(assignments)
 
@@ -688,7 +820,7 @@ class ShardedScanner:
         merged_cache = CacheStats()
         batch_sizes: Dict[int, int] = {}
         cascade_stats: Optional[Dict[str, int]] = None
-        for (shard_id, chunk_reports, stats) in outputs:
+        for shard_id, chunk_reports, stats in outputs:
             for index, report in chunk_reports:
                 reports[index] = report
             merged_cache = merged_cache.merge(stats["cache"])
@@ -697,33 +829,47 @@ class ShardedScanner:
             chunk_cascade = stats.get("cascade")
             if chunk_cascade is not None:
                 if cascade_stats is None:
-                    cascade_stats = {"short_circuits": 0, "escalations": 0,
-                                     "disagreements": 0}
+                    cascade_stats = {
+                        "short_circuits": 0,
+                        "escalations": 0,
+                        "disagreements": 0,
+                    }
                 for key, value in chunk_cascade.items():
                     cascade_stats[key] = cascade_stats.get(key, 0) + value
             self._windows[shard_id].absorb_scan(stats)
-        missing = [ids[i] for i, report in enumerate(reports)
-                   if report is None]
-        if missing:  # pragma: no cover - defensive: requeueing prevents this
-            raise ShardError(f"sharded scan lost {len(missing)} "
-                             f"contracts: {missing[:5]}")
+        missing = [
+            ids[i] for i, report in enumerate(reports) if report is None
+        ]
+        if missing:  # pragma: no cover - requeueing prevents this
+            raise ShardError(
+                f"sharded scan lost {len(missing)} "
+                f"contracts: {missing[:5]}"
+            )
 
-        result = BatchScanResult(num_workers=self.shards,
-                                 batch_sizes=batch_sizes,
-                                 cascade_stats=cascade_stats)
+        result = BatchScanResult(
+            num_workers=self.shards,
+            batch_sizes=batch_sizes,
+            cascade_stats=cascade_stats,
+        )
         result.reports = reports
         result.cache_stats = merged_cache
         result.elapsed_seconds = time.perf_counter() - started
         result.shard_stats = {
-            f"shard-{shard_id}": window.delta_stats(windows_before[shard_id])
-            for shard_id, window in enumerate(self._windows)}
+            f"shard-{shard_id}": window.delta_stats(
+                windows_before[shard_id]
+            )
+            for shard_id, window in enumerate(self._windows)
+        }
         return result
 
     # ------------------------------------------------------------------ #
     # inference-only dispatch (used by the scan server's coalescer)
 
-    def infer(self, graphs: Sequence[ContractGraph],
-              batch_size: Optional[int] = None) -> np.ndarray:
+    def infer(
+        self,
+        graphs: Sequence[ContractGraph],
+        batch_size: Optional[int] = None,
+    ) -> np.ndarray:
         """Score already-lowered graphs on the pool; rows keep input order.
 
         Micro-batches of ``batch_size`` graphs are dispatched round-robin
@@ -738,26 +884,33 @@ class ShardedScanner:
         assignments = []
         spans = []
         for start in range(0, len(graphs), size):
-            chunk = graphs[start:start + size]
+            chunk = graphs[start : start + size]
             active = self._active_shards()
             shard_id = active[next(self._rr_counter) % len(active)]
-            assignments.append((shard_id, "infer",
-                                [_graph_payload(graph) for graph in chunk]))
+            assignments.append(
+                (
+                    shard_id,
+                    "infer",
+                    [_graph_payload(graph) for graph in chunk],
+                )
+            )
             spans.append((start, len(chunk)))
         outputs = self._run_tasks(assignments)
         width = outputs[0][1].shape[1] if outputs else 2
         rows = np.zeros((len(graphs), width))
-        for (shard_id, shard_rows, seconds), (start, count) in zip(outputs,
-                                                                   spans):
-            rows[start:start + count] = shard_rows
+        for (shard_id, shard_rows, seconds), (start, count) in zip(
+            outputs, spans
+        ):
+            rows[start : start + count] = shard_rows
             self._windows[shard_id].absorb_infer(count, seconds)
         return rows
 
     # ------------------------------------------------------------------ #
     # dispatch/collect core with crash recovery
 
-    def _run_tasks(self, assignments: Sequence[Tuple[int, str, object]]
-                   ) -> List[Tuple]:
+    def _run_tasks(
+        self, assignments: Sequence[Tuple[int, str, object]]
+    ) -> List[Tuple]:
         """Run ``(shard_id, kind, payload)`` tasks; returns per-assignment
         ``(executing_shard_id, *payload)`` results in assignment order.
 
@@ -772,8 +925,9 @@ class ShardedScanner:
             shard_id = self._route(shard_id)
             chunk_id = next(self._chunk_counter)
             # crash faults are evaluated here, parent-side, so the plan's
-            # schedule (after / max_fires) is global across worker respawns;
-            # the marked task kills its worker right after dequeue
+            # schedule (after / max_fires) is global across worker
+            # respawns; the marked task kills its worker right after
+            # dequeue
             spec = evaluate_fault(f"shard.worker.{shard_id}")
             crash = spec is not None and spec.kind == "crash"
             task = (kind, chunk_id, payload, crash)
@@ -797,8 +951,10 @@ class ShardedScanner:
                 continue
             if kind == "fatal":
                 self._abandon(pending)
-                raise ShardError(f"shard {shard_id} replica failed to "
-                                 f"reload after a crash:\n{payload}")
+                raise ShardError(
+                    f"shard {shard_id} replica failed to "
+                    f"reload after a crash:\n{payload}"
+                )
             if chunk_id not in pending:
                 continue  # duplicate answer for a requeued chunk
             if kind == "error":
@@ -842,14 +998,16 @@ class ShardedScanner:
                 if self._breaker.record_failure(handle.shard_id):
                     self._quarantine(index)
                     continue
-                backoff = self.restart_backoff_s * (2 ** handle.restarts)
+                backoff = self.restart_backoff_s * (2**handle.restarts)
                 handle.respawn_after = now + backoff
                 self._windows[handle.shard_id].restart_backoff_s += backoff
                 warnings.warn(
                     f"shard {handle.shard_id} worker died (exit code "
-                    f"{handle.process.exitcode}); respawning and requeueing "
-                    f"{len(handle.tasks)} chunk(s) after {backoff:.2f}s "
-                    f"backoff", stacklevel=3)
+                    f"{handle.process.exitcode}); respawning and "
+                    f"requeueing {len(handle.tasks)} chunk(s) after "
+                    f"{backoff:.2f}s backoff",
+                    stacklevel=3,
+                )
                 continue
             if now < handle.respawn_after:
                 continue
@@ -882,18 +1040,22 @@ class ShardedScanner:
 
         Raises :class:`ShardError` only when no healthy shard remains to
         absorb the work -- otherwise the scan degrades instead of failing,
-        and ``/healthz`` flips to ``"degraded"``.
+        and ``/v1/healthz`` flips to ``"degraded"``.
         """
         handle = self._handles[index]
         shard_id = handle.shard_id
         deaths = handle.restarts + 1
-        healthy = [peer for peer in self._handles
-                   if peer.shard_id != shard_id and not peer.quarantined]
+        healthy = [
+            peer
+            for peer in self._handles
+            if peer.shard_id != shard_id and not peer.quarantined
+        ]
         if not healthy:
             raise ShardError(
                 f"shard {shard_id} died {deaths} times (exit code "
                 f"{handle.process.exitcode}); giving up -- no healthy "
-                f"shard left to absorb its work")
+                f"shard left to absorb its work"
+            )
         handle.quarantined = True
         self._quarantined.add(shard_id)
         self._windows[shard_id].quarantined = True
@@ -901,7 +1063,9 @@ class ShardedScanner:
             f"shard {shard_id} died {deaths} times (exit code "
             f"{handle.process.exitcode}); quarantining it and rebalancing "
             f"{len(handle.tasks)} chunk(s) onto {len(healthy)} healthy "
-            f"shard(s) -- serving degraded", stacklevel=4)
+            f"shard(s) -- serving degraded",
+            stacklevel=4,
+        )
         for chunk_id in sorted(handle.tasks):
             kind, _, payload, _ = handle.tasks.pop(chunk_id)
             target = healthy[chunk_id % len(healthy)]
@@ -915,10 +1079,12 @@ class ShardedScanner:
     def shard_stats_dict(self) -> Dict[str, Dict[str, object]]:
         """Lifetime per-shard telemetry (scan + inference + restarts).
 
-        The scan server surfaces this under ``GET /metrics`` as the
+        The scan server surfaces this under ``GET /v1/metrics`` as the
         ``shards`` section; each entry reuses the shared
         :func:`~repro.service.batch.throughput_stats` schema plus
         ``inference`` latency counters and the shard's ``restarts``.
         """
-        return {f"shard-{shard_id}": window.to_dict()
-                for shard_id, window in enumerate(self._windows)}
+        return {
+            f"shard-{shard_id}": window.to_dict()
+            for shard_id, window in enumerate(self._windows)
+        }

@@ -136,8 +136,10 @@ def test_cli_parser_subcommands():
     assert args.id == "E12"
     args = parser.parse_args(["experiment", "--id", "E13"])
     assert args.id == "E13"
+    args = parser.parse_args(["experiment", "--id", "E14"])
+    assert args.id == "E14"
     with pytest.raises(SystemExit):
-        parser.parse_args(["experiment", "--id", "E14"])
+        parser.parse_args(["experiment", "--id", "E15"])
     args = parser.parse_args(["scan-batch", "--model-path", "m",
                               "--input-dir", "d", "--shards", "4"])
     assert args.shards == 4
@@ -149,6 +151,14 @@ def test_cli_parser_subcommands():
     assert args.verdict == "malicious" and args.json
     args = parser.parse_args(["rules", "check", "triage.toml"])
     assert args.rules_file == "triage.toml"
+    args = parser.parse_args(["triage", "triage.toml", "--registry", "r.db",
+                              "--fingerprint", "fp", "--dry-run",
+                              "--partitioned", "--batch-size", "500"])
+    assert (args.command == "triage" and args.rules_file == "triage.toml"
+            and args.dry_run and args.partitioned and args.batch_size == 500)
+    args = parser.parse_args(["query", "--registry", "r.db",
+                              "--page-size", "20", "--cursor", "abc"])
+    assert args.page_size == 20 and args.cursor == "abc"
     args = parser.parse_args(["serve", "--model-path", "m", "--shards", "2"])
     assert args.shards == 2
 

@@ -473,6 +473,102 @@ def test_verdicts_without_registry_is_503(client):
         client.verdicts()
     assert excinfo.value.status == 503
     assert "no verdict registry" in str(excinfo.value)
+    assert excinfo.value.code == "no_registry"
+
+
+# --------------------------------------------------------------------------- #
+# /v1 versioning, error envelope, cursor pagination
+
+
+def _raw_get(port, path):
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}{path}", timeout=10.0) as response:
+            return (response.status, dict(response.headers),
+                    _json.loads(response.read() or b"{}"))
+    except urllib.error.HTTPError as error:
+        return (error.code, dict(error.headers),
+                _json.loads(error.read() or b"{}"))
+
+
+def test_legacy_paths_alias_v1_with_deprecation_headers(server, client):
+    versioned = _raw_get(server.port, "/v1/healthz")
+    legacy = _raw_get(server.port, "/healthz")
+    assert versioned[0] == legacy[0] == 200
+    # same payload from both paths (uptime is the one moving part)
+    stable = lambda body: {key: value for key, value in body.items()
+                           if key != "uptime_seconds"}
+    assert stable(versioned[2]) == stable(legacy[2])
+    assert versioned[2]["api_version"] == "v1"
+    assert "Deprecation" not in versioned[1]
+    assert legacy[1]["Deprecation"] == "true"
+    assert legacy[1]["Link"] == '</v1/healthz>; rel="successor-version"'
+    # the deprecated-traffic counter advanced for the legacy hit only
+    requests = client.metrics()["requests"]
+    assert requests["deprecated"] >= 1
+    # the default client speaks /v1 (its own requests are not deprecated)
+    before = requests["deprecated"]
+    client.healthz()
+    assert client.metrics()["requests"]["deprecated"] == before
+
+
+def test_error_envelope_shape_and_typed_client_errors(server, client):
+    status, _, body = _raw_get(server.port, "/v1/nope")
+    assert status == 404
+    assert set(body["error"]) == {"code", "message", "retry_after"}
+    assert body["error"]["code"] == "not_found"
+    assert body["error"]["retry_after"] is None
+    with pytest.raises(ServerClientError) as excinfo:
+        client._request("GET", "/nope")
+    assert excinfo.value.status == 404
+    assert excinfo.value.code == "not_found"
+    # client-side connection failures are typed too
+    from repro.resilience import RetryPolicy
+
+    dead = ServerClient(port=1, timeout=0.2,
+                        retry=RetryPolicy(max_attempts=1))
+    with pytest.raises(ServerClientError) as dead_error:
+        dead.healthz()
+    assert dead_error.value.code == "unreachable"
+
+
+def test_verdicts_cursor_pagination_via_client(registry_server,
+                                               tiny_evm_corpus):
+    server, registry = registry_server
+    client = ServerClient(port=server.port)
+    client.wait_until_ready(timeout=10.0)
+    codes = [sample.bytecode for sample in tiny_evm_corpus[:6]]
+    client.scan_batch(codes, sample_ids=[f"p-{i}" for i in range(6)])
+    total = client.verdicts(page_size=1000)
+    assert total["next_cursor"] is None
+
+    # page-by-page walk covers the listing exactly, in order
+    walked, cursor = [], None
+    while True:
+        page = client.verdicts(cursor=cursor, page_size=2)
+        assert len(page["verdicts"]) <= 2
+        walked.extend(page["verdicts"])
+        cursor = page["next_cursor"]
+        if cursor is None:
+            break
+    assert walked == total["verdicts"]
+
+    # and the convenience walker agrees
+    assert list(client.verdicts_all(page_size=2)) == total["verdicts"]
+
+    # a foreign cursor is a typed 400, not a 500
+    with pytest.raises(ServerClientError) as excinfo:
+        client.verdicts(cursor="garbage-cursor")
+    assert excinfo.value.status == 400
+    assert excinfo.value.code == "invalid_cursor"
+    # page_size bounds are validated
+    with pytest.raises(ServerClientError) as bounds:
+        client.verdicts(page_size=0)
+    assert bounds.value.status == 400
 
 
 # --------------------------------------------------------------------------- #
