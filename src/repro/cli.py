@@ -217,6 +217,7 @@ def _open_registry(command: str, path: Optional[str], detector):
 
 
 def _command_watch(args: argparse.Namespace) -> int:
+    import json
     import signal
 
     from repro.registry import RegistryError, RuleParseError, RulesEngine, \
@@ -241,6 +242,11 @@ def _command_watch(args: argparse.Namespace) -> int:
                                           disk_dir=args.cache_dir)
         except ValueError as error:
             raise SystemExit(f"watch: {error}")
+    if args.event_driven:
+        return _run_event_watch(args, detector, registry, rules_engine, cache)
+    if args.root:
+        raise SystemExit("watch: --root needs --event-driven (the polling "
+                         "daemon watches exactly one directory)")
     try:
         daemon = WatchDaemon(detector, registry, args.directory,
                              pattern=args.pattern,
@@ -263,7 +269,11 @@ def _command_watch(args: argparse.Namespace) -> int:
           flush=True)
 
     def on_poll(cycle: int, stats) -> None:
-        print(f"poll {cycle}: {stats.format()}", flush=True)
+        if args.json:
+            payload = dict(stats.to_dict(), poll=cycle)
+            print(json.dumps(payload, sort_keys=True), flush=True)
+        else:
+            print(f"poll {cycle}: {stats.format()}", flush=True)
 
     try:
         daemon.run(max_polls=args.max_polls, on_poll=on_poll)
@@ -276,6 +286,63 @@ def _command_watch(args: argparse.Namespace) -> int:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
     return 2 if daemon.exit_nonzero else 0
+
+
+def _run_event_watch(args: argparse.Namespace, detector, registry,
+                     rules_engine, cache) -> int:
+    """``watch --event-driven``: inotify/poll events -> bounded priority
+    queue -> the same scan/record/triage stack as the polling daemon."""
+    import json
+    import signal
+
+    from repro.ingest import EventIngestService
+    from repro.service import ShardError
+
+    roots = [args.directory] + list(args.root or [])
+    for root in roots:
+        if not pathlib.Path(root).is_dir():
+            raise SystemExit(f"watch: not a directory: {root}")
+    try:
+        service = EventIngestService(
+            detector, registry, roots=roots, pattern=args.pattern,
+            recursive=not args.no_recursive, rules=rules_engine,
+            queue_capacity=args.queue_capacity, backend=args.backend,
+            cache=cache, max_workers=args.workers, shards=args.shards)
+    except (FileNotFoundError, ValueError, RuntimeError) as error:
+        raise SystemExit(f"watch: {error}")
+
+    def _terminate(signum, frame):
+        # stop after the cycle in flight; run() drains the queue on exit
+        service.stop()
+
+    previous = {sig: signal.signal(sig, _terminate)
+                for sig in (signal.SIGTERM, signal.SIGINT)}
+    print(f"watching {', '.join(str(r) for r in service.roots)} "
+          f"({service.backend} events, queue {service.queue.capacity}, "
+          f"registry {args.registry}, rules {args.rules or 'none'}); "
+          f"SIGTERM drains cleanly", flush=True)
+
+    def on_cycle(cycle: int, stats) -> None:
+        if args.json:
+            payload = dict(stats.to_dict(), cycle=cycle)
+            print(json.dumps(payload, sort_keys=True), flush=True)
+        elif stats.events or stats.drained or stats.faulted_drains:
+            # event mode idles most cycles: only narrate ones that did work
+            print(f"cycle {cycle}: {stats.format()}", flush=True)
+
+    try:
+        service.backfill()
+        service.run(interval=args.interval, max_cycles=args.max_polls,
+                    on_cycle=on_cycle)
+    except ShardError as error:
+        raise SystemExit(f"watch: shard pool failed: {error}")
+    finally:
+        print("watch: shutting down", flush=True)
+        service.close(drain=True)
+        registry.close()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    return 2 if service.exit_nonzero else 0
 
 
 def _parse_when(command: str, value: Optional[str]) -> Optional[float]:
@@ -460,7 +527,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         server = ScanServer(detector, host=args.host, port=args.port,
                             workers=args.workers, max_batch=args.max_batch,
                             max_wait_ms=args.max_wait_ms, cache=cache,
-                            shards=args.shards, registry=registry)
+                            shards=args.shards, registry=registry,
+                            ingest_queue=args.ingest_queue)
     except (OSError, OverflowError) as error:
         raise SystemExit(f"serve: cannot bind {args.host}:{args.port}: "
                          f"{error}")
@@ -508,6 +576,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         run_e12_cascade_throughput,
         run_e13_chaos_resilience,
         run_e14_registry_triage,
+        run_e15_event_ingest,
     )
 
     runners = {
@@ -525,6 +594,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         "E12": run_e12_cascade_throughput,
         "E13": run_e13_chaos_resilience,
         "E14": run_e14_registry_triage,
+        "E15": run_e15_event_ingest,
     }
     result = runners[args.id.upper()]()
     print(result.format())
@@ -650,6 +720,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="persistent verdict registry (SQLite); "
                                    "enables GET /verdicts and records "
                                    "every served verdict")
+    serve_parser.add_argument("--ingest-queue", type=int, default=None,
+                              help="enable POST /v1/ingest backed by a "
+                                   "bounded queue of N contracts (requires "
+                                   "--registry; a full queue answers 503 "
+                                   "with Retry-After)")
     _add_cascade_arguments(serve_parser)
     serve_parser.set_defaults(handler=_command_serve)
 
@@ -695,6 +770,26 @@ def build_parser() -> argparse.ArgumentParser:
     watch_parser.add_argument("--explain", action="store_true",
                               help="attach indicator notes to recorded "
                                    "verdicts (matches scan-batch --explain)")
+    watch_parser.add_argument("--event-driven", action="store_true",
+                              help="react to filesystem events (inotify, "
+                                   "with a poll-diff fallback) through a "
+                                   "bounded priority queue instead of "
+                                   "rescanning the tree every --interval")
+    watch_parser.add_argument("--root", action="append", default=None,
+                              metavar="DIR",
+                              help="additional watch root (repeatable; "
+                                   "--event-driven only)")
+    watch_parser.add_argument("--backend", default="auto",
+                              choices=("auto", "inotify", "poll"),
+                              help="event backend for --event-driven "
+                                   "(auto prefers inotify)")
+    watch_parser.add_argument("--queue-capacity", type=int, default=1024,
+                              help="bounded ingest queue size for "
+                                   "--event-driven (backpressure knob)")
+    watch_parser.add_argument("--json", action="store_true",
+                              help="one JSON object per poll/cycle instead "
+                                   "of the human-readable line (includes "
+                                   "exit_nonzero and faulted_polls)")
     _add_cascade_arguments(watch_parser)
     watch_parser.set_defaults(handler=_command_watch)
 
@@ -792,9 +887,9 @@ def build_parser() -> argparse.ArgumentParser:
     triage_parser.set_defaults(handler=_command_triage, threshold=0.5)
 
     experiment_parser = subparsers.add_parser("experiment",
-                                              help="run one E1-E14 experiment")
+                                              help="run one E1-E15 experiment")
     experiment_parser.add_argument("--id", required=True,
-                                   choices=[f"E{i}" for i in range(1, 15)])
+                                   choices=[f"E{i}" for i in range(1, 16)])
     experiment_parser.set_defaults(handler=_command_experiment)
     return parser
 

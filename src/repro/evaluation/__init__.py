@@ -1,4 +1,4 @@
-"""Evaluation harness: cross-validation, the E1-E14 experiments and reporting.
+"""Evaluation harness: cross-validation, the E1-E15 experiments and reporting.
 
 Each experiment function reproduces one claim of the paper (see DESIGN.md's
 experiment index) and returns an :class:`~repro.evaluation.reporting.ExperimentResult`
@@ -28,6 +28,7 @@ from repro.evaluation.experiments import (
     E12Config,
     E13Config,
     E14Config,
+    E15Config,
     run_e1_phishinghook_zoo,
     run_e2_obfuscation_degradation,
     run_e3_gnn_vs_baseline,
@@ -42,6 +43,7 @@ from repro.evaluation.experiments import (
     run_e12_cascade_throughput,
     run_e13_chaos_resilience,
     run_e14_registry_triage,
+    run_e15_event_ingest,
 )
 
 __all__ = [
@@ -63,6 +65,7 @@ __all__ = [
     "E12Config",
     "E13Config",
     "E14Config",
+    "E15Config",
     "run_e1_phishinghook_zoo",
     "run_e2_obfuscation_degradation",
     "run_e3_gnn_vs_baseline",
@@ -77,4 +80,5 @@ __all__ = [
     "run_e12_cascade_throughput",
     "run_e13_chaos_resilience",
     "run_e14_registry_triage",
+    "run_e15_event_ingest",
 ]

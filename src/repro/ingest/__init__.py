@@ -1,0 +1,45 @@
+"""Event-driven ingest tier: watcher -> bounded queue -> drain -> registry.
+
+See :mod:`repro.ingest.service` for the pipeline, :mod:`repro.ingest.queue`
+for the backpressure contract and :mod:`repro.ingest.events` for the
+inotify/poll event backends.
+"""
+
+from repro.ingest.events import (
+    EVENT_DELETE,
+    EVENT_OVERFLOW,
+    EVENT_RMDIR,
+    EVENT_UPSERT,
+    FileEvent,
+    InotifyWatcher,
+    PollWatcher,
+    open_watcher,
+)
+from repro.ingest.queue import (
+    PRIORITY_CHANGED,
+    PRIORITY_NEW,
+    PRIORITY_RESEEN,
+    IngestItem,
+    IngestQueue,
+    IngestQueueFull,
+)
+from repro.ingest.service import EventIngestService, IngestStats
+
+__all__ = [
+    "EVENT_DELETE",
+    "EVENT_OVERFLOW",
+    "EVENT_RMDIR",
+    "EVENT_UPSERT",
+    "EventIngestService",
+    "FileEvent",
+    "IngestItem",
+    "IngestQueue",
+    "IngestQueueFull",
+    "IngestStats",
+    "InotifyWatcher",
+    "PollWatcher",
+    "PRIORITY_CHANGED",
+    "PRIORITY_NEW",
+    "PRIORITY_RESEEN",
+    "open_watcher",
+]

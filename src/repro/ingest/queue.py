@@ -1,0 +1,250 @@
+"""Bounded priority queue between event producers and drain workers.
+
+The queue is the backpressure boundary of the ingest tier: producers
+(filesystem watcher, ``POST /v1/ingest``) classify work into three
+priority classes and enqueue; drain workers pull in priority order and
+feed the batch scan stack.  The bound is a *hard* capacity -- a full
+queue raises :class:`IngestQueueFull` so the HTTP path can answer
+``503 + Retry-After`` and the watcher path can stall its event pump
+instead of buffering the world.
+
+Priority classes (lower drains first):
+
+``changed``
+    A watched path whose content moved -- the verdict on record is stale
+    for that path, so it jumps the line.
+``new``
+    A never-seen path with never-seen content: real scan work.
+``re-seen``
+    Content the registry already holds a verdict for (factory clone,
+    re-drop, duplicate flood): costs one registry point lookup and zero
+    inference at drain, so it yields to everything else.
+
+Enqueue-time dedupe: one pending :class:`IngestItem` per content hash.
+A duplicate enqueue *coalesces* -- its path sighting is appended to the
+pending item and the producer is told ``deduped`` -- so a flood of
+identical contracts costs one queue slot and one scan.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+PRIORITY_CHANGED = 0
+PRIORITY_NEW = 1
+PRIORITY_RESEEN = 2
+
+PRIORITY_NAMES = {
+    PRIORITY_CHANGED: "changed",
+    PRIORITY_NEW: "new",
+    PRIORITY_RESEEN: "re-seen",
+}
+
+
+class IngestQueueFull(RuntimeError):
+    """The bounded queue is at capacity; retry after ``retry_after_s``."""
+
+    def __init__(self, capacity: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"ingest queue full ({capacity} items); "
+            f"retry after {retry_after_s:g}s"
+        )
+        self.capacity = capacity
+        self.retry_after_s = retry_after_s
+
+
+@dataclass
+class IngestItem:
+    """One unit of scan work: unique content plus every path that sighted it.
+
+    ``sightings`` rows are ``(path, sha256, size, mtime_ns)`` tuples in
+    ``ScanRegistry.upsert_watched_files`` format; pushed bytes (no backing
+    file) carry an empty list.  ``sample_ids`` lists every id that must be
+    triaged against the verdict -- coalesced duplicates append here.
+    """
+
+    priority: int
+    sha256: str
+    raw: bytes
+    sample_id: str
+    source: str = "watch"
+    platform: Optional[str] = None
+    sightings: List[Tuple[str, str, int, int]] = field(default_factory=list)
+    sample_ids: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.priority not in PRIORITY_NAMES:
+            raise ValueError(f"unknown ingest priority {self.priority!r}")
+        if not self.sample_ids:
+            self.sample_ids = [self.sample_id]
+
+
+class IngestQueue:
+    """Bounded, deduplicating priority queue (thread-safe).
+
+    FIFO within a priority class (a monotonic sequence number breaks
+    ties), strict class ordering across classes.  All counters are
+    cumulative since construction and exported by :meth:`snapshot` into
+    ``/v1`` metrics.
+    """
+
+    def __init__(self, capacity: int, retry_after_s: float = 1.0) -> None:
+        if capacity < 1:
+            raise ValueError("ingest queue capacity must be >= 1")
+        self.capacity = capacity
+        self.retry_after_s = retry_after_s
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._heap: List[Tuple[int, int, str]] = []
+        self._pending: Dict[str, IngestItem] = {}
+        self._seq = 0
+        self._closed = False
+        # cumulative telemetry
+        self.enqueued = 0
+        self.deduped = 0
+        self.dropped = 0
+        self.drained = 0
+        self.peak_depth = 0
+        self.last_enqueue_at = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    def put(self, item: IngestItem) -> str:
+        """Enqueue ``item``; returns ``"queued"`` or ``"deduped"``.
+
+        Raises :class:`IngestQueueFull` when at capacity (the caller owns
+        the backpressure reaction) and ``RuntimeError`` after
+        :meth:`close`.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ingest queue is closed")
+            pending = self._pending.get(item.sha256)
+            if pending is not None:
+                # coalesce: same content already awaiting a scan -- merge
+                # the sightings/ids so the drain records every path, and
+                # promote the pending item if the duplicate outranks it
+                pending.sightings.extend(item.sightings)
+                pending.sample_ids.extend(item.sample_ids)
+                if item.priority < pending.priority:
+                    pending.priority = item.priority
+                    self._seq += 1
+                    heapq.heappush(
+                        self._heap, (item.priority, self._seq, item.sha256)
+                    )
+                self.deduped += 1
+                return "deduped"
+            if len(self._pending) >= self.capacity:
+                self.dropped += 1
+                raise IngestQueueFull(self.capacity, self.retry_after_s)
+            self._seq += 1
+            heapq.heappush(self._heap, (item.priority, self._seq, item.sha256))
+            self._pending[item.sha256] = item
+            self.enqueued += 1
+            self.last_enqueue_at = time.time()
+            self.peak_depth = max(self.peak_depth, len(self._pending))
+            self._not_empty.notify()
+            return "queued"
+
+    def requeue(self, items: List[IngestItem]) -> None:
+        """Put drained-but-unprocessed items back, ignoring the bound.
+
+        Used by the drain path when a transient (injected) fault aborts a
+        batch after dequeue: losing the items would lose verdicts, so the
+        capacity check is waived for work the queue already admitted.
+        """
+        with self._lock:
+            for item in items:
+                pending = self._pending.get(item.sha256)
+                if pending is not None:
+                    pending.sightings.extend(item.sightings)
+                    pending.sample_ids.extend(item.sample_ids)
+                    continue
+                self._seq += 1
+                heapq.heappush(
+                    self._heap, (item.priority, self._seq, item.sha256)
+                )
+                self._pending[item.sha256] = item
+                self.drained -= 1
+                self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = 0.0) -> Optional[IngestItem]:
+        """Pop the highest-priority item, or None on timeout/empty."""
+        with self._not_empty:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while True:
+                item = self._pop_locked()
+                if item is not None:
+                    return item
+                if self._closed:
+                    return None
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._not_empty.wait(remaining)
+
+    def get_batch(
+        self, max_items: int, timeout: Optional[float] = 0.0
+    ) -> List[IngestItem]:
+        """Pop up to ``max_items``; waits ``timeout`` for the *first* item
+        only (the rest are whatever is immediately available)."""
+        first = self.get(timeout)
+        if first is None:
+            return []
+        batch = [first]
+        with self._lock:
+            while len(batch) < max_items:
+                item = self._pop_locked()
+                if item is None:
+                    break
+                batch.append(item)
+        return batch
+
+    def _pop_locked(self) -> Optional[IngestItem]:
+        while self._heap:
+            priority, _, sha256 = heapq.heappop(self._heap)
+            item = self._pending.get(sha256)
+            # a stale heap entry (priority promotion pushed a second one,
+            # or the item was already drained) is skipped
+            if item is None or item.priority != priority:
+                continue
+            del self._pending[sha256]
+            self.drained += 1
+            return item
+        return None
+
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Refuse new work; blocked getters wake and drain what is left."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters for ``/v1`` metrics and ``/healthz``."""
+        with self._lock:
+            return {
+                "depth": len(self._pending),
+                "capacity": self.capacity,
+                "enqueued": self.enqueued,
+                "deduped": self.deduped,
+                "dropped": self.dropped,
+                "drained": self.drained,
+                "peak_depth": self.peak_depth,
+            }

@@ -50,6 +50,37 @@ from repro.service.batch import (
 
 PathLike = Union[str, pathlib.Path]
 
+#: Bounded re-read attempts when a file keeps changing under the reader.
+STABLE_READ_ATTEMPTS = 3
+
+
+def stable_read(
+    path: pathlib.Path, size: int, mtime_ns: int
+) -> Tuple[bytes, int, int]:
+    """Read ``path`` with a ``(size, mtime_ns)`` consistent with the bytes.
+
+    The poll walk stats at discovery and reads later; a rewrite in between
+    (stat->read TOCTOU) would otherwise record the *new* content under the
+    *old* stat -- or worse, mask a mid-cycle rewrite as unchanged next
+    cycle.  Re-stat after every successful read: if the stat moved, the
+    read raced a writer, so read again under the fresh stat (bounded
+    attempts).  If the file never settles, return the *pre-read* stat of
+    the final read -- the bytes are at least as new as that stat, so the
+    next cycle's stat comparison can only re-scan, never mask.
+
+    Raises whatever :func:`read_contract_file` / ``stat`` raise.
+    """
+    for _ in range(STABLE_READ_ATTEMPTS):
+        raw = read_contract_file(path)
+        post = path.stat()
+        if (post.st_size, post.st_mtime_ns) == (size, mtime_ns):
+            return raw, size, mtime_ns
+        # the stat moved across the read: (size, mtime_ns) becomes the
+        # pre-read stat of the next attempt
+        size, mtime_ns = post.st_size, post.st_mtime_ns
+    raw = read_contract_file(path)
+    return raw, size, mtime_ns
+
 
 @dataclass
 class PollStats:
@@ -73,6 +104,9 @@ class PollStats:
     alerts: int = 0
     rules_matched: int = 0
     exit_nonzero: bool = False
+    #: cumulative count of cycles aborted by an injected transient fault
+    #: (snapshot of the daemon's counter, so per-cycle output surfaces it)
+    faulted_polls: int = 0
     elapsed_seconds: float = 0.0
     reports: List[VerdictReport] = field(default_factory=list)
     #: tier-0 cascade counters of this cycle's scan (None: cascade off)
@@ -103,7 +137,32 @@ class PollStats:
                 f", cascade {self.cascade['short_circuits']} short-circuited"
                 f"/{self.cascade['escalations']} escalated"
             )
+        if self.faulted_polls:
+            summary += f", {self.faulted_polls} faulted polls"
+        if self.exit_nonzero:
+            summary += ", exit rule fired (will exit 2)"
         return f"{', '.join(parts)} -- {summary}"
+
+    def to_dict(self) -> dict:
+        """JSON-safe counters of this cycle (``watch --json`` output)."""
+        return {
+            "files_seen": self.files_seen,
+            "unchanged": self.unchanged,
+            "new": self.new,
+            "changed": self.changed,
+            "deleted": self.deleted,
+            "skipped": self.skipped,
+            "registry_hits": self.registry_hits,
+            "scanned": self.scanned,
+            "malicious": self.malicious,
+            "inference_calls": self.inference_calls,
+            "alerts": self.alerts,
+            "rules_matched": self.rules_matched,
+            "exit_nonzero": self.exit_nonzero,
+            "faulted_polls": self.faulted_polls,
+            "elapsed_seconds": self.elapsed_seconds,
+            "cascade": self.cascade,
+        }
 
 
 class WatchDaemon:
@@ -206,6 +265,7 @@ class WatchDaemon:
         stats = PollStats()
         index = self.registry.watched_files()
         present: List[str] = []
+        skipped: set = set()
         to_hash: List[Tuple[str, pathlib.Path, int, int]] = []
 
         for path in iter_contract_files(
@@ -213,9 +273,14 @@ class WatchDaemon:
         ):
             rel = str(path.relative_to(self.directory))
             try:
+                # chaos site: an oserror-kind fault here simulates a path
+                # that transiently cannot be stat'ed (NFS hiccup, racing
+                # chmod) -- such a path must never reach the deletion sweep
+                fault_point("watch.stat", path=path)
                 stat = path.stat()
             except OSError as error:
                 stats.skipped += 1
+                skipped.add(rel)
                 warnings.warn(
                     f"watch: cannot stat {path} ({error}); skipping",
                     stacklevel=2,
@@ -237,8 +302,14 @@ class WatchDaemon:
                 stats.changed += 1
             to_hash.append((rel, path, stat.st_size, stat.st_mtime_ns))
 
+        # a path that exists but could not be stat'ed this cycle is *live*:
+        # excluding it from `present` alone would hand it to the deletion
+        # sweep, so skipped paths are carved out explicitly
         present_set = set(present)
-        deleted = [rel for rel in index if rel not in present_set]
+        deleted = [
+            rel for rel in index
+            if rel not in present_set and rel not in skipped
+        ]
         if deleted:
             stats.deleted = len(deleted)
             self.registry.mark_deleted(deleted)
@@ -250,7 +321,7 @@ class WatchDaemon:
         sightings: List[Tuple[str, str, int, int]] = []
         for rel, path, size, mtime_ns in to_hash:
             try:
-                raw = read_contract_file(path)
+                raw, size, mtime_ns = stable_read(path, size, mtime_ns)
             except (OSError, ValueError) as error:
                 stats.skipped += 1
                 warnings.warn(
@@ -275,6 +346,7 @@ class WatchDaemon:
         if sightings:
             self.registry.upsert_watched_files(sightings)
         self.polls += 1
+        stats.faulted_polls = self.faulted_polls
         stats.elapsed_seconds = time.perf_counter() - started
         return stats
 

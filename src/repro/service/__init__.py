@@ -161,10 +161,17 @@ class ServerClient:
         self.retries += 1
 
     def _request(
-        self, method: str, path: str, payload: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
     ) -> dict:
         return self.retry.call(
-            lambda: self._request_once(method, path, payload),
+            lambda: self._request_once(
+                method, path, payload, body=body, content_type=content_type
+            ),
             retry_on=(ServerClientError,),
             should_retry=self._is_transient,
             retry_after=self._mandated_wait,
@@ -172,18 +179,25 @@ class ServerClient:
         )
 
     def _request_once(
-        self, method: str, path: str, payload: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
     ) -> dict:
-        data = (
-            _json.dumps(payload).encode("utf-8")
-            if payload is not None
-            else None
-        )
+        data = body
+        if data is None:
+            data = (
+                _json.dumps(payload).encode("utf-8")
+                if payload is not None
+                else None
+            )
         request = _urllib_request.Request(
             self.base_url + API_PREFIX + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": content_type},
         )
         try:
             with _urllib_request.urlopen(
@@ -358,6 +372,56 @@ class ServerClient:
         if platform is not None:
             payload["platform"] = platform
         return self._request("POST", "/scan-batch", payload)
+
+    def ingest(
+        self,
+        codes: Iterable[Union[bytes, bytearray, str]],
+        platform: Optional[str] = None,
+        sample_ids: Optional[Sequence[str]] = None,
+        encoding: str = "hex",
+        ndjson: bool = False,
+    ) -> dict:
+        """``POST /v1/ingest`` -- push bytecode into the server's ingest
+        queue (fire-and-forget: verdicts land in the registry, not in the
+        response).
+
+        Returns the 202 body: ``{"accepted", "deduped", "rejected",
+        "queue_depth"}``.  A full queue answers 503 + ``Retry-After``,
+        which this client's retry loop honors like any other overload;
+        with retries exhausted the :class:`ServerClientError` (code
+        ``"overloaded"``) surfaces.  ``ndjson=True`` ships the contracts
+        as ``application/x-ndjson`` (one JSON object per line), the
+        framing streaming producers emit.
+        """
+        codes = list(codes)
+        if sample_ids is not None and len(sample_ids) != len(codes):
+            raise ValueError(
+                f"sample_ids length ({len(sample_ids)}) must "
+                f"match codes length ({len(codes)})"
+            )
+        entries = []
+        for index, code in enumerate(codes):
+            entry: dict = {
+                "bytecode": self._encode(code, encoding),
+                "encoding": encoding,
+            }
+            if platform is not None:
+                entry["platform"] = platform
+            if sample_ids is not None:
+                entry["sample_id"] = sample_ids[index]
+            entries.append(entry)
+        if ndjson:
+            body = b"".join(
+                _json.dumps(entry).encode("utf-8") + b"\n"
+                for entry in entries
+            )
+            return self._request(
+                "POST",
+                "/ingest",
+                body=body,
+                content_type="application/x-ndjson",
+            )
+        return self._request("POST", "/ingest", {"contracts": entries})
 
     def wait_until_ready(
         self, timeout: float = 10.0, interval: float = 0.05

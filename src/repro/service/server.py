@@ -60,6 +60,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.detector import ScamDetector, coerce_bytecode
 from repro.core.frontends import detect_platform
 from repro.gnn.data import ContractGraph
+from repro.ingest.queue import IngestQueueFull
 from repro.resilience.faults import InjectedFault, fault_point
 from repro.service.batch import throughput_stats
 from repro.service.cache import CacheStats, GraphCache
@@ -206,6 +207,7 @@ class ServerMetrics:
         shard_stats: Optional[Dict[str, Dict[str, object]]] = None,
         cascade_enabled: bool = False,
         registry_busy_retries: Optional[int] = None,
+        ingest: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         """The ``GET /v1/metrics`` payload.
 
@@ -269,6 +271,10 @@ class ServerMetrics:
         }
         if shard_stats is not None:
             payload["shards"] = shard_stats
+        if ingest is not None:
+            # queue depth / enqueue-dedupe / drop counters of the ingest
+            # tier (see EventIngestService.snapshot)
+            payload["ingest"] = ingest
         return payload
 
 
@@ -661,6 +667,60 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
                 400, f"request body is not valid JSON ({error})"
             ) from error
 
+    def _read_body_bytes(self) -> bytes:
+        """Raw request body; honors ``Transfer-Encoding: chunked`` so
+        streaming producers can POST without knowing the length upfront."""
+        encoding = (self.headers.get("Transfer-Encoding") or "").lower()
+        if "chunked" in encoding:
+            return self._read_chunked_body()
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise _RequestError(
+                411,
+                "Content-Length header is required "
+                "(or use Transfer-Encoding: chunked)",
+            )
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise _RequestError(400, "invalid Content-Length") from None
+        if length < 0:
+            raise _RequestError(400, "invalid Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise _RequestError(
+                413, f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        return self.rfile.read(length)
+
+    def _read_chunked_body(self) -> bytes:
+        blocks = []
+        total = 0
+        while True:
+            size_line = self.rfile.readline(80)
+            if not size_line:
+                raise _RequestError(400, "truncated chunked body")
+            try:
+                size = int(size_line.split(b";", 1)[0].strip() or b"x", 16)
+            except ValueError:
+                raise _RequestError(400, "invalid chunk size") from None
+            if size == 0:
+                # consume optional trailers up to the terminating blank line
+                while True:
+                    line = self.rfile.readline(1024)
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                return b"".join(blocks)
+            total += size
+            if total > MAX_BODY_BYTES:
+                raise _RequestError(
+                    413, f"request body exceeds {MAX_BODY_BYTES} bytes"
+                )
+            chunk = self.rfile.read(size)
+            if len(chunk) != size:
+                raise _RequestError(400, "truncated chunk")
+            blocks.append(chunk)
+            self.rfile.read(2)  # the CRLF closing each chunk
+
     # -------------------------------------------------------------- #
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
@@ -680,6 +740,11 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
                     server.shard_stats(),
                     cascade_enabled=server.detector.cascade,
                     registry_busy_retries=server.registry_busy_retries(),
+                    ingest=(
+                        server.ingest.snapshot()
+                        if server.ingest is not None
+                        else None
+                    ),
                 ),
                 headers=headers,
             )
@@ -716,6 +781,7 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
         routes = {
             "/scan": ("scan", self._handle_scan),
             "/scan-batch": ("scan_batch", self._handle_scan_batch),
+            "/ingest": ("ingest", self._handle_ingest),
         }
         if path not in routes:
             server.metrics.record_error()
@@ -798,6 +864,88 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
         raw, platform, sample_id = _parse_contract(self._read_json())
         report = server.scan_one(raw, platform, sample_id)
         return 200, report.to_dict()
+
+    def _handle_ingest(self) -> Tuple[int, Dict[str, object]]:
+        """``POST /v1/ingest``: push bytecode into the ingest queue.
+
+        Accepts one contract object, a ``{"contracts": [...]}`` batch, or
+        NDJSON (one contract object per line; ``Content-Type:
+        application/x-ndjson``), optionally chunk-encoded.  Answers 202
+        with accepted/deduped counts -- verdicts land asynchronously in
+        the registry.  A full queue turns into 503 + ``Retry-After``
+        (nothing accepted) or a partial 202 with a ``rejected`` count.
+        """
+        server = self.scan_server
+        ingest = server.ingest
+        if ingest is None:
+            raise _RequestError(
+                404,
+                "ingest is not enabled; start the server with "
+                "--ingest-queue N (and a registry)",
+                code="ingest_disabled",
+            )
+        body = self._read_body_bytes()
+        content_type = (self.headers.get("Content-Type") or "").lower()
+        if "ndjson" in content_type:
+            entries: List[object] = []
+            for number, line in enumerate(body.splitlines(), start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except ValueError as error:
+                    raise _RequestError(
+                        400,
+                        f"ingest line {number} is not valid JSON ({error})",
+                    ) from error
+        else:
+            try:
+                payload = json.loads(body)
+            except ValueError as error:
+                raise _RequestError(
+                    400, f"request body is not valid JSON ({error})"
+                ) from error
+            if isinstance(payload, dict) and isinstance(
+                payload.get("contracts"), list
+            ):
+                entries = payload["contracts"]
+            else:
+                entries = [payload]
+        if not entries:
+            raise _RequestError(400, "ingest request carries no contracts")
+        contracts = [
+            _parse_contract(entry, index=index)
+            for index, entry in enumerate(entries)
+        ]
+        accepted = deduped = rejected = 0
+        retry_after: Optional[int] = None
+        for raw, platform, sample_id in contracts:
+            try:
+                outcome = ingest.submit_bytes(
+                    raw, sample_id=sample_id, platform=platform,
+                    source="http",
+                )
+            except IngestQueueFull as error:
+                if accepted + deduped == 0:
+                    # nothing landed: plain backpressure, retry the lot
+                    raise ServerOverloaded(str(error)) from error
+                rejected = len(contracts) - accepted - deduped
+                retry_after = self._retry_after_seconds()
+                break
+            if outcome == "deduped":
+                deduped += 1
+            else:
+                accepted += 1
+        response: Dict[str, object] = {
+            "accepted": accepted,
+            "deduped": deduped,
+            "rejected": rejected,
+            "queue_depth": ingest.queue.depth(),
+        }
+        if retry_after is not None:
+            response["retry_after"] = retry_after
+        return 202, response
 
     def _handle_scan_batch(self) -> Tuple[int, Dict[str, object]]:
         server = self.scan_server
@@ -953,6 +1101,7 @@ class ScanServer:
         registry=None,
         max_queue: Optional[int] = None,
         retry_after_s: float = 1.0,
+        ingest_queue: Optional[int] = None,
     ) -> None:
         if not detector.is_trained:
             raise RuntimeError("ScanServer requires a trained detector")
@@ -1001,6 +1150,28 @@ class ScanServer:
             scorer=scorer,
             max_queue=max_queue,
         )
+        self.ingest = None
+        if ingest_queue is not None:
+            if ingest_queue < 1:
+                raise ValueError("ingest_queue must be >= 1")
+            if registry is None:
+                raise ValueError(
+                    "ingest_queue requires an attached registry: "
+                    "POST /v1/ingest records its verdicts durably"
+                )
+            # deferred import: repro.ingest.service imports the batch
+            # module from this package
+            from repro.ingest.service import EventIngestService
+
+            self.ingest = EventIngestService(
+                detector,
+                registry,
+                roots=(),
+                queue_capacity=ingest_queue,
+                batch_size=max_batch,
+                cache=cache,
+                retry_after_s=retry_after_s,
+            )
         self._httpd = _ThreadPoolHTTPServer(
             (host, port), _ScanHTTPRequestHandler, self, workers
         )
@@ -1056,6 +1227,15 @@ class ScanServer:
             }
         if self.registry is not None:
             payload["registry"] = self.registry.counts()
+        if self.ingest is not None:
+            queue = self.ingest.queue.snapshot()
+            payload["ingest"] = {
+                "backend": self.ingest.backend,
+                "queue_depth": queue["depth"],
+                "capacity": queue["capacity"],
+                "enqueue_deduped": queue["deduped"],
+                "dropped": queue["dropped"],
+            }
         return payload
 
     def shard_stats(self) -> Optional[Dict[str, Dict[str, object]]]:
@@ -1368,6 +1548,8 @@ class ScanServer:
                 self._started = False
                 raise
         self.coalescer.start()
+        if self.ingest is not None:
+            self.ingest.start()
         self._httpd.start_workers()
         self._accept_thread = threading.Thread(
             target=self._httpd.serve_forever,
@@ -1393,6 +1575,8 @@ class ScanServer:
             self._stopped = True
             self._stop_requested.set()
             self._httpd.server_close()
+            if self.ingest is not None:
+                self.ingest.close(drain=False)
             if self.sharded is not None:
                 self.sharded.close()
             self._restore_cache()
@@ -1403,6 +1587,10 @@ class ScanServer:
         if self._accept_thread is not None:
             self._accept_thread.join()
         self._httpd.stop_workers()  # drains accepted connections
+        if self.ingest is not None:
+            # after the worker pool: no more pushes can land; drain the
+            # queued backlog so a SIGTERM never strands admitted work
+            self.ingest.close(drain=True)
         self.coalescer.close()  # drains queued inference work
         if self.sharded is not None:
             self.sharded.close()  # after the coalescer: no new work

@@ -138,8 +138,10 @@ def test_cli_parser_subcommands():
     assert args.id == "E13"
     args = parser.parse_args(["experiment", "--id", "E14"])
     assert args.id == "E14"
+    args = parser.parse_args(["experiment", "--id", "E15"])
+    assert args.id == "E15"
     with pytest.raises(SystemExit):
-        parser.parse_args(["experiment", "--id", "E15"])
+        parser.parse_args(["experiment", "--id", "E16"])
     args = parser.parse_args(["scan-batch", "--model-path", "m",
                               "--input-dir", "d", "--shards", "4"])
     assert args.shards == 4

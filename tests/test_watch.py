@@ -487,3 +487,172 @@ def test_faulted_poll_cycle_is_skipped_then_retried(trained_detector, feed,
     assert len(registry.query(limit=None)) > 0
     stats = WatchDaemon(trained_detector, registry, feed).poll_once()
     assert stats.inference_calls == 0     # nothing was lost or half-recorded
+
+
+# --------------------------------------------------------------------------- #
+# discovery-path correctness: stat failures and mid-cycle rewrites
+
+
+def test_unstatable_file_is_not_marked_deleted(trained_detector, feed,
+                                               registry):
+    from repro.resilience import FaultPlan, FaultSpec, fault_plan
+
+    daemon = WatchDaemon(trained_detector, registry, feed)
+    daemon.poll_once()
+    live = set(registry.watched_files())
+    assert live
+
+    # one file transiently fails stat() this cycle (NFS hiccup, racing
+    # chmod): it must be skipped, NOT swept into the deletion sweep
+    with fault_plan(FaultPlan(specs=(
+            FaultSpec(site="watch.stat", kind="exception",
+                      exception="oserror", max_fires=1),))):
+        with pytest.warns(UserWarning, match="cannot stat"):
+            stats = daemon.poll_once()
+    assert stats.skipped == 1
+    assert stats.deleted == 0
+    # the skipped path is still live in the index -- no deleted_at stamp
+    assert set(registry.watched_files()) == live
+    index = registry.watched_files(include_deleted=True)
+    assert all(index[rel].deleted_at is None for rel in live)
+
+    # next cycle stats everything again: nothing changed, nothing re-scans
+    clean = daemon.poll_once()
+    assert clean.unchanged == clean.files_seen == len(live)
+    assert clean.deleted == 0 and clean.scanned == 0
+
+
+def test_stat_failure_still_detects_real_deletions(trained_detector, feed,
+                                                   registry):
+    from repro.resilience import FaultPlan, FaultSpec, fault_plan
+
+    daemon = WatchDaemon(trained_detector, registry, feed)
+    daemon.poll_once()
+    removed = sorted(feed.glob("*.bin"))[0]
+    removed.unlink()
+
+    # a *different* file faults its stat in the same cycle; the genuinely
+    # deleted file must still be swept
+    with fault_plan(FaultPlan(specs=(
+            FaultSpec(site="watch.stat", kind="exception",
+                      exception="oserror", max_fires=1),))):
+        with pytest.warns(UserWarning, match="cannot stat"):
+            stats = daemon.poll_once()
+    assert stats.skipped == 1
+    assert stats.deleted == 1
+    assert removed.name not in registry.watched_files()
+
+
+def test_midcycle_rewrite_records_consistent_stat(trained_detector, feed,
+                                                  registry, monkeypatch,
+                                                  tiny_evm_corpus):
+    import repro.registry.watch as watch_module
+
+    daemon = WatchDaemon(trained_detector, registry, feed)
+    daemon.poll_once()
+
+    target = sorted(feed.glob("*.bin"))[0]
+    first_rewrite = target.read_bytes() + b"\x00"
+    final_content = tiny_evm_corpus[1].bytecode + b"\x00\x00"
+    write_contract(feed, target.name, first_rewrite)
+
+    # simulate the stat->read race: the first read of the target lands
+    # *after* a second rewrite that the discovery stat never saw
+    real_read = watch_module.read_contract_file
+    raced = {"done": False}
+
+    def racing_read(path):
+        raw = real_read(path)
+        if path.name == target.name and not raced["done"]:
+            raced["done"] = True
+            write_contract(feed, target.name, final_content)
+            return real_read(path)
+        return raw
+
+    monkeypatch.setattr(watch_module, "read_contract_file", racing_read)
+    daemon.poll_once()
+    monkeypatch.setattr(watch_module, "read_contract_file", real_read)
+    assert raced["done"]
+
+    # the recorded index entry must describe the bytes that were hashed:
+    # sha of what is on disk now, stat consistent with it -- so the next
+    # poll sees the file as unchanged and nothing was masked
+    entry = registry.watched_files()[target.name]
+    assert entry.sha256 == content_sha256(final_content)
+    stat = target.stat()
+    assert (entry.size, entry.mtime_ns) == (stat.st_size, stat.st_mtime_ns)
+    assert registry.get(content_sha256(final_content)) is not None
+
+    clean = daemon.poll_once()
+    assert clean.changed == 0 and clean.scanned == 0
+    assert clean.registry_hits == 0
+
+
+def test_stable_read_rereads_until_stat_settles(tmp_path):
+    from repro.registry.watch import stable_read
+
+    path = tmp_path / "contract.bin"
+    path.write_bytes(b"\x60\x00\x60\x01")
+    stat = path.stat()
+
+    # passing a stale pre-read stat (as if the file changed between the
+    # discovery stat and the read) forces a re-read under a fresh stat
+    raw, size, mtime_ns = stable_read(path, stat.st_size - 1,
+                                      stat.st_mtime_ns - 1)
+    assert raw == b"\x60\x00\x60\x01"
+    assert (size, mtime_ns) == (stat.st_size, stat.st_mtime_ns)
+
+    # a settled file short-circuits: one read, stat unchanged
+    raw, size, mtime_ns = stable_read(path, stat.st_size, stat.st_mtime_ns)
+    assert raw == b"\x60\x00\x60\x01"
+    assert (size, mtime_ns) == (stat.st_size, stat.st_mtime_ns)
+
+
+# --------------------------------------------------------------------------- #
+# PollStats reporting: every counter must be visible
+
+
+def test_pollstats_surfaces_exit_and_fault_counters():
+    from repro.registry.watch import PollStats
+
+    stats = PollStats(files_seen=3, unchanged=3, exit_nonzero=True,
+                      faulted_polls=2)
+    line = stats.format()
+    assert "2 faulted polls" in line
+    assert "exit rule fired" in line
+    payload = stats.to_dict()
+    assert payload["exit_nonzero"] is True
+    assert payload["faulted_polls"] == 2
+    # every dataclass counter is exported -- nothing silently dropped
+    for field in ("files_seen", "unchanged", "new", "changed", "deleted",
+                  "skipped", "registry_hits", "scanned", "malicious",
+                  "inference_calls", "alerts", "rules_matched",
+                  "exit_nonzero", "faulted_polls", "elapsed_seconds"):
+        assert field in payload, field
+
+    quiet = PollStats(files_seen=3, unchanged=3)
+    assert "faulted" not in quiet.format()
+    assert "exit rule" not in quiet.format()
+
+
+def test_watch_cli_json_stream_includes_fault_counters(
+        trained_detector, feed, tmp_path, capsys):
+    model_path = tmp_path / "json-model"
+    trained_detector.save(model_path)
+    registry_path = tmp_path / "json-verdicts.db"
+
+    exit_code = main(["watch", str(feed), "--model-path", str(model_path),
+                      "--registry", str(registry_path),
+                      "--interval", "0.05", "--max-polls", "2", "--json"])
+    assert exit_code == 0
+    lines = [line for line in capsys.readouterr().out.splitlines()
+             if line.startswith("{")]
+    assert len(lines) == 2
+    for number, line in enumerate(lines, start=1):
+        payload = json.loads(line)
+        assert payload["poll"] == number
+        assert payload["exit_nonzero"] is False
+        assert payload["faulted_polls"] == 0
+    # the second poll was warm: machine-readable proof
+    warm = json.loads(lines[1])
+    assert warm["inference_calls"] == 0 and warm["scanned"] == 0
