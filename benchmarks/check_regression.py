@@ -9,6 +9,9 @@ fails (exit 1) when:
 * a **throughput metric** (summary or per-row keys ending in ``_per_second``
   or containing ``speedup``) drops by more than ``--tolerance`` (default
   20%) relative to the baseline, or
+* an **overhead ratio** (keys containing ``overhead_ratio``, E16's
+  armed-tracing cost) rises more than ``--tolerance`` above the baseline
+  (gated even under ``--ratios-only`` -- ratios are machine-independent), or
 * a **fidelity counter** (keys containing ``mismatch``, or summary
   ``*_inference_calls`` counters for contractually inference-free paths)
   rises at all -- verdict/prediction parity is exact, so any increase is a
@@ -49,6 +52,17 @@ def is_throughput_key(key: str) -> bool:
     """
     return (key.endswith("_per_second") or "speedup" in key
             or "availability" in key)
+
+
+def is_overhead_key(key: str) -> bool:
+    """Lower-is-better ratio metrics gated by a relative ceiling.
+
+    ``*overhead_ratio*`` (E16's armed/disarmed tracing cost) is a
+    machine-independent ratio around 1.0: it is gated even under
+    ``--ratios-only``, failing when the fresh value exceeds
+    ``baseline * (1 + tolerance)``.
+    """
+    return "overhead_ratio" in key
 
 
 def is_fidelity_key(key: str) -> bool:
@@ -124,6 +138,20 @@ def compare_file(baseline_path: pathlib.Path, fresh_path: pathlib.Path,
                     f"{name}: {label} dropped {drop:.1f}% "
                     f"({base_value:.3f} -> {fresh_value:.3f}, "
                     f"tolerance {tolerance:.0%})")
+        elif is_overhead_key(key):
+            ceiling = base_value * (1.0 + tolerance)
+            ok = fresh_value <= ceiling
+            lines.append(f"  {'ok  ' if ok else 'FAIL'} {label}: "
+                         f"{fresh_value:.3f} vs baseline {base_value:.3f} "
+                         f"(ceiling {ceiling:.3f})")
+            if not ok:
+                rise = (fresh_value / base_value - 1.0) * 100 \
+                    if base_value else 0.0
+                failures.append(
+                    f"{name}: {label} rose {rise:.1f}% "
+                    f"({base_value:.3f} -> {fresh_value:.3f}, "
+                    f"tolerance {tolerance:.0%}) -- tracing overhead "
+                    f"regressed")
         elif is_fidelity_key(key):
             ok = fresh_value <= base_value
             lines.append(f"  {'ok  ' if ok else 'FAIL'} {label}: "

@@ -150,6 +150,7 @@ def _command_scan_batch(args: argparse.Namespace) -> int:
     from repro.service import BatchScanner, GraphCache, ShardError
 
     _arm_fault_plan("scan-batch", args.fault_plan)
+    _arm_tracing("scan-batch", args.trace_file, args.log_json)
     detector = _load_detector("scan-batch", args, explain=args.explain)
     cache = None
     if args.cache_dir is not None or args.cache_capacity is not None:
@@ -203,6 +204,44 @@ def _arm_fault_plan(command: str, path: Optional[str]) -> None:
           f"({len(plan.specs)} spec(s), seed {plan.seed})", file=sys.stderr)
 
 
+def _arm_tracing(command: str, trace_file: Optional[str],
+                 log_json: bool) -> None:
+    """Arm ``--trace-file`` (JSONL span export) and ``--log-json``
+    process-wide.  Sharded workers spawned afterwards buffer their own
+    spans and ship them back with each chunk.  No-op without the flags."""
+    if log_json:
+        from repro.obs import enable_json_logs
+
+        enable_json_logs()
+    if trace_file is None:
+        return
+    import atexit
+
+    from repro.obs import JsonlTraceWriter, Tracer, arm
+
+    try:
+        writer = JsonlTraceWriter(trace_file)
+    except OSError as error:
+        raise SystemExit(f"{command}: cannot open trace file "
+                         f"{trace_file!r}: {error}")
+    # flush on any exit path (SystemExit included); signal handlers in
+    # serve/watch raise instead of exiting, so atexit always runs
+    atexit.register(writer.close)
+    arm(Tracer(sink=writer))
+    print(f"{command}: tracing armed, spans -> {trace_file}",
+          file=sys.stderr)
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-file", default=None,
+                        help="arm span tracing and append spans to this "
+                             "JSONL file (analyse with 'scamdetect trace "
+                             "summarize')")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit warnings/log records as JSON lines on "
+                             "stderr, stamped with the active trace id")
+
+
 def _open_registry(command: str, path: Optional[str], detector):
     """Open ``--registry`` scoped to the loaded detector's fingerprint
     (None when the flag was not given); exits non-zero on registry errors."""
@@ -225,6 +264,7 @@ def _command_watch(args: argparse.Namespace) -> int:
     from repro.service import GraphCache, ShardError
 
     _arm_fault_plan("watch", args.fault_plan)
+    _arm_tracing("watch", args.trace_file, args.log_json)
     detector = _load_detector("watch", args, explain=args.explain)
     registry = _open_registry("watch", args.registry, detector)
     rules_engine = None
@@ -516,6 +556,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.service.server import ScanServer
 
     _arm_fault_plan("serve", args.fault_plan)
+    _arm_tracing("serve", args.trace_file, args.log_json)
     detector = _load_detector("serve", args, explain=not args.no_explain)
     registry = _open_registry("serve", args.registry, detector)
     try:
@@ -560,6 +601,28 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace_summarize(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (format_summary, load_trace_file,
+                           summarize_traces, verify_traces)
+
+    try:
+        records = load_trace_file(args.trace_file)
+    except OSError as error:
+        raise SystemExit(f"trace summarize: cannot read "
+                         f"{args.trace_file!r}: {error}")
+    except ValueError as error:
+        raise SystemExit(f"trace summarize: {error}")
+    summary = summarize_traces(records, top=args.top)
+    if args.json:
+        payload = dict(summary, invariants=verify_traces(records))
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_summary(summary))
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     from repro.evaluation import (
         run_e1_phishinghook_zoo,
@@ -577,6 +640,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         run_e13_chaos_resilience,
         run_e14_registry_triage,
         run_e15_event_ingest,
+        run_e16_observability,
     )
 
     runners = {
@@ -595,6 +659,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         "E13": run_e13_chaos_resilience,
         "E14": run_e14_registry_triage,
         "E15": run_e15_event_ingest,
+        "E16": run_e16_observability,
     }
     result = runners[args.id.upper()]()
     print(result.format())
@@ -679,6 +744,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument("--show-reports", action="store_true",
                               help="print every per-contract report after the "
                                    "summary")
+    _add_observability_arguments(batch_parser)
     _add_cascade_arguments(batch_parser)
     batch_parser.set_defaults(handler=_command_scan_batch)
 
@@ -725,6 +791,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "bounded queue of N contracts (requires "
                                    "--registry; a full queue answers 503 "
                                    "with Retry-After)")
+    _add_observability_arguments(serve_parser)
     _add_cascade_arguments(serve_parser)
     serve_parser.set_defaults(handler=_command_serve)
 
@@ -790,6 +857,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="one JSON object per poll/cycle instead "
                                    "of the human-readable line (includes "
                                    "exit_nonzero and faulted_polls)")
+    _add_observability_arguments(watch_parser)
     _add_cascade_arguments(watch_parser)
     watch_parser.set_defaults(handler=_command_watch)
 
@@ -886,10 +954,30 @@ def build_parser() -> argparse.ArgumentParser:
                                help="machine-readable result")
     triage_parser.set_defaults(handler=_command_triage, threshold=0.5)
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="trace tooling (summarize --trace-file exports)")
+    trace_subparsers = trace_parser.add_subparsers(dest="trace_command",
+                                                   required=True)
+    trace_summarize_parser = trace_subparsers.add_parser(
+        "summarize",
+        help="per-site latency percentiles, slowest traces and the "
+             "critical path of a span JSONL export")
+    trace_summarize_parser.add_argument("trace_file",
+                                        help="span JSONL file written by "
+                                             "--trace-file")
+    trace_summarize_parser.add_argument("--top", type=int, default=5,
+                                        help="how many slowest traces to "
+                                             "list (default 5)")
+    trace_summarize_parser.add_argument("--json", action="store_true",
+                                        help="machine-readable summary "
+                                             "(adds the span-accounting "
+                                             "invariant counters)")
+    trace_summarize_parser.set_defaults(handler=_command_trace_summarize)
+
     experiment_parser = subparsers.add_parser("experiment",
-                                              help="run one E1-E15 experiment")
+                                              help="run one E1-E16 experiment")
     experiment_parser.add_argument("--id", required=True,
-                                   choices=[f"E{i}" for i in range(1, 16)])
+                                   choices=[f"E{i}" for i in range(1, 17)])
     experiment_parser.set_defaults(handler=_command_experiment)
     return parser
 

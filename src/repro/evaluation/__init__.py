@@ -1,4 +1,4 @@
-"""Evaluation harness: cross-validation, the E1-E15 experiments and reporting.
+"""Evaluation harness: cross-validation, the E1-E16 experiments and reporting.
 
 Each experiment function reproduces one claim of the paper (see DESIGN.md's
 experiment index) and returns an :class:`~repro.evaluation.reporting.ExperimentResult`
@@ -29,6 +29,7 @@ from repro.evaluation.experiments import (
     E13Config,
     E14Config,
     E15Config,
+    E16Config,
     run_e1_phishinghook_zoo,
     run_e2_obfuscation_degradation,
     run_e3_gnn_vs_baseline,
@@ -44,6 +45,7 @@ from repro.evaluation.experiments import (
     run_e13_chaos_resilience,
     run_e14_registry_triage,
     run_e15_event_ingest,
+    run_e16_observability,
 )
 
 __all__ = [
@@ -66,6 +68,7 @@ __all__ = [
     "E13Config",
     "E14Config",
     "E15Config",
+    "E16Config",
     "run_e1_phishinghook_zoo",
     "run_e2_obfuscation_degradation",
     "run_e3_gnn_vs_baseline",
@@ -81,4 +84,5 @@ __all__ = [
     "run_e13_chaos_resilience",
     "run_e14_registry_triage",
     "run_e15_event_ingest",
+    "run_e16_observability",
 ]

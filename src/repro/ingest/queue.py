@@ -65,6 +65,9 @@ class IngestItem:
     ``ScanRegistry.upsert_watched_files`` format; pushed bytes (no backing
     file) carry an empty list.  ``sample_ids`` lists every id that must be
     triaged against the verdict -- coalesced duplicates append here.
+    ``trace`` is the opaque span carrier stamped at enqueue (when tracing
+    is armed) so the drain can link its work back to the producer's trace;
+    coalesced duplicates keep the first enqueuer's carrier.
     """
 
     priority: int
@@ -75,6 +78,7 @@ class IngestItem:
     platform: Optional[str] = None
     sightings: List[Tuple[str, str, int, int]] = field(default_factory=list)
     sample_ids: List[str] = field(default_factory=list)
+    trace: Optional[Dict[str, str]] = None
 
     def __post_init__(self) -> None:
         if self.priority not in PRIORITY_NAMES:

@@ -61,6 +61,7 @@ from repro.registry.store import ScanRegistry, content_sha256
 # the service stack, which imports this package -- binding the module and
 # resolving the attribute at call time keeps the cycle harmless
 from repro.registry import watch as _watch
+from repro.obs.trace import carrier, emit_span, trace
 from repro.resilience.faults import InjectedFault, fault_point
 from repro.service.batch import BatchScanner, iter_contract_files
 
@@ -262,32 +263,39 @@ class EventIngestService:
         Raises :class:`IngestQueueFull` when the queue is at capacity --
         the HTTP layer turns that into ``503 + Retry-After``.
         """
-        fault_point("ingest.enqueue")
-        sha256 = content_sha256(raw)
-        if sample_id is None:
-            sample_id = f"push:{sha256[:16]}"
-        priority = (
-            PRIORITY_RESEEN
-            if self.registry.get(sha256) is not None
-            else PRIORITY_NEW
-        )
-        item = IngestItem(
-            priority=priority,
-            sha256=sha256,
-            raw=raw,
-            sample_id=sample_id,
-            source=source,
-            platform=platform,
-        )
-        try:
-            outcome = self.queue.put(item)
-        except IngestQueueFull:
-            self.stats.dropped += 1
-            raise
-        if outcome == "deduped":
-            self.stats.deduped += 1
-        else:
-            self.stats.enqueued += 1
+        # obs site ingest.enqueue: child of server.request on the HTTP
+        # path, its own root when called directly; the carrier stamped on
+        # the item lets the drain worker link back across the queue
+        with trace("ingest.enqueue", root=True, source=source) as span:
+            fault_point("ingest.enqueue")
+            sha256 = content_sha256(raw)
+            if sample_id is None:
+                sample_id = f"push:{sha256[:16]}"
+            priority = (
+                PRIORITY_RESEEN
+                if self.registry.get(sha256) is not None
+                else PRIORITY_NEW
+            )
+            item = IngestItem(
+                priority=priority,
+                sha256=sha256,
+                raw=raw,
+                sample_id=sample_id,
+                source=source,
+                platform=platform,
+                trace=carrier(),
+            )
+            try:
+                outcome = self.queue.put(item)
+            except IngestQueueFull:
+                self.stats.dropped += 1
+                span.set(outcome="dropped")
+                raise
+            if outcome == "deduped":
+                self.stats.deduped += 1
+            else:
+                self.stats.enqueued += 1
+            span.set(outcome=outcome)
         return outcome
 
     def pump_events(self, timeout: float = 0.0) -> int:
@@ -373,20 +381,25 @@ class EventIngestService:
             priority = PRIORITY_CHANGED
         else:
             priority = PRIORITY_NEW
-        fault_point("ingest.enqueue")
-        item = IngestItem(
-            priority=priority,
-            sha256=sha256,
-            raw=raw,
-            sample_id=sample_id,
-            source="watch",
-            sightings=[(sample_id, sha256, size, mtime_ns)],
-        )
-        outcome = self.queue.put(item)
-        if outcome == "deduped":
-            self.stats.deduped += 1
-        else:
-            self.stats.enqueued += 1
+        # obs site ingest.enqueue (watch pump thread): roots a new trace
+        # per observed path; the carrier rides the queue to the drain
+        with trace("ingest.enqueue", root=True, source="watch") as span:
+            fault_point("ingest.enqueue")
+            item = IngestItem(
+                priority=priority,
+                sha256=sha256,
+                raw=raw,
+                sample_id=sample_id,
+                source="watch",
+                sightings=[(sample_id, sha256, size, mtime_ns)],
+                trace=carrier(),
+            )
+            outcome = self.queue.put(item)
+            if outcome == "deduped":
+                self.stats.deduped += 1
+            else:
+                self.stats.enqueued += 1
+            span.set(outcome=outcome)
 
     # ------------------------------------------------------------------ #
     # drain
@@ -425,31 +438,52 @@ class EventIngestService:
         return drained
 
     def _drain_batch(self, batch: List[IngestItem]) -> None:
-        # scan_codes takes one platform per call: group pushed items by
-        # their declared platform (watch items always carry None)
-        groups: Dict[Optional[str], List[IngestItem]] = {}
-        for item in batch:
-            groups.setdefault(item.platform, []).append(item)
-        sightings: List[Tuple[str, str, int, int]] = []
-        for platform, items in groups.items():
-            with self._scan_lock:
-                result = self.scanner.scan_codes(
-                    [item.raw for item in items],
-                    platform=platform,
-                    sample_ids=[item.sample_id for item in items],
+        # obs site ingest.drain: the drain worker's own root trace spans
+        # the whole batch; each carried item additionally gets a
+        # pre-measured ``ingest.drained`` span stitched into its
+        # *producer's* trace (via the carrier stamped at enqueue), so a
+        # trace that starts at POST /v1/ingest ends at its drain
+        started_at = time.time()
+        begun = time.perf_counter()
+        with trace("ingest.drain", root=True, items=len(batch)):
+            # scan_codes takes one platform per call: group pushed items by
+            # their declared platform (watch items always carry None)
+            groups: Dict[Optional[str], List[IngestItem]] = {}
+            for item in batch:
+                groups.setdefault(item.platform, []).append(item)
+            sightings: List[Tuple[str, str, int, int]] = []
+            for platform, items in groups.items():
+                with self._scan_lock:
+                    result = self.scanner.scan_codes(
+                        [item.raw for item in items],
+                        platform=platform,
+                        sample_ids=[item.sample_id for item in items],
+                    )
+                self.stats.registry_hits += result.registry_hits
+                self.stats.scanned += (
+                    result.num_scanned - result.registry_hits
                 )
-            self.stats.registry_hits += result.registry_hits
-            self.stats.scanned += result.num_scanned - result.registry_hits
-            self.stats.malicious += result.num_malicious
-            self.stats.inference_calls += sum(result.batch_sizes.values())
-            self._triage(items, result.reports)
-            for item in items:
-                sightings.extend(item.sightings)
-        if sightings:
-            self.registry.upsert_watched_files(sightings)
-            for path, _, size, mtime_ns in sightings:
-                self._index[path] = (size, mtime_ns)
-        self.stats.drained += len(batch)
+                self.stats.malicious += result.num_malicious
+                self.stats.inference_calls += sum(result.batch_sizes.values())
+                self._triage(items, result.reports)
+                for item in items:
+                    sightings.extend(item.sightings)
+            if sightings:
+                self.registry.upsert_watched_files(sightings)
+                for path, _, size, mtime_ns in sightings:
+                    self._index[path] = (size, mtime_ns)
+            self.stats.drained += len(batch)
+        dur_ms = (time.perf_counter() - begun) * 1000.0
+        for item in batch:
+            if item.trace is not None:
+                emit_span(
+                    item.trace,
+                    "ingest.drained",
+                    started_at,
+                    dur_ms,
+                    batch=len(batch),
+                    sha256=item.sha256[:16],
+                )
 
     def _triage(self, items: List[IngestItem], reports) -> None:
         if self.rules is None:

@@ -1,0 +1,68 @@
+"""Observability layer: span tracing, Prometheus exposition, JSON logs.
+
+Three pieces, all stdlib-only and all built to cost nothing when off:
+
+* :mod:`repro.obs.trace` -- the span tracer compiled into the scan
+  stack's hot paths.  Disarmed (the default), every site is one
+  module-global ``None`` check; armed, spans carry per-request trace IDs
+  across threads, shard worker processes and the ingest queue, and can
+  stream to a JSONL file (``--trace-file``).
+* :mod:`repro.obs.prometheus` -- text exposition of the server metrics
+  snapshot (``GET /v1/metrics?format=prometheus``) plus the exposition
+  validator shared by tests and CI.
+* :mod:`repro.obs.logs` -- structured JSON logging (``--log-json``) that
+  stamps trace IDs onto the warnings the stack already emits.
+
+:mod:`repro.obs.summary` analyses exported trace files
+(``scamdetect trace summarize``): per-site percentiles, slowest traces,
+critical path.
+"""
+
+from repro.obs.logs import (
+    disable_json_logs,
+    enable_json_logs,
+    json_log,
+    json_logs_enabled,
+)
+from repro.obs.prometheus import render_prometheus, validate_exposition
+from repro.obs.summary import critical_path, format_summary, summarize_traces
+from repro.obs.trace import (
+    JsonlTraceWriter,
+    Tracer,
+    active_tracer,
+    arm,
+    armed,
+    carrier,
+    disarm,
+    emit_span,
+    load_trace_file,
+    trace,
+    trace_from,
+    tracing,
+    verify_traces,
+)
+
+__all__ = [
+    "JsonlTraceWriter",
+    "Tracer",
+    "active_tracer",
+    "arm",
+    "armed",
+    "carrier",
+    "critical_path",
+    "disable_json_logs",
+    "disarm",
+    "emit_span",
+    "enable_json_logs",
+    "format_summary",
+    "json_log",
+    "json_logs_enabled",
+    "load_trace_file",
+    "render_prometheus",
+    "summarize_traces",
+    "trace",
+    "trace_from",
+    "tracing",
+    "validate_exposition",
+    "verify_traces",
+]

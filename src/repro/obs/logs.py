@@ -1,0 +1,118 @@
+"""Structured JSON logging that stamps trace IDs onto stack warnings.
+
+The scan stack reports operational conditions through ``warnings.warn``
+(skipped files, degraded shards, missing alert sinks, ...).  With
+``--log-json`` those warnings -- plus anything routed through the
+stdlib ``logging`` module -- are re-emitted as one JSON object per line
+on stderr, carrying the active trace/span IDs so a log line can be
+joined against the trace JSONL it happened inside.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import threading
+import time
+import warnings
+from typing import Dict, Optional, TextIO
+
+from repro.obs.trace import carrier
+
+__all__ = [
+    "JsonLogHandler",
+    "disable_json_logs",
+    "enable_json_logs",
+    "json_log",
+    "json_logs_enabled",
+]
+
+_lock = threading.Lock()
+_previous_showwarning = None
+_handler: Optional["JsonLogHandler"] = None
+_stream: TextIO = sys.stderr
+
+
+def _base_record(level: str, message: str) -> Dict[str, object]:
+    record: Dict[str, object] = {
+        "ts": time.time(),
+        "level": level,
+        "message": message,
+    }
+    context = carrier()
+    if context is not None:
+        record["trace_id"] = context["trace_id"]
+        record["span_id"] = context["span_id"]
+    record["thread"] = threading.current_thread().name
+    return record
+
+
+def _write(record: Dict[str, object]) -> None:
+    line = json.dumps(record, sort_keys=True, default=str)
+    with _lock:
+        try:
+            _stream.write(line + "\n")
+            _stream.flush()
+        except (OSError, ValueError):  # closed/broken stderr must not crash
+            pass
+
+
+def json_log(level: str, message: str, **fields) -> None:
+    """Emit one structured log line (no-op formatting, always JSON)."""
+    record = _base_record(level, message)
+    record.update(fields)
+    _write(record)
+
+
+class JsonLogHandler(logging.Handler):
+    """``logging`` handler that renders records as trace-stamped JSON."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            payload = _base_record(
+                record.levelname.lower(), record.getMessage()
+            )
+            payload["logger"] = record.name
+            if record.exc_info and record.exc_info[0] is not None:
+                payload["error"] = record.exc_info[0].__name__
+            _write(payload)
+        except Exception:  # logging must never raise into the app
+            self.handleError(record)
+
+
+def _json_showwarning(message, category, filename, lineno, file=None, line=None):
+    record = _base_record("warning", str(message))
+    record["category"] = category.__name__
+    record["source"] = f"{filename}:{lineno}"
+    _write(record)
+
+
+def enable_json_logs(stream: Optional[TextIO] = None) -> None:
+    """Route warnings + stdlib logging to JSON lines (idempotent)."""
+    global _previous_showwarning, _handler, _stream
+    if stream is not None:
+        _stream = stream
+    if _previous_showwarning is None:
+        _previous_showwarning = warnings.showwarning
+        warnings.showwarning = _json_showwarning
+    if _handler is None:
+        _handler = JsonLogHandler()
+        logging.getLogger().addHandler(_handler)
+
+
+def disable_json_logs() -> None:
+    """Undo :func:`enable_json_logs` (for tests)."""
+    global _previous_showwarning, _handler, _stream
+    if _previous_showwarning is not None:
+        warnings.showwarning = _previous_showwarning
+        _previous_showwarning = None
+    if _handler is not None:
+        logging.getLogger().removeHandler(_handler)
+        _handler = None
+    _stream = sys.stderr
+
+
+def json_logs_enabled() -> bool:
+    """Whether JSON logging is currently installed."""
+    return _previous_showwarning is not None

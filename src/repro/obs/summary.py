@@ -1,0 +1,156 @@
+"""Offline analysis of trace JSONL files: ``scamdetect trace summarize``.
+
+Answers the questions a trace file exists for: where does a scan spend
+its time (per-site p50/p99), which traces were slowest, and what the
+critical path through a slow trace looks like.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["critical_path", "format_summary", "summarize_traces"]
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile over a non-empty sorted copy (0.0 empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[index]
+
+
+def summarize_traces(
+    records: Iterable[Dict[str, object]], top: int = 5
+) -> Dict[str, object]:
+    """Aggregate span records into a summary dict.
+
+    Returns::
+
+        {"traces": N, "spans": M,
+         "sites": {site: {count, total_ms, p50_ms, p99_ms, max_ms}},
+         "slowest": [{trace_id, site, dur_ms, spans}, ...],   # top roots
+         "critical_path": [{site, dur_ms}, ...]}              # slowest trace
+    """
+    records = list(records)
+    by_site: Dict[str, List[float]] = {}
+    by_trace: Dict[str, List[Dict[str, object]]] = {}
+    for record in records:
+        site = str(record.get("site", "?"))
+        by_site.setdefault(site, []).append(float(record.get("dur_ms", 0.0)))
+        trace_id = record.get("trace_id")
+        if trace_id is not None:
+            by_trace.setdefault(str(trace_id), []).append(record)
+
+    sites = {
+        site: {
+            "count": len(durations),
+            "total_ms": sum(durations),
+            "p50_ms": _percentile(durations, 0.50),
+            "p99_ms": _percentile(durations, 0.99),
+            "max_ms": max(durations),
+        }
+        for site, durations in sorted(by_site.items())
+    }
+
+    roots = []
+    for trace_id, trace_records in by_trace.items():
+        root = next(
+            (r for r in trace_records if r.get("link") == "root"), None
+        )
+        if root is None:
+            continue
+        roots.append(
+            {
+                "trace_id": trace_id,
+                "site": str(root.get("site", "?")),
+                "dur_ms": float(root.get("dur_ms", 0.0)),
+                "spans": len(trace_records),
+            }
+        )
+    roots.sort(key=lambda entry: entry["dur_ms"], reverse=True)
+    slowest = roots[: max(0, top)]
+
+    path: List[Dict[str, object]] = []
+    if slowest:
+        path = critical_path(by_trace[slowest[0]["trace_id"]])
+
+    return {
+        "traces": len(by_trace),
+        "spans": len(records),
+        "sites": sites,
+        "slowest": slowest,
+        "critical_path": path,
+    }
+
+
+def critical_path(
+    trace_records: List[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """The root-to-leaf chain following the longest child at each level."""
+    root = next(
+        (r for r in trace_records if r.get("link") == "root"), None
+    )
+    if root is None:
+        return []
+    children: Dict[str, List[Dict[str, object]]] = {}
+    for record in trace_records:
+        parent_id = record.get("parent_id")
+        if parent_id is not None:
+            children.setdefault(str(parent_id), []).append(record)
+    path = []
+    current: Optional[Dict[str, object]] = root
+    seen = set()
+    while current is not None:
+        span_id = str(current.get("span_id"))
+        if span_id in seen:  # defensive: malformed cycles must terminate
+            break
+        seen.add(span_id)
+        path.append(
+            {
+                "site": str(current.get("site", "?")),
+                "dur_ms": float(current.get("dur_ms", 0.0)),
+                "link": str(current.get("link", "?")),
+            }
+        )
+        branches = children.get(span_id)
+        current = (
+            max(branches, key=lambda r: float(r.get("dur_ms", 0.0)))
+            if branches
+            else None
+        )
+    return path
+
+
+def format_summary(summary: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`summarize_traces` output."""
+    lines = [
+        f"traces: {summary['traces']}  spans: {summary['spans']}",
+        "",
+        f"{'site':<22} {'count':>7} {'p50 ms':>9} {'p99 ms':>9} "
+        f"{'max ms':>9} {'total ms':>10}",
+    ]
+    for site, stats in summary["sites"].items():
+        lines.append(
+            f"{site:<22} {stats['count']:>7} {stats['p50_ms']:>9.2f} "
+            f"{stats['p99_ms']:>9.2f} {stats['max_ms']:>9.2f} "
+            f"{stats['total_ms']:>10.1f}"
+        )
+    if summary["slowest"]:
+        lines.append("")
+        lines.append("slowest traces:")
+        for entry in summary["slowest"]:
+            lines.append(
+                f"  {entry['trace_id']}  {entry['site']:<18} "
+                f"{entry['dur_ms']:>9.2f} ms  ({entry['spans']} spans)"
+            )
+    if summary["critical_path"]:
+        lines.append("")
+        lines.append("critical path (slowest trace):")
+        for depth, step in enumerate(summary["critical_path"]):
+            lines.append(
+                f"  {'  ' * depth}{step['site']} "
+                f"({step['dur_ms']:.2f} ms, {step['link']})"
+            )
+    return "\n".join(lines)

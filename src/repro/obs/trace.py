@@ -1,0 +1,506 @@
+"""Lightweight span tracing for the scan stack.
+
+The tracer follows the same arming contract as
+:func:`repro.resilience.faults.fault_point`: one module-global slot
+(``_ACTIVE``).  When no tracer is armed, every instrumentation site --
+``trace(...)`` / ``trace_from(...)`` / ``carrier()`` -- reduces to a single
+global read plus a shared no-op context manager, so tracing can stay
+compiled into the hot paths (lowering, cache lookup, cascade tier 0,
+coalescer wait, GNN inference, registry writes, rules actions, ingest
+enqueue/drain) at effectively zero cost in production.
+
+Design rules that keep span accounting sane:
+
+* ``trace(site)`` records **only inside an existing trace**.  A site hit
+  on a thread with no active span context is a no-op unless the caller
+  passes ``root=True`` -- so helper threads (lowering executors, shard
+  workers, drain threads) can never mint orphan root traces by accident.
+  Roots are started explicitly at operation entry points: a server
+  request, an offline batch scan, an ingest enqueue.
+* Crossing a thread, process or queue boundary is explicit: capture
+  ``carrier()`` on the producing side, continue with
+  ``trace_from(carrier, site)`` on the consuming side.  Such spans are
+  linked ``"follows"`` and are exempt from the same-thread time-nesting
+  invariant (clocks may differ across processes); same-thread children
+  are linked ``"child"`` and must nest inside their parent.
+
+Span records are plain JSON-able dicts so they cross the shard process
+boundary inside the existing stats payloads and serialize to JSONL
+unchanged::
+
+    {"trace_id", "span_id", "parent_id", "site", "link",
+     "start", "dur_ms", "pid", "thread", "attrs"}
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Callable, Dict, Iterable, List, Optional
+
+__all__ = [
+    "JsonlTraceWriter",
+    "Tracer",
+    "active_tracer",
+    "arm",
+    "armed",
+    "carrier",
+    "disarm",
+    "emit_span",
+    "load_trace_file",
+    "trace",
+    "trace_from",
+    "tracing",
+    "verify_traces",
+]
+
+#: The armed tracer, or None.  Reading this module global is the entire
+#: disarmed cost of every instrumentation site.
+_ACTIVE: Optional["Tracer"] = None
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out by every disarmed site."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """A live span; records itself on ``__exit__``."""
+
+    __slots__ = (
+        "_tracer",
+        "site",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "link",
+        "attrs",
+        "_start_wall",
+        "_start_perf",
+    )
+
+    def __init__(self, tracer, site, trace_id, span_id, parent_id, link, attrs):
+        self._tracer = tracer
+        self.site = site
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.link = link
+        self.attrs = attrs
+
+    def set(self, **attrs) -> "_Span":
+        """Attach attributes after the span has started."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        self._tracer._stack().append((self.trace_id, self.span_id))
+        self._start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur_ms = (time.perf_counter() - self._start_perf) * 1000.0
+        stack = self._tracer._stack()
+        key = (self.trace_id, self.span_id)
+        if stack and stack[-1] == key:
+            stack.pop()
+        else:  # defensive: out-of-order exit must not corrupt the stack
+            with contextlib.suppress(ValueError):
+                stack.remove(key)
+        record = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "site": self.site,
+            "link": self.link,
+            "start": self._start_wall,
+            "dur_ms": dur_ms,
+            "pid": self._tracer.pid,
+            "thread": threading.current_thread().name,
+            "attrs": self.attrs,
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        self._tracer.record(record)
+        return False
+
+
+class Tracer:
+    """Collects span records into a bounded buffer and an optional sink.
+
+    Args:
+        sink: Optional callable invoked with every finished span record
+            (e.g. a :class:`JsonlTraceWriter`).  Records are buffered in
+            memory regardless, up to ``capacity``.
+        capacity: Bound on the in-memory record buffer; the oldest
+            records are dropped beyond it (``dropped`` counts them).
+    """
+
+    def __init__(
+        self,
+        sink: Optional[Callable[[Dict[str, object]], None]] = None,
+        capacity: int = 65536,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._sink = sink
+        self._capacity = capacity
+        self._records: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._counter = itertools.count(1)
+        self.pid = os.getpid()
+        self.dropped = 0
+        self.recorded = 0
+
+    # ------------------------------------------------------------------ #
+    # context plumbing (per-thread)
+
+    def _stack(self) -> List[tuple]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> str:
+        return f"{self.pid:x}-{next(self._counter):x}"
+
+    def carrier(self) -> Optional[Dict[str, str]]:
+        """The current span context as a JSON-able propagation carrier."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        trace_id, span_id = stack[-1]
+        return {"trace_id": trace_id, "span_id": span_id}
+
+    def _start(self, site, root, parent_carrier, attrs):
+        if parent_carrier is not None:
+            trace_id = parent_carrier.get("trace_id")
+            parent_id = parent_carrier.get("span_id")
+            if trace_id is None:
+                return _NOOP
+            link = "follows"
+        else:
+            stack = self._stack()
+            if stack:
+                trace_id, parent_id = stack[-1]
+                link = "child"
+            elif root:
+                trace_id = self._next_id()
+                parent_id = None
+                link = "root"
+            else:
+                # no active trace on this thread: recording here would
+                # mint an orphan trace (e.g. an executor thread touching
+                # the cache) -- stay silent instead
+                return _NOOP
+        return _Span(self, site, trace_id, self._next_id(), parent_id, link, attrs)
+
+    # ------------------------------------------------------------------ #
+    # record collection
+
+    def record(self, record: Dict[str, object]) -> None:
+        """Append one finished span record (buffer + sink)."""
+        with self._lock:
+            self.recorded += 1
+            self._records.append(record)
+            if len(self._records) > self._capacity:
+                self._records.popleft()
+                self.dropped += 1
+        if self._sink is not None:
+            self._sink(record)
+
+    def emit(self, record: Dict[str, object]) -> None:
+        """Absorb a span record produced elsewhere (e.g. a shard worker)."""
+        self.record(record)
+
+    def emit_many(self, records: Iterable[Dict[str, object]]) -> int:
+        count = 0
+        for record in records:
+            self.record(record)
+            count += 1
+        return count
+
+    def drain(self) -> List[Dict[str, object]]:
+        """Return and clear the buffered records."""
+        with self._lock:
+            records = list(self._records)
+            self._records.clear()
+        return records
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """The buffered records without clearing them."""
+        with self._lock:
+            return list(self._records)
+
+
+# ---------------------------------------------------------------------- #
+# module-level instrumentation API (the hot-path entry points)
+
+
+def trace(site: str, root: bool = False, **attrs):
+    """Span context manager for ``site``; no-op when disarmed.
+
+    With a tracer armed, records a ``"child"`` span when the calling
+    thread already has an active span, a ``"root"`` span when it does
+    not *and* ``root=True``, and nothing otherwise (see module rules).
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NOOP
+    return tracer._start(site, root, None, attrs)
+
+
+def trace_from(carrier: Optional[Dict[str, str]], site: str, **attrs):
+    """Continue a trace across a thread/process/queue boundary.
+
+    ``carrier`` is the dict captured by :func:`carrier` on the producing
+    side (or None, which -- like a disarmed tracer -- makes this a
+    no-op).  The span is linked ``"follows"``.
+    """
+    tracer = _ACTIVE
+    if tracer is None or carrier is None:
+        return _NOOP
+    return tracer._start(site, False, carrier, attrs)
+
+
+def carrier() -> Optional[Dict[str, str]]:
+    """The calling thread's span context for propagation, or None."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return None
+    return tracer.carrier()
+
+
+def emit_span(
+    parent: Optional[Dict[str, str]],
+    site: str,
+    start: float,
+    dur_ms: float,
+    **attrs,
+) -> None:
+    """Record a pre-measured ``"follows"`` span under ``parent``.
+
+    For sites where per-item context managers are impractical (e.g. one
+    ingest drain batch covering many queued contracts): measure once,
+    then emit one follows-span per carried item.
+    """
+    tracer = _ACTIVE
+    if tracer is None or parent is None:
+        return
+    trace_id = parent.get("trace_id")
+    if trace_id is None:
+        return
+    tracer.record(
+        {
+            "trace_id": trace_id,
+            "span_id": tracer._next_id(),
+            "parent_id": parent.get("span_id"),
+            "site": site,
+            "link": "follows",
+            "start": start,
+            "dur_ms": dur_ms,
+            "pid": tracer.pid,
+            "thread": threading.current_thread().name,
+            "attrs": attrs,
+        }
+    )
+
+
+def arm(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide active tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return tracer
+
+
+def disarm() -> Optional[Tracer]:
+    """Remove the active tracer (returning it, so callers can drain)."""
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    return tracer
+
+
+def armed() -> bool:
+    """Whether a tracer is currently armed."""
+    return _ACTIVE is not None
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The armed tracer, or None."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def tracing(
+    sink: Optional[Callable[[Dict[str, object]], None]] = None,
+    capacity: int = 65536,
+):
+    """Arm a fresh :class:`Tracer` for the duration of a ``with`` block.
+
+    Restores whatever was armed before on exit, so nested/temporary
+    tracing (tests, experiments) cannot leak arming state.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    tracer = Tracer(sink=sink, capacity=capacity)
+    arm(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+
+
+# ---------------------------------------------------------------------- #
+# JSONL export / import
+
+
+class JsonlTraceWriter:
+    """Thread-safe JSONL span sink (one record per line).
+
+    Usable directly as a :class:`Tracer` sink and as a context manager::
+
+        with JsonlTraceWriter(path) as writer, tracing(sink=writer):
+            ...
+    """
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.written = 0
+
+    def __call__(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+            self.written += 1
+
+    def flush(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def load_trace_file(path) -> List[Dict[str, object]]:
+    """Parse a trace JSONL file into span records (blank lines skipped).
+
+    Raises:
+        ValueError: On a line that is not a valid JSON object.
+    """
+    records: List[Dict[str, object]] = []
+    with open(os.fspath(path), "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{number}: invalid JSON ({error})")
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{number}: span record is not an object")
+            records.append(record)
+    return records
+
+
+# ---------------------------------------------------------------------- #
+# span-accounting invariants (E16 + CI smoke)
+
+#: Wall-clock slack allowed when checking that a child span's interval
+#: sits inside its parent's.  Child spans run on the same process clock,
+#: so this only absorbs float rounding and timer granularity.
+_NESTING_SLACK_S = 0.005
+
+
+def verify_traces(records: Iterable[Dict[str, object]]) -> Dict[str, int]:
+    """Check span-accounting invariants over a set of records.
+
+    Returns counters (all zero on a healthy trace set):
+
+    * ``traces`` / ``spans``: totals seen.
+    * ``accounting_mismatches``: traces whose number of ``"root"`` spans
+      is not exactly one.
+    * ``orphan_spans``: non-root spans whose parent span is absent from
+      their trace.
+    * ``nesting_mismatches``: ``"child"`` spans whose time interval does
+      not sit inside their parent's (``"follows"`` spans are exempt --
+      they may cross process clocks).
+    """
+    by_trace: Dict[str, List[Dict[str, object]]] = {}
+    spans = 0
+    for record in records:
+        trace_id = record.get("trace_id")
+        if trace_id is None:
+            continue
+        spans += 1
+        by_trace.setdefault(str(trace_id), []).append(record)
+
+    accounting = 0
+    orphans = 0
+    nesting = 0
+    for trace_records in by_trace.values():
+        by_span = {
+            str(record.get("span_id")): record for record in trace_records
+        }
+        roots = [r for r in trace_records if r.get("link") == "root"]
+        if len(roots) != 1:
+            accounting += 1
+        for record in trace_records:
+            if record.get("link") == "root":
+                continue
+            parent = by_span.get(str(record.get("parent_id")))
+            if parent is None:
+                orphans += 1
+                continue
+            if record.get("link") != "child":
+                continue
+            child_start = float(record["start"])
+            child_end = child_start + float(record["dur_ms"]) / 1000.0
+            parent_start = float(parent["start"])
+            parent_end = parent_start + float(parent["dur_ms"]) / 1000.0
+            if (
+                child_start < parent_start - _NESTING_SLACK_S
+                or child_end > parent_end + _NESTING_SLACK_S
+            ):
+                nesting += 1
+    return {
+        "traces": len(by_trace),
+        "spans": spans,
+        "accounting_mismatches": accounting,
+        "orphan_spans": orphans,
+        "nesting_mismatches": nesting,
+    }

@@ -61,6 +61,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.report import VerdictReport
+from repro.obs.trace import trace
 from repro.resilience.faults import InjectedFault, fault_point
 from repro.resilience.retry import RetryPolicy
 
@@ -526,29 +527,34 @@ class RulesEngine:
         """
         outcome = TriageOutcome()
         fired_tags: List[str] = []
-        for rule in self.rules:
-            if not rule.matches(
-                report,
-                source_path,
-                sha256=sha256,
-                model_identity=model_identity,
-                tags=tags,
-                scanned_at=scanned_at,
-            ):
-                continue
-            outcome.matched.append(rule.name)
-            fired_tags.extend(rule.tag)
-            if rule.alert or rule.webhook:
-                payload = self._alert_payload(
-                    rule, report, sha256, source_path, fired_at
-                )
-                if rule.alert:
-                    self._emit_alert(payload)
-                    outcome.alerts += 1
-                if rule.webhook:
-                    self._post_webhook(rule.webhook, payload)
-            if rule.exit_nonzero:
-                outcome.exit_nonzero = True
+        # obs site rules.action: spans matching plus every fired action
+        # (alert appends, webhook retries), so a slow endpoint is visible
+        # as rules latency in traces rather than unexplained drain time
+        with trace("rules.action", rules=len(self.rules)) as span:
+            for rule in self.rules:
+                if not rule.matches(
+                    report,
+                    source_path,
+                    sha256=sha256,
+                    model_identity=model_identity,
+                    tags=tags,
+                    scanned_at=scanned_at,
+                ):
+                    continue
+                outcome.matched.append(rule.name)
+                fired_tags.extend(rule.tag)
+                if rule.alert or rule.webhook:
+                    payload = self._alert_payload(
+                        rule, report, sha256, source_path, fired_at
+                    )
+                    if rule.alert:
+                        self._emit_alert(payload)
+                        outcome.alerts += 1
+                    if rule.webhook:
+                        self._post_webhook(rule.webhook, payload)
+                if rule.exit_nonzero:
+                    outcome.exit_nonzero = True
+            span.set(matched=len(outcome.matched), alerts=outcome.alerts)
         outcome.tags = sorted(set(fired_tags))
         return outcome
 

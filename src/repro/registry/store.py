@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.report import VerdictReport
+from repro.obs.trace import trace
 from repro.resilience.faults import fault_point
 from repro.resilience.retry import RetryPolicy
 
@@ -557,12 +558,15 @@ class ScanRegistry:
         def count_retry(attempt_number, error, delay) -> None:
             self.busy_retries += 1
 
-        return self.write_retry.call(
-            attempt,
-            retry_on=(sqlite3.OperationalError,),
-            should_retry=self._is_busy,
-            on_retry=count_retry,
-        )
+        # obs site registry.write: spans the whole retried transaction, so
+        # busy-retry backoff shows up as write latency in traces
+        with trace("registry.write"):
+            return self.write_retry.call(
+                attempt,
+                retry_on=(sqlite3.OperationalError,),
+                should_retry=self._is_busy,
+                on_retry=count_retry,
+            )
 
     def record_many(
         self,

@@ -31,6 +31,7 @@ from repro.core.detector import BytecodeLike, ScamDetector, coerce_bytecode
 from repro.core.frontends import detect_platform
 from repro.core.report import ScanSummary
 from repro.gnn.data import ContractGraph
+from repro.obs.trace import carrier, trace, trace_from
 from repro.service.cache import CacheStats, DISK_META_FILENAME, GraphCache
 
 PathLike = Union[str, pathlib.Path]
@@ -496,6 +497,19 @@ class BatchScanner:
         platform: Optional[str],
         platforms: Optional[List[str]] = None,
     ) -> BatchScanResult:
+        # obs root: one batch scan = one trace.  When an enclosing span is
+        # already active on this thread (a server request, an ingest drain)
+        # this nests as a child of that trace instead of starting a new one.
+        with trace("batch.scan", root=True, contracts=len(raw_codes)):
+            return self._scan_routed(raw_codes, ids, platform, platforms)
+
+    def _scan_routed(
+        self,
+        raw_codes: List[bytes],
+        ids: List[str],
+        platform: Optional[str],
+        platforms: Optional[List[str]] = None,
+    ) -> BatchScanResult:
         if self.registry is None:
             return self._scan_fresh(raw_codes, ids, platform, platforms)
         # deferred import: repro.registry.watch imports this module, so a
@@ -598,9 +612,10 @@ class BatchScanner:
             resolved_platforms = [
                 resolve(index) for index in range(len(raw_codes))
             ]
-            decisions = self.detector.cascade_decide(
-                raw_codes, resolved_platforms
-            )
+            with trace("cascade.tier0", contracts=len(raw_codes)):
+                decisions = self.detector.cascade_decide(
+                    raw_codes, resolved_platforms
+                )
         if decisions is None:
             escalated = list(range(len(raw_codes)))
             cascade_stats = None
@@ -616,15 +631,21 @@ class BatchScanner:
                 "disagreements": 0,
             }
 
+        # captured before dispatch: lowering runs on executor threads that
+        # have no span context of their own, so each task re-joins this
+        # scan's trace explicitly (link="follows")
+        lowering_parent = carrier()
+
         def lower(index: int) -> Tuple[ContractGraph, str]:
             resolved = (
                 resolved_platforms[index]
                 if decisions is not None
                 else resolve(index)
             )
-            graph, resolved = pipeline.analyse_bytecode(
-                raw_codes[index], platform=resolved, sample_id=ids[index]
-            )
+            with trace_from(lowering_parent, "lowering", sample=ids[index]):
+                graph, resolved = pipeline.analyse_bytecode(
+                    raw_codes[index], platform=resolved, sample_id=ids[index]
+                )
             return graph, resolved
 
         if not escalated:
@@ -644,11 +665,12 @@ class BatchScanner:
         graphs = [graph for graph, _ in lowered]
         probabilities: List[float] = []
         batch_sizes: Dict[int, int] = {}
-        for chunk in pipeline._trainer.iter_predict_proba(
-            graphs, batch_size=self.inference_batch_size
-        ):
-            batch_sizes[len(chunk)] = batch_sizes.get(len(chunk), 0) + 1
-            probabilities.extend(float(row[1]) for row in chunk)
+        with trace("gnn.infer", graphs=len(graphs)):
+            for chunk in pipeline._trainer.iter_predict_proba(
+                graphs, batch_size=self.inference_batch_size
+            ):
+                batch_sizes[len(chunk)] = batch_sizes.get(len(chunk), 0) + 1
+                probabilities.extend(float(row[1]) for row in chunk)
 
         result = BatchScanResult(
             num_workers=num_workers,

@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.core.config import ScamDetectConfig
 from repro.gnn.data import ContractGraph
+from repro.obs.trace import trace
 from repro.resilience.faults import fault_point
 
 PathLike = Union[str, pathlib.Path]
@@ -226,22 +227,29 @@ class GraphCache:
         so one cached lowering serves every sample with identical bytecode.
         """
         key = bytecode_key(code, platform)
-        with self._lock:
-            graph = self._entries.get(key)
-            if graph is not None:
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-                return self._rebind(graph, label, sample_id)
-        graph = self._disk_get(key)
-        if graph is not None:
+        # obs site cache.lookup: records only inside an active trace (the
+        # shared no-op context manager otherwise), so executor threads with
+        # no propagated context cost one global read here
+        with trace("cache.lookup") as span:
             with self._lock:
-                self.stats.hits += 1
-                self.stats.disk_hits += 1
-                self._insert(key, graph)
-                return self._rebind(graph, label, sample_id)
-        with self._lock:
-            self.stats.misses += 1
-        return None
+                graph = self._entries.get(key)
+                if graph is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    span.set(result="hit")
+                    return self._rebind(graph, label, sample_id)
+            graph = self._disk_get(key)
+            if graph is not None:
+                with self._lock:
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    self._insert(key, graph)
+                    span.set(result="disk_hit")
+                    return self._rebind(graph, label, sample_id)
+            with self._lock:
+                self.stats.misses += 1
+            span.set(result="miss")
+            return None
 
     def put(self, code: bytes, platform: str, graph: ContractGraph) -> None:
         """Store the lowering of ``code``; evicts LRU entries past capacity."""

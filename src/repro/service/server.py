@@ -61,7 +61,13 @@ from repro.core.detector import ScamDetector, coerce_bytecode
 from repro.core.frontends import detect_platform
 from repro.gnn.data import ContractGraph
 from repro.ingest.queue import IngestQueueFull
-from repro.resilience.faults import InjectedFault, fault_point
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import armed as tracing_armed, trace
+from repro.resilience.faults import (
+    InjectedFault,
+    active_injector,
+    fault_point,
+)
 from repro.service.batch import throughput_stats
 from repro.service.cache import CacheStats, GraphCache
 
@@ -392,7 +398,10 @@ class RequestCoalescer:
                     f"retry later"
                 )
             self._queue.put(pending)
-        pending.ready.wait()
+        # obs site coalescer.wait: time this submitter spent blocked on the
+        # drain thread (queueing + batch hold window + model call)
+        with trace("coalescer.wait", graphs=len(graphs)):
+            pending.ready.wait()
         if pending.error is not None:
             raise pending.error
         assert pending.probabilities is not None
@@ -456,9 +465,15 @@ class RequestCoalescer:
     def _score(self, batch: List[_PendingInference], total: int) -> None:
         graphs = [graph for pending in batch for graph in pending.graphs]
         try:
-            probabilities = self._score_graphs(
-                graphs, batch_size=self.max_batch
-            )
+            # obs root: the drain thread serves many requests per model
+            # call, so the inference span is its own (infra) trace rather
+            # than a child of any single request
+            with trace(
+                "gnn.infer", root=True, graphs=total, requests=len(batch)
+            ):
+                probabilities = self._score_graphs(
+                    graphs, batch_size=self.max_batch
+                )
         except BaseException as error:  # propagate to every blocked submitter
             for pending in batch:
                 pending.error = error
@@ -619,6 +634,22 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(
+        self,
+        status: int,
+        body: str,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
     def _send_error_json(
         self,
         status: int,
@@ -733,21 +764,41 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, server.health(), headers=headers)
         elif path == "/metrics":
             server.metrics.record_request("metrics", deprecated)
-            self._send_json(
-                200,
-                server.metrics.snapshot(
-                    server.cache_stats,
-                    server.shard_stats(),
-                    cascade_enabled=server.detector.cascade,
-                    registry_busy_retries=server.registry_busy_retries(),
-                    ingest=(
-                        server.ingest.snapshot()
-                        if server.ingest is not None
-                        else None
-                    ),
+            query = urllib.parse.parse_qs(parsed.query)
+            formats = query.get("format", ["json"])
+            snapshot = server.metrics.snapshot(
+                server.cache_stats,
+                server.shard_stats(),
+                cascade_enabled=server.detector.cascade,
+                registry_busy_retries=server.registry_busy_retries(),
+                ingest=(
+                    server.ingest.snapshot()
+                    if server.ingest is not None
+                    else None
                 ),
-                headers=headers,
             )
+            if formats[-1] == "prometheus":
+                self._send_text(
+                    200,
+                    render_prometheus(
+                        snapshot,
+                        tracing_armed=tracing_armed(),
+                        fault_injection_armed=active_injector() is not None,
+                    ),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    headers=headers,
+                )
+            elif formats[-1] == "json":
+                self._send_json(200, snapshot, headers=headers)
+            else:
+                server.metrics.record_error()
+                self._send_error_json(
+                    400,
+                    f"unknown metrics format {formats[-1]!r} "
+                    f"(use 'json' or 'prometheus')",
+                    code="bad_request",
+                    extra_headers=headers,
+                )
         elif path == "/verdicts" or path.startswith("/verdicts/"):
             server.metrics.record_request("verdicts", deprecated)
             try:
@@ -793,10 +844,14 @@ class _ScanHTTPRequestHandler(BaseHTTPRequestHandler):
         server.metrics.record_request(endpoint, deprecated)
         started = time.perf_counter()
         try:
-            # chaos site: delay = slow handler; exception-kind faults land
-            # in the InjectedFault arm below as a retryable 503
-            fault_point("server.handler")
-            status, payload = handler()
+            # obs root: one served request = one trace; every span the
+            # handler touches (lowering, cache, coalescer wait, registry
+            # writes) nests under it via the thread-local context
+            with trace("server.request", root=True, endpoint=endpoint):
+                # chaos site: delay = slow handler; exception-kind faults
+                # land in the InjectedFault arm below as a retryable 503
+                fault_point("server.handler")
+                status, payload = handler()
         except _RequestError as error:
             server.metrics.record_error()
             self._send_error_json(
@@ -1207,12 +1262,24 @@ class ScanServer:
         return int(self.registry.busy_retries)
 
     def health(self) -> Dict[str, object]:
+        from repro import __version__
+
         degraded = self.sharded is not None and self.sharded.degraded
+        uptime = self.metrics.uptime_seconds
         payload = {
             "status": "degraded" if degraded else "ok",
             "api_version": API_PREFIX.lstrip("/"),
+            "version": __version__,
             "model": self.detector.pipeline.describe(),
-            "uptime_seconds": self.metrics.uptime_seconds,
+            "uptime_seconds": uptime,
+            # fleet probes compare uptime_s (a cold restart resets it) and
+            # the armed flags (a long-lived node left armed is degraded
+            # tooling, not degraded serving) against expectations
+            "uptime_s": uptime,
+            "tracing": "armed" if tracing_armed() else "disarmed",
+            "fault_injection": (
+                "armed" if active_injector() is not None else "disarmed"
+            ),
             "workers": self.workers,
             "shards": self.shards,
             "max_batch": self.coalescer.max_batch,
@@ -1255,7 +1322,8 @@ class ScanServer:
             self.metrics.record_verdicts(1, int(cached.is_malicious))
             return cached
         resolved = platform or detect_platform(raw)
-        decisions = self.detector.cascade_decide([raw], [resolved])
+        with trace("cascade.tier0", contracts=1):
+            decisions = self.detector.cascade_decide([raw], [resolved])
         if decisions is not None and decisions[0].short_circuit:
             report = self.detector.build_prefilter_report(
                 raw, sample_id, resolved, decisions[0].probability
@@ -1264,9 +1332,10 @@ class ScanServer:
             self.metrics.record_verdicts(1, int(report.is_malicious))
             self.metrics.record_cascade(1, 0, 0)
             return report
-        graph, resolved = self.detector.pipeline.analyse_bytecode(
-            raw, platform=resolved, sample_id=sample_id
-        )
+        with trace("lowering", sample=sample_id):
+            graph, resolved = self.detector.pipeline.analyse_bytecode(
+                raw, platform=resolved, sample_id=sample_id
+            )
         probability = self.coalescer.submit([graph])[0]
         report = self.detector.build_report(
             raw, sample_id, resolved, probability, graph
@@ -1303,10 +1372,11 @@ class ScanServer:
             )
             for index in misses
         }
-        decisions = self.detector.cascade_decide(
-            [contracts[index][0] for index in misses],
-            [resolved_platforms[index] for index in misses],
-        )
+        with trace("cascade.tier0", contracts=len(misses)):
+            decisions = self.detector.cascade_decide(
+                [contracts[index][0] for index in misses],
+                [resolved_platforms[index] for index in misses],
+            )
         recorded = []
         escalated = []
         short_circuits = 0
@@ -1325,15 +1395,18 @@ class ScanServer:
             else:
                 escalated.append(position)
         lowered = []
-        for position in escalated:
-            index = misses[position]
-            raw, _, sample_id = contracts[index]
-            graph, resolved = self.detector.pipeline.analyse_bytecode(
-                raw, platform=resolved_platforms[index], sample_id=sample_id
-            )
-            lowered.append(
-                (index, raw, sample_id, resolved, graph, position)
-            )
+        with trace("lowering", contracts=len(escalated)):
+            for position in escalated:
+                index = misses[position]
+                raw, _, sample_id = contracts[index]
+                graph, resolved = self.detector.pipeline.analyse_bytecode(
+                    raw,
+                    platform=resolved_platforms[index],
+                    sample_id=sample_id,
+                )
+                lowered.append(
+                    (index, raw, sample_id, resolved, graph, position)
+                )
         probabilities = self.coalescer.submit(
             [graph for _, _, _, _, graph, _ in lowered]
         )

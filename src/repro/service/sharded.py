@@ -66,6 +66,14 @@ import numpy as np
 from repro.core.detector import BytecodeLike, ScamDetector, coerce_bytecode
 from repro.core.frontends import detect_platform
 from repro.gnn.data import ContractGraph
+from repro.obs.trace import (
+    Tracer,
+    active_tracer,
+    arm as _arm_tracer,
+    armed as _tracing_armed,
+    carrier as _trace_carrier,
+    trace_from,
+)
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.faults import (
     FAULT_CRASH_EXIT_CODE,
@@ -264,6 +272,10 @@ def _shard_worker(
         plan_dict = options.get("fault_plan")
         if plan_dict:
             _activate_faults(FaultPlan.from_dict(plan_dict))
+        # when the parent had tracing armed at spawn time, arm a local
+        # buffering tracer: spans recorded in this process ride back to
+        # the parent inside each chunk's stats payload (``spans`` key)
+        worker_tracer = _arm_tracer(Tracer()) if options.get("trace") else None
         detector = ScamDetector.load(
             options["bundle_path"],
             threshold=options["threshold"],
@@ -289,7 +301,7 @@ def _shard_worker(
         task = task_queue.get()
         if task is None:
             return
-        kind, chunk_id, payload, crash = task
+        kind, chunk_id, payload, crash, span_carrier = task
         if crash:
             # parent-side dispatch marked this task via an injected
             # ``shard.worker.<id>`` crash fault: die *after* dequeue,
@@ -310,19 +322,24 @@ def _shard_worker(
         try:
             fault_point("shard.task")
             if kind == "scan":
-                result_queue.put(
-                    (
-                        "scan",
-                        shard_id,
-                        chunk_id,
-                        _scan_chunk(
-                            detector,
-                            cache,
-                            payload,
-                            options["inference_batch_size"],
-                        ),
+                # obs site shard.chunk: continues the parent's trace
+                # across the process boundary (link="follows"); inner
+                # sites (cache.lookup) nest under it as normal children
+                with trace_from(
+                    span_carrier,
+                    "shard.chunk",
+                    shard=shard_id,
+                    items=len(payload),
+                ):
+                    chunk_result = _scan_chunk(
+                        detector,
+                        cache,
+                        payload,
+                        options["inference_batch_size"],
                     )
-                )
+                if worker_tracer is not None:
+                    chunk_result[1]["spans"] = worker_tracer.drain()
+                result_queue.put(("scan", shard_id, chunk_id, chunk_result))
             elif kind == "infer":
                 started = time.perf_counter()
                 graphs = [_payload_graph(entry) for entry in payload]
@@ -686,6 +703,9 @@ class ShardedScanner:
         # workers, and respawned replicas re-arm the same plan
         options = dict(self._options)
         options["fault_plan"] = active_plan_dict()
+        # like the fault plan: tracing armed after construction still
+        # reaches the workers, and respawned replicas re-arm it
+        options["trace"] = _tracing_armed()
         process = self._context.Process(
             target=_shard_worker,
             args=(shard_id, options, task_queue, self._result_queue),
@@ -823,6 +843,14 @@ class ShardedScanner:
         for shard_id, chunk_reports, stats in outputs:
             for index, report in chunk_reports:
                 reports[index] = report
+            # worker-recorded spans (shard.chunk + its children) ride
+            # back in the stats payload; re-emit them into the parent's
+            # tracer so one JSONL file holds the whole cross-process trace
+            worker_spans = stats.pop("spans", None)
+            if worker_spans:
+                tracer = active_tracer()
+                if tracer is not None:
+                    tracer.emit_many(worker_spans)
             merged_cache = merged_cache.merge(stats["cache"])
             for size, count in stats["batch_sizes"].items():
                 batch_sizes[size] = batch_sizes.get(size, 0) + count
@@ -930,7 +958,7 @@ class ShardedScanner:
             # dequeue
             spec = evaluate_fault(f"shard.worker.{shard_id}")
             crash = spec is not None and spec.kind == "crash"
-            task = (kind, chunk_id, payload, crash)
+            task = (kind, chunk_id, payload, crash, _trace_carrier())
             handle = self._handles[shard_id]
             handle.tasks[chunk_id] = task
             pending[chunk_id] = shard_id
@@ -1022,9 +1050,13 @@ class ShardedScanner:
             # stay, keeping multi-crash schedules deterministic
             tasks = dict(handle.tasks)
             for chunk_id in sorted(tasks):
-                kind, chunk_id_, payload, crash = tasks[chunk_id]
+                kind, chunk_id_, payload, crash, span_carrier = tasks[
+                    chunk_id
+                ]
                 if crash:
-                    tasks[chunk_id] = (kind, chunk_id_, payload, False)
+                    tasks[chunk_id] = (
+                        kind, chunk_id_, payload, False, span_carrier
+                    )
                     break
             replacement.tasks = tasks
             for chunk_id in sorted(replacement.tasks):
@@ -1067,9 +1099,9 @@ class ShardedScanner:
             stacklevel=4,
         )
         for chunk_id in sorted(handle.tasks):
-            kind, _, payload, _ = handle.tasks.pop(chunk_id)
+            kind, _, payload, _, span_carrier = handle.tasks.pop(chunk_id)
             target = healthy[chunk_id % len(healthy)]
-            task = (kind, chunk_id, payload, False)
+            task = (kind, chunk_id, payload, False, span_carrier)
             target.tasks[chunk_id] = task
             target.task_queue.put(task)
 

@@ -140,11 +140,19 @@ def test_cli_parser_subcommands():
     assert args.id == "E14"
     args = parser.parse_args(["experiment", "--id", "E15"])
     assert args.id == "E15"
+    args = parser.parse_args(["experiment", "--id", "E16"])
+    assert args.id == "E16"
     with pytest.raises(SystemExit):
-        parser.parse_args(["experiment", "--id", "E16"])
+        parser.parse_args(["experiment", "--id", "E17"])
     args = parser.parse_args(["scan-batch", "--model-path", "m",
-                              "--input-dir", "d", "--shards", "4"])
+                              "--input-dir", "d", "--shards", "4",
+                              "--trace-file", "t.jsonl", "--log-json"])
     assert args.shards == 4
+    assert args.trace_file == "t.jsonl" and args.log_json
+    args = parser.parse_args(["trace", "summarize", "t.jsonl",
+                              "--top", "3", "--json"])
+    assert (args.command == "trace" and args.trace_file == "t.jsonl"
+            and args.top == 3 and args.json)
     args = parser.parse_args(["watch", "feed", "--model-path", "m",
                               "--registry", "r.db", "--max-polls", "3"])
     assert args.command == "watch" and args.max_polls == 3

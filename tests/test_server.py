@@ -501,7 +501,7 @@ def test_legacy_paths_alias_v1_with_deprecation_headers(server, client):
     assert versioned[0] == legacy[0] == 200
     # same payload from both paths (uptime is the one moving part)
     stable = lambda body: {key: value for key, value in body.items()
-                           if key != "uptime_seconds"}
+                           if key not in ("uptime_seconds", "uptime_s")}
     assert stable(versioned[2]) == stable(legacy[2])
     assert versioned[2]["api_version"] == "v1"
     assert "Deprecation" not in versioned[1]
@@ -629,3 +629,125 @@ def test_scan_batch_survives_midbatch_worker_crash(trained_detector,
             assert server.sharded.restarts == 1
         finally:
             server.shutdown()
+
+
+# --------------------------------------------------------------------------- #
+# observability: latency windows, Prometheus exposition, /v1 client hygiene
+
+
+def _raw_get_text(port, path):
+    import urllib.request
+
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=10.0) as response:
+        return (response.status, dict(response.headers),
+                response.read().decode("utf-8"))
+
+
+def test_server_metrics_latency_window_edges():
+    from repro.service.cache import CacheStats
+    from repro.service.server import _LATENCY_WINDOW
+
+    metrics = ServerMetrics()
+    # empty window: no latency section at all, not a zero-filled one
+    assert metrics.snapshot(CacheStats())["latency"] == {}
+    # single sample: every percentile is that sample
+    metrics.record_latency("scan", 0.020)
+    window = metrics.snapshot(CacheStats())["latency"]["scan"]
+    assert window["count"] == 1
+    assert window["p50_ms"] == window["p90_ms"] == window["p99_ms"] \
+        == pytest.approx(20.0)
+    # rollover: the deque caps the window and evicts the oldest samples
+    for index in range(_LATENCY_WINDOW + 1):
+        metrics.record_latency("scan", float(index))
+    window = metrics.snapshot(CacheStats())["latency"]["scan"]
+    assert window["count"] == _LATENCY_WINDOW
+    # sample 0.0s (and the single 0.020s) fell out; the window now holds
+    # 1.0 .. 4096.0 seconds, whose nearest-rank p50 is sample 2049
+    assert window["p50_ms"] == pytest.approx(2049.0 * 1e3)
+
+
+def test_latency_endpoint_labels_stable_across_v1_and_legacy(server, client):
+    _raw_get(server.port, "/healthz")
+    _raw_get(server.port, "/v1/healthz")
+    metrics = client.metrics()
+    # one canonical label per endpoint: the legacy alias records under the
+    # same key as /v1, so dashboards never see a split family
+    assert metrics["requests"]["healthz"] >= 2
+    assert not any("v1" in key for key in metrics["requests"])
+    assert not any("v1" in key for key in metrics["latency"])
+    assert not any(key.startswith("/") for key in metrics["latency"])
+
+
+def test_client_traffic_is_never_deprecated(registry_server, tiny_evm_corpus):
+    """Regression: every ServerClient method must speak /v1 -- full client
+    traffic advances the deprecated-request counter by exactly zero."""
+    import contextlib
+
+    from repro.registry import content_sha256
+
+    server, _ = registry_server
+    probe = ServerClient(port=server.port)
+    probe.wait_until_ready(timeout=10.0)
+    probe.healthz()
+    code = tiny_evm_corpus[0].bytecode
+    probe.scan(code, sample_id="dep-audit")
+    probe.scan_batch([code, tiny_evm_corpus[1].bytecode],
+                     sample_ids=["dep-a", "dep-b"])
+    probe.verdicts(limit=5)
+    probe.verdict(content_sha256(code))
+    list(probe.verdicts_all(page_size=2))
+    with contextlib.suppress(ServerClientError):
+        probe.ingest(code)        # 503 without an ingest tier; still /v1
+    assert probe.metrics()["requests"]["deprecated"] == 0
+    assert server.metrics.deprecated_requests == 0
+
+
+def test_metrics_prometheus_exposition(server, client, tiny_evm_corpus):
+    from repro.obs import validate_exposition
+
+    client.scan(tiny_evm_corpus[0].bytecode, sample_id="prom")
+    status, headers, text = _raw_get_text(
+        server.port, "/v1/metrics?format=prometheus")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    assert "version=0.0.4" in headers["Content-Type"]
+    assert "Deprecation" not in headers
+    errors = validate_exposition(text)
+    assert errors == [], errors
+    assert 'scamdetect_requests_total{endpoint="scan"}' in text
+    assert "scamdetect_tracing_armed 0" in text
+    assert "scamdetect_fault_injection_armed 0" in text
+    # explicit json and the default agree
+    assert _raw_get(server.port, "/v1/metrics?format=json")[0] == 200
+    # unknown formats are a typed 400, not a silent json fallback
+    status, _, body = _raw_get(server.port, "/v1/metrics?format=xml")
+    assert status == 400
+    assert body["error"]["code"] == "bad_request"
+    # the legacy alias still answers, flagged deprecated
+    status, headers, text = _raw_get_text(
+        server.port, "/metrics?format=prometheus")
+    assert status == 200
+    assert headers["Deprecation"] == "true"
+    assert validate_exposition(text) == []
+
+
+def test_healthz_reports_observability_state(server, client):
+    from repro import __version__
+    from repro.obs import tracing
+
+    health = client.healthz()
+    assert health["version"] == __version__
+    assert health["uptime_s"] >= 0.0
+    assert health["uptime_s"] == pytest.approx(health["uptime_seconds"])
+    assert health["tracing"] == "disarmed"
+    assert health["fault_injection"] == "disarmed"
+    # arming a tracer in-process flips the reported state (fleet probes
+    # treat a long-lived armed node as degraded tooling)
+    with tracing():
+        assert client.healthz()["tracing"] == "armed"
+    assert client.healthz()["tracing"] == "disarmed"
+    status, _, text = _raw_get_text(
+        server.port, "/v1/metrics?format=prometheus")
+    assert status == 200
+    assert "scamdetect_tracing_armed 0" in text
