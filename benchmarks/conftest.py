@@ -1,27 +1,62 @@
 """Shared helpers for the benchmark harness.
 
-Every benchmark runs one E1-E7 experiment exactly once (``rounds=1``), prints
-the regenerated table/figure to stdout and appends it to
+Every benchmark runs one experiment exactly once (``rounds=1``), prints
+the regenerated table/figure to stdout and splices it into
 ``benchmarks/results.txt`` so the paper-vs-measured comparison in
 EXPERIMENTS.md can be refreshed from a single run.
+
+``results.txt`` is spliced section-by-section rather than truncated at
+session start: running a subset of the benchmarks (e.g. only E10-E16)
+refreshes exactly those sections and leaves every other experiment's
+record intact.  E1-E7 have no ``BENCH_*.json`` artifact, so the text
+file is the sole persisted record of their measurements.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import re
 
-import pytest
+import pytest  # noqa: F401  (kept for plugin discovery alongside fixtures)
 
 RESULTS_FILE = pathlib.Path(__file__).parent / "results.txt"
 
+_SECTION_HEADER = re.compile(r"(?m)^== (E\d+)\b")
+
 
 def record_result(result) -> None:
-    """Print and persist one experiment result."""
+    """Print one experiment result and splice it into ``results.txt``.
+
+    The section whose ``== E<n>:`` header matches ``result.experiment_id``
+    is replaced in place (preserving the file's section order); a new
+    experiment is appended at the end.  Sections belonging to benchmarks
+    that did not run in this session are left untouched.
+    """
     text = result.format()
     print("\n" + text)
-    with RESULTS_FILE.open("a") as handle:
-        handle.write(text + "\n\n")
+    _splice_section(str(result.experiment_id), text)
+
+
+def _splice_section(experiment_id: str, text: str) -> None:
+    existing = RESULTS_FILE.read_text() if RESULTS_FILE.exists() else ""
+    block = text + "\n\n"
+    starts = [m.start() for m in _SECTION_HEADER.finditer(existing)]
+    pieces = [existing[: starts[0]]] if starts else [existing]
+    replaced = False
+    for index, start in enumerate(starts):
+        end = starts[index + 1] if index + 1 < len(starts) else len(existing)
+        section = existing[start:end]
+        match = _SECTION_HEADER.match(section)
+        if match is not None and match.group(1) == experiment_id:
+            if not replaced:
+                pieces.append(block)
+                replaced = True
+        else:
+            pieces.append(section)
+    if not replaced:
+        pieces.append(block)
+    RESULTS_FILE.write_text("".join(pieces))
 
 
 def record_json(name: str, result) -> pathlib.Path:
@@ -41,14 +76,6 @@ def record_json(name: str, result) -> pathlib.Path:
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
-
-
-@pytest.fixture(scope="session", autouse=True)
-def _reset_results_file():
-    """Start every benchmark session with a fresh results file."""
-    if RESULTS_FILE.exists():
-        RESULTS_FILE.unlink()
-    yield
 
 
 def run_once(benchmark, function, *args, **kwargs):
